@@ -1,0 +1,85 @@
+//! Criterion benchmarks for the forecasters: training cost (the paper
+//! trains in under 10 minutes; ours in seconds) and per-prediction
+//! inference latency (the paper reports N-HiTS at 2-3x lower inference
+//! latency than LSTM/DeepAR).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faro_forecast::deepar::DeepAr;
+use faro_forecast::lstm::{Lstm, LstmConfig};
+use faro_forecast::nhits::{NHits, NHitsConfig};
+use faro_forecast::{Forecaster, ProbForecaster};
+use faro_trace::generator::TraceSpec;
+use std::hint::black_box;
+
+fn series() -> Vec<f64> {
+    TraceSpec {
+        seed: 5,
+        days: 2,
+        ..Default::default()
+    }
+    .generate()
+    .rates_per_minute
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = series();
+    let mut group = c.benchmark_group("train_500_steps");
+    group.sample_size(10);
+    let short = &data[..500];
+    group.bench_function("nhits", |b| {
+        b.iter(|| {
+            let mut cfg = NHitsConfig::standard(15, 7, 1);
+            cfg.epochs = 5;
+            let mut m = NHits::new(cfg).expect("valid");
+            m.fit(black_box(short)).expect("fits");
+        })
+    });
+    group.bench_function("lstm", |b| {
+        b.iter(|| {
+            let mut cfg = LstmConfig::standard(15, 7, 1);
+            cfg.epochs = 5;
+            let mut m = Lstm::new(cfg).expect("valid");
+            m.fit(black_box(short)).expect("fits");
+        })
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let data = series();
+    let mut group = c.benchmark_group("predict_one_window");
+
+    let mut cfg = NHitsConfig::standard(15, 7, 1);
+    cfg.epochs = 5;
+    let mut nhits = NHits::new(cfg).expect("valid");
+    nhits.fit(&data).expect("fits");
+    let ctx: Vec<f64> = data[data.len() - 15..].to_vec();
+    group.bench_function("nhits_point", |b| {
+        b.iter(|| nhits.predict(black_box(&ctx)).expect("fitted"))
+    });
+    group.bench_function("nhits_distribution", |b| {
+        b.iter(|| nhits.predict_distribution(black_box(&ctx)).expect("fitted"))
+    });
+
+    let mut lcfg = LstmConfig::standard(15, 7, 1);
+    lcfg.epochs = 3;
+    let mut lstm = Lstm::new(lcfg).expect("valid");
+    lstm.fit(&data[..800]).expect("fits");
+    group.bench_function("lstm_point", |b| {
+        b.iter(|| lstm.predict(black_box(&ctx)).expect("fitted"))
+    });
+
+    let mut deepar = DeepAr::new(lcfg).expect("valid");
+    deepar.fit(&data[..800]).expect("fits");
+    group.bench_function("deepar_distribution", |b| {
+        b.iter(|| {
+            deepar
+                .predict_distribution(black_box(&ctx))
+                .expect("fitted")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the queueing estimators: these run inside
+//! every objective evaluation of every autoscaling solve, so their
+//! cost bounds the control loop's latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faro_queueing::{erlang, mdc, RelaxedLatency};
+use std::hint::black_box;
+
+fn bench_erlang(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erlang_c");
+    for servers in [8u32, 64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, &s| {
+            b.iter(|| erlang::erlang_c(black_box(s), black_box(0.8 * f64::from(s))).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_latency_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency_estimate");
+    group.bench_function("mdc_percentile", |b| {
+        b.iter(|| {
+            mdc::latency_percentile(black_box(0.99), black_box(0.18), black_box(40.0), 12)
+                .expect("valid")
+        })
+    });
+    let rel = RelaxedLatency::default();
+    group.bench_function("relaxed_stable", |b| {
+        b.iter(|| {
+            rel.latency(black_box(0.99), 0.18, black_box(40.0), 12)
+                .expect("valid")
+        })
+    });
+    group.bench_function("relaxed_overloaded", |b| {
+        b.iter(|| {
+            rel.latency(black_box(0.99), 0.18, black_box(400.0), 12)
+                .expect("valid")
+        })
+    });
+    group.bench_function("relaxed_fractional", |b| {
+        b.iter(|| {
+            rel.latency_fractional(black_box(0.99), 0.18, black_box(40.0), black_box(11.5))
+                .expect("valid")
+        })
+    });
+    group.finish();
+}
+
+fn bench_replica_sizing(c: &mut Criterion) {
+    c.bench_function("replicas_for_slo", |b| {
+        b.iter(|| {
+            mdc::replicas_for_slo(black_box(0.99), 0.18, black_box(55.0), 0.72, 256)
+                .expect("feasible")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_erlang,
+    bench_latency_estimators,
+    bench_replica_sizing
+);
+criterion_main!(benches);

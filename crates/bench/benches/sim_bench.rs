@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the discrete-event simulator: events per
+//! second of simulated traffic, and the cost of a full Faro policy
+//! tick inside the loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faro_bench::policies::PolicyKind;
+use faro_bench::workloads::WorkloadSet;
+use faro_core::baselines::FairShare;
+use faro_core::types::JobSpec;
+use faro_core::ClusterObjective;
+use faro_sim::{JobSetup, SimConfig, Simulation};
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_10min");
+    group.sample_size(10);
+    for rate in [300.0f64, 1200.0] {
+        group.bench_with_input(
+            BenchmarkId::new("fairshare", rate as u64),
+            &rate,
+            |b, &r| {
+                b.iter(|| {
+                    let setup = JobSetup {
+                        spec: JobSpec::resnet34("bench"),
+                        rates_per_minute: vec![r; 10],
+                        initial_replicas: 4,
+                    };
+                    let cfg = SimConfig {
+                        total_replicas: 8,
+                        seed: 1,
+                        ..Default::default()
+                    };
+                    Simulation::new(cfg, vec![setup])
+                        .expect("valid")
+                        .run(Box::new(FairShare))
+                        .expect("runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_faro_policy_in_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faro_policy_run_20min");
+    group.sample_size(10);
+    let set = WorkloadSet::n_jobs(4, 9, 800.0).truncated_eval(20);
+    group.bench_function("faro_sum_flat_predictors", |b| {
+        b.iter(|| {
+            let policy = PolicyKind::faro(ClusterObjective::Sum).build(&set, None, 0);
+            let cfg = SimConfig {
+                total_replicas: 16,
+                seed: 3,
+                ..Default::default()
+            };
+            Simulation::new(cfg, set.setups(1))
+                .expect("valid")
+                .run(policy)
+                .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator_throughput,
+    bench_faro_policy_in_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Figure 5: precise vs relaxed solvers on a production-trace snapshot
+//! (10 jobs, 40 total replicas).
+//!
+//! The paper's finding: on the *precise* (plateau) formulation, local
+//! solvers (SLSQP, COBYLA) finish fast but stall at poor objectives,
+//! while Differential Evolution escapes plateaus at ~15-20 s and is
+//! still suboptimal. After the relaxation, all three find near-optimal
+//! allocations and the local solvers finish sub-second. Nelder-Mead
+//! stands in for SLSQP (see DESIGN.md).
+//!
+//! Usage: `cargo run --release -p faro-bench --bin fig05_solvers`
+
+use faro_bench::workloads::WorkloadSet;
+use faro_core::opt::{Fidelity, JobWorkload, MultiTenantProblem};
+use faro_core::types::ResourceModel;
+use faro_core::ClusterObjective;
+use faro_solver::{Cobyla, DifferentialEvolution, NelderMead, Solver};
+use std::time::Instant;
+
+fn snapshot_jobs() -> Vec<JobWorkload> {
+    // A mid-day snapshot of the 10-job workload: per-job arrival rate
+    // over the next 7 minutes taken directly from the eval traces.
+    let set = WorkloadSet::paper_ten_jobs(42);
+    set.jobs
+        .iter()
+        .zip(&set.eval)
+        .map(|(spec, rates)| {
+            let window: Vec<f64> = rates[180..187].iter().map(|r| r / 60.0).collect();
+            JobWorkload {
+                lambda_trajectories: vec![window],
+                processing_time: spec.processing_time,
+                slo: spec.slo,
+                priority: spec.priority,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let resources = ResourceModel::replicas(40);
+    let objective = ClusterObjective::PenaltySum;
+    // Start from a minimal allocation: overloaded jobs sit on the
+    // step-utility plateau, which is exactly what defeats local
+    // solvers on the precise form.
+    let x0 = vec![1u32; 10];
+
+    // The precise problem is the yardstick: every solution (from either
+    // fidelity) is re-scored under the precise objective.
+    let precise = MultiTenantProblem::new(snapshot_jobs(), resources, objective, Fidelity::Precise)
+        .expect("valid snapshot");
+
+    println!(
+        "{:<22} {:<8} {:>10} {:>12} {:>12}",
+        "solver", "form", "time_ms", "evals", "precise_obj"
+    );
+    for fidelity in [Fidelity::Precise, Fidelity::Relaxed] {
+        let problem = MultiTenantProblem::new(snapshot_jobs(), resources, objective, fidelity)
+            .expect("valid snapshot");
+        let solvers: Vec<(&str, Box<dyn Solver>)> = vec![
+            ("COBYLA", Box::new(Cobyla::default())),
+            ("NelderMead(SLSQP-sub)", Box::new(NelderMead::default())),
+            (
+                "DifferentialEvolution",
+                Box::new(DifferentialEvolution {
+                    max_generations: 400,
+                    ..Default::default()
+                }),
+            ),
+        ];
+        for (name, solver) in solvers {
+            let start = Instant::now();
+            let alloc = problem.solve(solver.as_ref(), &x0).expect("solve succeeds");
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            // Score the raw continuous solution under the precise
+            // objective (integer post-processing would mask solver
+            // quality differences).
+            let score = precise.cluster_value(&alloc.replicas, &alloc.drop_rates);
+            let form = match fidelity {
+                Fidelity::Precise => "precise",
+                Fidelity::Relaxed => "relaxed",
+            };
+            println!(
+                "{name:<22} {form:<8} {elapsed:>10.1} {:>12} {score:>12.3}",
+                alloc.evals
+            );
+        }
+    }
+    println!(
+        "\nexpect: precise+local = fast but poor; precise+DE = slow, middling; \
+         relaxed = near-optimal, local solvers sub-second (paper Fig. 5)"
+    );
+}

@@ -1,0 +1,49 @@
+//! Figure 10 + Table 3: Faro vs the four baselines at right-sized (36),
+//! slightly-oversubscribed (32), and heavily-oversubscribed (16)
+//! cluster sizes. Reports lost cluster utility and cluster SLO
+//! violation rate (mean and SD over trials).
+//!
+//! Paper reference: in the right-sized cluster Faro lowers SLO
+//! violations 2.3x-12.3x and lost utility 1.7x-9x; at 32 replicas,
+//! 2.8x-8.4x and 2.5x-6.1x; at 16 replicas, 1.1x-1.5x on both.
+//!
+//! Usage: `cargo run --release --bin fig10_baselines` (set FARO_QUICK=1
+//! for a fast pass with fewer trials and shorter traces).
+
+use faro_bench::harness::{quick_mode, run_matrix, summarize, ExperimentSpec};
+use faro_bench::policies::PolicyKind;
+use faro_bench::workloads::WorkloadSet;
+use faro_core::ClusterObjective;
+
+fn main() {
+    let quick = quick_mode();
+    let set = if quick {
+        WorkloadSet::paper_ten_jobs(42).truncated_eval(90)
+    } else {
+        WorkloadSet::paper_ten_jobs(42)
+    };
+    eprintln!("training predictors on days 1-10 ({} jobs)...", set.len());
+    let trained = set.train_predictors(7);
+
+    // Paper: Faro-FairSum at RS (36) and SO (32), Faro-Sum at HO (16).
+    let gamma = ClusterObjective::recommended_gamma(set.len());
+    for (size, objective) in [
+        (36u32, ClusterObjective::FairSum { gamma }),
+        (32, ClusterObjective::FairSum { gamma }),
+        (16, ClusterObjective::Sum),
+    ] {
+        let spec = ExperimentSpec::new(PolicyKind::baselines_plus(objective), vec![size])
+            .with_trials(if quick { 2 } else { 5 });
+        let results = run_matrix(&spec, &set, Some(&trained));
+        println!("=== Figure 10: cluster size {size} ===");
+        println!("{}", summarize(&results));
+        // Table 3 is the 32-replica lost-utility row.
+        if size == 32 {
+            println!("--- Table 3 (avg lost cluster utility, 32 replicas) ---");
+            for r in &results {
+                println!("{:<28} {:.2}", r.policy, r.lost_utility_mean);
+            }
+            println!();
+        }
+    }
+}

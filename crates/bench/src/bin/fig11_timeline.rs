@@ -1,0 +1,56 @@
+//! Figure 11: timeline of cluster utility (max 10) with the total
+//! workload below it, for Faro-FairSum and the baselines at 32
+//! replicas.
+//!
+//! Usage: `cargo run --release -p faro-bench --bin fig11_timeline`
+//! (FARO_QUICK=1 for a shorter trace).
+
+use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec};
+use faro_bench::policies::PolicyKind;
+use faro_bench::workloads::WorkloadSet;
+use faro_core::ClusterObjective;
+
+fn main() {
+    let quick = quick_mode();
+    let set = if quick {
+        WorkloadSet::paper_ten_jobs(42).truncated_eval(120)
+    } else {
+        WorkloadSet::paper_ten_jobs(42)
+    };
+    eprintln!("training predictors...");
+    let trained = set.train_predictors(7);
+    let gamma = ClusterObjective::recommended_gamma(set.len());
+    let spec = ExperimentSpec::new(
+        PolicyKind::baselines_plus(ClusterObjective::FairSum { gamma }),
+        vec![32],
+    )
+    .with_trials(1);
+    let results = run_matrix(&spec, &set, Some(&trained));
+
+    // Total workload per minute (same for all policies).
+    let minutes = results[0].reports[0].cluster_utility_per_minute.len();
+    let total_load: Vec<f64> = (0..minutes)
+        .map(|m| {
+            set.eval
+                .iter()
+                .map(|e| e.get(m).copied().unwrap_or(0.0))
+                .sum()
+        })
+        .collect();
+
+    print!("{:>7} {:>10}", "minute", "req/min");
+    for r in &results {
+        print!(" {:>22}", r.policy);
+    }
+    println!();
+    for m in (0..minutes).step_by(5) {
+        print!("{m:>7} {:>10.0}", total_load[m]);
+        for r in &results {
+            let s = &r.reports[0].cluster_utility_per_minute;
+            let w = &s[m..(m + 5).min(s.len())];
+            print!(" {:>22.2}", w.iter().sum::<f64>() / w.len() as f64);
+        }
+        println!();
+    }
+    println!("\nexpect: Faro holds utility at/near 10 longest and recovers fastest after spikes");
+}

@@ -1,0 +1,63 @@
+//! Figure 12: fairness across jobs as box plots of per-job lost
+//! utility, for all nine policies at cluster sizes 36 / 32 / 16.
+//!
+//! Prints min / p25 / median / p75 / max of per-job lost utility —
+//! tighter whiskers mean better fairness. The paper's findings:
+//! FairShare is counterintuitively unfair, Oneshot lets one job starve
+//! the rest, Mark is unfair when slightly oversubscribed, and the
+//! Faro-*Fair* variants have the tightest boxes.
+//!
+//! Usage: `cargo run --release -p faro-bench --bin fig12_fairness`
+
+use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec};
+use faro_bench::policies::PolicyKind;
+use faro_bench::workloads::WorkloadSet;
+
+fn five_number(mut v: Vec<f64>) -> (f64, f64, f64, f64, f64) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = |f: f64| v[((v.len() - 1) as f64 * f).round() as usize];
+    (q(0.0), q(0.25), q(0.5), q(0.75), q(1.0))
+}
+
+fn main() {
+    let quick = quick_mode();
+    let set = if quick {
+        WorkloadSet::paper_ten_jobs(42).truncated_eval(120)
+    } else {
+        WorkloadSet::paper_ten_jobs(42)
+    };
+    eprintln!("training predictors...");
+    let trained = set.train_predictors(7);
+    let spec = ExperimentSpec::new(PolicyKind::standard_nine(set.len()), vec![36, 32, 16])
+        .with_trials(if quick { 1 } else { 3 });
+    let results = run_matrix(&spec, &set, Some(&trained));
+
+    for &size in &[36u32, 32, 16] {
+        println!("=== cluster size {size}: per-job lost utility ===");
+        println!(
+            "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "policy", "min", "p25", "median", "p75", "max", "spread"
+        );
+        for r in results.iter().filter(|r| r.cluster_size == size) {
+            // Per-job lost utility averaged across trials.
+            let n_jobs = r.reports[0].jobs.len();
+            let per_job: Vec<f64> = (0..n_jobs)
+                .map(|j| {
+                    r.reports
+                        .iter()
+                        .map(|rep| rep.jobs[j].lost_utility())
+                        .sum::<f64>()
+                        / r.reports.len() as f64
+                })
+                .collect();
+            let (min, p25, med, p75, max) = five_number(per_job);
+            println!(
+                "{:<24} {min:>8.3} {p25:>8.3} {med:>8.3} {p75:>8.3} {max:>8.3} {:>8.3}",
+                r.policy,
+                max - min
+            );
+        }
+        println!();
+    }
+    println!("tighter spread = fairer (paper Fig. 12)");
+}

@@ -1,0 +1,53 @@
+//! Figure 13: lost cluster utility and lost *effective* cluster
+//! utility (drop-penalized) for all five Faro variants and the four
+//! baselines, at cluster sizes 36 / 32 / 16.
+//!
+//! Paper findings: every Faro variant beats every baseline at RS and
+//! SO sizes; the variants' utilities are close to each other; the
+//! Penalty variants do not improve a right-sized cluster.
+//!
+//! Usage: `cargo run --release -p faro-bench --bin fig13_variants`
+
+use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec};
+use faro_bench::policies::PolicyKind;
+use faro_bench::workloads::WorkloadSet;
+
+fn main() {
+    let quick = quick_mode();
+    let set = if quick {
+        WorkloadSet::paper_ten_jobs(42).truncated_eval(120)
+    } else {
+        WorkloadSet::paper_ten_jobs(42)
+    };
+    eprintln!("training predictors...");
+    let trained = set.train_predictors(7);
+    let spec = ExperimentSpec::new(PolicyKind::standard_nine(set.len()), vec![36, 32, 16])
+        .with_trials(if quick { 1 } else { 3 });
+    let results = run_matrix(&spec, &set, Some(&trained));
+
+    let max_u = set.len() as f64;
+    for &size in &[36u32, 32, 16] {
+        println!("=== cluster size {size} ===");
+        println!(
+            "{:<24} {:>12} {:>8} {:>16}",
+            "policy", "lost_utility", "(sd)", "lost_eff_utility"
+        );
+        let mut rows: Vec<_> = results.iter().filter(|r| r.cluster_size == size).collect();
+        rows.sort_by(|a, b| {
+            a.lost_utility_mean
+                .partial_cmp(&b.lost_utility_mean)
+                .expect("finite")
+        });
+        for r in rows {
+            println!(
+                "{:<24} {:>12.3} {:>8.3} {:>16.3}",
+                r.policy,
+                r.lost_utility_mean,
+                r.lost_utility_sd,
+                (max_u - r.effective_utility_mean).max(0.0)
+            );
+        }
+        println!();
+    }
+    println!("expect: all Faro variants above all baselines at 36/32 (paper Fig. 13)");
+}

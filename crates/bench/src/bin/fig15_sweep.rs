@@ -1,0 +1,58 @@
+//! Figure 15: matched simulation swept from oversubscribed (16
+//! replicas) to undersubscribed (44 replicas) clusters, all nine
+//! policies, reporting average cluster utility (max 10).
+//!
+//! Paper: at >= 36 replicas Faro variants and Mark approach the max
+//! utility while FairShare/Oneshot/AIAD do not; under constraint
+//! (<= 32) Faro leads, and in small clusters Faro-Sum/PenaltySum beat
+//! the Faro-*Fair* variants because equitable splitting lowers total
+//! utility.
+//!
+//! Usage: `cargo run --release -p faro-bench --bin fig15_sweep`
+
+use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec};
+use faro_bench::policies::PolicyKind;
+use faro_bench::workloads::WorkloadSet;
+
+fn main() {
+    let quick = quick_mode();
+    let set = if quick {
+        WorkloadSet::paper_ten_jobs(42).truncated_eval(90)
+    } else {
+        WorkloadSet::paper_ten_jobs(42)
+    };
+    eprintln!("training predictors...");
+    let trained = set.train_predictors(7);
+    let sizes: Vec<u32> = if quick {
+        vec![16, 24, 32, 36, 44]
+    } else {
+        vec![16, 20, 24, 28, 32, 36, 40, 44]
+    };
+    let spec = ExperimentSpec::new(PolicyKind::standard_nine(set.len()), sizes.clone())
+        .with_trials(if quick { 1 } else { 2 });
+    let results = run_matrix(&spec, &set, Some(&trained));
+
+    let max_u = set.len() as f64;
+    // Matrix: policy rows, size columns.
+    let policies: Vec<String> = PolicyKind::standard_nine(set.len())
+        .iter()
+        .map(PolicyKind::name)
+        .collect();
+    print!("{:<24}", "cluster utility");
+    for s in &sizes {
+        print!(" {s:>7}");
+    }
+    println!();
+    for p in &policies {
+        print!("{p:<24}");
+        for &s in &sizes {
+            let cell = results
+                .iter()
+                .find(|r| &r.policy == p && r.cluster_size == s)
+                .expect("cell exists");
+            print!(" {:>7.2}", max_u - cell.lost_utility_mean);
+        }
+        println!();
+    }
+    println!("\nexpect: Faro near 10 from 36 up; dominance under constraint (paper Fig. 15)");
+}

@@ -1,0 +1,92 @@
+//! Table 7: matched simulator vs cluster deployment.
+//!
+//! The physical cluster is not available in this reproduction, so the
+//! "cluster" rows are produced by a *perturbed* simulator configuration
+//! (different seeds, higher service-time jitter, longer and noisier
+//! cold starts) against the clean "simulation" configuration — the
+//! comparison structure of the paper's Table 7: do the two imperfectly
+//! matched environments agree on policy utilities (~10%) and rankings
+//! (Kendall-Tau near 0)?
+//!
+//! Usage: `cargo run --release -p faro-bench --bin table7_matched`
+
+use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec, PolicyResult};
+use faro_bench::policies::PolicyKind;
+use faro_bench::workloads::WorkloadSet;
+use faro_metrics::kendall_tau_distance;
+use faro_sim::SimConfig;
+
+fn ranked(results: &[PolicyResult], size: u32) -> Vec<(String, f64, f64)> {
+    let mut rows: Vec<(String, f64, f64)> = results
+        .iter()
+        .filter(|r| r.cluster_size == size)
+        .map(|r| (r.policy.clone(), r.lost_utility_mean, r.lost_utility_sd))
+        .collect();
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    rows
+}
+
+fn main() {
+    let quick = quick_mode();
+    let set = if quick {
+        WorkloadSet::paper_ten_jobs(42).truncated_eval(120)
+    } else {
+        WorkloadSet::paper_ten_jobs(42)
+    };
+    eprintln!("training predictors...");
+    let trained = set.train_predictors(7);
+    let sizes = vec![36u32, 32, 16];
+    let trials = if quick { 1 } else { 3 };
+
+    // Clean "simulation" environment.
+    let sim_spec = ExperimentSpec::new(PolicyKind::standard_nine(set.len()), sizes.clone())
+        .with_trials(trials);
+    let sim_results = run_matrix(&sim_spec, &set, Some(&trained));
+
+    // Perturbed "cluster" environment.
+    let mut cluster_spec = ExperimentSpec::new(PolicyKind::standard_nine(set.len()), sizes.clone())
+        .with_trials(trials);
+    cluster_spec.sim = SimConfig {
+        service_cv: 0.15,
+        cold_start_secs: 70.0,
+        seed: 0xc1u64, // Overridden per cell, but offsets the stream.
+        ..SimConfig::default()
+    };
+    cluster_spec.trials = (100..100 + trials as u64).collect();
+    let cluster_results = run_matrix(&cluster_spec, &set, Some(&trained));
+
+    for (&size, label) in sizes.iter().zip(["RS", "SO", "HO"]) {
+        println!("=== {label} (cluster size {size}) ===");
+        let cl = ranked(&cluster_results, size);
+        let si = ranked(&sim_results, size);
+        println!("{:<12} rank 1 -> 9: policy (lost utility, sd)", "env");
+        for (label, rows) in [("cluster*", &cl), ("simulation", &si)] {
+            let line: Vec<String> = rows
+                .iter()
+                .map(|(p, m, sd)| format!("{p} ({m:.2},{sd:.2})"))
+                .collect();
+            println!("{label:<12} {}", line.join(" | "));
+        }
+        let cl_names: Vec<&String> = cl.iter().map(|r| &r.0).collect();
+        let si_names: Vec<&String> = si.iter().map(|r| &r.0).collect();
+        let tau = kendall_tau_distance(&cl_names, &si_names).expect("same policy set");
+        // Mean absolute utility difference between environments.
+        let diff: f64 = cl
+            .iter()
+            .map(|(p, m, _)| {
+                let other = si
+                    .iter()
+                    .find(|(q, _, _)| q == p)
+                    .expect("policy present")
+                    .1;
+                (m - other).abs() / m.abs().max(other.abs()).max(1e-9)
+            })
+            .sum::<f64>()
+            / cl.len() as f64;
+        println!(
+            "Kendall-Tau distance: {tau:.3}   mean relative utility difference: {:.1}%\n",
+            100.0 * diff
+        );
+    }
+    println!("paper: Kendall-Tau 0 at SO and HO, 0.083 at RS; 9.6% average utility difference");
+}

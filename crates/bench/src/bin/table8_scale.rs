@@ -1,0 +1,61 @@
+//! Table 8: large-scale workloads.
+//!
+//! The paper runs 20 jobs on a 70-replica cluster and a 100-job /
+//! 320-replica simulation (duplicated workloads), showing Faro-FairSum
+//! still lowers SLO violation rates 3x-18.5x and lost cluster utility
+//! 2.07x-13.76x versus FairShare / Oneshot / AIAD / Mark. The
+//! hierarchical (grouped) solve kicks in above 50 jobs.
+//!
+//! Usage: `cargo run --release -p faro-bench --bin table8_scale`
+//! (FARO_QUICK=1 shortens traces and skips the 100-job row).
+
+use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec};
+use faro_bench::policies::PolicyKind;
+use faro_bench::workloads::WorkloadSet;
+use faro_core::ClusterObjective;
+
+fn run_scale(n_jobs: usize, replicas: u32, minutes: usize, trials: usize, label: &str) {
+    let set = WorkloadSet::n_jobs(n_jobs, 42, 1600.0).truncated_eval(minutes);
+    eprintln!("[{label}] training predictors for {n_jobs} jobs...");
+    let trained = set.train_predictors(7);
+    let gamma = ClusterObjective::recommended_gamma(n_jobs);
+    let spec = ExperimentSpec::new(
+        vec![
+            PolicyKind::FairShare,
+            PolicyKind::Oneshot,
+            PolicyKind::Aiad,
+            PolicyKind::Mark,
+            PolicyKind::faro(ClusterObjective::FairSum { gamma }),
+        ],
+        vec![replicas],
+    )
+    .with_trials(trials);
+    let results = run_matrix(&spec, &set, Some(&trained));
+    println!("=== {label}: {n_jobs} jobs, {replicas} replicas ===");
+    println!(
+        "{:<24} {:>12} {:>8} {:>10} {:>8}",
+        "policy", "lost_util", "(sd)", "slo_viol", "(sd)"
+    );
+    for r in &results {
+        println!(
+            "{:<24} {:>12.2} {:>8.2} {:>10.3} {:>8.3}",
+            r.policy, r.lost_utility_mean, r.lost_utility_sd, r.violation_mean, r.violation_sd
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let quick = quick_mode();
+    let minutes = if quick { 60 } else { 240 };
+    let trials = if quick { 1 } else { 3 };
+    run_scale(20, 70, minutes, trials, "cluster-scale");
+    if quick {
+        eprintln!("FARO_QUICK=1: skipping the 100-job simulation row");
+    } else {
+        run_scale(100, 320, 120, 1, "simulation-scale");
+    }
+    println!(
+        "paper Table 8: Faro-FairSum lost utility 0.63 (20 jobs) / 7.83 (100 jobs), always best"
+    );
+}

@@ -1,0 +1,231 @@
+//! The trial runner: policy x cluster size x seed, in parallel.
+
+use crate::policies::PolicyKind;
+use crate::workloads::WorkloadSet;
+use faro_forecast::nhits::NHits;
+use faro_sim::{ClusterReport, SimConfig, Simulation};
+use serde::Serialize;
+
+/// One experiment's grid.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Policies under test.
+    pub policies: Vec<PolicyKind>,
+    /// Cluster sizes (total replicas) to sweep.
+    pub cluster_sizes: Vec<u32>,
+    /// Trial seeds (the paper averages 5 trials).
+    pub trials: Vec<u64>,
+    /// Base simulator configuration (size and seed are overridden per
+    /// cell).
+    pub sim: SimConfig,
+}
+
+impl ExperimentSpec {
+    /// The paper's default: 5 trials.
+    pub fn new(policies: Vec<PolicyKind>, cluster_sizes: Vec<u32>) -> Self {
+        Self {
+            policies,
+            cluster_sizes,
+            trials: (0..5).collect(),
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Reduces trials (quick runs honouring `FARO_QUICK=1`).
+    pub fn with_trials(mut self, n: usize) -> Self {
+        self.trials = (0..n as u64).collect();
+        self
+    }
+}
+
+/// Aggregated outcome for one (policy, cluster size) cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyResult {
+    /// Policy display name.
+    pub policy: String,
+    /// Cluster size (total replicas).
+    pub cluster_size: u32,
+    /// Mean lost cluster utility across trials.
+    pub lost_utility_mean: f64,
+    /// Standard deviation of lost cluster utility.
+    pub lost_utility_sd: f64,
+    /// Mean cluster SLO violation rate across trials.
+    pub violation_mean: f64,
+    /// Standard deviation of the violation rate.
+    pub violation_sd: f64,
+    /// Mean effective cluster utility (drop-penalized).
+    pub effective_utility_mean: f64,
+    /// Per-trial full reports (for plots and per-job fairness).
+    #[serde(skip)]
+    pub reports: Vec<ClusterReport>,
+}
+
+fn mean_sd(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Runs one cell: a policy at a cluster size across all trials.
+fn run_cell(
+    kind: &PolicyKind,
+    size: u32,
+    spec: &ExperimentSpec,
+    set: &WorkloadSet,
+    trained: Option<&[NHits]>,
+) -> PolicyResult {
+    let mut reports = Vec::with_capacity(spec.trials.len());
+    for &trial in &spec.trials {
+        let mut sim_cfg = spec.sim.clone();
+        sim_cfg.total_replicas = size;
+        sim_cfg.seed = trial
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(u64::from(size));
+        let policy = kind.build(set, trained, sim_cfg.seed);
+        let sim = Simulation::new(sim_cfg, set.setups(1)).expect("valid experiment setup");
+        let report = sim.run(policy).expect("simulation runs to completion");
+        reports.push(report);
+    }
+    let lost: Vec<f64> = reports.iter().map(|r| r.avg_lost_cluster_utility).collect();
+    let viol: Vec<f64> = reports.iter().map(|r| r.cluster_violation_rate).collect();
+    let eff: Vec<f64> = reports
+        .iter()
+        .map(|r| r.avg_effective_cluster_utility)
+        .collect();
+    let (lost_utility_mean, lost_utility_sd) = mean_sd(&lost);
+    let (violation_mean, violation_sd) = mean_sd(&viol);
+    let (effective_utility_mean, _) = mean_sd(&eff);
+    PolicyResult {
+        policy: kind.name(),
+        cluster_size: size,
+        lost_utility_mean,
+        lost_utility_sd,
+        violation_mean,
+        violation_sd,
+        effective_utility_mean,
+        reports,
+    }
+}
+
+/// Runs the full grid, parallelized across (policy, size) cells with
+/// scoped threads.
+pub fn run_matrix(
+    spec: &ExperimentSpec,
+    set: &WorkloadSet,
+    trained: Option<&[NHits]>,
+) -> Vec<PolicyResult> {
+    let cells: Vec<(usize, &PolicyKind, u32)> = spec
+        .policies
+        .iter()
+        .flat_map(|p| spec.cluster_sizes.iter().map(move |&s| (p, s)))
+        .enumerate()
+        .map(|(i, (p, s))| (i, p, s))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(cells.len().max(1));
+    let mut results: Vec<Option<PolicyResult>> = (0..cells.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let (idx, kind, size) = cells[i];
+                let result = run_cell(kind, size, spec, set, trained);
+                results_mutex.lock()[idx] = Some(result);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every cell filled"))
+        .collect()
+}
+
+/// Formats results as an aligned text table, one row per (policy, size).
+pub fn summarize(results: &[PolicyResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>6} {:>12} {:>8} {:>12} {:>8} {:>10}\n",
+        "policy", "size", "lost_util", "(sd)", "slo_viol", "(sd)", "eff_util"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<28} {:>6} {:>12.3} {:>8.3} {:>12.4} {:>8.4} {:>10.3}\n",
+            r.policy,
+            r.cluster_size,
+            r.lost_utility_mean,
+            r.lost_utility_sd,
+            r.violation_mean,
+            r.violation_sd,
+            r.effective_utility_mean,
+        ));
+    }
+    out
+}
+
+/// Whether quick mode is requested via `FARO_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::var("FARO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faro_core::ClusterObjective;
+
+    #[test]
+    fn mean_sd_math() {
+        let (m, s) = mean_sd(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(mean_sd(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn tiny_matrix_runs() {
+        // 2 jobs, 20 minutes, 2 policies, 1 size, 2 trials: seconds.
+        let set = WorkloadSet::n_jobs(2, 9, 400.0).truncated_eval(20);
+        let spec = ExperimentSpec::new(
+            vec![
+                PolicyKind::FairShare,
+                PolicyKind::faro(ClusterObjective::Sum),
+            ],
+            vec![8],
+        )
+        .with_trials(2);
+        let results = run_matrix(&spec, &set, None);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.reports.len(), 2);
+            assert!(r.lost_utility_mean >= 0.0);
+            assert!((0.0..=1.0).contains(&r.violation_mean));
+        }
+        let table = summarize(&results);
+        assert!(table.contains("FairShare"));
+        assert!(table.contains("Faro-Sum"));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let set = WorkloadSet::n_jobs(2, 3, 300.0).truncated_eval(12);
+        let spec = ExperimentSpec::new(vec![PolicyKind::Aiad], vec![6]).with_trials(2);
+        let a = run_matrix(&spec, &set, None);
+        let b = run_matrix(&spec, &set, None);
+        assert_eq!(a[0].lost_utility_mean, b[0].lost_utility_mean);
+        assert_eq!(a[0].violation_mean, b[0].violation_mean);
+    }
+}

@@ -1,0 +1,25 @@
+//! Experiment harness reproducing the Faro paper's evaluation.
+//!
+//! Binaries under `src/bin/` regenerate every table and figure of the
+//! paper (see `DESIGN.md` for the index); this library holds the shared
+//! machinery:
+//!
+//! - [`workloads`]: the paper's 10-job workload set (9 Azure-like + 1
+//!   Twitter-like traces, days 1-10 train / day 11 eval, 4-minute
+//!   compression), plus mixed and large-scale variants.
+//! - [`policies`]: constructors for every policy under test, including
+//!   Faro variants with trained N-HiTS predictors and ablations.
+//! - [`harness`]: the trial runner (policy x cluster size x seed ->
+//!   [`faro_sim::ClusterReport`]) with thread-parallel execution and
+//!   table formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod policies;
+pub mod workloads;
+
+pub use harness::{run_matrix, summarize, ExperimentSpec, PolicyResult};
+pub use policies::PolicyKind;
+pub use workloads::WorkloadSet;

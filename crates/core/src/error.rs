@@ -1,0 +1,77 @@
+//! Error type for the Faro autoscaler core.
+
+use core::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors surfaced by the autoscaler and its building blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// A snapshot was structurally invalid (e.g. no jobs, zero quota).
+    InvalidSnapshot(String),
+    /// An underlying queueing estimate failed.
+    Queueing(faro_queueing::Error),
+    /// An underlying solver failed.
+    Solver(faro_solver::Error),
+    /// An underlying forecaster failed.
+    Forecast(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::InvalidSnapshot(m) => write!(f, "invalid snapshot: {m}"),
+            Error::Queueing(e) => write!(f, "queueing estimation failed: {e}"),
+            Error::Solver(e) => write!(f, "optimization failed: {e}"),
+            Error::Forecast(m) => write!(f, "forecasting failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Queueing(e) => Some(e),
+            Error::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<faro_queueing::Error> for Error {
+    fn from(e: faro_queueing::Error) -> Self {
+        Error::Queueing(e)
+    }
+}
+
+impl From<faro_solver::Error> for Error {
+    fn from(e: faro_solver::Error) -> Self {
+        Error::Solver(e)
+    }
+}
+
+impl From<faro_forecast::Error> for Error {
+    fn from(e: faro_forecast::Error) -> Self {
+        Error::Forecast(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = faro_queueing::Error::ZeroReplicas.into();
+        assert!(e.to_string().contains("queueing"));
+        let e: Error = faro_solver::Error::EmptyProblem.into();
+        assert!(e.to_string().contains("optimization"));
+        let e: Error = faro_forecast::Error::NotFitted.into();
+        assert!(e.to_string().contains("forecasting"));
+        assert!(Error::InvalidConfig("x".into()).to_string().contains('x'));
+    }
+}

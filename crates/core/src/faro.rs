@@ -1,0 +1,432 @@
+//! The Faro multi-tenant autoscaler (paper Sec. 4).
+//!
+//! Every invocation runs up to three stages:
+//!
+//! 1. **Per-job formulation** (Sec. 4.1): fetch each job's measured
+//!    processing time and arrival history, predict the next window's
+//!    arrival-rate distribution, and sample trajectories (cold-start
+//!    minutes at the head of the window are skipped, since new replicas
+//!    only become useful after startup).
+//! 2. **Multi-tenant autoscaling** (Sec. 4.2): maximize the configured
+//!    cluster objective under the resource constraints with COBYLA, then
+//!    integerize. Beyond [`FaroConfig::hierarchical_threshold`] jobs the
+//!    grouped solve of Sec. 3.4 is used.
+//! 3. **Shrinking** (Sec. 4.3): reclaim replicas from jobs at predicted
+//!    utility 1 while the cluster objective is unchanged.
+//!
+//! The long-term predictive solve runs every
+//! [`FaroConfig::long_term_interval`] (5 min); between solves, a
+//! short-term reactive loop (Sec. 4.4) adds one replica to any job whose
+//! SLO has been violated for [`FaroConfig::reactive_threshold`] seconds,
+//! and never scales down.
+
+use crate::error::Result;
+use crate::hierarchical::solve_hierarchical;
+use crate::objective::ClusterObjective;
+use crate::opt::{Fidelity, JobWorkload, LatencyModel, MultiTenantProblem};
+use crate::policy::{enforce_quota, Policy};
+use crate::predictor::RatePredictor;
+use crate::types::{ClusterSnapshot, JobDecision};
+use crate::utility::RelaxedUtility;
+use faro_queueing::RelaxedLatency;
+use faro_solver::Cobyla;
+use rand::prelude::*;
+
+/// Faro configuration; defaults follow the paper (Sec. 4.4 and 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaroConfig {
+    /// Cluster objective to maximize.
+    pub objective: ClusterObjective,
+    /// Precise (ablation: "no relaxation") or relaxed optimization.
+    pub fidelity: Fidelity,
+    /// M/D/c (default) or upper-bound latency estimation (ablation).
+    pub latency_model: LatencyModel,
+    /// Long-term predictive interval in seconds (paper: 5 min).
+    pub long_term_interval: f64,
+    /// Sustained-violation threshold before a reactive upscale (paper:
+    /// 30 s, the same trigger as the baselines).
+    pub reactive_threshold: f64,
+    /// Prediction window in minutes (paper: 7, overlapping the next
+    /// cycle and covering cold start).
+    pub prediction_window_minutes: usize,
+    /// Cold-start time in minutes skipped at the head of the window.
+    pub cold_start_minutes: usize,
+    /// Probabilistic trajectories sampled per job (1 = use the mean).
+    pub samples: usize,
+    /// Stage-3 shrinking on/off (ablation).
+    pub use_shrinking: bool,
+    /// Short-term reactive autoscaler on/off (ablation).
+    pub use_hybrid: bool,
+    /// Job count beyond which the hierarchical solve kicks in.
+    pub hierarchical_threshold: usize,
+    /// Group count for the hierarchical solve (paper default: 10).
+    pub groups: usize,
+    /// Relaxed-utility sharpness `alpha`.
+    pub alpha: f64,
+    /// Relaxed-latency knee `rho_max` (paper: 0.95).
+    pub rho_max: f64,
+    /// RNG seed (trajectory sampling, grouping).
+    pub seed: u64,
+}
+
+impl FaroConfig {
+    /// Paper defaults with the given objective.
+    pub fn new(objective: ClusterObjective) -> Self {
+        Self {
+            objective,
+            fidelity: Fidelity::Relaxed,
+            latency_model: LatencyModel::MDc,
+            long_term_interval: 300.0,
+            reactive_threshold: 30.0,
+            prediction_window_minutes: 7,
+            cold_start_minutes: 1,
+            samples: 20,
+            use_shrinking: true,
+            use_hybrid: true,
+            hierarchical_threshold: 50,
+            groups: 10,
+            alpha: 4.0,
+            rho_max: 0.95,
+            seed: 0,
+        }
+    }
+}
+
+/// The Faro autoscaler: one [`RatePredictor`] per job plus the staged
+/// optimization.
+pub struct FaroAutoscaler {
+    config: FaroConfig,
+    predictors: Vec<Box<dyn RatePredictor>>,
+    solver: Cobyla,
+    /// Time of the last long-term solve.
+    last_long_term: Option<f64>,
+    /// Per-job sustained SLO-violation seconds (reactive trigger).
+    violation_secs: Vec<f64>,
+    /// Time of the previous tick (for violation accounting).
+    last_tick: Option<f64>,
+    /// Current decisions, carried between ticks.
+    current: Vec<JobDecision>,
+    rng: StdRng,
+    name: String,
+}
+
+impl FaroAutoscaler {
+    /// Creates the autoscaler with one predictor per job (in job order).
+    pub fn new(config: FaroConfig, predictors: Vec<Box<dyn RatePredictor>>) -> Self {
+        let name = config.objective.name().to_string();
+        Self {
+            rng: StdRng::seed_from_u64(config.seed ^ 0xfa60_5eed),
+            solver: Cobyla::fast(),
+            config,
+            predictors,
+            last_long_term: None,
+            violation_secs: Vec::new(),
+            last_tick: None,
+            current: Vec::new(),
+            name,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaroConfig {
+        &self.config
+    }
+
+    /// Stage 1: assembles per-job workloads from predictions.
+    fn formulate(&mut self, snapshot: &ClusterSnapshot) -> Vec<JobWorkload> {
+        let w = self.config.prediction_window_minutes;
+        let skip = self.config.cold_start_minutes.min(w.saturating_sub(1));
+        snapshot
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, obs)| {
+                let forecast = match self.predictors.get_mut(i) {
+                    Some(p) => p.predict(&obs.arrival_rate_history, w),
+                    None => faro_forecast::GaussianForecast::new(
+                        vec![obs.recent_arrival_rate * 60.0; w],
+                        vec![1e-9; w],
+                    ),
+                };
+                let n_samples = self.config.samples.max(1);
+                let mut trajectories = Vec::with_capacity(n_samples);
+                if n_samples == 1 {
+                    trajectories.push(per_second(&forecast.mu[skip..]));
+                } else {
+                    for _ in 0..n_samples {
+                        let s = forecast.sample(&mut self.rng);
+                        trajectories.push(per_second(&s[skip..]));
+                    }
+                }
+                JobWorkload {
+                    lambda_trajectories: trajectories,
+                    processing_time: obs.mean_processing_time.max(1e-6),
+                    slo: obs.spec.slo,
+                    priority: obs.spec.priority,
+                }
+            })
+            .collect()
+    }
+
+    /// Stages 2 and 3: solve, integerize, shrink.
+    fn long_term(&mut self, snapshot: &ClusterSnapshot) -> Result<Vec<JobDecision>> {
+        let jobs = self.formulate(snapshot);
+        let current: Vec<u32> = snapshot.jobs.iter().map(|j| j.target_replicas).collect();
+        let (mut replicas, drop_rates) = if jobs.len() > self.config.hierarchical_threshold {
+            let out = solve_hierarchical(
+                &jobs,
+                snapshot.resources,
+                self.config.objective,
+                self.config.fidelity,
+                &self.solver,
+                &current,
+                self.config.groups,
+                self.config.seed,
+            )?;
+            (out.replicas, out.drop_rates)
+        } else {
+            let problem = MultiTenantProblem::new(
+                jobs,
+                snapshot.resources,
+                self.config.objective,
+                self.config.fidelity,
+            )?
+            .with_latency_model(self.config.latency_model)
+            .with_utility(RelaxedUtility::new(self.config.alpha))
+            .with_relaxed_latency(
+                RelaxedLatency::new(self.config.rho_max).map_err(crate::error::Error::from)?,
+            );
+            let alloc = problem.solve(&self.solver, &current)?;
+            let mut xs = problem.integerize(&alloc);
+            if self.config.use_shrinking {
+                problem.shrink(&mut xs, &alloc.drop_rates);
+            }
+            (xs, alloc.drop_rates)
+        };
+
+        // Defensive floor (solvers already respect bounds).
+        for x in replicas.iter_mut() {
+            *x = (*x).max(1);
+        }
+        Ok(replicas
+            .into_iter()
+            .zip(drop_rates)
+            .map(|(r, d)| JobDecision {
+                target_replicas: r,
+                drop_rate: d,
+            })
+            .collect())
+    }
+
+    /// Short-term reactive pass: additive upscale on sustained
+    /// violation; never downscales (Sec. 4.4).
+    fn reactive(&mut self, snapshot: &ClusterSnapshot, dt: f64) {
+        let quota = snapshot.replica_quota();
+        for (i, obs) in snapshot.jobs.iter().enumerate() {
+            let violated = obs.recent_tail_latency > obs.spec.slo.latency;
+            if violated {
+                self.violation_secs[i] += dt;
+            } else {
+                self.violation_secs[i] = 0.0;
+            }
+            if self.violation_secs[i] >= self.config.reactive_threshold {
+                let total: u32 = self.current.iter().map(|d| d.target_replicas).sum();
+                if total < quota {
+                    self.current[i].target_replicas += 1;
+                    self.violation_secs[i] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+fn per_second(per_minute: &[f64]) -> Vec<f64> {
+    per_minute.iter().map(|&r| (r / 60.0).max(0.0)).collect()
+}
+
+impl Policy for FaroAutoscaler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, snapshot: &ClusterSnapshot) -> Vec<JobDecision> {
+        let n = snapshot.jobs.len();
+        if self.current.len() != n {
+            self.current = snapshot.jobs.iter().map(JobDecision::keep).collect();
+            self.violation_secs = vec![0.0; n];
+        }
+        let dt = self.last_tick.map_or(0.0, |t| (snapshot.now - t).max(0.0));
+        self.last_tick = Some(snapshot.now);
+
+        let due = self
+            .last_long_term
+            .is_none_or(|t| snapshot.now - t >= self.config.long_term_interval);
+        if due {
+            self.last_long_term = Some(snapshot.now);
+            match self.long_term(snapshot) {
+                Ok(decisions) => {
+                    self.current = decisions;
+                    self.violation_secs.iter_mut().for_each(|v| *v = 0.0);
+                }
+                Err(_) => {
+                    // Keep the previous allocation on solver failure —
+                    // an autoscaler must not crash the control loop.
+                }
+            }
+        } else if self.config.use_hybrid {
+            self.reactive(snapshot, dt);
+        }
+
+        let mut out = self.current.clone();
+        enforce_quota(&mut out, snapshot.replica_quota());
+        self.current = out.clone();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::FlatPredictor;
+    use crate::types::{JobObservation, JobSpec, ResourceModel};
+
+    fn obs(rate_per_min: f64, target: u32, tail: f64) -> JobObservation {
+        JobObservation {
+            spec: JobSpec::resnet34("job"),
+            target_replicas: target,
+            ready_replicas: target,
+            queue_len: 0,
+            arrival_rate_history: vec![rate_per_min; 15],
+            recent_arrival_rate: rate_per_min / 60.0,
+            mean_processing_time: 0.180,
+            recent_tail_latency: tail,
+            drop_rate: 0.0,
+        }
+    }
+
+    fn snapshot(now: f64, quota: u32, jobs: Vec<JobObservation>) -> ClusterSnapshot {
+        ClusterSnapshot {
+            now,
+            resources: ResourceModel::replicas(quota),
+            jobs,
+        }
+    }
+
+    fn faro(objective: ClusterObjective, n_jobs: usize) -> FaroAutoscaler {
+        let predictors: Vec<Box<dyn RatePredictor>> = (0..n_jobs)
+            .map(|_| {
+                Box::new(FlatPredictor {
+                    lookback: 3,
+                    sigma_fraction: 0.1,
+                }) as Box<dyn RatePredictor>
+            })
+            .collect();
+        let mut cfg = FaroConfig::new(objective);
+        cfg.samples = 8;
+        FaroAutoscaler::new(cfg, predictors)
+    }
+
+    #[test]
+    fn allocates_more_to_heavier_job() {
+        let mut f = faro(ClusterObjective::Sum, 2);
+        let snap = snapshot(0.0, 32, vec![obs(2400.0, 1, 0.1), obs(300.0, 1, 0.1)]);
+        let ds = f.decide(&snap);
+        assert_eq!(ds.len(), 2);
+        assert!(ds[0].target_replicas > ds[1].target_replicas, "{ds:?}");
+        assert!(ds.iter().map(|d| d.target_replicas).sum::<u32>() <= 32);
+        // 2400/min = 40/s at 180 ms needs ~8+ replicas.
+        assert!(ds[0].target_replicas >= 8, "{ds:?}");
+    }
+
+    #[test]
+    fn long_term_cadence_respected() {
+        let mut f = faro(ClusterObjective::Sum, 1);
+        let d0 = f.decide(&snapshot(0.0, 16, vec![obs(1200.0, 1, 0.1)]));
+        // 10 s later with a huge rate change: long-term must NOT rerun.
+        let d1 = f.decide(&snapshot(
+            10.0,
+            16,
+            vec![obs(6000.0, d0[0].target_replicas, 0.1)],
+        ));
+        assert_eq!(d0[0].target_replicas, d1[0].target_replicas);
+        // 300 s later it must rerun and scale up.
+        let d2 = f.decide(&snapshot(
+            300.0,
+            16,
+            vec![obs(6000.0, d1[0].target_replicas, 0.1)],
+        ));
+        assert!(d2[0].target_replicas > d1[0].target_replicas, "{d2:?}");
+    }
+
+    #[test]
+    fn reactive_upscales_after_sustained_violation() {
+        let mut f = faro(ClusterObjective::Sum, 1);
+        let d0 = f.decide(&snapshot(0.0, 16, vec![obs(600.0, 1, 0.1)]));
+        let base = d0[0].target_replicas;
+        // Three 10 s ticks of violation -> 30 s sustained -> +1.
+        let mut last = base;
+        for (i, t) in [10.0, 20.0, 30.0].iter().enumerate() {
+            let d = f.decide(&snapshot(*t, 16, vec![obs(600.0, last, 5.0)]));
+            last = d[0].target_replicas;
+            if i < 2 {
+                assert_eq!(last, base, "no upscale before the threshold");
+            }
+        }
+        assert_eq!(last, base + 1, "one additive upscale after 30 s");
+    }
+
+    #[test]
+    fn reactive_never_downscales() {
+        let mut f = faro(ClusterObjective::Sum, 1);
+        let d0 = f.decide(&snapshot(0.0, 16, vec![obs(1200.0, 1, 0.1)]));
+        let base = d0[0].target_replicas;
+        // Healthy latency for many short ticks: replicas must not drop.
+        for t in [10.0, 20.0, 30.0, 40.0] {
+            let d = f.decide(&snapshot(t, 16, vec![obs(10.0, base, 0.05)]));
+            assert!(d[0].target_replicas >= base);
+        }
+    }
+
+    #[test]
+    fn hybrid_ablation_disables_reactive() {
+        let predictors: Vec<Box<dyn RatePredictor>> = vec![Box::new(FlatPredictor::default())];
+        let mut cfg = FaroConfig::new(ClusterObjective::Sum);
+        cfg.use_hybrid = false;
+        cfg.samples = 4;
+        let mut f = FaroAutoscaler::new(cfg, predictors);
+        let d0 = f.decide(&snapshot(0.0, 16, vec![obs(600.0, 1, 0.1)]));
+        let base = d0[0].target_replicas;
+        for t in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            let d = f.decide(&snapshot(t, 16, vec![obs(600.0, base, 9.0)]));
+            assert_eq!(d[0].target_replicas, base, "reactive disabled");
+        }
+    }
+
+    #[test]
+    fn quota_respected_with_many_needy_jobs() {
+        let mut f = faro(ClusterObjective::FairSum { gamma: 4.0 }, 4);
+        let jobs = (0..4).map(|_| obs(3000.0, 1, 0.1)).collect();
+        let ds = f.decide(&snapshot(0.0, 12, jobs));
+        assert!(ds.iter().map(|d| d.target_replicas).sum::<u32>() <= 12);
+        assert!(ds.iter().all(|d| d.target_replicas >= 1));
+    }
+
+    #[test]
+    fn hierarchical_path_used_for_many_jobs() {
+        let n = 12;
+        let predictors: Vec<Box<dyn RatePredictor>> = (0..n)
+            .map(|_| Box::new(FlatPredictor::default()) as Box<dyn RatePredictor>)
+            .collect();
+        let mut cfg = FaroConfig::new(ClusterObjective::Sum);
+        cfg.hierarchical_threshold = 8; // Force the grouped path.
+        cfg.groups = 3;
+        cfg.samples = 2;
+        let mut f = FaroAutoscaler::new(cfg, predictors);
+        let jobs = (0..n)
+            .map(|i| obs(600.0 + 100.0 * i as f64, 1, 0.1))
+            .collect();
+        let ds = f.decide(&snapshot(0.0, 60, jobs));
+        assert_eq!(ds.len(), n);
+        assert!(ds.iter().map(|d| d.target_replicas).sum::<u32>() <= 60);
+    }
+}

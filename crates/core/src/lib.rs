@@ -1,0 +1,69 @@
+//! Faro: SLO-aware autoscaling for multi-tenant ML inference clusters.
+//!
+//! This crate implements the primary contribution of *"A House United
+//! Within Itself: SLO-Awareness for On-Premises Containerized ML
+//! Inference Clusters via Faro"* (EuroSys '25):
+//!
+//! - [`utility`]: per-job utility functions distilled from latency SLOs,
+//!   and their plateau-free relaxation (Sec. 3.1).
+//! - [`penalty`]: AWS-SLA-style drop penalties and their piecewise-linear
+//!   relaxation (Sec. 3.2, Table 5).
+//! - [`objective`]: the Faro-Sum / Fair / FairSum / PenaltySum /
+//!   PenaltyFairSum family of cluster objectives (Sec. 3.2).
+//! - [`opt`]: the precise and relaxed multi-tenant optimization with
+//!   integerization and Stage-3 shrinking (Sec. 3.4, 4.2, 4.3).
+//! - [`hierarchical`]: the grouped solve for large job counts (Sec. 3.4).
+//! - [`predictor`]: arrival-rate predictor adapters over
+//!   [`faro_forecast`] (Sec. 3.5).
+//! - [`faro`]: the staged hybrid autoscaler (Sec. 4).
+//! - [`baselines`] and [`cilantro`]: every comparison policy of the
+//!   paper's evaluation (Table 6, Figure 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use faro_core::baselines::FairShare;
+//! use faro_core::policy::Policy;
+//! use faro_core::types::{ClusterSnapshot, JobObservation, JobSpec, ResourceModel};
+//!
+//! let job = JobObservation {
+//!     spec: JobSpec::resnet34("demo"),
+//!     target_replicas: 1,
+//!     ready_replicas: 1,
+//!     queue_len: 0,
+//!     arrival_rate_history: vec![600.0; 15],
+//!     recent_arrival_rate: 10.0,
+//!     mean_processing_time: 0.180,
+//!     recent_tail_latency: 0.2,
+//!     drop_rate: 0.0,
+//! };
+//! let snapshot = ClusterSnapshot {
+//!     now: 0.0,
+//!     resources: ResourceModel::replicas(8),
+//!     jobs: vec![job],
+//! };
+//! let decisions = FairShare.decide(&snapshot);
+//! assert_eq!(decisions[0].target_replicas, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod cilantro;
+pub mod error;
+pub mod faro;
+pub mod hierarchical;
+pub mod objective;
+pub mod opt;
+pub mod penalty;
+pub mod policy;
+pub mod predictor;
+pub mod types;
+pub mod utility;
+
+pub use error::{Error, Result};
+pub use faro::{FaroAutoscaler, FaroConfig};
+pub use objective::ClusterObjective;
+pub use policy::Policy;
+pub use types::{ClusterSnapshot, JobDecision, JobObservation, JobSpec, ResourceModel, Slo};

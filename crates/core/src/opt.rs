@@ -1,0 +1,622 @@
+//! The multi-tenant cluster optimization (paper Sec. 3.4 and 4.2).
+//!
+//! Decision variables are per-job continuous replica counts `x_i >= 1`
+//! (and, for Penalty objectives, drop rates `d_i` in `[0, 1]`). The
+//! objective aggregates per-job expected utilities over the predicted
+//! arrival-rate trajectories; constraints cap total vCPU and memory.
+//!
+//! Two *fidelities* are provided:
+//!
+//! - [`Fidelity::Precise`]: step utility, raw M/D/c latency (infinite
+//!   when unstable), step penalty table — the formulation of Eq. 3.
+//!   Plateau-ridden; local solvers stall on it (Figure 5).
+//! - [`Fidelity::Relaxed`]: inverse-power utility, relaxed latency with
+//!   the `rho_max` knee, piecewise-linear penalty — plateau-free and
+//!   solvable in sub-second time by COBYLA.
+
+use crate::error::{Error, Result};
+use crate::objective::{ClusterObjective, JobUtility};
+use crate::penalty::{phi, PenaltyShape};
+use crate::types::{ResourceModel, Slo};
+use crate::utility::{step_utility, RelaxedUtility};
+use faro_queueing::{mdc, upper_bound, RelaxedLatency};
+use faro_solver::{Problem, Solution, Solver};
+
+/// One job's share of the optimization input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobWorkload {
+    /// Predicted arrival-rate trajectories (requests/second), each
+    /// covering the planning window. One trajectory means point
+    /// prediction; several mean probabilistic samples.
+    pub lambda_trajectories: Vec<Vec<f64>>,
+    /// Mean per-request processing time (seconds).
+    pub processing_time: f64,
+    /// The job's SLO.
+    pub slo: Slo,
+    /// Priority coefficient.
+    pub priority: f64,
+}
+
+impl JobWorkload {
+    /// A workload with a single constant-rate trajectory.
+    pub fn constant(lambda: f64, processing_time: f64, slo: Slo, priority: f64) -> Self {
+        Self {
+            lambda_trajectories: vec![vec![lambda]],
+            processing_time,
+            slo,
+            priority,
+        }
+    }
+}
+
+/// Whether to evaluate the precise (plateau) or relaxed formulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Step utility + raw M/D/c + step penalty (Eq. 3).
+    Precise,
+    /// Sloppified, plateau-free variants (Sec. 3.4).
+    Relaxed,
+}
+
+/// Which latency estimator feeds the utility (ablation knob, Fig. 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// The M/D/c queueing model (Faro's default).
+    MDc,
+    /// The pessimistic upper-bound estimator.
+    UpperBound,
+}
+
+/// The assembled multi-tenant optimization problem.
+#[derive(Debug, Clone)]
+pub struct MultiTenantProblem {
+    jobs: Vec<JobWorkload>,
+    resources: ResourceModel,
+    objective: ClusterObjective,
+    fidelity: Fidelity,
+    latency_model: LatencyModel,
+    relaxed_utility: RelaxedUtility,
+    relaxed_latency: RelaxedLatency,
+}
+
+impl MultiTenantProblem {
+    /// Builds a problem over the given jobs and resources.
+    ///
+    /// # Errors
+    ///
+    /// Fails when there are no jobs, a job has no trajectory, or the
+    /// quota cannot host one replica per job.
+    pub fn new(
+        jobs: Vec<JobWorkload>,
+        resources: ResourceModel,
+        objective: ClusterObjective,
+        fidelity: Fidelity,
+    ) -> Result<Self> {
+        if jobs.is_empty() {
+            return Err(Error::InvalidSnapshot("no jobs to optimize".into()));
+        }
+        for (i, j) in jobs.iter().enumerate() {
+            if j.lambda_trajectories.is_empty() || j.lambda_trajectories.iter().any(Vec::is_empty) {
+                return Err(Error::InvalidSnapshot(format!("job {i} has no trajectory")));
+            }
+            if j.processing_time.is_nan() || j.processing_time <= 0.0 {
+                return Err(Error::InvalidSnapshot(format!(
+                    "job {i} has no processing time"
+                )));
+            }
+        }
+        if (resources.replica_quota() as usize) < jobs.len() {
+            return Err(Error::InvalidSnapshot(format!(
+                "quota {} cannot host one replica for each of {} jobs",
+                resources.replica_quota(),
+                jobs.len()
+            )));
+        }
+        Ok(Self {
+            jobs,
+            resources,
+            objective,
+            fidelity,
+            latency_model: LatencyModel::MDc,
+            relaxed_utility: RelaxedUtility::default(),
+            relaxed_latency: RelaxedLatency::default(),
+        })
+    }
+
+    /// Overrides the latency model (ablation).
+    pub fn with_latency_model(mut self, model: LatencyModel) -> Self {
+        self.latency_model = model;
+        self
+    }
+
+    /// Overrides the relaxed utility sharpness.
+    pub fn with_utility(mut self, u: RelaxedUtility) -> Self {
+        self.relaxed_utility = u;
+        self
+    }
+
+    /// Overrides the relaxed latency knee.
+    pub fn with_relaxed_latency(mut self, l: RelaxedLatency) -> Self {
+        self.relaxed_latency = l;
+        self
+    }
+
+    /// Number of jobs.
+    pub fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The job workloads.
+    pub fn jobs(&self) -> &[JobWorkload] {
+        &self.jobs
+    }
+
+    /// The cluster objective in use.
+    pub fn objective(&self) -> ClusterObjective {
+        self.objective
+    }
+
+    /// The resource model in use.
+    pub fn resources(&self) -> ResourceModel {
+        self.resources
+    }
+
+    /// Estimated latency for job `i` at fractional replicas `x` and
+    /// arrival rate `lambda` (already drop-adjusted).
+    fn latency(&self, job: &JobWorkload, lambda: f64, x: f64) -> f64 {
+        let k = job.slo.percentile;
+        let p = job.processing_time;
+        let lambda = lambda.max(0.0);
+        match (self.fidelity, self.latency_model) {
+            (_, LatencyModel::UpperBound) => {
+                // One second's arrivals treated as a simultaneous burst
+                // (the paper's kappa; Sec. 3.3's example uses kappa =
+                // lambda = 40 with p = 150 ms and 600 ms SLO -> 10
+                // replicas).
+                upper_bound::completion_time(p, lambda, x.max(1.0).round() as u32)
+                    .map(|w| w.max(p))
+                    .unwrap_or(f64::INFINITY)
+            }
+            (Fidelity::Precise, LatencyModel::MDc) => {
+                let n = x.max(1.0).round() as u32;
+                mdc::latency_percentile(k, p, lambda, n).unwrap_or(f64::INFINITY)
+            }
+            (Fidelity::Relaxed, LatencyModel::MDc) => self
+                .relaxed_latency
+                .latency_fractional(k, p, lambda, x.max(1.0))
+                .unwrap_or(f64::INFINITY),
+        }
+    }
+
+    /// Expected utility of job `i` at fractional replicas `x`, averaged
+    /// over trajectories and window steps (Sec. 4.1), before the drop
+    /// multiplier.
+    pub fn expected_utility(&self, i: usize, x: f64, drop_rate: f64) -> f64 {
+        let job = &self.jobs[i];
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for traj in &job.lambda_trajectories {
+            for &lambda in traj {
+                let lambda_eff = lambda * (1.0 - drop_rate.clamp(0.0, 1.0));
+                let l = self.latency(job, lambda_eff, x);
+                let u = match self.fidelity {
+                    Fidelity::Precise => step_utility(l, job.slo.latency),
+                    Fidelity::Relaxed => self.relaxed_utility.value(l, job.slo.latency),
+                };
+                sum += u;
+                count += 1;
+            }
+        }
+        sum / count.max(1) as f64
+    }
+
+    /// Per-job utility record at an allocation.
+    fn job_utility(&self, i: usize, x: f64, d: f64) -> JobUtility {
+        let u = self.expected_utility(i, x, d);
+        let shape = match self.fidelity {
+            Fidelity::Precise => PenaltyShape::Step,
+            Fidelity::Relaxed => PenaltyShape::Relaxed,
+        };
+        JobUtility {
+            utility: u,
+            effective_utility: phi(d, shape) * u,
+            priority: self.jobs[i].priority,
+        }
+    }
+
+    /// Cluster objective value (maximize convention) at a continuous
+    /// allocation. `drops` may be empty when the objective does not use
+    /// drop rates.
+    pub fn cluster_value(&self, xs: &[f64], drops: &[f64]) -> f64 {
+        let utilities: Vec<JobUtility> = (0..self.jobs.len())
+            .map(|i| {
+                let d = drops.get(i).copied().unwrap_or(0.0);
+                self.job_utility(i, xs[i], d)
+            })
+            .collect();
+        self.objective.aggregate(&utilities)
+    }
+
+    /// Cluster objective value at an integer allocation.
+    pub fn cluster_value_integer(&self, xs: &[u32], drops: &[f64]) -> f64 {
+        let xf: Vec<f64> = xs.iter().map(|&x| f64::from(x)).collect();
+        self.cluster_value(&xf, drops)
+    }
+
+    /// Splits a solver variable vector into `(replicas, drops)`.
+    fn split_vars<'a>(&self, v: &'a [f64]) -> (&'a [f64], &'a [f64]) {
+        let n = self.jobs.len();
+        if self.objective.uses_drop_rates() {
+            (&v[..n], &v[n..])
+        } else {
+            (v, &[])
+        }
+    }
+
+    /// Solves the continuous problem with the given solver, starting
+    /// from the current allocation (replica counts per job).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn solve(&self, solver: &dyn Solver, current: &[u32]) -> Result<ContinuousAllocation> {
+        let n = self.jobs.len();
+        let mut x0: Vec<f64> = current.iter().map(|&c| f64::from(c).max(1.0)).collect();
+        x0.resize(n, 1.0);
+        if self.objective.uses_drop_rates() {
+            x0.extend(std::iter::repeat_n(0.0, n));
+        }
+        let adapter = ProblemAdapter { inner: self };
+        let sol: Solution = solver.solve(&adapter, &x0)?;
+        let (xs, ds) = self.split_vars(&sol.x);
+        Ok(ContinuousAllocation {
+            replicas: xs.to_vec(),
+            drop_rates: if ds.is_empty() {
+                vec![0.0; n]
+            } else {
+                ds.to_vec()
+            },
+            objective_value: -sol.objective,
+            evals: sol.evals,
+        })
+    }
+
+    /// Converts a continuous allocation into integer replica counts,
+    /// "staying within the cluster size" (Sec. 4.2): round to nearest
+    /// (at least 1) and, if the rounding overshoots the quota, trim the
+    /// replicas whose removal costs the least cluster objective.
+    ///
+    /// Deliberately *not* a greedy integer re-optimization: the paper's
+    /// post-processing only converts, and a greedy repair would mask
+    /// the relaxation's contribution (integer +1 steps can cross the
+    /// step utility's threshold even where the continuous problem is a
+    /// plateau — see the Figure 16 ablation).
+    pub fn integerize(&self, alloc: &ContinuousAllocation) -> Vec<u32> {
+        let quota = self.resources.replica_quota();
+        let n = self.jobs.len();
+        let mut xs: Vec<u32> = alloc
+            .replicas
+            .iter()
+            .map(|&x| (x.round().max(1.0)) as u32)
+            .collect();
+        // If rounding exceeds the quota, trim from the jobs with the
+        // lowest marginal loss.
+        let mut total: u32 = xs.iter().sum();
+        while total > quota {
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..n {
+                if xs[i] <= 1 {
+                    continue;
+                }
+                let before = self.cluster_value_integer(&xs, &alloc.drop_rates);
+                xs[i] -= 1;
+                let after = self.cluster_value_integer(&xs, &alloc.drop_rates);
+                xs[i] += 1;
+                let loss = before - after;
+                if best.is_none_or(|(_, b)| loss < b) {
+                    best = Some((i, loss));
+                }
+            }
+            match best {
+                Some((i, _)) => {
+                    xs[i] -= 1;
+                    total -= 1;
+                }
+                None => break, // All jobs at one replica already.
+            }
+        }
+        xs
+    }
+
+    /// Stage-3 shrinking (paper Sec. 4.3): iteratively removes replicas
+    /// from jobs at full predicted utility while the *cluster* objective
+    /// stays unchanged.
+    pub fn shrink(&self, xs: &mut [u32], drops: &[f64]) {
+        let eps = 1e-9;
+        for i in 0..xs.len() {
+            loop {
+                if xs[i] <= 1 {
+                    break;
+                }
+                let u = self.expected_utility(
+                    i,
+                    f64::from(xs[i]),
+                    drops.get(i).copied().unwrap_or(0.0),
+                );
+                if u < 1.0 - 1e-9 {
+                    break; // Only shrink jobs at (predicted) utility 1.
+                }
+                let before = self.cluster_value_integer(xs, drops);
+                xs[i] -= 1;
+                let after = self.cluster_value_integer(xs, drops);
+                if after < before - eps {
+                    xs[i] += 1; // Cluster utility changed: stop here.
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Result of the continuous solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousAllocation {
+    /// Fractional replica counts per job.
+    pub replicas: Vec<f64>,
+    /// Drop rates per job (zero when unused).
+    pub drop_rates: Vec<f64>,
+    /// Cluster objective at the solution (maximize convention).
+    pub objective_value: f64,
+    /// Function evaluations spent.
+    pub evals: usize,
+}
+
+/// Adapts [`MultiTenantProblem`] to the solver's minimize convention.
+struct ProblemAdapter<'a> {
+    inner: &'a MultiTenantProblem,
+}
+
+impl Problem for ProblemAdapter<'_> {
+    fn dim(&self) -> usize {
+        let n = self.inner.jobs.len();
+        if self.inner.objective.uses_drop_rates() {
+            2 * n
+        } else {
+            n
+        }
+    }
+
+    fn objective(&self, v: &[f64]) -> f64 {
+        let (xs, ds) = self.inner.split_vars(v);
+        -self.inner.cluster_value(xs, ds)
+    }
+
+    fn num_constraints(&self) -> usize {
+        2 // vCPU and memory.
+    }
+
+    fn constraints(&self, v: &[f64], out: &mut [f64]) {
+        let (xs, _) = self.inner.split_vars(v);
+        let r = self.inner.resources;
+        let cpu: f64 = xs.iter().map(|&x| x.max(1.0) * r.cpu_per_replica).sum();
+        let mem: f64 = xs.iter().map(|&x| x.max(1.0) * r.mem_per_replica).sum();
+        out[0] = r.cluster_cpu - cpu;
+        out[1] = r.cluster_mem - mem;
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        let n = self.inner.jobs.len();
+        let quota = f64::from(self.inner.resources.replica_quota());
+        let mut b = vec![(1.0, quota); n];
+        if self.inner.objective.uses_drop_rates() {
+            b.extend(std::iter::repeat_n((0.0, 1.0), n));
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faro_solver::Cobyla;
+
+    fn slo() -> Slo {
+        Slo::paper_default()
+    }
+
+    fn two_job_problem(quota: u32, objective: ClusterObjective) -> MultiTenantProblem {
+        // Job 0 needs many replicas (high rate), job 1 few.
+        let jobs = vec![
+            JobWorkload::constant(40.0, 0.180, slo(), 1.0),
+            JobWorkload::constant(5.0, 0.180, slo(), 1.0),
+        ];
+        MultiTenantProblem::new(
+            jobs,
+            ResourceModel::replicas(quota),
+            objective,
+            Fidelity::Relaxed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_input() {
+        let r = ResourceModel::replicas(8);
+        assert!(
+            MultiTenantProblem::new(vec![], r, ClusterObjective::Sum, Fidelity::Relaxed).is_err()
+        );
+        let no_traj = JobWorkload {
+            lambda_trajectories: vec![],
+            processing_time: 0.1,
+            slo: slo(),
+            priority: 1.0,
+        };
+        assert!(MultiTenantProblem::new(
+            vec![no_traj],
+            r,
+            ClusterObjective::Sum,
+            Fidelity::Relaxed
+        )
+        .is_err());
+        // Quota 1 cannot host 2 jobs.
+        let jobs = vec![
+            JobWorkload::constant(1.0, 0.1, slo(), 1.0),
+            JobWorkload::constant(1.0, 0.1, slo(), 1.0),
+        ];
+        assert!(MultiTenantProblem::new(
+            jobs,
+            ResourceModel::replicas(1),
+            ClusterObjective::Sum,
+            Fidelity::Relaxed
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn expected_utility_monotone_in_replicas() {
+        let p = two_job_problem(32, ClusterObjective::Sum);
+        let mut prev = 0.0;
+        for x in 1..=16 {
+            let u = p.expected_utility(0, f64::from(x), 0.0);
+            assert!(u >= prev - 1e-9, "x={x}");
+            prev = u;
+        }
+        // Many replicas satisfy the SLO fully.
+        assert!((p.expected_utility(0, 16.0, 0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solver_finds_needy_job() {
+        let p = two_job_problem(32, ClusterObjective::Sum);
+        let alloc = p.solve(&Cobyla::fast(), &[1, 1]).unwrap();
+        let xs = p.integerize(&alloc);
+        assert!(xs[0] > xs[1], "needy job should get more replicas: {xs:?}");
+        assert!(xs.iter().sum::<u32>() <= 32);
+        // Both jobs should end up satisfied in a right-sized cluster.
+        assert!(p.expected_utility(0, f64::from(xs[0]), 0.0) > 0.9, "{xs:?}");
+        assert!(p.expected_utility(1, f64::from(xs[1]), 0.0) > 0.9, "{xs:?}");
+    }
+
+    #[test]
+    fn integerize_respects_quota_exactly() {
+        let p = two_job_problem(10, ClusterObjective::Sum);
+        // Deliberately infeasible continuous allocation.
+        let alloc = ContinuousAllocation {
+            replicas: vec![9.7, 8.2],
+            drop_rates: vec![0.0, 0.0],
+            objective_value: 0.0,
+            evals: 0,
+        };
+        let xs = p.integerize(&alloc);
+        assert!(xs.iter().sum::<u32>() <= 10, "{xs:?}");
+        assert!(xs.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn shrink_removes_waste() {
+        let p = two_job_problem(32, ClusterObjective::Sum);
+        // Grossly overprovisioned allocation: both at utility 1.
+        let mut xs = vec![20u32, 10u32];
+        p.shrink(&mut xs, &[0.0, 0.0]);
+        let total: u32 = xs.iter().sum();
+        assert!(total < 30, "shrinking should reclaim replicas: {xs:?}");
+        // Utility must still be 1 for both.
+        for (i, &x) in xs.iter().enumerate() {
+            assert!(
+                (p.expected_utility(i, f64::from(x), 0.0) - 1.0).abs() < 1e-9,
+                "{xs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_skips_unsatisfied_jobs() {
+        // Tiny quota: nobody reaches utility 1; shrink must not move.
+        let jobs = vec![
+            JobWorkload::constant(100.0, 0.180, slo(), 1.0),
+            JobWorkload::constant(100.0, 0.180, slo(), 1.0),
+        ];
+        let p = MultiTenantProblem::new(
+            jobs,
+            ResourceModel::replicas(4),
+            ClusterObjective::Sum,
+            Fidelity::Relaxed,
+        )
+        .unwrap();
+        let mut xs = vec![2u32, 2u32];
+        let before = xs.clone();
+        p.shrink(&mut xs, &[0.0, 0.0]);
+        assert_eq!(xs, before);
+    }
+
+    #[test]
+    fn penalty_objective_adds_drop_variables() {
+        let p = two_job_problem(32, ClusterObjective::PenaltySum);
+        let alloc = p.solve(&Cobyla::fast(), &[1, 1]).unwrap();
+        assert_eq!(alloc.drop_rates.len(), 2);
+        for d in &alloc.drop_rates {
+            assert!((0.0..=1.0).contains(d));
+        }
+    }
+
+    #[test]
+    fn precise_fidelity_exposes_plateau() {
+        // With the step utility and a badly overloaded job, local probes
+        // around small x all evaluate to utility 0: a plateau.
+        let jobs = vec![JobWorkload::constant(200.0, 0.180, slo(), 1.0)];
+        let p = MultiTenantProblem::new(
+            jobs,
+            ResourceModel::replicas(64),
+            ClusterObjective::Sum,
+            Fidelity::Precise,
+        )
+        .unwrap();
+        let u1 = p.expected_utility(0, 1.0, 0.0);
+        let u2 = p.expected_utility(0, 3.0, 0.0);
+        assert_eq!(u1, 0.0);
+        assert_eq!(u2, 0.0);
+        // The relaxed version distinguishes them.
+        let jobs = vec![JobWorkload::constant(200.0, 0.180, slo(), 1.0)];
+        let p = MultiTenantProblem::new(
+            jobs,
+            ResourceModel::replicas(64),
+            ClusterObjective::Sum,
+            Fidelity::Relaxed,
+        )
+        .unwrap();
+        assert!(p.expected_utility(0, 3.0, 0.0) > p.expected_utility(0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn upper_bound_model_overprovisions() {
+        // Paper Sec. 3.3: the upper-bound estimator demands more
+        // replicas than M/D/c for the same utility.
+        let mk = |model| {
+            let jobs = vec![JobWorkload::constant(
+                40.0,
+                0.150,
+                Slo {
+                    latency: 0.6,
+                    percentile: 0.9999,
+                },
+                1.0,
+            )];
+            MultiTenantProblem::new(
+                jobs,
+                ResourceModel::replicas(32),
+                ClusterObjective::Sum,
+                Fidelity::Relaxed,
+            )
+            .unwrap()
+            .with_latency_model(model)
+        };
+        let mdc_p = mk(LatencyModel::MDc);
+        let ub_p = mk(LatencyModel::UpperBound);
+        let first_full = |p: &MultiTenantProblem| {
+            (1..=32)
+                .find(|&x| p.expected_utility(0, f64::from(x), 0.0) > 1.0 - 1e-9)
+                .unwrap_or(33)
+        };
+        assert!(first_full(&mdc_p) < first_full(&ub_p));
+    }
+}

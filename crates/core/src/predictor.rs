@@ -1,0 +1,209 @@
+//! Arrival-rate predictor adapters.
+//!
+//! Faro's autoscaler consumes per-minute arrival-rate *distributions*
+//! ([`faro_forecast::GaussianForecast`]); this module adapts the
+//! forecasting models (and degenerate ablation variants) to a uniform
+//! [`RatePredictor`] interface:
+//!
+//! - [`ProbabilisticPredictor`]: a fitted [`ProbForecaster`] (N-HiTS
+//!   with the Gaussian head, DeepAR) — Faro's default.
+//! - [`PointPredictor`]: a fitted point [`Forecaster`] with zero sigma —
+//!   the "no probabilistic prediction" ablation (Sec. 6.4) and the
+//!   predictor used by the Mark/Cocktail/Barista baseline.
+//! - [`FlatPredictor`]: repeats the recent mean rate — the "no
+//!   time-series prediction" ablation.
+
+use faro_forecast::{Forecaster, GaussianForecast, ProbForecaster};
+
+/// Predicts the distribution of per-minute arrival rates over the next
+/// `horizon` minutes from a per-minute history.
+pub trait RatePredictor: Send {
+    /// Produces a forecast of exactly `horizon` steps. Implementations
+    /// must cope with histories of any length (padding internally).
+    fn predict(&mut self, history_per_minute: &[f64], horizon: usize) -> GaussianForecast;
+}
+
+/// Pads/trims a history to exactly `len` values (repeating the earliest
+/// value on the left).
+fn fit_context(history: &[f64], len: usize) -> Vec<f64> {
+    if history.len() >= len {
+        return history[history.len() - len..].to_vec();
+    }
+    let pad = history.first().copied().unwrap_or(0.0);
+    let mut out = vec![pad; len - history.len()];
+    out.extend_from_slice(history);
+    out
+}
+
+/// Stretches or trims a forecast to exactly `horizon` steps (repeating
+/// the final step).
+fn fit_horizon(mut f: GaussianForecast, horizon: usize) -> GaussianForecast {
+    let last_mu = f.mu.last().copied().unwrap_or(0.0);
+    let last_sigma = f.sigma.last().copied().unwrap_or(1e-9);
+    f.mu.resize(horizon, last_mu);
+    f.sigma.resize(horizon, last_sigma);
+    f
+}
+
+/// A fitted probabilistic forecaster (Faro's default predictor).
+pub struct ProbabilisticPredictor {
+    model: Box<dyn ProbForecaster + Send>,
+}
+
+impl ProbabilisticPredictor {
+    /// Wraps a fitted model.
+    pub fn new(model: Box<dyn ProbForecaster + Send>) -> Self {
+        Self { model }
+    }
+}
+
+impl RatePredictor for ProbabilisticPredictor {
+    fn predict(&mut self, history: &[f64], horizon: usize) -> GaussianForecast {
+        let ctx = fit_context(history, self.model.input_len());
+        match self.model.predict_distribution(&ctx) {
+            Ok(f) => fit_horizon(f, horizon),
+            // An unfitted or mis-sized model degrades to a flat guess
+            // rather than failing the control loop.
+            Err(_) => flat_forecast(history, horizon, 0.0),
+        }
+    }
+}
+
+/// A fitted point forecaster exposed with zero predictive sigma.
+pub struct PointPredictor {
+    model: Box<dyn Forecaster + Send>,
+}
+
+impl PointPredictor {
+    /// Wraps a fitted model.
+    pub fn new(model: Box<dyn Forecaster + Send>) -> Self {
+        Self { model }
+    }
+}
+
+impl RatePredictor for PointPredictor {
+    fn predict(&mut self, history: &[f64], horizon: usize) -> GaussianForecast {
+        let ctx = fit_context(history, self.model.input_len());
+        match self.model.predict(&ctx) {
+            Ok(mu) => {
+                let sigma = vec![1e-9; mu.len()];
+                fit_horizon(GaussianForecast::new(mu, sigma), horizon)
+            }
+            Err(_) => flat_forecast(history, horizon, 0.0),
+        }
+    }
+}
+
+/// Repeats the mean of the last `lookback` minutes, with an optional
+/// proportional sigma.
+pub struct FlatPredictor {
+    /// Minutes of history to average.
+    pub lookback: usize,
+    /// Sigma as a fraction of the level (0 for a point guess).
+    pub sigma_fraction: f64,
+}
+
+impl Default for FlatPredictor {
+    fn default() -> Self {
+        Self {
+            lookback: 3,
+            sigma_fraction: 0.0,
+        }
+    }
+}
+
+fn flat_forecast(history: &[f64], horizon: usize, sigma_fraction: f64) -> GaussianForecast {
+    let lookback = 3.min(history.len()).max(1);
+    let level = if history.is_empty() {
+        0.0
+    } else {
+        history[history.len() - lookback.min(history.len())..]
+            .iter()
+            .sum::<f64>()
+            / lookback as f64
+    };
+    GaussianForecast::new(
+        vec![level; horizon],
+        vec![(level * sigma_fraction).max(1e-9); horizon],
+    )
+}
+
+impl RatePredictor for FlatPredictor {
+    fn predict(&mut self, history: &[f64], horizon: usize) -> GaussianForecast {
+        let lookback = self.lookback.min(history.len()).max(1);
+        let level = if history.is_empty() {
+            0.0
+        } else {
+            history[history.len() - lookback..].iter().sum::<f64>() / lookback as f64
+        };
+        GaussianForecast::new(
+            vec![level; horizon],
+            vec![(level * self.sigma_fraction).max(1e-9); horizon],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faro_forecast::naive::DampedMovingAverage;
+
+    #[test]
+    fn flat_predictor_repeats_recent_mean() {
+        let mut p = FlatPredictor {
+            lookback: 2,
+            sigma_fraction: 0.1,
+        };
+        let f = p.predict(&[10.0, 20.0, 30.0], 4);
+        assert_eq!(f.mu, vec![25.0; 4]);
+        assert!((f.sigma[0] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_predictor_empty_history() {
+        let mut p = FlatPredictor::default();
+        let f = p.predict(&[], 3);
+        assert_eq!(f.mu, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn point_predictor_wraps_forecaster() {
+        let mut model = DampedMovingAverage::new(0.5, 4, 2).unwrap();
+        model.fit(&[1.0]).unwrap();
+        let mut p = PointPredictor::new(Box::new(model));
+        let f = p.predict(&[8.0, 8.0, 8.0, 8.0], 5);
+        assert_eq!(f.horizon(), 5);
+        for &m in &f.mu {
+            assert!((m - 8.0).abs() < 1e-9);
+        }
+        // Sigma is (near) zero for the point ablation.
+        assert!(f.sigma.iter().all(|&s| s < 1e-6));
+    }
+
+    #[test]
+    fn point_predictor_pads_short_history() {
+        let mut model = DampedMovingAverage::new(0.5, 8, 2).unwrap();
+        model.fit(&[1.0]).unwrap();
+        let mut p = PointPredictor::new(Box::new(model));
+        let f = p.predict(&[4.0], 2);
+        assert_eq!(f.horizon(), 2);
+        assert!((f.mu[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfitted_model_degrades_to_flat() {
+        let model = DampedMovingAverage::new(0.5, 4, 2).unwrap(); // Not fitted.
+        let mut p = PointPredictor::new(Box::new(model));
+        let f = p.predict(&[6.0, 6.0], 3);
+        assert_eq!(f.mu, vec![6.0; 3]);
+    }
+
+    #[test]
+    fn fit_context_and_horizon_shapes() {
+        assert_eq!(fit_context(&[1.0, 2.0, 3.0], 2), vec![2.0, 3.0]);
+        assert_eq!(fit_context(&[5.0], 3), vec![5.0, 5.0, 5.0]);
+        let f = GaussianForecast::new(vec![1.0, 2.0], vec![0.1, 0.2]);
+        let g = fit_horizon(f, 4);
+        assert_eq!(g.mu, vec![1.0, 2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Shared vocabulary types: jobs, SLOs, resources, snapshots, and scale
+//! decisions.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a job (one pre-trained model receiving queries).
+pub type JobId = usize;
+
+/// A latency service-level objective: a target and a percentile
+/// (paper Sec. 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slo {
+    /// Latency target in seconds (e.g. 0.720).
+    pub latency: f64,
+    /// Percentile in `(0, 1)` (e.g. 0.99 for the 99th percentile).
+    pub percentile: f64,
+}
+
+impl Slo {
+    /// The paper's default evaluation SLO: 720 ms at the 99th percentile
+    /// (4x the ResNet34 processing time of 180 ms).
+    pub fn paper_default() -> Self {
+        Self {
+            latency: 0.720,
+            percentile: 0.99,
+        }
+    }
+}
+
+/// Static description of one inference job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human-readable name (e.g. "resnet34-azure-3").
+    pub name: String,
+    /// The job's SLO.
+    pub slo: Slo,
+    /// Priority coefficient `pi` in cluster objectives (default 1).
+    pub priority: f64,
+    /// Nominal per-request processing time in seconds (e.g. 0.180 for
+    /// ResNet34 on CPU). Used as the initial estimate before
+    /// measurements arrive.
+    pub processing_time: f64,
+}
+
+impl JobSpec {
+    /// A ResNet34-shaped job with the paper's default SLO.
+    pub fn resnet34(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            slo: Slo::paper_default(),
+            priority: 1.0,
+            processing_time: 0.180,
+        }
+    }
+
+    /// A ResNet18-shaped job: 100 ms processing, 400 ms SLO (paper
+    /// Sec. 6.3).
+    pub fn resnet18(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            slo: Slo {
+                latency: 0.400,
+                percentile: 0.99,
+            },
+            priority: 1.0,
+            processing_time: 0.100,
+        }
+    }
+}
+
+/// Homogeneous per-replica resource demand and cluster capacity
+/// (paper Sec. 6: 1 vCPU + 1 GB per Ray Serve replica).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceModel {
+    /// vCPU per replica.
+    pub cpu_per_replica: f64,
+    /// Memory (GB) per replica.
+    pub mem_per_replica: f64,
+    /// Total vCPU available for replicas.
+    pub cluster_cpu: f64,
+    /// Total memory (GB) available for replicas.
+    pub cluster_mem: f64,
+}
+
+impl ResourceModel {
+    /// A cluster sized in whole replicas (the paper's framing: "total
+    /// replicas" via Kubernetes resource quota).
+    pub fn replicas(total: u32) -> Self {
+        Self {
+            cpu_per_replica: 1.0,
+            mem_per_replica: 1.0,
+            cluster_cpu: f64::from(total),
+            cluster_mem: f64::from(total),
+        }
+    }
+
+    /// The replica quota implied by the binding resource.
+    pub fn replica_quota(&self) -> u32 {
+        let by_cpu = self.cluster_cpu / self.cpu_per_replica;
+        let by_mem = self.cluster_mem / self.mem_per_replica;
+        by_cpu.min(by_mem).floor().max(0.0) as u32
+    }
+}
+
+/// Per-job observation delivered to policies at every tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobObservation {
+    /// The job's static spec.
+    pub spec: JobSpec,
+    /// Current autoscale target (replicas the job is entitled to).
+    pub target_replicas: u32,
+    /// Replicas actually serving (excludes cold-starting ones).
+    pub ready_replicas: u32,
+    /// Router queue length right now.
+    pub queue_len: usize,
+    /// Completed per-minute arrival counts, oldest first (the metric the
+    /// Faro router exports continually).
+    pub arrival_rate_history: Vec<f64>,
+    /// Arrival rate over the last reactive interval (requests/second).
+    pub recent_arrival_rate: f64,
+    /// Measured mean per-request processing time (seconds); falls back
+    /// to the spec value when no requests completed yet.
+    pub mean_processing_time: f64,
+    /// Tail latency at the job's SLO percentile over the last reactive
+    /// interval (seconds; infinite when requests were dropped).
+    pub recent_tail_latency: f64,
+    /// Current explicit drop rate setting in `[0, 1]`.
+    pub drop_rate: f64,
+}
+
+/// Cluster-wide observation delivered to policies at every tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// Simulation/wall time in seconds.
+    pub now: f64,
+    /// Resource capacity.
+    pub resources: ResourceModel,
+    /// Per-job observations, indexed by [`JobId`].
+    pub jobs: Vec<JobObservation>,
+}
+
+impl ClusterSnapshot {
+    /// Total replica quota.
+    pub fn replica_quota(&self) -> u32 {
+        self.resources.replica_quota()
+    }
+
+    /// Sum of current target replicas.
+    pub fn total_target_replicas(&self) -> u32 {
+        self.jobs.iter().map(|j| j.target_replicas).sum()
+    }
+}
+
+/// A policy's decision for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobDecision {
+    /// New replica target (at least 1).
+    pub target_replicas: u32,
+    /// Explicit request drop rate in `[0, 1]` (Faro-Penalty variants;
+    /// zero for all other policies).
+    pub drop_rate: f64,
+}
+
+impl JobDecision {
+    /// Keep the current allocation of an observation.
+    pub fn keep(obs: &JobObservation) -> Self {
+        Self {
+            target_replicas: obs.target_replicas,
+            drop_rate: obs.drop_rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_model_quota() {
+        assert_eq!(ResourceModel::replicas(32).replica_quota(), 32);
+        let uneven = ResourceModel {
+            cpu_per_replica: 1.0,
+            mem_per_replica: 2.0,
+            cluster_cpu: 10.0,
+            cluster_mem: 8.0,
+        };
+        // Memory binds: 8 / 2 = 4 replicas.
+        assert_eq!(uneven.replica_quota(), 4);
+    }
+
+    #[test]
+    fn job_spec_presets() {
+        let j34 = JobSpec::resnet34("a");
+        assert!((j34.processing_time - 0.180).abs() < 1e-12);
+        assert!((j34.slo.latency - 0.720).abs() < 1e-12);
+        let j18 = JobSpec::resnet18("b");
+        assert!((j18.slo.latency - 0.400).abs() < 1e-12);
+        // Both SLOs are 4x the processing time.
+        assert!((j34.slo.latency / j34.processing_time - 4.0).abs() < 1e-9);
+        assert!((j18.slo.latency / j18.processing_time - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_totals() {
+        let mk = |target| JobObservation {
+            spec: JobSpec::resnet34("x"),
+            target_replicas: target,
+            ready_replicas: target,
+            queue_len: 0,
+            arrival_rate_history: vec![],
+            recent_arrival_rate: 0.0,
+            mean_processing_time: 0.18,
+            recent_tail_latency: 0.1,
+            drop_rate: 0.0,
+        };
+        let snap = ClusterSnapshot {
+            now: 0.0,
+            resources: ResourceModel::replicas(16),
+            jobs: vec![mk(3), mk(5)],
+        };
+        assert_eq!(snap.total_target_replicas(), 8);
+        assert_eq!(snap.replica_quota(), 16);
+    }
+}

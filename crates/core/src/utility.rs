@@ -1,0 +1,133 @@
+//! Per-job utility functions distilled from SLOs (paper Sec. 3.1).
+//!
+//! The original utility is a step function — 1 when the tail latency
+//! meets the SLO target, 0 otherwise. Step functions create plateaus
+//! that defeat optimization solvers, so Faro relaxes them to
+//! `U = min((s / l)^alpha, 1)`, which approaches the step as
+//! `alpha -> infinity` (Figure 4a) and lower-bounds the SLO satisfaction
+//! rate (Figure 4b).
+
+use serde::{Deserialize, Serialize};
+
+/// The original step utility: 1 iff the latency meets the target.
+///
+/// # Examples
+///
+/// ```
+/// use faro_core::utility::step_utility;
+///
+/// assert_eq!(step_utility(0.5, 0.72), 1.0);
+/// assert_eq!(step_utility(0.9, 0.72), 0.0);
+/// ```
+pub fn step_utility(latency: f64, slo: f64) -> f64 {
+    if latency <= slo {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// The relaxed inverse-power utility of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelaxedUtility {
+    /// Sharpness exponent; the relaxed utility approaches the step
+    /// function as `alpha` grows.
+    pub alpha: f64,
+}
+
+impl Default for RelaxedUtility {
+    /// A moderate sharpness that keeps usable gradients (see
+    /// `DESIGN.md`).
+    fn default() -> Self {
+        Self { alpha: 4.0 }
+    }
+}
+
+impl RelaxedUtility {
+    /// Creates a relaxed utility with the given exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha` is not finite and positive.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        Self { alpha }
+    }
+
+    /// `U(l, s) = min((s/l)^alpha, 1)`; 0 for infinite latency, 1 for
+    /// non-positive latency (instantaneous response).
+    pub fn value(&self, latency: f64, slo: f64) -> f64 {
+        if latency <= 0.0 {
+            return 1.0;
+        }
+        if latency.is_infinite() || latency.is_nan() {
+            return 0.0;
+        }
+        (slo / latency).powf(self.alpha).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_is_binary() {
+        assert_eq!(step_utility(0.72, 0.72), 1.0); // Boundary meets SLO.
+        assert_eq!(step_utility(0.721, 0.72), 0.0);
+        assert_eq!(step_utility(f64::INFINITY, 0.72), 0.0);
+    }
+
+    #[test]
+    fn relaxed_is_one_at_or_below_slo() {
+        let u = RelaxedUtility::default();
+        for l in [0.0, 0.1, 0.5, 0.72] {
+            assert_eq!(u.value(l, 0.72), 1.0, "latency {l}");
+        }
+    }
+
+    #[test]
+    fn relaxed_decreases_beyond_slo() {
+        let u = RelaxedUtility::default();
+        let mut prev = 1.0;
+        for i in 1..20 {
+            let l = 0.72 + 0.1 * f64::from(i);
+            let v = u.value(l, 0.72);
+            assert!(v < prev, "latency {l}");
+            assert!(v > 0.0);
+            prev = v;
+        }
+        assert_eq!(u.value(f64::INFINITY, 0.72), 0.0);
+    }
+
+    #[test]
+    fn higher_alpha_approaches_step() {
+        // Figure 4a: larger alpha hugs the step function.
+        let l = 1.0;
+        let s = 0.5;
+        let mut prev = 1.0;
+        for alpha in [1.0, 2.0, 4.0, 8.0, 32.0] {
+            let v = RelaxedUtility::new(alpha).value(l, s);
+            assert!(v < prev, "alpha {alpha}");
+            prev = v;
+        }
+        assert!(RelaxedUtility::new(64.0).value(l, s) < 1e-15);
+    }
+
+    #[test]
+    fn relaxed_lower_bounds_step_beyond_slo_only() {
+        // For l > s the relaxed utility is positive where the step is 0;
+        // for l <= s both are 1. The *step* utility of a met SLO never
+        // exceeds relaxed utility.
+        let u = RelaxedUtility::default();
+        for l in [0.1, 0.5, 0.72, 0.9, 2.0] {
+            assert!(u.value(l, 0.72) >= step_utility(l, 0.72));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = RelaxedUtility::new(0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the Faro core building blocks.
+
+use faro_core::objective::{ClusterObjective, JobUtility};
+use faro_core::penalty::{phi, relaxed_penalty, step_penalty, PenaltyShape};
+use faro_core::policy::{admit_quota, enforce_quota};
+use faro_core::types::JobDecision;
+use faro_core::utility::{step_utility, RelaxedUtility};
+use proptest::prelude::*;
+
+proptest! {
+    /// Relaxed utility is bounded, monotone in latency, and dominates
+    /// the step utility.
+    #[test]
+    fn relaxed_utility_properties(
+        latency in 0.0f64..10.0,
+        slo in 0.05f64..2.0,
+        alpha in 0.5f64..32.0,
+    ) {
+        let u = RelaxedUtility::new(alpha);
+        let v = u.value(latency, slo);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!(v >= step_utility(latency, slo));
+        let v2 = u.value(latency + 0.1, slo);
+        prop_assert!(v2 <= v + 1e-12);
+    }
+
+    /// Penalty multipliers: phi in [0,1], monotone non-increasing in
+    /// drop rate, relaxed never exceeds the step penalty's phi by more
+    /// than the interpolation can justify (both share the anchors).
+    #[test]
+    fn penalty_properties(d in 0.0f64..=1.0) {
+        for shape in [PenaltyShape::Step, PenaltyShape::Relaxed] {
+            let v = phi(d, shape);
+            prop_assert!((0.0..=1.0).contains(&v));
+            let v2 = phi((d + 0.02).min(1.0), shape);
+            prop_assert!(v2 <= v + 1e-12, "{shape:?} phi not monotone at {d}");
+        }
+        // The relaxed penalty is at least the step penalty (pessimistic
+        // between anchors) for availability in the credit bands.
+        let a = 1.0 - d;
+        prop_assert!(relaxed_penalty(a) + 1e-12 >= step_penalty(a) - 0.5);
+    }
+
+    /// Every cluster objective is invariant under job permutation.
+    #[test]
+    fn objectives_permutation_invariant(
+        utils in prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0, 0.1f64..4.0), 2..8),
+    ) {
+        let jobs: Vec<JobUtility> = utils
+            .iter()
+            .map(|&(u, e, p)| JobUtility { utility: u, effective_utility: e.min(u), priority: p })
+            .collect();
+        let mut reversed = jobs.clone();
+        reversed.reverse();
+        for obj in [
+            ClusterObjective::Sum,
+            ClusterObjective::Fair,
+            ClusterObjective::FairSum { gamma: 2.0 },
+            ClusterObjective::PenaltySum,
+            ClusterObjective::PenaltyFairSum { gamma: 2.0 },
+        ] {
+            let a = obj.aggregate(&jobs);
+            let b = obj.aggregate(&reversed);
+            prop_assert!((a - b).abs() < 1e-12, "{obj:?}");
+        }
+    }
+
+    /// Raising any job's utility never lowers Sum-family objectives.
+    #[test]
+    fn sum_objectives_monotone(
+        utils in prop::collection::vec(0.0f64..0.9, 2..6),
+        bump_idx in 0usize..6,
+        bump in 0.01f64..0.1,
+    ) {
+        let idx = bump_idx % utils.len();
+        let jobs: Vec<JobUtility> = utils
+            .iter()
+            .map(|&u| JobUtility { utility: u, effective_utility: u, priority: 1.0 })
+            .collect();
+        let mut bumped = jobs.clone();
+        bumped[idx].utility += bump;
+        bumped[idx].effective_utility += bump;
+        for obj in [ClusterObjective::Sum, ClusterObjective::PenaltySum] {
+            prop_assert!(obj.aggregate(&bumped) >= obj.aggregate(&jobs));
+        }
+    }
+
+    /// enforce_quota: output within quota when feasible, all >= 1,
+    /// total never increases.
+    #[test]
+    fn enforce_quota_contract(
+        targets in prop::collection::vec(0u32..20, 1..10),
+        quota in 1u32..64,
+    ) {
+        let mut ds: Vec<JobDecision> = targets
+            .iter()
+            .map(|&t| JobDecision { target_replicas: t, drop_rate: 0.0 })
+            .collect();
+        enforce_quota(&mut ds, quota);
+        let total: u32 = ds.iter().map(|d| d.target_replicas).sum();
+        let n = ds.len() as u32;
+        prop_assert!(ds.iter().all(|d| d.target_replicas >= 1));
+        if quota >= n {
+            prop_assert!(total <= quota.max(n), "total {total} quota {quota}");
+        }
+    }
+
+    /// admit_quota: never evicts holdings, never admits increases past
+    /// the quota, downscales always honoured.
+    #[test]
+    fn admit_quota_contract(
+        pairs in prop::collection::vec((1u32..12, 1u32..12), 1..8),
+        quota in 4u32..40,
+        rotate in 0usize..8,
+    ) {
+        let prev: Vec<u32> = pairs.iter().map(|&(p, _)| p).collect();
+        let mut ds: Vec<JobDecision> = pairs
+            .iter()
+            .map(|&(_, want)| JobDecision { target_replicas: want, drop_rate: 0.0 })
+            .collect();
+        admit_quota(&mut ds, &prev, quota, rotate);
+        let prev_total: u32 = prev.iter().sum();
+        let total: u32 = ds.iter().map(|d| d.target_replicas).sum();
+        for (i, d) in ds.iter().enumerate() {
+            let want = pairs[i].1;
+            // Granted lies between min(want, prev) and want.
+            prop_assert!(d.target_replicas >= want.min(prev[i]).max(1));
+            prop_assert!(d.target_replicas <= want.max(1));
+        }
+        // No growth beyond max(quota, existing holdings).
+        prop_assert!(total <= quota.max(prev_total));
+    }
+}

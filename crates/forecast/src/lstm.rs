@@ -1,0 +1,464 @@
+//! A single-layer LSTM with a direct multi-horizon head.
+//!
+//! The paper implemented LSTM (and DeepAR) as prediction-quality
+//! baselines for Faro's N-HiTS model (Sec. 3.5.1) and found them
+//! slightly worse on RMSE with 2-3x higher inference latency. The
+//! recurrent body here is shared with [`crate::deepar::DeepAr`].
+
+use crate::dataset::{StandardScaler, WindowDataset};
+use crate::error::{Error, Result};
+use crate::Forecaster;
+use faro_nn::adam::AdamConfig;
+use faro_nn::layer::Linear;
+use faro_nn::loss::mse;
+use faro_nn::Matrix;
+use rand::prelude::*;
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Cached activations for one timestep (batch-major matrices of width
+/// `hidden`).
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    tanh_c: Matrix,
+}
+
+/// A univariate LSTM body: input width 1, `4 * hidden` gate
+/// pre-activations per step, shared by the point and probabilistic
+/// models.
+#[derive(Debug, Clone)]
+pub(crate) struct LstmBody {
+    hidden: usize,
+    /// `(1, 4H)` input weights.
+    w_ih: Matrix,
+    /// `(H, 4H)` recurrent weights.
+    w_hh: Matrix,
+    /// `4H` gate biases.
+    b: Vec<f64>,
+    dw_ih: Matrix,
+    dw_hh: Matrix,
+    db: Vec<f64>,
+    adam_ih: faro_nn::Adam,
+    adam_hh: faro_nn::Adam,
+    adam_b: faro_nn::Adam,
+    caches: Vec<StepCache>,
+}
+
+impl LstmBody {
+    pub(crate) fn new(hidden: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x157f_600d);
+        let bound = (1.0 / hidden as f64).sqrt();
+        let mut w_ih = Matrix::zeros(1, 4 * hidden);
+        let mut w_hh = Matrix::zeros(hidden, 4 * hidden);
+        for v in w_ih.data_mut() {
+            *v = rng.gen_range(-bound..bound);
+        }
+        for v in w_hh.data_mut() {
+            *v = rng.gen_range(-bound..bound);
+        }
+        let mut b = vec![0.0; 4 * hidden];
+        // Forget-gate bias of 1.0 (standard trick for gradient flow).
+        for bias in b.iter_mut().skip(hidden).take(hidden) {
+            *bias = 1.0;
+        }
+        Self {
+            hidden,
+            w_ih,
+            w_hh,
+            b,
+            dw_ih: Matrix::zeros(1, 4 * hidden),
+            dw_hh: Matrix::zeros(hidden, 4 * hidden),
+            db: vec![0.0; 4 * hidden],
+            adam_ih: faro_nn::Adam::new(4 * hidden),
+            adam_hh: faro_nn::Adam::new(hidden * 4 * hidden),
+            adam_b: faro_nn::Adam::new(4 * hidden),
+            caches: Vec::new(),
+        }
+    }
+
+    /// Runs the sequence `(batch, steps)`; returns the final hidden state
+    /// `(batch, hidden)`. Caches per-step activations when `train`.
+    pub(crate) fn forward(&mut self, xs: &Matrix, train: bool) -> Matrix {
+        let batch = xs.rows();
+        let h4 = 4 * self.hidden;
+        let mut h = Matrix::zeros(batch, self.hidden);
+        let mut c = Matrix::zeros(batch, self.hidden);
+        if train {
+            self.caches.clear();
+        }
+        for t in 0..xs.cols() {
+            // x_t as a (batch, 1) column.
+            let mut x_t = Matrix::zeros(batch, 1);
+            for r in 0..batch {
+                x_t.set(r, 0, xs.get(r, t));
+            }
+            let z = x_t
+                .matmul(&self.w_ih)
+                .add(&h.matmul(&self.w_hh))
+                .add_bias(&self.b);
+            let mut i_g = Matrix::zeros(batch, self.hidden);
+            let mut f_g = Matrix::zeros(batch, self.hidden);
+            let mut g_g = Matrix::zeros(batch, self.hidden);
+            let mut o_g = Matrix::zeros(batch, self.hidden);
+            for r in 0..batch {
+                for j in 0..self.hidden {
+                    let row = r * h4;
+                    i_g.set(r, j, sigmoid(z.data()[row + j]));
+                    f_g.set(r, j, sigmoid(z.data()[row + self.hidden + j]));
+                    g_g.set(r, j, z.data()[row + 2 * self.hidden + j].tanh());
+                    o_g.set(r, j, sigmoid(z.data()[row + 3 * self.hidden + j]));
+                }
+            }
+            let mut c_new = Matrix::zeros(batch, self.hidden);
+            for idx in 0..batch * self.hidden {
+                c_new.data_mut()[idx] =
+                    f_g.data()[idx] * c.data()[idx] + i_g.data()[idx] * g_g.data()[idx];
+            }
+            let tanh_c = c_new.map(f64::tanh);
+            let mut h_new = Matrix::zeros(batch, self.hidden);
+            for idx in 0..batch * self.hidden {
+                h_new.data_mut()[idx] = o_g.data()[idx] * tanh_c.data()[idx];
+            }
+            if train {
+                self.caches.push(StepCache {
+                    x: x_t,
+                    h_prev: h.clone(),
+                    c_prev: c.clone(),
+                    i: i_g,
+                    f: f_g,
+                    g: g_g,
+                    o: o_g,
+                    tanh_c: tanh_c.clone(),
+                });
+            }
+            h = h_new;
+            c = c_new;
+        }
+        h
+    }
+
+    /// Backpropagation through time from the gradient of the final
+    /// hidden state. Accumulates parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called without a cached training forward pass.
+    pub(crate) fn backward(&mut self, d_h_final: &Matrix) {
+        assert!(!self.caches.is_empty(), "backward before training forward");
+        let batch = d_h_final.rows();
+        let hdim = self.hidden;
+        let mut d_h = d_h_final.clone();
+        let mut d_c = Matrix::zeros(batch, hdim);
+        for t in (0..self.caches.len()).rev() {
+            let cache = &self.caches[t];
+            // dc += dh * o * (1 - tanh_c^2).
+            let mut d_c_total = d_c.clone();
+            for idx in 0..batch * hdim {
+                let th = cache.tanh_c.data()[idx];
+                d_c_total.data_mut()[idx] +=
+                    d_h.data()[idx] * cache.o.data()[idx] * (1.0 - th * th);
+            }
+            // Gate gradients (pre-activation).
+            let mut d_z = Matrix::zeros(batch, 4 * hdim);
+            for r in 0..batch {
+                for j in 0..hdim {
+                    let idx = r * hdim + j;
+                    let (i, f, g, o) = (
+                        cache.i.data()[idx],
+                        cache.f.data()[idx],
+                        cache.g.data()[idx],
+                        cache.o.data()[idx],
+                    );
+                    let dct = d_c_total.data()[idx];
+                    let row = r * 4 * hdim;
+                    d_z.data_mut()[row + j] = dct * g * i * (1.0 - i);
+                    d_z.data_mut()[row + hdim + j] = dct * cache.c_prev.data()[idx] * f * (1.0 - f);
+                    d_z.data_mut()[row + 2 * hdim + j] = dct * i * (1.0 - g * g);
+                    d_z.data_mut()[row + 3 * hdim + j] =
+                        d_h.data()[idx] * cache.tanh_c.data()[idx] * o * (1.0 - o);
+                }
+            }
+            // Parameter gradients.
+            self.dw_ih = self.dw_ih.add(&cache.x.transpose().matmul(&d_z));
+            self.dw_hh = self.dw_hh.add(&cache.h_prev.transpose().matmul(&d_z));
+            for (a, b) in self.db.iter_mut().zip(d_z.column_sums()) {
+                *a += b;
+            }
+            // Propagate to previous step.
+            d_h = d_z.matmul(&self.w_hh.transpose());
+            d_c = Matrix::zeros(batch, hdim);
+            for idx in 0..batch * hdim {
+                d_c.data_mut()[idx] = d_c_total.data()[idx] * cache.f.data()[idx];
+            }
+        }
+    }
+
+    pub(crate) fn apply_grads(&mut self, cfg: &AdamConfig) {
+        self.adam_ih
+            .step(cfg, self.w_ih.data_mut(), self.dw_ih.data());
+        self.adam_hh
+            .step(cfg, self.w_hh.data_mut(), self.dw_hh.data());
+        self.adam_b.step(cfg, &mut self.b, &self.db);
+        self.dw_ih = Matrix::zeros(1, 4 * self.hidden);
+        self.dw_hh = Matrix::zeros(self.hidden, 4 * self.hidden);
+        self.db = vec![0.0; 4 * self.hidden];
+        self.caches.clear();
+    }
+}
+
+/// LSTM configuration (shared by [`crate::deepar::DeepAr`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LstmConfig {
+    /// Context window length.
+    pub input_len: usize,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LstmConfig {
+    /// A small default suitable for per-minute arrival rates.
+    pub fn standard(input_len: usize, horizon: usize, seed: u64) -> Self {
+        Self {
+            input_len,
+            horizon,
+            hidden: 32,
+            epochs: 40,
+            batch_size: 64,
+            lr: 3e-3,
+            seed,
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<()> {
+        if self.input_len == 0 || self.horizon == 0 || self.hidden == 0 {
+            return Err(Error::InvalidConfig(
+                "input_len, horizon, hidden must be positive",
+            ));
+        }
+        if self.epochs == 0 || self.batch_size == 0 {
+            return Err(Error::InvalidConfig(
+                "epochs and batch_size must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Point-forecasting LSTM: recurrent body + linear head, MSE training.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    cfg: LstmConfig,
+    body: LstmBody,
+    head: Linear,
+    scaler: Option<StandardScaler>,
+    last_loss: Option<f64>,
+}
+
+impl Lstm {
+    /// Builds an untrained model.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid configuration.
+    pub fn new(cfg: LstmConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(Self {
+            body: LstmBody::new(cfg.hidden, cfg.seed),
+            head: Linear::new(cfg.hidden, cfg.horizon, cfg.seed ^ 0x4ead),
+            cfg,
+            scaler: None,
+            last_loss: None,
+        })
+    }
+
+    /// Final epoch's mean training loss.
+    pub fn last_loss(&self) -> Option<f64> {
+        self.last_loss
+    }
+}
+
+impl Forecaster for Lstm {
+    fn input_len(&self) -> usize {
+        self.cfg.input_len
+    }
+
+    fn horizon(&self) -> usize {
+        self.cfg.horizon
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<()> {
+        let scaler = StandardScaler::fit(series)?;
+        let scaled = scaler.transform_slice(series);
+        let ds = WindowDataset::build(&scaled, self.cfg.input_len, self.cfg.horizon, 1)?;
+        let adam = AdamConfig {
+            lr: self.cfg.lr,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x157f_da7a);
+        let mut order: Vec<usize> = (0..ds.len()).collect();
+        for _ in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.cfg.batch_size) {
+                let (x, y) = ds.batch(chunk);
+                let h = self.body.forward(&x, true);
+                let pred = self.head.forward(&h);
+                let (loss, grad) = mse(&pred, &y);
+                let d_h = self.head.backward(&grad);
+                self.body.backward(&d_h);
+                self.head.apply_grads(&adam);
+                self.body.apply_grads(&adam);
+                epoch_loss += loss;
+                batches += 1;
+            }
+            self.last_loss = Some(epoch_loss / batches.max(1) as f64);
+        }
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn predict(&self, context: &[f64]) -> Result<Vec<f64>> {
+        let scaler = self.scaler.as_ref().ok_or(Error::NotFitted)?;
+        if context.len() != self.cfg.input_len {
+            return Err(Error::BadContextLength {
+                got: context.len(),
+                need: self.cfg.input_len,
+            });
+        }
+        let scaled = scaler.transform_slice(context);
+        let x = Matrix::from_vec(1, self.cfg.input_len, scaled);
+        // Inference re-uses the training path on a clone so the immutable
+        // borrow contract of `predict` holds.
+        let mut body = self.body.clone();
+        let h = body.forward(&x, false);
+        let pred = self.head.forward_inference(&h);
+        Ok(pred.data().iter().map(|&z| scaler.inverse(z)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmse;
+
+    fn sine(n: usize, period: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                50.0 + 20.0 * (2.0 * std::f64::consts::PI * i as f64 / period).sin()
+                    + rng.gen_range(-1.0..1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bptt_gradients_match_finite_differences() {
+        // Check dL/dW_hh numerically on a tiny problem.
+        let mut body = LstmBody::new(3, 1);
+        let mut head = Linear::new(3, 2, 2);
+        let x = Matrix::from_rows(&[&[0.5, -0.3, 0.8, 0.1]]);
+        let y = Matrix::from_rows(&[&[1.0, -1.0]]);
+
+        let h = body.forward(&x, true);
+        let pred = head.forward(&h);
+        let (_, grad) = mse(&pred, &y);
+        let d_h = head.backward(&grad);
+        body.backward(&d_h);
+
+        let loss_of = |b: &LstmBody, hd: &Linear| -> f64 {
+            let mut b = b.clone();
+            let h = b.forward(&x, false);
+            mse(&hd.forward_inference(&h), &y).0
+        };
+        let eps = 1e-6;
+        for (r, c) in [(0usize, 0usize), (1, 5), (2, 11)] {
+            let analytic = body.dw_hh.get(r, c);
+            let orig = body.w_hh.get(r, c);
+            let mut bp = body.clone();
+            bp.w_hh.set(r, c, orig + eps);
+            let up = loss_of(&bp, &head);
+            bp.w_hh.set(r, c, orig - eps);
+            let down = loss_of(&bp, &head);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-5 * (1.0 + numeric.abs()),
+                "w_hh[{r},{c}]: analytic={analytic} numeric={numeric}"
+            );
+        }
+        // And dL/dW_ih.
+        for c in [0usize, 7] {
+            let analytic = body.dw_ih.get(0, c);
+            let orig = body.w_ih.get(0, c);
+            let mut bp = body.clone();
+            bp.w_ih.set(0, c, orig + eps);
+            let up = loss_of(&bp, &head);
+            bp.w_ih.set(0, c, orig - eps);
+            let down = loss_of(&bp, &head);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-5 * (1.0 + numeric.abs()),
+                "w_ih[0,{c}]: analytic={analytic} numeric={numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn learns_seasonal_pattern() {
+        let series = sine(400, 24.0, 3);
+        let mut cfg = LstmConfig::standard(24, 8, 1);
+        cfg.epochs = 30;
+        let mut m = Lstm::new(cfg).unwrap();
+        m.fit(&series[..360]).unwrap();
+        let ctx = &series[360 - 24..360];
+        let truth = &series[360..368];
+        let pred = m.predict(ctx).unwrap();
+        let flat = vec![ctx[ctx.len() - 1]; 8];
+        assert!(
+            rmse(&pred, truth) < rmse(&flat, truth) * 1.5,
+            "LSTM should be in the ballpark of (or better than) last-value"
+        );
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let series = sine(300, 24.0, 5);
+        let mut cfg = LstmConfig::standard(24, 8, 2);
+        cfg.epochs = 1;
+        let mut a = Lstm::new(cfg).unwrap();
+        a.fit(&series).unwrap();
+        cfg.epochs = 20;
+        let mut b = Lstm::new(cfg).unwrap();
+        b.fit(&series).unwrap();
+        assert!(b.last_loss().unwrap() < a.last_loss().unwrap());
+    }
+
+    #[test]
+    fn unfitted_and_bad_context_errors() {
+        let cfg = LstmConfig::standard(10, 3, 0);
+        let m = Lstm::new(cfg).unwrap();
+        assert_eq!(m.predict(&[0.0; 10]).unwrap_err(), Error::NotFitted);
+        let mut m = Lstm::new(cfg).unwrap();
+        m.fit(&sine(100, 20.0, 1)).unwrap();
+        assert!(m.predict(&[0.0; 4]).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Reference predictors: seasonal naive and damped moving average.
+//!
+//! The damped (weighted) average is the paper's Figure 8b "blue line" —
+//! the smooth point prediction that fails to capture workload
+//! fluctuation and motivates the probabilistic predictor.
+
+use crate::error::{Error, Result};
+use crate::Forecaster;
+
+/// Repeats the value observed one season ago.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaive {
+    period: usize,
+    input_len: usize,
+    horizon: usize,
+    fitted: bool,
+}
+
+impl SeasonalNaive {
+    /// Creates a seasonal-naive forecaster with the given period.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any size is zero or the context cannot cover one
+    /// period.
+    pub fn new(period: usize, input_len: usize, horizon: usize) -> Result<Self> {
+        if period == 0 || input_len == 0 || horizon == 0 {
+            return Err(Error::InvalidConfig(
+                "period, input_len, horizon must be positive",
+            ));
+        }
+        if input_len < period {
+            return Err(Error::InvalidConfig("input_len must cover one period"));
+        }
+        Ok(Self {
+            period,
+            input_len,
+            horizon,
+            fitted: false,
+        })
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<()> {
+        if series.is_empty() {
+            return Err(Error::SeriesTooShort { got: 0, need: 1 });
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, context: &[f64]) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(Error::NotFitted);
+        }
+        if context.len() != self.input_len {
+            return Err(Error::BadContextLength {
+                got: context.len(),
+                need: self.input_len,
+            });
+        }
+        Ok((0..self.horizon)
+            .map(|h| {
+                // Value one period before the forecast position.
+                let offset = (h % self.period) + self.input_len - self.period;
+                context[offset]
+            })
+            .collect())
+    }
+}
+
+/// Exponentially damped moving average: a flat forecast at the smoothed
+/// level.
+#[derive(Debug, Clone)]
+pub struct DampedMovingAverage {
+    /// Smoothing factor in `(0, 1]`; higher weights recent samples more.
+    alpha: f64,
+    input_len: usize,
+    horizon: usize,
+    fitted: bool,
+}
+
+impl DampedMovingAverage {
+    /// Creates a damped-average forecaster.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `alpha` is outside `(0, 1]` or any size is zero.
+    pub fn new(alpha: f64, input_len: usize, horizon: usize) -> Result<Self> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(Error::InvalidConfig("alpha must be in (0, 1]"));
+        }
+        if input_len == 0 || horizon == 0 {
+            return Err(Error::InvalidConfig(
+                "input_len and horizon must be positive",
+            ));
+        }
+        Ok(Self {
+            alpha,
+            input_len,
+            horizon,
+            fitted: false,
+        })
+    }
+
+    /// The damped level of a context window.
+    pub fn level(&self, context: &[f64]) -> f64 {
+        let mut level = context[0];
+        for &x in &context[1..] {
+            level = self.alpha * x + (1.0 - self.alpha) * level;
+        }
+        level
+    }
+}
+
+impl Forecaster for DampedMovingAverage {
+    fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<()> {
+        if series.is_empty() {
+            return Err(Error::SeriesTooShort { got: 0, need: 1 });
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, context: &[f64]) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(Error::NotFitted);
+        }
+        if context.len() != self.input_len {
+            return Err(Error::BadContextLength {
+                got: context.len(),
+                need: self.input_len,
+            });
+        }
+        Ok(vec![self.level(context); self.horizon])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seasonal_naive_repeats_period() {
+        let mut m = SeasonalNaive::new(4, 8, 6).unwrap();
+        m.fit(&[0.0]).unwrap();
+        let ctx = [0.0, 0.0, 0.0, 0.0, 10.0, 20.0, 30.0, 40.0];
+        let pred = m.predict(&ctx).unwrap();
+        assert_eq!(pred, vec![10.0, 20.0, 30.0, 40.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn damped_average_is_flat_and_between_extremes() {
+        let mut m = DampedMovingAverage::new(0.3, 5, 3).unwrap();
+        m.fit(&[0.0]).unwrap();
+        let ctx = [10.0, 20.0, 10.0, 20.0, 10.0];
+        let pred = m.predict(&ctx).unwrap();
+        assert!(pred.iter().all(|&p| p == pred[0]));
+        assert!(pred[0] > 10.0 && pred[0] < 20.0);
+    }
+
+    #[test]
+    fn damped_average_tracks_recent_with_high_alpha() {
+        let m = DampedMovingAverage::new(0.99, 4, 1).unwrap();
+        let lvl = m.level(&[0.0, 0.0, 0.0, 100.0]);
+        assert!(lvl > 95.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SeasonalNaive::new(0, 4, 1).is_err());
+        assert!(SeasonalNaive::new(8, 4, 1).is_err());
+        assert!(DampedMovingAverage::new(0.0, 4, 1).is_err());
+        assert!(DampedMovingAverage::new(1.5, 4, 1).is_err());
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let m = SeasonalNaive::new(2, 4, 2).unwrap();
+        assert_eq!(m.predict(&[0.0; 4]).unwrap_err(), Error::NotFitted);
+        let m = DampedMovingAverage::new(0.5, 4, 2).unwrap();
+        assert_eq!(m.predict(&[0.0; 4]).unwrap_err(), Error::NotFitted);
+    }
+}

@@ -1,0 +1,552 @@
+//! N-HiTS: Neural Hierarchical Interpolation for Time Series (Challu et
+//! al., AAAI 2023), with Faro's Gaussian probabilistic head.
+//!
+//! Each stack block (1) average-pools its input at a block-specific rate
+//! (multi-rate data sampling), (2) runs a small MLP over the pooled
+//! signal, (3) emits a few expansion coefficients ("knots") that are
+//! linearly interpolated up to the backcast and forecast lengths
+//! (hierarchical interpolation). Blocks are chained by doubly-residual
+//! stacking: each block subtracts its backcast from the running input
+//! and adds its forecast to the running output.
+//!
+//! Faro's extension (paper Sec. 3.5.2) adds a second forecast head per
+//! block for the raw standard deviation; training minimizes Gaussian
+//! negative log-likelihood and prediction yields per-step `(mu, sigma)`.
+
+use crate::dataset::{StandardScaler, WindowDataset};
+use crate::error::{Error, Result};
+use crate::gaussian::GaussianForecast;
+use crate::{Forecaster, ProbForecaster};
+use faro_nn::adam::AdamConfig;
+use faro_nn::layer::{Linear, Relu};
+use faro_nn::loss::{gaussian_nll, mse, softplus};
+use faro_nn::ops::{avg_pool1d, avg_pool1d_backward, interp1d, interp1d_backward};
+use faro_nn::Matrix;
+use rand::prelude::*;
+
+/// Configuration of one N-HiTS stack block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockConfig {
+    /// Average-pooling kernel applied to the block input.
+    pub pool_kernel: usize,
+    /// Number of forecast expansion coefficients (interpolated up to the
+    /// horizon).
+    pub forecast_knots: usize,
+    /// Number of backcast expansion coefficients (interpolated up to the
+    /// input length).
+    pub backcast_knots: usize,
+}
+
+/// N-HiTS model configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NHitsConfig {
+    /// Context window length.
+    pub input_len: usize,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Stack blocks, coarsest pooling first (the N-HiTS convention).
+    pub blocks: Vec<BlockConfig>,
+    /// MLP hidden width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Train the Gaussian head (probabilistic) in addition to the mean.
+    pub probabilistic: bool,
+    /// Additive floor on predicted standard deviation (scaled units).
+    pub sigma_floor: f64,
+    /// RNG seed for initialization and batching.
+    pub seed: u64,
+}
+
+impl NHitsConfig {
+    /// The paper-shaped default: three stacks with multi-rate pooling.
+    pub fn standard(input_len: usize, horizon: usize, seed: u64) -> Self {
+        let fk = |d: usize| (horizon / d).max(1);
+        let bk = |d: usize| (input_len / d).max(1);
+        Self {
+            input_len,
+            horizon,
+            blocks: vec![
+                BlockConfig {
+                    pool_kernel: 4,
+                    forecast_knots: fk(8),
+                    backcast_knots: bk(8),
+                },
+                BlockConfig {
+                    pool_kernel: 2,
+                    forecast_knots: fk(4),
+                    backcast_knots: bk(4),
+                },
+                BlockConfig {
+                    pool_kernel: 1,
+                    forecast_knots: fk(2),
+                    backcast_knots: bk(2),
+                },
+            ],
+            hidden: 64,
+            epochs: 60,
+            batch_size: 64,
+            lr: 1e-3,
+            probabilistic: true,
+            sigma_floor: 1e-3,
+            seed,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.input_len == 0 || self.horizon == 0 {
+            return Err(Error::InvalidConfig(
+                "input_len and horizon must be positive",
+            ));
+        }
+        if self.blocks.is_empty() {
+            return Err(Error::InvalidConfig("at least one block is required"));
+        }
+        if self.hidden == 0 || self.batch_size == 0 || self.epochs == 0 {
+            return Err(Error::InvalidConfig(
+                "hidden, batch_size, epochs must be positive",
+            ));
+        }
+        for b in &self.blocks {
+            if b.pool_kernel == 0 || b.forecast_knots == 0 || b.backcast_knots == 0 {
+                return Err(Error::InvalidConfig("block sizes must be positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One stack block: pooling, a two-layer MLP, and interpolated heads.
+#[derive(Debug, Clone)]
+struct Block {
+    cfg: BlockConfig,
+    l1: Linear,
+    r1: Relu,
+    l2: Linear,
+    r2: Relu,
+    head: Linear,
+    /// Width of the mu/sigma section of the head output.
+    prob: bool,
+}
+
+impl Block {
+    fn new(cfg: BlockConfig, input_len: usize, hidden: usize, prob: bool, seed: u64) -> Self {
+        let pooled = input_len.div_ceil(cfg.pool_kernel);
+        let head_out = cfg.backcast_knots + cfg.forecast_knots * if prob { 2 } else { 1 };
+        Self {
+            cfg,
+            l1: Linear::new(pooled, hidden, seed.wrapping_mul(31).wrapping_add(1)),
+            r1: Relu::default(),
+            l2: Linear::new(hidden, hidden, seed.wrapping_mul(31).wrapping_add(2)),
+            r2: Relu::default(),
+            head: Linear::new(hidden, head_out, seed.wrapping_mul(31).wrapping_add(3)),
+            prob,
+        }
+    }
+
+    /// Forward with caching; returns `(backcast, mu, raw_sigma)` already
+    /// interpolated to full lengths. `raw_sigma` is zeros when the block
+    /// is not probabilistic.
+    fn forward(
+        &mut self,
+        x: &Matrix,
+        input_len: usize,
+        horizon: usize,
+    ) -> (Matrix, Matrix, Matrix) {
+        let pooled = avg_pool1d(x, self.cfg.pool_kernel);
+        let h = self
+            .r2
+            .forward(&self.l2.forward(&self.r1.forward(&self.l1.forward(&pooled))));
+        let theta = self.head.forward(&h);
+        let (theta_back, rest) = theta.hsplit(self.cfg.backcast_knots);
+        let backcast = interp1d(&theta_back, input_len);
+        if self.prob {
+            let (theta_mu, theta_sig) = rest.hsplit(self.cfg.forecast_knots);
+            (
+                backcast,
+                interp1d(&theta_mu, horizon),
+                interp1d(&theta_sig, horizon),
+            )
+        } else {
+            (
+                backcast,
+                interp1d(&rest, horizon),
+                Matrix::zeros(x.rows(), horizon),
+            )
+        }
+    }
+
+    /// Inference-only forward (no caches).
+    fn forward_inference(
+        &self,
+        x: &Matrix,
+        input_len: usize,
+        horizon: usize,
+    ) -> (Matrix, Matrix, Matrix) {
+        let pooled = avg_pool1d(x, self.cfg.pool_kernel);
+        let h = self.r2.forward_inference(
+            &self.l2.forward_inference(
+                &self
+                    .r1
+                    .forward_inference(&self.l1.forward_inference(&pooled)),
+            ),
+        );
+        let theta = self.head.forward_inference(&h);
+        let (theta_back, rest) = theta.hsplit(self.cfg.backcast_knots);
+        let backcast = interp1d(&theta_back, input_len);
+        if self.prob {
+            let (theta_mu, theta_sig) = rest.hsplit(self.cfg.forecast_knots);
+            (
+                backcast,
+                interp1d(&theta_mu, horizon),
+                interp1d(&theta_sig, horizon),
+            )
+        } else {
+            (
+                backcast,
+                interp1d(&rest, horizon),
+                Matrix::zeros(x.rows(), horizon),
+            )
+        }
+    }
+
+    /// Backward from `(d_backcast, d_mu, d_raw_sigma)`; returns the
+    /// gradient with respect to the block input (pooling path only).
+    fn backward(
+        &mut self,
+        d_backcast: &Matrix,
+        d_mu: &Matrix,
+        d_sig: &Matrix,
+        input_len: usize,
+    ) -> Matrix {
+        let d_theta_back = interp1d_backward(d_backcast, self.cfg.backcast_knots);
+        let d_theta_mu = interp1d_backward(d_mu, self.cfg.forecast_knots);
+        let d_theta = if self.prob {
+            let d_theta_sig = interp1d_backward(d_sig, self.cfg.forecast_knots);
+            d_theta_back.hcat(&d_theta_mu).hcat(&d_theta_sig)
+        } else {
+            d_theta_back.hcat(&d_theta_mu)
+        };
+        let d_h = self.head.backward(&d_theta);
+        let d_pooled = self
+            .l1
+            .backward(&self.r1.backward(&self.l2.backward(&self.r2.backward(&d_h))));
+        avg_pool1d_backward(&d_pooled, input_len, self.cfg.pool_kernel)
+    }
+
+    fn apply_grads(&mut self, cfg: &AdamConfig) {
+        self.l1.apply_grads(cfg);
+        self.l2.apply_grads(cfg);
+        self.head.apply_grads(cfg);
+    }
+}
+
+/// The N-HiTS forecaster.
+#[derive(Debug, Clone)]
+pub struct NHits {
+    cfg: NHitsConfig,
+    blocks: Vec<Block>,
+    scaler: Option<StandardScaler>,
+    /// Final training loss, for diagnostics.
+    last_loss: Option<f64>,
+}
+
+impl NHits {
+    /// Builds an untrained model from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a structurally invalid configuration.
+    pub fn new(cfg: NHitsConfig) -> Result<Self> {
+        cfg.validate()?;
+        let blocks = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                Block::new(
+                    b,
+                    cfg.input_len,
+                    cfg.hidden,
+                    cfg.probabilistic,
+                    cfg.seed + i as u64,
+                )
+            })
+            .collect();
+        Ok(Self {
+            cfg,
+            blocks,
+            scaler: None,
+            last_loss: None,
+        })
+    }
+
+    /// A small fast configuration for tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the hard-coded configuration were invalid.
+    pub fn quick(input_len: usize, horizon: usize, seed: u64) -> Self {
+        let mut cfg = NHitsConfig::standard(input_len, horizon, seed);
+        cfg.hidden = 32;
+        cfg.epochs = 100;
+        cfg.lr = 2e-3;
+        Self::new(cfg).expect("quick config is valid")
+    }
+
+    /// Final epoch's mean training loss, once fitted.
+    pub fn last_loss(&self) -> Option<f64> {
+        self.last_loss
+    }
+
+    /// Full forward over all blocks with caching; returns summed
+    /// `(mu, raw_sigma)`. Layer activations needed by the backward pass
+    /// are cached inside each layer.
+    fn forward_train(&mut self, x0: &Matrix) -> (Matrix, Matrix) {
+        let (input_len, horizon) = (self.cfg.input_len, self.cfg.horizon);
+        let mut x = x0.clone();
+        let mut mu = Matrix::zeros(x0.rows(), horizon);
+        let mut sig = Matrix::zeros(x0.rows(), horizon);
+        for b in &mut self.blocks {
+            let (backcast, m, s) = b.forward(&x, input_len, horizon);
+            x = x.sub(&backcast);
+            mu = mu.add(&m);
+            sig = sig.add(&s);
+        }
+        (mu, sig)
+    }
+
+    /// Backward over all blocks given head gradients.
+    fn backward_train(&mut self, d_mu: &Matrix, d_sig: &Matrix) {
+        let input_len = self.cfg.input_len;
+        let batch = d_mu.rows();
+        // Gradient with respect to the running residual after the last
+        // block (unused downstream): zero.
+        let mut d_x_next = Matrix::zeros(batch, input_len);
+        for b in self.blocks.iter_mut().rev() {
+            // x_{b+1} = x_b - backcast_b  =>  d_backcast = -d_x_next.
+            let d_backcast = d_x_next.scale(-1.0);
+            let d_pool_path = b.backward(&d_backcast, d_mu, d_sig, input_len);
+            d_x_next = d_pool_path.add(&d_x_next);
+        }
+    }
+
+    /// Scaled-forecast inference over all blocks.
+    fn forward_inference_scaled(&self, context_scaled: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let (input_len, horizon) = (self.cfg.input_len, self.cfg.horizon);
+        let mut x = Matrix::from_vec(1, input_len, context_scaled.to_vec());
+        let mut mu = Matrix::zeros(1, horizon);
+        let mut sig = Matrix::zeros(1, horizon);
+        for b in &self.blocks {
+            let (backcast, m, s) = b.forward_inference(&x, input_len, horizon);
+            x = x.sub(&backcast);
+            mu = mu.add(&m);
+            sig = sig.add(&s);
+        }
+        (mu.data().to_vec(), sig.data().to_vec())
+    }
+
+    fn check_context(&self, context: &[f64]) -> Result<&StandardScaler> {
+        let scaler = self.scaler.as_ref().ok_or(Error::NotFitted)?;
+        if context.len() != self.cfg.input_len {
+            return Err(Error::BadContextLength {
+                got: context.len(),
+                need: self.cfg.input_len,
+            });
+        }
+        Ok(scaler)
+    }
+}
+
+impl Forecaster for NHits {
+    fn input_len(&self) -> usize {
+        self.cfg.input_len
+    }
+
+    fn horizon(&self) -> usize {
+        self.cfg.horizon
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<()> {
+        let scaler = StandardScaler::fit(series)?;
+        let scaled = scaler.transform_slice(series);
+        let ds = WindowDataset::build(&scaled, self.cfg.input_len, self.cfg.horizon, 1)?;
+        let adam = AdamConfig {
+            lr: self.cfg.lr,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x0da7_a5e7);
+        let mut order: Vec<usize> = (0..ds.len()).collect();
+        for _epoch in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches: f64 = 0.0;
+            for chunk in order.chunks(self.cfg.batch_size) {
+                let (x, y) = ds.batch(chunk);
+                let (mu, raw_sig) = self.forward_train(&x);
+                let (loss, d_mu, d_sig) = if self.cfg.probabilistic {
+                    gaussian_nll(&mu, &raw_sig, &y, self.cfg.sigma_floor)
+                } else {
+                    let (l, g) = mse(&mu, &y);
+                    let zero = Matrix::zeros(mu.rows(), mu.cols());
+                    (l, g, zero)
+                };
+                self.backward_train(&d_mu, &d_sig);
+                for b in &mut self.blocks {
+                    b.apply_grads(&adam);
+                }
+                epoch_loss += loss;
+                batches += 1.0;
+            }
+            self.last_loss = Some(epoch_loss / batches.max(1.0));
+        }
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn predict(&self, context: &[f64]) -> Result<Vec<f64>> {
+        let scaler = self.check_context(context)?;
+        let scaled = scaler.transform_slice(context);
+        let (mu, _) = self.forward_inference_scaled(&scaled);
+        Ok(mu.into_iter().map(|m| scaler.inverse(m)).collect())
+    }
+}
+
+impl ProbForecaster for NHits {
+    fn predict_distribution(&self, context: &[f64]) -> Result<GaussianForecast> {
+        let scaler = self.check_context(context)?;
+        let scaled = scaler.transform_slice(context);
+        let (mu, raw_sig) = self.forward_inference_scaled(&scaled);
+        let mu: Vec<f64> = mu.into_iter().map(|m| scaler.inverse(m)).collect();
+        let sigma: Vec<f64> = raw_sig
+            .into_iter()
+            .map(|r| scaler.inverse_scale(softplus(r) + self.cfg.sigma_floor))
+            .collect();
+        Ok(GaussianForecast::new(mu, sigma))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmse;
+
+    fn sine_series(n: usize, period: f64, noise: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                100.0
+                    + 50.0 * (2.0 * std::f64::consts::PI * i as f64 / period).sin()
+                    + noise * rng.gen_range(-1.0..1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = NHitsConfig::standard(24, 8, 0);
+        cfg.blocks.clear();
+        assert!(NHits::new(cfg).is_err());
+        let mut cfg = NHitsConfig::standard(24, 8, 0);
+        cfg.horizon = 0;
+        assert!(NHits::new(cfg).is_err());
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let m = NHits::quick(12, 4, 0);
+        assert_eq!(m.predict(&[0.0; 12]).unwrap_err(), Error::NotFitted);
+    }
+
+    #[test]
+    fn wrong_context_length_errors() {
+        let mut m = NHits::quick(12, 4, 0);
+        m.fit(&sine_series(200, 24.0, 1.0, 1)).unwrap();
+        assert!(matches!(
+            m.predict(&[0.0; 5]).unwrap_err(),
+            Error::BadContextLength { got: 5, need: 12 }
+        ));
+    }
+
+    #[test]
+    fn beats_flat_baseline_on_seasonal_series() {
+        let series = sine_series(600, 48.0, 2.0, 2);
+        let (train, test) = series.split_at(500);
+        let mut m = NHits::quick(48, 16, 3);
+        m.fit(train).unwrap();
+        // Evaluate on a handful of held-out windows.
+        let mut nhits_err = 0.0;
+        let mut flat_err = 0.0;
+        let mut count = 0.0;
+        for start in (0..test.len() - 64).step_by(16) {
+            let ctx_start = 500 + start;
+            let ctx = &series[ctx_start - 48..ctx_start];
+            let truth = &series[ctx_start..ctx_start + 16];
+            let pred = m.predict(ctx).unwrap();
+            let flat = vec![ctx[ctx.len() - 1]; 16];
+            nhits_err += rmse(&pred, truth);
+            flat_err += rmse(&flat, truth);
+            count += 1.0;
+        }
+        assert!(
+            nhits_err / count < flat_err / count,
+            "N-HiTS RMSE {} should beat last-value {}",
+            nhits_err / count,
+            flat_err / count
+        );
+    }
+
+    #[test]
+    fn probabilistic_widths_cover_noise() {
+        // On a noisy flat series, predicted sigma should be on the order
+        // of the noise amplitude and the 20-80 band should cover most of
+        // the truth.
+        let mut rng = StdRng::seed_from_u64(7);
+        let series: Vec<f64> = (0..500)
+            .map(|_| 100.0 + rng.gen_range(-20.0..20.0))
+            .collect();
+        let mut m = NHits::quick(24, 8, 5);
+        m.fit(&series).unwrap();
+        let ctx = &series[series.len() - 24..];
+        let dist = m.predict_distribution(ctx).unwrap();
+        let mean_sigma = dist.sigma.iter().sum::<f64>() / dist.sigma.len() as f64;
+        assert!(
+            mean_sigma > 3.0 && mean_sigma < 60.0,
+            "sigma {mean_sigma} should reflect noise scale"
+        );
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let series = sine_series(300, 24.0, 1.0, 9);
+        let mut cfg = NHitsConfig::standard(24, 8, 0);
+        cfg.hidden = 32;
+        cfg.epochs = 1;
+        let mut m = NHits::new(cfg.clone()).unwrap();
+        m.fit(&series).unwrap();
+        let one_epoch = m.last_loss().unwrap();
+        cfg.epochs = 25;
+        let mut m = NHits::new(cfg).unwrap();
+        m.fit(&series).unwrap();
+        let many_epochs = m.last_loss().unwrap();
+        assert!(
+            many_epochs < one_epoch,
+            "loss should fall with training: {one_epoch} -> {many_epochs}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let series = sine_series(200, 24.0, 1.0, 4);
+        let mut a = NHits::quick(24, 8, 42);
+        let mut b = NHits::quick(24, 8, 42);
+        a.fit(&series).unwrap();
+        b.fit(&series).unwrap();
+        let ctx = &series[series.len() - 24..];
+        assert_eq!(a.predict(ctx).unwrap(), b.predict(ctx).unwrap());
+    }
+}

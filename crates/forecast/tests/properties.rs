@@ -1,0 +1,91 @@
+//! Property-based tests for the forecasting stack.
+
+use faro_forecast::dataset::{StandardScaler, WindowDataset};
+use faro_forecast::gaussian::{normal_quantile, GaussianForecast};
+use faro_forecast::naive::{DampedMovingAverage, SeasonalNaive};
+use faro_forecast::Forecaster;
+use proptest::prelude::*;
+
+proptest! {
+    /// Scaler round-trips arbitrary values.
+    #[test]
+    fn scaler_roundtrip(series in prop::collection::vec(-1e4f64..1e4, 2..100), probe in -1e4f64..1e4) {
+        let s = StandardScaler::fit(&series).unwrap();
+        prop_assert!((s.inverse(s.transform(probe)) - probe).abs() < 1e-6);
+    }
+
+    /// Window datasets tile the series without gaps at stride 1.
+    #[test]
+    fn windows_consistent(len in 10usize..200, input in 1usize..8, horizon in 1usize..4) {
+        let series: Vec<f64> = (0..len).map(|i| i as f64).collect();
+        if let Ok(ds) = WindowDataset::build(&series, input, horizon, 1) {
+            prop_assert_eq!(ds.len(), len - input - horizon + 1);
+            // Every window's target continues its input contiguously.
+            for w in 0..ds.len() {
+                let last_in = ds.inputs.row(w)[input - 1];
+                let first_out = ds.targets.row(w)[0];
+                prop_assert!((first_out - last_in - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Normal quantile is monotone and symmetric around the median.
+    #[test]
+    fn normal_quantile_properties(p in 0.001f64..0.499) {
+        let lo = normal_quantile(p);
+        let hi = normal_quantile(1.0 - p);
+        prop_assert!((lo + hi).abs() < 1e-6, "symmetry at {p}");
+        let lo2 = normal_quantile(p + 0.0005);
+        prop_assert!(lo2 >= lo);
+    }
+
+    /// Gaussian forecast quantiles are monotone in q and centered on mu.
+    #[test]
+    fn forecast_quantiles_ordered(
+        mu in prop::collection::vec(-100.0f64..100.0, 1..10),
+        sigma_scale in 0.1f64..20.0,
+    ) {
+        let sigma = vec![sigma_scale; mu.len()];
+        let f = GaussianForecast::new(mu.clone(), sigma);
+        let q20 = f.quantile(0.2);
+        let q50 = f.quantile(0.5);
+        let q80 = f.quantile(0.8);
+        for k in 0..mu.len() {
+            prop_assert!(q20[k] <= q50[k] && q50[k] <= q80[k]);
+            prop_assert!((q50[k] - mu[k]).abs() < 1e-6);
+        }
+    }
+
+    /// Seasonal naive is exactly periodic and bounded by its context.
+    #[test]
+    fn seasonal_naive_periodic(
+        period in 1usize..6,
+        reps in 2usize..4,
+        horizon in 1usize..12,
+        base in prop::collection::vec(0.0f64..100.0, 1..6),
+    ) {
+        let period = period.min(base.len());
+        let season: Vec<f64> = base[..period].to_vec();
+        let input_len = period * reps;
+        let ctx: Vec<f64> = season.iter().cycle().take(input_len).copied().collect();
+        let mut m = SeasonalNaive::new(period, input_len, horizon).unwrap();
+        m.fit(&[0.0]).unwrap();
+        let pred = m.predict(&ctx).unwrap();
+        for (h, v) in pred.iter().enumerate() {
+            prop_assert!((v - season[h % period]).abs() < 1e-12);
+        }
+    }
+
+    /// The damped average lies within the context's range.
+    #[test]
+    fn damped_average_bounded(
+        alpha in 0.01f64..=1.0,
+        ctx in prop::collection::vec(0.0f64..1000.0, 1..50),
+    ) {
+        let m = DampedMovingAverage::new(alpha, ctx.len(), 1).unwrap();
+        let level = m.level(&ctx);
+        let lo = ctx.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ctx.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(level >= lo - 1e-9 && level <= hi + 1e-9);
+    }
+}

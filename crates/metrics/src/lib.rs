@@ -1,0 +1,35 @@
+//! Metric collection and accounting primitives shared by the Faro
+//! autoscaler, simulator, and experiment harness.
+//!
+//! - [`percentile`]: exact nearest-rank percentiles and the streaming P²
+//!   quantile estimator.
+//! - [`window`]: time-stamped sliding windows for rates and means.
+//! - [`slo`]: per-job SLO violation accounting and per-minute tail-latency
+//!   series (the paper's main experimental metrics, Sec. 6).
+//! - [`rank`]: the Kendall-Tau rank distance used to compare simulator
+//!   and cluster policy rankings (paper Table 7).
+//!
+//! # Examples
+//!
+//! ```
+//! use faro_metrics::slo::SloAccounting;
+//!
+//! let mut acc = SloAccounting::new(0.720);
+//! acc.record_latency(0.300); // Within SLO.
+//! acc.record_latency(0.900); // Violation.
+//! acc.record_drop();         // Drops count as violations.
+//! assert!((acc.violation_rate() - 2.0 / 3.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod percentile;
+pub mod rank;
+pub mod slo;
+pub mod window;
+
+pub use percentile::{percentile_of_sorted, PercentileBuffer};
+pub use rank::kendall_tau_distance;
+pub use slo::{MinuteSeries, SloAccounting};
+pub use window::SlidingWindow;

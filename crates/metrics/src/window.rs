@@ -1,0 +1,177 @@
+//! Time-stamped sliding windows.
+//!
+//! The Faro router continually collects arrival rates and average
+//! per-request processing times (paper Sec. 5); this module provides the
+//! bounded-horizon window those metrics are computed over.
+
+use std::collections::VecDeque;
+
+/// A sliding window of `(timestamp, value)` samples with a fixed horizon.
+///
+/// Timestamps are seconds (monotone, but out-of-order inserts within the
+/// horizon are tolerated). Samples older than `now - horizon` are evicted
+/// on insertion and on query.
+///
+/// # Examples
+///
+/// ```
+/// use faro_metrics::SlidingWindow;
+///
+/// let mut w = SlidingWindow::new(60.0);
+/// w.push(0.0, 10.0);
+/// w.push(30.0, 20.0);
+/// assert_eq!(w.mean(30.0), Some(15.0));
+/// w.push(100.0, 5.0); // Evicts both earlier samples (cutoff t=40).
+/// assert_eq!(w.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    horizon: f64,
+    samples: VecDeque<(f64, f64)>,
+}
+
+impl SlidingWindow {
+    /// Creates a window covering the last `horizon` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not finite and positive.
+    pub fn new(horizon: f64) -> Self {
+        assert!(
+            horizon.is_finite() && horizon > 0.0,
+            "horizon must be positive"
+        );
+        Self {
+            horizon,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// The configured horizon in seconds.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Inserts a sample and evicts everything older than the horizon
+    /// relative to the newest timestamp seen.
+    pub fn push(&mut self, timestamp: f64, value: f64) {
+        if !timestamp.is_finite() || value.is_nan() {
+            return;
+        }
+        self.samples.push_back((timestamp, value));
+        let newest = self
+            .samples
+            .iter()
+            .map(|&(t, _)| t)
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.evict_before(newest - self.horizon);
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of samples within the horizon ending at `now`.
+    pub fn mean(&mut self, now: f64) -> Option<f64> {
+        self.evict_before(now - self.horizon);
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.samples.iter().map(|&(_, v)| v).sum();
+        Some(sum / self.samples.len() as f64)
+    }
+
+    /// Sum of samples within the horizon ending at `now`.
+    pub fn sum(&mut self, now: f64) -> f64 {
+        self.evict_before(now - self.horizon);
+        self.samples.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Event rate: sample count divided by the horizon (per second).
+    ///
+    /// Useful when each push records one arrival (`value` ignored).
+    pub fn rate(&mut self, now: f64) -> f64 {
+        self.evict_before(now - self.horizon);
+        self.samples.len() as f64 / self.horizon
+    }
+
+    /// Values currently retained, oldest first.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().map(|&(_, v)| v)
+    }
+
+    fn evict_before(&mut self, cutoff: f64) {
+        // Samples are *mostly* time-ordered; evict from the front while
+        // stale, then sweep any stragglers.
+        while matches!(self.samples.front(), Some(&(t, _)) if t < cutoff) {
+            self.samples.pop_front();
+        }
+        if self.samples.iter().any(|&(t, _)| t < cutoff) {
+            self.samples.retain(|&(t, _)| t >= cutoff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_old_samples() {
+        let mut w = SlidingWindow::new(10.0);
+        for t in 0..20 {
+            w.push(f64::from(t), 1.0);
+        }
+        // Horizon [9, 19]: 11 samples survive.
+        assert_eq!(w.len(), 11);
+        assert_eq!(w.sum(19.0), 11.0);
+    }
+
+    #[test]
+    fn mean_and_rate() {
+        let mut w = SlidingWindow::new(60.0);
+        w.push(0.0, 2.0);
+        w.push(1.0, 4.0);
+        assert_eq!(w.mean(1.0), Some(3.0));
+        assert!((w.rate(1.0) - 2.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_time_advancing_evicts() {
+        let mut w = SlidingWindow::new(5.0);
+        w.push(0.0, 1.0);
+        assert_eq!(w.mean(0.0), Some(1.0));
+        assert_eq!(w.mean(100.0), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn tolerates_out_of_order_within_horizon() {
+        let mut w = SlidingWindow::new(10.0);
+        w.push(5.0, 1.0);
+        w.push(3.0, 2.0);
+        w.push(7.0, 3.0);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.mean(7.0), Some(2.0));
+    }
+
+    #[test]
+    fn ignores_nan_and_infinite_timestamps() {
+        let mut w = SlidingWindow::new(10.0);
+        w.push(f64::NAN, 1.0);
+        w.push(0.0, f64::NAN);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_panics() {
+        let _ = SlidingWindow::new(0.0);
+    }
+}

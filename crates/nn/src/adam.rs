@@ -1,0 +1,130 @@
+//! The Adam optimizer (Kingma & Ba, 2015).
+//!
+//! Each parameter tensor owns one [`Adam`] state; layers call
+//! [`Adam::step`] with their accumulated gradients.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Per-tensor Adam state (first and second moment estimates).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// State for a parameter tensor of `len` scalars.
+    pub fn new(len: usize) -> Self {
+        Self {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
+    }
+
+    /// Number of update steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update to `params` given `grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths of `params`, `grads`, and the state do not
+    /// match.
+    pub fn step(&mut self, cfg: &AdamConfig, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "param/state length mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad/state length mismatch");
+        self.t += 1;
+        let t = self.t as i32;
+        let bc1 = 1.0 - cfg.beta1.powi(t);
+        let bc2 = 1.0 - cfg.beta2.powi(t);
+        for i in 0..params.len() {
+            let g = if grads[i].is_finite() { grads[i] } else { 0.0 };
+            self.m[i] = cfg.beta1 * self.m[i] + (1.0 - cfg.beta1) * g;
+            self.v[i] = cfg.beta2 * self.v[i] + (1.0 - cfg.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= cfg.lr * m_hat / (v_hat.sqrt() + cfg.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // Minimize (x - 3)^2 by gradient descent with Adam.
+        let mut x = vec![0.0f64];
+        let mut adam = Adam::new(1);
+        let cfg = AdamConfig {
+            lr: 0.1,
+            ..Default::default()
+        };
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            adam.step(&cfg, &mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn first_step_moves_by_lr() {
+        // Adam's bias correction makes the first step approximately lr in
+        // the gradient direction regardless of gradient magnitude.
+        let mut x = vec![0.0f64];
+        let mut adam = Adam::new(1);
+        let cfg = AdamConfig {
+            lr: 0.01,
+            ..Default::default()
+        };
+        adam.step(&cfg, &mut x, &[1234.5]);
+        assert!((x[0] + 0.01).abs() < 1e-6, "x = {}", x[0]);
+        assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    fn nonfinite_gradients_are_ignored() {
+        let mut x = vec![1.0f64];
+        let mut adam = Adam::new(1);
+        adam.step(&AdamConfig::default(), &mut x, &[f64::NAN]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!(x[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut adam = Adam::new(2);
+        let mut p = vec![0.0];
+        adam.step(&AdamConfig::default(), &mut p, &[0.0]);
+    }
+}

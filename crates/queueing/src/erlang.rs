@@ -1,0 +1,136 @@
+//! Erlang-B and Erlang-C formulas computed with numerically stable
+//! recurrences.
+//!
+//! Both formulas take the *offered load* `a = lambda * p` (arrival rate
+//! times mean service time, in Erlangs) and the number of servers `c`.
+
+use crate::error::{non_negative, Error, Result};
+
+/// Computes the Erlang-B blocking probability `B(c, a)`.
+///
+/// Uses the standard recurrence `B(0) = 1`,
+/// `B(k) = a * B(k-1) / (k + a * B(k-1))`, which is stable for large `c`
+/// and `a` (no factorials are formed).
+///
+/// # Examples
+///
+/// ```
+/// let b = faro_queueing::erlang::erlang_b(2, 1.0).unwrap();
+/// assert!((b - 0.2).abs() < 1e-12); // classical textbook value
+/// ```
+pub fn erlang_b(servers: u32, offered_load: f64) -> Result<f64> {
+    if servers == 0 {
+        return Err(Error::ZeroReplicas);
+    }
+    let a = non_negative("offered_load", offered_load)?;
+    let mut b = 1.0f64;
+    for k in 1..=servers {
+        b = a * b / (f64::from(k) + a * b);
+    }
+    Ok(b)
+}
+
+/// Computes the Erlang-C probability that an arriving request must wait,
+/// `C(c, a)`, for a stable queue (`a < c`).
+///
+/// Returns `1.0` when the queue is saturated (`a >= c`): every arrival
+/// waits (and the wait diverges).
+///
+/// # Examples
+///
+/// ```
+/// // Single server: C(1, a) = rho.
+/// let c = faro_queueing::erlang::erlang_c(1, 0.5).unwrap();
+/// assert!((c - 0.5).abs() < 1e-12);
+/// ```
+pub fn erlang_c(servers: u32, offered_load: f64) -> Result<f64> {
+    if servers == 0 {
+        return Err(Error::ZeroReplicas);
+    }
+    let a = non_negative("offered_load", offered_load)?;
+    let c = f64::from(servers);
+    if a >= c {
+        return Ok(1.0);
+    }
+    let b = erlang_b(servers, a)?;
+    let rho = a / c;
+    Ok(b / (1.0 - rho * (1.0 - b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_known_values() {
+        // B(1, a) = a / (1 + a).
+        for a in [0.1, 0.5, 1.0, 2.0, 10.0] {
+            let b = erlang_b(1, a).unwrap();
+            assert!((b - a / (1.0 + a)).abs() < 1e-12, "a={a}");
+        }
+        // Zero load never blocks.
+        assert_eq!(erlang_b(4, 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn erlang_b_matches_direct_formula_small_c() {
+        // Direct formula with factorials for small c.
+        let direct = |c: u32, a: f64| -> f64 {
+            let mut num = 1.0;
+            let mut den = 0.0;
+            let mut term = 1.0;
+            for k in 0..=c {
+                if k > 0 {
+                    term *= a / k as f64;
+                }
+                den += term;
+                if k == c {
+                    num = term;
+                }
+            }
+            num / den
+        };
+        for c in 1..=8u32 {
+            for a in [0.3, 1.0, 3.0, 6.5] {
+                let fast = erlang_b(c, a).unwrap();
+                let slow = direct(c, a);
+                assert!((fast - slow).abs() < 1e-10, "c={c} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn erlang_c_known_single_server() {
+        // C(1, rho) = rho for M/M/1.
+        for rho in [0.1, 0.4, 0.9] {
+            let c = erlang_c(1, rho).unwrap();
+            assert!((c - rho).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erlang_c_saturated_is_one() {
+        assert_eq!(erlang_c(4, 4.0).unwrap(), 1.0);
+        assert_eq!(erlang_c(4, 10.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn erlang_c_bounded_and_monotone_in_load() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let a = 8.0 * f64::from(i) / 100.0;
+            let c = erlang_c(8, a).unwrap();
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev, "Erlang-C must be monotone in offered load");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn rejects_zero_servers_and_bad_load() {
+        assert!(erlang_b(0, 1.0).is_err());
+        assert!(erlang_c(0, 1.0).is_err());
+        assert!(erlang_c(2, -1.0).is_err());
+        assert!(erlang_c(2, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for queueing estimators.
+
+use core::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors returned by the latency estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A percentile was outside the open interval `(0, 1)`.
+    InvalidPercentile(f64),
+    /// A rate, processing time, or load parameter was non-finite or
+    /// non-positive where positivity is required.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A replica count of zero was supplied.
+    ZeroReplicas,
+    /// No replica count up to the provided maximum satisfies the SLO.
+    Infeasible {
+        /// The maximum replica count that was probed.
+        max_replicas: u32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidPercentile(p) => {
+                write!(f, "percentile {p} must lie strictly between 0 and 1")
+            }
+            Error::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` has invalid value {value}")
+            }
+            Error::ZeroReplicas => write!(f, "replica count must be at least 1"),
+            Error::Infeasible { max_replicas } => {
+                write!(f, "no replica count up to {max_replicas} meets the SLO")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn positive(name: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(Error::InvalidParameter { name, value })
+    }
+}
+
+/// Validates that `value` is finite and non-negative.
+pub(crate) fn non_negative(name: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(Error::InvalidParameter { name, value })
+    }
+}
+
+/// Validates that a percentile lies strictly inside `(0, 1)`.
+pub(crate) fn percentile(k: f64) -> Result<f64> {
+    if k.is_finite() && k > 0.0 && k < 1.0 {
+        Ok(k)
+    } else {
+        Err(Error::InvalidPercentile(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_values() {
+        let e = Error::InvalidPercentile(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = Error::InvalidParameter {
+            name: "lambda",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("lambda"));
+        assert!(Error::ZeroReplicas.to_string().contains("replica"));
+        assert!(Error::Infeasible { max_replicas: 8 }
+            .to_string()
+            .contains('8'));
+    }
+
+    #[test]
+    fn validators_accept_and_reject() {
+        assert!(positive("x", 1.0).is_ok());
+        assert!(positive("x", 0.0).is_err());
+        assert!(positive("x", f64::NAN).is_err());
+        assert!(non_negative("x", 0.0).is_ok());
+        assert!(non_negative("x", -0.1).is_err());
+        assert!(percentile(0.99).is_ok());
+        assert!(percentile(0.0).is_err());
+        assert!(percentile(1.0).is_err());
+    }
+}

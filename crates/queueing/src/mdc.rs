@@ -1,0 +1,172 @@
+//! The M/D/c queue: Poisson arrivals, deterministic service, `c` servers.
+//!
+//! ML inference has remarkably stable per-request processing times, so
+//! M/D/c is the natural model (paper Sec. 3.3). Exact M/D/c waiting-time
+//! distributions exist (Franx 2001) but are expensive; Faro adopts the
+//! common engineering approximation (Tijms 2006) of treating the M/D/c
+//! waiting time as half the M/M/c waiting time, which this module applies
+//! to both the mean and the percentiles.
+
+use crate::error::Result;
+use crate::mmc;
+
+/// Mean waiting time of an M/D/c queue (half the M/M/c mean wait).
+pub fn mean_wait(lambda: f64, p: f64, servers: u32) -> Result<f64> {
+    Ok(0.5 * mmc::mean_wait(lambda, p, servers)?)
+}
+
+/// The `k`-th percentile of the M/D/c waiting time, approximated as half
+/// the M/M/c percentile. Returns [`f64::INFINITY`] for `rho >= 1`.
+pub fn wait_percentile(k: f64, p: f64, lambda: f64, servers: u32) -> Result<f64> {
+    Ok(0.5 * mmc::wait_percentile(k, p, lambda, servers)?)
+}
+
+/// The `k`-th percentile of M/D/c *latency*: approximate waiting
+/// percentile plus the deterministic service time `p`.
+///
+/// This is the `latency_{M/D/c}(k, p, lambda, N)` estimator of the paper
+/// (Sec. 3.3): finite for a stable queue (`rho < 1`), infinite otherwise.
+///
+/// # Examples
+///
+/// ```
+/// let l = faro_queueing::mdc::latency_percentile(0.99, 0.150, 40.0, 8).unwrap();
+/// assert!(l.is_finite() && l >= 0.150);
+/// ```
+pub fn latency_percentile(k: f64, p: f64, lambda: f64, servers: u32) -> Result<f64> {
+    Ok(wait_percentile(k, p, lambda, servers)? + p)
+}
+
+/// Smallest replica count `N <= max_replicas` whose estimated `k`-th
+/// percentile latency meets the SLO target `slo`.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::Infeasible`] when even `max_replicas` replicas
+/// cannot meet the target.
+///
+/// # Examples
+///
+/// ```
+/// // Paper Sec. 3.3: p = 150 ms, lambda = 40 req/s, SLO 600 ms.
+/// // M/D/c estimates ~8 replicas at the 99.99th percentile, fewer than
+/// // the upper-bound model's 10.
+/// let n = faro_queueing::mdc::replicas_for_slo(0.9999, 0.150, 40.0, 0.600, 32).unwrap();
+/// assert!(n <= 10);
+/// ```
+pub fn replicas_for_slo(k: f64, p: f64, lambda: f64, slo: f64, max_replicas: u32) -> Result<u32> {
+    crate::error::positive("slo", slo)?;
+    // The latency estimate is monotone non-increasing in N, so binary
+    // search over [1, max_replicas] finds the smallest feasible N.
+    let feasible = |n: u32| -> Result<bool> { Ok(latency_percentile(k, p, lambda, n)? <= slo) };
+    if !feasible(max_replicas)? {
+        return Err(crate::Error::Infeasible { max_replicas });
+    }
+    let (mut lo, mut hi) = (1u32, max_replicas);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(mid)? {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upper_bound;
+    use rand::prelude::*;
+    use rand_distr::Exp;
+
+    #[test]
+    fn paper_example_mdc_beats_upper_bound() {
+        // p = 150 ms, lambda = 40 req/s, s = 600 ms (paper Sec. 3.3):
+        // upper bound says 10 replicas, M/D/c says ~8 at the 99.99th pct.
+        let ub = upper_bound::replicas_for_slo(0.150, 40.0, 0.600).unwrap();
+        assert_eq!(ub, 10);
+        let mdc = replicas_for_slo(0.9999, 0.150, 40.0, 0.600, 32).unwrap();
+        assert!(
+            mdc < ub,
+            "M/D/c ({mdc}) should need fewer than upper bound ({ub})"
+        );
+        assert!((7..=9).contains(&mdc), "expected ~8, got {mdc}");
+    }
+
+    #[test]
+    fn latency_monotone_in_lambda_and_replicas() {
+        let mut prev = 0.0;
+        for i in 1..50 {
+            let lambda = f64::from(i);
+            let l = latency_percentile(0.99, 0.15, lambda, 8).unwrap();
+            assert!(l >= prev, "latency must not decrease with load");
+            prev = l;
+        }
+        let mut prev = f64::INFINITY;
+        for n in 4..32 {
+            let l = latency_percentile(0.99, 0.15, 25.0, n).unwrap();
+            assert!(l <= prev, "latency must not increase with replicas");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn infeasible_when_saturated() {
+        // 1000 req/s at 150 ms needs at least 150 replicas.
+        let err = replicas_for_slo(0.99, 0.150, 1000.0, 0.3, 100).unwrap_err();
+        assert_eq!(err, crate::Error::Infeasible { max_replicas: 100 });
+    }
+
+    #[test]
+    fn replicas_for_slo_is_minimal() {
+        let n = replicas_for_slo(0.99, 0.150, 40.0, 0.600, 64).unwrap();
+        assert!(latency_percentile(0.99, 0.150, 40.0, n).unwrap() <= 0.600);
+        if n > 1 {
+            assert!(latency_percentile(0.99, 0.150, 40.0, n - 1).unwrap() > 0.600);
+        }
+    }
+
+    /// Monte Carlo M/D/c: deterministic service, Poisson arrivals.
+    fn simulate_mdc_waits(lambda: f64, p: f64, servers: usize, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inter = Exp::new(lambda).unwrap();
+        let mut server_free = vec![0.0f64; servers];
+        let mut t = 0.0;
+        let mut waits = Vec::with_capacity(n);
+        for _ in 0..n {
+            t += inter.sample(&mut rng);
+            let (idx, &free) = server_free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            let start = free.max(t);
+            waits.push(start - t);
+            server_free[idx] = start + p;
+        }
+        waits
+    }
+
+    #[test]
+    fn half_mmc_approximation_is_sane() {
+        // The Tijms rule is an engineering approximation; check it is in
+        // the right ballpark (within ~35%) at moderate load.
+        let (lambda, p, servers) = (20.0, 0.15, 4u32);
+        let mut waits = simulate_mdc_waits(lambda, p, servers as usize, 300_000, 11);
+        waits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean_emp: f64 = waits.iter().sum::<f64>() / waits.len() as f64;
+        let mean_est = mean_wait(lambda, p, servers).unwrap();
+        assert!(
+            (mean_est - mean_emp).abs() < 0.35 * mean_emp.max(0.005),
+            "mean: est={mean_est} emp={mean_emp}"
+        );
+        let p99_emp = waits[(waits.len() as f64 * 0.99) as usize];
+        let p99_est = wait_percentile(0.99, p, lambda, servers).unwrap();
+        assert!(
+            (p99_est - p99_emp).abs() < 0.35 * p99_emp.max(0.01),
+            "p99: est={p99_est} emp={p99_emp}"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Plateau-free ("sloppified") latency estimation (paper Sec. 3.4).
+//!
+//! The exact M/D/c estimate is infinite whenever the queue is unstable
+//! (`rho >= 1`). A constant-infinity region is a *plateau*: a local solver
+//! probing inside it sees no gradient and cannot tell how overloaded the
+//! job is. Faro removes the plateau by evaluating the estimator at the
+//! stability knee `rho_max` and scaling the result by how fast the queue
+//! grows (`lambda / lambda_at_rho_max`), which is strictly increasing in
+//! `lambda` and strictly decreasing in the replica count.
+
+use crate::error::{percentile, positive, Error, Result};
+use crate::mdc;
+
+/// Relaxed M/D/c latency estimator with a configurable stability knee.
+///
+/// `rho_max` close to `1.0` tracks the true queue more closely but
+/// re-introduces near-plateau behaviour; the paper uses `0.95`.
+///
+/// # Examples
+///
+/// ```
+/// use faro_queueing::RelaxedLatency;
+///
+/// let est = RelaxedLatency::default(); // rho_max = 0.95
+/// // Past saturation the estimate is finite and grows with load.
+/// let a = est.latency(0.99, 0.150, 60.0, 4).unwrap();
+/// let b = est.latency(0.99, 0.150, 120.0, 4).unwrap();
+/// assert!(a.is_finite() && b > a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelaxedLatency {
+    rho_max: f64,
+}
+
+impl Default for RelaxedLatency {
+    /// The paper's default knee, `rho_max = 0.95`.
+    fn default() -> Self {
+        Self { rho_max: 0.95 }
+    }
+}
+
+impl RelaxedLatency {
+    /// Creates an estimator with the given stability knee.
+    ///
+    /// # Errors
+    ///
+    /// `rho_max` must lie strictly inside `(0, 1)`.
+    pub fn new(rho_max: f64) -> Result<Self> {
+        if !(rho_max.is_finite() && rho_max > 0.0 && rho_max < 1.0) {
+            return Err(Error::InvalidParameter {
+                name: "rho_max",
+                value: rho_max,
+            });
+        }
+        Ok(Self { rho_max })
+    }
+
+    /// The configured stability knee.
+    pub fn rho_max(&self) -> f64 {
+        self.rho_max
+    }
+
+    /// Relaxed `k`-th percentile latency estimate. Always finite.
+    ///
+    /// For `rho <= rho_max` this equals the plain M/D/c estimate. Past the
+    /// knee, the estimate at the knee is scaled by `lambda / lambda_knee`,
+    /// penalizing latency proportionally to the queue growth rate.
+    pub fn latency(&self, k: f64, p: f64, lambda: f64, servers: u32) -> Result<f64> {
+        let k = percentile(k)?;
+        let p = positive("p", p)?;
+        let lambda = crate::error::non_negative("lambda", lambda)?;
+        if servers == 0 {
+            return Err(Error::ZeroReplicas);
+        }
+        let rho = lambda * p / f64::from(servers);
+        if rho <= self.rho_max {
+            return mdc::latency_percentile(k, p, lambda, servers);
+        }
+        let lambda_knee = self.rho_max * f64::from(servers) / p;
+        let knee_latency = mdc::latency_percentile(k, p, lambda_knee, servers)?;
+        Ok(lambda / lambda_knee * knee_latency)
+    }
+
+    /// Relaxed latency with a *fractional* replica count, for use inside
+    /// continuous optimization.
+    ///
+    /// The M/D/c closed form needs an integer server count; following the
+    /// paper's continuous formulation we interpolate linearly between the
+    /// estimates at `floor(x)` and `ceil(x)` (each already relaxed), which
+    /// preserves monotonicity in `x` and keeps the function plateau-free.
+    pub fn latency_fractional(&self, k: f64, p: f64, lambda: f64, x: f64) -> Result<f64> {
+        if !x.is_finite() || x < 1.0 {
+            return Err(Error::InvalidParameter {
+                name: "x",
+                value: x,
+            });
+        }
+        let lo = x.floor();
+        let hi = x.ceil();
+        let l_lo = self.latency(k, p, lambda, lo as u32)?;
+        if lo == hi {
+            return Ok(l_lo);
+        }
+        let l_hi = self.latency(k, p, lambda, hi as u32)?;
+        let frac = x - lo;
+        Ok(l_lo + (l_hi - l_lo) * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_mdc_below_knee() {
+        let est = RelaxedLatency::default();
+        for lambda in [1.0, 10.0, 20.0] {
+            let relaxed = est.latency(0.99, 0.15, lambda, 8).unwrap();
+            let exact = mdc::latency_percentile(0.99, 0.15, lambda, 8).unwrap();
+            assert_eq!(relaxed, exact);
+        }
+    }
+
+    #[test]
+    fn finite_and_increasing_past_knee() {
+        let est = RelaxedLatency::default();
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let lambda = 5.0 * f64::from(i); // Goes far past saturation.
+            let l = est.latency(0.99, 0.15, lambda, 4).unwrap();
+            assert!(l.is_finite(), "lambda={lambda}");
+            assert!(l >= prev, "lambda={lambda}: {l} < {prev}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn no_plateau_strictly_increasing_when_overloaded() {
+        let est = RelaxedLatency::default();
+        let l1 = est.latency(0.99, 0.15, 100.0, 4).unwrap();
+        let l2 = est.latency(0.99, 0.15, 101.0, 4).unwrap();
+        assert!(l2 > l1, "overload region must have non-zero slope");
+    }
+
+    #[test]
+    fn decreasing_in_replicas() {
+        let est = RelaxedLatency::default();
+        let mut prev = f64::INFINITY;
+        for n in 1..64 {
+            let l = est.latency(0.99, 0.15, 100.0, n).unwrap();
+            assert!(l <= prev, "n={n}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn fractional_interpolates() {
+        let est = RelaxedLatency::default();
+        let l4 = est.latency(0.99, 0.15, 30.0, 4).unwrap();
+        let l5 = est.latency(0.99, 0.15, 30.0, 5).unwrap();
+        let l45 = est.latency_fractional(0.99, 0.15, 30.0, 4.5).unwrap();
+        assert!((l45 - 0.5 * (l4 + l5)).abs() < 1e-12);
+        let l4f = est.latency_fractional(0.99, 0.15, 30.0, 4.0).unwrap();
+        assert_eq!(l4f, l4);
+    }
+
+    #[test]
+    fn fractional_monotone_in_x() {
+        let est = RelaxedLatency::default();
+        let mut prev = f64::INFINITY;
+        let mut x = 1.0;
+        while x < 16.0 {
+            let l = est.latency_fractional(0.99, 0.15, 60.0, x).unwrap();
+            assert!(l <= prev + 1e-12, "x={x}");
+            prev = l;
+            x += 0.25;
+        }
+    }
+
+    #[test]
+    fn knee_validation() {
+        assert!(RelaxedLatency::new(0.0).is_err());
+        assert!(RelaxedLatency::new(1.0).is_err());
+        assert!(RelaxedLatency::new(f64::NAN).is_err());
+        assert!(RelaxedLatency::new(0.5).is_ok());
+        assert!(RelaxedLatency::default()
+            .latency_fractional(0.99, 0.1, 1.0, 0.5)
+            .is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! The pessimistic upper-bound completion-time estimator (paper Sec. 3.3).
+//!
+//! If `kappa` requests arrive simultaneously with `N` replicas and a
+//! per-request processing time `p`, all requests finish within
+//! `p * kappa / N`. This bound ignores arrival spreading, so it tends to
+//! overprovision compared to the M/D/c model.
+
+use crate::error::{non_negative, positive, Error, Result};
+
+/// Completion time for a burst of `kappa` simultaneous requests on
+/// `servers` replicas with per-request processing time `p`.
+///
+/// # Examples
+///
+/// ```
+/// let t = faro_queueing::upper_bound::completion_time(0.150, 40.0, 10).unwrap();
+/// assert!((t - 0.6).abs() < 1e-12);
+/// ```
+pub fn completion_time(p: f64, kappa: f64, servers: u32) -> Result<f64> {
+    if servers == 0 {
+        return Err(Error::ZeroReplicas);
+    }
+    let p = positive("p", p)?;
+    let kappa = non_negative("kappa", kappa)?;
+    Ok(p * kappa / f64::from(servers))
+}
+
+/// Smallest replica count whose upper-bound completion time for a burst
+/// of `kappa` requests meets the SLO target `slo`: `ceil(p * kappa / slo)`.
+///
+/// # Examples
+///
+/// ```
+/// // Paper Sec. 3.3: p = 150 ms, 40 simultaneous requests, SLO 600 ms
+/// // => 10 replicas.
+/// let n = faro_queueing::upper_bound::replicas_for_slo(0.150, 40.0, 0.600).unwrap();
+/// assert_eq!(n, 10);
+/// ```
+pub fn replicas_for_slo(p: f64, kappa: f64, slo: f64) -> Result<u32> {
+    let p = positive("p", p)?;
+    let kappa = non_negative("kappa", kappa)?;
+    let slo = positive("slo", slo)?;
+    let n = (p * kappa / slo).ceil();
+    // At least one replica even for zero load.
+    Ok((n as u32).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_scales_linearly() {
+        let t1 = completion_time(0.1, 10.0, 2).unwrap();
+        let t2 = completion_time(0.1, 20.0, 2).unwrap();
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+        let t4 = completion_time(0.1, 20.0, 4).unwrap();
+        assert!((t4 - t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicas_minimum_one() {
+        assert_eq!(replicas_for_slo(0.1, 0.0, 1.0).unwrap(), 1);
+    }
+
+    #[test]
+    fn replicas_meet_slo_exactly() {
+        for kappa in [1.0, 7.0, 40.0, 333.0] {
+            let n = replicas_for_slo(0.150, kappa, 0.600).unwrap();
+            assert!(completion_time(0.150, kappa, n).unwrap() <= 0.600 + 1e-12);
+            if n > 1 {
+                assert!(completion_time(0.150, kappa, n - 1).unwrap() > 0.600 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(completion_time(0.1, 5.0, 0).is_err());
+        assert!(completion_time(-0.1, 5.0, 1).is_err());
+        assert!(replicas_for_slo(0.1, 5.0, 0.0).is_err());
+    }
+}

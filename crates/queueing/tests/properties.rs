@@ -1,0 +1,109 @@
+//! Property-based tests for the queueing estimators.
+
+use faro_queueing::{erlang, mdc, mmc, upper_bound, RelaxedLatency};
+use proptest::prelude::*;
+
+proptest! {
+    /// Erlang-C is a probability and dominates Erlang-B.
+    #[test]
+    fn erlang_c_is_probability(servers in 1u32..64, load in 0.0f64..100.0) {
+        let c = erlang::erlang_c(servers, load).unwrap();
+        prop_assert!((0.0..=1.0).contains(&c));
+        let b = erlang::erlang_b(servers, load).unwrap();
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!(c >= b - 1e-12, "C({servers},{load})={c} < B={b}");
+    }
+
+    /// Waiting percentiles are non-negative and monotone in k.
+    #[test]
+    fn wait_percentile_monotone(
+        servers in 1u32..32,
+        lambda in 0.0f64..100.0,
+        p in 0.01f64..1.0,
+        k1 in 0.01f64..0.98,
+        dk in 0.001f64..0.01,
+    ) {
+        let k2 = k1 + dk;
+        let w1 = mmc::wait_percentile(k1, p, lambda, servers).unwrap();
+        let w2 = mmc::wait_percentile(k2, p, lambda, servers).unwrap();
+        prop_assert!(w1 >= 0.0);
+        prop_assert!(w2 >= w1 || (w1.is_infinite() && w2.is_infinite()));
+    }
+
+    /// The M/D/c approximation never exceeds the M/M/c value.
+    #[test]
+    fn mdc_below_mmc(
+        servers in 1u32..32,
+        lambda in 0.1f64..50.0,
+        p in 0.01f64..0.5,
+        k in 0.5f64..0.999,
+    ) {
+        let mdc_w = mdc::wait_percentile(k, p, lambda, servers).unwrap();
+        let mmc_w = mmc::wait_percentile(k, p, lambda, servers).unwrap();
+        if mmc_w.is_finite() {
+            prop_assert!(mdc_w <= mmc_w + 1e-12);
+        }
+    }
+
+    /// The relaxed estimator is always finite, at least the service time,
+    /// and never below the exact estimate where the exact one is finite
+    /// and the queue is below the knee.
+    #[test]
+    fn relaxed_finite_and_bounded(
+        servers in 1u32..32,
+        lambda in 0.0f64..500.0,
+        p in 0.01f64..0.5,
+    ) {
+        let est = RelaxedLatency::default();
+        let l = est.latency(0.99, p, lambda, servers).unwrap();
+        prop_assert!(l.is_finite());
+        prop_assert!(l >= p - 1e-12);
+    }
+
+    /// Fractional latency is sandwiched by its integer neighbours.
+    #[test]
+    fn fractional_sandwich(
+        x_times_4 in 4u32..128,
+        lambda in 0.0f64..200.0,
+        p in 0.01f64..0.5,
+    ) {
+        let x = f64::from(x_times_4) / 4.0;
+        let est = RelaxedLatency::default();
+        let l = est.latency_fractional(0.99, p, lambda, x).unwrap();
+        let lo = est.latency(0.99, p, lambda, x.floor() as u32).unwrap();
+        let hi = est.latency(0.99, p, lambda, x.ceil() as u32).unwrap();
+        prop_assert!(l <= lo + 1e-9 && l >= hi - 1e-9, "x={x} l={l} lo={lo} hi={hi}");
+    }
+
+    /// The upper-bound replica estimate always meets the SLO.
+    #[test]
+    fn upper_bound_meets_slo(
+        p in 0.01f64..0.5,
+        kappa in 0.0f64..2000.0,
+        slo in 0.05f64..2.0,
+    ) {
+        let n = upper_bound::replicas_for_slo(p, kappa, slo).unwrap();
+        prop_assert!(n >= 1);
+        let t = upper_bound::completion_time(p, kappa, n).unwrap();
+        prop_assert!(t <= slo + 1e-9);
+    }
+
+    /// `replicas_for_slo` returns a feasible, minimal count when it
+    /// succeeds.
+    #[test]
+    fn mdc_replicas_feasible(
+        p in 0.05f64..0.3,
+        lambda in 0.1f64..100.0,
+        slo_mult in 2.0f64..10.0,
+    ) {
+        let slo = p * slo_mult;
+        if let Ok(n) = mdc::replicas_for_slo(0.99, p, lambda, slo, 256) {
+            let l = mdc::latency_percentile(0.99, p, lambda, n).unwrap();
+            prop_assert!(l <= slo);
+            if n > 1 {
+                let l_prev = mdc::latency_percentile(0.99, p, lambda, n - 1).unwrap();
+                prop_assert!(l_prev > slo);
+            }
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! The simulation driver: event loop, arrival generation, policy ticks,
+//! and actuation.
+
+use crate::events::{micros, seconds, Event, EventQueue, Micros};
+use crate::report::{cluster_report, utilities_from_minutes, ClusterReport, JobReport};
+use crate::runtime::{ArrivalOutcome, JobRuntime, DEFAULT_QUEUE_THRESHOLD};
+use crate::{Error, Result};
+use faro_core::policy::Policy;
+use faro_core::types::{ClusterSnapshot, JobSpec, ResourceModel};
+use rand::prelude::*;
+use rand_distr::{Distribution, LogNormal, Poisson};
+
+/// One job's simulation inputs.
+#[derive(Debug, Clone)]
+pub struct JobSetup {
+    /// The job spec (SLO, nominal processing time, priority).
+    pub spec: JobSpec,
+    /// Per-minute arrival rates driving the load generator.
+    pub rates_per_minute: Vec<f64>,
+    /// Replicas at time zero.
+    pub initial_replicas: u32,
+}
+
+/// Simulator configuration; defaults follow the paper's deployment
+/// (Sec. 5 and 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Total replica quota (Kubernetes resource quota).
+    pub total_replicas: u32,
+    /// Policy tick in seconds (Faro's reactive interval).
+    pub tick_secs: f64,
+    /// Replica cold-start delay in seconds (paper: up to 70 s; 60 s
+    /// default).
+    pub cold_start_secs: f64,
+    /// Router tail-drop threshold.
+    pub queue_threshold: usize,
+    /// Coefficient of variation of service times (ML inference is
+    /// near-deterministic).
+    pub service_cv: f64,
+    /// Metrics window for "recent" observations in seconds.
+    pub recent_window_secs: f64,
+    /// Utility sharpness used in reports (Eq. 1).
+    pub report_alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            total_replicas: 32,
+            tick_secs: 10.0,
+            cold_start_secs: 60.0,
+            queue_threshold: DEFAULT_QUEUE_THRESHOLD,
+            service_cv: 0.05,
+            recent_window_secs: 30.0,
+            report_alpha: 4.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A configured simulation, ready to run one policy.
+pub struct Simulation {
+    config: SimConfig,
+    jobs: Vec<JobRuntime>,
+    rates: Vec<Vec<f64>>,
+    duration_minutes: usize,
+    service_dists: Vec<LogNormal<f64>>,
+}
+
+impl Simulation {
+    /// Builds a simulation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no jobs are given, rates are empty, or the quota
+    /// cannot host one replica per job.
+    pub fn new(config: SimConfig, setups: Vec<JobSetup>) -> Result<Self> {
+        if setups.is_empty() {
+            return Err(Error::InvalidSetup("no jobs".into()));
+        }
+        if (config.total_replicas as usize) < setups.len() {
+            return Err(Error::InvalidSetup(format!(
+                "quota {} below one replica per job ({})",
+                config.total_replicas,
+                setups.len()
+            )));
+        }
+        let duration_minutes = setups
+            .iter()
+            .map(|s| s.rates_per_minute.len())
+            .max()
+            .unwrap_or(0);
+        if duration_minutes == 0 {
+            return Err(Error::InvalidSetup("empty rate series".into()));
+        }
+        let mut jobs = Vec::with_capacity(setups.len());
+        let mut rates = Vec::with_capacity(setups.len());
+        let mut service_dists = Vec::with_capacity(setups.len());
+        for s in setups {
+            if s.spec.processing_time.is_nan() || s.spec.processing_time <= 0.0 {
+                return Err(Error::InvalidSetup(format!(
+                    "job {} has non-positive processing time",
+                    s.spec.name
+                )));
+            }
+            // Lognormal with the requested CV around the nominal mean.
+            let cv = config.service_cv.max(1e-6);
+            let sigma = (1.0 + cv * cv).ln().sqrt();
+            let mu = s.spec.processing_time.ln() - sigma * sigma / 2.0;
+            service_dists.push(
+                LogNormal::new(mu, sigma)
+                    .map_err(|e| Error::InvalidSetup(format!("bad service dist: {e}")))?,
+            );
+            jobs.push(JobRuntime::new(
+                s.spec,
+                s.initial_replicas,
+                config.queue_threshold,
+                config.recent_window_secs,
+            ));
+            rates.push(s.rates_per_minute);
+        }
+        Ok(Self {
+            config,
+            jobs,
+            rates,
+            duration_minutes,
+            service_dists,
+        })
+    }
+
+    /// Runs the simulation to completion under `policy` and reports.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; reserved for future
+    /// mid-run validation.
+    pub fn run(mut self, mut policy: Box<dyn Policy>) -> Result<ClusterReport> {
+        let mut queue = EventQueue::new();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x51b0_11fe);
+        let end: Micros = self.duration_minutes as u64 * 60_000_000;
+        let tick = micros(self.config.tick_secs);
+        let cold = micros(self.config.cold_start_secs);
+
+        // Prime the event queue.
+        queue.push(0, Event::MinuteBoundary { minute: 0 });
+        queue.push(0, Event::PolicyTick);
+
+        while let Some((now, event)) = queue.pop() {
+            if now >= end {
+                break;
+            }
+            match event {
+                Event::MinuteBoundary { minute } => {
+                    // Finalize the minute that just ended (skip t=0).
+                    if minute > 0 {
+                        for job in &mut self.jobs {
+                            job.on_minute_boundary();
+                        }
+                    }
+                    // Schedule this minute's arrivals per job.
+                    for (j, rates) in self.rates.iter().enumerate() {
+                        let rate = rates.get(minute).copied().unwrap_or(0.0);
+                        if rate > 0.0 && rate.is_finite() {
+                            let count = Poisson::new(rate)
+                                .map(|p| p.sample(&mut rng) as usize)
+                                .unwrap_or(0);
+                            for _ in 0..count {
+                                let offset = (rng.gen::<f64>() * 60e6) as u64;
+                                queue.push(now + offset, Event::Arrival { job: j });
+                            }
+                        }
+                    }
+                    if minute + 1 < self.duration_minutes {
+                        queue.push(
+                            now + 60_000_000,
+                            Event::MinuteBoundary { minute: minute + 1 },
+                        );
+                    }
+                }
+                Event::Arrival { job } => {
+                    let sample = rng.gen::<f64>();
+                    let outcome = self.jobs[job].on_arrival(now, sample);
+                    if outcome == ArrivalOutcome::Queued {
+                        self.dispatch_job(job, now, &mut queue, &mut rng);
+                    }
+                }
+                Event::Completion { job, replica } => {
+                    let service = self.service_dists[job].sample(&mut rng);
+                    let _alive = self.jobs[job].on_completion(now, replica, service);
+                    self.dispatch_job(job, now, &mut queue, &mut rng);
+                }
+                Event::ReplicaReady { job, replica } => {
+                    if self.jobs[job].on_replica_ready(replica) {
+                        self.dispatch_job(job, now, &mut queue, &mut rng);
+                    }
+                }
+                Event::PolicyTick => {
+                    let snapshot = self.snapshot(now);
+                    let decisions = policy.decide(&snapshot);
+                    if decisions.len() == self.jobs.len() {
+                        for (j, d) in decisions.iter().enumerate() {
+                            self.jobs[j].set_drop_rate(d.drop_rate);
+                            for replica in self.jobs[j].scale_to(d.target_replicas) {
+                                queue.push(now + cold, Event::ReplicaReady { job: j, replica });
+                            }
+                            // Scale-down may have freed capacity... no
+                            // dispatch needed: removals only shrink.
+                        }
+                    }
+                    queue.push(now + tick, Event::PolicyTick);
+                }
+            }
+        }
+
+        // Final partial-minute flush for accounting consistency.
+        for job in &mut self.jobs {
+            job.on_minute_boundary();
+        }
+        Ok(self.build_report(policy.name()))
+    }
+
+    fn dispatch_job(&mut self, job: usize, now: Micros, queue: &mut EventQueue, rng: &mut StdRng) {
+        for d in self.jobs[job].dispatch(now) {
+            let service = self.service_dists[job].sample(rng).max(1e-6);
+            queue.push(
+                now + micros(service),
+                Event::Completion {
+                    job,
+                    replica: d.replica,
+                },
+            );
+        }
+    }
+
+    fn snapshot(&mut self, now: Micros) -> ClusterSnapshot {
+        let jobs = self.jobs.iter_mut().map(|j| j.observe(now)).collect();
+        ClusterSnapshot {
+            now: seconds(now),
+            resources: ResourceModel::replicas(self.config.total_replicas),
+            jobs,
+        }
+    }
+
+    fn build_report(mut self, policy_name: &str) -> ClusterReport {
+        let alpha = self.config.report_alpha;
+        let mut jobs = Vec::with_capacity(self.jobs.len());
+        for job in &mut self.jobs {
+            let slo = job.spec.slo;
+            let tails = job.minute_percentiles(slo.percentile);
+            let arrivals = job.arrivals_per_minute().to_vec();
+            let drops = job.drops_per_minute().to_vec();
+            let (utility, effective) =
+                utilities_from_minutes(&tails, &arrivals, &drops, slo.latency, alpha);
+            let minutes = utility.len().max(1) as f64;
+            let acc = job.slo_accounting();
+            jobs.push(JobReport {
+                name: job.spec.name.clone(),
+                total_requests: acc.total(),
+                violations: acc.violations(),
+                drops: acc.drops(),
+                violation_rate: acc.violation_rate(),
+                mean_utility: utility.iter().sum::<f64>() / minutes,
+                mean_effective_utility: effective.iter().sum::<f64>() / minutes,
+                utility_per_minute: utility,
+                effective_utility_per_minute: effective,
+                arrivals_per_minute: arrivals,
+            });
+        }
+        cluster_report(policy_name, self.config.total_replicas, jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faro_core::baselines::{Aiad, FairShare};
+    use faro_core::types::JobDecision;
+
+    fn setup(rate: f64, minutes: usize, initial: u32) -> JobSetup {
+        JobSetup {
+            spec: JobSpec::resnet34("job"),
+            rates_per_minute: vec![rate; minutes],
+            initial_replicas: initial,
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(Simulation::new(SimConfig::default(), vec![]).is_err());
+        let cfg = SimConfig {
+            total_replicas: 1,
+            ..Default::default()
+        };
+        assert!(Simulation::new(cfg, vec![setup(1.0, 1, 1), setup(1.0, 1, 1)]).is_err());
+        let mut bad = setup(1.0, 1, 1);
+        bad.spec.processing_time = 0.0;
+        assert!(Simulation::new(SimConfig::default(), vec![bad]).is_err());
+    }
+
+    #[test]
+    fn well_provisioned_job_meets_slo() {
+        // 300 req/min = 5 req/s at 180 ms needs ~1-2 replicas; give 4.
+        let cfg = SimConfig {
+            total_replicas: 8,
+            seed: 3,
+            ..Default::default()
+        };
+        let report = Simulation::new(cfg, vec![setup(300.0, 20, 4)])
+            .unwrap()
+            .run(Box::new(FairShare))
+            .unwrap();
+        // FairShare gives all 8 replicas to the single job.
+        let job = &report.jobs[0];
+        assert!(job.total_requests > 4000, "requests {}", job.total_requests);
+        assert!(
+            job.violation_rate < 0.01,
+            "violation {}",
+            job.violation_rate
+        );
+        assert!(report.avg_lost_cluster_utility < 0.05);
+    }
+
+    #[test]
+    fn overloaded_fixed_job_violates_slo() {
+        // 40 req/s at 180 ms needs ~8 replicas; a fixed single replica
+        // must drown (Figure 1's motivation).
+        let cfg = SimConfig {
+            total_replicas: 1,
+            seed: 4,
+            ..Default::default()
+        };
+        let report = Simulation::new(cfg, vec![setup(2400.0, 10, 1)])
+            .unwrap()
+            .run(Box::new(FairShare))
+            .unwrap();
+        let job = &report.jobs[0];
+        assert!(job.violation_rate > 0.5, "violation {}", job.violation_rate);
+        assert!(job.drops > 0, "queue must overflow");
+    }
+
+    #[test]
+    fn autoscaler_improves_on_static_when_load_grows() {
+        // Load ramps from light to heavy; AIAD should beat a fixed
+        // 2-replica allocation.
+        let mut rates = vec![120.0; 10];
+        rates.extend(vec![1800.0; 50]);
+        let mk = || JobSetup {
+            spec: JobSpec::resnet34("ramp"),
+            rates_per_minute: rates.clone(),
+            initial_replicas: 2,
+        };
+        let cfg = SimConfig {
+            total_replicas: 16,
+            seed: 5,
+            ..Default::default()
+        };
+        let fixed = Simulation::new(cfg.clone(), vec![mk()])
+            .unwrap()
+            .run(Box::new(StaticPolicy(2)))
+            .unwrap();
+        let scaled = Simulation::new(cfg, vec![mk()])
+            .unwrap()
+            .run(Box::new(Aiad::default()))
+            .unwrap();
+        assert!(
+            scaled.cluster_violation_rate < fixed.cluster_violation_rate,
+            "AIAD {} vs fixed {}",
+            scaled.cluster_violation_rate,
+            fixed.cluster_violation_rate
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SimConfig {
+            total_replicas: 8,
+            seed: 11,
+            ..Default::default()
+        };
+        let run = || {
+            Simulation::new(cfg.clone(), vec![setup(600.0, 8, 2)])
+                .unwrap()
+                .run(Box::new(Aiad::default()))
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cluster_violation_rate, b.cluster_violation_rate);
+        assert_eq!(a.jobs[0].total_requests, b.jobs[0].total_requests);
+        assert_eq!(a.cluster_utility_per_minute, b.cluster_utility_per_minute);
+    }
+
+    #[test]
+    fn conservation_of_requests() {
+        let cfg = SimConfig {
+            total_replicas: 4,
+            seed: 2,
+            ..Default::default()
+        };
+        let report = Simulation::new(cfg, vec![setup(900.0, 12, 2)])
+            .unwrap()
+            .run(Box::new(FairShare))
+            .unwrap();
+        let job = &report.jobs[0];
+        // All requests are either completed (possibly violating) or
+        // dropped; the report's totals must be internally consistent.
+        assert!(job.violations >= job.drops);
+        assert!(job.total_requests >= job.violations);
+        let arrived: f64 = job.arrivals_per_minute.iter().sum();
+        // In-flight remainder at the end is at most quota + queue.
+        assert!((arrived - job.total_requests as f64).abs() <= 60.0);
+    }
+
+    #[test]
+    fn cold_start_delays_capacity() {
+        // Policy immediately requests 8 replicas; during the first
+        // cold_start seconds only 1 serves, so early latency suffers
+        // under heavy load, then recovers.
+        struct JumpPolicy;
+        impl Policy for JumpPolicy {
+            fn name(&self) -> &str {
+                "jump"
+            }
+            fn decide(&mut self, s: &ClusterSnapshot) -> Vec<JobDecision> {
+                s.jobs
+                    .iter()
+                    .map(|_| JobDecision {
+                        target_replicas: 8,
+                        drop_rate: 0.0,
+                    })
+                    .collect()
+            }
+        }
+        let cfg = SimConfig {
+            total_replicas: 8,
+            seed: 6,
+            cold_start_secs: 120.0,
+            ..Default::default()
+        };
+        let report = Simulation::new(cfg, vec![setup(2400.0, 8, 1)])
+            .unwrap()
+            .run(Box::new(JumpPolicy))
+            .unwrap();
+        let u = &report.jobs[0].utility_per_minute;
+        let early: f64 = u[..2].iter().sum::<f64>() / 2.0;
+        let late: f64 = u[4..].iter().sum::<f64>() / (u.len() - 4) as f64;
+        assert!(
+            late > early,
+            "capacity should arrive after cold start: early {early} late {late}"
+        );
+        assert!(
+            late > 0.9,
+            "after warm-up the job should be healthy: {late}"
+        );
+    }
+
+    struct StaticPolicy(u32);
+    impl Policy for StaticPolicy {
+        fn name(&self) -> &str {
+            "static"
+        }
+        fn decide(&mut self, s: &ClusterSnapshot) -> Vec<JobDecision> {
+            s.jobs
+                .iter()
+                .map(|_| JobDecision {
+                    target_replicas: self.0,
+                    drop_rate: 0.0,
+                })
+                .collect()
+        }
+    }
+}

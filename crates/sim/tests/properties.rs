@@ -1,0 +1,108 @@
+//! Property-based tests for the discrete-event simulator.
+
+use faro_core::baselines::FairShare;
+use faro_core::types::{ClusterSnapshot, JobDecision, JobSpec};
+use faro_core::Policy;
+use faro_sim::{JobSetup, SimConfig, Simulation};
+use proptest::prelude::*;
+
+/// A policy that applies an arbitrary fixed decision sequence, to fuzz
+/// actuation paths (scale up, down, drops).
+struct ScriptedPolicy {
+    script: Vec<(u32, f64)>,
+    step: usize,
+}
+
+impl Policy for ScriptedPolicy {
+    fn name(&self) -> &str {
+        "scripted"
+    }
+    fn decide(&mut self, s: &ClusterSnapshot) -> Vec<JobDecision> {
+        let (target, drop) = self.script[self.step % self.script.len()];
+        self.step += 1;
+        s.jobs
+            .iter()
+            .map(|_| JobDecision {
+                target_replicas: target,
+                drop_rate: drop,
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Under arbitrary scale/drop churn the simulator's accounting
+    /// stays consistent: violations include all drops, rates bounded,
+    /// utilities within [0, 1].
+    #[test]
+    fn accounting_survives_actuation_churn(
+        script in prop::collection::vec((1u32..10, 0.0f64..0.5), 1..8),
+        rates in prop::collection::vec(20.0f64..600.0, 4..10),
+        seed in 0u64..100,
+    ) {
+        let cfg = SimConfig { total_replicas: 10, seed, ..Default::default() };
+        let setup = JobSetup {
+            spec: JobSpec::resnet34("fuzz"),
+            rates_per_minute: rates,
+            initial_replicas: 2,
+        };
+        let policy = ScriptedPolicy { script, step: 0 };
+        let report = Simulation::new(cfg, vec![setup]).unwrap()
+            .run(Box::new(policy))
+            .unwrap();
+        let job = &report.jobs[0];
+        prop_assert!(job.violations >= job.drops);
+        prop_assert!(job.violations <= job.total_requests);
+        prop_assert!((0.0..=1.0).contains(&job.violation_rate));
+        for &u in &job.utility_per_minute {
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+        for &e in &job.effective_utility_per_minute {
+            prop_assert!((0.0..=1.0).contains(&e));
+        }
+    }
+
+    /// An explicit drop rate of d drops about d of the traffic.
+    #[test]
+    fn explicit_drops_track_rate(drop in 0.1f64..0.6, seed in 0u64..20) {
+        let cfg = SimConfig { total_replicas: 12, seed, ..Default::default() };
+        let setup = JobSetup {
+            spec: JobSpec::resnet34("dropper"),
+            rates_per_minute: vec![600.0; 10],
+            initial_replicas: 8, // Plenty: only explicit drops occur.
+        };
+        let policy = ScriptedPolicy { script: vec![(8, drop)], step: 0 };
+        let report = Simulation::new(cfg, vec![setup]).unwrap()
+            .run(Box::new(policy))
+            .unwrap();
+        let job = &report.jobs[0];
+        let observed = job.drops as f64 / job.total_requests as f64;
+        prop_assert!(
+            (observed - drop).abs() < 0.05,
+            "asked {drop}, observed {observed}"
+        );
+    }
+
+    /// More capacity never (statistically) increases the violation
+    /// rate on the same workload and seed.
+    #[test]
+    fn more_replicas_never_hurt(seed in 0u64..20) {
+        let setup = || JobSetup {
+            spec: JobSpec::resnet34("cap"),
+            rates_per_minute: vec![1200.0; 8],
+            initial_replicas: 1,
+        };
+        let run = |replicas: u32| {
+            let cfg = SimConfig { total_replicas: replicas, seed, ..Default::default() };
+            Simulation::new(cfg, vec![setup()]).unwrap()
+                .run(Box::new(FairShare))
+                .unwrap()
+                .cluster_violation_rate
+        };
+        let small = run(2);
+        let big = run(10);
+        prop_assert!(big <= small + 0.02, "2 replicas: {small}, 10 replicas: {big}");
+    }
+}

@@ -1,0 +1,373 @@
+//! A COBYLA-style linear-approximation trust-region solver.
+//!
+//! COBYLA (Powell 1994) optimizes a nonlinear objective under nonlinear
+//! inequality constraints using only function values: it builds *linear*
+//! models of the objective and every constraint around the current point
+//! and minimizes the model inside a shrinking trust region.
+//!
+//! This implementation keeps those essentials:
+//!
+//! 1. Linear models are built from derivative-free probes spaced at the
+//!    *trust-region scale* (never smaller), so inside a plateau the model
+//!    is exactly flat and the solver stalls — the behaviour the paper's
+//!    Figure 5 demonstrates for the precise (un-relaxed) objective.
+//! 2. The linearized subproblem (model objective under model constraints
+//!    within the trust box) is solved by projected subgradient descent on
+//!    an exact-penalty merit function, which is convex piecewise-linear.
+//! 3. Powell-style acceptance: steps that reduce the true merit are
+//!    taken; otherwise the trust region shrinks. Termination when the
+//!    radius reaches `rho_end`.
+//!
+//! The paper starts COBYLA with "the initial variable change of 2"
+//! (Sec. 5), which is this solver's default `rho_beg`.
+
+use crate::error::{Error, Result};
+use crate::problem::{clamp_into_bounds, Problem, Solution};
+use crate::Solver;
+
+/// COBYLA-style solver configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cobyla {
+    /// Initial trust-region radius (paper default: 2.0).
+    pub rho_beg: f64,
+    /// Final trust-region radius; the solver stops when the radius
+    /// shrinks below this.
+    pub rho_end: f64,
+    /// Outer-iteration budget.
+    pub max_iters: usize,
+    /// Initial exact-penalty weight for constraint violation.
+    pub penalty: f64,
+    /// Inner subgradient steps for the linearized subproblem.
+    pub inner_steps: usize,
+}
+
+impl Default for Cobyla {
+    fn default() -> Self {
+        Self {
+            rho_beg: 2.0,
+            rho_end: 1e-3,
+            max_iters: 400,
+            penalty: 1e3,
+            inner_steps: 60,
+        }
+    }
+}
+
+impl Cobyla {
+    /// A faster, coarser configuration for latency-sensitive control
+    /// loops (Faro's 5-minute autoscaling tick).
+    pub fn fast() -> Self {
+        Self {
+            rho_beg: 2.0,
+            rho_end: 0.05,
+            max_iters: 120,
+            penalty: 1e3,
+            inner_steps: 40,
+        }
+    }
+}
+
+struct Eval {
+    f: f64,
+    c: Vec<f64>,
+}
+
+fn evaluate(problem: &dyn Problem, x: &[f64], evals: &mut usize) -> Eval {
+    let mut c = vec![0.0; problem.num_constraints()];
+    problem.constraints(x, &mut c);
+    let f = problem.objective(x);
+    *evals += 1;
+    Eval { f, c }
+}
+
+fn merit(e: &Eval, mu: f64) -> f64 {
+    let viol: f64 = e.c.iter().map(|&ci| (-ci).max(0.0)).sum();
+    e.f + mu * viol
+}
+
+impl Solver for Cobyla {
+    fn solve(&self, problem: &dyn Problem, x0: &[f64]) -> Result<Solution> {
+        problem.validate(x0)?;
+        let n = problem.dim();
+        let m = problem.num_constraints();
+        let bounds = problem.bounds();
+
+        let mut x = x0.to_vec();
+        clamp_into_bounds(&mut x, &bounds);
+        let mut evals = 0usize;
+        let mut cur = evaluate(problem, &x, &mut evals);
+        if cur.f.is_nan() {
+            return Err(Error::NanObjective);
+        }
+
+        let mut rho = self.rho_beg;
+        let mut mu = self.penalty;
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        while iterations < self.max_iters {
+            iterations += 1;
+
+            // Build linear models from probes at the trust-region scale.
+            // Probe direction flips at the boundary so the step stays in
+            // the box.
+            let mut g_f = vec![0.0; n];
+            let mut g_c = vec![vec![0.0; n]; m];
+            for j in 0..n {
+                let (lo, hi) = bounds[j];
+                let span = hi - lo;
+                let h = if span == 0.0 {
+                    continue;
+                } else {
+                    let up_room = hi - x[j];
+                    let down_room = x[j] - lo;
+                    let step = rho.min(span);
+                    if up_room >= step {
+                        step
+                    } else if down_room >= step {
+                        -step
+                    } else if up_room >= down_room {
+                        up_room
+                    } else {
+                        -down_room
+                    }
+                };
+                if h == 0.0 {
+                    continue;
+                }
+                let mut xp = x.clone();
+                xp[j] += h;
+                let e = evaluate(problem, &xp, &mut evals);
+                let df = e.f - cur.f;
+                g_f[j] = if df.is_finite() { df / h } else { 0.0 };
+                for (i, gc) in g_c.iter_mut().enumerate() {
+                    let dc = e.c[i] - cur.c[i];
+                    gc[j] = if dc.is_finite() { dc / h } else { 0.0 };
+                }
+            }
+
+            // Linearized subproblem: minimize g_f . d + mu * sum_i
+            // max(0, -(c_i + g_ci . d)) over the trust box. Start from
+            // the exact unconstrained minimizer of the linear model
+            // over the L-inf trust box — the sign corner -rho*sign(g) —
+            // then refine with projected subgradient steps to repair
+            // any linearized-constraint violation. The sign corner is
+            // what moves *every* improvable coordinate even when
+            // gradient magnitudes span orders of magnitude.
+            let mut d: Vec<f64> = (0..n)
+                .map(|j| {
+                    if g_f[j].abs() < 1e-15 {
+                        0.0
+                    } else {
+                        let step = -rho * g_f[j].signum();
+                        let (lo, hi) = bounds[j];
+                        step.clamp(lo - x[j], hi - x[j])
+                    }
+                })
+                .collect();
+            let mut best_d = d.clone();
+            let mut best_model = model_merit(&d, &g_f, &cur.c, &g_c, mu);
+            // The model at d = 0 is the baseline; if the corner is
+            // worse (constraint-violating), fall back before refining.
+            if model_merit(&vec![0.0; n], &g_f, &cur.c, &g_c, mu) < best_model {
+                d = vec![0.0; n];
+                best_d = d.clone();
+                best_model = model_merit(&d, &g_f, &cur.c, &g_c, mu);
+            }
+            for k in 0..self.inner_steps {
+                // Subgradient of the piecewise-linear merit at d.
+                let mut sub = g_f.clone();
+                for (i, gc) in g_c.iter().enumerate() {
+                    let ci = cur.c[i] + dot(gc, &d);
+                    if ci < 0.0 {
+                        for (s, g) in sub.iter_mut().zip(gc) {
+                            *s -= mu * g;
+                        }
+                    }
+                }
+                let norm = sub.iter().map(|s| s * s).sum::<f64>().sqrt();
+                if norm < 1e-14 {
+                    break;
+                }
+                let step = rho / (1.0 + k as f64 * 0.25) / norm;
+                for j in 0..n {
+                    d[j] -= step * sub[j];
+                    // Project onto trust box intersected with bounds.
+                    d[j] = d[j].clamp(-rho, rho);
+                    let (lo, hi) = bounds[j];
+                    d[j] = d[j].clamp(lo - x[j], hi - x[j]);
+                }
+                let mm = model_merit(&d, &g_f, &cur.c, &g_c, mu);
+                if mm < best_model {
+                    best_model = mm;
+                    best_d.copy_from_slice(&d);
+                }
+            }
+
+            let step_norm = best_d.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+            if step_norm < 0.1 * rho {
+                // Model says we are (locally) done at this resolution.
+                rho *= 0.5;
+                if rho < self.rho_end {
+                    converged = true;
+                    break;
+                }
+                continue;
+            }
+
+            // Try the model step at several scales before giving up on
+            // this trust radius: the linear model can overshoot where
+            // the true function is strongly curved, and a shorter step
+            // along the same direction often still improves.
+            let old_merit = merit(&cur, mu);
+            let mut accepted = false;
+            for scale in [1.0, 0.5, 0.25] {
+                let mut x_new = x.clone();
+                for j in 0..n {
+                    x_new[j] += scale * best_d[j];
+                }
+                clamp_into_bounds(&mut x_new, &bounds);
+                let e_new = evaluate(problem, &x_new, &mut evals);
+                let new_merit = merit(&e_new, mu);
+                if new_merit < old_merit - 1e-12 * old_merit.abs().max(1.0) {
+                    x = x_new;
+                    cur = e_new;
+                    accepted = true;
+                    break;
+                }
+            }
+            if !accepted {
+                rho *= 0.5;
+                if rho < self.rho_end {
+                    converged = true;
+                    break;
+                }
+            }
+
+            // Strengthen the penalty if we sit on a violated constraint.
+            let viol: f64 = cur.c.iter().map(|&ci| (-ci).max(0.0)).sum();
+            if viol > 1e-9 {
+                mu = (mu * 1.5).min(1e12);
+            }
+        }
+
+        let violation = cur.c.iter().fold(0.0f64, |a, &ci| a.max(-ci)).max(0.0);
+        Ok(Solution {
+            x,
+            objective: cur.f,
+            violation,
+            evals,
+            iterations,
+            converged,
+        })
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn model_merit(d: &[f64], g_f: &[f64], c0: &[f64], g_c: &[Vec<f64>], mu: f64) -> f64 {
+    let mut v = dot(g_f, d);
+    for (i, gc) in g_c.iter().enumerate() {
+        let ci = c0[i] + dot(gc, d);
+        if ci < 0.0 {
+            v += mu * (-ci);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::BoxedProblem;
+
+    #[test]
+    fn unconstrained_sphere() {
+        let p = BoxedProblem::new(
+            vec![(-5.0, 5.0); 4],
+            |x: &[f64]| x.iter().map(|v| (v - 1.0) * (v - 1.0)).sum(),
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        let sol = Cobyla::default().solve(&p, &[4.0, -4.0, 0.0, 2.0]).unwrap();
+        assert!(sol.objective < 1e-3, "objective {}", sol.objective);
+        for xi in &sol.x {
+            assert!((xi - 1.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn linear_objective_circle_constraint() {
+        // min x + y s.t. x^2 + y^2 <= 1: optimum (-1/sqrt2, -1/sqrt2).
+        let p = BoxedProblem::new(
+            vec![(-2.0, 2.0); 2],
+            |x: &[f64]| x[0] + x[1],
+            vec![|x: &[f64]| 1.0 - x[0] * x[0] - x[1] * x[1]],
+        );
+        let sol = Cobyla::default().solve(&p, &[0.5, 0.5]).unwrap();
+        assert!(sol.violation < 1e-2);
+        assert!(
+            (sol.objective + 2.0f64.sqrt()).abs() < 3e-2,
+            "objective {}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn respects_box_bounds() {
+        // Unconstrained minimum at -3 is outside the box [0, 5].
+        let p = BoxedProblem::new(
+            vec![(0.0, 5.0)],
+            |x: &[f64]| (x[0] + 3.0) * (x[0] + 3.0),
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        let sol = Cobyla::default().solve(&p, &[4.0]).unwrap();
+        assert!(sol.x[0] >= 0.0 && sol.x[0] <= 5.0);
+        assert!(
+            sol.x[0] < 0.05,
+            "should sit at the lower bound, got {}",
+            sol.x[0]
+        );
+    }
+
+    #[test]
+    fn stalls_on_plateau() {
+        // A step function: flat almost everywhere. A local linear-model
+        // solver sees zero slope and cannot find the better region far
+        // away — this is the paper's Figure 5 pathology.
+        let p = BoxedProblem::new(
+            vec![(0.0, 100.0)],
+            |x: &[f64]| if x[0] > 90.0 { 0.0 } else { 1.0 },
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        let sol = Cobyla::default().solve(&p, &[10.0]).unwrap();
+        assert_eq!(
+            sol.objective, 1.0,
+            "local solver should stall on the plateau"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let p = BoxedProblem::new(
+            vec![(0.0, 1.0); 2],
+            |_: &[f64]| 0.0,
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        assert!(Cobyla::default().solve(&p, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn fast_profile_is_cheaper() {
+        let p = BoxedProblem::new(
+            vec![(-5.0, 5.0); 8],
+            |x: &[f64]| x.iter().map(|v| v * v).sum(),
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        let full = Cobyla::default().solve(&p, &[3.0; 8]).unwrap();
+        let fast = Cobyla::fast().solve(&p, &[3.0; 8]).unwrap();
+        assert!(fast.evals < full.evals);
+        assert!(fast.objective < 0.5);
+    }
+}

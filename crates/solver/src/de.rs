@@ -1,0 +1,261 @@
+//! Differential Evolution (Storn & Price, 1997), `DE/rand/1/bin`.
+//!
+//! The evolutionary global optimizer of the paper's Figure 5: able to
+//! escape plateaus that stall local solvers, at a much higher evaluation
+//! cost. Constraint handling follows Deb's feasibility rules: feasible
+//! beats infeasible, lower violation beats higher violation, and among
+//! feasible candidates the lower objective wins.
+
+use crate::error::{Error, Result};
+use crate::problem::{Problem, Solution};
+use crate::Solver;
+use rand::prelude::*;
+
+/// Differential Evolution configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DifferentialEvolution {
+    /// Population size; `0` means `max(20, 10 * dim)`.
+    pub population: usize,
+    /// Differential weight `F` in `(0, 2]`.
+    pub f: f64,
+    /// Crossover rate `CR` in `[0, 1]`.
+    pub cr: f64,
+    /// Generation budget.
+    pub max_generations: usize,
+    /// Early stop: generations without improvement.
+    pub stall_generations: usize,
+    /// RNG seed (population initialization and variation).
+    pub seed: u64,
+}
+
+impl Default for DifferentialEvolution {
+    fn default() -> Self {
+        Self {
+            population: 0,
+            f: 0.7,
+            cr: 0.9,
+            max_generations: 600,
+            stall_generations: 80,
+            seed: 0x5eed_faf0,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Individual {
+    x: Vec<f64>,
+    f: f64,
+    violation: f64,
+}
+
+impl Individual {
+    /// Deb's feasibility-rule comparison: `true` when `self` beats
+    /// `other`.
+    fn beats(&self, other: &Individual) -> bool {
+        match (self.violation <= 1e-12, other.violation <= 1e-12) {
+            (true, true) => self.f < other.f,
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => self.violation < other.violation,
+        }
+    }
+}
+
+impl Solver for DifferentialEvolution {
+    fn solve(&self, problem: &dyn Problem, x0: &[f64]) -> Result<Solution> {
+        problem.validate(x0)?;
+        let n = problem.dim();
+        let bounds = problem.bounds();
+        let np = if self.population == 0 {
+            (10 * n).max(20)
+        } else {
+            self.population.max(4)
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut evals = 0usize;
+
+        let mut assess = |x: Vec<f64>| -> Individual {
+            let f = problem.objective(&x);
+            let mut c = vec![0.0; problem.num_constraints()];
+            problem.constraints(&x, &mut c);
+            evals += 1;
+            let violation: f64 = c.iter().map(|&ci| (-ci).max(0.0)).sum();
+            let f = if f.is_nan() { f64::INFINITY } else { f };
+            Individual { x, f, violation }
+        };
+
+        // Population: x0 plus uniform random points in the box.
+        let mut pop: Vec<Individual> = Vec::with_capacity(np);
+        let mut seed_point = x0.to_vec();
+        crate::problem::clamp_into_bounds(&mut seed_point, &bounds);
+        pop.push(assess(seed_point));
+        if pop[0].f.is_infinite() && pop[0].violation == 0.0 && problem.objective(x0).is_nan() {
+            return Err(Error::NanObjective);
+        }
+        for _ in 1..np {
+            let x: Vec<f64> = bounds
+                .iter()
+                .map(|&(lo, hi)| if lo < hi { rng.gen_range(lo..hi) } else { lo })
+                .collect();
+            pop.push(assess(x));
+        }
+
+        let mut best = pop
+            .iter()
+            .cloned()
+            .reduce(|a, b| if b.beats(&a) { b } else { a })
+            .expect("non-empty population");
+        let mut stall = 0usize;
+        let mut generations = 0usize;
+
+        for _gen in 0..self.max_generations {
+            generations += 1;
+            let mut improved = false;
+            for i in 0..np {
+                // Three distinct random indices, none equal to i.
+                let mut pick = || loop {
+                    let r = rng.gen_range(0..np);
+                    if r != i {
+                        return r;
+                    }
+                };
+                let (a, b, c) = (pick(), pick(), pick());
+                let j_rand = rng.gen_range(0..n);
+                let mut trial = pop[i].x.clone();
+                for j in 0..n {
+                    if j == j_rand || rng.gen::<f64>() < self.cr {
+                        let v = pop[a].x[j] + self.f * (pop[b].x[j] - pop[c].x[j]);
+                        let (lo, hi) = bounds[j];
+                        trial[j] = v.clamp(lo, hi);
+                    }
+                }
+                let cand = assess(trial);
+                if cand.beats(&pop[i]) {
+                    if cand.beats(&best) {
+                        best = cand.clone();
+                        improved = true;
+                    }
+                    pop[i] = cand;
+                }
+            }
+            if improved {
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= self.stall_generations {
+                    break;
+                }
+            }
+        }
+
+        Ok(Solution {
+            x: best.x,
+            objective: best.f,
+            violation: best.violation,
+            evals,
+            iterations: generations,
+            converged: stall >= self.stall_generations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::BoxedProblem;
+
+    #[test]
+    fn escapes_plateau_local_solvers_stall_on() {
+        // Step function: the good region is far from the start. DE's
+        // random population covers the box and finds it.
+        let p = BoxedProblem::new(
+            vec![(0.0, 100.0)],
+            |x: &[f64]| if x[0] > 90.0 { 0.0 } else { 1.0 },
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        let sol = DifferentialEvolution::default().solve(&p, &[10.0]).unwrap();
+        assert_eq!(sol.objective, 0.0, "DE should escape the plateau");
+    }
+
+    #[test]
+    fn constrained_circle() {
+        let p = BoxedProblem::new(
+            vec![(-2.0, 2.0); 2],
+            |x: &[f64]| x[0] + x[1],
+            vec![|x: &[f64]| 1.0 - x[0] * x[0] - x[1] * x[1]],
+        );
+        let sol = DifferentialEvolution::default()
+            .solve(&p, &[0.0, 0.0])
+            .unwrap();
+        assert!(sol.violation < 1e-6);
+        assert!(
+            (sol.objective + 2.0f64.sqrt()).abs() < 1e-2,
+            "objective {}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = BoxedProblem::new(
+            vec![(-5.0, 5.0); 3],
+            |x: &[f64]| x.iter().map(|v| v * v).sum(),
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        let s1 = DifferentialEvolution::default()
+            .solve(&p, &[1.0; 3])
+            .unwrap();
+        let s2 = DifferentialEvolution::default()
+            .solve(&p, &[1.0; 3])
+            .unwrap();
+        assert_eq!(s1.x, s2.x);
+        let other_seed = DifferentialEvolution {
+            seed: 42,
+            ..Default::default()
+        };
+        let s3 = other_seed.solve(&p, &[1.0; 3]).unwrap();
+        // Same minimum, but almost surely a different trajectory.
+        assert!((s3.objective - s1.objective).abs() < 1e-3);
+    }
+
+    #[test]
+    fn costs_more_than_local_solver() {
+        let p = BoxedProblem::new(
+            vec![(-5.0, 5.0); 4],
+            |x: &[f64]| x.iter().map(|v| v * v).sum(),
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        let de = DifferentialEvolution::default()
+            .solve(&p, &[2.0; 4])
+            .unwrap();
+        let local = crate::Cobyla::default().solve(&p, &[2.0; 4]).unwrap();
+        assert!(
+            de.evals > 3 * local.evals,
+            "DE evals {} should dwarf local {}",
+            de.evals,
+            local.evals
+        );
+    }
+
+    #[test]
+    fn feasibility_rules_prefer_feasible() {
+        let feasible = Individual {
+            x: vec![],
+            f: 10.0,
+            violation: 0.0,
+        };
+        let infeasible = Individual {
+            x: vec![],
+            f: -10.0,
+            violation: 0.5,
+        };
+        assert!(feasible.beats(&infeasible));
+        assert!(!infeasible.beats(&feasible));
+        let worse_viol = Individual {
+            x: vec![],
+            f: -20.0,
+            violation: 1.0,
+        };
+        assert!(infeasible.beats(&worse_viol));
+    }
+}

@@ -1,0 +1,58 @@
+//! Solver error type.
+
+use core::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors returned by solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The initial point's dimension does not match the problem's.
+    DimensionMismatch {
+        /// Problem dimension.
+        expected: usize,
+        /// Supplied dimension.
+        got: usize,
+    },
+    /// The problem has no variables.
+    EmptyProblem,
+    /// A bound pair has `lo > hi` at the given variable index.
+    InvalidBounds(usize),
+    /// The objective returned NaN at the initial point, so no progress
+    /// metric exists.
+    NanObjective,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "initial point has dimension {got}, problem expects {expected}"
+                )
+            }
+            Error::EmptyProblem => write!(f, "problem has zero variables"),
+            Error::InvalidBounds(i) => write!(f, "bounds for variable {i} are inverted"),
+            Error::NanObjective => write!(f, "objective is NaN at the initial point"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = Error::DimensionMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        assert!(Error::InvalidBounds(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,266 @@
+//! Penalized Nelder-Mead simplex search.
+//!
+//! This is the repository's stand-in for the paper's second local solver
+//! (SLSQP): both are local methods that are fast on smooth objectives and
+//! stall on plateaus (see `DESIGN.md`). Constraints are folded into an
+//! exact penalty; iterates are clamped into the box bounds.
+//!
+//! Uses the adaptive parameters of Gao & Han (2012), which scale the
+//! expansion/contraction coefficients with dimension.
+
+use crate::error::{Error, Result};
+use crate::problem::{clamp_into_bounds, Problem, Solution};
+use crate::Solver;
+
+/// Nelder-Mead configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMead {
+    /// Iteration budget.
+    pub max_iters: usize,
+    /// Convergence tolerance on the simplex objective spread.
+    pub tol: f64,
+    /// Exact-penalty weight for constraint violation.
+    pub penalty: f64,
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        Self {
+            max_iters: 800,
+            tol: 1e-8,
+            penalty: 1e4,
+            initial_step: 2.0,
+        }
+    }
+}
+
+impl Solver for NelderMead {
+    fn solve(&self, problem: &dyn Problem, x0: &[f64]) -> Result<Solution> {
+        problem.validate(x0)?;
+        let n = problem.dim();
+        let bounds = problem.bounds();
+        let mut evals = 0usize;
+
+        let mut eval = |x: &mut Vec<f64>| -> f64 {
+            clamp_into_bounds(x, &bounds);
+            let f = problem.objective(x);
+            let mut c = vec![0.0; problem.num_constraints()];
+            problem.constraints(x, &mut c);
+            evals += 1;
+            let viol: f64 = c.iter().map(|&ci| (-ci).max(0.0)).sum();
+            let f = if f.is_nan() { f64::INFINITY } else { f };
+            f + self.penalty * viol
+        };
+
+        // Adaptive coefficients (Gao & Han); the adaptive formulas
+        // degenerate below n = 2 (shrink factor 0), so 1-D uses the
+        // classic Nelder-Mead constants.
+        let nf = n as f64;
+        let alpha = 1.0;
+        let (beta, gamma, delta) = if n >= 2 {
+            (1.0 + 2.0 / nf, 0.75 - 1.0 / (2.0 * nf), 1.0 - 1.0 / nf)
+        } else {
+            (2.0, 0.5, 0.5)
+        };
+
+        // Initial simplex: x0 plus a step along each axis.
+        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        let mut start = x0.to_vec();
+        clamp_into_bounds(&mut start, &bounds);
+        simplex.push(start.clone());
+        for j in 0..n {
+            let mut v = start.clone();
+            let (lo, hi) = bounds[j];
+            let step = self.initial_step.min((hi - lo) * 0.5);
+            // Step toward the side with room.
+            if v[j] + step <= hi {
+                v[j] += step;
+            } else {
+                v[j] -= step;
+            }
+            simplex.push(v);
+        }
+        let mut values: Vec<f64> = simplex.iter_mut().map(&mut eval).collect();
+        if values[0].is_nan() {
+            return Err(Error::NanObjective);
+        }
+
+        let mut iterations = 0usize;
+        let mut converged = false;
+        while iterations < self.max_iters {
+            iterations += 1;
+            // Order the simplex.
+            let mut idx: Vec<usize> = (0..=n).collect();
+            idx.sort_by(|&a, &b| {
+                values[a]
+                    .partial_cmp(&values[b])
+                    .expect("NaN mapped to inf")
+            });
+            let reorder: Vec<Vec<f64>> = idx.iter().map(|&i| simplex[i].clone()).collect();
+            let revals: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
+            simplex = reorder;
+            values = revals;
+
+            let spread = (values[n] - values[0]).abs();
+            if spread <= self.tol * (1.0 + values[0].abs()) {
+                converged = true;
+                break;
+            }
+
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; n];
+            for v in simplex.iter().take(n) {
+                for j in 0..n {
+                    centroid[j] += v[j] / nf;
+                }
+            }
+
+            let lerp = |from: &[f64], coeff: f64| -> Vec<f64> {
+                (0..n)
+                    .map(|j| centroid[j] + coeff * (centroid[j] - from[j]))
+                    .collect()
+            };
+
+            // Reflection.
+            let mut xr = lerp(&simplex[n], alpha);
+            let fr = eval(&mut xr);
+            if fr < values[0] {
+                // Expansion.
+                let mut xe = lerp(&simplex[n], alpha * beta);
+                let fe = eval(&mut xe);
+                if fe < fr {
+                    simplex[n] = xe;
+                    values[n] = fe;
+                } else {
+                    simplex[n] = xr;
+                    values[n] = fr;
+                }
+                continue;
+            }
+            if fr < values[n - 1] {
+                simplex[n] = xr;
+                values[n] = fr;
+                continue;
+            }
+            // Contraction (outside if fr better than worst, else inside).
+            let (mut xc, against_worst) = if fr < values[n] {
+                (lerp(&simplex[n], alpha * gamma), false)
+            } else {
+                (lerp(&simplex[n], -gamma), true)
+            };
+            let fc = eval(&mut xc);
+            let target = if against_worst { values[n] } else { fr };
+            if fc < target {
+                simplex[n] = xc;
+                values[n] = fc;
+                continue;
+            }
+            // Shrink toward the best vertex.
+            let best = simplex[0].clone();
+            for i in 1..=n {
+                for j in 0..n {
+                    simplex[i][j] = best[j] + delta * (simplex[i][j] - best[j]);
+                }
+                let mut v = simplex[i].clone();
+                values[i] = eval(&mut v);
+                simplex[i] = v;
+            }
+        }
+
+        // Best vertex.
+        let (best_i, _) = values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN mapped to inf"))
+            .expect("simplex non-empty");
+        let x = simplex[best_i].clone();
+        let objective = problem.objective(&x);
+        let mut c = vec![0.0; problem.num_constraints()];
+        problem.constraints(&x, &mut c);
+        let violation = c.iter().fold(0.0f64, |a, &ci| a.max(-ci)).max(0.0);
+        Ok(Solution {
+            x,
+            objective,
+            violation,
+            evals,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::BoxedProblem;
+
+    #[test]
+    fn rosenbrock_2d() {
+        let p = BoxedProblem::new(
+            vec![(-5.0, 5.0); 2],
+            |x: &[f64]| {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                a * a + 100.0 * b * b
+            },
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        let sol = NelderMead::default().solve(&p, &[-1.2, 1.0]).unwrap();
+        assert!(sol.objective < 1e-5, "objective {}", sol.objective);
+        assert!((sol.x[0] - 1.0).abs() < 0.01 && (sol.x[1] - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn constrained_linear() {
+        let p = BoxedProblem::new(
+            vec![(-2.0, 2.0); 2],
+            |x: &[f64]| x[0] + x[1],
+            vec![|x: &[f64]| 1.0 - x[0] * x[0] - x[1] * x[1]],
+        );
+        let sol = NelderMead::default().solve(&p, &[0.0, 0.0]).unwrap();
+        assert!(sol.violation < 1e-3);
+        assert!(
+            (sol.objective + 2.0f64.sqrt()).abs() < 2e-2,
+            "objective {}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn stalls_on_plateau() {
+        let p = BoxedProblem::new(
+            vec![(0.0, 100.0)],
+            |x: &[f64]| if x[0] > 90.0 { 0.0 } else { 1.0 },
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        let sol = NelderMead::default().solve(&p, &[10.0]).unwrap();
+        assert_eq!(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn stays_in_bounds() {
+        let p = BoxedProblem::new(
+            vec![(1.0, 3.0); 3],
+            |x: &[f64]| x.iter().sum(),
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        let sol = NelderMead::default().solve(&p, &[2.0; 3]).unwrap();
+        for xi in &sol.x {
+            assert!((1.0..=3.0).contains(xi));
+        }
+        assert!((sol.objective - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn converged_flag_set_on_easy_problem() {
+        let p = BoxedProblem::new(
+            vec![(-1.0, 1.0); 2],
+            |x: &[f64]| x[0] * x[0] + x[1] * x[1],
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        let sol = NelderMead::default().solve(&p, &[0.5, -0.5]).unwrap();
+        assert!(sol.converged);
+    }
+}

@@ -1,0 +1,186 @@
+//! The constrained-minimization problem interface and solution type.
+
+use crate::error::{Error, Result};
+
+/// A box-bounded, inequality-constrained minimization problem.
+///
+/// Solvers minimize [`Problem::objective`] subject to
+/// `constraints(x)[i] >= 0` for all `i` and `bounds()[j].0 <= x[j] <=
+/// bounds()[j].1` for all `j`.
+pub trait Problem {
+    /// Number of decision variables.
+    fn dim(&self) -> usize;
+
+    /// Objective value at `x` (to be minimized). May return plateaus or
+    /// very large values; must not be called with the wrong dimension.
+    fn objective(&self, x: &[f64]) -> f64;
+
+    /// Number of inequality constraints.
+    fn num_constraints(&self) -> usize {
+        0
+    }
+
+    /// Writes constraint values into `out` (length
+    /// [`Problem::num_constraints`]); feasible iff every entry is `>= 0`.
+    fn constraints(&self, _x: &[f64], _out: &mut [f64]) {}
+
+    /// Per-variable `(lo, hi)` box bounds.
+    fn bounds(&self) -> Vec<(f64, f64)>;
+
+    /// Validates the problem and an initial point against it.
+    fn validate(&self, x0: &[f64]) -> Result<()> {
+        let n = self.dim();
+        if n == 0 {
+            return Err(Error::EmptyProblem);
+        }
+        if x0.len() != n {
+            return Err(Error::DimensionMismatch {
+                expected: n,
+                got: x0.len(),
+            });
+        }
+        for (i, (lo, hi)) in self.bounds().iter().enumerate() {
+            if lo > hi {
+                return Err(Error::InvalidBounds(i));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`Problem`] assembled from closures, convenient for tests and for
+/// Faro's dynamically-built cluster objectives.
+pub struct BoxedProblem<F, G>
+where
+    F: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> f64,
+{
+    bounds: Vec<(f64, f64)>,
+    objective: F,
+    constraints: Vec<G>,
+}
+
+impl<F, G> BoxedProblem<F, G>
+where
+    F: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> f64,
+{
+    /// Creates a problem from bounds, an objective, and constraint
+    /// closures (each feasible when `>= 0`).
+    pub fn new(bounds: Vec<(f64, f64)>, objective: F, constraints: Vec<G>) -> Self {
+        Self {
+            bounds,
+            objective,
+            constraints,
+        }
+    }
+}
+
+impl<F, G> Problem for BoxedProblem<F, G>
+where
+    F: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> f64,
+{
+    fn dim(&self) -> usize {
+        self.bounds.len()
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        (self.objective)(x)
+    }
+
+    fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    fn constraints(&self, x: &[f64], out: &mut [f64]) {
+        for (o, c) in out.iter_mut().zip(&self.constraints) {
+            *o = c(x);
+        }
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        self.bounds.clone()
+    }
+}
+
+/// Result of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective at `x`.
+    pub objective: f64,
+    /// Maximum constraint violation at `x` (zero when feasible).
+    pub violation: f64,
+    /// Objective/constraint evaluation count.
+    pub evals: usize,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Whether the solver hit its convergence tolerance (as opposed to
+    /// its iteration budget).
+    pub converged: bool,
+}
+
+/// Clamps a point into the problem's box bounds, in place.
+pub(crate) fn clamp_into_bounds(x: &mut [f64], bounds: &[(f64, f64)]) {
+    for (xi, &(lo, hi)) in x.iter_mut().zip(bounds) {
+        if !xi.is_finite() {
+            *xi = lo;
+        }
+        *xi = xi.clamp(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere() -> impl Problem {
+        BoxedProblem::new(
+            vec![(-5.0, 5.0); 3],
+            |x: &[f64]| x.iter().map(|v| v * v).sum(),
+            Vec::<fn(&[f64]) -> f64>::new(),
+        )
+    }
+
+    #[test]
+    fn validate_catches_errors() {
+        let p = sphere();
+        assert!(p.validate(&[0.0, 0.0, 0.0]).is_ok());
+        assert_eq!(
+            p.validate(&[0.0]).unwrap_err(),
+            Error::DimensionMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
+        let bad = BoxedProblem::new(
+            vec![(1.0, -1.0)],
+            |_: &[f64]| 0.0,
+            Vec::<fn(&[f64]) -> f64>::new(),
+        );
+        assert_eq!(bad.validate(&[0.0]).unwrap_err(), Error::InvalidBounds(0));
+        let empty = BoxedProblem::new(Vec::new(), |_: &[f64]| 0.0, Vec::<fn(&[f64]) -> f64>::new());
+        assert_eq!(empty.validate(&[]).unwrap_err(), Error::EmptyProblem);
+    }
+
+    #[test]
+    fn constraints_evaluated_in_order() {
+        let p = BoxedProblem::new(
+            vec![(0.0, 1.0); 2],
+            |_: &[f64]| 0.0,
+            vec![|x: &[f64]| x[0], |x: &[f64]| x[1] - 0.5],
+        );
+        let mut out = [0.0; 2];
+        p.constraints(&[0.25, 0.75], &mut out);
+        assert_eq!(out, [0.25, 0.25]);
+    }
+
+    #[test]
+    fn clamp_handles_nan() {
+        let mut x = [f64::NAN, 10.0, -10.0];
+        clamp_into_bounds(&mut x, &[(-1.0, 1.0); 3]);
+        assert_eq!(x, [-1.0, 1.0, -1.0]);
+    }
+}

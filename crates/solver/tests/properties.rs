@@ -1,0 +1,77 @@
+//! Property-based tests shared across solvers.
+
+use faro_solver::{BoxedProblem, Cobyla, DifferentialEvolution, NelderMead, Solver};
+use proptest::prelude::*;
+
+fn quadratic_problem(center: Vec<f64>, bounds: Vec<(f64, f64)>) -> impl faro_solver::Problem {
+    BoxedProblem::new(
+        bounds,
+        move |x: &[f64]| {
+            x.iter()
+                .zip(&center)
+                .map(|(xi, ci)| (xi - ci) * (xi - ci))
+                .sum()
+        },
+        Vec::<fn(&[f64]) -> f64>::new(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every solver returns a point inside the box bounds.
+    #[test]
+    fn solutions_respect_bounds(
+        dim in 1usize..5,
+        lo in -10.0f64..0.0,
+        width in 0.5f64..20.0,
+        start_frac in 0.0f64..1.0,
+    ) {
+        let hi = lo + width;
+        let bounds = vec![(lo, hi); dim];
+        let center = vec![lo - 5.0; dim]; // Optimum outside the box.
+        let p = quadratic_problem(center, bounds.clone());
+        let x0 = vec![lo + start_frac * width; dim];
+        for sol in [
+            Cobyla::default().solve(&p, &x0).unwrap(),
+            NelderMead::default().solve(&p, &x0).unwrap(),
+            DifferentialEvolution { max_generations: 60, ..Default::default() }
+                .solve(&p, &x0)
+                .unwrap(),
+        ] {
+            for (xi, &(l, h)) in sol.x.iter().zip(&bounds) {
+                prop_assert!(*xi >= l - 1e-9 && *xi <= h + 1e-9);
+            }
+        }
+    }
+
+    /// Local solvers find interior quadratic minima to reasonable
+    /// accuracy from arbitrary starts.
+    #[test]
+    fn quadratic_minimum_found(
+        dim in 1usize..4,
+        center_seed in prop::collection::vec(-3.0f64..3.0, 1..4),
+    ) {
+        let center: Vec<f64> = center_seed.into_iter().take(dim).chain(std::iter::repeat(0.0)).take(dim).collect();
+        let p = quadratic_problem(center.clone(), vec![(-5.0, 5.0); dim]);
+        let x0 = vec![4.0; dim];
+        let sol = Cobyla::default().solve(&p, &x0).unwrap();
+        prop_assert!(sol.objective < 1e-2, "cobyla objective {}", sol.objective);
+        let sol = NelderMead::default().solve(&p, &x0).unwrap();
+        prop_assert!(sol.objective < 1e-4, "nm objective {}", sol.objective);
+    }
+
+    /// Reported objective matches re-evaluating the returned point.
+    #[test]
+    fn reported_objective_consistent(seed in 0u64..50) {
+        let p = BoxedProblem::new(
+            vec![(-4.0, 4.0); 2],
+            |x: &[f64]| (x[0] - 1.0).powi(2) + x[1].powi(2) * 3.0,
+            vec![|x: &[f64]| 2.0 - x[0] - x[1]],
+        );
+        let de = DifferentialEvolution { seed, max_generations: 80, ..Default::default() };
+        let sol = de.solve(&p, &[0.0, 0.0]).unwrap();
+        let re = (sol.x[0] - 1.0).powi(2) + sol.x[1].powi(2) * 3.0;
+        prop_assert!((re - sol.objective).abs() < 1e-12);
+    }
+}

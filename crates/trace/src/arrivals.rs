@@ -1,0 +1,143 @@
+//! Poisson expansion of per-minute rates into request timestamps.
+//!
+//! The paper's load generator "uses Poisson distribution" (Sec. 6) over
+//! the per-minute trace rates; ML inference arrivals are well modelled
+//! as Poisson (paper Sec. 3.3). This module draws, for each minute, a
+//! Poisson-distributed request count and spreads the requests uniformly
+//! at random inside that minute — equivalent to an inhomogeneous Poisson
+//! process with piecewise-constant intensity.
+
+use rand::prelude::*;
+use rand_distr::{Distribution, Poisson};
+
+/// Generates sorted arrival timestamps (seconds from trace start) for a
+/// per-minute rate series, deterministically from `seed`.
+///
+/// Rates are requests/minute; non-positive or non-finite rates produce
+/// no arrivals for that minute.
+///
+/// # Examples
+///
+/// ```
+/// let arrivals = faro_trace::arrivals::poisson_arrivals(&[600.0; 2], 1);
+/// // ~600 requests per minute for two minutes.
+/// assert!((arrivals.len() as f64 - 1200.0).abs() < 150.0);
+/// assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+pub fn poisson_arrivals(rates_per_minute: &[f64], seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa441_7a15);
+    let mut out = Vec::new();
+    for (minute, &rate) in rates_per_minute.iter().enumerate() {
+        if rate.is_nan() || rate <= 0.0 || rate.is_infinite() {
+            continue;
+        }
+        let count = Poisson::new(rate)
+            .map(|p| p.sample(&mut rng) as usize)
+            .unwrap_or(0);
+        let start = minute as f64 * 60.0;
+        let mut stamps: Vec<f64> = (0..count)
+            .map(|_| start + rng.gen::<f64>() * 60.0)
+            .collect();
+        stamps.sort_by(|a, b| a.partial_cmp(b).expect("finite timestamps"));
+        out.extend(stamps);
+    }
+    out
+}
+
+/// An iterator-friendly arrival stream that avoids materializing every
+/// timestamp for very long traces: yields one minute at a time.
+#[derive(Debug)]
+pub struct ArrivalStream<'a> {
+    rates: &'a [f64],
+    minute: usize,
+    rng: StdRng,
+}
+
+impl<'a> ArrivalStream<'a> {
+    /// Creates a stream over the given per-minute rates.
+    pub fn new(rates_per_minute: &'a [f64], seed: u64) -> Self {
+        Self {
+            rates: rates_per_minute,
+            minute: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0xa441_7a15),
+        }
+    }
+}
+
+impl Iterator for ArrivalStream<'_> {
+    /// Sorted arrival timestamps within the next minute.
+    type Item = Vec<f64>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.minute >= self.rates.len() {
+            return None;
+        }
+        let rate = self.rates[self.minute];
+        let start = self.minute as f64 * 60.0;
+        self.minute += 1;
+        if rate.is_nan() || rate <= 0.0 || rate.is_infinite() {
+            return Some(Vec::new());
+        }
+        let count = Poisson::new(rate)
+            .map(|p| p.sample(&mut self.rng) as usize)
+            .unwrap_or(0);
+        let mut stamps: Vec<f64> = (0..count)
+            .map(|_| start + self.rng.gen::<f64>() * 60.0)
+            .collect();
+        stamps.sort_by(|a, b| a.partial_cmp(b).expect("finite timestamps"));
+        Some(stamps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_rates() {
+        let rates = vec![120.0; 50];
+        let arrivals = poisson_arrivals(&rates, 3);
+        let expect = 120.0 * 50.0;
+        let got = arrivals.len() as f64;
+        // Poisson SD is sqrt(6000) ~ 77; allow 5 sigma.
+        assert!(
+            (got - expect).abs() < 5.0 * expect.sqrt(),
+            "got {got} expect {expect}"
+        );
+    }
+
+    #[test]
+    fn timestamps_sorted_and_in_range() {
+        let arrivals = poisson_arrivals(&[60.0, 0.0, 60.0], 1);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        for &t in &arrivals {
+            assert!((0.0..180.0).contains(&t));
+            // No arrivals in the silent minute.
+            assert!(
+                !(60.0..120.0).contains(&t),
+                "arrival at {t} in silent minute"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let rates = vec![300.0; 10];
+        assert_eq!(poisson_arrivals(&rates, 7), poisson_arrivals(&rates, 7));
+        assert_ne!(poisson_arrivals(&rates, 7), poisson_arrivals(&rates, 8));
+    }
+
+    #[test]
+    fn stream_matches_batch() {
+        let rates = vec![45.0, 90.0, 10.0];
+        let batch = poisson_arrivals(&rates, 5);
+        let streamed: Vec<f64> = ArrivalStream::new(&rates, 5).flatten().collect();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn negative_and_nan_rates_yield_nothing() {
+        let arrivals = poisson_arrivals(&[-5.0, f64::NAN, 0.0], 2);
+        assert!(arrivals.is_empty());
+    }
+}

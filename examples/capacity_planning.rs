@@ -1,0 +1,45 @@
+//! Capacity planning with the matched simulator: sweep the replica
+//! quota under Faro-Sum to find the smallest cluster that meets all
+//! SLOs (the paper's notion of a "right-sized" cluster, Sec. 6).
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use faro::bench::harness::{run_matrix, ExperimentSpec};
+use faro::bench::{PolicyKind, WorkloadSet};
+use faro::core::ClusterObjective;
+
+fn main() {
+    let set = WorkloadSet::n_jobs(6, 11, 1200.0).truncated_eval(90);
+    println!(
+        "planning capacity for {} jobs over a 90-minute trace slice...\n",
+        set.len()
+    );
+
+    let sizes: Vec<u32> = vec![8, 12, 16, 20, 24, 28];
+    let spec = ExperimentSpec::new(vec![PolicyKind::faro(ClusterObjective::Sum)], sizes.clone())
+        .with_trials(2);
+    let results = run_matrix(&spec, &set, None);
+
+    println!(
+        "{:>8} {:>14} {:>12}",
+        "replicas", "slo_violation", "lost_utility"
+    );
+    let mut right_size = None;
+    for r in &results {
+        println!(
+            "{:>8} {:>13.2}% {:>12.3}",
+            r.cluster_size,
+            100.0 * r.violation_mean,
+            r.lost_utility_mean
+        );
+        if right_size.is_none() && r.violation_mean < 0.04 {
+            right_size = Some(r.cluster_size);
+        }
+    }
+    match right_size {
+        Some(s) => println!(
+            "\nright-sized cluster: {s} replicas (first size with <4% cluster SLO violations)"
+        ),
+        None => println!("\nno tested size met the <4% violation goal; extend the sweep"),
+    }
+}

@@ -1,0 +1,51 @@
+//! Faro: SLO-aware autoscaling for on-premises containerized ML
+//! inference clusters.
+//!
+//! This is the facade crate of the workspace, re-exporting the full
+//! stack behind one dependency. It reproduces the EuroSys '25 paper
+//! *"A House United Within Itself: SLO-Awareness for On-Premises
+//! Containerized ML Inference Clusters via Faro"*:
+//!
+//! - [`core`]: the Faro autoscaler — utilities, cluster objectives,
+//!   relaxed optimization, hierarchical solving, the hybrid
+//!   predictive/reactive loop, and every baseline policy.
+//! - [`queueing`]: M/M/c / M/D/c latency estimation and the relaxed
+//!   plateau-free estimator.
+//! - [`solver`]: COBYLA-style, Nelder-Mead, and Differential Evolution
+//!   constrained optimizers.
+//! - [`nn`] and [`forecast`]: the neural substrate and the N-HiTS /
+//!   LSTM / DeepAR-style / AR arrival-rate forecasters.
+//! - [`trace`]: synthetic Azure/Twitter-like workload generation.
+//! - [`sim`]: the deployment-matched discrete-event simulator of Ray
+//!   Serve atop Kubernetes.
+//! - [`metrics`]: percentiles, windows, SLO accounting, Kendall-Tau.
+//! - [`bench`]: the experiment harness regenerating the paper's tables
+//!   and figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use faro::bench::{PolicyKind, WorkloadSet};
+//! use faro::core::ClusterObjective;
+//! use faro::sim::{SimConfig, Simulation};
+//!
+//! // Two small jobs, ten minutes of trace, Faro-Sum vs the quota.
+//! let set = WorkloadSet::n_jobs(2, 7, 400.0).truncated_eval(10);
+//! let policy = PolicyKind::faro(ClusterObjective::Sum).build(&set, None, 0);
+//! let config = SimConfig { total_replicas: 8, seed: 1, ..Default::default() };
+//! let report = Simulation::new(config, set.setups(1)).unwrap().run(policy).unwrap();
+//! assert!(report.cluster_violation_rate < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use faro_bench as bench;
+pub use faro_core as core;
+pub use faro_forecast as forecast;
+pub use faro_metrics as metrics;
+pub use faro_nn as nn;
+pub use faro_queueing as queueing;
+pub use faro_sim as sim;
+pub use faro_solver as solver;
+pub use faro_trace as trace;

@@ -1,0 +1,131 @@
+//! End-to-end integration tests: the full stack (traces -> predictors
+//! -> Faro policy -> simulator -> reports) on short workloads.
+
+use faro::bench::harness::{run_matrix, ExperimentSpec};
+use faro::bench::policies::{Ablation, PolicyKind};
+use faro::bench::WorkloadSet;
+use faro::core::ClusterObjective;
+
+fn small_set() -> WorkloadSet {
+    WorkloadSet::n_jobs(4, 21, 1200.0).truncated_eval(45)
+}
+
+#[test]
+fn faro_beats_static_and_oneshot_when_constrained() {
+    // A busy mid-day slice with real trained predictors: the setting
+    // where Faro's predictive cross-job allocation pays off.
+    let set = WorkloadSet::n_jobs(4, 21, 1200.0).eval_window(120, 60);
+    let trained = set.train_predictors(3);
+    let spec = ExperimentSpec::new(
+        vec![
+            PolicyKind::faro(ClusterObjective::Sum),
+            PolicyKind::FairShare,
+            PolicyKind::Oneshot,
+        ],
+        vec![10],
+    )
+    .with_trials(2);
+    let results = run_matrix(&spec, &set, Some(&trained));
+    let faro = &results[0];
+    for baseline in &results[1..] {
+        assert!(
+            faro.violation_mean <= baseline.violation_mean * 1.1,
+            "Faro ({:.4}) should not lose to {} ({:.4})",
+            faro.violation_mean,
+            baseline.policy,
+            baseline.violation_mean
+        );
+    }
+}
+
+#[test]
+fn deterministic_full_stack_replay() {
+    let set = small_set();
+    let spec =
+        ExperimentSpec::new(vec![PolicyKind::faro(ClusterObjective::Sum)], vec![12]).with_trials(1);
+    let a = run_matrix(&spec, &set, None);
+    let b = run_matrix(&spec, &set, None);
+    assert_eq!(a[0].violation_mean, b[0].violation_mean);
+    assert_eq!(a[0].lost_utility_mean, b[0].lost_utility_mean);
+    assert_eq!(
+        a[0].reports[0].cluster_utility_per_minute,
+        b[0].reports[0].cluster_utility_per_minute
+    );
+}
+
+#[test]
+fn relaxation_ablation_hurts() {
+    // Removing the relaxation leaves the precise plateau objective: the
+    // local solver stalls and allocations are poor (paper Fig. 16's
+    // largest ablation effect: 2.1x-3.7x).
+    let set = small_set();
+    let full = PolicyKind::faro(ClusterObjective::FairSum { gamma: 4.0 });
+    let ablated = PolicyKind::Faro {
+        objective: ClusterObjective::FairSum { gamma: 4.0 },
+        ablation: Ablation {
+            no_relaxation: true,
+            ..Default::default()
+        },
+    };
+    let spec = ExperimentSpec::new(vec![full, ablated], vec![12]).with_trials(2);
+    let results = run_matrix(&spec, &set, None);
+    assert!(
+        results[0].lost_utility_mean <= results[1].lost_utility_mean * 1.05,
+        "full Faro {:.3} should beat no-relaxation {:.3}",
+        results[0].lost_utility_mean,
+        results[1].lost_utility_mean
+    );
+}
+
+#[test]
+fn every_policy_stays_within_quota_and_serves() {
+    let set = small_set();
+    let quota = 8u32;
+    let mut policies = PolicyKind::standard_nine(set.len());
+    policies.push(PolicyKind::Cilantro);
+    let spec = ExperimentSpec::new(policies, vec![quota]).with_trials(1);
+    let results = run_matrix(&spec, &set, None);
+    for r in &results {
+        let report = &r.reports[0];
+        assert_eq!(report.quota, quota);
+        for job in &report.jobs {
+            assert!(
+                job.total_requests > 0,
+                "{}: job {} starved",
+                r.policy,
+                job.name
+            );
+            assert!(job.violations <= job.total_requests);
+            assert!(job.drops <= job.violations);
+            assert!((0.0..=1.0).contains(&job.violation_rate));
+            for &u in &job.utility_per_minute {
+                assert!((0.0..=1.0).contains(&u), "{}: utility {u}", r.policy);
+            }
+        }
+        assert!(r.lost_utility_mean >= 0.0 && r.lost_utility_mean <= set.len() as f64);
+    }
+}
+
+#[test]
+fn oversubscription_degrades_everyone_but_faro_least() {
+    let set = WorkloadSet::n_jobs(4, 21, 1200.0).eval_window(120, 45);
+    let spec = ExperimentSpec::new(
+        vec![PolicyKind::faro(ClusterObjective::Sum), PolicyKind::Aiad],
+        vec![6, 16],
+    )
+    .with_trials(1);
+    let results = run_matrix(&spec, &set, None);
+    let get = |policy: &str, size: u32| {
+        results
+            .iter()
+            .find(|r| r.policy == policy && r.cluster_size == size)
+            .expect("cell exists")
+            .violation_mean
+    };
+    // Both degrade when constrained (small tolerance for noise on the
+    // short slice).
+    assert!(get("Faro-Sum", 6) >= get("Faro-Sum", 16) - 0.01);
+    assert!(get("AIAD", 6) >= get("AIAD", 16) - 0.01);
+    // Faro stays ahead in the constrained cluster.
+    assert!(get("Faro-Sum", 6) <= get("AIAD", 6) * 1.15 + 0.01);
+}
