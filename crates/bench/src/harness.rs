@@ -3,7 +3,7 @@
 use crate::policies::PolicyKind;
 use crate::workloads::WorkloadSet;
 use faro_forecast::nhits::NHits;
-use faro_sim::{ClusterReport, SimConfig, Simulation};
+use faro_sim::{ClusterReport, FaultPlan, SimConfig, Simulation};
 use serde::Serialize;
 
 /// One experiment's grid.
@@ -18,22 +18,31 @@ pub struct ExperimentSpec {
     /// Base simulator configuration (size and seed are overridden per
     /// cell).
     pub sim: SimConfig,
+    /// Fault schedule applied to every cell (default: no faults).
+    pub faults: FaultPlan,
 }
 
 impl ExperimentSpec {
-    /// The paper's default: 5 trials.
+    /// The paper's default: 5 trials, no faults.
     pub fn new(policies: Vec<PolicyKind>, cluster_sizes: Vec<u32>) -> Self {
         Self {
             policies,
             cluster_sizes,
             trials: (0..5).collect(),
             sim: SimConfig::default(),
+            faults: FaultPlan::none(),
         }
     }
 
     /// Reduces trials (quick runs honouring `FARO_QUICK=1`).
     pub fn with_trials(mut self, n: usize) -> Self {
         self.trials = (0..n as u64).collect();
+        self
+    }
+
+    /// Applies a fault schedule to every cell of the grid.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -86,7 +95,10 @@ fn run_cell(
             .wrapping_mul(0x9e37_79b9)
             .wrapping_add(u64::from(size));
         let policy = kind.build(set, trained, sim_cfg.seed);
-        let sim = Simulation::new(sim_cfg, set.setups(1)).expect("valid experiment setup");
+        let sim = Simulation::new(sim_cfg, set.setups(1))
+            .expect("valid experiment setup")
+            .with_faults(spec.faults.clone())
+            .expect("valid fault plan");
         let report = sim.run(policy).expect("simulation runs to completion");
         reports.push(report);
     }

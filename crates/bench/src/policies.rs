@@ -25,6 +25,10 @@ pub struct Ablation {
     pub no_hybrid: bool,
     /// Disable Stage-3 shrinking.
     pub no_shrinking: bool,
+    /// Enable the failure-resilient control loop (metric sanitization,
+    /// solve carry-forward, desired-state preservation, fast reactive
+    /// path on corroborated deficits).
+    pub resilient: bool,
 }
 
 /// A named policy under test.
@@ -55,6 +59,17 @@ impl PolicyKind {
         PolicyKind::Faro {
             objective,
             ablation: Ablation::default(),
+        }
+    }
+
+    /// Full Faro with the failure-resilient control loop enabled.
+    pub fn faro_resilient(objective: ClusterObjective) -> Self {
+        PolicyKind::Faro {
+            objective,
+            ablation: Ablation {
+                resilient: true,
+                ..Ablation::default()
+            },
         }
     }
 
@@ -107,6 +122,7 @@ impl PolicyKind {
                     (a.no_probabilistic, "-NoProb"),
                     (a.no_hybrid, "-NoHybrid"),
                     (a.no_shrinking, "-NoShrink"),
+                    (a.resilient, "+Resilient"),
                 ] {
                     if on {
                         name.push_str(tag);
@@ -159,6 +175,7 @@ impl PolicyKind {
                 if ablation.no_probabilistic {
                     cfg.samples = 1;
                 }
+                cfg.resilience = ablation.resilient;
                 let predictors: Vec<Box<dyn RatePredictor>> = (0..n)
                     .map(|i| -> Box<dyn RatePredictor> {
                         if ablation.no_prediction {

@@ -25,7 +25,7 @@ use crate::hierarchical::solve_hierarchical;
 use crate::objective::ClusterObjective;
 use crate::opt::{Fidelity, JobWorkload, LatencyModel, MultiTenantProblem};
 use crate::policy::{enforce_quota, Policy};
-use crate::predictor::RatePredictor;
+use crate::predictor::{sanitize_history, RatePredictor};
 use crate::types::{ClusterSnapshot, JobDecision};
 use crate::utility::RelaxedUtility;
 use faro_queueing::RelaxedLatency;
@@ -67,6 +67,15 @@ pub struct FaroConfig {
     pub rho_max: f64,
     /// RNG seed (trajectory sampling, grouping).
     pub seed: u64,
+    /// Failure-resilient control loop (off by default, keeping the
+    /// paper-faithful behavior bit-identical): sanitize corrupted
+    /// metric histories before forecasting, carry the last good solve
+    /// forward past solver failures, preserve desired allocations
+    /// across quota dips, fast-track reactive upscales when a
+    /// violation is corroborated by a visible replica deficit, and pad
+    /// standing headroom onto jobs with recent involuntary capacity
+    /// losses (replica churn).
+    pub resilience: bool,
 }
 
 impl FaroConfig {
@@ -88,6 +97,7 @@ impl FaroConfig {
             alpha: 4.0,
             rho_max: 0.95,
             seed: 0,
+            resilience: false,
         }
     }
 }
@@ -106,6 +116,20 @@ pub struct FaroAutoscaler {
     last_tick: Option<f64>,
     /// Current decisions, carried between ticks.
     current: Vec<JobDecision>,
+    /// Last solve that succeeded and validated (resilience carry-forward
+    /// cache; never clamped by transient quota dips).
+    last_good: Option<Vec<JobDecision>>,
+    /// Per-job time of the last fault-corroborated reactive boost
+    /// (rate-limits the resilient fast path).
+    last_boost: Vec<f64>,
+    /// Ready replicas seen at the previous tick (involuntary-loss
+    /// detection).
+    prev_ready: Vec<u32>,
+    /// Quota-clamped target actually applied at the previous tick.
+    prev_applied: Vec<u32>,
+    /// Per-job deadline until which the job counts as churning (crash
+    /// headroom is padded onto long-term solves before this time).
+    churn_until: Vec<f64>,
     rng: StdRng,
     name: String,
 }
@@ -113,7 +137,11 @@ pub struct FaroAutoscaler {
 impl FaroAutoscaler {
     /// Creates the autoscaler with one predictor per job (in job order).
     pub fn new(config: FaroConfig, predictors: Vec<Box<dyn RatePredictor>>) -> Self {
-        let name = config.objective.name().to_string();
+        let name = if config.resilience {
+            format!("{}+Resilient", config.objective.name())
+        } else {
+            config.objective.name().to_string()
+        };
         Self {
             rng: StdRng::seed_from_u64(config.seed ^ 0xfa60_5eed),
             solver: Cobyla::fast(),
@@ -123,6 +151,11 @@ impl FaroAutoscaler {
             violation_secs: Vec::new(),
             last_tick: None,
             current: Vec::new(),
+            last_good: None,
+            last_boost: Vec::new(),
+            prev_ready: Vec::new(),
+            prev_applied: Vec::new(),
+            churn_until: Vec::new(),
             name,
         }
     }
@@ -133,21 +166,49 @@ impl FaroAutoscaler {
     }
 
     /// Stage 1: assembles per-job workloads from predictions.
+    ///
+    /// With [`FaroConfig::resilience`] on, metric-outage damage is
+    /// repaired before it can poison the solve: NaN history minutes are
+    /// replaced with the last observed rate (without it, `per_second`'s
+    /// NaN-ignoring `max` silently turns a lost scrape into *zero*
+    /// predicted load and the solver strips the job to one replica).
     fn formulate(&mut self, snapshot: &ClusterSnapshot) -> Vec<JobWorkload> {
         let w = self.config.prediction_window_minutes;
         let skip = self.config.cold_start_minutes.min(w.saturating_sub(1));
+        let resilient = self.config.resilience;
         snapshot
             .jobs
             .iter()
             .enumerate()
             .map(|(i, obs)| {
-                let forecast = match self.predictors.get_mut(i) {
-                    Some(p) => p.predict(&obs.arrival_rate_history, w),
-                    None => faro_forecast::GaussianForecast::new(
-                        vec![obs.recent_arrival_rate * 60.0; w],
-                        vec![1e-9; w],
-                    ),
+                let sanitized;
+                let history: &[f64] = if resilient {
+                    sanitized = sanitize_history(&obs.arrival_rate_history);
+                    &sanitized
+                } else {
+                    &obs.arrival_rate_history
                 };
+                let mut forecast = match self.predictors.get_mut(i) {
+                    Some(p) => p.predict(history, w),
+                    None => {
+                        let level = if resilient && !obs.recent_arrival_rate.is_finite() {
+                            history.last().copied().unwrap_or(0.0)
+                        } else {
+                            obs.recent_arrival_rate * 60.0
+                        };
+                        faro_forecast::GaussianForecast::new(vec![level; w], vec![1e-9; w])
+                    }
+                };
+                if resilient {
+                    // Last-resort guard: a predictor fed clean history
+                    // can still emit junk.
+                    forecast.mu = sanitize_history(&forecast.mu);
+                    for s in forecast.sigma.iter_mut() {
+                        if !s.is_finite() || *s < 0.0 {
+                            *s = 1e-9;
+                        }
+                    }
+                }
                 let n_samples = self.config.samples.max(1);
                 let mut trajectories = Vec::with_capacity(n_samples);
                 if n_samples == 1 {
@@ -158,9 +219,14 @@ impl FaroAutoscaler {
                         trajectories.push(per_second(&s[skip..]));
                     }
                 }
+                let processing_time = if resilient && !obs.mean_processing_time.is_finite() {
+                    obs.spec.processing_time
+                } else {
+                    obs.mean_processing_time
+                };
                 JobWorkload {
                     lambda_trajectories: trajectories,
-                    processing_time: obs.mean_processing_time.max(1e-6),
+                    processing_time: processing_time.max(1e-6),
                     slo: obs.spec.slo,
                     priority: obs.spec.priority,
                 }
@@ -220,25 +286,95 @@ impl FaroAutoscaler {
 
     /// Short-term reactive pass: additive upscale on sustained
     /// violation; never downscales (Sec. 4.4).
+    ///
+    /// With [`FaroConfig::resilience`] on, two failure-aware rules are
+    /// added: a NaN tail latency (metric outage) *holds* the violation
+    /// clock instead of resetting it, and a violation corroborated by a
+    /// visible replica deficit (`ready < target`, i.e. something
+    /// crashed or was evicted) upscales immediately instead of waiting
+    /// out the full threshold — rate-limited to one boost per threshold
+    /// interval per job.
     fn reactive(&mut self, snapshot: &ClusterSnapshot, dt: f64) {
         let quota = snapshot.replica_quota();
+        let resilient = self.config.resilience;
         for (i, obs) in snapshot.jobs.iter().enumerate() {
+            if resilient && obs.recent_tail_latency.is_nan() {
+                continue; // Lost scrape: hold the clock, don't reset it.
+            }
             let violated = obs.recent_tail_latency > obs.spec.slo.latency;
             if violated {
                 self.violation_secs[i] += dt;
             } else {
                 self.violation_secs[i] = 0.0;
             }
-            if self.violation_secs[i] >= self.config.reactive_threshold {
+            let deficit = obs.ready_replicas < self.current[i].target_replicas;
+            let fast_path = resilient
+                && violated
+                && deficit
+                && snapshot.now - self.last_boost[i] >= self.config.reactive_threshold;
+            if fast_path || self.violation_secs[i] >= self.config.reactive_threshold {
                 let total: u32 = self.current.iter().map(|d| d.target_replicas).sum();
                 if total < quota {
                     self.current[i].target_replicas += 1;
                     self.violation_secs[i] = 0.0;
+                    self.last_boost[i] = snapshot.now;
                 }
             }
         }
     }
+
+    /// Detects involuntary capacity loss — the crash signature: ready
+    /// replicas *dropped* since the previous tick, below what the
+    /// previously *applied* (quota-clamped) target requested. Voluntary
+    /// scale-downs never match (the simulator retires replicas down to
+    /// the new target, so ready lands *at* the applied target, not
+    /// below it), quota-dip evictions never match (the clamp lowers the
+    /// applied target first), and cold starts only raise the ready
+    /// count — so the no-fault path never trips this.
+    ///
+    /// A detected loss marks the job as churning for
+    /// [`CHURN_WINDOW_SOLVES`] long-term intervals and, when quota
+    /// allows, boosts the target immediately (sharing the reactive fast
+    /// path's per-job rate limit).
+    fn detect_churn(&mut self, snapshot: &ClusterSnapshot) {
+        let quota = snapshot.replica_quota();
+        for (i, obs) in snapshot.jobs.iter().enumerate() {
+            let lost = obs.ready_replicas < self.prev_ready[i]
+                && obs.ready_replicas < self.prev_applied[i];
+            if lost {
+                self.churn_until[i] =
+                    snapshot.now + CHURN_WINDOW_SOLVES * self.config.long_term_interval;
+                let total: u32 = self.current.iter().map(|d| d.target_replicas).sum();
+                if total < quota
+                    && snapshot.now - self.last_boost[i] >= self.config.reactive_threshold
+                {
+                    self.current[i].target_replicas += 1;
+                    self.last_boost[i] = snapshot.now;
+                }
+            }
+            self.prev_ready[i] = obs.ready_replicas;
+        }
+    }
+
+    /// Pads one replica of standing headroom onto each churning job
+    /// after a long-term solve (quota permitting). The solver sizes
+    /// allocations assuming replicas stay up; under churn one replica
+    /// is perpetually mid-cold-start somewhere, and every crash opens a
+    /// cold-start-long capacity hole that the headroom absorbs.
+    fn pad_churn_headroom(&mut self, now: f64, quota: u32) {
+        let mut total: u32 = self.current.iter().map(|d| d.target_replicas).sum();
+        for i in 0..self.current.len() {
+            if self.churn_until[i] > now && total < quota {
+                self.current[i].target_replicas += 1;
+                total += 1;
+            }
+        }
+    }
 }
+
+/// How many long-term intervals a job stays "churning" after an
+/// involuntary capacity loss (crash headroom padding window).
+const CHURN_WINDOW_SOLVES: f64 = 2.0;
 
 fn per_second(per_minute: &[f64]) -> Vec<f64> {
     per_minute.iter().map(|&r| (r / 60.0).max(0.0)).collect()
@@ -254,9 +390,17 @@ impl Policy for FaroAutoscaler {
         if self.current.len() != n {
             self.current = snapshot.jobs.iter().map(JobDecision::keep).collect();
             self.violation_secs = vec![0.0; n];
+            self.last_boost = vec![f64::NEG_INFINITY; n];
+            self.last_good = None;
+            self.prev_ready = snapshot.jobs.iter().map(|j| j.ready_replicas).collect();
+            self.prev_applied = self.current.iter().map(|d| d.target_replicas).collect();
+            self.churn_until = vec![f64::NEG_INFINITY; n];
         }
         let dt = self.last_tick.map_or(0.0, |t| (snapshot.now - t).max(0.0));
         self.last_tick = Some(snapshot.now);
+        if self.config.resilience {
+            self.detect_churn(snapshot);
+        }
 
         let due = self
             .last_long_term
@@ -264,13 +408,29 @@ impl Policy for FaroAutoscaler {
         if due {
             self.last_long_term = Some(snapshot.now);
             match self.long_term(snapshot) {
-                Ok(decisions) => {
+                Ok(decisions) if !self.config.resilience || decisions_valid(&decisions) => {
+                    if self.config.resilience {
+                        self.last_good = Some(decisions.clone());
+                    }
                     self.current = decisions;
                     self.violation_secs.iter_mut().for_each(|v| *v = 0.0);
+                    if self.config.resilience {
+                        self.pad_churn_headroom(snapshot.now, snapshot.replica_quota());
+                    }
                 }
-                Err(_) => {
+                _ => {
                     // Keep the previous allocation on solver failure —
                     // an autoscaler must not crash the control loop.
+                    // The resilient variant restores the last *good*
+                    // solve, which unlike `current` was never clamped
+                    // by a transient quota dip.
+                    if self.config.resilience {
+                        if let Some(good) = &self.last_good {
+                            if good.len() == n {
+                                self.current = good.clone();
+                            }
+                        }
+                    }
                 }
             }
         } else if self.config.use_hybrid {
@@ -279,9 +439,30 @@ impl Policy for FaroAutoscaler {
 
         let mut out = self.current.clone();
         enforce_quota(&mut out, snapshot.replica_quota());
-        self.current = out.clone();
+        if self.config.resilience {
+            // Record the applied (clamped) targets so the next tick's
+            // churn detection can tell a voluntary shrink or quota
+            // clamp from a crash.
+            for (d, prev) in out.iter().zip(self.prev_applied.iter_mut()) {
+                *prev = d.target_replicas;
+            }
+        } else {
+            // Paper-faithful behavior: the clamped allocation becomes
+            // the carried state. The resilient variant instead keeps
+            // its desired state so capacity snaps back the moment a
+            // node outage ends.
+            self.current = out.clone();
+        }
         out
     }
+}
+
+/// A solve is usable when every decision is in-domain; junk decisions
+/// (NaN drop rates from a poisoned objective) trip the carry-forward.
+fn decisions_valid(decisions: &[JobDecision]) -> bool {
+    decisions
+        .iter()
+        .all(|d| d.target_replicas >= 1 && d.drop_rate.is_finite())
 }
 
 #[cfg(test)]
@@ -409,6 +590,155 @@ mod tests {
         let ds = f.decide(&snapshot(0.0, 12, jobs));
         assert!(ds.iter().map(|d| d.target_replicas).sum::<u32>() <= 12);
         assert!(ds.iter().all(|d| d.target_replicas >= 1));
+    }
+
+    fn faro_resilient(objective: ClusterObjective, n_jobs: usize) -> FaroAutoscaler {
+        let predictors: Vec<Box<dyn RatePredictor>> = (0..n_jobs)
+            .map(|_| {
+                Box::new(FlatPredictor {
+                    lookback: 3,
+                    sigma_fraction: 0.1,
+                }) as Box<dyn RatePredictor>
+            })
+            .collect();
+        let mut cfg = FaroConfig::new(objective);
+        cfg.samples = 8;
+        cfg.resilience = true;
+        FaroAutoscaler::new(cfg, predictors)
+    }
+
+    fn corrupt(mut o: JobObservation) -> JobObservation {
+        let n = o.arrival_rate_history.len();
+        for v in o.arrival_rate_history.iter_mut().skip(n - 5) {
+            *v = f64::NAN;
+        }
+        o.recent_arrival_rate = f64::NAN;
+        o.recent_tail_latency = f64::NAN;
+        o
+    }
+
+    #[test]
+    fn resilient_name_is_tagged() {
+        assert_eq!(faro(ClusterObjective::Sum, 1).name(), "Faro-Sum");
+        assert_eq!(
+            faro_resilient(ClusterObjective::Sum, 1).name(),
+            "Faro-Sum+Resilient"
+        );
+    }
+
+    #[test]
+    fn metric_outage_collapses_only_the_nonresilient_variant() {
+        // A NaN history mean flows through per_second's NaN-ignoring
+        // max() as *zero load*, so the plain autoscaler strips the job.
+        let run = |mut f: FaroAutoscaler| {
+            let d0 = f.decide(&snapshot(0.0, 32, vec![obs(2400.0, 1, 0.1)]));
+            let base = d0[0].target_replicas;
+            assert!(base >= 8, "healthy solve sizes for the load: {base}");
+            let d1 = f.decide(&snapshot(300.0, 32, vec![corrupt(obs(2400.0, base, 0.1))]));
+            d1[0].target_replicas
+        };
+        let plain = run(faro(ClusterObjective::Sum, 1));
+        let resilient = run(faro_resilient(ClusterObjective::Sum, 1));
+        assert!(plain <= 2, "lost scrape reads as zero load: {plain}");
+        assert!(
+            resilient >= 8,
+            "sanitized history preserves the allocation: {resilient}"
+        );
+    }
+
+    #[test]
+    fn nan_tail_holds_the_violation_clock() {
+        let mut f = faro_resilient(ClusterObjective::Sum, 1);
+        let d0 = f.decide(&snapshot(0.0, 16, vec![obs(600.0, 1, 0.1)]));
+        let base = d0[0].target_replicas;
+        // 20 s of violation, then a NaN scrape, then more violation:
+        // the clock must not reset at the NaN tick.
+        let o = |tail: f64| obs(600.0, base, tail);
+        f.decide(&snapshot(10.0, 16, vec![o(5.0)]));
+        f.decide(&snapshot(20.0, 16, vec![o(5.0)]));
+        let mut gap = o(f64::NAN);
+        gap.recent_tail_latency = f64::NAN;
+        f.decide(&snapshot(30.0, 16, vec![gap]));
+        let d = f.decide(&snapshot(40.0, 16, vec![o(5.0)]));
+        assert_eq!(
+            d[0].target_replicas,
+            base + 1,
+            "30 s of accumulated violation crossed the threshold"
+        );
+    }
+
+    #[test]
+    fn corroborated_deficit_fast_tracks_the_upscale() {
+        let mk_obs = |base: u32| {
+            let mut o = obs(600.0, base, 5.0);
+            o.ready_replicas = base.saturating_sub(1); // A replica died.
+            o
+        };
+        // Plain: a single violated tick is far below the 30 s threshold.
+        let mut plain = faro(ClusterObjective::Sum, 1);
+        let base = plain.decide(&snapshot(0.0, 16, vec![obs(600.0, 1, 0.1)]))[0].target_replicas;
+        let d = plain.decide(&snapshot(10.0, 16, vec![mk_obs(base)]));
+        assert_eq!(d[0].target_replicas, base, "plain variant waits 30 s");
+        // Resilient: violation + visible deficit upscales immediately,
+        // but only once per threshold interval.
+        let mut res = faro_resilient(ClusterObjective::Sum, 1);
+        let base = res.decide(&snapshot(0.0, 16, vec![obs(600.0, 1, 0.1)]))[0].target_replicas;
+        let d = res.decide(&snapshot(10.0, 16, vec![mk_obs(base)]));
+        assert_eq!(d[0].target_replicas, base + 1, "fast path fired");
+        let d = res.decide(&snapshot(20.0, 16, vec![mk_obs(base + 1)]));
+        assert_eq!(d[0].target_replicas, base + 1, "rate-limited");
+    }
+
+    #[test]
+    fn churn_headroom_pads_after_involuntary_loss() {
+        let seq = |mut f: FaroAutoscaler| {
+            let base = f.decide(&snapshot(0.0, 32, vec![obs(600.0, 1, 0.1)]))[0].target_replicas;
+            assert!(base >= 2);
+            f.decide(&snapshot(10.0, 32, vec![obs(600.0, base, 0.1)]));
+            // A replica dies while latency is still healthy: no
+            // violation, so only loss detection can react.
+            let mut crashed = obs(600.0, base, 0.1);
+            crashed.ready_replicas = base - 1;
+            let d20 = f.decide(&snapshot(20.0, 32, vec![crashed]))[0].target_replicas;
+            // Next long-term solve, same load and the same solver
+            // starting point for both variants.
+            let d300 =
+                f.decide(&snapshot(300.0, 32, vec![obs(600.0, base, 0.1)]))[0].target_replicas;
+            (base, d20, d300)
+        };
+        let (pb, p20, p300) = seq(faro(ClusterObjective::Sum, 1));
+        assert_eq!(p20, pb, "plain variant ignores a healthy-latency crash");
+        let (rb, r20, r300) = seq(faro_resilient(ClusterObjective::Sum, 1));
+        assert_eq!(rb, pb, "identical first solve");
+        assert_eq!(r20, rb + 1, "loss detection boosts immediately");
+        assert_eq!(r300, p300 + 1, "long-term solve pads churn headroom");
+    }
+
+    #[test]
+    fn resilient_variant_restores_desired_state_after_quota_dip() {
+        let heavy = 2400.0;
+        let run = |mut f: FaroAutoscaler| {
+            let d0 = f.decide(&snapshot(0.0, 32, vec![obs(heavy, 1, 0.1)]));
+            let base = d0[0].target_replicas;
+            assert!(base >= 8);
+            // A node outage halves the quota for one tick.
+            let d1 = f.decide(&snapshot(10.0, 4, vec![obs(heavy, base, 0.1)]));
+            assert!(d1[0].target_replicas <= 4, "clamped during the outage");
+            // Outage over; no long-term solve is due until t=300.
+            let d2 = f.decide(&snapshot(
+                20.0,
+                32,
+                vec![obs(heavy, d1[0].target_replicas, 0.1)],
+            ));
+            (base, d2[0].target_replicas)
+        };
+        let (base, after) = run(faro_resilient(ClusterObjective::Sum, 1));
+        assert_eq!(after, base, "desired state snaps back instantly");
+        let (base, after) = run(faro(ClusterObjective::Sum, 1));
+        assert!(
+            after < base,
+            "paper-faithful variant stays clamped until the next solve"
+        );
     }
 
     #[test]

@@ -23,6 +23,31 @@ pub trait RatePredictor: Send {
     fn predict(&mut self, history_per_minute: &[f64], horizon: usize) -> GaussianForecast;
 }
 
+/// Repairs a rate history corrupted by metric outages: every non-finite
+/// or negative entry is replaced by the closest preceding finite
+/// non-negative value (the last rate the scraper actually observed).
+/// A corrupted prefix borrows the first healthy value instead; an
+/// entirely corrupted history sanitizes to zeros.
+pub fn sanitize_history(history: &[f64]) -> Vec<f64> {
+    let first_good = history
+        .iter()
+        .copied()
+        .find(|v| v.is_finite() && *v >= 0.0)
+        .unwrap_or(0.0);
+    let mut last_good = first_good;
+    history
+        .iter()
+        .map(|&v| {
+            if v.is_finite() && v >= 0.0 {
+                last_good = v;
+                v
+            } else {
+                last_good
+            }
+        })
+        .collect()
+}
+
 /// Pads/trims a history to exactly `len` values (repeating the earliest
 /// value on the left).
 fn fit_context(history: &[f64], len: usize) -> Vec<f64> {
@@ -196,6 +221,19 @@ mod tests {
         let mut p = PointPredictor::new(Box::new(model));
         let f = p.predict(&[6.0, 6.0], 3);
         assert_eq!(f.mu, vec![6.0; 3]);
+    }
+
+    #[test]
+    fn sanitize_history_repairs_gaps() {
+        let h = [5.0, f64::NAN, f64::INFINITY, 7.0, -1.0, 8.0];
+        assert_eq!(sanitize_history(&h), vec![5.0, 5.0, 5.0, 7.0, 7.0, 8.0]);
+        // A corrupted prefix borrows the first healthy value.
+        let h = [f64::NAN, f64::NAN, 3.0, 4.0];
+        assert_eq!(sanitize_history(&h), vec![3.0, 3.0, 3.0, 4.0]);
+        // All-corrupt histories become zeros rather than poisoning the
+        // forecaster.
+        assert_eq!(sanitize_history(&[f64::NAN; 3]), vec![0.0; 3]);
+        assert!(sanitize_history(&[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Capacity availability and time-to-recover accounting.
+//!
+//! Fault-injection experiments need two signals beyond latency SLOs:
+//! how much of the *desired* capacity was actually ready over time, and
+//! how long each ready-capacity deficit lasted. [`AvailabilityTracker`]
+//! integrates both from piecewise-constant `(ready, target)`
+//! observations: availability is the time-weighted mean of
+//! `min(ready / target, 1)`, and every maximal interval with
+//! `ready < target` is one *deficit episode* whose duration is a
+//! time-to-recover sample. Cold starts after ordinary scale-ups count
+//! too — the metric measures readiness of whatever the controller asked
+//! for, whatever the cause of the gap.
+
+/// Integrates capacity availability and deficit-recovery times from a
+/// sequence of timestamped observations.
+#[derive(Debug, Clone, Default)]
+pub struct AvailabilityTracker {
+    last_time: Option<f64>,
+    last_fraction: f64,
+    weighted: f64,
+    elapsed: f64,
+    deficit_since: Option<f64>,
+    recoveries: Vec<f64>,
+}
+
+impl AvailabilityTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `ready` of `target` desired replicas were serving
+    /// at `now` (seconds). Observations must be non-decreasing in time;
+    /// out-of-order or non-finite timestamps are ignored.
+    pub fn observe(&mut self, now: f64, ready: u32, target: u32) {
+        if !now.is_finite() {
+            return;
+        }
+        if let Some(t0) = self.last_time {
+            if now < t0 {
+                return;
+            }
+            let dt = now - t0;
+            self.weighted += self.last_fraction * dt;
+            self.elapsed += dt;
+        }
+        self.last_time = Some(now);
+        self.last_fraction = if target == 0 {
+            1.0
+        } else {
+            (f64::from(ready) / f64::from(target)).min(1.0)
+        };
+        if ready < target {
+            if self.deficit_since.is_none() {
+                self.deficit_since = Some(now);
+            }
+        } else if let Some(start) = self.deficit_since.take() {
+            self.recoveries.push(now - start);
+        }
+    }
+
+    /// Closes the observation window at `end` (extending the last state
+    /// to `end` and ending any open deficit episode there).
+    pub fn finish(&mut self, end: f64) {
+        self.observe(end, 1, 1);
+    }
+
+    /// Time-weighted mean of `min(ready / target, 1)`; 1 when nothing
+    /// was observed.
+    pub fn availability(&self) -> f64 {
+        if self.elapsed > 0.0 {
+            self.weighted / self.elapsed
+        } else {
+            1.0
+        }
+    }
+
+    /// Mean duration of completed deficit episodes, in seconds; `None`
+    /// when no deficit ever occurred.
+    pub fn mean_time_to_recover(&self) -> Option<f64> {
+        if self.recoveries.is_empty() {
+            None
+        } else {
+            Some(self.recoveries.iter().sum::<f64>() / self.recoveries.len() as f64)
+        }
+    }
+
+    /// Number of completed deficit episodes.
+    pub fn recovery_count(&self) -> usize {
+        self.recoveries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_availability_without_deficit() {
+        let mut t = AvailabilityTracker::new();
+        t.observe(0.0, 4, 4);
+        t.observe(100.0, 4, 4);
+        assert_eq!(t.availability(), 1.0);
+        assert_eq!(t.mean_time_to_recover(), None);
+        assert_eq!(t.recovery_count(), 0);
+    }
+
+    #[test]
+    fn deficit_lowers_availability_and_records_recovery() {
+        let mut t = AvailabilityTracker::new();
+        t.observe(0.0, 4, 4);
+        t.observe(10.0, 2, 4); // Deficit begins: 50% ready.
+        t.observe(40.0, 4, 4); // Recovered after 30 s.
+        t.observe(50.0, 4, 4);
+        // 10 s at 1.0, 30 s at 0.5, 10 s at 1.0 over 50 s.
+        let expect = (10.0 + 15.0 + 10.0) / 50.0;
+        assert!((t.availability() - expect).abs() < 1e-12);
+        assert_eq!(t.mean_time_to_recover(), Some(30.0));
+        assert_eq!(t.recovery_count(), 1);
+    }
+
+    #[test]
+    fn finish_closes_open_episode() {
+        let mut t = AvailabilityTracker::new();
+        t.observe(0.0, 1, 2);
+        t.finish(20.0);
+        assert_eq!(t.mean_time_to_recover(), Some(20.0));
+        assert!((t.availability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        let mut t = AvailabilityTracker::new();
+        assert_eq!(t.availability(), 1.0);
+        t.observe(f64::NAN, 0, 4);
+        t.observe(10.0, 0, 0); // Zero target counts as fully available.
+        t.observe(5.0, 0, 4); // Out of order: ignored.
+        t.observe(20.0, 0, 4);
+        t.observe(30.0, 4, 4);
+        assert_eq!(t.recovery_count(), 1);
+        assert!(t.availability() < 1.0);
+    }
+
+    #[test]
+    fn excess_capacity_is_clamped() {
+        let mut t = AvailabilityTracker::new();
+        t.observe(0.0, 8, 2);
+        t.observe(10.0, 8, 2);
+        assert_eq!(t.availability(), 1.0);
+    }
+}

@@ -8,6 +8,8 @@
 //!   series (the paper's main experimental metrics, Sec. 6).
 //! - [`rank`]: the Kendall-Tau rank distance used to compare simulator
 //!   and cluster policy rankings (paper Table 7).
+//! - [`availability`]: capacity availability and time-to-recover
+//!   accounting for the fault-injection experiments.
 //!
 //! # Examples
 //!
@@ -24,11 +26,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod availability;
 pub mod percentile;
 pub mod rank;
 pub mod slo;
 pub mod window;
 
+pub use availability::AvailabilityTracker;
 pub use percentile::{percentile_of_sorted, PercentileBuffer};
 pub use rank::kendall_tau_distance;
 pub use slo::{MinuteSeries, SloAccounting};

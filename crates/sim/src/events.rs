@@ -52,6 +52,19 @@ pub enum Event {
         /// Index of the minute that begins at this event.
         minute: usize,
     },
+    /// Fault injection: a replica fails (see [`crate::faults`]). The
+    /// event is a no-op when the replica no longer exists.
+    ReplicaCrash {
+        /// Owning job.
+        job: usize,
+        /// Replica identifier within the job.
+        replica: u64,
+    },
+    /// Fault injection: a correlated node outage begins, shrinking the
+    /// effective quota and evicting replicas.
+    NodeOutageStart,
+    /// Fault injection: the node outage ends and the quota is restored.
+    NodeOutageEnd,
 }
 
 /// Deterministic time-ordered event queue.

@@ -32,10 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod faults;
 pub mod report;
 pub mod runtime;
 pub mod simulator;
 
+pub use faults::{
+    ColdStartSpike, FaultPlan, MetricOutage, MetricOutageMode, NodeOutage, ReplicaCrashes,
+};
 pub use report::{ClusterReport, JobReport};
 pub use simulator::{JobSetup, SimConfig, Simulation};
 

@@ -35,6 +35,17 @@ pub struct JobReport {
     pub mean_effective_utility: f64,
     /// Per-minute arrivals (workload view).
     pub arrivals_per_minute: Vec<f64>,
+    /// In-flight requests killed by replica crashes/evictions (zero
+    /// without fault injection).
+    pub crash_killed: u64,
+    /// Time-weighted fraction of the desired replica capacity that was
+    /// ready (1 means every requested replica was always serving).
+    pub availability: f64,
+    /// Mean duration of ready-capacity deficits in seconds (0 when the
+    /// job never had a deficit).
+    pub mean_time_to_recover_secs: f64,
+    /// Number of completed deficit-recovery episodes.
+    pub recoveries: u64,
 }
 
 impl JobReport {
@@ -61,6 +72,10 @@ pub struct ClusterReport {
     pub cluster_violation_rate: f64,
     /// Average effective cluster utility per minute.
     pub avg_effective_cluster_utility: f64,
+    /// Mean of the per-job capacity availabilities.
+    pub availability: f64,
+    /// Total in-flight requests killed by crashes/evictions.
+    pub crash_killed_total: u64,
 }
 
 /// Builds per-minute utilities from tail-latency and drop series.
@@ -134,6 +149,12 @@ pub fn cluster_report(policy: &str, quota: u32, jobs: Vec<JobReport>) -> Cluster
     } else {
         jobs.iter().map(|j| j.violation_rate).sum::<f64>() / jobs.len() as f64
     };
+    let availability = if jobs.is_empty() {
+        1.0
+    } else {
+        jobs.iter().map(|j| j.availability).sum::<f64>() / jobs.len() as f64
+    };
+    let crash_killed_total = jobs.iter().map(|j| j.crash_killed).sum();
     ClusterReport {
         policy: policy.to_string(),
         quota,
@@ -142,6 +163,8 @@ pub fn cluster_report(policy: &str, quota: u32, jobs: Vec<JobReport>) -> Cluster
         avg_lost_cluster_utility: avg_lost,
         cluster_violation_rate: violation,
         avg_effective_cluster_utility: avg_eff,
+        availability,
+        crash_killed_total,
     }
 }
 
@@ -183,6 +206,10 @@ mod tests {
             mean_effective_utility: utils.iter().sum::<f64>() / utils.len() as f64,
             utility_per_minute: utils,
             arrivals_per_minute: vec![],
+            crash_killed: 1,
+            availability: 0.9,
+            mean_time_to_recover_secs: 30.0,
+            recoveries: 1,
         };
         let r = cluster_report("test", 8, vec![job(vec![1.0, 0.5]), job(vec![1.0, 1.0])]);
         assert_eq!(r.cluster_utility_per_minute, vec![2.0, 1.5]);
@@ -190,6 +217,8 @@ mod tests {
         assert!((r.cluster_violation_rate - 0.1).abs() < 1e-9);
         assert_eq!(r.jobs.len(), 2);
         assert!((r.jobs[0].lost_utility() - 0.25).abs() < 1e-9);
+        assert!((r.availability - 0.9).abs() < 1e-9);
+        assert_eq!(r.crash_killed_total, 2);
     }
 
     #[test]

@@ -46,6 +46,15 @@ pub enum ArrivalOutcome {
     TailDrop,
 }
 
+/// Result of a [`JobRuntime::crash_replica`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashOutcome {
+    /// The replica existed and was removed.
+    pub removed: bool,
+    /// An in-flight request died with the replica.
+    pub killed_request: bool,
+}
+
 /// A dispatched request: serve it on `replica`, completing after the
 /// service time chosen by the caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,16 +94,26 @@ pub struct JobRuntime {
     recent_window: Micros,
     proc_sum: f64,
     proc_count: u64,
+    /// In-flight requests killed by replica crashes/evictions.
+    crash_killed: u64,
 }
 
 impl JobRuntime {
     /// Creates a runtime with `initial` ready replicas.
+    ///
+    /// Invariant: `initial >= 1`. Every job keeps at least one replica
+    /// at all times ([`JobRuntime::scale_to`] floors its target at 1),
+    /// so a zero-replica start would silently disagree with the rest of
+    /// the runtime. Callers must validate — [`crate::Simulation::new`]
+    /// rejects `initial_replicas == 0` with a typed error instead of
+    /// clamping it here.
     pub fn new(
         spec: JobSpec,
         initial: u32,
         queue_threshold: usize,
         recent_window_secs: f64,
     ) -> Self {
+        debug_assert!(initial >= 1, "initial replicas must be >= 1");
         let mut rt = Self {
             slo: SloAccounting::new(spec.slo.latency),
             spec,
@@ -102,7 +121,7 @@ impl JobRuntime {
             queue_threshold,
             replicas: BTreeMap::new(),
             next_replica: 0,
-            target: initial.max(1),
+            target: initial,
             drop_rate: 0.0,
             in_flight: BTreeMap::new(),
             minute_latencies: MinuteSeries::new(),
@@ -117,8 +136,9 @@ impl JobRuntime {
             recent_window: crate::events::micros(recent_window_secs),
             proc_sum: 0.0,
             proc_count: 0,
+            crash_killed: 0,
         };
-        for _ in 0..initial.max(1) {
+        for _ in 0..initial {
             let id = rt.next_replica;
             rt.next_replica += 1;
             rt.replicas.insert(
@@ -322,6 +342,73 @@ impl JobRuntime {
             .expect("checked above")
             .state = ReplicaState::Idle;
         true
+    }
+
+    /// Kills a replica outright (fault injection). The quota slot is
+    /// freed immediately; any in-flight request dies with the replica
+    /// and is accounted as an SLO violation with infinite latency,
+    /// tracked separately from drops (see [`JobRuntime::crash_killed`]).
+    /// A no-op for replicas that no longer exist (a crash scheduled for
+    /// a replica that was since retired or evicted).
+    pub fn crash_replica(&mut self, now: Micros, replica: u64) -> CrashOutcome {
+        if self.replicas.remove(&replica).is_none() {
+            return CrashOutcome {
+                removed: false,
+                killed_request: false,
+            };
+        }
+        let killed_request = self.in_flight.remove(&replica).is_some();
+        if killed_request {
+            self.crash_killed += 1;
+            // Mirrors record_drop's latency accounting (the requester
+            // never got a response) without counting it as a drop.
+            self.slo.record_latency(f64::INFINITY);
+            self.minute_latencies.record(seconds(now), f64::INFINITY);
+            self.recent.push_back((now, f64::INFINITY));
+            self.trim_recent(now);
+        }
+        CrashOutcome {
+            removed: true,
+            killed_request,
+        }
+    }
+
+    /// Evicts up to `n` live replicas, newest first regardless of state
+    /// (a node outage does not pick victims politely); busy victims
+    /// lose their in-flight request as in [`JobRuntime::crash_replica`].
+    /// Returns how many were evicted.
+    pub fn evict_newest(&mut self, now: Micros, n: u32) -> u32 {
+        let mut ids: Vec<u64> = self
+            .replicas
+            .iter()
+            .filter(|(_, r)| !r.retiring)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable_by(|a, b| b.cmp(a));
+        let mut evicted = 0;
+        for id in ids {
+            if evicted == n {
+                break;
+            }
+            if self.crash_replica(now, id).removed {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// In-flight requests killed by crashes/evictions so far.
+    pub fn crash_killed(&self) -> u64 {
+        self.crash_killed
+    }
+
+    /// Identifiers of all live (non-retiring) replicas, ascending.
+    pub fn live_replica_ids(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .filter(|(_, r)| !r.retiring)
+            .map(|(&id, _)| id)
+            .collect()
     }
 
     /// Finalizes the minute that just ended.
@@ -528,6 +615,95 @@ mod tests {
         assert!((obs.recent_tail_latency - 0.5).abs() < 1e-9);
         assert!((obs.mean_processing_time - 0.2).abs() < 1e-9);
         assert!(obs.recent_arrival_rate > 0.0);
+    }
+
+    #[test]
+    fn crash_kills_in_flight_and_frees_slot() {
+        let mut j = rt(2);
+        j.on_arrival(0, 0.9);
+        let d = j.dispatch(0);
+        assert_eq!(d.len(), 1);
+        let out = j.crash_replica(micros(0.05), d[0].replica);
+        assert!(out.removed && out.killed_request);
+        assert_eq!(j.crash_killed(), 1);
+        assert_eq!(j.live_replicas(), 1, "slot freed");
+        // The killed request counts as a violation but not a drop.
+        assert_eq!(j.slo_accounting().violations(), 1);
+        assert_eq!(j.slo_accounting().drops(), 0);
+        // The stale completion event is ignored cleanly.
+        assert!(j.on_completion(micros(0.2), d[0].replica, 0.18));
+        assert_eq!(j.slo_accounting().total(), 1, "no double count");
+        // Crashing an unknown replica is a no-op.
+        let again = j.crash_replica(micros(0.3), d[0].replica);
+        assert!(!again.removed && !again.killed_request);
+    }
+
+    #[test]
+    fn crashed_replica_is_replaced_through_cold_start() {
+        let mut j = rt(2);
+        j.crash_replica(0, 0);
+        assert_eq!(j.live_replicas(), 1);
+        // The reconciliation path: scale_to(target) re-requests the
+        // missing replica, which re-enters cold start.
+        let new = j.scale_to(j.target());
+        assert_eq!(new.len(), 1);
+        assert_eq!(j.ready_replicas(), 1);
+        assert!(j.on_replica_ready(new[0]));
+        assert_eq!(j.ready_replicas(), 2);
+    }
+
+    #[test]
+    fn eviction_removes_newest_first() {
+        let mut j = rt(3);
+        // Make replica 0 busy; eviction of 2 should take ids 2 and 1.
+        j.on_arrival(0, 0.9);
+        let d = j.dispatch(0);
+        assert_eq!(d[0].replica, 0);
+        assert_eq!(j.evict_newest(0, 2), 2);
+        assert_eq!(j.live_replica_ids(), vec![0]);
+        assert_eq!(j.crash_killed(), 0, "idle evictions kill nothing");
+        // Evicting more than exists stops at the floor.
+        assert_eq!(j.evict_newest(0, 5), 1);
+        assert_eq!(j.crash_killed(), 1, "busy victim loses its request");
+    }
+
+    #[test]
+    fn conservation_holds_under_crashes() {
+        let mut j = JobRuntime::new(JobSpec::resnet34("t"), 3, 5, 30.0);
+        let mut arrivals = 0u64;
+        let mut completions = 0u64;
+        for i in 0..300u64 {
+            let t = i * 40_000;
+            j.on_arrival(t, 0.9);
+            arrivals += 1;
+            let _ = j.dispatch(t);
+            if i % 3 == 1 {
+                if let Some((&id, _)) = j.in_flight.iter().next() {
+                    j.on_completion(t + 10_000, id, 0.18);
+                    completions += 1;
+                }
+            }
+            // Periodically crash a busy replica and re-request it.
+            if i % 17 == 5 {
+                if let Some((&id, _)) = j.in_flight.iter().next_back() {
+                    assert!(j.crash_replica(t + 20_000, id).removed);
+                    for r in j.scale_to(j.target()) {
+                        j.on_replica_ready(r);
+                    }
+                }
+            }
+        }
+        let drops = j.slo_accounting().drops();
+        assert!(j.crash_killed() > 0, "the scenario crashed busy replicas");
+        assert_eq!(
+            arrivals,
+            completions
+                + drops
+                + j.crash_killed()
+                + j.queue_len() as u64
+                + j.in_flight.len() as u64,
+            "arrivals = completions + drops + crash-killed + queued + in-flight"
+        );
     }
 
     #[test]

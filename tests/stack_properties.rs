@@ -5,7 +5,10 @@ use faro::core::baselines::Aiad;
 use faro::core::opt::{Fidelity, JobWorkload, MultiTenantProblem};
 use faro::core::types::{JobSpec, ResourceModel, Slo};
 use faro::core::ClusterObjective;
-use faro::sim::{JobSetup, SimConfig, Simulation};
+use faro::sim::{
+    ColdStartSpike, FaultPlan, JobSetup, MetricOutage, MetricOutageMode, NodeOutage,
+    ReplicaCrashes, SimConfig, Simulation,
+};
 use faro::solver::{Cobyla, DifferentialEvolution, NelderMead, Solver};
 use proptest::prelude::*;
 
@@ -40,6 +43,42 @@ proptest! {
             job.total_requests
         );
         prop_assert!(job.violations >= job.drops);
+    }
+
+    /// Conservation survives fault injection: requests killed by
+    /// replica crashes are accounted (as violating completions), not
+    /// silently lost, for any crash rate.
+    #[test]
+    fn simulator_conserves_requests_under_crashes(
+        rates in prop::collection::vec(60.0f64..600.0, 6..12),
+        seed in 0u64..30,
+        mttf in 60.0f64..400.0,
+    ) {
+        let cfg = SimConfig { total_replicas: 5, seed, ..Default::default() };
+        let setup = JobSetup {
+            spec: JobSpec::resnet34("crashy"),
+            rates_per_minute: rates,
+            initial_replicas: 3,
+        };
+        let plan = FaultPlan {
+            replica_crashes: Some(ReplicaCrashes { mttf_secs: mttf }),
+            ..FaultPlan::none()
+        };
+        let report = Simulation::new(cfg, vec![setup]).unwrap()
+            .with_faults(plan).unwrap()
+            .run(Box::new(Aiad::default()))
+            .unwrap();
+        let job = &report.jobs[0];
+        let arrived: f64 = job.arrivals_per_minute.iter().sum();
+        prop_assert!(job.total_requests as f64 <= arrived + 1.0);
+        prop_assert!(
+            arrived - job.total_requests as f64 <= 64.0,
+            "arrived {arrived} vs accounted {} (crash_killed {})",
+            job.total_requests,
+            job.crash_killed
+        );
+        prop_assert!(job.violations >= job.crash_killed + job.drops);
+        prop_assert!((0.0..=1.0).contains(&job.availability));
     }
 
     /// The multi-tenant optimizer's integer output never exceeds the
@@ -99,6 +138,63 @@ proptest! {
         prop_assert!(best - nm < 0.08, "nelder-mead {nm} vs best {best}");
         prop_assert!(best - de < 0.08, "de {de} vs best {best}");
     }
+}
+
+#[test]
+fn fault_injection_is_deterministic_across_runs() {
+    // Every fault class armed at once; two runs from the same seed
+    // must produce byte-identical reports.
+    let plan = FaultPlan {
+        replica_crashes: Some(ReplicaCrashes { mttf_secs: 300.0 }),
+        node_outage: Some(NodeOutage {
+            start_secs: 240.0,
+            duration_secs: 180.0,
+            quota_fraction: 0.5,
+        }),
+        cold_start_spike: Some(ColdStartSpike {
+            start_secs: 60.0,
+            duration_secs: 120.0,
+            median_multiplier: 3.0,
+            sigma: 0.4,
+        }),
+        metric_outage: Some(MetricOutage {
+            start_secs: 120.0,
+            duration_secs: 180.0,
+            jobs: vec![0],
+            mode: MetricOutageMode::Stale,
+        }),
+    };
+    let run = || {
+        let cfg = SimConfig {
+            total_replicas: 6,
+            seed: 17,
+            ..Default::default()
+        };
+        let setups = vec![
+            JobSetup {
+                spec: JobSpec::resnet34("a"),
+                rates_per_minute: vec![300.0; 10],
+                initial_replicas: 2,
+            },
+            JobSetup {
+                spec: JobSpec::resnet34("b"),
+                rates_per_minute: vec![500.0; 10],
+                initial_replicas: 2,
+            },
+        ];
+        let report = Simulation::new(cfg, setups)
+            .unwrap()
+            .with_faults(plan.clone())
+            .unwrap()
+            .run(Box::new(Aiad::default()))
+            .unwrap();
+        serde_json::to_string(&report).unwrap()
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "same seed + same fault plan must replay identically"
+    );
 }
 
 #[test]

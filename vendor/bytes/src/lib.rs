@@ -1,0 +1,6 @@
+//! Offline placeholder for the `bytes` crate. The workspace declares
+//! the dependency but does not currently use any of its items; this
+//! empty crate satisfies the dependency graph without registry
+//! access.
+
+#![forbid(unsafe_code)]

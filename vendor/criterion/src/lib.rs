@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use. Instead of
+//! statistical sampling it runs each benchmark closure for a small
+//! fixed number of timed iterations and prints `name: mean-time`;
+//! enough to compare orders of magnitude and to keep `cargo bench`
+//! compiling offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u32 = 2;
+const MEASURE_ITERS: u32 = 10;
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(f());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / f64::from(MEASURE_ITERS);
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { nanos_per_iter: 0.0 };
+    f(&mut b);
+    let per_iter = b.nanos_per_iter;
+    let (value, unit) = if per_iter >= 1e9 {
+        (per_iter / 1e9, "s")
+    } else if per_iter >= 1e6 {
+        (per_iter / 1e6, "ms")
+    } else if per_iter >= 1e3 {
+        (per_iter / 1e3, "us")
+    } else {
+        (per_iter, "ns")
+    };
+    println!("{label:<48} {value:>10.3} {unit}/iter");
+}
+
+/// Benchmark identifier (`group/function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(name: S, param: P) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter<P: Display>(param: P) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's iteration count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,43 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace; it is
+//! implemented on top of `std::thread::scope` (stable since Rust
+//! 1.63), keeping crossbeam's `Result`-returning signature and
+//! closure-takes-scope spawn shape.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    /// Result of [`scope`]: `Err` carries a child panic payload. The
+    /// std-backed stub propagates child panics instead, so this is
+    /// always `Ok` on return.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so
+        /// it can spawn further threads, matching crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined
+    /// before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro with `name in strategy` bindings (including
+//! `mut` patterns and `#![proptest_config(...)]`), range strategies
+//! over primitives, tuple strategies, `prop::collection::vec`, and
+//! `prop::sample::subsequence`. Cases are generated from a fixed
+//! per-case seed, so failures are reproducible run-to-run; there is
+//! no shrinking — `prop_assert!` failures panic with the assert
+//! message directly.
+
+#![forbid(unsafe_code)]
+
+use rand::prelude::*;
+
+/// Run-count configuration for [`proptest!`] blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// Overrides the number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Builds the deterministic RNG for one generated case.
+#[doc(hidden)]
+pub fn __case_rng(case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x9020_5eed_u64 ^ case.wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+/// A source of generated values for one test-case binding.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy_impl {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                if self.start >= self.end {
+                    return self.start;
+                }
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy_impl!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy_impl {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy_impl!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+);
+
+/// Strategy produced by [`prop::collection::vec`].
+pub struct VecStrategy<S> {
+    elem: S,
+    size: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = if self.size.start >= self.size.end {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.clone())
+        };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Strategy produced by [`prop::sample::subsequence`].
+pub struct SubsequenceStrategy<T> {
+    items: Vec<T>,
+    size: core::ops::Range<usize>,
+}
+
+impl<T: Clone> Strategy for SubsequenceStrategy<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let n = self.items.len();
+        let lo = self.size.start.min(n);
+        let hi = self.size.end.min(n + 1);
+        let k = if hi > lo + 1 {
+            rng.gen_range(lo..hi)
+        } else {
+            lo
+        };
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(rng);
+        idx.truncate(k);
+        idx.sort_unstable();
+        idx.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+}
+
+/// The `prop::` namespace used inside test bodies.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        /// A vector whose length is drawn from `size` and whose
+        /// elements come from `elem`.
+        pub fn vec<S: crate::Strategy>(
+            elem: S,
+            size: core::ops::Range<usize>,
+        ) -> crate::VecStrategy<S> {
+            crate::VecStrategy { elem, size }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        /// An order-preserving random subsequence of `items` with a
+        /// length drawn from `size` (clamped to the collection).
+        pub fn subsequence<T: Clone>(
+            items: Vec<T>,
+            size: core::ops::Range<usize>,
+        ) -> crate::SubsequenceStrategy<T> {
+            crate::SubsequenceStrategy { items, size }
+        }
+    }
+}
+
+/// Everything tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Property-test entry point; see the crate docs for the supported
+/// subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::__case_rng(u64::from(__case));
+                $crate::__proptest_bind!(__rng; $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; ) => {};
+    ($rng:ident; mut $var:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $var = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $var:ident in $strat:expr, $($rest:tt)*) => {
+        let $var = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; mut $var:ident in $strat:expr) => {
+        let mut $var = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $var:ident in $strat:expr) => {
+        let $var = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+}
+
+/// Asserts a property; failure panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality; failure panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality; failure panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for the `rand_distr` crate (0.4 API subset).
+//!
+//! Implements exactly the distributions the workspace samples:
+//! [`StandardNormal`] (Box–Muller), [`Normal`], [`LogNormal`],
+//! [`Poisson`] (exponential inter-arrival counting — exact for all
+//! rates), and [`Exp`]. All are deterministic functions of the
+//! supplied RNG stream.
+
+#![forbid(unsafe_code)]
+
+use rand::Rng;
+
+pub use rand::distributions::Distribution;
+
+/// Invalid distribution parameters (non-finite or out-of-domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn unit_open<R: Rng>(rng: &mut R) -> f64 {
+    // (0, 1]: safe for ln().
+    1.0 - rng.gen::<f64>()
+}
+
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Box–Muller; the sine branch is discarded to keep sampling
+    // stateless (and therefore deterministic per call site).
+    let u1 = unit_open(rng);
+    let u2 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        standard_normal(rng)
+    }
+}
+
+/// The normal distribution `N(mean, sd^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, sd^2)`; `sd` must be finite and non-negative.
+    pub fn new(mean: f64, sd: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !sd.is_finite() || sd < 0.0 {
+            return Err(Error("invalid normal parameters"));
+        }
+        Ok(Self { mean, sd })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma^2))`.
+///
+/// Generic over the float type for API compatibility; only `f64` is
+/// implemented.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F = f64> {
+    mu: F,
+    sigma: F,
+}
+
+impl LogNormal<f64> {
+    /// Creates a log-normal with the given parameters of the
+    /// underlying normal; `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error("invalid log-normal parameters"));
+        }
+        Ok(Self { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// The Poisson distribution (returned as `f64`, matching `rand_distr`).
+///
+/// Sampled by counting unit-rate exponential inter-arrivals within
+/// `lambda`, which is exact for every rate (no normal approximation),
+/// at `O(lambda)` cost per draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error("invalid poisson rate"));
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let mut sum = 0.0;
+        let mut k: u64 = 0;
+        loop {
+            sum -= unit_open(rng).ln();
+            if sum >= self.lambda {
+                return k as f64;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// The exponential distribution with the given rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// Creates an exponential with `rate > 0`.
+    pub fn new(rate: f64) -> Result<Self, Error> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(Error("invalid exponential rate"));
+        }
+        Ok(Self { rate })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| StandardNormal.sample(&mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean.abs() < 0.03, "normal mean {mean}");
+
+        let p = Poisson::new(12.5).unwrap();
+        let pm: f64 = (0..n).map(|_| p.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((pm - 12.5).abs() < 0.2, "poisson mean {pm}");
+
+        let e = Exp::new(4.0).unwrap();
+        let em: f64 = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((em - 0.25).abs() < 0.01, "exp mean {em}");
+
+        let ln = LogNormal::new(0.0, 0.5).unwrap();
+        let lm: f64 = (0..n).map(|_| ln.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((lm - (0.125f64).exp()).abs() < 0.05, "lognormal mean {lm}");
+    }
+}

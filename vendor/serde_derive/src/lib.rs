@@ -1,0 +1,260 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input directly from `proc_macro` token trees (no
+//! `syn`/`quote`) and emits an implementation of the vendored
+//! `serde::Serialize` trait that writes externally-tagged JSON, the
+//! same shape real `serde_json` produces for these types. Supports
+//! exactly what the workspace uses: non-generic braced structs, unit
+//! enum variants, struct enum variants, and the `#[serde(skip)]`
+//! field attribute. Anything else becomes a `compile_error!` so a
+//! future use of unsupported syntax fails loudly instead of silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the vendored `serde::Serialize` (JSON writer).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0)?.0;
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("serde stub: generics on `{name}` are unsupported"));
+        }
+    }
+    let body_stream = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde stub: only braced structs/enums are supported (`{name}`)"
+            ))
+        }
+    };
+    let chunks = split_top_level_commas(body_stream);
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(
+            chunks
+                .iter()
+                .map(|c| parse_field(c))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        "enum" => Body::Enum(
+            chunks
+                .iter()
+                .map(|c| parse_variant(c))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        other => return Err(format!("serde stub: cannot derive for `{other}`")),
+    };
+    Ok(Item { name, body })
+}
+
+/// Advances past `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility prefix; returns the new index and whether a
+/// `#[serde(skip)]` attribute was seen.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> Result<(usize, bool), String> {
+    let mut skip = false;
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match toks.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let s = g.stream().to_string();
+                    if s.starts_with("serde") && s.contains("skip") {
+                        skip = true;
+                    }
+                    i += 2;
+                }
+                _ => return Err("malformed attribute".into()),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return Ok((i, skip)),
+        }
+    }
+}
+
+/// Splits a token stream on commas that sit outside `<...>` generic
+/// argument lists (delimited groups are single trees, so only angle
+/// brackets need explicit depth tracking).
+fn split_top_level_commas(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i64;
+    for t in ts {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_field(toks: &[TokenTree]) -> Result<Field, String> {
+    let (i, skip) = skip_attrs_and_vis(toks, 0)?;
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Ok(Field {
+            name: id.to_string(),
+            skip,
+        }),
+        other => Err(format!("serde stub: unsupported field shape: {other:?}")),
+    }
+}
+
+fn parse_variant(toks: &[TokenTree]) -> Result<Variant, String> {
+    let (i, _) = skip_attrs_and_vis(toks, 0)?;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub: unsupported variant shape: {other:?}")),
+    };
+    let fields = match toks.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Some(
+            split_top_level_commas(g.stream())
+                .iter()
+                .map(|c| parse_field(c))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "serde stub: tuple variant `{name}` is unsupported"
+            ))
+        }
+        _ => None,
+    };
+    Ok(Variant { name, fields })
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.body {
+        Body::Struct(fields) => {
+            body.push_str("out.push('{');\n");
+            let mut first = true;
+            for f in fields.iter().filter(|f| !f.skip) {
+                if !first {
+                    body.push_str("out.push(',');\n");
+                }
+                first = false;
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{0}\\\":\");\n::serde::Serialize::serialize_json(&self.{0}, out);\n",
+                    f.name
+                ));
+            }
+            body.push_str("out.push('}');\n");
+        }
+        Body::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                match &v.fields {
+                    None => body.push_str(&format!(
+                        "{name}::{0} => out.push_str(\"\\\"{0}\\\"\"),\n",
+                        v.name
+                    )),
+                    Some(fields) => {
+                        let binds: Vec<&str> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.as_str())
+                            .collect();
+                        let mut arm = format!(
+                            "{name}::{} {{ {}.. }} => {{\n",
+                            v.name,
+                            binds
+                                .iter()
+                                .map(|b| format!("{b}, "))
+                                .collect::<String>()
+                        );
+                        arm.push_str(&format!(
+                            "out.push_str(\"{{\\\"{}\\\":{{\");\n",
+                            v.name
+                        ));
+                        for (k, b) in binds.iter().enumerate() {
+                            if k > 0 {
+                                arm.push_str("out.push(',');\n");
+                            }
+                            arm.push_str(&format!(
+                                "out.push_str(\"\\\"{b}\\\":\");\n::serde::Serialize::serialize_json({b}, out);\n"
+                            ));
+                        }
+                        arm.push_str("out.push_str(\"}}\");\n},\n");
+                        body.push_str(&arm);
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}    }}\n}}\n"
+    )
+}

@@ -1,0 +1,118 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes any vendored-`serde::Serialize` value to compact or
+//! pretty JSON. Serialization is infallible for the types this
+//! workspace encodes, but the `Result` signatures are kept so call
+//! sites match the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Serialization error (never produced by the stub; kept for API
+/// compatibility).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(pretty(&to_string(value)?))
+}
+
+/// Re-indents a compact JSON document. String-literal aware, so
+/// braces and commas inside strings are untouched.
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let push_newline = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                let closing = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&closing) {
+                    out.push(closing);
+                    chars.next();
+                } else {
+                    indent += 1;
+                    push_newline(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                push_newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                push_newline(&mut out, indent);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn primitives_round_out() {
+        assert_eq!(super::to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(super::to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(super::to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(super::to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+        assert_eq!(super::to_string(&Option::<u32>::None).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_is_string_aware() {
+        let p = super::pretty("{\"a{,\":[1,2],\"b\":{}}");
+        assert!(p.contains("\"a{,\""));
+        assert!(p.contains("\"b\": {}"));
+    }
+}
