@@ -79,29 +79,30 @@ fn mean_sd(values: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-/// Runs one cell: a policy at a cluster size across all trials.
-fn run_cell(
+/// Runs one trial: a policy at a cluster size with one seed.
+fn run_trial(
     kind: &PolicyKind,
     size: u32,
+    trial: u64,
     spec: &ExperimentSpec,
     set: &WorkloadSet,
     trained: Option<&[NHits]>,
-) -> PolicyResult {
-    let mut reports = Vec::with_capacity(spec.trials.len());
-    for &trial in &spec.trials {
-        let mut sim_cfg = spec.sim.clone();
-        sim_cfg.total_replicas = size;
-        sim_cfg.seed = trial
-            .wrapping_mul(0x9e37_79b9)
-            .wrapping_add(u64::from(size));
-        let policy = kind.build(set, trained, sim_cfg.seed);
-        let sim = Simulation::new(sim_cfg, set.setups(1))
-            .expect("valid experiment setup")
-            .with_faults(spec.faults.clone())
-            .expect("valid fault plan");
-        let report = sim.run(policy).expect("simulation runs to completion");
-        reports.push(report);
-    }
+) -> ClusterReport {
+    let mut sim_cfg = spec.sim.clone();
+    sim_cfg.total_replicas = size;
+    sim_cfg.seed = trial
+        .wrapping_mul(0x9e37_79b9)
+        .wrapping_add(u64::from(size));
+    let policy = kind.build(set, trained, sim_cfg.seed);
+    let sim = Simulation::new(sim_cfg, set.setups(1))
+        .expect("valid experiment setup")
+        .with_faults(spec.faults.clone())
+        .expect("valid fault plan");
+    sim.run(policy).expect("simulation runs to completion")
+}
+
+/// Aggregates one (policy, size) cell from its per-trial reports.
+fn aggregate_cell(kind: &PolicyKind, size: u32, reports: Vec<ClusterReport>) -> PolicyResult {
     let lost: Vec<f64> = reports.iter().map(|r| r.avg_lost_cluster_utility).collect();
     let viol: Vec<f64> = reports.iter().map(|r| r.cluster_violation_rate).collect();
     let eff: Vec<f64> = reports
@@ -123,45 +124,60 @@ fn run_cell(
     }
 }
 
-/// Runs the full grid, parallelized across (policy, size) cells with
-/// scoped threads.
+/// Runs the full grid with scoped worker threads.
+///
+/// The work queue is flattened to (policy, size, **trial**) items —
+/// trials of one cell are independent simulations, so a small grid
+/// (one policy, one size, five trials) still fills every core instead
+/// of serializing its trials behind a single (policy, size) cell.
+/// Results are aggregated per cell in trial order afterwards, so the
+/// output is identical to a serial sweep.
 pub fn run_matrix(
     spec: &ExperimentSpec,
     set: &WorkloadSet,
     trained: Option<&[NHits]>,
 ) -> Vec<PolicyResult> {
-    let cells: Vec<(usize, &PolicyKind, u32)> = spec
+    let cells: Vec<(&PolicyKind, u32)> = spec
         .policies
         .iter()
         .flat_map(|p| spec.cluster_sizes.iter().map(move |&s| (p, s)))
-        .enumerate()
-        .map(|(i, (p, s))| (i, p, s))
+        .collect();
+    let items: Vec<(&PolicyKind, u32, u64)> = cells
+        .iter()
+        .flat_map(|&(p, s)| spec.trials.iter().map(move |&t| (p, s, t)))
         .collect();
     let threads = std::thread::available_parallelism()
         .map_or(4, |n| n.get())
-        .min(cells.len().max(1));
-    let mut results: Vec<Option<PolicyResult>> = (0..cells.len()).map(|_| None).collect();
+        .min(items.len().max(1));
+    let mut reports: Vec<Option<ClusterReport>> = (0..items.len()).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
+    let reports_mutex = parking_lot::Mutex::new(&mut reports);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= cells.len() {
+                if i >= items.len() {
                     break;
                 }
-                let (idx, kind, size) = cells[i];
-                let result = run_cell(kind, size, spec, set, trained);
-                results_mutex.lock()[idx] = Some(result);
+                let (kind, size, trial) = items[i];
+                let report = run_trial(kind, size, trial, spec, set, trained);
+                reports_mutex.lock()[i] = Some(report);
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
-    results
+    // Items are cell-major, trial-minor: chunking restores each cell's
+    // reports in trial order.
+    let mut reports = reports.into_iter().map(|r| r.expect("every trial filled"));
+    cells
         .into_iter()
-        .map(|r| r.expect("every cell filled"))
+        .map(|(kind, size)| {
+            let cell_reports: Vec<ClusterReport> = (0..spec.trials.len())
+                .map(|_| reports.next().expect("cell-major order"))
+                .collect();
+            aggregate_cell(kind, size, cell_reports)
+        })
         .collect()
 }
 
@@ -239,5 +255,33 @@ mod tests {
         let b = run_matrix(&spec, &set, None);
         assert_eq!(a[0].lost_utility_mean, b[0].lost_utility_mean);
         assert_eq!(a[0].violation_mean, b[0].violation_mean);
+    }
+
+    /// Golden determinism across the whole hot path: shared-history
+    /// snapshots, the solver's memoized latency tables, and the
+    /// work-stealing trial scheduler must leave every serialized
+    /// report byte-identical between seed-matched sweeps.
+    #[test]
+    fn golden_reports_are_byte_identical() {
+        let set = WorkloadSet::n_jobs(2, 5, 400.0).truncated_eval(15);
+        let spec = ExperimentSpec::new(
+            vec![PolicyKind::faro(ClusterObjective::Sum), PolicyKind::Aiad],
+            vec![8],
+        )
+        .with_trials(2);
+        let golden = |results: &[PolicyResult]| -> Vec<String> {
+            results
+                .iter()
+                .flat_map(|r| {
+                    r.reports
+                        .iter()
+                        .map(|rep| serde_json::to_string(rep).expect("report serializes"))
+                })
+                .collect()
+        };
+        let a = golden(&run_matrix(&spec, &set, None));
+        let b = golden(&run_matrix(&spec, &set, None));
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "seed-matched sweeps must replay byte-identically");
     }
 }

@@ -257,11 +257,11 @@ mod tests {
 
     fn obs(rate_per_min: f64, target: u32, tail: f64) -> JobObservation {
         JobObservation {
-            spec: JobSpec::resnet34("job"),
+            spec: std::sync::Arc::new(JobSpec::resnet34("job")),
             target_replicas: target,
             ready_replicas: target,
             queue_len: 0,
-            arrival_rate_history: vec![rate_per_min; 15],
+            arrival_rate_history: std::sync::Arc::new(vec![rate_per_min; 15]),
             recent_arrival_rate: rate_per_min / 60.0,
             mean_processing_time: 0.180,
             recent_tail_latency: tail,

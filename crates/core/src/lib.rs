@@ -27,11 +27,11 @@
 //! use faro_core::types::{ClusterSnapshot, JobObservation, JobSpec, ResourceModel};
 //!
 //! let job = JobObservation {
-//!     spec: JobSpec::resnet34("demo"),
+//!     spec: std::sync::Arc::new(JobSpec::resnet34("demo")),
 //!     target_replicas: 1,
 //!     ready_replicas: 1,
 //!     queue_len: 0,
-//!     arrival_rate_history: vec![600.0; 15],
+//!     arrival_rate_history: std::sync::Arc::new(vec![600.0; 15]),
 //!     recent_arrival_rate: 10.0,
 //!     mean_processing_time: 0.180,
 //!     recent_tail_latency: 0.2,

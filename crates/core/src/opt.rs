@@ -14,6 +14,9 @@
 //!   the `rho_max` knee, piecewise-linear penalty — plateau-free and
 //!   solvable in sub-second time by COBYLA.
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
 use crate::error::{Error, Result};
 use crate::objective::{ClusterObjective, JobUtility};
 use crate::penalty::{phi, PenaltyShape};
@@ -21,6 +24,52 @@ use crate::types::{ResourceModel, Slo};
 use crate::utility::{step_utility, RelaxedUtility};
 use faro_queueing::{mdc, upper_bound, RelaxedLatency};
 use faro_solver::{Problem, Solution, Solver};
+
+/// Off-table latency memo entries are bounded so a pathological solver
+/// cannot grow the map without limit; the map is simply cleared when it
+/// fills (entries are cheap to recompute).
+const MEMO_CAPACITY: usize = 1 << 20;
+
+/// Per-solve latency tables over integer replica counts.
+///
+/// The predicted arrival rates are fixed for the lifetime of a problem,
+/// so for every (job, trajectory rate) pair the latency at *every*
+/// integer replica count `1..=quota` can be computed with one Erlang-B
+/// recurrence sweep ([`mdc::latency_percentile_sweep`] /
+/// [`RelaxedLatency::latency_sweep`]) instead of re-running the O(c)
+/// recurrence in the solver's innermost loop. Entries are bit-identical
+/// to the direct estimator calls they replace.
+#[derive(Debug, Default)]
+struct LatencyTables {
+    /// `index[job]`: clamped arrival-rate bits -> row id in `dense`.
+    index: Vec<HashMap<u64, u32>>,
+    /// `dense[job][row]`: latency at every integer replica count
+    /// (entry `n - 1` is the latency at `n`).
+    dense: Vec<Vec<Vec<f64>>>,
+    /// `steps[job]`: one row id per trajectory step, flattened in
+    /// `lambda_trajectories` iteration order. Lets the zero-drop
+    /// utility path walk precomputed rows without hashing the rate
+    /// bits on every step of every objective evaluation.
+    steps: Vec<Vec<u32>>,
+    /// Row length (the replica quota when the tables were built).
+    quota: usize,
+}
+
+/// Interior-mutable caches shared by every objective evaluation of one
+/// problem instance (including parallel solver populations and the
+/// hierarchical grouped solve, which borrows the flat problem).
+///
+/// Cloning a [`MultiTenantProblem`] resets the cache: it is a pure
+/// memoization layer, never part of the problem's identity.
+#[derive(Debug, Default)]
+struct SolveCache {
+    /// Lazily built on the first latency evaluation; `None` when the
+    /// latency model has nothing worth tabulating (upper bound is O(1)).
+    tables: OnceLock<Option<LatencyTables>>,
+    /// Keyed memo for rates outside the tables — drop-adjusted
+    /// `lambda * (1 - d)` with `d > 0`: `(job, rate bits, servers)`.
+    memo: Mutex<HashMap<(usize, u64, u32), f64>>,
+}
 
 /// One job's share of the optimization input.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,7 +117,7 @@ pub enum LatencyModel {
 }
 
 /// The assembled multi-tenant optimization problem.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MultiTenantProblem {
     jobs: Vec<JobWorkload>,
     resources: ResourceModel,
@@ -77,6 +126,23 @@ pub struct MultiTenantProblem {
     latency_model: LatencyModel,
     relaxed_utility: RelaxedUtility,
     relaxed_latency: RelaxedLatency,
+    cache: SolveCache,
+}
+
+impl Clone for MultiTenantProblem {
+    /// Clones the problem definition with a fresh (empty) solve cache.
+    fn clone(&self) -> Self {
+        Self {
+            jobs: self.jobs.clone(),
+            resources: self.resources,
+            objective: self.objective,
+            fidelity: self.fidelity,
+            latency_model: self.latency_model,
+            relaxed_utility: self.relaxed_utility,
+            relaxed_latency: self.relaxed_latency,
+            cache: SolveCache::default(),
+        }
+    }
 }
 
 impl MultiTenantProblem {
@@ -120,12 +186,14 @@ impl MultiTenantProblem {
             latency_model: LatencyModel::MDc,
             relaxed_utility: RelaxedUtility::default(),
             relaxed_latency: RelaxedLatency::default(),
+            cache: SolveCache::default(),
         })
     }
 
     /// Overrides the latency model (ablation).
     pub fn with_latency_model(mut self, model: LatencyModel) -> Self {
         self.latency_model = model;
+        self.cache = SolveCache::default();
         self
     }
 
@@ -138,6 +206,7 @@ impl MultiTenantProblem {
     /// Overrides the relaxed latency knee.
     pub fn with_relaxed_latency(mut self, l: RelaxedLatency) -> Self {
         self.relaxed_latency = l;
+        self.cache = SolveCache::default();
         self
     }
 
@@ -161,9 +230,105 @@ impl MultiTenantProblem {
         self.resources
     }
 
+    /// The lazily built per-solve latency tables (`None` when the
+    /// latency model is not tabulated).
+    fn tables(&self) -> Option<&LatencyTables> {
+        self.cache
+            .tables
+            .get_or_init(|| self.build_latency_tables())
+            .as_ref()
+    }
+
+    /// Builds the per-job latency tables from the fixed trajectory
+    /// rates. One recurrence sweep per (job, distinct rate) replaces the
+    /// per-evaluation recurrence in the solver's innermost loop.
+    fn build_latency_tables(&self) -> Option<LatencyTables> {
+        if self.latency_model == LatencyModel::UpperBound {
+            return None; // Closed form, O(1): nothing to memoize.
+        }
+        let quota = self.resources.replica_quota();
+        if quota == 0 {
+            return None;
+        }
+        let mut index = Vec::with_capacity(self.jobs.len());
+        let mut dense = Vec::with_capacity(self.jobs.len());
+        let mut steps = Vec::with_capacity(self.jobs.len());
+        for job in &self.jobs {
+            let k = job.slo.percentile;
+            let p = job.processing_time;
+            // The knee latency is rate-independent: compute it once per
+            // job and share it across every trajectory rate.
+            let knees = match self.fidelity {
+                Fidelity::Relaxed => Some(self.relaxed_latency.knee_latencies(k, p, quota)),
+                Fidelity::Precise => None,
+            };
+            let mut by_rate: HashMap<u64, u32> = HashMap::new();
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            let mut step_rows: Vec<u32> = Vec::new();
+            for traj in &job.lambda_trajectories {
+                for &raw in traj {
+                    let lambda = raw.max(0.0); // Same clamp as `latency`.
+                    let id = *by_rate.entry(lambda.to_bits()).or_insert_with(|| {
+                        let row = match &knees {
+                            Some(Ok(kn)) => {
+                                self.relaxed_latency.latency_sweep(k, p, lambda, kn).ok()
+                            }
+                            // Knee computation failed (invalid k/p):
+                            // the direct path errors for every call.
+                            Some(Err(_)) => None,
+                            None => mdc::latency_percentile_sweep(k, p, lambda, quota).ok(),
+                        };
+                        rows.push(row.unwrap_or_else(|| vec![f64::INFINITY; quota as usize]));
+                        (rows.len() - 1) as u32
+                    });
+                    step_rows.push(id);
+                }
+            }
+            index.push(by_rate);
+            dense.push(rows);
+            steps.push(step_rows);
+        }
+        Some(LatencyTables {
+            index,
+            dense,
+            steps,
+            quota: quota as usize,
+        })
+    }
+
+    /// M/D/c-family latency for job `i` at an *integer* replica count:
+    /// table hit for trajectory rates, keyed memo for drop-adjusted
+    /// rates, direct estimator call as the last resort. Every path
+    /// returns the same bits the direct call would.
+    fn integer_latency(&self, i: usize, k: f64, p: f64, lambda: f64, n: u32) -> f64 {
+        if let Some(tables) = self.tables() {
+            if let Some(&id) = tables.index[i].get(&lambda.to_bits()) {
+                if let Some(&l) = tables.dense[i][id as usize].get((n as usize).wrapping_sub(1)) {
+                    return l;
+                }
+            }
+        }
+        let key = (i, lambda.to_bits(), n);
+        if let Some(&v) = self.cache.memo.lock().expect("latency memo").get(&key) {
+            return v;
+        }
+        let v = match self.fidelity {
+            Fidelity::Precise => mdc::latency_percentile(k, p, lambda, n),
+            Fidelity::Relaxed => self.relaxed_latency.latency(k, p, lambda, n),
+        }
+        .unwrap_or(f64::INFINITY);
+        let mut memo = self.cache.memo.lock().expect("latency memo");
+        if memo.len() >= MEMO_CAPACITY {
+            memo.clear();
+        }
+        memo.insert(key, v);
+        v
+    }
+
     /// Estimated latency for job `i` at fractional replicas `x` and
     /// arrival rate `lambda` (already drop-adjusted).
-    fn latency(&self, job: &JobWorkload, lambda: f64, x: f64) -> f64 {
+    fn latency(&self, i: usize, lambda: f64, x: f64) -> f64 {
+        let job = &self.jobs[i];
         let k = job.slo.percentile;
         let p = job.processing_time;
         let lambda = lambda.max(0.0);
@@ -179,12 +344,32 @@ impl MultiTenantProblem {
             }
             (Fidelity::Precise, LatencyModel::MDc) => {
                 let n = x.max(1.0).round() as u32;
-                mdc::latency_percentile(k, p, lambda, n).unwrap_or(f64::INFINITY)
+                self.integer_latency(i, k, p, lambda, n)
             }
-            (Fidelity::Relaxed, LatencyModel::MDc) => self
-                .relaxed_latency
-                .latency_fractional(k, p, lambda, x.max(1.0))
-                .unwrap_or(f64::INFINITY),
+            (Fidelity::Relaxed, LatencyModel::MDc) => {
+                // Mirrors `RelaxedLatency::latency_fractional` over the
+                // cached integer entries, arithmetic branch by branch.
+                let x = x.max(1.0);
+                if !x.is_finite() {
+                    return f64::INFINITY; // The direct path rejects it.
+                }
+                let lo = x.floor();
+                let hi = x.ceil();
+                let l_lo = self.integer_latency(i, k, p, lambda, lo as u32);
+                if lo == hi {
+                    return l_lo;
+                }
+                // The relaxed estimate is finite on valid input, so a
+                // non-finite entry means the direct fractional call
+                // would have errored as a whole (errors do not depend
+                // on the server count here).
+                let l_hi = self.integer_latency(i, k, p, lambda, hi as u32);
+                if l_lo.is_infinite() || l_hi.is_infinite() {
+                    return f64::INFINITY;
+                }
+                let frac = x - lo;
+                l_lo + (l_hi - l_lo) * frac
+            }
         }
     }
 
@@ -192,13 +377,25 @@ impl MultiTenantProblem {
     /// over trajectories and window steps (Sec. 4.1), before the drop
     /// multiplier.
     pub fn expected_utility(&self, i: usize, x: f64, drop_rate: f64) -> f64 {
+        // Solver hot path: with no drop adjustment every step rate hits
+        // its precomputed table row, so skip the hashing entirely.
+        if drop_rate.clamp(0.0, 1.0) == 0.0 && self.latency_model == LatencyModel::MDc {
+            if let Some(tables) = self.tables() {
+                if let Some(v) = self.tabulated_utility(tables, i, x) {
+                    return v;
+                }
+            }
+        }
         let job = &self.jobs[i];
         let mut sum = 0.0;
         let mut count = 0usize;
         for traj in &job.lambda_trajectories {
             for &lambda in traj {
+                // With `drop_rate == 0` this is exactly `lambda` (the
+                // multiplier is 1.0), so the table rows built from the
+                // trajectory rates are hit bit-for-bit.
                 let lambda_eff = lambda * (1.0 - drop_rate.clamp(0.0, 1.0));
-                let l = self.latency(job, lambda_eff, x);
+                let l = self.latency(i, lambda_eff, x);
                 let u = match self.fidelity {
                     Fidelity::Precise => step_utility(l, job.slo.latency),
                     Fidelity::Relaxed => self.relaxed_utility.value(l, job.slo.latency),
@@ -208,6 +405,67 @@ impl MultiTenantProblem {
             }
         }
         sum / count.max(1) as f64
+    }
+
+    /// Zero-drop utility over the precomputed per-step rows: two array
+    /// reads plus the interpolation per trajectory step, with the
+    /// floor/ceil/frac of `x` hoisted out of the step loop. Returns
+    /// `None` when any step would leave the tables (replica count
+    /// beyond the quota, non-finite `x`) so the caller falls back to
+    /// the general path. Bit-identical to that path: same rows, same
+    /// arithmetic, same summation order.
+    fn tabulated_utility(&self, tables: &LatencyTables, i: usize, x: f64) -> Option<f64> {
+        let job = &self.jobs[i];
+        let steps = &tables.steps[i];
+        let rows = &tables.dense[i];
+        let slo_latency = job.slo.latency;
+        let mut sum = 0.0;
+        match self.fidelity {
+            Fidelity::Precise => {
+                let n = x.max(1.0).round();
+                if !(n >= 1.0 && n <= tables.quota as f64) {
+                    return None;
+                }
+                let n = n as usize;
+                for &id in steps {
+                    sum += step_utility(rows[id as usize][n - 1], slo_latency);
+                }
+            }
+            Fidelity::Relaxed => {
+                let x = x.max(1.0);
+                if !x.is_finite() {
+                    return None;
+                }
+                let lo = x.floor();
+                let hi = x.ceil();
+                if hi > tables.quota as f64 {
+                    return None;
+                }
+                let lo_i = lo as usize;
+                if lo == hi {
+                    for &id in steps {
+                        sum += self
+                            .relaxed_utility
+                            .value(rows[id as usize][lo_i - 1], slo_latency);
+                    }
+                } else {
+                    let hi_i = hi as usize;
+                    let frac = x - lo;
+                    for &id in steps {
+                        let row = &rows[id as usize];
+                        let l_lo = row[lo_i - 1];
+                        let l_hi = row[hi_i - 1];
+                        let l = if l_lo.is_infinite() || l_hi.is_infinite() {
+                            f64::INFINITY
+                        } else {
+                            l_lo + (l_hi - l_lo) * frac
+                        };
+                        sum += self.relaxed_utility.value(l, slo_latency);
+                    }
+                }
+            }
+        }
+        Some(sum / steps.len().max(1) as f64)
     }
 
     /// Per-job utility record at an allocation.
@@ -300,26 +558,39 @@ impl MultiTenantProblem {
             .map(|&x| (x.round().max(1.0)) as u32)
             .collect();
         // If rounding exceeds the quota, trim from the jobs with the
-        // lowest marginal loss.
+        // lowest marginal loss. Only job `i`'s utility changes when
+        // `xs[i]` is decremented, so the per-job utilities are cached
+        // and a candidate is scored by patching one entry before
+        // re-aggregating — the aggregate sees the exact same values a
+        // full recomputation would produce.
         let mut total: u32 = xs.iter().sum();
+        if total <= quota {
+            return xs;
+        }
+        let drop_of = |i: usize| alloc.drop_rates.get(i).copied().unwrap_or(0.0);
+        let mut utils: Vec<JobUtility> = (0..n)
+            .map(|i| self.job_utility(i, f64::from(xs[i]), drop_of(i)))
+            .collect();
         while total > quota {
-            let mut best: Option<(usize, f64)> = None;
+            let before = self.objective.aggregate(&utils);
+            let mut best: Option<(usize, f64, JobUtility)> = None;
             for i in 0..n {
                 if xs[i] <= 1 {
                     continue;
                 }
-                let before = self.cluster_value_integer(&xs, &alloc.drop_rates);
-                xs[i] -= 1;
-                let after = self.cluster_value_integer(&xs, &alloc.drop_rates);
-                xs[i] += 1;
+                let cand = self.job_utility(i, f64::from(xs[i] - 1), drop_of(i));
+                let saved = std::mem::replace(&mut utils[i], cand);
+                let after = self.objective.aggregate(&utils);
+                utils[i] = saved;
                 let loss = before - after;
-                if best.is_none_or(|(_, b)| loss < b) {
-                    best = Some((i, loss));
+                if best.as_ref().is_none_or(|&(_, b, _)| loss < b) {
+                    best = Some((i, loss, cand));
                 }
             }
             match best {
-                Some((i, _)) => {
+                Some((i, _, cand)) => {
                     xs[i] -= 1;
+                    utils[i] = cand;
                     total -= 1;
                 }
                 None => break, // All jobs at one replica already.
@@ -333,26 +604,29 @@ impl MultiTenantProblem {
     /// stays unchanged.
     pub fn shrink(&self, xs: &mut [u32], drops: &[f64]) {
         let eps = 1e-9;
+        let drop_of = |i: usize| drops.get(i).copied().unwrap_or(0.0);
+        // Same incremental scheme as `integerize`: a removal only
+        // changes job `i`'s utility, so cache the vector and patch.
+        let mut utils: Vec<JobUtility> = (0..xs.len())
+            .map(|i| self.job_utility(i, f64::from(xs[i]), drop_of(i)))
+            .collect();
         for i in 0..xs.len() {
             loop {
                 if xs[i] <= 1 {
                     break;
                 }
-                let u = self.expected_utility(
-                    i,
-                    f64::from(xs[i]),
-                    drops.get(i).copied().unwrap_or(0.0),
-                );
-                if u < 1.0 - 1e-9 {
+                if utils[i].utility < 1.0 - 1e-9 {
                     break; // Only shrink jobs at (predicted) utility 1.
                 }
-                let before = self.cluster_value_integer(xs, drops);
-                xs[i] -= 1;
-                let after = self.cluster_value_integer(xs, drops);
+                let before = self.objective.aggregate(&utils);
+                let cand = self.job_utility(i, f64::from(xs[i] - 1), drop_of(i));
+                let saved = std::mem::replace(&mut utils[i], cand);
+                let after = self.objective.aggregate(&utils);
                 if after < before - eps {
-                    xs[i] += 1; // Cluster utility changed: stop here.
+                    utils[i] = saved; // Cluster utility changed: stop here.
                     break;
                 }
+                xs[i] -= 1;
             }
         }
     }
@@ -585,6 +859,126 @@ mod tests {
         )
         .unwrap();
         assert!(p.expected_utility(0, 3.0, 0.0) > p.expected_utility(0, 1.0, 0.0));
+    }
+
+    /// Replays the pre-table direct arithmetic of `expected_utility`:
+    /// estimator call per (trajectory, step), same clamps, same mean.
+    fn direct_expected_utility(p: &MultiTenantProblem, i: usize, x: f64, d: f64) -> f64 {
+        let job = &p.jobs()[i];
+        let (mut sum, mut count) = (0.0, 0usize);
+        for traj in &job.lambda_trajectories {
+            for &lambda in traj {
+                let lambda_eff = (lambda * (1.0 - d.clamp(0.0, 1.0))).max(0.0);
+                let l = match p.fidelity {
+                    Fidelity::Relaxed => RelaxedLatency::default()
+                        .latency_fractional(
+                            job.slo.percentile,
+                            job.processing_time,
+                            lambda_eff,
+                            x.max(1.0),
+                        )
+                        .unwrap_or(f64::INFINITY),
+                    Fidelity::Precise => mdc::latency_percentile(
+                        job.slo.percentile,
+                        job.processing_time,
+                        lambda_eff,
+                        x.max(1.0).round() as u32,
+                    )
+                    .unwrap_or(f64::INFINITY),
+                };
+                sum += match p.fidelity {
+                    Fidelity::Precise => step_utility(l, job.slo.latency),
+                    Fidelity::Relaxed => RelaxedUtility::default().value(l, job.slo.latency),
+                };
+                count += 1;
+            }
+        }
+        sum / count.max(1) as f64
+    }
+
+    fn multi_step_problem(fidelity: Fidelity) -> MultiTenantProblem {
+        // Rates spanning idle, loaded, and overloaded regimes so the
+        // tables carry zeros, finite entries, and (precise) infinities.
+        let jobs = vec![
+            JobWorkload {
+                lambda_trajectories: vec![vec![0.0, 5.0, 40.0, 90.0], vec![12.5, 250.0]],
+                processing_time: 0.180,
+                slo: slo(),
+                priority: 1.0,
+            },
+            JobWorkload {
+                lambda_trajectories: vec![vec![3.0, 8.0, 15.0]],
+                processing_time: 0.090,
+                slo: slo(),
+                priority: 2.0,
+            },
+        ];
+        MultiTenantProblem::new(
+            jobs,
+            ResourceModel::replicas(24),
+            ClusterObjective::Sum,
+            fidelity,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cached_latency_matches_direct_path_bitwise() {
+        for fidelity in [Fidelity::Relaxed, Fidelity::Precise] {
+            let p = multi_step_problem(fidelity);
+            for i in 0..p.n_jobs() {
+                for x in [1.0, 1.5, 2.0, 3.25, 7.0, 12.5, 23.0, 24.0, 30.0] {
+                    for d in [0.0, 0.25, 0.9] {
+                        let cached = p.expected_utility(i, x, d);
+                        let direct = direct_expected_utility(&p, i, x, d);
+                        assert_eq!(
+                            cached.to_bits(),
+                            direct.to_bits(),
+                            "{fidelity:?} i={i} x={x} d={d}: {cached} vs {direct}"
+                        );
+                        // Second call (memo/table hit) must be stable.
+                        assert_eq!(p.expected_utility(i, x, d).to_bits(), cached.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clone_resets_cache_but_not_results() {
+        let p = multi_step_problem(Fidelity::Relaxed);
+        let warm = p.expected_utility(0, 5.5, 0.1); // Populates caches.
+        let q = p.clone();
+        assert_eq!(q.expected_utility(0, 5.5, 0.1).to_bits(), warm.to_bits());
+    }
+
+    proptest::proptest! {
+        /// The memo tables must be invisible: random rates, replica
+        /// counts, and drop rates all evaluate bit-identically to the
+        /// direct estimator path.
+        #[test]
+        fn table_path_is_bitwise_invisible(
+            rates in proptest::prop::collection::vec(0.0f64..300.0, 1..6),
+            x in 1.0f64..40.0,
+            d in 0.0f64..1.0,
+        ) {
+            let jobs = vec![JobWorkload {
+                lambda_trajectories: vec![rates],
+                processing_time: 0.150,
+                slo: slo(),
+                priority: 1.0,
+            }];
+            let p = MultiTenantProblem::new(
+                jobs,
+                ResourceModel::replicas(40),
+                ClusterObjective::Sum,
+                Fidelity::Relaxed,
+            )
+            .unwrap();
+            let cached = p.expected_utility(0, x, d);
+            let direct = direct_expected_utility(&p, 0, x, d);
+            proptest::prop_assert_eq!(cached.to_bits(), direct.to_bits());
+        }
     }
 
     #[test]

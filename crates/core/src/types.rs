@@ -2,6 +2,7 @@
 //! decisions.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Identifier of a job (one pre-trained model receiving queries).
 pub type JobId = usize;
@@ -105,8 +106,9 @@ impl ResourceModel {
 /// Per-job observation delivered to policies at every tick.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobObservation {
-    /// The job's static spec.
-    pub spec: JobSpec,
+    /// The job's static spec, shared with the runtime (interned so a
+    /// snapshot does not deep-copy the spec on every tick).
+    pub spec: Arc<JobSpec>,
     /// Current autoscale target (replicas the job is entitled to).
     pub target_replicas: u32,
     /// Replicas actually serving (excludes cold-starting ones).
@@ -114,8 +116,10 @@ pub struct JobObservation {
     /// Router queue length right now.
     pub queue_len: usize,
     /// Completed per-minute arrival counts, oldest first (the metric the
-    /// Faro router exports continually).
-    pub arrival_rate_history: Vec<f64>,
+    /// Faro router exports continually). Shared copy-on-write with the
+    /// runtime's history so building a snapshot is O(1) in the elapsed
+    /// trace length; serializes as a plain JSON array.
+    pub arrival_rate_history: Arc<Vec<f64>>,
     /// Arrival rate over the last reactive interval (requests/second).
     pub recent_arrival_rate: f64,
     /// Measured mean per-request processing time (seconds); falls back
@@ -203,11 +207,11 @@ mod tests {
     #[test]
     fn snapshot_totals() {
         let mk = |target| JobObservation {
-            spec: JobSpec::resnet34("x"),
+            spec: Arc::new(JobSpec::resnet34("x")),
             target_replicas: target,
             ready_replicas: target,
             queue_len: 0,
-            arrival_rate_history: vec![],
+            arrival_rate_history: Arc::new(vec![]),
             recent_arrival_rate: 0.0,
             mean_processing_time: 0.18,
             recent_tail_latency: 0.1,

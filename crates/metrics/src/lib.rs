@@ -33,7 +33,7 @@ pub mod slo;
 pub mod window;
 
 pub use availability::AvailabilityTracker;
-pub use percentile::{percentile_of_sorted, PercentileBuffer};
+pub use percentile::{percentile_by_selection, percentile_of_sorted, PercentileBuffer};
 pub use rank::kendall_tau_distance;
 pub use slo::{MinuteSeries, SloAccounting};
 pub use window::SlidingWindow;

@@ -37,6 +37,64 @@ pub fn latency_percentile(k: f64, p: f64, lambda: f64, servers: u32) -> Result<f
     Ok(wait_percentile(k, p, lambda, servers)? + p)
 }
 
+/// The `k`-th percentile M/D/c latency for **every** server count
+/// `1..=max_servers` in one pass: entry `n - 1` equals
+/// `latency_percentile(k, p, lambda, n)` bit-for-bit.
+///
+/// A single prefix sweep of the Erlang-B recurrence yields `B(n, a)`
+/// for all `n` at once, so the whole table costs the same O(max)
+/// arithmetic as one direct call at `max_servers` — this is what lets
+/// the optimizer build per-solve latency tables instead of re-running
+/// the recurrence in its innermost loop.
+///
+/// # Errors
+///
+/// Same domain errors as [`latency_percentile`].
+///
+/// # Examples
+///
+/// ```
+/// let table = faro_queueing::mdc::latency_percentile_sweep(0.99, 0.150, 40.0, 16).unwrap();
+/// for (i, &l) in table.iter().enumerate() {
+///     let direct = faro_queueing::mdc::latency_percentile(0.99, 0.150, 40.0, i as u32 + 1).unwrap();
+///     assert!(l == direct || (l.is_infinite() && direct.is_infinite()));
+/// }
+/// ```
+pub fn latency_percentile_sweep(k: f64, p: f64, lambda: f64, max_servers: u32) -> Result<Vec<f64>> {
+    let k = crate::error::percentile(k)?;
+    let p = crate::error::positive("p", p)?;
+    let lambda = crate::error::non_negative("lambda", lambda)?;
+    if max_servers == 0 {
+        return Err(crate::Error::ZeroReplicas);
+    }
+    let a = lambda * p;
+    let tail = 1.0 - k;
+    let mut out = Vec::with_capacity(max_servers as usize);
+    let mut b = 1.0f64;
+    for n in 1..=max_servers {
+        // One Erlang-B recurrence step: `b` now equals `erlang_b(n, a)`.
+        b = a * b / (f64::from(n) + a * b);
+        let c = f64::from(n);
+        // Mirrors mmc::wait_percentile arithmetically, branch by branch,
+        // so each entry is bit-identical to the direct call.
+        let rho = lambda * p / c;
+        let wait = if rho >= 1.0 {
+            f64::INFINITY
+        } else if lambda == 0.0 {
+            0.0
+        } else {
+            let ec = b / (1.0 - (a / c) * (1.0 - b));
+            if ec <= tail {
+                0.0
+            } else {
+                (ec / tail).ln() / (c / p - lambda)
+            }
+        };
+        out.push(0.5 * wait + p);
+    }
+    Ok(out)
+}
+
 /// Smallest replica count `N <= max_replicas` whose estimated `k`-th
 /// percentile latency meets the SLO target `slo`.
 ///
@@ -110,6 +168,44 @@ mod tests {
             assert!(l <= prev, "latency must not increase with replicas");
             prev = l;
         }
+    }
+
+    proptest::proptest! {
+        /// The one-pass sweep must be indistinguishable from calling
+        /// `latency_percentile` per server count — bit-for-bit, so the
+        /// optimizer's memo tables cannot drift from the direct path.
+        #[test]
+        fn sweep_matches_direct_calls_bitwise(
+            lambda in 0.0f64..500.0,
+            p in 0.01f64..0.5,
+            k in 0.5f64..0.9999,
+            max in 1u32..80,
+        ) {
+            let sweep = latency_percentile_sweep(k, p, lambda, max).unwrap();
+            for n in 1..=max {
+                let direct = latency_percentile(k, p, lambda, n).unwrap();
+                let got = sweep[(n - 1) as usize];
+                proptest::prop_assert_eq!(
+                    got.to_bits(),
+                    direct.to_bits(),
+                    "n={} sweep={} direct={}",
+                    n,
+                    got,
+                    direct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_handles_zero_rate_and_saturation() {
+        let table = latency_percentile_sweep(0.99, 0.15, 0.0, 4).unwrap();
+        assert!(table.iter().all(|&l| l == 0.15), "{table:?}");
+        // 100 req/s at 150 ms saturates below 15 replicas.
+        let table = latency_percentile_sweep(0.99, 0.15, 100.0, 20).unwrap();
+        assert!(table[..15].iter().all(|l| l.is_infinite()), "{table:?}");
+        assert!(table[15..].iter().all(|l| l.is_finite()), "{table:?}");
+        assert!(latency_percentile_sweep(0.99, 0.15, 1.0, 0).is_err());
     }
 
     #[test]

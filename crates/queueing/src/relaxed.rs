@@ -81,6 +81,67 @@ impl RelaxedLatency {
         Ok(lambda / lambda_knee * knee_latency)
     }
 
+    /// The latency at the stability knee for every server count
+    /// `1..=max_servers`: entry `n - 1` is
+    /// `mdc::latency_percentile(k, p, rho_max * n / p, n)`, the value
+    /// [`RelaxedLatency::latency`] scales past the knee.
+    ///
+    /// The knee latency is independent of `lambda` (the knee rate is a
+    /// function of `n` alone), so callers can compute this table once
+    /// per job and reuse it across every arrival rate in a solve.
+    ///
+    /// # Errors
+    ///
+    /// Same domain errors as [`RelaxedLatency::latency`].
+    pub fn knee_latencies(&self, k: f64, p: f64, max_servers: u32) -> Result<Vec<f64>> {
+        let k = percentile(k)?;
+        let p = positive("p", p)?;
+        if max_servers == 0 {
+            return Err(Error::ZeroReplicas);
+        }
+        (1..=max_servers)
+            .map(|n| {
+                let lambda_knee = self.rho_max * f64::from(n) / p;
+                mdc::latency_percentile(k, p, lambda_knee, n)
+            })
+            .collect()
+    }
+
+    /// Relaxed latency for every server count `1..=knees.len()` at one
+    /// arrival rate: entry `n - 1` equals
+    /// `self.latency(k, p, lambda, n)` bit-for-bit. `knees` must come
+    /// from [`RelaxedLatency::knee_latencies`] with the same `k`/`p`.
+    ///
+    /// Below the knee the values come from one shared
+    /// [`mdc::latency_percentile_sweep`] (a single Erlang recurrence
+    /// pass); past the knee the precomputed knee latency is scaled by
+    /// the queue growth rate, exactly as the direct path does.
+    ///
+    /// # Errors
+    ///
+    /// Same domain errors as [`RelaxedLatency::latency`].
+    pub fn latency_sweep(&self, k: f64, p: f64, lambda: f64, knees: &[f64]) -> Result<Vec<f64>> {
+        let _ = percentile(k)?;
+        let _ = positive("p", p)?;
+        let lambda = crate::error::non_negative("lambda", lambda)?;
+        let max_servers = u32::try_from(knees.len()).unwrap_or(u32::MAX);
+        if max_servers == 0 {
+            return Err(Error::ZeroReplicas);
+        }
+        let below_knee = mdc::latency_percentile_sweep(k, p, lambda, max_servers)?;
+        let mut out = Vec::with_capacity(knees.len());
+        for n in 1..=max_servers {
+            let rho = lambda * p / f64::from(n);
+            if rho <= self.rho_max {
+                out.push(below_knee[(n - 1) as usize]);
+            } else {
+                let lambda_knee = self.rho_max * f64::from(n) / p;
+                out.push(lambda / lambda_knee * knees[(n - 1) as usize]);
+            }
+        }
+        Ok(out)
+    }
+
     /// Relaxed latency with a *fractional* replica count, for use inside
     /// continuous optimization.
     ///
@@ -150,6 +211,34 @@ mod tests {
             let l = est.latency(0.99, 0.15, 100.0, n).unwrap();
             assert!(l <= prev, "n={n}");
             prev = l;
+        }
+    }
+
+    proptest::proptest! {
+        /// The relaxed sweep (shared Erlang pass + knee scaling) must
+        /// match per-server-count direct calls bit-for-bit.
+        #[test]
+        fn relaxed_sweep_matches_direct_calls_bitwise(
+            lambda in 0.0f64..500.0,
+            p in 0.01f64..0.5,
+            k in 0.5f64..0.9999,
+            max in 1u32..60,
+        ) {
+            let est = RelaxedLatency::default();
+            let knees = est.knee_latencies(k, p, max).unwrap();
+            let sweep = est.latency_sweep(k, p, lambda, &knees).unwrap();
+            for n in 1..=max {
+                let direct = est.latency(k, p, lambda, n).unwrap();
+                let got = sweep[(n - 1) as usize];
+                proptest::prop_assert_eq!(
+                    got.to_bits(),
+                    direct.to_bits(),
+                    "n={} sweep={} direct={}",
+                    n,
+                    got,
+                    direct
+                );
+            }
         }
     }
 

@@ -23,19 +23,25 @@ pub fn seconds(t: Micros) -> f64 {
 }
 
 /// A simulation event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Request arrivals are not heap events: the simulator keeps each
+/// job's current-minute arrivals in a sorted per-job calendar and
+/// merges the earliest calendar entry with [`EventQueue::peek_time`]
+/// at the top of its loop, so the heap only ever holds completions
+/// and control events.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Event {
-    /// A request arrives at a job's router.
-    Arrival {
-        /// Target job.
-        job: usize,
-    },
     /// A replica finishes its current request.
     Completion {
         /// Owning job.
         job: usize,
         /// Replica identifier within the job.
         replica: u64,
+        /// Service time (seconds) sampled at dispatch. Carried in the
+        /// event so the request's measured processing time is the time
+        /// it actually took, without a second distribution draw at
+        /// completion.
+        service: f64,
     },
     /// A cold-starting replica becomes ready.
     ReplicaReady {
@@ -66,6 +72,11 @@ pub enum Event {
     /// Fault injection: the node outage ends and the quota is restored.
     NodeOutageEnd,
 }
+
+/// `Event` is `Eq` despite the `f64` payload: `Completion::service` is
+/// always a finite lognormal sample (never NaN), and the queue's
+/// ordering ignores event contents entirely.
+impl Eq for Event {}
 
 /// Deterministic time-ordered event queue.
 #[derive(Debug, Default)]
@@ -110,6 +121,13 @@ impl EventQueue {
         self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
     }
 
+    /// Timestamp of the earliest pending event without popping it.
+    /// Lets the simulator merge the heap with its per-job arrival
+    /// calendars: arrivals never enter the heap at all.
+    pub fn peek_time(&self) -> Option<Micros> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -137,21 +155,23 @@ mod tests {
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
         q.push(300, Event::PolicyTick);
-        q.push(100, Event::Arrival { job: 0 });
-        q.push(200, Event::Arrival { job: 1 });
+        q.push(100, Event::ReplicaReady { job: 0, replica: 0 });
+        q.push(200, Event::ReplicaReady { job: 1, replica: 0 });
         let order: Vec<Micros> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
         assert_eq!(order, vec![100, 200, 300]);
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.push(50, Event::Arrival { job: 0 });
-        q.push(50, Event::Arrival { job: 1 });
-        q.push(50, Event::Arrival { job: 2 });
+        q.push(50, Event::ReplicaReady { job: 0, replica: 0 });
+        q.push(50, Event::ReplicaReady { job: 1, replica: 0 });
+        q.push(50, Event::ReplicaReady { job: 2, replica: 0 });
+        assert_eq!(q.peek_time(), Some(50));
         let jobs: Vec<usize> = std::iter::from_fn(|| {
             q.pop().map(|(_, e)| match e {
-                Event::Arrival { job } => job,
+                Event::ReplicaReady { job, .. } => job,
                 _ => usize::MAX,
             })
         })

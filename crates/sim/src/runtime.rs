@@ -9,9 +9,10 @@
 
 use crate::events::{seconds, Micros};
 use faro_core::types::{JobObservation, JobSpec};
-use faro_metrics::percentile::percentile_of_sorted;
+use faro_metrics::percentile::percentile_by_selection;
 use faro_metrics::slo::{MinuteSeries, SloAccounting};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Default router tail-drop threshold (paper Sec. 5; values in
 /// [20, 100] behaved similarly).
@@ -24,8 +25,13 @@ enum ReplicaState {
     Cold,
     /// Ready and waiting for work.
     Idle,
-    /// Serving one request.
-    Busy,
+    /// Serving one request. Carrying the request's arrival time here
+    /// (instead of a side map keyed by replica id) saves a map insert
+    /// and remove on every request.
+    Busy {
+        /// Arrival time of the request being served.
+        arrival: Micros,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -68,21 +74,39 @@ pub struct Dispatch {
 /// Per-job runtime state and metrics.
 #[derive(Debug)]
 pub struct JobRuntime {
-    /// Static spec.
-    pub spec: JobSpec,
+    /// Static spec, interned so each observation shares it instead of
+    /// deep-copying the name/SLO every tick.
+    pub spec: Arc<JobSpec>,
     queue: VecDeque<Micros>,
     queue_threshold: usize,
-    replicas: BTreeMap<u64, Replica>,
+    /// Live replicas, sorted ascending by id. Ids are handed out
+    /// monotonically so inserts are pushes; lookups are binary searches
+    /// over a few dozen contiguous entries, which beats a `BTreeMap`'s
+    /// pointer-chasing at this size on the two map hits every request
+    /// pays (dispatch and completion).
+    replicas: Vec<(u64, Replica)>,
+    /// Ids of idle, non-retiring replicas — the dispatchable set,
+    /// sorted ascending. Kept in lockstep with `replicas` so the
+    /// per-request dispatch path is O(dispatched), not O(all
+    /// replicas). A sorted `Vec` beats a `BTreeSet` at replica-count
+    /// sizes (a few dozen ids, one cache line or two); ascending order
+    /// preserves the lowest-id-first assignment the full scan had.
+    idle: Vec<u64>,
+    /// Count of live (non-retiring) replicas, cold included. Cached so
+    /// the per-completion excess-capacity check is O(1).
+    live_count: u32,
     next_replica: u64,
     target: u32,
     drop_rate: f64,
-    /// Busy replica -> arrival time of the request it serves.
-    in_flight: BTreeMap<u64, Micros>,
 
     // Metrics.
     minute_latencies: MinuteSeries,
     slo: SloAccounting,
-    arrivals_per_minute: Vec<f64>,
+    /// Finalized per-minute arrival counts, shared copy-on-write with
+    /// the observations built by [`JobRuntime::observe`]: a snapshot
+    /// clones the `Arc` (O(1)); the once-a-minute push copies the
+    /// backing vector only while a policy still holds a reference.
+    arrivals_per_minute: Arc<Vec<f64>>,
     drops_per_minute: Vec<u64>,
     requests_per_minute_done: Vec<u64>,
     current_minute_arrivals: u64,
@@ -116,16 +140,17 @@ impl JobRuntime {
         debug_assert!(initial >= 1, "initial replicas must be >= 1");
         let mut rt = Self {
             slo: SloAccounting::new(spec.slo.latency),
-            spec,
+            spec: Arc::new(spec),
             queue: VecDeque::new(),
             queue_threshold,
-            replicas: BTreeMap::new(),
+            replicas: Vec::new(),
+            idle: Vec::new(),
+            live_count: 0,
             next_replica: 0,
             target: initial,
             drop_rate: 0.0,
-            in_flight: BTreeMap::new(),
             minute_latencies: MinuteSeries::new(),
-            arrivals_per_minute: Vec::new(),
+            arrivals_per_minute: Arc::new(Vec::new()),
             drops_per_minute: Vec::new(),
             requests_per_minute_done: Vec::new(),
             current_minute_arrivals: 0,
@@ -141,13 +166,15 @@ impl JobRuntime {
         for _ in 0..initial {
             let id = rt.next_replica;
             rt.next_replica += 1;
-            rt.replicas.insert(
+            rt.replicas.push((
                 id,
                 Replica {
                     state: ReplicaState::Idle,
                     retiring: false,
                 },
-            );
+            ));
+            rt.idle.push(id);
+            rt.live_count += 1;
         }
         rt
     }
@@ -165,14 +192,20 @@ impl JobRuntime {
     /// Replicas able to serve (idle or busy, not cold, not retiring).
     pub fn ready_replicas(&self) -> u32 {
         self.replicas
-            .values()
-            .filter(|r| !r.retiring && r.state != ReplicaState::Cold)
+            .iter()
+            .filter(|(_, r)| !r.retiring && r.state != ReplicaState::Cold)
             .count() as u32
     }
 
-    /// All live replicas including cold-starting ones.
+    /// All live replicas including cold-starting ones. O(1): the count
+    /// is maintained across every insert/remove/retire.
     pub fn live_replicas(&self) -> u32 {
-        self.replicas.values().filter(|r| !r.retiring).count() as u32
+        debug_assert_eq!(
+            self.live_count,
+            self.replicas.iter().filter(|(_, r)| !r.retiring).count() as u32,
+            "cached live count drifted from the replica set"
+        );
+        self.live_count
     }
 
     /// Router queue length.
@@ -185,7 +218,6 @@ impl JobRuntime {
     pub fn on_arrival(&mut self, now: Micros, drop_sample: f64) -> ArrivalOutcome {
         self.current_minute_arrivals += 1;
         self.recent_arrivals.push_back(now);
-        self.trim_recent(now);
         if drop_sample < self.drop_rate {
             self.record_drop(now);
             return ArrivalOutcome::ExplicitDrop;
@@ -198,60 +230,70 @@ impl JobRuntime {
         ArrivalOutcome::Queued
     }
 
+    /// Assigns one queued request to the lowest-id idle replica, if
+    /// both exist. O(log idle): no per-call scan of the replica map and
+    /// no output allocation — the hot loop in the simulator calls this
+    /// until it returns `None`.
+    pub fn dispatch_one(&mut self, _now: Micros) -> Option<Dispatch> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        if self.idle.is_empty() {
+            return None;
+        }
+        let id = self.idle.remove(0);
+        let arrival = self.queue.pop_front().expect("queue non-empty");
+        let pos = self.replica_pos(id).expect("idle replica exists");
+        self.replicas[pos].1.state = ReplicaState::Busy { arrival };
+        Some(Dispatch {
+            replica: id,
+            arrival,
+        })
+    }
+
     /// Assigns queued requests to idle replicas; returns the dispatches
     /// (the caller schedules completions after sampling service times).
-    pub fn dispatch(&mut self, _now: Micros) -> Vec<Dispatch> {
-        let mut out = Vec::new();
-        for (&id, replica) in self.replicas.iter_mut() {
-            if self.queue.is_empty() {
-                break;
-            }
-            if replica.state == ReplicaState::Idle && !replica.retiring {
-                let arrival = self.queue.pop_front().expect("queue non-empty");
-                replica.state = ReplicaState::Busy;
-                self.in_flight.insert(id, arrival);
-                out.push(Dispatch {
-                    replica: id,
-                    arrival,
-                });
-            }
-        }
-        out
+    pub fn dispatch(&mut self, now: Micros) -> Vec<Dispatch> {
+        std::iter::from_fn(|| self.dispatch_one(now)).collect()
     }
 
     /// Completes the request on `replica`, recording its latency and the
     /// measured service time. Returns `true` if the replica stays alive.
     pub fn on_completion(&mut self, now: Micros, replica: u64, service_time: f64) -> bool {
-        let arrival = match self.in_flight.remove(&replica) {
-            Some(a) => a,
-            None => return true, // Completion for a request we lost track of.
+        // Stale completions (the replica crashed or was evicted since
+        // dispatch) fall through both lookups harmlessly.
+        let Some(pos) = self.replica_pos(replica) else {
+            return true;
+        };
+        let (arrival, alive) = {
+            let r = &mut self.replicas[pos].1;
+            let ReplicaState::Busy { arrival } = r.state else {
+                return true;
+            };
+            r.state = ReplicaState::Idle;
+            (arrival, !r.retiring && self.target >= 1)
         };
         let latency = seconds(now.saturating_sub(arrival));
         self.minute_latencies.record(seconds(now), latency);
         self.slo.record_latency(latency);
         self.current_minute_done += 1;
         self.recent.push_back((now, latency));
-        self.trim_recent(now);
         self.proc_sum += service_time;
         self.proc_count += 1;
 
-        let alive = {
-            let r = self
-                .replicas
-                .get_mut(&replica)
-                .expect("busy replica exists");
-            r.state = ReplicaState::Idle;
-            !r.retiring && self.target >= 1
-        };
         if !alive {
-            self.replicas.remove(&replica);
+            // Retiring replicas were already dropped from `live_count`
+            // when they were marked.
+            self.replicas.remove(pos);
             return false;
         }
         // Excess capacity after a scale-down: retire this now-idle one.
-        if self.live_replicas() > self.target {
-            self.replicas.remove(&replica);
+        if self.live_count > self.target {
+            self.replicas.remove(pos);
+            self.live_count -= 1;
             return false;
         }
+        self.idle_insert(replica);
         true
     }
 
@@ -266,15 +308,16 @@ impl JobRuntime {
         while live < target {
             let id = self.next_replica;
             self.next_replica += 1;
-            self.replicas.insert(
+            self.replicas.push((
                 id,
                 Replica {
                     state: ReplicaState::Cold,
                     retiring: false,
                 },
-            );
+            ));
             new_ids.push(id);
             live += 1;
+            self.live_count += 1;
         }
         // Scale down: remove idles/colds first, then mark busy ones.
         if live > target {
@@ -283,8 +326,8 @@ impl JobRuntime {
             let mut removable: Vec<(u64, ReplicaState)> = self
                 .replicas
                 .iter()
-                .filter(|(_, r)| !r.retiring && r.state != ReplicaState::Busy)
-                .map(|(&id, r)| (id, r.state))
+                .filter(|(_, r)| !r.retiring && !matches!(r.state, ReplicaState::Busy { .. }))
+                .map(|&(id, ref r)| (id, r.state))
                 .collect();
             removable.sort_by_key(|&(id, state)| (state != ReplicaState::Cold, id));
             let removable: Vec<u64> = removable.into_iter().map(|(id, _)| id).collect();
@@ -292,21 +335,29 @@ impl JobRuntime {
                 if excess == 0 {
                     break;
                 }
-                self.replicas.remove(&id);
+                if let Some(pos) = self.replica_pos(id) {
+                    self.replicas.remove(pos);
+                }
+                self.idle_remove(id);
+                self.live_count -= 1;
                 excess -= 1;
             }
             if excess > 0 {
                 let busy: Vec<u64> = self
                     .replicas
                     .iter()
-                    .filter(|(_, r)| !r.retiring && r.state == ReplicaState::Busy)
-                    .map(|(&id, _)| id)
+                    .filter(|(_, r)| !r.retiring && matches!(r.state, ReplicaState::Busy { .. }))
+                    .map(|&(id, _)| id)
                     .collect();
                 for id in busy {
                     if excess == 0 {
                         break;
                     }
-                    self.replicas.get_mut(&id).expect("busy id exists").retiring = true;
+                    let pos = self.replica_pos(id).expect("busy id exists");
+                    self.replicas[pos].1.retiring = true;
+                    // A retiring replica no longer counts as live: it
+                    // vanishes at its next completion.
+                    self.live_count -= 1;
                     excess -= 1;
                 }
             }
@@ -321,26 +372,25 @@ impl JobRuntime {
 
     /// Marks a cold replica ready. Returns `true` if it joined service.
     pub fn on_replica_ready(&mut self, replica: u64) -> bool {
-        let (retiring, cold) = match self.replicas.get(&replica) {
-            Some(r) => (r.retiring, r.state == ReplicaState::Cold),
-            None => return false,
+        let Some(pos) = self.replica_pos(replica) else {
+            return false;
         };
-        if retiring {
-            self.replicas.remove(&replica);
+        let r = &self.replicas[pos].1;
+        if r.retiring {
+            self.replicas.remove(pos);
             return false;
         }
-        if !cold {
+        if r.state != ReplicaState::Cold {
             return false;
         }
         // A scale-down may have landed while cold-starting.
-        if self.live_replicas() > self.target {
-            self.replicas.remove(&replica);
+        if self.live_count > self.target {
+            self.replicas.remove(pos);
+            self.live_count -= 1;
             return false;
         }
-        self.replicas
-            .get_mut(&replica)
-            .expect("checked above")
-            .state = ReplicaState::Idle;
+        self.replicas[pos].1.state = ReplicaState::Idle;
+        self.idle_insert(replica);
         true
     }
 
@@ -351,13 +401,18 @@ impl JobRuntime {
     /// A no-op for replicas that no longer exist (a crash scheduled for
     /// a replica that was since retired or evicted).
     pub fn crash_replica(&mut self, now: Micros, replica: u64) -> CrashOutcome {
-        if self.replicas.remove(&replica).is_none() {
+        let Some(pos) = self.replica_pos(replica) else {
             return CrashOutcome {
                 removed: false,
                 killed_request: false,
             };
+        };
+        let (_, victim) = self.replicas.remove(pos);
+        self.idle_remove(replica);
+        if !victim.retiring {
+            self.live_count -= 1;
         }
-        let killed_request = self.in_flight.remove(&replica).is_some();
+        let killed_request = matches!(victim.state, ReplicaState::Busy { .. });
         if killed_request {
             self.crash_killed += 1;
             // Mirrors record_drop's latency accounting (the requester
@@ -365,7 +420,6 @@ impl JobRuntime {
             self.slo.record_latency(f64::INFINITY);
             self.minute_latencies.record(seconds(now), f64::INFINITY);
             self.recent.push_back((now, f64::INFINITY));
-            self.trim_recent(now);
         }
         CrashOutcome {
             removed: true,
@@ -382,7 +436,7 @@ impl JobRuntime {
             .replicas
             .iter()
             .filter(|(_, r)| !r.retiring)
-            .map(|(&id, _)| id)
+            .map(|&(id, _)| id)
             .collect();
         ids.sort_unstable_by(|a, b| b.cmp(a));
         let mut evicted = 0;
@@ -407,14 +461,15 @@ impl JobRuntime {
         self.replicas
             .iter()
             .filter(|(_, r)| !r.retiring)
-            .map(|(&id, _)| id)
+            .map(|&(id, _)| id)
             .collect()
     }
 
     /// Finalizes the minute that just ended.
     pub fn on_minute_boundary(&mut self) {
-        self.arrivals_per_minute
-            .push(self.current_minute_arrivals as f64);
+        // Copy-on-write: clones the backing vector only when an
+        // observation from a previous tick still shares it.
+        Arc::make_mut(&mut self.arrivals_per_minute).push(self.current_minute_arrivals as f64);
         self.drops_per_minute.push(self.current_minute_drops);
         self.requests_per_minute_done.push(self.current_minute_done);
         self.current_minute_arrivals = 0;
@@ -422,19 +477,21 @@ impl JobRuntime {
         self.current_minute_done = 0;
     }
 
-    /// Builds the policy-facing observation.
+    /// Builds the policy-facing observation. O(recent window), not
+    /// O(elapsed trace): the spec and arrival history are shared via
+    /// `Arc`, and the tail percentile uses O(n) selection instead of a
+    /// full sort.
     pub fn observe(&mut self, now: Micros) -> JobObservation {
         self.trim_recent(now);
         let mut latencies: Vec<f64> = self.recent.iter().map(|&(_, l)| l).collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
-        let tail = percentile_of_sorted(&latencies, self.spec.slo.percentile).unwrap_or(0.0);
+        let tail = percentile_by_selection(&mut latencies, self.spec.slo.percentile).unwrap_or(0.0);
         let window_secs = seconds(self.recent_window).max(1e-9);
         JobObservation {
-            spec: self.spec.clone(),
+            spec: Arc::clone(&self.spec),
             target_replicas: self.target,
             ready_replicas: self.ready_replicas(),
             queue_len: self.queue.len(),
-            arrival_rate_history: self.arrivals_per_minute.clone(),
+            arrival_rate_history: Arc::clone(&self.arrivals_per_minute),
             recent_arrival_rate: self.recent_arrivals.len() as f64 / window_secs,
             mean_processing_time: if self.proc_count > 0 {
                 self.proc_sum / self.proc_count as f64
@@ -474,6 +531,41 @@ impl JobRuntime {
         self.recent.push_back((now, f64::INFINITY));
     }
 
+    /// Ids of replicas currently serving a request, ascending
+    /// (test-only introspection; the hot path never needs the list).
+    #[cfg(test)]
+    fn busy_ids(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .filter(|(_, r)| matches!(r.state, ReplicaState::Busy { .. }))
+            .map(|&(id, _)| id)
+            .collect()
+    }
+
+    /// Index of `id` in the sorted replica vector, if present.
+    fn replica_pos(&self, id: u64) -> Option<usize> {
+        self.replicas.binary_search_by_key(&id, |&(i, _)| i).ok()
+    }
+
+    /// Inserts `id` into the sorted idle set (no-op when present).
+    fn idle_insert(&mut self, id: u64) {
+        if let Err(pos) = self.idle.binary_search(&id) {
+            self.idle.insert(pos, id);
+        }
+    }
+
+    /// Removes `id` from the sorted idle set (no-op when absent).
+    fn idle_remove(&mut self, id: u64) {
+        if let Ok(pos) = self.idle.binary_search(&id) {
+            self.idle.remove(pos);
+        }
+    }
+
+    /// Drops window-expired entries from the recent deques. Called
+    /// from [`JobRuntime::observe`] (which reads them) rather than on
+    /// every arrival/completion: between ticks the deques grow by at
+    /// most one tick's worth of requests beyond the window, and the
+    /// observation is identical because it trims before reading.
     fn trim_recent(&mut self, now: Micros) {
         let cutoff = now.saturating_sub(self.recent_window);
         while matches!(self.recent.front(), Some(&(t, _)) if t < cutoff) {
@@ -572,7 +664,7 @@ mod tests {
             .replicas
             .iter()
             .find(|(_, r)| r.retiring)
-            .map(|(&id, _)| id)
+            .map(|&(id, _)| id)
             .expect("one retiring");
         let alive = j.on_completion(micros(0.2), retiring_id, 0.18);
         assert!(!alive);
@@ -678,14 +770,14 @@ mod tests {
             arrivals += 1;
             let _ = j.dispatch(t);
             if i % 3 == 1 {
-                if let Some((&id, _)) = j.in_flight.iter().next() {
+                if let Some(&id) = j.busy_ids().first() {
                     j.on_completion(t + 10_000, id, 0.18);
                     completions += 1;
                 }
             }
             // Periodically crash a busy replica and re-request it.
             if i % 17 == 5 {
-                if let Some((&id, _)) = j.in_flight.iter().next_back() {
+                if let Some(&id) = j.busy_ids().last() {
                     assert!(j.crash_replica(t + 20_000, id).removed);
                     for r in j.scale_to(j.target()) {
                         j.on_replica_ready(r);
@@ -701,7 +793,7 @@ mod tests {
                 + drops
                 + j.crash_killed()
                 + j.queue_len() as u64
-                + j.in_flight.len() as u64,
+                + j.busy_ids().len() as u64,
             "arrivals = completions + drops + crash-killed + queued + in-flight"
         );
     }
@@ -720,7 +812,7 @@ mod tests {
             }
             // Complete any busy replica every other step.
             if i % 2 == 1 {
-                if let Some((&id, _)) = j.in_flight.iter().next() {
+                if let Some(&id) = j.busy_ids().first() {
                     j.on_completion(t + 10_000, id, 0.18);
                     completions += 1;
                 }
@@ -728,7 +820,7 @@ mod tests {
         }
         let drops = j.slo_accounting().drops();
         let in_queue = j.queue_len() as u64;
-        let in_service = j.in_flight.len() as u64;
+        let in_service = j.busy_ids().len() as u64;
         assert_eq!(arrivals, completions + drops + in_queue + in_service);
     }
 }

@@ -10,7 +10,6 @@ use faro_core::policy::{enforce_quota, Policy};
 use faro_core::types::{ClusterSnapshot, JobObservation, JobSpec, ResourceModel};
 use faro_metrics::AvailabilityTracker;
 use rand::prelude::*;
-use rand_distr::{Distribution, LogNormal, Poisson};
 
 /// One job's simulation inputs.
 #[derive(Debug, Clone)]
@@ -68,7 +67,14 @@ pub struct Simulation {
     jobs: Vec<JobRuntime>,
     rates: Vec<Vec<f64>>,
     duration_minutes: usize,
-    service_dists: Vec<LogNormal<f64>>,
+    /// Per-job `(mu, sigma)` of the lognormal service distribution.
+    /// Sampled inline (Box–Muller with the spare normal cached in
+    /// [`Simulation::spare_z`]) instead of through a distribution
+    /// object, so each request costs half a Box–Muller on average.
+    service_params: Vec<(f64, f64)>,
+    /// The unused second Box–Muller normal from the last service-time
+    /// draw. `z` is parameter-free, so the spare is shared across jobs.
+    spare_z: Option<f64>,
     /// Fault schedule; [`FaultPlan::none`] (the default) injects
     /// nothing and leaves the run byte-identical to the pre-fault-layer
     /// simulator.
@@ -141,7 +147,7 @@ impl Simulation {
         }
         let mut jobs = Vec::with_capacity(setups.len());
         let mut rates = Vec::with_capacity(setups.len());
-        let mut service_dists = Vec::with_capacity(setups.len());
+        let mut service_params = Vec::with_capacity(setups.len());
         for s in setups {
             if s.spec.processing_time.is_nan() || s.spec.processing_time <= 0.0 {
                 return Err(Error::InvalidSetup(format!(
@@ -165,10 +171,13 @@ impl Simulation {
             let cv = config.service_cv.max(1e-6);
             let sigma = (1.0 + cv * cv).ln().sqrt();
             let mu = s.spec.processing_time.ln() - sigma * sigma / 2.0;
-            service_dists.push(
-                LogNormal::new(mu, sigma)
-                    .map_err(|e| Error::InvalidSetup(format!("bad service dist: {e}")))?,
-            );
+            if !mu.is_finite() || !sigma.is_finite() {
+                return Err(Error::InvalidSetup(format!(
+                    "bad service dist for job {}: mu {mu}, sigma {sigma}",
+                    s.spec.name
+                )));
+            }
+            service_params.push((mu, sigma));
             jobs.push(JobRuntime::new(
                 s.spec,
                 s.initial_replicas,
@@ -184,7 +193,8 @@ impl Simulation {
             jobs,
             rates,
             duration_minutes,
-            service_dists,
+            service_params,
+            spare_z: None,
             faults: FaultPlan::none(),
             effective_quota,
             stale_obs: (0..n_jobs).map(|_| None).collect(),
@@ -254,7 +264,63 @@ impl Simulation {
         queue.push(0, Event::MinuteBoundary { minute: 0 });
         queue.push(0, Event::PolicyTick);
 
-        while let Some((now, event)) = queue.pop() {
+        // Per-job calendar of the current minute's arrival times,
+        // sorted ascending (exponential inter-arrival gaps generate
+        // them in order). Arrivals never enter the heap: the loop top
+        // merges the earliest calendar entry against the heap's
+        // earliest event, so the heap's standing population stays at
+        // O(busy replicas + control events) and every push and pop is
+        // shallow and cache-resident.
+        let mut minute_arrivals: Vec<Vec<Micros>> = vec![Vec::new(); self.jobs.len()];
+        let mut arrival_idx: Vec<usize> = vec![0; self.jobs.len()];
+        // `next_arrival[j]`: the job's earliest pending arrival time,
+        // `Micros::MAX` when its calendar is exhausted.
+        let mut next_arrival: Vec<Micros> = vec![Micros::MAX; self.jobs.len()];
+
+        // Cached argmin over `next_arrival`: recomputed only when a
+        // calendar entry changes (an arrival is consumed or a minute
+        // boundary refills the calendars), so completion-heavy
+        // stretches pay a single comparison per event instead of a
+        // per-job scan.
+        let argmin = |next: &[Micros]| -> (Micros, usize) {
+            let mut at = Micros::MAX;
+            let mut aj = 0usize;
+            for (j, &t) in next.iter().enumerate() {
+                if t < at {
+                    at = t;
+                    aj = j;
+                }
+            }
+            (at, aj)
+        };
+        let (mut arr_at, mut arr_job) = (Micros::MAX, 0usize);
+        loop {
+            if arr_at < queue.peek_time().unwrap_or(Micros::MAX) {
+                let (at, aj) = (arr_at, arr_job);
+                if at >= end {
+                    break;
+                }
+                let idx = arrival_idx[aj] + 1;
+                arrival_idx[aj] = idx;
+                next_arrival[aj] = minute_arrivals[aj].get(idx).copied().unwrap_or(Micros::MAX);
+                (arr_at, arr_job) = argmin(&next_arrival);
+                // The explicit-drop decision only needs randomness when
+                // a drop rate is actually in force; most policies never
+                // set one, so skipping the draw saves a generator call
+                // per request.
+                let sample = if self.jobs[aj].drop_rate() > 0.0 {
+                    rng.gen::<f64>()
+                } else {
+                    1.0
+                };
+                if self.jobs[aj].on_arrival(at, sample) == ArrivalOutcome::Queued {
+                    self.dispatch_job(aj, at, &mut queue, &mut rng);
+                }
+                continue;
+            }
+            let Some((now, event)) = queue.pop() else {
+                break;
+            };
             if now >= end {
                 break;
             }
@@ -266,19 +332,34 @@ impl Simulation {
                             job.on_minute_boundary();
                         }
                     }
-                    // Schedule this minute's arrivals per job.
+                    // Generate this minute's arrivals per job: a
+                    // Poisson process as exponential inter-arrival
+                    // gaps, which yields the calendar already sorted
+                    // (no separate count draw, offset pass, or sort).
                     for (j, rates) in self.rates.iter().enumerate() {
                         let rate = rates.get(minute).copied().unwrap_or(0.0);
+                        let buf = &mut minute_arrivals[j];
+                        debug_assert_eq!(
+                            arrival_idx[j],
+                            buf.len(),
+                            "all of last minute's arrivals precede its boundary"
+                        );
+                        buf.clear();
+                        arrival_idx[j] = 0;
                         if rate > 0.0 && rate.is_finite() {
-                            let count = Poisson::new(rate)
-                                .map(|p| p.sample(&mut rng) as usize)
-                                .unwrap_or(0);
-                            for _ in 0..count {
-                                let offset = (rng.gen::<f64>() * 60e6) as u64;
-                                queue.push(now + offset, Event::Arrival { job: j });
+                            let gap_scale = 60e6 / rate;
+                            let mut t = now as f64;
+                            loop {
+                                t += -(1.0 - rng.gen::<f64>()).ln() * gap_scale;
+                                if t >= (now + 60_000_000) as f64 {
+                                    break;
+                                }
+                                buf.push(t as Micros);
                             }
                         }
+                        next_arrival[j] = buf.first().copied().unwrap_or(Micros::MAX);
                     }
+                    (arr_at, arr_job) = argmin(&next_arrival);
                     if minute + 1 < self.duration_minutes {
                         queue.push(
                             now + 60_000_000,
@@ -286,15 +367,11 @@ impl Simulation {
                         );
                     }
                 }
-                Event::Arrival { job } => {
-                    let sample = rng.gen::<f64>();
-                    let outcome = self.jobs[job].on_arrival(now, sample);
-                    if outcome == ArrivalOutcome::Queued {
-                        self.dispatch_job(job, now, &mut queue, &mut rng);
-                    }
-                }
-                Event::Completion { job, replica } => {
-                    let service = self.service_dists[job].sample(&mut rng);
+                Event::Completion {
+                    job,
+                    replica,
+                    service,
+                } => {
                     let _alive = self.jobs[job].on_completion(now, replica, service);
                     self.dispatch_job(job, now, &mut queue, &mut rng);
                 }
@@ -369,13 +446,29 @@ impl Simulation {
     }
 
     fn dispatch_job(&mut self, job: usize, now: Micros, queue: &mut EventQueue, rng: &mut StdRng) {
-        for d in self.jobs[job].dispatch(now) {
-            let service = self.service_dists[job].sample(rng).max(1e-6);
+        while let Some(d) = self.jobs[job].dispatch_one(now) {
+            // Box–Muller produces two independent normals per pair of
+            // uniforms; the spare is parameter-free, so consecutive
+            // draws (across jobs) each cost half a transform.
+            let z = match self.spare_z.take() {
+                Some(z) => z,
+                None => {
+                    let u1 = 1.0 - rng.gen::<f64>(); // (0, 1]: safe for ln().
+                    let u2 = rng.gen::<f64>();
+                    let r = (-2.0 * u1.ln()).sqrt();
+                    let (sin, cos) = (core::f64::consts::TAU * u2).sin_cos();
+                    self.spare_z = Some(r * sin);
+                    r * cos
+                }
+            };
+            let (mu, sigma) = self.service_params[job];
+            let service = (mu + sigma * z).exp().max(1e-6);
             queue.push(
                 now + micros(service),
                 Event::Completion {
                     job,
                     replica: d.replica,
+                    service,
                 },
             );
         }
@@ -449,7 +542,10 @@ impl Simulation {
                             obs.recent_arrival_rate = f64::NAN;
                             obs.recent_tail_latency = f64::NAN;
                             let cut = (m.start_secs / 60.0).floor() as usize;
-                            for v in obs.arrival_rate_history.iter_mut().skip(cut) {
+                            // Detach from the runtime's shared history
+                            // before poisoning the outage window.
+                            let history = std::sync::Arc::make_mut(&mut obs.arrival_rate_history);
+                            for v in history.iter_mut().skip(cut) {
                                 *v = f64::NAN;
                             }
                         }

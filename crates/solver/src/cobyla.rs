@@ -86,7 +86,7 @@ fn merit(e: &Eval, mu: f64) -> f64 {
 }
 
 impl Solver for Cobyla {
-    fn solve(&self, problem: &dyn Problem, x0: &[f64]) -> Result<Solution> {
+    fn solve(&self, problem: &(dyn Problem + Sync), x0: &[f64]) -> Result<Solution> {
         problem.validate(x0)?;
         let n = problem.dim();
         let m = problem.num_constraints();

@@ -5,6 +5,13 @@
 //! cost. Constraint handling follows Deb's feasibility rules: feasible
 //! beats infeasible, lower violation beats higher violation, and among
 //! feasible candidates the lower objective wins.
+//!
+//! This is the *synchronous* generational variant: every trial vector of
+//! a generation is derived from the previous generation's population
+//! (and from one shared RNG stream, sequentially), then all trials are
+//! evaluated concurrently on scoped threads, then selection is applied
+//! in index order. Results are therefore deterministic for a given seed
+//! regardless of how many threads evaluate the population.
 
 use crate::error::{Error, Result};
 use crate::problem::{Problem, Solution};
@@ -61,8 +68,54 @@ impl Individual {
     }
 }
 
+/// Evaluates one candidate point.
+fn assess_one(problem: &(dyn Problem + Sync), num_constraints: usize, x: Vec<f64>) -> Individual {
+    let f = problem.objective(&x);
+    let mut c = vec![0.0; num_constraints];
+    problem.constraints(&x, &mut c);
+    let violation: f64 = c.iter().map(|&ci| (-ci).max(0.0)).sum();
+    let f = if f.is_nan() { f64::INFINITY } else { f };
+    Individual { x, f, violation }
+}
+
+/// Evaluates a whole candidate batch, fanning the work across scoped
+/// threads. Output order matches input order, so selection stays
+/// deterministic regardless of the thread count.
+fn assess_all(
+    problem: &(dyn Problem + Sync),
+    xs: Vec<Vec<f64>>,
+    evals: &mut usize,
+) -> Vec<Individual> {
+    *evals += xs.len();
+    let m = problem.num_constraints();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(xs.len());
+    if threads <= 1 {
+        return xs.into_iter().map(|x| assess_one(problem, m, x)).collect();
+    }
+    let chunk = xs.len().div_ceil(threads);
+    let per_chunk: Vec<Vec<Individual>> = std::thread::scope(|s| {
+        let handles: Vec<_> = xs
+            .chunks(chunk)
+            .map(|c| {
+                s.spawn(move || {
+                    c.iter()
+                        .map(|x| assess_one(problem, m, x.clone()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("DE evaluation thread panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
 impl Solver for DifferentialEvolution {
-    fn solve(&self, problem: &dyn Problem, x0: &[f64]) -> Result<Solution> {
+    fn solve(&self, problem: &(dyn Problem + Sync), x0: &[f64]) -> Result<Solution> {
         problem.validate(x0)?;
         let n = problem.dim();
         let bounds = problem.bounds();
@@ -74,30 +127,24 @@ impl Solver for DifferentialEvolution {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut evals = 0usize;
 
-        let mut assess = |x: Vec<f64>| -> Individual {
-            let f = problem.objective(&x);
-            let mut c = vec![0.0; problem.num_constraints()];
-            problem.constraints(&x, &mut c);
-            evals += 1;
-            let violation: f64 = c.iter().map(|&ci| (-ci).max(0.0)).sum();
-            let f = if f.is_nan() { f64::INFINITY } else { f };
-            Individual { x, f, violation }
-        };
-
-        // Population: x0 plus uniform random points in the box.
-        let mut pop: Vec<Individual> = Vec::with_capacity(np);
+        // Population: x0 plus uniform random points in the box. Points
+        // are drawn sequentially (one RNG stream), then evaluated
+        // concurrently.
         let mut seed_point = x0.to_vec();
         crate::problem::clamp_into_bounds(&mut seed_point, &bounds);
-        pop.push(assess(seed_point));
+        let mut init: Vec<Vec<f64>> = Vec::with_capacity(np);
+        init.push(seed_point);
+        for _ in 1..np {
+            init.push(
+                bounds
+                    .iter()
+                    .map(|&(lo, hi)| if lo < hi { rng.gen_range(lo..hi) } else { lo })
+                    .collect(),
+            );
+        }
+        let mut pop = assess_all(problem, init, &mut evals);
         if pop[0].f.is_infinite() && pop[0].violation == 0.0 && problem.objective(x0).is_nan() {
             return Err(Error::NanObjective);
-        }
-        for _ in 1..np {
-            let x: Vec<f64> = bounds
-                .iter()
-                .map(|&(lo, hi)| if lo < hi { rng.gen_range(lo..hi) } else { lo })
-                .collect();
-            pop.push(assess(x));
         }
 
         let mut best = pop
@@ -110,7 +157,10 @@ impl Solver for DifferentialEvolution {
 
         for _gen in 0..self.max_generations {
             generations += 1;
-            let mut improved = false;
+            // Variation: every trial vector is derived from the
+            // previous generation's population, sequentially from the
+            // single RNG stream.
+            let mut trials: Vec<Vec<f64>> = Vec::with_capacity(np);
             for i in 0..np {
                 // Three distinct random indices, none equal to i.
                 let mut pick = || loop {
@@ -129,7 +179,13 @@ impl Solver for DifferentialEvolution {
                         trial[j] = v.clamp(lo, hi);
                     }
                 }
-                let cand = assess(trial);
+                trials.push(trial);
+            }
+            // Evaluation: the expensive part, fanned across cores.
+            let cands = assess_all(problem, trials, &mut evals);
+            // Selection: index order, against the previous generation.
+            let mut improved = false;
+            for (i, cand) in cands.into_iter().enumerate() {
                 if cand.beats(&pop[i]) {
                     if cand.beats(&best) {
                         best = cand.clone();

@@ -52,6 +52,11 @@ pub use neldermead::NelderMead;
 pub use problem::{BoxedProblem, Problem, Solution};
 
 /// A constrained minimizer.
+///
+/// Problems must be `Sync`: population-based solvers evaluate many
+/// candidates concurrently from borrowed scoped threads. Objective
+/// evaluation takes `&self`, so any interior caching a problem does
+/// must already be thread-safe.
 pub trait Solver {
     /// Minimizes `problem` starting from `x0`.
     ///
@@ -59,7 +64,7 @@ pub trait Solver {
     ///
     /// Fails when `x0` has the wrong dimension or the problem is
     /// malformed (empty bounds, inverted bounds).
-    fn solve(&self, problem: &dyn Problem, x0: &[f64]) -> Result<Solution>;
+    fn solve(&self, problem: &(dyn Problem + Sync), x0: &[f64]) -> Result<Solution>;
 }
 
 /// Maximum constraint violation at `x` (zero when feasible).

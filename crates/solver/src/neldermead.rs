@@ -37,7 +37,7 @@ impl Default for NelderMead {
 }
 
 impl Solver for NelderMead {
-    fn solve(&self, problem: &dyn Problem, x0: &[f64]) -> Result<Solution> {
+    fn solve(&self, problem: &(dyn Problem + Sync), x0: &[f64]) -> Result<Solution> {
         problem.validate(x0)?;
         let n = problem.dim();
         let bounds = problem.bounds();

@@ -219,11 +219,11 @@ fn forecaster_feeds_autoscaler() {
     let mut faro = FaroAutoscaler::new(cfg, predictors);
 
     let obs = JobObservation {
-        spec: JobSpec::resnet34("nn-driven"),
+        spec: std::sync::Arc::new(JobSpec::resnet34("nn-driven")),
         target_replicas: 1,
         ready_replicas: 1,
         queue_len: 0,
-        arrival_rate_history: series[series.len() - 15..].to_vec(),
+        arrival_rate_history: std::sync::Arc::new(series[series.len() - 15..].to_vec()),
         recent_arrival_rate: 10.0,
         mean_processing_time: 0.18,
         recent_tail_latency: 0.2,

@@ -36,7 +36,9 @@ impl Bencher {
 }
 
 fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { nanos_per_iter: 0.0 };
+    let mut b = Bencher {
+        nanos_per_iter: 0.0,
+    };
     f(&mut b);
     let per_iter = b.nanos_per_iter;
     let (value, unit) = if per_iter >= 1e9 {

@@ -81,11 +81,7 @@ macro_rules! tuple_strategy_impl {
     )+};
 }
 
-tuple_strategy_impl!(
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3),
-);
+tuple_strategy_impl!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 
 /// Strategy produced by [`prop::collection::vec`].
 pub struct VecStrategy<S> {

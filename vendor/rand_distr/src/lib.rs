@@ -162,10 +162,7 @@ mod tests {
     fn moments_are_sane() {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 20_000;
-        let mean: f64 = (0..n)
-            .map(|_| StandardNormal.sample(&mut rng))
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 = (0..n).map(|_| StandardNormal.sample(&mut rng)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "normal mean {mean}");
 
         let p = Poisson::new(12.5).unwrap();

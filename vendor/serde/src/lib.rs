@@ -33,6 +33,14 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: ?Sized> Deserialize for std::sync::Arc<T> {}
+
 impl Serialize for bool {
     fn serialize_json(&self, out: &mut String) {
         out.push_str(if *self { "true" } else { "false" });

@@ -184,9 +184,7 @@ fn parse_variant(toks: &[TokenTree]) -> Result<Variant, String> {
                 .collect::<Result<Vec<_>, _>>()?,
         ),
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-            return Err(format!(
-                "serde stub: tuple variant `{name}` is unsupported"
-            ))
+            return Err(format!("serde stub: tuple variant `{name}` is unsupported"))
         }
         _ => None,
     };
@@ -229,15 +227,9 @@ fn gen_serialize(item: &Item) -> String {
                         let mut arm = format!(
                             "{name}::{} {{ {}.. }} => {{\n",
                             v.name,
-                            binds
-                                .iter()
-                                .map(|b| format!("{b}, "))
-                                .collect::<String>()
+                            binds.iter().map(|b| format!("{b}, ")).collect::<String>()
                         );
-                        arm.push_str(&format!(
-                            "out.push_str(\"{{\\\"{}\\\":{{\");\n",
-                            v.name
-                        ));
+                        arm.push_str(&format!("out.push_str(\"{{\\\"{}\\\":{{\");\n", v.name));
                         for (k, b) in binds.iter().enumerate() {
                             if k > 0 {
                                 arm.push_str("out.push(',');\n");
