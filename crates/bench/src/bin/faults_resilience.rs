@@ -76,7 +76,9 @@ fn scenarios(n_jobs: usize) -> Vec<(&'static str, FaultPlan)> {
                 metric_outage: Some(MetricOutage {
                     start_secs: 900.0,
                     duration_secs: 900.0,
-                    jobs: (0..n_jobs.div_ceil(2)).collect(),
+                    jobs: (0..n_jobs.div_ceil(2))
+                        .map(faro_core::types::JobId::new)
+                        .collect(),
                     mode: MetricOutageMode::Missing,
                 }),
                 ..FaultPlan::none()

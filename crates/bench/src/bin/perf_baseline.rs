@@ -2,11 +2,14 @@
 //! to `BENCH_perf.json` so every PR has a perf trajectory to compare
 //! against.
 //!
-//! Measures the three hot paths that dominate every figure binary:
+//! Measures the three hot paths that dominate every figure binary,
+//! plus the control-plane overhead:
 //!   1. simulator throughput (events/sec, Aiad policy — no solver),
 //!   2. per-solve latency (10-job relaxed COBYLA solve, Faro's config),
 //!   3. end-to-end fig15-style sweep wall-clock (9 policies x sizes,
-//!      flat predictors so solver+simulator dominate, not training).
+//!      flat predictors so solver+simulator dominate, not training),
+//!   4. bare reconciler rounds/sec over a no-op backend (the cost the
+//!      Observe -> Decide -> Admit -> Actuate loop adds per tick).
 //!
 //! Usage: `cargo run --release -p faro-bench --bin perf_baseline`
 //!   FARO_QUICK=1        smaller workload (CI smoke)
@@ -19,8 +22,12 @@
 use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec};
 use faro_bench::policies::PolicyKind;
 use faro_bench::workloads::WorkloadSet;
+use faro_control::{ActuationReport, Clock, ClusterBackend, Reconciler};
+use faro_core::admission::ClampToQuota;
+use faro_core::baselines::FairShare;
 use faro_core::opt::{Fidelity, JobWorkload, MultiTenantProblem};
 use faro_core::types::ResourceModel;
+use faro_core::types::{ClusterSnapshot, DesiredState, JobObservation, JobSpec};
 use faro_core::ClusterObjective;
 use faro_sim::{SimConfig, Simulation};
 use faro_solver::Cobyla;
@@ -45,6 +52,10 @@ struct PerfEntry {
     solve_evals_mean: f64,
     /// End-to-end fig15-style sweep wall-clock (seconds).
     fig15_sweep_secs: f64,
+    /// Bare reconciler rounds per second over a no-op backend
+    /// (control-plane overhead: snapshot hand-off, policy decide,
+    /// admission, actuation dispatch — no event processing).
+    control_loop_rounds_per_sec: f64,
 }
 
 /// Simulator throughput: 10 jobs, Aiad (cheap policy), no solver —
@@ -126,6 +137,71 @@ fn measure_sweep(quick: bool) -> f64 {
     elapsed
 }
 
+/// Control-plane overhead: reconcile rounds/sec with a no-op backend
+/// whose observe() hands back a pre-built 10-job snapshot, under
+/// FairShare + quota admission. Isolates what the reconciler itself
+/// costs per tick, excluding all event processing.
+fn measure_control_loop(quick: bool) -> f64 {
+    struct NoopBackend {
+        rounds: u64,
+        limit: u64,
+        snapshot: ClusterSnapshot,
+    }
+    impl Clock for NoopBackend {
+        fn now(&self) -> f64 {
+            self.rounds as f64 * 10.0
+        }
+        fn advance(&mut self) -> Option<f64> {
+            if self.rounds >= self.limit {
+                return None;
+            }
+            self.rounds += 1;
+            Some(self.now())
+        }
+    }
+    impl ClusterBackend for NoopBackend {
+        fn observe(&mut self) -> ClusterSnapshot {
+            self.snapshot.clone()
+        }
+        fn apply(&mut self, desired: &DesiredState) -> ActuationReport {
+            ActuationReport {
+                jobs_applied: desired.len() as u32,
+                replicas_started: 0,
+            }
+        }
+    }
+    let jobs: Vec<JobObservation> = (0..10)
+        .map(|j| JobObservation {
+            spec: std::sync::Arc::new(JobSpec::resnet34(format!("perf{j}"))),
+            target_replicas: 4,
+            ready_replicas: 4,
+            queue_len: 0,
+            arrival_rate_history: std::sync::Arc::new(vec![300.0; 180]),
+            recent_arrival_rate: 5.0,
+            mean_processing_time: 0.18,
+            recent_tail_latency: 0.2,
+            drop_rate: 0.0,
+        })
+        .collect();
+    let snapshot = ClusterSnapshot {
+        now: 0.0,
+        resources: ResourceModel::replicas(40),
+        jobs,
+    };
+    let limit = if quick { 20_000 } else { 100_000 };
+    let mut backend = NoopBackend {
+        rounds: 0,
+        limit,
+        snapshot,
+    };
+    let mut reconciler = Reconciler::new(Box::new(FairShare), Box::new(ClampToQuota));
+    let start = Instant::now();
+    let stats = reconciler.run(&mut backend);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(stats.rounds, limit);
+    stats.rounds as f64 / elapsed
+}
+
 /// Appends `entry_json` to the JSON array in `path`, preserving any
 /// existing entries byte-for-byte (the vendored serde stub has no JSON
 /// parser, so this splices text).
@@ -160,6 +236,10 @@ fn main() {
     let fig15_sweep_secs = measure_sweep(quick);
     eprintln!("  {fig15_sweep_secs:.2} s end-to-end");
 
+    eprintln!("measuring control-loop overhead...");
+    let control_loop_rounds_per_sec = measure_control_loop(quick);
+    eprintln!("  {control_loop_rounds_per_sec:.0} rounds/s");
+
     let entry = PerfEntry {
         label,
         unix_time_secs: std::time::SystemTime::now()
@@ -172,6 +252,7 @@ fn main() {
         solve_ms_mean,
         solve_evals_mean,
         fig15_sweep_secs,
+        control_loop_rounds_per_sec,
     };
     let json = serde_json::to_string(&entry).expect("entry serializes");
     append_entry(&path, &json).expect("BENCH_perf.json is writable");

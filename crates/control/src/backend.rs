@@ -1,0 +1,32 @@
+//! The actuation surface a control plane drives.
+
+use crate::clock::Clock;
+use faro_core::types::{ClusterSnapshot, DesiredState};
+
+/// What one actuation round did to the cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActuationReport {
+    /// Jobs whose decision was applied (absent jobs are untouched).
+    pub jobs_applied: u32,
+    /// New replicas that started cold-starting this round.
+    pub replicas_started: u32,
+}
+
+/// A cluster that can be observed and actuated — the boundary between
+/// the control plane and the world.
+///
+/// The discrete-event simulator implements this (`SimBackend` in
+/// `faro-sim`); a kube-rs backend would implement the same surface
+/// against a real cluster, leaving the reconciler and every policy
+/// unchanged. The [`Clock`] supertrait paces the loop: `advance()`
+/// brings the backend to the next reconcile round.
+pub trait ClusterBackend: Clock {
+    /// A consistent snapshot of the cluster at the current time.
+    fn observe(&mut self) -> ClusterSnapshot;
+
+    /// Actuates the desired state: scales each listed job toward its
+    /// target and sets its drop rate. Jobs absent from `desired` are
+    /// left untouched. Applying the same state twice is a no-op on
+    /// cluster state.
+    fn apply(&mut self, desired: &DesiredState) -> ActuationReport;
+}

@@ -1,0 +1,17 @@
+//! The pacing abstraction that decouples the reconciler from time.
+
+/// Paces reconcile rounds.
+///
+/// The reconciler never sleeps or pumps events itself; it asks the
+/// clock to advance to the next round. A simulated clock drains its
+/// discrete-event queue until the next policy tick pops; a wall clock
+/// would sleep until the next interval boundary.
+pub trait Clock {
+    /// Current time in seconds since the start of the run.
+    fn now(&self) -> f64;
+
+    /// Advances to the next reconcile round, returning its time, or
+    /// `None` once the run horizon is reached (the reconciler then
+    /// stops).
+    fn advance(&mut self) -> Option<f64>;
+}

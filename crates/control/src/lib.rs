@@ -1,0 +1,46 @@
+//! The backend-agnostic control plane (paper Sec. 4.1).
+//!
+//! The paper deploys Faro as a Kubernetes control loop — observe the
+//! cluster, solve for a desired allocation, actuate it through the
+//! resource quota — layered over Ray Serve. This crate is that loop
+//! with the cluster abstracted away:
+//!
+//! ```text
+//!            +------------------------------- Reconciler ----+
+//!            |                                               |
+//!            |  observe()   decide()     admit()    apply()  |
+//!            |  Snapshot -> Desired  -> Admitted -> Report   |
+//!            |     ^          |            |          |      |
+//!            +-----|----------|------------|----------|------+
+//!                  |       Policy      Admission       v
+//!            +----------------- ClusterBackend ---------------+
+//!            |  faro-sim SimBackend | mock | kube-rs (future) |
+//!            +-----------------------------------------------+
+//! ```
+//!
+//! * [`Clock`] paces reconcile rounds: a simulated clock drains a
+//!   discrete-event queue until the next policy tick, a wall clock
+//!   sleeps until the next interval.
+//! * [`ClusterBackend`] is the actuation surface: `observe()` returns a
+//!   typed [`faro_core::ClusterSnapshot`], `apply()` actuates a
+//!   [`faro_core::DesiredState`] keyed by [`faro_core::JobId`].
+//! * [`Reconciler`] composes a [`faro_core::Policy`] with an
+//!   [`faro_core::Admission`] strategy and runs
+//!   Observe → Decide → Admit → Actuate until the clock runs out,
+//!   accumulating [`RunStats`] (including the granted-vs-requested
+//!   admission accounting that quota enforcement used to swallow).
+//!
+//! The discrete-event simulator (`faro-sim`) provides the first
+//! backend; `examples/custom_backend.rs` in the workspace root drives
+//! the same reconciler against a mock with no simulator dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod clock;
+pub mod reconciler;
+
+pub use backend::{ActuationReport, ClusterBackend};
+pub use clock::Clock;
+pub use reconciler::{AdmissionStats, ReconcileOutcome, Reconciler, RunStats};

@@ -13,9 +13,10 @@
 //! after 5 min of sustained underload (the suggested values the paper
 //! adopts for both the baselines and Faro's short-term autoscaler).
 
-use crate::policy::{admit_quota, enforce_quota, Policy};
+use crate::admission::{Admission, ClampToQuota, RotatingQuota};
+use crate::policy::Policy;
 use crate::predictor::RatePredictor;
-use crate::types::{ClusterSnapshot, JobDecision};
+use crate::types::{ClusterSnapshot, DesiredState, JobDecision};
 
 /// Default sustained-overload threshold before scale-up (seconds).
 pub const UP_THRESHOLD_SECS: f64 = 30.0;
@@ -61,17 +62,22 @@ impl Policy for FairShare {
         "FairShare"
     }
 
-    fn decide(&mut self, snapshot: &ClusterSnapshot) -> Vec<JobDecision> {
+    fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState {
         let n = snapshot.jobs.len().max(1) as u32;
         let share = (snapshot.replica_quota() / n).max(1);
-        let mut out = vec![
-            JobDecision {
-                target_replicas: share,
-                drop_rate: 0.0
-            };
-            snapshot.jobs.len()
-        ];
-        enforce_quota(&mut out, snapshot.replica_quota());
+        let mut out: DesiredState = snapshot
+            .job_ids()
+            .map(|id| {
+                (
+                    id,
+                    JobDecision {
+                        target_replicas: share,
+                        drop_rate: 0.0,
+                    },
+                )
+            })
+            .collect();
+        ClampToQuota.admit(snapshot, &mut out);
         out
     }
 }
@@ -81,7 +87,7 @@ impl Policy for FairShare {
 pub struct Oneshot {
     persistence: Persistence,
     current: Vec<JobDecision>,
-    ticks: usize,
+    admission: RotatingQuota,
 }
 
 impl Policy for Oneshot {
@@ -89,7 +95,7 @@ impl Policy for Oneshot {
         "Oneshot"
     }
 
-    fn decide(&mut self, snapshot: &ClusterSnapshot) -> Vec<JobDecision> {
+    fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState {
         if self.current.len() != snapshot.jobs.len() {
             self.current = snapshot.jobs.iter().map(JobDecision::keep).collect();
         }
@@ -112,11 +118,12 @@ impl Policy for Oneshot {
                 self.persistence.underload_secs[i] = 0.0;
             }
         }
-        self.ticks += 1;
-        let prev: Vec<u32> = snapshot.jobs.iter().map(|j| j.target_replicas).collect();
-        let mut out = self.current.clone();
-        admit_quota(&mut out, &prev, snapshot.replica_quota(), self.ticks);
-        self.current = out.clone();
+        let mut out: DesiredState = snapshot
+            .job_ids()
+            .zip(self.current.iter().copied())
+            .collect();
+        self.admission.admit(snapshot, &mut out);
+        self.current = out.iter().map(|(_, d)| d).collect();
         out
     }
 }
@@ -126,7 +133,7 @@ impl Policy for Oneshot {
 pub struct Aiad {
     persistence: Persistence,
     current: Vec<JobDecision>,
-    ticks: usize,
+    admission: RotatingQuota,
 }
 
 impl Policy for Aiad {
@@ -134,7 +141,7 @@ impl Policy for Aiad {
         "AIAD"
     }
 
-    fn decide(&mut self, snapshot: &ClusterSnapshot) -> Vec<JobDecision> {
+    fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState {
         if self.current.len() != snapshot.jobs.len() {
             self.current = snapshot.jobs.iter().map(JobDecision::keep).collect();
         }
@@ -149,11 +156,12 @@ impl Policy for Aiad {
                 self.persistence.underload_secs[i] = 0.0;
             }
         }
-        self.ticks += 1;
-        let prev: Vec<u32> = snapshot.jobs.iter().map(|j| j.target_replicas).collect();
-        let mut out = self.current.clone();
-        admit_quota(&mut out, &prev, snapshot.replica_quota(), self.ticks);
-        self.current = out.clone();
+        let mut out: DesiredState = snapshot
+            .job_ids()
+            .zip(self.current.iter().copied())
+            .collect();
+        self.admission.admit(snapshot, &mut out);
+        self.current = out.iter().map(|(_, d)| d).collect();
         out
     }
 }
@@ -173,7 +181,7 @@ pub struct MarkCocktailBarista {
     last_plan: Option<f64>,
     persistence: Persistence,
     current: Vec<JobDecision>,
-    ticks: usize,
+    admission: RotatingQuota,
 }
 
 impl MarkCocktailBarista {
@@ -186,7 +194,7 @@ impl MarkCocktailBarista {
             last_plan: None,
             persistence: Persistence::default(),
             current: Vec::new(),
-            ticks: 0,
+            admission: RotatingQuota::new(),
         }
     }
 }
@@ -196,7 +204,7 @@ impl Policy for MarkCocktailBarista {
         "Mark/Cocktail/Barista"
     }
 
-    fn decide(&mut self, snapshot: &ClusterSnapshot) -> Vec<JobDecision> {
+    fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState {
         if self.current.len() != snapshot.jobs.len() {
             self.current = snapshot.jobs.iter().map(JobDecision::keep).collect();
         }
@@ -240,11 +248,12 @@ impl Policy for MarkCocktailBarista {
                 }
             }
         }
-        self.ticks += 1;
-        let prev: Vec<u32> = snapshot.jobs.iter().map(|j| j.target_replicas).collect();
-        let mut out = self.current.clone();
-        admit_quota(&mut out, &prev, snapshot.replica_quota(), self.ticks);
-        self.current = out.clone();
+        let mut out: DesiredState = snapshot
+            .job_ids()
+            .zip(self.current.iter().copied())
+            .collect();
+        self.admission.admit(snapshot, &mut out);
+        self.current = out.iter().map(|(_, d)| d).collect();
         out
     }
 }
@@ -253,7 +262,11 @@ impl Policy for MarkCocktailBarista {
 mod tests {
     use super::*;
     use crate::predictor::FlatPredictor;
-    use crate::types::{JobObservation, JobSpec, ResourceModel};
+    use crate::types::{JobId, JobObservation, JobSpec, ResourceModel};
+
+    fn t0(ds: &DesiredState) -> u32 {
+        ds.get(JobId::new(0)).unwrap().target_replicas
+    }
 
     fn obs(rate_per_min: f64, target: u32, tail: f64) -> JobObservation {
         JobObservation {
@@ -281,7 +294,7 @@ mod tests {
     fn fairshare_splits_equally() {
         let mut p = FairShare;
         let ds = p.decide(&snap(0.0, 32, vec![obs(1.0, 1, 0.1); 10]));
-        assert!(ds.iter().all(|d| d.target_replicas == 3));
+        assert!(ds.targets().all(|t| t == 3));
     }
 
     #[test]
@@ -290,12 +303,12 @@ mod tests {
         // latency 2.88 = 4x the 0.72 SLO.
         let mut target = 2;
         let d = p.decide(&snap(0.0, 64, vec![obs(600.0, target, 2.88)]));
-        target = d[0].target_replicas;
+        target = t0(&d);
         assert_eq!(target, 2, "no jump before 30 s sustained");
         let d = p.decide(&snap(15.0, 64, vec![obs(600.0, target, 2.88)]));
-        target = d[0].target_replicas;
+        target = t0(&d);
         let d = p.decide(&snap(30.0, 64, vec![obs(600.0, target, 2.88)]));
-        assert_eq!(d[0].target_replicas, 8, "4x jump in one shot: {d:?}");
+        assert_eq!(t0(&d), 8, "4x jump in one shot: {d:?}");
     }
 
     #[test]
@@ -305,11 +318,11 @@ mod tests {
         // Underloaded (latency 0.18 = SLO/4) but only after 5 min.
         for t in [0.0, 60.0, 120.0, 240.0] {
             let d = p.decide(&snap(t, 64, vec![obs(10.0, target, 0.18)]));
-            target = d[0].target_replicas;
+            target = t0(&d);
             assert_eq!(target, 16, "no downscale before 5 min (t={t})");
         }
         let d = p.decide(&snap(301.0, 64, vec![obs(10.0, target, 0.18)]));
-        assert!(d[0].target_replicas <= 4, "proportional downscale: {d:?}");
+        assert!(t0(&d) <= 4, "proportional downscale: {d:?}");
     }
 
     #[test]
@@ -317,14 +330,14 @@ mod tests {
         let mut p = Aiad::default();
         let mut target = 4;
         let d = p.decide(&snap(0.0, 64, vec![obs(600.0, target, 2.0)]));
-        target = d[0].target_replicas;
+        target = t0(&d);
         let d = p.decide(&snap(30.0, 64, vec![obs(600.0, target, 2.0)]));
-        assert_eq!(d[0].target_replicas, 5, "additive increase");
+        assert_eq!(t0(&d), 5, "additive increase");
         // Underload for 5 min drops one.
-        let mut target = d[0].target_replicas;
+        let mut target = t0(&d);
         for t in [60.0, 200.0, 331.0] {
             let d = p.decide(&snap(t, 64, vec![obs(1.0, target, 0.1)]));
-            target = d[0].target_replicas;
+            target = t0(&d);
         }
         assert_eq!(target, 4, "additive decrease");
     }
@@ -338,7 +351,7 @@ mod tests {
         })];
         let mut p = MarkCocktailBarista::new(predictors);
         let d = p.decide(&snap(0.0, 64, vec![obs(2400.0, 1, 0.1)]));
-        assert_eq!(d[0].target_replicas, 8, "{d:?}");
+        assert_eq!(t0(&d), 8, "{d:?}");
     }
 
     #[test]
@@ -350,17 +363,10 @@ mod tests {
         let mut p = MarkCocktailBarista::new(predictors);
         let d0 = p.decide(&snap(0.0, 64, vec![obs(2400.0, 1, 0.1)]));
         // Load drops but the plan is sticky until the next interval.
-        let d1 = p.decide(&snap(60.0, 64, vec![obs(60.0, d0[0].target_replicas, 0.1)]));
-        assert_eq!(d1[0].target_replicas, d0[0].target_replicas);
-        let d2 = p.decide(&snap(
-            301.0,
-            64,
-            vec![obs(60.0, d1[0].target_replicas, 0.1)],
-        ));
-        assert!(
-            d2[0].target_replicas < d0[0].target_replicas,
-            "replanned down"
-        );
+        let d1 = p.decide(&snap(60.0, 64, vec![obs(60.0, t0(&d0), 0.1)]));
+        assert_eq!(t0(&d1), t0(&d0));
+        let d2 = p.decide(&snap(301.0, 64, vec![obs(60.0, t0(&d1), 0.1)]));
+        assert!(t0(&d2) < t0(&d0), "replanned down");
     }
 
     #[test]
@@ -374,12 +380,8 @@ mod tests {
         ] {
             let _ = p.decide(&snap(0.0, 8, jobs.clone()));
             let ds = p.decide(&snap(31.0, 8, jobs.clone()));
-            assert!(
-                ds.iter().map(|d| d.target_replicas).sum::<u32>() <= 8,
-                "{}: {ds:?}",
-                p.name()
-            );
-            assert!(ds.iter().all(|d| d.target_replicas >= 3), "holdings kept");
+            assert!(ds.total_replicas() <= 8, "{}: {ds:?}", p.name());
+            assert!(ds.targets().all(|t| t >= 3), "holdings kept");
         }
     }
 }

@@ -13,8 +13,9 @@
 //! rate forecaster refit each planning round on the last 60 minutes, and
 //! a greedy utility allocation under the quota.
 
-use crate::policy::{enforce_quota, Policy};
-use crate::types::{ClusterSnapshot, JobDecision};
+use crate::admission::{Admission, ClampToQuota};
+use crate::policy::Policy;
+use crate::types::{ClusterSnapshot, DesiredState, JobDecision};
 use faro_forecast::arma::Ar;
 use faro_forecast::Forecaster;
 
@@ -135,7 +136,7 @@ impl Policy for CilantroLike {
         "Cilantro-like"
     }
 
-    fn decide(&mut self, snapshot: &ClusterSnapshot) -> Vec<JobDecision> {
+    fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState {
         let n = snapshot.jobs.len();
         if self.current.len() != n {
             self.current = snapshot.jobs.iter().map(JobDecision::keep).collect();
@@ -194,9 +195,12 @@ impl Policy for CilantroLike {
                 d.target_replicas = alloc[i];
             }
         }
-        let mut out = self.current.clone();
-        enforce_quota(&mut out, snapshot.replica_quota());
-        self.current = out.clone();
+        let mut out: DesiredState = snapshot
+            .job_ids()
+            .zip(self.current.iter().copied())
+            .collect();
+        ClampToQuota.admit(snapshot, &mut out);
+        self.current = out.iter().map(|(_, d)| d).collect();
         out
     }
 }
@@ -204,7 +208,11 @@ impl Policy for CilantroLike {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::{JobObservation, JobSpec, ResourceModel};
+    use crate::types::{JobId, JobObservation, JobSpec, ResourceModel};
+
+    fn t0(ds: &DesiredState) -> u32 {
+        ds.get(JobId::new(0)).unwrap().target_replicas
+    }
 
     fn obs(rate_per_min: f64, target: u32, tail: f64) -> JobObservation {
         JobObservation {
@@ -235,7 +243,7 @@ mod tests {
         // the slow-adaptation pathology of Figure 2.
         let mut p = CilantroLike::default();
         let ds = p.decide(&snap(0.0, 32, vec![obs(2400.0, 1, 0.1)]));
-        assert!(ds[0].target_replicas <= 2, "optimistic cold start: {ds:?}");
+        assert!(t0(&ds) <= 2, "optimistic cold start: {ds:?}");
     }
 
     #[test]
@@ -247,7 +255,7 @@ mod tests {
         for k in 0..40 {
             let t = k as f64 * 10.0;
             let ds = p.decide(&snap(t, 32, vec![obs(2400.0, target, 3.0)]));
-            target = ds[0].target_replicas;
+            target = t0(&ds);
         }
         // After two planning rounds with populated bins, the allocation
         // must have moved above the optimistic initial one.
@@ -273,6 +281,6 @@ mod tests {
         let mut p = CilantroLike::default();
         let jobs = (0..4).map(|_| obs(2400.0, 4, 3.0)).collect();
         let ds = p.decide(&snap(0.0, 8, jobs));
-        assert!(ds.iter().map(|d| d.target_replicas).sum::<u32>() <= 16);
+        assert!(ds.total_replicas() <= 16);
     }
 }

@@ -20,13 +20,14 @@
 //! SLO has been violated for [`FaroConfig::reactive_threshold`] seconds,
 //! and never scales down.
 
+use crate::admission::{Admission, ClampToQuota};
 use crate::error::Result;
 use crate::hierarchical::solve_hierarchical;
 use crate::objective::ClusterObjective;
 use crate::opt::{Fidelity, JobWorkload, LatencyModel, MultiTenantProblem};
-use crate::policy::{enforce_quota, Policy};
+use crate::policy::Policy;
 use crate::predictor::{sanitize_history, RatePredictor};
-use crate::types::{ClusterSnapshot, JobDecision};
+use crate::types::{ClusterSnapshot, DesiredState, JobDecision};
 use crate::utility::RelaxedUtility;
 use faro_queueing::RelaxedLatency;
 use faro_solver::Cobyla;
@@ -385,7 +386,7 @@ impl Policy for FaroAutoscaler {
         &self.name
     }
 
-    fn decide(&mut self, snapshot: &ClusterSnapshot) -> Vec<JobDecision> {
+    fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState {
         let n = snapshot.jobs.len();
         if self.current.len() != n {
             self.current = snapshot.jobs.iter().map(JobDecision::keep).collect();
@@ -437,13 +438,16 @@ impl Policy for FaroAutoscaler {
             self.reactive(snapshot, dt);
         }
 
-        let mut out = self.current.clone();
-        enforce_quota(&mut out, snapshot.replica_quota());
+        let mut out: DesiredState = snapshot
+            .job_ids()
+            .zip(self.current.iter().copied())
+            .collect();
+        ClampToQuota.admit(snapshot, &mut out);
         if self.config.resilience {
             // Record the applied (clamped) targets so the next tick's
             // churn detection can tell a voluntary shrink or quota
             // clamp from a crash.
-            for (d, prev) in out.iter().zip(self.prev_applied.iter_mut()) {
+            for ((_, d), prev) in out.iter().zip(self.prev_applied.iter_mut()) {
                 *prev = d.target_replicas;
             }
         } else {
@@ -451,7 +455,7 @@ impl Policy for FaroAutoscaler {
             // the carried state. The resilient variant instead keeps
             // its desired state so capacity snaps back the moment a
             // node outage ends.
-            self.current = out.clone();
+            self.current = out.iter().map(|(_, d)| d).collect();
         }
         out
     }
@@ -493,6 +497,10 @@ mod tests {
         }
     }
 
+    fn t0(ds: &DesiredState) -> u32 {
+        ds.get(crate::types::JobId::new(0)).unwrap().target_replicas
+    }
+
     fn faro(objective: ClusterObjective, n_jobs: usize) -> FaroAutoscaler {
         let predictors: Vec<Box<dyn RatePredictor>> = (0..n_jobs)
             .map(|_| {
@@ -513,10 +521,13 @@ mod tests {
         let snap = snapshot(0.0, 32, vec![obs(2400.0, 1, 0.1), obs(300.0, 1, 0.1)]);
         let ds = f.decide(&snap);
         assert_eq!(ds.len(), 2);
-        assert!(ds[0].target_replicas > ds[1].target_replicas, "{ds:?}");
-        assert!(ds.iter().map(|d| d.target_replicas).sum::<u32>() <= 32);
+        assert!(
+            t0(&ds) > ds.get(crate::types::JobId::new(1)).unwrap().target_replicas,
+            "{ds:?}"
+        );
+        assert!(ds.total_replicas() <= 32);
         // 2400/min = 40/s at 180 ms needs ~8+ replicas.
-        assert!(ds[0].target_replicas >= 8, "{ds:?}");
+        assert!(t0(&ds) >= 8, "{ds:?}");
     }
 
     #[test]
@@ -524,31 +535,23 @@ mod tests {
         let mut f = faro(ClusterObjective::Sum, 1);
         let d0 = f.decide(&snapshot(0.0, 16, vec![obs(1200.0, 1, 0.1)]));
         // 10 s later with a huge rate change: long-term must NOT rerun.
-        let d1 = f.decide(&snapshot(
-            10.0,
-            16,
-            vec![obs(6000.0, d0[0].target_replicas, 0.1)],
-        ));
-        assert_eq!(d0[0].target_replicas, d1[0].target_replicas);
+        let d1 = f.decide(&snapshot(10.0, 16, vec![obs(6000.0, t0(&d0), 0.1)]));
+        assert_eq!(t0(&d0), t0(&d1));
         // 300 s later it must rerun and scale up.
-        let d2 = f.decide(&snapshot(
-            300.0,
-            16,
-            vec![obs(6000.0, d1[0].target_replicas, 0.1)],
-        ));
-        assert!(d2[0].target_replicas > d1[0].target_replicas, "{d2:?}");
+        let d2 = f.decide(&snapshot(300.0, 16, vec![obs(6000.0, t0(&d1), 0.1)]));
+        assert!(t0(&d2) > t0(&d1), "{d2:?}");
     }
 
     #[test]
     fn reactive_upscales_after_sustained_violation() {
         let mut f = faro(ClusterObjective::Sum, 1);
         let d0 = f.decide(&snapshot(0.0, 16, vec![obs(600.0, 1, 0.1)]));
-        let base = d0[0].target_replicas;
+        let base = t0(&d0);
         // Three 10 s ticks of violation -> 30 s sustained -> +1.
         let mut last = base;
         for (i, t) in [10.0, 20.0, 30.0].iter().enumerate() {
             let d = f.decide(&snapshot(*t, 16, vec![obs(600.0, last, 5.0)]));
-            last = d[0].target_replicas;
+            last = t0(&d);
             if i < 2 {
                 assert_eq!(last, base, "no upscale before the threshold");
             }
@@ -560,11 +563,11 @@ mod tests {
     fn reactive_never_downscales() {
         let mut f = faro(ClusterObjective::Sum, 1);
         let d0 = f.decide(&snapshot(0.0, 16, vec![obs(1200.0, 1, 0.1)]));
-        let base = d0[0].target_replicas;
+        let base = t0(&d0);
         // Healthy latency for many short ticks: replicas must not drop.
         for t in [10.0, 20.0, 30.0, 40.0] {
             let d = f.decide(&snapshot(t, 16, vec![obs(10.0, base, 0.05)]));
-            assert!(d[0].target_replicas >= base);
+            assert!(t0(&d) >= base);
         }
     }
 
@@ -576,10 +579,10 @@ mod tests {
         cfg.samples = 4;
         let mut f = FaroAutoscaler::new(cfg, predictors);
         let d0 = f.decide(&snapshot(0.0, 16, vec![obs(600.0, 1, 0.1)]));
-        let base = d0[0].target_replicas;
+        let base = t0(&d0);
         for t in [10.0, 20.0, 30.0, 40.0, 50.0] {
             let d = f.decide(&snapshot(t, 16, vec![obs(600.0, base, 9.0)]));
-            assert_eq!(d[0].target_replicas, base, "reactive disabled");
+            assert_eq!(t0(&d), base, "reactive disabled");
         }
     }
 
@@ -588,8 +591,8 @@ mod tests {
         let mut f = faro(ClusterObjective::FairSum { gamma: 4.0 }, 4);
         let jobs = (0..4).map(|_| obs(3000.0, 1, 0.1)).collect();
         let ds = f.decide(&snapshot(0.0, 12, jobs));
-        assert!(ds.iter().map(|d| d.target_replicas).sum::<u32>() <= 12);
-        assert!(ds.iter().all(|d| d.target_replicas >= 1));
+        assert!(ds.total_replicas() <= 12);
+        assert!(ds.targets().all(|t| t >= 1));
     }
 
     fn faro_resilient(objective: ClusterObjective, n_jobs: usize) -> FaroAutoscaler {
@@ -635,10 +638,10 @@ mod tests {
         // max() as *zero load*, so the plain autoscaler strips the job.
         let run = |mut f: FaroAutoscaler| {
             let d0 = f.decide(&snapshot(0.0, 32, vec![obs(2400.0, 1, 0.1)]));
-            let base = d0[0].target_replicas;
+            let base = t0(&d0);
             assert!(base >= 8, "healthy solve sizes for the load: {base}");
             let d1 = f.decide(&snapshot(300.0, 32, vec![corrupt(obs(2400.0, base, 0.1))]));
-            d1[0].target_replicas
+            t0(&d1)
         };
         let plain = run(faro(ClusterObjective::Sum, 1));
         let resilient = run(faro_resilient(ClusterObjective::Sum, 1));
@@ -653,7 +656,7 @@ mod tests {
     fn nan_tail_holds_the_violation_clock() {
         let mut f = faro_resilient(ClusterObjective::Sum, 1);
         let d0 = f.decide(&snapshot(0.0, 16, vec![obs(600.0, 1, 0.1)]));
-        let base = d0[0].target_replicas;
+        let base = t0(&d0);
         // 20 s of violation, then a NaN scrape, then more violation:
         // the clock must not reset at the NaN tick.
         let o = |tail: f64| obs(600.0, base, tail);
@@ -664,7 +667,7 @@ mod tests {
         f.decide(&snapshot(30.0, 16, vec![gap]));
         let d = f.decide(&snapshot(40.0, 16, vec![o(5.0)]));
         assert_eq!(
-            d[0].target_replicas,
+            t0(&d),
             base + 1,
             "30 s of accumulated violation crossed the threshold"
         );
@@ -679,34 +682,33 @@ mod tests {
         };
         // Plain: a single violated tick is far below the 30 s threshold.
         let mut plain = faro(ClusterObjective::Sum, 1);
-        let base = plain.decide(&snapshot(0.0, 16, vec![obs(600.0, 1, 0.1)]))[0].target_replicas;
+        let base = t0(&plain.decide(&snapshot(0.0, 16, vec![obs(600.0, 1, 0.1)])));
         let d = plain.decide(&snapshot(10.0, 16, vec![mk_obs(base)]));
-        assert_eq!(d[0].target_replicas, base, "plain variant waits 30 s");
+        assert_eq!(t0(&d), base, "plain variant waits 30 s");
         // Resilient: violation + visible deficit upscales immediately,
         // but only once per threshold interval.
         let mut res = faro_resilient(ClusterObjective::Sum, 1);
-        let base = res.decide(&snapshot(0.0, 16, vec![obs(600.0, 1, 0.1)]))[0].target_replicas;
+        let base = t0(&res.decide(&snapshot(0.0, 16, vec![obs(600.0, 1, 0.1)])));
         let d = res.decide(&snapshot(10.0, 16, vec![mk_obs(base)]));
-        assert_eq!(d[0].target_replicas, base + 1, "fast path fired");
+        assert_eq!(t0(&d), base + 1, "fast path fired");
         let d = res.decide(&snapshot(20.0, 16, vec![mk_obs(base + 1)]));
-        assert_eq!(d[0].target_replicas, base + 1, "rate-limited");
+        assert_eq!(t0(&d), base + 1, "rate-limited");
     }
 
     #[test]
     fn churn_headroom_pads_after_involuntary_loss() {
         let seq = |mut f: FaroAutoscaler| {
-            let base = f.decide(&snapshot(0.0, 32, vec![obs(600.0, 1, 0.1)]))[0].target_replicas;
+            let base = t0(&f.decide(&snapshot(0.0, 32, vec![obs(600.0, 1, 0.1)])));
             assert!(base >= 2);
             f.decide(&snapshot(10.0, 32, vec![obs(600.0, base, 0.1)]));
             // A replica dies while latency is still healthy: no
             // violation, so only loss detection can react.
             let mut crashed = obs(600.0, base, 0.1);
             crashed.ready_replicas = base - 1;
-            let d20 = f.decide(&snapshot(20.0, 32, vec![crashed]))[0].target_replicas;
+            let d20 = t0(&f.decide(&snapshot(20.0, 32, vec![crashed])));
             // Next long-term solve, same load and the same solver
             // starting point for both variants.
-            let d300 =
-                f.decide(&snapshot(300.0, 32, vec![obs(600.0, base, 0.1)]))[0].target_replicas;
+            let d300 = t0(&f.decide(&snapshot(300.0, 32, vec![obs(600.0, base, 0.1)])));
             (base, d20, d300)
         };
         let (pb, p20, p300) = seq(faro(ClusterObjective::Sum, 1));
@@ -722,18 +724,14 @@ mod tests {
         let heavy = 2400.0;
         let run = |mut f: FaroAutoscaler| {
             let d0 = f.decide(&snapshot(0.0, 32, vec![obs(heavy, 1, 0.1)]));
-            let base = d0[0].target_replicas;
+            let base = t0(&d0);
             assert!(base >= 8);
             // A node outage halves the quota for one tick.
             let d1 = f.decide(&snapshot(10.0, 4, vec![obs(heavy, base, 0.1)]));
-            assert!(d1[0].target_replicas <= 4, "clamped during the outage");
+            assert!(t0(&d1) <= 4, "clamped during the outage");
             // Outage over; no long-term solve is due until t=300.
-            let d2 = f.decide(&snapshot(
-                20.0,
-                32,
-                vec![obs(heavy, d1[0].target_replicas, 0.1)],
-            ));
-            (base, d2[0].target_replicas)
+            let d2 = f.decide(&snapshot(20.0, 32, vec![obs(heavy, t0(&d1), 0.1)]));
+            (base, t0(&d2))
         };
         let (base, after) = run(faro_resilient(ClusterObjective::Sum, 1));
         assert_eq!(after, base, "desired state snaps back instantly");
@@ -760,6 +758,6 @@ mod tests {
             .collect();
         let ds = f.decide(&snapshot(0.0, 60, jobs));
         assert_eq!(ds.len(), n);
-        assert!(ds.iter().map(|d| d.target_replicas).sum::<u32>() <= 60);
+        assert!(ds.total_replicas() <= 60);
     }
 }

@@ -18,13 +18,15 @@
 //! - [`faro`]: the staged hybrid autoscaler (Sec. 4).
 //! - [`baselines`] and [`cilantro`]: every comparison policy of the
 //!   paper's evaluation (Table 6, Figure 2).
+//! - [`admission`]: pluggable quota-admission strategies composed with
+//!   any policy by the `faro-control` reconciler (Sec. 4.1).
 //!
 //! # Examples
 //!
 //! ```
 //! use faro_core::baselines::FairShare;
 //! use faro_core::policy::Policy;
-//! use faro_core::types::{ClusterSnapshot, JobObservation, JobSpec, ResourceModel};
+//! use faro_core::types::{ClusterSnapshot, JobId, JobObservation, JobSpec, ResourceModel};
 //!
 //! let job = JobObservation {
 //!     spec: std::sync::Arc::new(JobSpec::resnet34("demo")),
@@ -42,13 +44,14 @@
 //!     resources: ResourceModel::replicas(8),
 //!     jobs: vec![job],
 //! };
-//! let decisions = FairShare.decide(&snapshot);
-//! assert_eq!(decisions[0].target_replicas, 8);
+//! let desired = FairShare.decide(&snapshot);
+//! assert_eq!(desired.get(JobId::new(0)).unwrap().target_replicas, 8);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod baselines;
 pub mod cilantro;
 pub mod error;
@@ -62,8 +65,11 @@ pub mod predictor;
 pub mod types;
 pub mod utility;
 
+pub use admission::{Admission, AdmissionOutcome, ClampToQuota, OutageClamp, RotatingQuota};
 pub use error::{Error, Result};
 pub use faro::{FaroAutoscaler, FaroConfig};
 pub use objective::ClusterObjective;
 pub use policy::Policy;
-pub use types::{ClusterSnapshot, JobDecision, JobObservation, JobSpec, ResourceModel, Slo};
+pub use types::{
+    ClusterSnapshot, DesiredState, JobDecision, JobId, JobObservation, JobSpec, ResourceModel, Slo,
+};

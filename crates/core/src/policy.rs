@@ -1,154 +1,22 @@
 //! The autoscaling-policy interface shared by Faro and every baseline.
 //!
-//! The simulator (or a real control plane) calls [`Policy::decide`] at a
-//! fixed tick (Faro's reactive interval, 10 s); each policy applies its
-//! own internal cadence on top.
+//! The reconciler (driving a simulated or real control plane) calls
+//! [`Policy::decide`] at a fixed tick (Faro's reactive interval, 10 s);
+//! each policy applies its own internal cadence on top. Quota
+//! enforcement is not part of this interface: policies that clamp or
+//! admit their own output compose with an
+//! [`Admission`](crate::admission::Admission) strategy internally, and
+//! the reconciler applies a cluster-level admission on top.
 
-use crate::types::{ClusterSnapshot, JobDecision};
+use crate::types::{ClusterSnapshot, DesiredState};
 
 /// An autoscaling policy.
 pub trait Policy: Send {
     /// Display name (matches the paper's policy names).
     fn name(&self) -> &str;
 
-    /// Produces one decision per job in the snapshot. Implementations
-    /// must return exactly `snapshot.jobs.len()` decisions.
-    fn decide(&mut self, snapshot: &ClusterSnapshot) -> Vec<JobDecision>;
-}
-
-/// Clamps a set of decisions into the cluster quota: replica targets are
-/// floored at 1 and, if the total exceeds the quota, reduced round-robin
-/// starting from the largest allocation.
-pub fn enforce_quota(decisions: &mut [JobDecision], quota: u32) {
-    for d in decisions.iter_mut() {
-        d.target_replicas = d.target_replicas.max(1);
-        d.drop_rate = d.drop_rate.clamp(0.0, 1.0);
-    }
-    let mut total: u32 = decisions.iter().map(|d| d.target_replicas).sum();
-    while total > quota {
-        // Trim the currently largest allocation (but never below 1).
-        let Some(max_idx) = decisions
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.target_replicas > 1)
-            .max_by_key(|(_, d)| d.target_replicas)
-            .map(|(i, _)| i)
-        else {
-            break;
-        };
-        decisions[max_idx].target_replicas -= 1;
-        total -= 1;
-    }
-}
-
-/// Kubernetes-style quota *admission* for reactive policies: each job
-/// keeps `min(desired, previous)` replicas unconditionally (downscales
-/// always succeed), and requested increases are admitted in rotating
-/// job order while quota remains — mirroring pods racing into a
-/// resource quota. This is what lets an aggressive scaler (Oneshot)
-/// starve its neighbours, as the paper observes.
-pub fn admit_quota(decisions: &mut [JobDecision], prev: &[u32], quota: u32, rotate: usize) {
-    let n = decisions.len();
-    if n == 0 {
-        return;
-    }
-    let mut granted: Vec<u32> = decisions
-        .iter()
-        .zip(prev)
-        .map(|(d, &p)| d.target_replicas.clamp(1, p.max(1)))
-        .collect();
-    let mut total: u32 = granted.iter().sum();
-    // Admit increases in rotating order.
-    for k in 0..n {
-        let i = (rotate + k) % n;
-        let want = decisions[i].target_replicas.max(1);
-        while granted[i] < want && total < quota {
-            granted[i] += 1;
-            total += 1;
-        }
-    }
-    for (d, g) in decisions.iter_mut().zip(granted) {
-        d.target_replicas = g;
-        d.drop_rate = d.drop_rate.clamp(0.0, 1.0);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn d(n: u32) -> JobDecision {
-        JobDecision {
-            target_replicas: n,
-            drop_rate: 0.0,
-        }
-    }
-
-    #[test]
-    fn admission_is_first_come_first_served() {
-        // Quota 10, both jobs at 2, both want 8: the rotation-first job
-        // gets its full request, the other only the remainder.
-        let mut ds = vec![d(8), d(8)];
-        admit_quota(&mut ds, &[2, 2], 10, 0);
-        assert_eq!(ds[0].target_replicas, 8);
-        assert_eq!(ds[1].target_replicas, 2);
-        let mut ds = vec![d(8), d(8)];
-        admit_quota(&mut ds, &[2, 2], 10, 1);
-        assert_eq!(ds[0].target_replicas, 2);
-        assert_eq!(ds[1].target_replicas, 8);
-    }
-
-    #[test]
-    fn admission_allows_downscale_and_reuses_freed_quota() {
-        // Job 0 shrinks 6 -> 1, freeing room for job 1 to grow 4 -> 9.
-        let mut ds = vec![d(1), d(12)];
-        admit_quota(&mut ds, &[6, 4], 10, 0);
-        assert_eq!(ds[0].target_replicas, 1);
-        assert_eq!(ds[1].target_replicas, 9);
-    }
-
-    #[test]
-    fn admission_preserves_existing_holdings() {
-        // A job never loses replicas it already holds unless it asks.
-        let mut ds = vec![d(6), d(6)];
-        admit_quota(&mut ds, &[6, 6], 8, 0);
-        assert_eq!(ds[0].target_replicas, 6);
-        assert_eq!(ds[1].target_replicas, 6);
-    }
-
-    #[test]
-    fn quota_trims_largest_first() {
-        let mut ds = vec![d(10), d(2), d(4)];
-        enforce_quota(&mut ds, 12);
-        assert_eq!(ds.iter().map(|x| x.target_replicas).sum::<u32>(), 12);
-        // The largest allocation absorbed the cuts.
-        assert!(ds[0].target_replicas <= 10);
-        assert!(ds[1].target_replicas >= 2);
-    }
-
-    #[test]
-    fn quota_keeps_minimum_one() {
-        let mut ds = vec![d(1), d(1), d(1)];
-        enforce_quota(&mut ds, 2);
-        // Cannot go below 1 each; total stays 3 (quota unsatisfiable).
-        assert!(ds.iter().all(|x| x.target_replicas == 1));
-    }
-
-    #[test]
-    fn zero_targets_raised_to_one() {
-        let mut ds = vec![d(0), d(5)];
-        enforce_quota(&mut ds, 6);
-        assert_eq!(ds[0].target_replicas, 1);
-        assert_eq!(ds[1].target_replicas, 5);
-    }
-
-    #[test]
-    fn drop_rates_clamped() {
-        let mut ds = vec![JobDecision {
-            target_replicas: 1,
-            drop_rate: 1.7,
-        }];
-        enforce_quota(&mut ds, 4);
-        assert_eq!(ds[0].drop_rate, 1.0);
-    }
+    /// Produces the desired cluster state for this round. Jobs absent
+    /// from the returned state keep their current allocation; the
+    /// policies shipped here always cover every job in the snapshot.
+    fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState;
 }

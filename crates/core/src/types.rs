@@ -2,10 +2,37 @@
 //! decisions.
 
 use serde::{Deserialize, Serialize};
+use std::collections::btree_map;
+use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
-/// Identifier of a job (one pre-trained model receiving queries).
-pub type JobId = usize;
+/// Typed identifier of a job (one pre-trained model receiving queries).
+///
+/// Wraps the job's position in the cluster's job list so a decision can
+/// never be applied to the wrong job through positional off-by-one:
+/// every control-plane API keys on `JobId`, not slice order. Not
+/// serialized anywhere — reports key jobs by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(usize);
+
+impl JobId {
+    /// Wraps a raw job index.
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The raw index, for slicing into per-job storage.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
 
 /// A latency service-level objective: a target and a percentile
 /// (paper Sec. 3.1).
@@ -153,6 +180,16 @@ impl ClusterSnapshot {
     pub fn total_target_replicas(&self) -> u32 {
         self.jobs.iter().map(|j| j.target_replicas).sum()
     }
+
+    /// Identifiers of every job in the snapshot, in ascending order.
+    pub fn job_ids(&self) -> impl Iterator<Item = JobId> + '_ {
+        (0..self.jobs.len()).map(JobId::new)
+    }
+
+    /// The observation for one job, if present.
+    pub fn job(&self, id: JobId) -> Option<&JobObservation> {
+        self.jobs.get(id.index())
+    }
 }
 
 /// A policy's decision for one job.
@@ -172,6 +209,102 @@ impl JobDecision {
             target_replicas: obs.target_replicas,
             drop_rate: obs.drop_rate,
         }
+    }
+}
+
+/// The control plane's desired cluster state: one [`JobDecision`] per
+/// job, keyed by [`JobId`].
+///
+/// This is what a [`crate::Policy`] emits and what a backend actuates.
+/// Jobs absent from the map are left untouched by actuation, so a
+/// partial decider (e.g. a reactive booster) composes with a full one.
+/// Iteration is always in ascending `JobId` order, which keeps
+/// event-driven backends deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DesiredState {
+    decisions: BTreeMap<JobId, JobDecision>,
+}
+
+impl DesiredState {
+    /// An empty desired state (touches no job).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of jobs with a decision.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether no job has a decision.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Sets (or replaces) the decision for one job.
+    pub fn set(&mut self, id: JobId, decision: JobDecision) {
+        self.decisions.insert(id, decision);
+    }
+
+    /// The decision for one job, if present.
+    pub fn get(&self, id: JobId) -> Option<JobDecision> {
+        self.decisions.get(&id).copied()
+    }
+
+    /// Mutable access to the decision for one job.
+    pub fn get_mut(&mut self, id: JobId) -> Option<&mut JobDecision> {
+        self.decisions.get_mut(&id)
+    }
+
+    /// Whether a job has a decision.
+    pub fn contains(&self, id: JobId) -> bool {
+        self.decisions.contains_key(&id)
+    }
+
+    /// Decisions in ascending `JobId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, JobDecision)> + '_ {
+        self.decisions.iter().map(|(&id, &d)| (id, d))
+    }
+
+    /// Mutable decisions in ascending `JobId` order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (JobId, &mut JobDecision)> {
+        self.decisions.iter_mut().map(|(&id, d)| (id, d))
+    }
+
+    /// Replica targets in ascending `JobId` order (convenience for
+    /// tests and positional bookkeeping inside policies).
+    pub fn targets(&self) -> impl Iterator<Item = u32> + '_ {
+        self.decisions.values().map(|d| d.target_replicas)
+    }
+
+    /// Sum of replica targets across all decisions.
+    pub fn total_replicas(&self) -> u32 {
+        self.decisions.values().map(|d| d.target_replicas).sum()
+    }
+
+    /// A full-coverage state that keeps every job's current allocation.
+    pub fn keep_all(snapshot: &ClusterSnapshot) -> Self {
+        snapshot
+            .job_ids()
+            .zip(snapshot.jobs.iter().map(JobDecision::keep))
+            .collect()
+    }
+}
+
+impl FromIterator<(JobId, JobDecision)> for DesiredState {
+    fn from_iter<T: IntoIterator<Item = (JobId, JobDecision)>>(iter: T) -> Self {
+        Self {
+            decisions: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for DesiredState {
+    type Item = (JobId, JobDecision);
+    type IntoIter = btree_map::IntoIter<JobId, JobDecision>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.decisions.into_iter()
     }
 }
 
@@ -224,5 +357,28 @@ mod tests {
         };
         assert_eq!(snap.total_target_replicas(), 8);
         assert_eq!(snap.replica_quota(), 16);
+        assert_eq!(snap.job_ids().collect::<Vec<_>>().len(), 2);
+        assert_eq!(snap.job(JobId::new(1)).unwrap().target_replicas, 5);
+        assert!(snap.job(JobId::new(2)).is_none());
+    }
+
+    #[test]
+    fn desired_state_iterates_in_job_order() {
+        let mut ds = DesiredState::new();
+        let d = |n| JobDecision {
+            target_replicas: n,
+            drop_rate: 0.0,
+        };
+        ds.set(JobId::new(2), d(7));
+        ds.set(JobId::new(0), d(3));
+        assert_eq!(ds.len(), 2);
+        assert!(!ds.contains(JobId::new(1)));
+        assert_eq!(ds.get(JobId::new(2)).unwrap().target_replicas, 7);
+        assert_eq!(ds.targets().collect::<Vec<_>>(), vec![3, 7]);
+        assert_eq!(ds.total_replicas(), 10);
+        // Ascending JobId order regardless of insertion order.
+        let ids: Vec<_> = ds.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(format!("{}", JobId::new(4)), "job4");
     }
 }

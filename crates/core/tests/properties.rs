@@ -1,11 +1,53 @@
 //! Property-based tests for the Faro core building blocks.
 
+use faro_core::admission::{Admission, ClampToQuota, RotatingQuota};
 use faro_core::objective::{ClusterObjective, JobUtility};
 use faro_core::penalty::{phi, relaxed_penalty, step_penalty, PenaltyShape};
-use faro_core::policy::{admit_quota, enforce_quota};
-use faro_core::types::JobDecision;
+use faro_core::types::{
+    ClusterSnapshot, DesiredState, JobDecision, JobId, JobObservation, JobSpec, ResourceModel,
+};
 use faro_core::utility::{step_utility, RelaxedUtility};
 use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A snapshot whose jobs currently hold `prev` targets under `quota`.
+fn snap(prev: &[u32], quota: u32) -> ClusterSnapshot {
+    let jobs = prev
+        .iter()
+        .map(|&p| JobObservation {
+            spec: Arc::new(JobSpec::resnet34("p")),
+            target_replicas: p,
+            ready_replicas: p,
+            queue_len: 0,
+            arrival_rate_history: Arc::new(vec![]),
+            recent_arrival_rate: 0.0,
+            mean_processing_time: 0.18,
+            recent_tail_latency: 0.1,
+            drop_rate: 0.0,
+        })
+        .collect();
+    ClusterSnapshot {
+        now: 0.0,
+        resources: ResourceModel::replicas(quota),
+        jobs,
+    }
+}
+
+fn state(targets: &[u32]) -> DesiredState {
+    targets
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            (
+                JobId::new(i),
+                JobDecision {
+                    target_replicas: t,
+                    drop_rate: 0.0,
+                },
+            )
+        })
+        .collect()
+}
 
 proptest! {
     /// Relaxed utility is bounded, monotone in latency, and dominates
@@ -85,43 +127,49 @@ proptest! {
         }
     }
 
-    /// enforce_quota: output within quota when feasible, all >= 1,
-    /// total never increases.
+    /// ClampToQuota: output within quota when feasible, all >= 1,
+    /// the outcome's accounting matches the final state.
     #[test]
-    fn enforce_quota_contract(
+    fn clamp_admission_contract(
         targets in prop::collection::vec(0u32..20, 1..10),
         quota in 1u32..64,
     ) {
-        let mut ds: Vec<JobDecision> = targets
-            .iter()
-            .map(|&t| JobDecision { target_replicas: t, drop_rate: 0.0 })
-            .collect();
-        enforce_quota(&mut ds, quota);
-        let total: u32 = ds.iter().map(|d| d.target_replicas).sum();
+        let mut ds = state(&targets);
+        let zeros = vec![0u32; targets.len()];
+        let out = ClampToQuota.admit(&snap(&zeros, quota), &mut ds);
+        let total = ds.total_replicas();
         let n = ds.len() as u32;
-        prop_assert!(ds.iter().all(|d| d.target_replicas >= 1));
+        prop_assert!(ds.targets().all(|t| t >= 1));
         if quota >= n {
             prop_assert!(total <= quota.max(n), "total {total} quota {quota}");
         }
+        prop_assert_eq!(out.granted_replicas, total);
+        prop_assert_eq!(out.quota, quota);
+        prop_assert_eq!(out.unsatisfiable(), total > quota);
     }
 
-    /// admit_quota: never evicts holdings, never admits increases past
-    /// the quota, downscales always honoured.
+    /// RotatingQuota: never evicts holdings, never admits increases
+    /// past the quota, downscales always honoured — regardless of how
+    /// many rounds have advanced the rotation.
     #[test]
-    fn admit_quota_contract(
+    fn rotating_admission_contract(
         pairs in prop::collection::vec((1u32..12, 1u32..12), 1..8),
         quota in 4u32..40,
-        rotate in 0usize..8,
+        rounds in 1usize..8,
     ) {
         let prev: Vec<u32> = pairs.iter().map(|&(p, _)| p).collect();
-        let mut ds: Vec<JobDecision> = pairs
-            .iter()
-            .map(|&(_, want)| JobDecision { target_replicas: want, drop_rate: 0.0 })
-            .collect();
-        admit_quota(&mut ds, &prev, quota, rotate);
+        let wants: Vec<u32> = pairs.iter().map(|&(_, w)| w).collect();
+        let snapshot = snap(&prev, quota);
+        let mut admission = RotatingQuota::new();
+        let mut ds = DesiredState::new();
+        for _ in 0..rounds {
+            ds = state(&wants);
+            admission.admit(&snapshot, &mut ds);
+        }
         let prev_total: u32 = prev.iter().sum();
-        let total: u32 = ds.iter().map(|d| d.target_replicas).sum();
-        for (i, d) in ds.iter().enumerate() {
+        let total = ds.total_replicas();
+        for (i, (id, d)) in ds.iter().enumerate() {
+            prop_assert_eq!(id, JobId::new(i));
             let want = pairs[i].1;
             // Granted lies between min(want, prev) and want.
             prop_assert!(d.target_replicas >= want.min(prev[i]).max(1));

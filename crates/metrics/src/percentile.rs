@@ -299,7 +299,7 @@ mod tests {
             k in 0.0f64..=1.0,
         ) {
             let mut data = values;
-            data.extend(std::iter::repeat(f64::INFINITY).take(inf_count));
+            data.extend(std::iter::repeat_n(f64::INFINITY, inf_count));
             let mut sorted = data.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let expect = percentile_of_sorted(&sorted, k);

@@ -1,0 +1,523 @@
+//! The simulator as a [`ClusterBackend`]: the first backend behind the
+//! backend-agnostic control plane.
+//!
+//! [`SimBackend`] owns the discrete-event state of a run — the event
+//! queue, per-job runtimes, arrival calendars, fault injector, and
+//! RNG — and exposes it through the two `faro-control` traits:
+//!
+//! * [`Clock::advance`] drains events (arrivals, completions, replica
+//!   readiness, crashes, outage windows, minute boundaries) until the
+//!   next [`Event::PolicyTick`] pops, then returns its time. The
+//!   reconciler never sees an event; it only sees reconcile rounds.
+//! * [`ClusterBackend::observe`] builds the same [`ClusterSnapshot`]
+//!   the old monolithic loop handed to policies, including fault-plan
+//!   metric degradation (stale/missing scrapes).
+//! * [`ClusterBackend::apply`] actuates a [`DesiredState`]: sets drop
+//!   rates, scales each listed job toward its target (new replicas
+//!   enter cold start and get a crash time), and schedules the next
+//!   policy tick. Jobs absent from the desired state are untouched,
+//!   and re-applying a state the cluster already satisfies is a no-op.
+//!
+//! Event and RNG-draw ordering are bit-for-bit identical to the former
+//! in-loop actuation: `apply` pushes readiness/crash events in
+//! ascending [`JobId`] order and the next tick last, preserving the
+//! queue's insertion-sequence tie-break (including the collision where
+//! a cold start lands exactly on the next tick).
+
+use crate::events::{micros, seconds, Event, EventQueue, Micros};
+use crate::faults::{FaultInjector, MetricOutageMode};
+use crate::report::{cluster_report, utilities_from_minutes, ClusterReport, JobReport};
+use crate::runtime::{ArrivalOutcome, JobRuntime};
+use crate::simulator::{SimConfig, Simulation};
+use crate::Result;
+use faro_control::{ActuationReport, Clock, ClusterBackend};
+use faro_core::types::{ClusterSnapshot, DesiredState, JobId, JobObservation, ResourceModel};
+use faro_metrics::AvailabilityTracker;
+use rand::prelude::*;
+
+/// The discrete-event simulator behind the [`ClusterBackend`] surface.
+///
+/// Built by [`Simulation::into_backend`]; consumed by
+/// [`SimBackend::finish`], which flushes the final partial minute and
+/// builds the [`ClusterReport`].
+pub struct SimBackend {
+    config: SimConfig,
+    jobs: Vec<JobRuntime>,
+    rates: Vec<Vec<f64>>,
+    duration_minutes: usize,
+    service_params: Vec<(f64, f64)>,
+    spare_z: Option<f64>,
+    effective_quota: u32,
+    stale_obs: Vec<Option<JobObservation>>,
+    trackers: Vec<AvailabilityTracker>,
+    injector: Option<FaultInjector>,
+    queue: EventQueue,
+    rng: StdRng,
+    /// Per-job calendar of the current minute's arrival times, sorted
+    /// ascending (exponential inter-arrival gaps generate them in
+    /// order). Arrivals never enter the heap: [`Clock::advance`] merges
+    /// the earliest calendar entry against the heap's earliest event,
+    /// so the heap's standing population stays at O(busy replicas +
+    /// control events) and every push and pop is shallow and
+    /// cache-resident.
+    minute_arrivals: Vec<Vec<Micros>>,
+    arrival_idx: Vec<usize>,
+    /// `next_arrival[j]`: the job's earliest pending arrival time,
+    /// `Micros::MAX` when its calendar is exhausted.
+    next_arrival: Vec<Micros>,
+    /// Cached argmin over `next_arrival`: recomputed only when a
+    /// calendar entry changes, so completion-heavy stretches pay a
+    /// single comparison per event instead of a per-job scan.
+    arr_at: Micros,
+    arr_job: usize,
+    end: Micros,
+    tick: Micros,
+    cold: Micros,
+    now: Micros,
+    finished: bool,
+}
+
+impl SimBackend {
+    /// Primes a backend from a configured simulation: schedules
+    /// initial-fleet crash times and the outage window (when a fault
+    /// plan is attached), records the t=0 availability samples, and
+    /// seeds the queue with the first minute boundary and policy tick.
+    pub(crate) fn new(sim: Simulation) -> Result<Self> {
+        let Simulation {
+            config,
+            mut jobs,
+            rates,
+            duration_minutes,
+            service_params,
+            spare_z,
+            faults,
+            effective_quota,
+            stale_obs,
+            mut trackers,
+        } = sim;
+        let mut queue = EventQueue::new();
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x51b0_11fe);
+        let end: Micros = duration_minutes as u64 * 60_000_000;
+        let tick = micros(config.tick_secs);
+        let cold = micros(config.cold_start_secs);
+
+        // The fault layer is strictly opt-in: with an empty plan no
+        // injector exists, no fault events are scheduled, and no extra
+        // RNG stream is created.
+        let mut injector = if faults.is_none() {
+            None
+        } else {
+            Some(FaultInjector::new(faults.clone(), config.seed, jobs.len())?)
+        };
+        if let Some(inj) = injector.as_mut() {
+            // Every replica gets its crash time at creation, in creation
+            // order; the initial fleet counts as created at time zero.
+            for (j, job) in jobs.iter().enumerate() {
+                for replica in job.live_replica_ids() {
+                    if let Some(dt) = inj.crash_after() {
+                        queue.push(
+                            dt,
+                            Event::ReplicaCrash {
+                                job: JobId::new(j),
+                                replica,
+                            },
+                        );
+                    }
+                }
+            }
+            if let Some((start, outage_end, _)) = inj.outage_window() {
+                queue.push(start, Event::NodeOutageStart);
+                queue.push(outage_end, Event::NodeOutageEnd);
+            }
+        }
+        for (job, tracker) in jobs.iter_mut().zip(trackers.iter_mut()) {
+            tracker.observe(0.0, job.ready_replicas(), job.target());
+        }
+
+        // Prime the event queue.
+        queue.push(0, Event::MinuteBoundary { minute: 0 });
+        queue.push(0, Event::PolicyTick);
+
+        let n = jobs.len();
+        Ok(Self {
+            config,
+            jobs,
+            rates,
+            duration_minutes,
+            service_params,
+            spare_z,
+            effective_quota,
+            stale_obs,
+            trackers,
+            injector,
+            queue,
+            rng,
+            minute_arrivals: vec![Vec::new(); n],
+            arrival_idx: vec![0; n],
+            next_arrival: vec![Micros::MAX; n],
+            arr_at: Micros::MAX,
+            arr_job: 0,
+            end,
+            tick,
+            cold,
+            now: 0,
+            finished: false,
+        })
+    }
+
+    /// Recomputes the cached earliest pending arrival.
+    fn refresh_arrival_cursor(&mut self) {
+        let mut at = Micros::MAX;
+        let mut aj = 0usize;
+        for (j, &t) in self.next_arrival.iter().enumerate() {
+            if t < at {
+                at = t;
+                aj = j;
+            }
+        }
+        self.arr_at = at;
+        self.arr_job = aj;
+    }
+
+    fn dispatch_job(&mut self, job: usize, now: Micros) {
+        while let Some(d) = self.jobs[job].dispatch_one(now) {
+            // Box–Muller produces two independent normals per pair of
+            // uniforms; the spare is parameter-free, so consecutive
+            // draws (across jobs) each cost half a transform.
+            let z = match self.spare_z.take() {
+                Some(z) => z,
+                None => {
+                    let u1 = 1.0 - self.rng.gen::<f64>(); // (0, 1]: safe for ln().
+                    let u2 = self.rng.gen::<f64>();
+                    let r = (-2.0 * u1.ln()).sqrt();
+                    let (sin, cos) = (core::f64::consts::TAU * u2).sin_cos();
+                    self.spare_z = Some(r * sin);
+                    r * cos
+                }
+            };
+            let (mu, sigma) = self.service_params[job];
+            let service = (mu + sigma * z).exp().max(1e-6);
+            self.queue.push(
+                now + micros(service),
+                Event::Completion {
+                    job: JobId::new(job),
+                    replica: d.replica,
+                    service,
+                },
+            );
+        }
+    }
+
+    /// Records a `(ready, target)` availability sample for `job`.
+    fn observe_tracker(&mut self, job: usize, now: Micros) {
+        let ready = self.jobs[job].ready_replicas();
+        let target = self.jobs[job].target();
+        self.trackers[job].observe(seconds(now), ready, target);
+    }
+
+    /// Shrinks the effective quota and evicts replicas that no longer
+    /// fit, taking one at a time from the job with the most live
+    /// replicas (ties break toward the lowest index) and never leaving
+    /// any job below one replica.
+    fn begin_node_outage(&mut self, now: Micros) {
+        let Some((_, _, fraction)) = self.injector.as_ref().and_then(|i| i.outage_window()) else {
+            return;
+        };
+        let total = self.config.total_replicas;
+        let lost = (fraction * f64::from(total)).floor() as u32;
+        self.effective_quota = total.saturating_sub(lost).max(self.jobs.len() as u32);
+        loop {
+            let live_total: u32 = self.jobs.iter().map(|j| j.live_replicas()).sum();
+            if live_total <= self.effective_quota {
+                break;
+            }
+            let victim = self
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.live_replicas() > 1)
+                .max_by_key(|(i, j)| (j.live_replicas(), std::cmp::Reverse(*i)))
+                .map(|(i, _)| i);
+            let Some(v) = victim else {
+                break;
+            };
+            self.jobs[v].evict_newest(now, 1);
+        }
+        for j in 0..self.jobs.len() {
+            self.observe_tracker(j, now);
+        }
+    }
+
+    /// Generates one minute's arrival calendars and schedules the next
+    /// boundary.
+    fn on_minute_boundary(&mut self, now: Micros, minute: usize) {
+        // Finalize the minute that just ended (skip t=0).
+        if minute > 0 {
+            for job in &mut self.jobs {
+                job.on_minute_boundary();
+            }
+        }
+        // Generate this minute's arrivals per job: a Poisson process as
+        // exponential inter-arrival gaps, which yields the calendar
+        // already sorted (no separate count draw, offset pass, or
+        // sort).
+        for (j, rates) in self.rates.iter().enumerate() {
+            let rate = rates.get(minute).copied().unwrap_or(0.0);
+            let buf = &mut self.minute_arrivals[j];
+            debug_assert_eq!(
+                self.arrival_idx[j],
+                buf.len(),
+                "all of last minute's arrivals precede its boundary"
+            );
+            buf.clear();
+            self.arrival_idx[j] = 0;
+            if rate > 0.0 && rate.is_finite() {
+                let gap_scale = 60e6 / rate;
+                let mut t = now as f64;
+                loop {
+                    t += -(1.0 - self.rng.gen::<f64>()).ln() * gap_scale;
+                    if t >= (now + 60_000_000) as f64 {
+                        break;
+                    }
+                    buf.push(t as Micros);
+                }
+            }
+            self.next_arrival[j] = buf.first().copied().unwrap_or(Micros::MAX);
+        }
+        self.refresh_arrival_cursor();
+        if minute + 1 < self.duration_minutes {
+            self.queue.push(
+                now + 60_000_000,
+                Event::MinuteBoundary { minute: minute + 1 },
+            );
+        }
+    }
+
+    /// Flushes the final partial minute and builds the run report.
+    ///
+    /// Call after the clock has run out ([`Clock::advance`] returned
+    /// `None`); calling earlier reports the truncated run as-is.
+    pub fn finish(mut self, policy_name: &str) -> ClusterReport {
+        // Final partial-minute flush for accounting consistency.
+        for job in &mut self.jobs {
+            job.on_minute_boundary();
+        }
+        let alpha = self.config.report_alpha;
+        let end_secs = self.duration_minutes as f64 * 60.0;
+        let mut trackers = std::mem::take(&mut self.trackers);
+        let mut jobs = Vec::with_capacity(self.jobs.len());
+        for (job, tracker) in self.jobs.iter_mut().zip(trackers.iter_mut()) {
+            tracker.finish(end_secs);
+            let slo = job.spec.slo;
+            let tails = job.minute_percentiles(slo.percentile);
+            let arrivals = job.arrivals_per_minute().to_vec();
+            let drops = job.drops_per_minute().to_vec();
+            let (utility, effective) =
+                utilities_from_minutes(&tails, &arrivals, &drops, slo.latency, alpha);
+            let minutes = utility.len().max(1) as f64;
+            let acc = job.slo_accounting();
+            jobs.push(JobReport {
+                name: job.spec.name.clone(),
+                total_requests: acc.total(),
+                violations: acc.violations(),
+                drops: acc.drops(),
+                violation_rate: acc.violation_rate(),
+                mean_utility: utility.iter().sum::<f64>() / minutes,
+                mean_effective_utility: effective.iter().sum::<f64>() / minutes,
+                utility_per_minute: utility,
+                effective_utility_per_minute: effective,
+                arrivals_per_minute: arrivals,
+                crash_killed: job.crash_killed(),
+                availability: tracker.availability(),
+                mean_time_to_recover_secs: tracker.mean_time_to_recover().unwrap_or(0.0),
+                recoveries: tracker.recovery_count() as u64,
+            });
+        }
+        cluster_report(policy_name, self.config.total_replicas, jobs)
+    }
+}
+
+impl Clock for SimBackend {
+    fn now(&self) -> f64 {
+        seconds(self.now)
+    }
+
+    /// Drains the event stream until the next policy tick pops,
+    /// merging per-job arrival calendars against the heap at each
+    /// step. Returns `None` once the run horizon is reached or the
+    /// event stream is exhausted.
+    fn advance(&mut self) -> Option<f64> {
+        if self.finished {
+            return None;
+        }
+        loop {
+            if self.arr_at < self.queue.peek_time().unwrap_or(Micros::MAX) {
+                let (at, aj) = (self.arr_at, self.arr_job);
+                if at >= self.end {
+                    self.finished = true;
+                    return None;
+                }
+                let idx = self.arrival_idx[aj] + 1;
+                self.arrival_idx[aj] = idx;
+                self.next_arrival[aj] = self.minute_arrivals[aj]
+                    .get(idx)
+                    .copied()
+                    .unwrap_or(Micros::MAX);
+                self.refresh_arrival_cursor();
+                // The explicit-drop decision only needs randomness when
+                // a drop rate is actually in force; most policies never
+                // set one, so skipping the draw saves a generator call
+                // per request.
+                let sample = if self.jobs[aj].drop_rate() > 0.0 {
+                    self.rng.gen::<f64>()
+                } else {
+                    1.0
+                };
+                if self.jobs[aj].on_arrival(at, sample) == ArrivalOutcome::Queued {
+                    self.dispatch_job(aj, at);
+                }
+                continue;
+            }
+            let Some((now, event)) = self.queue.pop() else {
+                self.finished = true;
+                return None;
+            };
+            if now >= self.end {
+                self.finished = true;
+                return None;
+            }
+            match event {
+                Event::MinuteBoundary { minute } => self.on_minute_boundary(now, minute),
+                Event::Completion {
+                    job,
+                    replica,
+                    service,
+                } => {
+                    let j = job.index();
+                    let _alive = self.jobs[j].on_completion(now, replica, service);
+                    self.dispatch_job(j, now);
+                }
+                Event::ReplicaReady { job, replica } => {
+                    let j = job.index();
+                    if self.jobs[j].on_replica_ready(replica) {
+                        self.dispatch_job(j, now);
+                    }
+                    self.observe_tracker(j, now);
+                }
+                Event::ReplicaCrash { job, replica } => {
+                    // A no-op when the replica was already retired or
+                    // evicted; the replacement is re-requested by the
+                    // desired-vs-ready reconciliation at the next tick.
+                    let j = job.index();
+                    let _ = self.jobs[j].crash_replica(now, replica);
+                    self.observe_tracker(j, now);
+                }
+                Event::NodeOutageStart => self.begin_node_outage(now),
+                Event::NodeOutageEnd => {
+                    self.effective_quota = self.config.total_replicas;
+                    for j in 0..self.jobs.len() {
+                        self.observe_tracker(j, now);
+                    }
+                }
+                Event::PolicyTick => {
+                    self.now = now;
+                    return Some(seconds(now));
+                }
+            }
+        }
+    }
+}
+
+impl ClusterBackend for SimBackend {
+    fn observe(&mut self) -> ClusterSnapshot {
+        let now = self.now;
+        let active_outage = self.injector.as_ref().and_then(|i| i.metric_outage_at(now));
+        // While a stale-mode outage has not started yet, keep caching
+        // the freshest observation so the frozen scrape has something
+        // to replay.
+        let stale_pending = self
+            .injector
+            .as_ref()
+            .and_then(|i| i.plan().metric_outage.as_ref())
+            .filter(|m| m.mode == MetricOutageMode::Stale && now < micros(m.start_secs));
+        let mut jobs = Vec::with_capacity(self.jobs.len());
+        for (j, job) in self.jobs.iter_mut().enumerate() {
+            let id = JobId::new(j);
+            let mut obs = job.observe(now);
+            if let Some(m) = stale_pending {
+                if m.jobs.contains(&id) {
+                    self.stale_obs[j] = Some(obs.clone());
+                }
+            }
+            if let Some(m) = active_outage {
+                if m.jobs.contains(&id) {
+                    match m.mode {
+                        MetricOutageMode::Stale => {
+                            if let Some(cached) = &self.stale_obs[j] {
+                                obs = cached.clone();
+                            }
+                        }
+                        MetricOutageMode::Missing => {
+                            obs.recent_arrival_rate = f64::NAN;
+                            obs.recent_tail_latency = f64::NAN;
+                            let cut = (m.start_secs / 60.0).floor() as usize;
+                            // Detach from the runtime's shared history
+                            // before poisoning the outage window.
+                            let history = std::sync::Arc::make_mut(&mut obs.arrival_rate_history);
+                            for v in history.iter_mut().skip(cut) {
+                                *v = f64::NAN;
+                            }
+                        }
+                    }
+                }
+            }
+            jobs.push(obs);
+        }
+        ClusterSnapshot {
+            now: seconds(now),
+            resources: ResourceModel::replicas(self.effective_quota),
+            jobs,
+        }
+    }
+
+    fn apply(&mut self, desired: &DesiredState) -> ActuationReport {
+        let now = self.now;
+        let mut report = ActuationReport::default();
+        for (id, d) in desired.iter() {
+            let j = id.index();
+            if j >= self.jobs.len() {
+                continue;
+            }
+            self.jobs[j].set_drop_rate(d.drop_rate);
+            // scale_to re-adds any crashed replicas up to the target:
+            // the reconciliation loop.
+            for replica in self.jobs[j].scale_to(d.target_replicas) {
+                let delay = match self.injector.as_mut() {
+                    Some(inj) => {
+                        micros(self.config.cold_start_secs * inj.cold_start_multiplier(now))
+                    }
+                    None => self.cold,
+                };
+                self.queue
+                    .push(now + delay, Event::ReplicaReady { job: id, replica });
+                report.replicas_started += 1;
+                if let Some(inj) = self.injector.as_mut() {
+                    if let Some(dt) = inj.crash_after() {
+                        self.queue
+                            .push(now + dt, Event::ReplicaCrash { job: id, replica });
+                    }
+                }
+            }
+            // Scale-down may have freed capacity... no dispatch needed:
+            // removals only shrink.
+            self.observe_tracker(j, now);
+            report.jobs_applied += 1;
+        }
+        // Pushed after the actuation events so the insertion-sequence
+        // tie-break keeps a cold start landing exactly on the next tick
+        // ahead of that tick — the same order the monolithic loop
+        // produced.
+        self.queue.push(now + self.tick, Event::PolicyTick);
+        report
+    }
+}

@@ -3,6 +3,7 @@
 //! Events are ordered by microsecond timestamp with a monotone sequence
 //! number as the tiebreaker, making the simulation fully deterministic.
 
+use faro_core::types::JobId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -34,7 +35,7 @@ pub enum Event {
     /// A replica finishes its current request.
     Completion {
         /// Owning job.
-        job: usize,
+        job: JobId,
         /// Replica identifier within the job.
         replica: u64,
         /// Service time (seconds) sampled at dispatch. Carried in the
@@ -46,7 +47,7 @@ pub enum Event {
     /// A cold-starting replica becomes ready.
     ReplicaReady {
         /// Owning job.
-        job: usize,
+        job: JobId,
         /// Replica identifier within the job.
         replica: u64,
     },
@@ -62,7 +63,7 @@ pub enum Event {
     /// event is a no-op when the replica no longer exists.
     ReplicaCrash {
         /// Owning job.
-        job: usize,
+        job: JobId,
         /// Replica identifier within the job.
         replica: u64,
     },
@@ -155,8 +156,20 @@ mod tests {
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
         q.push(300, Event::PolicyTick);
-        q.push(100, Event::ReplicaReady { job: 0, replica: 0 });
-        q.push(200, Event::ReplicaReady { job: 1, replica: 0 });
+        q.push(
+            100,
+            Event::ReplicaReady {
+                job: JobId::new(0),
+                replica: 0,
+            },
+        );
+        q.push(
+            200,
+            Event::ReplicaReady {
+                job: JobId::new(1),
+                replica: 0,
+            },
+        );
         let order: Vec<Micros> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
         assert_eq!(order, vec![100, 200, 300]);
         assert_eq!(q.peek_time(), None);
@@ -165,13 +178,31 @@ mod tests {
     #[test]
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.push(50, Event::ReplicaReady { job: 0, replica: 0 });
-        q.push(50, Event::ReplicaReady { job: 1, replica: 0 });
-        q.push(50, Event::ReplicaReady { job: 2, replica: 0 });
+        q.push(
+            50,
+            Event::ReplicaReady {
+                job: JobId::new(0),
+                replica: 0,
+            },
+        );
+        q.push(
+            50,
+            Event::ReplicaReady {
+                job: JobId::new(1),
+                replica: 0,
+            },
+        );
+        q.push(
+            50,
+            Event::ReplicaReady {
+                job: JobId::new(2),
+                replica: 0,
+            },
+        );
         assert_eq!(q.peek_time(), Some(50));
         let jobs: Vec<usize> = std::iter::from_fn(|| {
             q.pop().map(|(_, e)| match e {
-                Event::ReplicaReady { job, .. } => job,
+                Event::ReplicaReady { job, .. } => job.index(),
                 _ => usize::MAX,
             })
         })

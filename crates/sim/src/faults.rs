@@ -24,6 +24,7 @@
 
 use crate::events::{micros, Micros};
 use crate::{Error, Result};
+use faro_core::types::JobId;
 use rand::prelude::*;
 use rand_distr::{Distribution, Exp, LogNormal};
 
@@ -76,8 +77,8 @@ pub struct MetricOutage {
     pub start_secs: f64,
     /// Outage duration in seconds.
     pub duration_secs: f64,
-    /// Indices of the affected jobs.
-    pub jobs: Vec<usize>,
+    /// The affected jobs.
+    pub jobs: Vec<JobId>,
     /// Stale or missing delivery.
     pub mode: MetricOutageMode,
 }
@@ -166,9 +167,9 @@ impl FaultPlan {
             if m.jobs.is_empty() {
                 return Err(Error::InvalidSetup("metric outage affects no jobs".into()));
             }
-            if let Some(&bad) = m.jobs.iter().find(|&&j| j >= n_jobs) {
+            if let Some(&bad) = m.jobs.iter().find(|&&j| j.index() >= n_jobs) {
                 return Err(Error::InvalidSetup(format!(
-                    "metric outage names job {bad} but only {n_jobs} jobs exist"
+                    "metric outage names {bad} but only {n_jobs} jobs exist"
                 )));
             }
         }
@@ -310,7 +311,7 @@ mod tests {
             metric_outage: Some(MetricOutage {
                 start_secs: 0.0,
                 duration_secs: 60.0,
-                jobs: vec![3],
+                jobs: vec![JobId::new(3)],
                 mode: MetricOutageMode::Missing,
             }),
             ..FaultPlan::none()
@@ -361,7 +362,7 @@ mod tests {
             metric_outage: Some(MetricOutage {
                 start_secs: 60.0,
                 duration_secs: 120.0,
-                jobs: vec![0],
+                jobs: vec![JobId::new(0)],
                 mode: MetricOutageMode::Stale,
             }),
             ..FaultPlan::none()

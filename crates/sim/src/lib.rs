@@ -11,6 +11,13 @@
 //! any [`faro_core::Policy`] the same metrics the modified Ray router
 //! exports (arrival rates, mean processing time, recent tail latency).
 //!
+//! The simulator is the first [`faro_control::ClusterBackend`]: the
+//! event loop lives in [`SimBackend`], whose `advance()` drains events
+//! up to the next policy tick while the `faro-control` reconciler runs
+//! Observe → Decide → Admit → Actuate on top. [`Simulation::run`] wires
+//! the two together; [`Simulation::into_backend`] hands the primed
+//! backend to external control loops.
+//!
 //! # Examples
 //!
 //! ```
@@ -31,12 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod events;
 pub mod faults;
 pub mod report;
 pub mod runtime;
 pub mod simulator;
 
+pub use backend::SimBackend;
 pub use faults::{
     ColdStartSpike, FaultPlan, MetricOutage, MetricOutageMode, NodeOutage, ReplicaCrashes,
 };

@@ -1,15 +1,21 @@
-//! The simulation driver: event loop, arrival generation, policy ticks,
-//! and actuation.
+//! Simulation setup and entry points.
+//!
+//! [`Simulation`] validates a configuration and job set, then either
+//! runs the whole control loop itself ([`Simulation::run`], which
+//! composes a [`faro_control::Reconciler`] over the event-driven
+//! [`SimBackend`]) or hands the primed backend out for external
+//! driving ([`Simulation::into_backend`]).
 
-use crate::events::{micros, seconds, Event, EventQueue, Micros};
-use crate::faults::{FaultInjector, FaultPlan, MetricOutageMode};
-use crate::report::{cluster_report, utilities_from_minutes, ClusterReport, JobReport};
-use crate::runtime::{ArrivalOutcome, JobRuntime, DEFAULT_QUEUE_THRESHOLD};
+use crate::backend::SimBackend;
+use crate::faults::FaultPlan;
+use crate::report::ClusterReport;
+use crate::runtime::{JobRuntime, DEFAULT_QUEUE_THRESHOLD};
 use crate::{Error, Result};
-use faro_core::policy::{enforce_quota, Policy};
-use faro_core::types::{ClusterSnapshot, JobObservation, JobSpec, ResourceModel};
+use faro_control::{Reconciler, RunStats};
+use faro_core::admission::OutageClamp;
+use faro_core::policy::Policy;
+use faro_core::types::{JobObservation, JobSpec};
 use faro_metrics::AvailabilityTracker;
-use rand::prelude::*;
 
 /// One job's simulation inputs.
 #[derive(Debug, Clone)]
@@ -63,29 +69,29 @@ impl Default for SimConfig {
 
 /// A configured simulation, ready to run one policy.
 pub struct Simulation {
-    config: SimConfig,
-    jobs: Vec<JobRuntime>,
-    rates: Vec<Vec<f64>>,
-    duration_minutes: usize,
+    pub(crate) config: SimConfig,
+    pub(crate) jobs: Vec<JobRuntime>,
+    pub(crate) rates: Vec<Vec<f64>>,
+    pub(crate) duration_minutes: usize,
     /// Per-job `(mu, sigma)` of the lognormal service distribution.
     /// Sampled inline (Box–Muller with the spare normal cached in
-    /// [`Simulation::spare_z`]) instead of through a distribution
+    /// `SimBackend::spare_z`) instead of through a distribution
     /// object, so each request costs half a Box–Muller on average.
-    service_params: Vec<(f64, f64)>,
+    pub(crate) service_params: Vec<(f64, f64)>,
     /// The unused second Box–Muller normal from the last service-time
     /// draw. `z` is parameter-free, so the spare is shared across jobs.
-    spare_z: Option<f64>,
+    pub(crate) spare_z: Option<f64>,
     /// Fault schedule; [`FaultPlan::none`] (the default) injects
     /// nothing and leaves the run byte-identical to the pre-fault-layer
     /// simulator.
-    faults: FaultPlan,
+    pub(crate) faults: FaultPlan,
     /// Quota visible to policies right now (shrinks during a node
     /// outage).
-    effective_quota: u32,
+    pub(crate) effective_quota: u32,
     /// Last pre-outage observation per job (for stale metric delivery).
-    stale_obs: Vec<Option<JobObservation>>,
+    pub(crate) stale_obs: Vec<Option<JobObservation>>,
     /// Per-job capacity availability / time-to-recover accounting.
-    trackers: Vec<AvailabilityTracker>,
+    pub(crate) trackers: Vec<AvailabilityTracker>,
 }
 
 fn validate_config(config: &SimConfig) -> Result<()> {
@@ -218,382 +224,47 @@ impl Simulation {
 
     /// Runs the simulation to completion under `policy` and reports.
     ///
+    /// Composes a [`Reconciler`] (with outage-aware quota admission)
+    /// over this simulation's [`SimBackend`] and runs the control loop
+    /// until the horizon.
+    ///
     /// # Errors
     ///
     /// Currently infallible after construction; reserved for future
     /// mid-run validation.
-    pub fn run(mut self, mut policy: Box<dyn Policy>) -> Result<ClusterReport> {
-        let mut queue = EventQueue::new();
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x51b0_11fe);
-        let end: Micros = self.duration_minutes as u64 * 60_000_000;
-        let tick = micros(self.config.tick_secs);
-        let cold = micros(self.config.cold_start_secs);
-
-        // The fault layer is strictly opt-in: with an empty plan no
-        // injector exists, no fault events are scheduled, and no extra
-        // RNG stream is created.
-        let mut injector = if self.faults.is_none() {
-            None
-        } else {
-            Some(FaultInjector::new(
-                self.faults.clone(),
-                self.config.seed,
-                self.jobs.len(),
-            )?)
-        };
-        if let Some(inj) = injector.as_mut() {
-            // Every replica gets its crash time at creation, in creation
-            // order; the initial fleet counts as created at time zero.
-            for j in 0..self.jobs.len() {
-                for replica in self.jobs[j].live_replica_ids() {
-                    if let Some(dt) = inj.crash_after() {
-                        queue.push(dt, Event::ReplicaCrash { job: j, replica });
-                    }
-                }
-            }
-            if let Some((start, outage_end, _)) = inj.outage_window() {
-                queue.push(start, Event::NodeOutageStart);
-                queue.push(outage_end, Event::NodeOutageEnd);
-            }
-        }
-        for j in 0..self.jobs.len() {
-            self.observe_tracker(j, 0);
-        }
-
-        // Prime the event queue.
-        queue.push(0, Event::MinuteBoundary { minute: 0 });
-        queue.push(0, Event::PolicyTick);
-
-        // Per-job calendar of the current minute's arrival times,
-        // sorted ascending (exponential inter-arrival gaps generate
-        // them in order). Arrivals never enter the heap: the loop top
-        // merges the earliest calendar entry against the heap's
-        // earliest event, so the heap's standing population stays at
-        // O(busy replicas + control events) and every push and pop is
-        // shallow and cache-resident.
-        let mut minute_arrivals: Vec<Vec<Micros>> = vec![Vec::new(); self.jobs.len()];
-        let mut arrival_idx: Vec<usize> = vec![0; self.jobs.len()];
-        // `next_arrival[j]`: the job's earliest pending arrival time,
-        // `Micros::MAX` when its calendar is exhausted.
-        let mut next_arrival: Vec<Micros> = vec![Micros::MAX; self.jobs.len()];
-
-        // Cached argmin over `next_arrival`: recomputed only when a
-        // calendar entry changes (an arrival is consumed or a minute
-        // boundary refills the calendars), so completion-heavy
-        // stretches pay a single comparison per event instead of a
-        // per-job scan.
-        let argmin = |next: &[Micros]| -> (Micros, usize) {
-            let mut at = Micros::MAX;
-            let mut aj = 0usize;
-            for (j, &t) in next.iter().enumerate() {
-                if t < at {
-                    at = t;
-                    aj = j;
-                }
-            }
-            (at, aj)
-        };
-        let (mut arr_at, mut arr_job) = (Micros::MAX, 0usize);
-        loop {
-            if arr_at < queue.peek_time().unwrap_or(Micros::MAX) {
-                let (at, aj) = (arr_at, arr_job);
-                if at >= end {
-                    break;
-                }
-                let idx = arrival_idx[aj] + 1;
-                arrival_idx[aj] = idx;
-                next_arrival[aj] = minute_arrivals[aj].get(idx).copied().unwrap_or(Micros::MAX);
-                (arr_at, arr_job) = argmin(&next_arrival);
-                // The explicit-drop decision only needs randomness when
-                // a drop rate is actually in force; most policies never
-                // set one, so skipping the draw saves a generator call
-                // per request.
-                let sample = if self.jobs[aj].drop_rate() > 0.0 {
-                    rng.gen::<f64>()
-                } else {
-                    1.0
-                };
-                if self.jobs[aj].on_arrival(at, sample) == ArrivalOutcome::Queued {
-                    self.dispatch_job(aj, at, &mut queue, &mut rng);
-                }
-                continue;
-            }
-            let Some((now, event)) = queue.pop() else {
-                break;
-            };
-            if now >= end {
-                break;
-            }
-            match event {
-                Event::MinuteBoundary { minute } => {
-                    // Finalize the minute that just ended (skip t=0).
-                    if minute > 0 {
-                        for job in &mut self.jobs {
-                            job.on_minute_boundary();
-                        }
-                    }
-                    // Generate this minute's arrivals per job: a
-                    // Poisson process as exponential inter-arrival
-                    // gaps, which yields the calendar already sorted
-                    // (no separate count draw, offset pass, or sort).
-                    for (j, rates) in self.rates.iter().enumerate() {
-                        let rate = rates.get(minute).copied().unwrap_or(0.0);
-                        let buf = &mut minute_arrivals[j];
-                        debug_assert_eq!(
-                            arrival_idx[j],
-                            buf.len(),
-                            "all of last minute's arrivals precede its boundary"
-                        );
-                        buf.clear();
-                        arrival_idx[j] = 0;
-                        if rate > 0.0 && rate.is_finite() {
-                            let gap_scale = 60e6 / rate;
-                            let mut t = now as f64;
-                            loop {
-                                t += -(1.0 - rng.gen::<f64>()).ln() * gap_scale;
-                                if t >= (now + 60_000_000) as f64 {
-                                    break;
-                                }
-                                buf.push(t as Micros);
-                            }
-                        }
-                        next_arrival[j] = buf.first().copied().unwrap_or(Micros::MAX);
-                    }
-                    (arr_at, arr_job) = argmin(&next_arrival);
-                    if minute + 1 < self.duration_minutes {
-                        queue.push(
-                            now + 60_000_000,
-                            Event::MinuteBoundary { minute: minute + 1 },
-                        );
-                    }
-                }
-                Event::Completion {
-                    job,
-                    replica,
-                    service,
-                } => {
-                    let _alive = self.jobs[job].on_completion(now, replica, service);
-                    self.dispatch_job(job, now, &mut queue, &mut rng);
-                }
-                Event::ReplicaReady { job, replica } => {
-                    if self.jobs[job].on_replica_ready(replica) {
-                        self.dispatch_job(job, now, &mut queue, &mut rng);
-                    }
-                    self.observe_tracker(job, now);
-                }
-                Event::ReplicaCrash { job, replica } => {
-                    // A no-op when the replica was already retired or
-                    // evicted; the replacement is re-requested by the
-                    // desired-vs-ready reconciliation at the next tick.
-                    let _ = self.jobs[job].crash_replica(now, replica);
-                    self.observe_tracker(job, now);
-                }
-                Event::NodeOutageStart => {
-                    self.begin_node_outage(now, injector.as_ref());
-                }
-                Event::NodeOutageEnd => {
-                    self.effective_quota = self.config.total_replicas;
-                    for j in 0..self.jobs.len() {
-                        self.observe_tracker(j, now);
-                    }
-                }
-                Event::PolicyTick => {
-                    let snapshot = self.snapshot(now, injector.as_ref());
-                    let mut decisions = policy.decide(&snapshot);
-                    if decisions.len() == self.jobs.len() {
-                        if self.effective_quota < self.config.total_replicas {
-                            // During a node outage the cluster cannot
-                            // host what the policy asked for.
-                            enforce_quota(&mut decisions, self.effective_quota);
-                        }
-                        for (j, d) in decisions.iter().enumerate() {
-                            self.jobs[j].set_drop_rate(d.drop_rate);
-                            // scale_to re-adds any crashed replicas up
-                            // to the target: the reconciliation loop.
-                            for replica in self.jobs[j].scale_to(d.target_replicas) {
-                                let delay = match injector.as_mut() {
-                                    Some(inj) => micros(
-                                        self.config.cold_start_secs
-                                            * inj.cold_start_multiplier(now),
-                                    ),
-                                    None => cold,
-                                };
-                                queue.push(now + delay, Event::ReplicaReady { job: j, replica });
-                                if let Some(inj) = injector.as_mut() {
-                                    if let Some(dt) = inj.crash_after() {
-                                        queue.push(
-                                            now + dt,
-                                            Event::ReplicaCrash { job: j, replica },
-                                        );
-                                    }
-                                }
-                            }
-                            // Scale-down may have freed capacity... no
-                            // dispatch needed: removals only shrink.
-                            self.observe_tracker(j, now);
-                        }
-                    }
-                    queue.push(now + tick, Event::PolicyTick);
-                }
-            }
-        }
-
-        // Final partial-minute flush for accounting consistency.
-        for job in &mut self.jobs {
-            job.on_minute_boundary();
-        }
-        Ok(self.build_report(policy.name()))
+    pub fn run(self, policy: Box<dyn Policy>) -> Result<ClusterReport> {
+        Ok(self.run_with_stats(policy)?.0)
     }
 
-    fn dispatch_job(&mut self, job: usize, now: Micros, queue: &mut EventQueue, rng: &mut StdRng) {
-        while let Some(d) = self.jobs[job].dispatch_one(now) {
-            // Box–Muller produces two independent normals per pair of
-            // uniforms; the spare is parameter-free, so consecutive
-            // draws (across jobs) each cost half a transform.
-            let z = match self.spare_z.take() {
-                Some(z) => z,
-                None => {
-                    let u1 = 1.0 - rng.gen::<f64>(); // (0, 1]: safe for ln().
-                    let u2 = rng.gen::<f64>();
-                    let r = (-2.0 * u1.ln()).sqrt();
-                    let (sin, cos) = (core::f64::consts::TAU * u2).sin_cos();
-                    self.spare_z = Some(r * sin);
-                    r * cos
-                }
-            };
-            let (mu, sigma) = self.service_params[job];
-            let service = (mu + sigma * z).exp().max(1e-6);
-            queue.push(
-                now + micros(service),
-                Event::Completion {
-                    job,
-                    replica: d.replica,
-                    service,
-                },
-            );
-        }
+    /// Like [`Simulation::run`], additionally returning the control
+    /// loop's [`RunStats`] — rounds executed, replicas started, and
+    /// the granted-vs-requested admission accounting (clamped and
+    /// unsatisfiable rounds included) that quota enforcement used to
+    /// swallow silently.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; reserved for future
+    /// mid-run validation.
+    pub fn run_with_stats(self, policy: Box<dyn Policy>) -> Result<(ClusterReport, RunStats)> {
+        // The cluster can host what the policy asked for except during
+        // a node outage; the clamp engages only while the observed
+        // quota is below full capacity.
+        let capacity = self.config.total_replicas;
+        let mut backend = self.into_backend()?;
+        let mut reconciler = Reconciler::new(policy, Box::new(OutageClamp::new(capacity)));
+        let stats = reconciler.run(&mut backend);
+        Ok((backend.finish(reconciler.policy_name()), stats))
     }
 
-    /// Records a `(ready, target)` availability sample for `job`.
-    fn observe_tracker(&mut self, job: usize, now: Micros) {
-        let ready = self.jobs[job].ready_replicas();
-        let target = self.jobs[job].target();
-        self.trackers[job].observe(seconds(now), ready, target);
-    }
-
-    /// Shrinks the effective quota and evicts replicas that no longer
-    /// fit, taking one at a time from the job with the most live
-    /// replicas (ties break toward the lowest index) and never leaving
-    /// any job below one replica.
-    fn begin_node_outage(&mut self, now: Micros, injector: Option<&FaultInjector>) {
-        let Some((_, _, fraction)) = injector.and_then(|i| i.outage_window()) else {
-            return;
-        };
-        let total = self.config.total_replicas;
-        let lost = (fraction * f64::from(total)).floor() as u32;
-        self.effective_quota = total.saturating_sub(lost).max(self.jobs.len() as u32);
-        loop {
-            let live_total: u32 = self.jobs.iter().map(|j| j.live_replicas()).sum();
-            if live_total <= self.effective_quota {
-                break;
-            }
-            let victim = self
-                .jobs
-                .iter()
-                .enumerate()
-                .filter(|(_, j)| j.live_replicas() > 1)
-                .max_by_key(|(i, j)| (j.live_replicas(), std::cmp::Reverse(*i)))
-                .map(|(i, _)| i);
-            let Some(v) = victim else {
-                break;
-            };
-            self.jobs[v].evict_newest(now, 1);
-        }
-        for j in 0..self.jobs.len() {
-            self.observe_tracker(j, now);
-        }
-    }
-
-    fn snapshot(&mut self, now: Micros, injector: Option<&FaultInjector>) -> ClusterSnapshot {
-        let active_outage = injector.and_then(|i| i.metric_outage_at(now));
-        // While a stale-mode outage has not started yet, keep caching
-        // the freshest observation so the frozen scrape has something
-        // to replay.
-        let stale_pending = injector
-            .and_then(|i| i.plan().metric_outage.as_ref())
-            .filter(|m| m.mode == MetricOutageMode::Stale && now < micros(m.start_secs));
-        let mut jobs = Vec::with_capacity(self.jobs.len());
-        for (j, job) in self.jobs.iter_mut().enumerate() {
-            let mut obs = job.observe(now);
-            if let Some(m) = stale_pending {
-                if m.jobs.contains(&j) {
-                    self.stale_obs[j] = Some(obs.clone());
-                }
-            }
-            if let Some(m) = active_outage {
-                if m.jobs.contains(&j) {
-                    match m.mode {
-                        MetricOutageMode::Stale => {
-                            if let Some(cached) = &self.stale_obs[j] {
-                                obs = cached.clone();
-                            }
-                        }
-                        MetricOutageMode::Missing => {
-                            obs.recent_arrival_rate = f64::NAN;
-                            obs.recent_tail_latency = f64::NAN;
-                            let cut = (m.start_secs / 60.0).floor() as usize;
-                            // Detach from the runtime's shared history
-                            // before poisoning the outage window.
-                            let history = std::sync::Arc::make_mut(&mut obs.arrival_rate_history);
-                            for v in history.iter_mut().skip(cut) {
-                                *v = f64::NAN;
-                            }
-                        }
-                    }
-                }
-            }
-            jobs.push(obs);
-        }
-        ClusterSnapshot {
-            now: seconds(now),
-            resources: ResourceModel::replicas(self.effective_quota),
-            jobs,
-        }
-    }
-
-    fn build_report(mut self, policy_name: &str) -> ClusterReport {
-        let alpha = self.config.report_alpha;
-        let end_secs = self.duration_minutes as f64 * 60.0;
-        let mut trackers = std::mem::take(&mut self.trackers);
-        let mut jobs = Vec::with_capacity(self.jobs.len());
-        for (job, tracker) in self.jobs.iter_mut().zip(trackers.iter_mut()) {
-            tracker.finish(end_secs);
-            let slo = job.spec.slo;
-            let tails = job.minute_percentiles(slo.percentile);
-            let arrivals = job.arrivals_per_minute().to_vec();
-            let drops = job.drops_per_minute().to_vec();
-            let (utility, effective) =
-                utilities_from_minutes(&tails, &arrivals, &drops, slo.latency, alpha);
-            let minutes = utility.len().max(1) as f64;
-            let acc = job.slo_accounting();
-            jobs.push(JobReport {
-                name: job.spec.name.clone(),
-                total_requests: acc.total(),
-                violations: acc.violations(),
-                drops: acc.drops(),
-                violation_rate: acc.violation_rate(),
-                mean_utility: utility.iter().sum::<f64>() / minutes,
-                mean_effective_utility: effective.iter().sum::<f64>() / minutes,
-                utility_per_minute: utility,
-                effective_utility_per_minute: effective,
-                arrivals_per_minute: arrivals,
-                crash_killed: job.crash_killed(),
-                availability: tracker.availability(),
-                mean_time_to_recover_secs: tracker.mean_time_to_recover().unwrap_or(0.0),
-                recoveries: tracker.recovery_count() as u64,
-            });
-        }
-        cluster_report(policy_name, self.config.total_replicas, jobs)
+    /// Primes the discrete-event backend for this simulation without
+    /// running it, for callers that drive the control loop themselves.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the attached fault plan cannot build its injector.
+    pub fn into_backend(self) -> Result<SimBackend> {
+        SimBackend::new(self)
     }
 }
 
@@ -601,7 +272,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use faro_core::baselines::{Aiad, FairShare};
-    use faro_core::types::JobDecision;
+    use faro_core::types::{ClusterSnapshot, DesiredState, JobDecision, JobId};
 
     fn setup(rate: f64, minutes: usize, initial: u32) -> JobSetup {
         JobSetup {
@@ -748,12 +419,16 @@ mod tests {
             fn name(&self) -> &str {
                 "jump"
             }
-            fn decide(&mut self, s: &ClusterSnapshot) -> Vec<JobDecision> {
-                s.jobs
-                    .iter()
-                    .map(|_| JobDecision {
-                        target_replicas: 8,
-                        drop_rate: 0.0,
+            fn decide(&mut self, s: &ClusterSnapshot) -> DesiredState {
+                s.job_ids()
+                    .map(|id| {
+                        (
+                            id,
+                            JobDecision {
+                                target_replicas: 8,
+                                drop_rate: 0.0,
+                            },
+                        )
                     })
                     .collect()
             }
@@ -786,12 +461,16 @@ mod tests {
         fn name(&self) -> &str {
             "static"
         }
-        fn decide(&mut self, s: &ClusterSnapshot) -> Vec<JobDecision> {
-            s.jobs
-                .iter()
-                .map(|_| JobDecision {
-                    target_replicas: self.0,
-                    drop_rate: 0.0,
+        fn decide(&mut self, s: &ClusterSnapshot) -> DesiredState {
+            s.job_ids()
+                .map(|id| {
+                    (
+                        id,
+                        JobDecision {
+                            target_replicas: self.0,
+                            drop_rate: 0.0,
+                        },
+                    )
                 })
                 .collect()
         }
@@ -811,7 +490,7 @@ mod tests {
         fn name(&self) -> &str {
             "probe"
         }
-        fn decide(&mut self, s: &ClusterSnapshot) -> Vec<JobDecision> {
+        fn decide(&mut self, s: &ClusterSnapshot) -> DesiredState {
             self.quotas
                 .lock()
                 .unwrap()
@@ -820,11 +499,16 @@ mod tests {
                 .lock()
                 .unwrap()
                 .push((s.now, s.jobs[0].recent_arrival_rate));
-            s.jobs
-                .iter()
-                .map(|j| JobDecision {
-                    target_replicas: j.target_replicas,
-                    drop_rate: 0.0,
+            s.job_ids()
+                .zip(s.jobs.iter())
+                .map(|(id, j)| {
+                    (
+                        id,
+                        JobDecision {
+                            target_replicas: j.target_replicas,
+                            drop_rate: 0.0,
+                        },
+                    )
                 })
                 .collect()
         }
@@ -907,7 +591,7 @@ mod tests {
             metric_outage: Some(MetricOutage {
                 start_secs: 180.0,
                 duration_secs: 120.0,
-                jobs: vec![0],
+                jobs: vec![JobId::new(0)],
                 mode: MetricOutageMode::Missing,
             }),
         }
@@ -1022,7 +706,7 @@ mod tests {
             metric_outage: Some(MetricOutage {
                 start_secs: 120.0,
                 duration_secs: 120.0,
-                jobs: vec![0],
+                jobs: vec![JobId::new(0)],
                 mode: MetricOutageMode::Missing,
             }),
             ..FaultPlan::none()
@@ -1060,7 +744,7 @@ mod tests {
             metric_outage: Some(MetricOutage {
                 start_secs: 120.0,
                 duration_secs: 120.0,
-                jobs: vec![0],
+                jobs: vec![JobId::new(0)],
                 mode: MetricOutageMode::Stale,
             }),
             ..FaultPlan::none()

@@ -1,7 +1,8 @@
 //! Property-based tests for the discrete-event simulator.
 
+use faro_control::{Clock, ClusterBackend};
 use faro_core::baselines::FairShare;
-use faro_core::types::{ClusterSnapshot, JobDecision, JobSpec};
+use faro_core::types::{ClusterSnapshot, DesiredState, JobDecision, JobId, JobSpec};
 use faro_core::Policy;
 use faro_sim::{JobSetup, SimConfig, Simulation};
 use proptest::prelude::*;
@@ -17,17 +18,49 @@ impl Policy for ScriptedPolicy {
     fn name(&self) -> &str {
         "scripted"
     }
-    fn decide(&mut self, s: &ClusterSnapshot) -> Vec<JobDecision> {
+    fn decide(&mut self, s: &ClusterSnapshot) -> DesiredState {
         let (target, drop) = self.script[self.step % self.script.len()];
         self.step += 1;
-        s.jobs
-            .iter()
-            .map(|_| JobDecision {
-                target_replicas: target,
-                drop_rate: drop,
+        s.job_ids()
+            .map(|id| {
+                (
+                    id,
+                    JobDecision {
+                        target_replicas: target,
+                        drop_rate: drop,
+                    },
+                )
             })
             .collect()
     }
+}
+
+/// A two-job backend advanced to its first policy tick, for actuation
+/// properties.
+fn primed_backend(seed: u64) -> faro_sim::SimBackend {
+    let cfg = SimConfig {
+        total_replicas: 12,
+        seed,
+        ..Default::default()
+    };
+    let setups = vec![
+        JobSetup {
+            spec: JobSpec::resnet34("a"),
+            rates_per_minute: vec![120.0; 6],
+            initial_replicas: 2,
+        },
+        JobSetup {
+            spec: JobSpec::resnet34("b"),
+            rates_per_minute: vec![120.0; 6],
+            initial_replicas: 2,
+        },
+    ];
+    let mut backend = Simulation::new(cfg, setups)
+        .unwrap()
+        .into_backend()
+        .unwrap();
+    backend.advance().expect("a first tick exists");
+    backend
 }
 
 proptest! {
@@ -104,5 +137,52 @@ proptest! {
         let small = run(2);
         let big = run(10);
         prop_assert!(big <= small + 0.02, "2 replicas: {small}, 10 replicas: {big}");
+    }
+
+    /// Applying the same desired state twice is a no-op on observable
+    /// cluster state: the second apply scales nothing and changes no
+    /// observation.
+    #[test]
+    fn applying_the_same_state_twice_is_a_noop(
+        t0 in 1u32..6,
+        t1 in 1u32..6,
+        d0 in 0.0f64..0.5,
+        seed in 0u64..20,
+    ) {
+        let mut backend = primed_backend(seed);
+        let desired: DesiredState = vec![
+            (JobId::new(0), JobDecision { target_replicas: t0, drop_rate: d0 }),
+            (JobId::new(1), JobDecision { target_replicas: t1, drop_rate: 0.0 }),
+        ]
+        .into_iter()
+        .collect();
+        backend.apply(&desired);
+        let after_once = backend.observe();
+        let second = backend.apply(&desired);
+        let after_twice = backend.observe();
+        prop_assert_eq!(second.replicas_started, 0, "targets already met");
+        prop_assert_eq!(after_once, after_twice);
+    }
+
+    /// Jobs absent from the desired state are left untouched by
+    /// actuation.
+    #[test]
+    fn apply_never_touches_absent_jobs(
+        target in 1u32..8,
+        drop in 0.0f64..0.5,
+        seed in 0u64..20,
+    ) {
+        let mut backend = primed_backend(seed);
+        let before = backend.observe();
+        let only_first: DesiredState = vec![
+            (JobId::new(0), JobDecision { target_replicas: target, drop_rate: drop }),
+        ]
+        .into_iter()
+        .collect();
+        let report = backend.apply(&only_first);
+        let after = backend.observe();
+        prop_assert_eq!(report.jobs_applied, 1);
+        prop_assert_eq!(&after.jobs[1], &before.jobs[1], "job 1 was absent");
+        prop_assert_eq!(after.jobs[0].target_replicas, target);
     }
 }

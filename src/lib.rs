@@ -8,7 +8,11 @@
 //!
 //! - [`core`]: the Faro autoscaler — utilities, cluster objectives,
 //!   relaxed optimization, hierarchical solving, the hybrid
-//!   predictive/reactive loop, and every baseline policy.
+//!   predictive/reactive loop, admission strategies, and every
+//!   baseline policy.
+//! - [`control`]: the backend-agnostic control plane — the
+//!   `ClusterBackend` and `Clock` traits and the
+//!   Observe → Decide → Admit → Actuate reconciler.
 //! - [`queueing`]: M/M/c / M/D/c latency estimation and the relaxed
 //!   plateau-free estimator.
 //! - [`solver`]: COBYLA-style, Nelder-Mead, and Differential Evolution
@@ -41,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use faro_bench as bench;
+pub use faro_control as control;
 pub use faro_core as core;
 pub use faro_forecast as forecast;
 pub use faro_metrics as metrics;

@@ -160,7 +160,7 @@ fn fault_injection_is_deterministic_across_runs() {
         metric_outage: Some(MetricOutage {
             start_secs: 120.0,
             duration_secs: 180.0,
-            jobs: vec![0],
+            jobs: vec![faro::core::types::JobId::new(0)],
             mode: MetricOutageMode::Stale,
         }),
     };
@@ -236,6 +236,9 @@ fn forecaster_feeds_autoscaler() {
     };
     let ds = faro.decide(&snap);
     // ~600-900 req/min = 10-15 req/s at 180 ms needs >= 3 replicas.
-    assert!(ds[0].target_replicas >= 3, "{ds:?}");
-    assert!(ds[0].target_replicas <= 16);
+    let d0 = ds
+        .get(faro::core::types::JobId::new(0))
+        .expect("job 0 decided");
+    assert!(d0.target_replicas >= 3, "{ds:?}");
+    assert!(d0.target_replicas <= 16);
 }
