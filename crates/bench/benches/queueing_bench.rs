@@ -3,15 +3,25 @@
 //! cost bounds the control loop's latency.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use faro_queueing::{erlang, mdc, RelaxedLatency};
+use faro_queueing::{erlang, mdc, RelaxedLatency, ReplicaCount};
 use std::hint::black_box;
 
 fn bench_erlang(c: &mut Criterion) {
     let mut group = c.benchmark_group("erlang_c");
-    for servers in [8u32, 64, 512] {
-        group.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, &s| {
-            b.iter(|| erlang::erlang_c(black_box(s), black_box(0.8 * f64::from(s))).expect("valid"))
-        });
+    for servers in [
+        ReplicaCount::new(8),
+        ReplicaCount::new(64),
+        ReplicaCount::new(512),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(servers.get()),
+            &servers,
+            |b, &s| {
+                b.iter(|| {
+                    erlang::erlang_c(black_box(s), black_box(0.8 * s.as_f64())).expect("valid")
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -20,21 +30,36 @@ fn bench_latency_estimators(c: &mut Criterion) {
     let mut group = c.benchmark_group("latency_estimate");
     group.bench_function("mdc_percentile", |b| {
         b.iter(|| {
-            mdc::latency_percentile(black_box(0.99), black_box(0.18), black_box(40.0), 12)
-                .expect("valid")
+            mdc::latency_percentile(
+                black_box(0.99),
+                black_box(0.18),
+                black_box(40.0),
+                ReplicaCount::new(12),
+            )
+            .expect("valid")
         })
     });
     let rel = RelaxedLatency::default();
     group.bench_function("relaxed_stable", |b| {
         b.iter(|| {
-            rel.latency(black_box(0.99), 0.18, black_box(40.0), 12)
-                .expect("valid")
+            rel.latency(
+                black_box(0.99),
+                0.18,
+                black_box(40.0),
+                ReplicaCount::new(12),
+            )
+            .expect("valid")
         })
     });
     group.bench_function("relaxed_overloaded", |b| {
         b.iter(|| {
-            rel.latency(black_box(0.99), 0.18, black_box(400.0), 12)
-                .expect("valid")
+            rel.latency(
+                black_box(0.99),
+                0.18,
+                black_box(400.0),
+                ReplicaCount::new(12),
+            )
+            .expect("valid")
         })
     });
     group.bench_function("relaxed_fractional", |b| {
@@ -49,8 +74,14 @@ fn bench_latency_estimators(c: &mut Criterion) {
 fn bench_replica_sizing(c: &mut Criterion) {
     c.bench_function("replicas_for_slo", |b| {
         b.iter(|| {
-            mdc::replicas_for_slo(black_box(0.99), 0.18, black_box(55.0), 0.72, 256)
-                .expect("feasible")
+            mdc::replicas_for_slo(
+                black_box(0.99),
+                0.18,
+                black_box(55.0),
+                0.72,
+                ReplicaCount::new(256),
+            )
+            .expect("feasible")
         })
     });
 }

@@ -30,7 +30,7 @@ fn bench_solvers_fig5(c: &mut Criterion) {
     let jobs = snapshot(10);
     let problem = MultiTenantProblem::new(
         jobs,
-        ResourceModel::replicas(40),
+        ResourceModel::replicas(faro_core::units::ReplicaCount::new(40)),
         ClusterObjective::Sum,
         Fidelity::Relaxed,
     )
@@ -63,7 +63,9 @@ fn bench_hierarchical_fig7a(c: &mut Criterion) {
     group.sample_size(10);
     for n_jobs in [20usize, 50] {
         let jobs = snapshot(n_jobs);
-        let resources = ResourceModel::replicas((n_jobs as f64 * 2.2) as u32);
+        let resources = ResourceModel::replicas(faro_core::units::ReplicaCount::new(
+            (n_jobs as f64 * 2.2) as u32,
+        ));
         let current = vec![1u32; n_jobs];
         let flat = MultiTenantProblem::new(
             jobs.clone(),

@@ -33,7 +33,7 @@ struct Row {
     violation_mean: f64,
     effective_utility_mean: f64,
     availability_mean: f64,
-    mean_time_to_recover_secs: f64,
+    mean_time_to_recover_secs: f64, // faro-lint: allow(raw-time-arith): serialized wire format
     crash_killed_total: u64,
 }
 

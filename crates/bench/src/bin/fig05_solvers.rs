@@ -37,7 +37,7 @@ fn snapshot_jobs() -> Vec<JobWorkload> {
 }
 
 fn main() {
-    let resources = ResourceModel::replicas(40);
+    let resources = ResourceModel::replicas(faro_core::units::ReplicaCount::new(40));
     let objective = ClusterObjective::PenaltySum;
     // Start from a minimal allocation: overloaded jobs sit on the
     // step-utility plateau, which is exactly what defeats local

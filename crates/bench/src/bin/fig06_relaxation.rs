@@ -14,7 +14,7 @@ use faro_core::utility::{step_utility, RelaxedUtility};
 use faro_queueing::{mdc, RelaxedLatency};
 
 fn main() {
-    let (p, slo, k, n) = (0.180, 0.720, 0.99, 4u32);
+    let (p, slo, k, n) = (0.180, 0.720, 0.99, faro_queueing::ReplicaCount::new(4));
     let u = RelaxedUtility::default();
     let rel = RelaxedLatency::default();
     println!("one job: p = 180 ms, SLO = 720 ms @ p99, {n} replicas");

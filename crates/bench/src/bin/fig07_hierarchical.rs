@@ -43,7 +43,7 @@ fn main() {
         // Constrained quota: the solve must arbitrate, which is where
         // dimensionality bites (and where Faro actually runs).
         let quota = (n_jobs as f64 * 2.2) as u32;
-        let resources = ResourceModel::replicas(quota);
+        let resources = ResourceModel::replicas(faro_core::units::ReplicaCount::new(quota));
         let jobs = jobs_from(&set, 180);
         let current = vec![1u32; n_jobs];
 

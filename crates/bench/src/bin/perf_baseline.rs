@@ -28,6 +28,7 @@ use faro_core::baselines::FairShare;
 use faro_core::opt::{Fidelity, JobWorkload, MultiTenantProblem};
 use faro_core::types::ResourceModel;
 use faro_core::types::{ClusterSnapshot, DesiredState, JobObservation, JobSpec};
+use faro_core::units::{RatePerMin, ReplicaCount, SimTimeMs};
 use faro_core::ClusterObjective;
 use faro_sim::{SimConfig, Simulation};
 use faro_solver::Cobyla;
@@ -51,7 +52,7 @@ struct PerfEntry {
     /// Mean objective evaluations per solve (sanity: workload parity).
     solve_evals_mean: f64,
     /// End-to-end fig15-style sweep wall-clock (seconds).
-    fig15_sweep_secs: f64,
+    fig15_sweep_secs: f64, // faro-lint: allow(raw-time-arith): serialized wire format
     /// Bare reconciler rounds per second over a no-op backend
     /// (control-plane overhead: snapshot hand-off, policy decide,
     /// admission, actuation dispatch — no event processing).
@@ -99,7 +100,7 @@ fn measure_solve(quick: bool) -> (f64, f64) {
         .collect();
     let problem = MultiTenantProblem::new(
         jobs,
-        ResourceModel::replicas(40),
+        ResourceModel::replicas(ReplicaCount::new(40)),
         ClusterObjective::Sum,
         Fidelity::Relaxed,
     )
@@ -148,10 +149,10 @@ fn measure_control_loop(quick: bool) -> f64 {
         snapshot: ClusterSnapshot,
     }
     impl Clock for NoopBackend {
-        fn now(&self) -> f64 {
-            self.rounds as f64 * 10.0
+        fn now(&self) -> SimTimeMs {
+            SimTimeMs::from_millis(self.rounds as i64 * 10_000)
         }
-        fn advance(&mut self) -> Option<f64> {
+        fn advance(&mut self) -> Option<SimTimeMs> {
             if self.rounds >= self.limit {
                 return None;
             }
@@ -166,7 +167,7 @@ fn measure_control_loop(quick: bool) -> f64 {
         fn apply(&mut self, desired: &DesiredState) -> ActuationReport {
             ActuationReport {
                 jobs_applied: desired.len() as u32,
-                replicas_started: 0,
+                replicas_started: ReplicaCount::ZERO,
             }
         }
     }
@@ -176,7 +177,7 @@ fn measure_control_loop(quick: bool) -> f64 {
             target_replicas: 4,
             ready_replicas: 4,
             queue_len: 0,
-            arrival_rate_history: std::sync::Arc::new(vec![300.0; 180]),
+            arrival_rate_history: std::sync::Arc::new(vec![RatePerMin::new(300.0); 180]),
             recent_arrival_rate: 5.0,
             mean_processing_time: 0.18,
             recent_tail_latency: 0.2,
@@ -184,8 +185,8 @@ fn measure_control_loop(quick: bool) -> f64 {
         })
         .collect();
     let snapshot = ClusterSnapshot {
-        now: 0.0,
-        resources: ResourceModel::replicas(40),
+        now: SimTimeMs::ZERO,
+        resources: ResourceModel::replicas(ReplicaCount::new(40)),
         jobs,
     };
     let limit = if quick { 20_000 } else { 100_000 };

@@ -2,6 +2,7 @@
 
 use crate::clock::Clock;
 use faro_core::types::{ClusterSnapshot, DesiredState};
+use faro_core::units::ReplicaCount;
 
 /// What one actuation round did to the cluster.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -9,7 +10,7 @@ pub struct ActuationReport {
     /// Jobs whose decision was applied (absent jobs are untouched).
     pub jobs_applied: u32,
     /// New replicas that started cold-starting this round.
-    pub replicas_started: u32,
+    pub replicas_started: ReplicaCount,
 }
 
 /// A cluster that can be observed and actuated — the boundary between

@@ -1,5 +1,7 @@
 //! The pacing abstraction that decouples the reconciler from time.
 
+use faro_core::units::SimTimeMs;
+
 /// Paces reconcile rounds.
 ///
 /// The reconciler never sleeps or pumps events itself; it asks the
@@ -7,11 +9,11 @@
 /// discrete-event queue until the next policy tick pops; a wall clock
 /// would sleep until the next interval boundary.
 pub trait Clock {
-    /// Current time in seconds since the start of the run.
-    fn now(&self) -> f64;
+    /// Current time since the start of the run.
+    fn now(&self) -> SimTimeMs;
 
     /// Advances to the next reconcile round, returning its time, or
     /// `None` once the run horizon is reached (the reconciler then
     /// stops).
-    fn advance(&mut self) -> Option<f64>;
+    fn advance(&mut self) -> Option<SimTimeMs>;
 }

@@ -3,6 +3,7 @@
 use crate::backend::{ActuationReport, ClusterBackend};
 use faro_core::admission::{Admission, AdmissionOutcome};
 use faro_core::policy::Policy;
+use faro_core::units::SimTimeMs;
 use serde::Serialize;
 
 /// Cumulative admission accounting across a run — the reconciler's
@@ -56,8 +57,8 @@ pub struct RunStats {
 /// What one reconcile round produced.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReconcileOutcome {
-    /// Time of the round (seconds).
-    pub at: f64,
+    /// Time of the round.
+    pub at: SimTimeMs,
     /// What admission granted this round.
     pub admission: AdmissionOutcome,
     /// What actuation changed this round.
@@ -106,7 +107,7 @@ impl Reconciler {
         let actuation = backend.apply(&desired);
         self.stats.rounds += 1;
         self.stats.admission.record(&admission);
-        self.stats.replicas_started += u64::from(actuation.replicas_started);
+        self.stats.replicas_started += u64::from(actuation.replicas_started.get());
         ReconcileOutcome {
             at: snapshot.now,
             admission,
@@ -137,9 +138,9 @@ mod tests {
     /// A minimal in-memory backend: fixed tick, fixed horizon, targets
     /// applied instantly.
     struct MemBackend {
-        now: f64,
-        tick: f64,
-        end: f64,
+        now: SimTimeMs,
+        tick: faro_core::units::DurationMs,
+        end: SimTimeMs,
         quota: u32,
         targets: Vec<u32>,
         applies: Vec<Vec<(usize, u32)>>,
@@ -148,9 +149,9 @@ mod tests {
     impl MemBackend {
         fn new(quota: u32, jobs: usize) -> Self {
             Self {
-                now: -10.0,
-                tick: 10.0,
-                end: 100.0,
+                now: SimTimeMs::from_secs(-10.0),
+                tick: faro_core::units::DurationMs::from_secs(10.0),
+                end: SimTimeMs::from_secs(100.0),
                 quota,
                 targets: vec![1; jobs],
                 applies: Vec::new(),
@@ -159,11 +160,11 @@ mod tests {
     }
 
     impl Clock for MemBackend {
-        fn now(&self) -> f64 {
+        fn now(&self) -> SimTimeMs {
             self.now
         }
 
-        fn advance(&mut self) -> Option<f64> {
+        fn advance(&mut self) -> Option<SimTimeMs> {
             let next = self.now + self.tick;
             if next >= self.end {
                 return None;
@@ -183,7 +184,10 @@ mod tests {
                     target_replicas: t,
                     ready_replicas: t,
                     queue_len: 0,
-                    arrival_rate_history: Arc::new(vec![60.0; 10]),
+                    arrival_rate_history: Arc::new(vec![
+                        faro_core::units::RatePerMin::new(60.0);
+                        10
+                    ]),
                     recent_arrival_rate: 1.0,
                     mean_processing_time: 0.18,
                     recent_tail_latency: 0.2,
@@ -192,7 +196,7 @@ mod tests {
                 .collect();
             ClusterSnapshot {
                 now: self.now,
-                resources: ResourceModel::replicas(self.quota),
+                resources: ResourceModel::replicas(faro_core::units::ReplicaCount::new(self.quota)),
                 jobs,
             }
         }

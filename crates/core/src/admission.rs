@@ -85,7 +85,7 @@ impl Admission for ClampToQuota {
         snapshot: &ClusterSnapshot,
         desired: &mut DesiredState,
     ) -> AdmissionOutcome {
-        clamp_to_quota(desired, snapshot.replica_quota())
+        clamp_to_quota(desired, snapshot.replica_quota().get())
     }
 }
 
@@ -111,7 +111,7 @@ impl Admission for OutageClamp {
         snapshot: &ClusterSnapshot,
         desired: &mut DesiredState,
     ) -> AdmissionOutcome {
-        let quota = snapshot.replica_quota();
+        let quota = snapshot.replica_quota().get();
         if quota < self.capacity {
             clamp_to_quota(desired, quota)
         } else {
@@ -131,7 +131,7 @@ impl Admission for Unlimited {
         snapshot: &ClusterSnapshot,
         desired: &mut DesiredState,
     ) -> AdmissionOutcome {
-        AdmissionOutcome::pass_through(desired, snapshot.replica_quota())
+        AdmissionOutcome::pass_through(desired, snapshot.replica_quota().get())
     }
 }
 
@@ -269,7 +269,7 @@ fn admit_rotating(
     rotate: usize,
 ) -> AdmissionOutcome {
     let n = desired.len();
-    let quota = snapshot.replica_quota();
+    let quota = snapshot.replica_quota().get();
     if n == 0 {
         return AdmissionOutcome {
             requested_replicas: 0,
@@ -353,8 +353,8 @@ mod tests {
             })
             .collect();
         ClusterSnapshot {
-            now: 0.0,
-            resources: ResourceModel::replicas(quota),
+            now: crate::units::SimTimeMs::ZERO,
+            resources: ResourceModel::replicas(crate::units::ReplicaCount::new(quota)),
             jobs,
         }
     }

@@ -17,6 +17,7 @@ use crate::admission::{Admission, ClampToQuota, RotatingQuota};
 use crate::policy::Policy;
 use crate::predictor::RatePredictor;
 use crate::types::{ClusterSnapshot, DesiredState, JobDecision};
+use crate::units::{DurationMs, ReplicaCount, SimTimeMs};
 
 /// Default sustained-overload threshold before scale-up (seconds).
 pub const UP_THRESHOLD_SECS: f64 = 30.0;
@@ -26,30 +27,45 @@ pub const DOWN_THRESHOLD_SECS: f64 = 300.0;
 /// Tracks per-job overload/underload persistence across ticks.
 #[derive(Debug, Clone, Default)]
 struct Persistence {
-    overload_secs: Vec<f64>,
-    underload_secs: Vec<f64>,
-    last_tick: Option<f64>,
+    overload: Vec<DurationMs>,
+    underload: Vec<DurationMs>,
+    last_tick: Option<SimTimeMs>,
 }
 
 impl Persistence {
-    fn tick(&mut self, snapshot: &ClusterSnapshot) -> f64 {
+    fn tick(&mut self, snapshot: &ClusterSnapshot) -> DurationMs {
         let n = snapshot.jobs.len();
-        if self.overload_secs.len() != n {
-            self.overload_secs = vec![0.0; n];
-            self.underload_secs = vec![0.0; n];
+        if self.overload.len() != n {
+            self.overload = vec![DurationMs::ZERO; n];
+            self.underload = vec![DurationMs::ZERO; n];
         }
-        let dt = self.last_tick.map_or(0.0, |t| (snapshot.now - t).max(0.0));
+        let dt = self.last_tick.map_or(DurationMs::ZERO, |t| {
+            let d = snapshot.now - t;
+            if d.is_negative() {
+                DurationMs::ZERO
+            } else {
+                d
+            }
+        });
         self.last_tick = Some(snapshot.now);
         for (i, obs) in snapshot.jobs.iter().enumerate() {
             if obs.recent_tail_latency > obs.spec.slo.latency {
-                self.overload_secs[i] += dt;
-                self.underload_secs[i] = 0.0;
+                self.overload[i] = self.overload[i] + dt;
+                self.underload[i] = DurationMs::ZERO;
             } else {
-                self.underload_secs[i] += dt;
-                self.overload_secs[i] = 0.0;
+                self.underload[i] = self.underload[i] + dt;
+                self.overload[i] = DurationMs::ZERO;
             }
         }
         dt
+    }
+
+    fn overload_secs(&self, i: usize) -> f64 {
+        self.overload[i].as_secs()
+    }
+
+    fn underload_secs(&self, i: usize) -> f64 {
+        self.underload[i].as_secs()
     }
 }
 
@@ -64,7 +80,7 @@ impl Policy for FairShare {
 
     fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState {
         let n = snapshot.jobs.len().max(1) as u32;
-        let share = (snapshot.replica_quota() / n).max(1);
+        let share = (snapshot.replica_quota().get() / n).max(1);
         let mut out: DesiredState = snapshot
             .job_ids()
             .map(|id| {
@@ -104,18 +120,18 @@ impl Policy for Oneshot {
             // Proportional factor latency/SLO, capped so infinite
             // latency (drops) requests a large-but-finite jump.
             let factor = (obs.recent_tail_latency / obs.spec.slo.latency).clamp(0.0, 8.0);
-            if self.persistence.overload_secs[i] >= UP_THRESHOLD_SECS {
+            if self.persistence.overload_secs(i) >= UP_THRESHOLD_SECS {
                 let target =
                     ((f64::from(self.current[i].target_replicas) * factor).ceil()).max(1.0);
                 self.current[i].target_replicas = target as u32;
-                self.persistence.overload_secs[i] = 0.0;
-            } else if self.persistence.underload_secs[i] >= DOWN_THRESHOLD_SECS {
+                self.persistence.overload[i] = DurationMs::ZERO;
+            } else if self.persistence.underload_secs(i) >= DOWN_THRESHOLD_SECS {
                 let target =
                     ((f64::from(self.current[i].target_replicas) * factor).ceil()).max(1.0);
                 if (target as u32) < self.current[i].target_replicas {
                     self.current[i].target_replicas = target as u32;
                 }
-                self.persistence.underload_secs[i] = 0.0;
+                self.persistence.underload[i] = DurationMs::ZERO;
             }
         }
         let mut out: DesiredState = snapshot
@@ -147,13 +163,13 @@ impl Policy for Aiad {
         }
         self.persistence.tick(snapshot);
         for i in 0..snapshot.jobs.len() {
-            if self.persistence.overload_secs[i] >= UP_THRESHOLD_SECS {
+            if self.persistence.overload_secs(i) >= UP_THRESHOLD_SECS {
                 self.current[i].target_replicas += 1;
-                self.persistence.overload_secs[i] = 0.0;
-            } else if self.persistence.underload_secs[i] >= DOWN_THRESHOLD_SECS {
+                self.persistence.overload[i] = DurationMs::ZERO;
+            } else if self.persistence.underload_secs(i) >= DOWN_THRESHOLD_SECS {
                 self.current[i].target_replicas =
                     self.current[i].target_replicas.saturating_sub(1).max(1);
-                self.persistence.underload_secs[i] = 0.0;
+                self.persistence.underload[i] = DurationMs::ZERO;
             }
         }
         let mut out: DesiredState = snapshot
@@ -178,7 +194,7 @@ pub struct MarkCocktailBarista {
     pub interval: f64,
     /// Prediction window in minutes.
     pub window_minutes: usize,
-    last_plan: Option<f64>,
+    last_plan: Option<SimTimeMs>,
     persistence: Persistence,
     current: Vec<JobDecision>,
     admission: RotatingQuota,
@@ -211,7 +227,7 @@ impl Policy for MarkCocktailBarista {
         self.persistence.tick(snapshot);
         let due = self
             .last_plan
-            .is_none_or(|t| snapshot.now - t >= self.interval);
+            .is_none_or(|t| (snapshot.now - t).as_secs() >= self.interval);
         if due {
             self.last_plan = Some(snapshot.now);
             for (i, obs) in snapshot.jobs.iter().enumerate() {
@@ -226,25 +242,25 @@ impl Policy for MarkCocktailBarista {
                 // SLO* (MArk/Barista profile instances against the SLO,
                 // not at full saturation): the smallest replica count
                 // whose M/D/c tail latency meets the target.
-                let quota = snapshot.replica_quota();
+                let quota = snapshot.replica_quota().max(ReplicaCount::ONE);
                 let needed = faro_queueing::mdc::replicas_for_slo(
                     obs.spec.slo.percentile,
                     obs.mean_processing_time,
                     peak_per_sec,
                     obs.spec.slo.latency,
-                    quota.max(1),
+                    quota,
                 )
-                .unwrap_or(quota.max(1));
-                self.current[i].target_replicas = needed;
+                .unwrap_or(quota);
+                self.current[i].target_replicas = needed.get();
             }
         } else {
             // Reactive fallback: one extra replica per job after a
             // sustained observed violation (the point-prediction
             // underestimate the paper calls out).
             for i in 0..snapshot.jobs.len() {
-                if self.persistence.overload_secs[i] >= UP_THRESHOLD_SECS {
+                if self.persistence.overload_secs(i) >= UP_THRESHOLD_SECS {
                     self.current[i].target_replicas += 1;
-                    self.persistence.overload_secs[i] = 0.0;
+                    self.persistence.overload[i] = DurationMs::ZERO;
                 }
             }
         }
@@ -274,7 +290,12 @@ mod tests {
             target_replicas: target,
             ready_replicas: target,
             queue_len: 0,
-            arrival_rate_history: std::sync::Arc::new(vec![rate_per_min; 15]),
+            arrival_rate_history: std::sync::Arc::new(vec![
+                crate::units::RatePerMin::new(
+                    rate_per_min
+                );
+                15
+            ]),
             recent_arrival_rate: rate_per_min / 60.0,
             mean_processing_time: 0.180,
             recent_tail_latency: tail,
@@ -284,8 +305,8 @@ mod tests {
 
     fn snap(now: f64, quota: u32, jobs: Vec<JobObservation>) -> ClusterSnapshot {
         ClusterSnapshot {
-            now,
-            resources: ResourceModel::replicas(quota),
+            now: SimTimeMs::from_secs(now),
+            resources: ResourceModel::replicas(ReplicaCount::new(quota)),
             jobs,
         }
     }

@@ -16,6 +16,7 @@
 use crate::admission::{Admission, ClampToQuota};
 use crate::policy::Policy;
 use crate::types::{ClusterSnapshot, DesiredState, JobDecision};
+use crate::units::{RatePerMin, SimTimeMs};
 use faro_forecast::arma::Ar;
 use faro_forecast::Forecaster;
 
@@ -89,7 +90,7 @@ pub struct CilantroLike {
     /// AR window (minutes of history used for refitting).
     pub ar_window: usize,
     models: Vec<BinnedLatency>,
-    last_plan: Option<f64>,
+    last_plan: Option<SimTimeMs>,
     current: Vec<JobDecision>,
 }
 
@@ -108,7 +109,8 @@ impl Default for CilantroLike {
 impl CilantroLike {
     /// Forecasts the mean next-window rate (requests/minute) by
     /// refitting AR(8) on the recent fixed-size window.
-    fn forecast_rate(&self, history: &[f64]) -> f64 {
+    fn forecast_rate(&self, history: &[RatePerMin]) -> f64 {
+        let history: Vec<f64> = history.iter().map(|r| r.get()).collect();
         let window = &history[history.len().saturating_sub(self.ar_window)..];
         if window.len() < 12 {
             return window.last().copied().unwrap_or(0.0);
@@ -151,7 +153,7 @@ impl Policy for CilantroLike {
 
         let due = self
             .last_plan
-            .is_none_or(|t| snapshot.now - t >= self.interval);
+            .is_none_or(|t| (snapshot.now - t).as_secs() >= self.interval);
         if due {
             self.last_plan = Some(snapshot.now);
             let quota = snapshot.replica_quota();
@@ -165,7 +167,7 @@ impl Policy for CilantroLike {
                 .map(|obs| self.forecast_rate(&obs.arrival_rate_history) / 60.0)
                 .collect();
             let mut spent: u32 = n as u32;
-            while spent < quota {
+            while spent < quota.get() {
                 let mut best: Option<(usize, f64)> = None;
                 for i in 0..n {
                     let slo = snapshot.jobs[i].spec.slo.latency;
@@ -220,7 +222,7 @@ mod tests {
             target_replicas: target,
             ready_replicas: target,
             queue_len: 0,
-            arrival_rate_history: std::sync::Arc::new(vec![rate_per_min; 70]),
+            arrival_rate_history: std::sync::Arc::new(vec![RatePerMin::new(rate_per_min); 70]),
             recent_arrival_rate: rate_per_min / 60.0,
             mean_processing_time: 0.180,
             recent_tail_latency: tail,
@@ -230,8 +232,8 @@ mod tests {
 
     fn snap(now: f64, quota: u32, jobs: Vec<JobObservation>) -> ClusterSnapshot {
         ClusterSnapshot {
-            now,
-            resources: ResourceModel::replicas(quota),
+            now: SimTimeMs::from_secs(now),
+            resources: ResourceModel::replicas(crate::units::ReplicaCount::new(quota)),
             jobs,
         }
     }

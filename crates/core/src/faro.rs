@@ -28,6 +28,7 @@ use crate::opt::{Fidelity, JobWorkload, LatencyModel, MultiTenantProblem};
 use crate::policy::Policy;
 use crate::predictor::{sanitize_history, RatePredictor};
 use crate::types::{ClusterSnapshot, DesiredState, JobDecision};
+use crate::units::{DurationMs, RatePerMin, ReplicaCount, SimTimeMs};
 use crate::utility::RelaxedUtility;
 use faro_queueing::RelaxedLatency;
 use faro_solver::Cobyla;
@@ -110,11 +111,11 @@ pub struct FaroAutoscaler {
     predictors: Vec<Box<dyn RatePredictor>>,
     solver: Cobyla,
     /// Time of the last long-term solve.
-    last_long_term: Option<f64>,
-    /// Per-job sustained SLO-violation seconds (reactive trigger).
-    violation_secs: Vec<f64>,
+    last_long_term: Option<SimTimeMs>,
+    /// Per-job sustained SLO-violation span (reactive trigger).
+    violation: Vec<DurationMs>,
     /// Time of the previous tick (for violation accounting).
-    last_tick: Option<f64>,
+    last_tick: Option<SimTimeMs>,
     /// Current decisions, carried between ticks.
     current: Vec<JobDecision>,
     /// Last solve that succeeded and validated (resilience carry-forward
@@ -122,7 +123,7 @@ pub struct FaroAutoscaler {
     last_good: Option<Vec<JobDecision>>,
     /// Per-job time of the last fault-corroborated reactive boost
     /// (rate-limits the resilient fast path).
-    last_boost: Vec<f64>,
+    last_boost: Vec<SimTimeMs>,
     /// Ready replicas seen at the previous tick (involuntary-loss
     /// detection).
     prev_ready: Vec<u32>,
@@ -130,7 +131,7 @@ pub struct FaroAutoscaler {
     prev_applied: Vec<u32>,
     /// Per-job deadline until which the job counts as churning (crash
     /// headroom is padded onto long-term solves before this time).
-    churn_until: Vec<f64>,
+    churn_until: Vec<SimTimeMs>,
     rng: StdRng,
     name: String,
 }
@@ -149,7 +150,7 @@ impl FaroAutoscaler {
             config,
             predictors,
             last_long_term: None,
-            violation_secs: Vec::new(),
+            violation: Vec::new(),
             last_tick: None,
             current: Vec::new(),
             last_good: None,
@@ -183,7 +184,7 @@ impl FaroAutoscaler {
             .enumerate()
             .map(|(i, obs)| {
                 let sanitized;
-                let history: &[f64] = if resilient {
+                let history: &[RatePerMin] = if resilient {
                     sanitized = sanitize_history(&obs.arrival_rate_history);
                     &sanitized
                 } else {
@@ -193,7 +194,7 @@ impl FaroAutoscaler {
                     Some(p) => p.predict(history, w),
                     None => {
                         let level = if resilient && !obs.recent_arrival_rate.is_finite() {
-                            history.last().copied().unwrap_or(0.0)
+                            history.last().map_or(0.0, |r| r.get())
                         } else {
                             obs.recent_arrival_rate * 60.0
                         };
@@ -202,8 +203,12 @@ impl FaroAutoscaler {
                 };
                 if resilient {
                     // Last-resort guard: a predictor fed clean history
-                    // can still emit junk.
-                    forecast.mu = sanitize_history(&forecast.mu);
+                    // can still emit junk. Reuse the one audited repair
+                    // by round-tripping the raw forecast through the
+                    // rate newtype.
+                    let typed: Vec<RatePerMin> =
+                        forecast.mu.iter().map(|&v| RatePerMin::new(v)).collect();
+                    forecast.mu = sanitize_history(&typed).iter().map(|r| r.get()).collect();
                     for s in forecast.sigma.iter_mut() {
                         if !s.is_finite() || *s < 0.0 {
                             *s = 1e-9;
@@ -295,7 +300,7 @@ impl FaroAutoscaler {
     /// crashed or was evicted) upscales immediately instead of waiting
     /// out the full threshold — rate-limited to one boost per threshold
     /// interval per job.
-    fn reactive(&mut self, snapshot: &ClusterSnapshot, dt: f64) {
+    fn reactive(&mut self, snapshot: &ClusterSnapshot, dt: DurationMs) {
         let quota = snapshot.replica_quota();
         let resilient = self.config.resilience;
         for (i, obs) in snapshot.jobs.iter().enumerate() {
@@ -304,20 +309,20 @@ impl FaroAutoscaler {
             }
             let violated = obs.recent_tail_latency > obs.spec.slo.latency;
             if violated {
-                self.violation_secs[i] += dt;
+                self.violation[i] = self.violation[i] + dt;
             } else {
-                self.violation_secs[i] = 0.0;
+                self.violation[i] = DurationMs::ZERO;
             }
             let deficit = obs.ready_replicas < self.current[i].target_replicas;
             let fast_path = resilient
                 && violated
                 && deficit
-                && snapshot.now - self.last_boost[i] >= self.config.reactive_threshold;
-            if fast_path || self.violation_secs[i] >= self.config.reactive_threshold {
+                && (snapshot.now - self.last_boost[i]).as_secs() >= self.config.reactive_threshold;
+            if fast_path || self.violation[i].as_secs() >= self.config.reactive_threshold {
                 let total: u32 = self.current.iter().map(|d| d.target_replicas).sum();
-                if total < quota {
+                if total < quota.get() {
                     self.current[i].target_replicas += 1;
-                    self.violation_secs[i] = 0.0;
+                    self.violation[i] = DurationMs::ZERO;
                     self.last_boost[i] = snapshot.now;
                 }
             }
@@ -343,11 +348,12 @@ impl FaroAutoscaler {
             let lost = obs.ready_replicas < self.prev_ready[i]
                 && obs.ready_replicas < self.prev_applied[i];
             if lost {
-                self.churn_until[i] =
-                    snapshot.now + CHURN_WINDOW_SOLVES * self.config.long_term_interval;
+                self.churn_until[i] = snapshot.now
+                    + DurationMs::from_secs(CHURN_WINDOW_SOLVES * self.config.long_term_interval);
                 let total: u32 = self.current.iter().map(|d| d.target_replicas).sum();
-                if total < quota
-                    && snapshot.now - self.last_boost[i] >= self.config.reactive_threshold
+                if total < quota.get()
+                    && (snapshot.now - self.last_boost[i]).as_secs()
+                        >= self.config.reactive_threshold
                 {
                     self.current[i].target_replicas += 1;
                     self.last_boost[i] = snapshot.now;
@@ -362,10 +368,10 @@ impl FaroAutoscaler {
     /// allocations assuming replicas stay up; under churn one replica
     /// is perpetually mid-cold-start somewhere, and every crash opens a
     /// cold-start-long capacity hole that the headroom absorbs.
-    fn pad_churn_headroom(&mut self, now: f64, quota: u32) {
+    fn pad_churn_headroom(&mut self, now: SimTimeMs, quota: ReplicaCount) {
         let mut total: u32 = self.current.iter().map(|d| d.target_replicas).sum();
         for i in 0..self.current.len() {
-            if self.churn_until[i] > now && total < quota {
+            if self.churn_until[i] > now && total < quota.get() {
                 self.current[i].target_replicas += 1;
                 total += 1;
             }
@@ -390,14 +396,21 @@ impl Policy for FaroAutoscaler {
         let n = snapshot.jobs.len();
         if self.current.len() != n {
             self.current = snapshot.jobs.iter().map(JobDecision::keep).collect();
-            self.violation_secs = vec![0.0; n];
-            self.last_boost = vec![f64::NEG_INFINITY; n];
+            self.violation = vec![DurationMs::ZERO; n];
+            self.last_boost = vec![SimTimeMs::MIN; n];
             self.last_good = None;
             self.prev_ready = snapshot.jobs.iter().map(|j| j.ready_replicas).collect();
             self.prev_applied = self.current.iter().map(|d| d.target_replicas).collect();
-            self.churn_until = vec![f64::NEG_INFINITY; n];
+            self.churn_until = vec![SimTimeMs::MIN; n];
         }
-        let dt = self.last_tick.map_or(0.0, |t| (snapshot.now - t).max(0.0));
+        let dt = self.last_tick.map_or(DurationMs::ZERO, |t| {
+            let d = snapshot.now - t;
+            if d.is_negative() {
+                DurationMs::ZERO
+            } else {
+                d
+            }
+        });
         self.last_tick = Some(snapshot.now);
         if self.config.resilience {
             self.detect_churn(snapshot);
@@ -405,7 +418,7 @@ impl Policy for FaroAutoscaler {
 
         let due = self
             .last_long_term
-            .is_none_or(|t| snapshot.now - t >= self.config.long_term_interval);
+            .is_none_or(|t| (snapshot.now - t).as_secs() >= self.config.long_term_interval);
         if due {
             self.last_long_term = Some(snapshot.now);
             match self.long_term(snapshot) {
@@ -414,7 +427,9 @@ impl Policy for FaroAutoscaler {
                         self.last_good = Some(decisions.clone());
                     }
                     self.current = decisions;
-                    self.violation_secs.iter_mut().for_each(|v| *v = 0.0);
+                    self.violation
+                        .iter_mut()
+                        .for_each(|v| *v = DurationMs::ZERO);
                     if self.config.resilience {
                         self.pad_churn_headroom(snapshot.now, snapshot.replica_quota());
                     }
@@ -481,7 +496,7 @@ mod tests {
             target_replicas: target,
             ready_replicas: target,
             queue_len: 0,
-            arrival_rate_history: std::sync::Arc::new(vec![rate_per_min; 15]),
+            arrival_rate_history: std::sync::Arc::new(vec![RatePerMin::new(rate_per_min); 15]),
             recent_arrival_rate: rate_per_min / 60.0,
             mean_processing_time: 0.180,
             recent_tail_latency: tail,
@@ -491,8 +506,8 @@ mod tests {
 
     fn snapshot(now: f64, quota: u32, jobs: Vec<JobObservation>) -> ClusterSnapshot {
         ClusterSnapshot {
-            now,
-            resources: ResourceModel::replicas(quota),
+            now: SimTimeMs::from_secs(now),
+            resources: ResourceModel::replicas(ReplicaCount::new(quota)),
             jobs,
         }
     }
@@ -616,7 +631,7 @@ mod tests {
             .iter_mut()
             .skip(n - 5)
         {
-            *v = f64::NAN;
+            *v = RatePerMin::NAN;
         }
         o.recent_arrival_rate = f64::NAN;
         o.recent_tail_latency = f64::NAN;

@@ -12,6 +12,7 @@ use crate::error::Result;
 use crate::objective::ClusterObjective;
 use crate::opt::{Fidelity, JobWorkload, MultiTenantProblem};
 use crate::types::{DesiredState, JobDecision, JobId, ResourceModel};
+use crate::units::ReplicaCount;
 use faro_solver::Solver;
 use rand::prelude::*;
 
@@ -131,7 +132,7 @@ impl faro_solver::Problem for GroupedProblem<'_> {
 
     fn bounds(&self) -> Vec<(f64, f64)> {
         let g = self.member_lists.len();
-        let quota = f64::from(self.flat.resources().replica_quota());
+        let quota = self.flat.resources().replica_quota().as_f64();
         let mut b: Vec<(f64, f64)> = self
             .member_lists
             .iter()
@@ -172,7 +173,7 @@ pub fn solve_hierarchical(
     // estimated M/D/c replica *need* at its mean predicted rate. Raw
     // offered load would starve small jobs (queueing headroom is not
     // linear in load), forcing the group budget far past the true need.
-    let quota = resources.replica_quota().max(1);
+    let quota = resources.replica_quota().max(ReplicaCount::ONE);
     let need = |j: &JobWorkload| -> f64 {
         let total: f64 = j.lambda_trajectories.iter().flat_map(|t| t.iter()).sum();
         let count = j
@@ -189,7 +190,7 @@ pub fn solve_hierarchical(
             j.slo.latency,
             quota,
         )
-        .map(f64::from)
+        .map(|r| r.as_f64())
         .unwrap_or_else(|_| (mean_lambda * j.processing_time).max(1.0) + 1.0)
     };
     let mut shares = vec![0.0; n];
@@ -272,7 +273,7 @@ mod tests {
         // With generous quota, the grouped solve should reach nearly
         // the flat solve's objective (paper: ~2% difference).
         let jobs: Vec<JobWorkload> = (0..12).map(|i| job(4.0 + f64::from(i) * 2.0)).collect();
-        let resources = ResourceModel::replicas(60);
+        let resources = ResourceModel::replicas(ReplicaCount::new(60));
         let flat = MultiTenantProblem::new(
             jobs.clone(),
             resources,
@@ -307,7 +308,7 @@ mod tests {
         let current = vec![1u32; 12];
         let out = solve_hierarchical(
             &jobs,
-            ResourceModel::replicas(48),
+            ResourceModel::replicas(ReplicaCount::new(48)),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
             &Cobyla::fast(),
@@ -343,7 +344,7 @@ mod tests {
         let jobs = vec![job(5.0), job(50.0)];
         let out = solve_hierarchical(
             &jobs,
-            ResourceModel::replicas(24),
+            ResourceModel::replicas(ReplicaCount::new(24)),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
             &Cobyla::fast(),
@@ -362,7 +363,7 @@ mod tests {
         let jobs: Vec<JobWorkload> = (0..30).map(|i| job(3.0 + f64::from(i))).collect();
         let flat = MultiTenantProblem::new(
             jobs.clone(),
-            ResourceModel::replicas(120),
+            ResourceModel::replicas(ReplicaCount::new(120)),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
         )
@@ -370,7 +371,7 @@ mod tests {
         let flat_alloc = flat.solve(&Cobyla::fast(), &[1; 30]).unwrap();
         let grouped = solve_hierarchical(
             &jobs,
-            ResourceModel::replicas(120),
+            ResourceModel::replicas(ReplicaCount::new(120)),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
             &Cobyla::fast(),

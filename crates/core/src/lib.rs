@@ -27,21 +27,22 @@
 //! use faro_core::baselines::FairShare;
 //! use faro_core::policy::Policy;
 //! use faro_core::types::{ClusterSnapshot, JobId, JobObservation, JobSpec, ResourceModel};
+//! use faro_core::units::{RatePerMin, ReplicaCount, SimTimeMs};
 //!
 //! let job = JobObservation {
 //!     spec: std::sync::Arc::new(JobSpec::resnet34("demo")),
 //!     target_replicas: 1,
 //!     ready_replicas: 1,
 //!     queue_len: 0,
-//!     arrival_rate_history: std::sync::Arc::new(vec![600.0; 15]),
+//!     arrival_rate_history: std::sync::Arc::new(vec![RatePerMin::new(600.0); 15]),
 //!     recent_arrival_rate: 10.0,
 //!     mean_processing_time: 0.180,
 //!     recent_tail_latency: 0.2,
 //!     drop_rate: 0.0,
 //! };
 //! let snapshot = ClusterSnapshot {
-//!     now: 0.0,
-//!     resources: ResourceModel::replicas(8),
+//!     now: SimTimeMs::ZERO,
+//!     resources: ResourceModel::replicas(ReplicaCount::new(8)),
 //!     jobs: vec![job],
 //! };
 //! let desired = FairShare.decide(&snapshot);
@@ -63,6 +64,7 @@ pub mod penalty;
 pub mod policy;
 pub mod predictor;
 pub mod types;
+pub mod units;
 pub mod utility;
 
 pub use admission::{Admission, AdmissionOutcome, ClampToQuota, OutageClamp, RotatingQuota};
@@ -73,3 +75,4 @@ pub use policy::Policy;
 pub use types::{
     ClusterSnapshot, DesiredState, JobDecision, JobId, JobObservation, JobSpec, ResourceModel, Slo,
 };
+pub use units::{DurationMs, RatePerMin, ReplicaCount, SimTimeMs};

@@ -14,13 +14,14 @@
 //!   the `rho_max` knee, piecewise-linear penalty — plateau-free and
 //!   solvable in sub-second time by COBYLA.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
 use crate::error::{Error, Result};
 use crate::objective::{ClusterObjective, JobUtility};
 use crate::penalty::{phi, PenaltyShape};
 use crate::types::{ResourceModel, Slo};
+use crate::units::ReplicaCount;
 use crate::utility::{step_utility, RelaxedUtility};
 use faro_queueing::{mdc, upper_bound, RelaxedLatency};
 use faro_solver::{Problem, Solution, Solver};
@@ -42,7 +43,9 @@ const MEMO_CAPACITY: usize = 1 << 20;
 #[derive(Debug, Default)]
 struct LatencyTables {
     /// `index[job]`: clamped arrival-rate bits -> row id in `dense`.
-    index: Vec<HashMap<u64, u32>>,
+    /// Ordered map so table internals never depend on hash iteration
+    /// order (faro-lint: nondeterministic-iteration).
+    index: Vec<BTreeMap<u64, u32>>,
     /// `dense[job][row]`: latency at every integer replica count
     /// (entry `n - 1` is the latency at `n`).
     dense: Vec<Vec<Vec<f64>>>,
@@ -68,7 +71,7 @@ struct SolveCache {
     tables: OnceLock<Option<LatencyTables>>,
     /// Keyed memo for rates outside the tables — drop-adjusted
     /// `lambda * (1 - d)` with `d > 0`: `(job, rate bits, servers)`.
-    memo: Mutex<HashMap<(usize, u64, u32), f64>>,
+    memo: Mutex<BTreeMap<(usize, u64, u32), f64>>,
 }
 
 /// One job's share of the optimization input.
@@ -171,7 +174,7 @@ impl MultiTenantProblem {
                 )));
             }
         }
-        if (resources.replica_quota() as usize) < jobs.len() {
+        if (resources.replica_quota().get() as usize) < jobs.len() {
             return Err(Error::InvalidSnapshot(format!(
                 "quota {} cannot host one replica for each of {} jobs",
                 resources.replica_quota(),
@@ -247,7 +250,7 @@ impl MultiTenantProblem {
             return None; // Closed form, O(1): nothing to memoize.
         }
         let quota = self.resources.replica_quota();
-        if quota == 0 {
+        if quota.is_zero() {
             return None;
         }
         let mut index = Vec::with_capacity(self.jobs.len());
@@ -262,7 +265,7 @@ impl MultiTenantProblem {
                 Fidelity::Relaxed => Some(self.relaxed_latency.knee_latencies(k, p, quota)),
                 Fidelity::Precise => None,
             };
-            let mut by_rate: HashMap<u64, u32> = HashMap::new();
+            let mut by_rate: BTreeMap<u64, u32> = BTreeMap::new();
             let mut rows: Vec<Vec<f64>> = Vec::new();
             let mut step_rows: Vec<u32> = Vec::new();
             for traj in &job.lambda_trajectories {
@@ -278,7 +281,7 @@ impl MultiTenantProblem {
                             Some(Err(_)) => None,
                             None => mdc::latency_percentile_sweep(k, p, lambda, quota).ok(),
                         };
-                        rows.push(row.unwrap_or_else(|| vec![f64::INFINITY; quota as usize]));
+                        rows.push(row.unwrap_or_else(|| vec![f64::INFINITY; quota.get() as usize]));
                         (rows.len() - 1) as u32
                     });
                     step_rows.push(id);
@@ -292,7 +295,7 @@ impl MultiTenantProblem {
             index,
             dense,
             steps,
-            quota: quota as usize,
+            quota: quota.get() as usize,
         })
     }
 
@@ -313,8 +316,10 @@ impl MultiTenantProblem {
             return v;
         }
         let v = match self.fidelity {
-            Fidelity::Precise => mdc::latency_percentile(k, p, lambda, n),
-            Fidelity::Relaxed => self.relaxed_latency.latency(k, p, lambda, n),
+            Fidelity::Precise => mdc::latency_percentile(k, p, lambda, ReplicaCount::new(n)),
+            Fidelity::Relaxed => self
+                .relaxed_latency
+                .latency(k, p, lambda, ReplicaCount::new(n)),
         }
         .unwrap_or(f64::INFINITY);
         let mut memo = self.cache.memo.lock().expect("latency memo");
@@ -338,9 +343,13 @@ impl MultiTenantProblem {
                 // (the paper's kappa; Sec. 3.3's example uses kappa =
                 // lambda = 40 with p = 150 ms and 600 ms SLO -> 10
                 // replicas).
-                upper_bound::completion_time(p, lambda, x.max(1.0).round() as u32)
-                    .map(|w| w.max(p))
-                    .unwrap_or(f64::INFINITY)
+                upper_bound::completion_time(
+                    p,
+                    lambda,
+                    ReplicaCount::new(x.max(1.0).round() as u32),
+                )
+                .map(|w| w.max(p))
+                .unwrap_or(f64::INFINITY)
             }
             (Fidelity::Precise, LatencyModel::MDc) => {
                 let n = x.max(1.0).round() as u32;
@@ -550,7 +559,7 @@ impl MultiTenantProblem {
     /// step utility's threshold even where the continuous problem is a
     /// plateau — see the Figure 16 ablation).
     pub fn integerize(&self, alloc: &ContinuousAllocation) -> Vec<u32> {
-        let quota = self.resources.replica_quota();
+        let quota = self.resources.replica_quota().get();
         let n = self.jobs.len();
         let mut xs: Vec<u32> = alloc
             .replicas
@@ -680,7 +689,7 @@ impl Problem for ProblemAdapter<'_> {
 
     fn bounds(&self) -> Vec<(f64, f64)> {
         let n = self.inner.jobs.len();
-        let quota = f64::from(self.inner.resources.replica_quota());
+        let quota = self.inner.resources.replica_quota().as_f64();
         let mut b = vec![(1.0, quota); n];
         if self.inner.objective.uses_drop_rates() {
             b.extend(std::iter::repeat_n((0.0, 1.0), n));
@@ -706,7 +715,7 @@ mod tests {
         ];
         MultiTenantProblem::new(
             jobs,
-            ResourceModel::replicas(quota),
+            ResourceModel::replicas(ReplicaCount::new(quota)),
             objective,
             Fidelity::Relaxed,
         )
@@ -715,7 +724,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_input() {
-        let r = ResourceModel::replicas(8);
+        let r = ResourceModel::replicas(ReplicaCount::new(8));
         assert!(
             MultiTenantProblem::new(vec![], r, ClusterObjective::Sum, Fidelity::Relaxed).is_err()
         );
@@ -739,7 +748,7 @@ mod tests {
         ];
         assert!(MultiTenantProblem::new(
             jobs,
-            ResourceModel::replicas(1),
+            ResourceModel::replicas(ReplicaCount::new(1)),
             ClusterObjective::Sum,
             Fidelity::Relaxed
         )
@@ -812,7 +821,7 @@ mod tests {
         ];
         let p = MultiTenantProblem::new(
             jobs,
-            ResourceModel::replicas(4),
+            ResourceModel::replicas(ReplicaCount::new(4)),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
         )
@@ -840,7 +849,7 @@ mod tests {
         let jobs = vec![JobWorkload::constant(200.0, 0.180, slo(), 1.0)];
         let p = MultiTenantProblem::new(
             jobs,
-            ResourceModel::replicas(64),
+            ResourceModel::replicas(ReplicaCount::new(64)),
             ClusterObjective::Sum,
             Fidelity::Precise,
         )
@@ -853,7 +862,7 @@ mod tests {
         let jobs = vec![JobWorkload::constant(200.0, 0.180, slo(), 1.0)];
         let p = MultiTenantProblem::new(
             jobs,
-            ResourceModel::replicas(64),
+            ResourceModel::replicas(ReplicaCount::new(64)),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
         )
@@ -882,7 +891,7 @@ mod tests {
                         job.slo.percentile,
                         job.processing_time,
                         lambda_eff,
-                        x.max(1.0).round() as u32,
+                        ReplicaCount::new(x.max(1.0).round() as u32),
                     )
                     .unwrap_or(f64::INFINITY),
                 };
@@ -915,7 +924,7 @@ mod tests {
         ];
         MultiTenantProblem::new(
             jobs,
-            ResourceModel::replicas(24),
+            ResourceModel::replicas(ReplicaCount::new(24)),
             ClusterObjective::Sum,
             fidelity,
         )
@@ -970,7 +979,7 @@ mod tests {
             }];
             let p = MultiTenantProblem::new(
                 jobs,
-                ResourceModel::replicas(40),
+                ResourceModel::replicas(ReplicaCount::new(40)),
                 ClusterObjective::Sum,
                 Fidelity::Relaxed,
             )
@@ -997,7 +1006,7 @@ mod tests {
             )];
             MultiTenantProblem::new(
                 jobs,
-                ResourceModel::replicas(32),
+                ResourceModel::replicas(ReplicaCount::new(32)),
                 ClusterObjective::Sum,
                 Fidelity::Relaxed,
             )

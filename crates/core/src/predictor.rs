@@ -13,14 +13,26 @@
 //! - [`FlatPredictor`]: repeats the recent mean rate — the "no
 //!   time-series prediction" ablation.
 
+use crate::units::RatePerMin;
 use faro_forecast::{Forecaster, GaussianForecast, ProbForecaster};
 
 /// Predicts the distribution of per-minute arrival rates over the next
 /// `horizon` minutes from a per-minute history.
+///
+/// The forecast itself stays in raw per-minute `f64`s — it is the output
+/// of a numeric model, not an observed quantity — but the history input
+/// is typed so callers cannot hand a per-second series to a per-minute
+/// model.
 pub trait RatePredictor: Send {
     /// Produces a forecast of exactly `horizon` steps. Implementations
     /// must cope with histories of any length (padding internally).
-    fn predict(&mut self, history_per_minute: &[f64], horizon: usize) -> GaussianForecast;
+    fn predict(&mut self, history_per_minute: &[RatePerMin], horizon: usize) -> GaussianForecast;
+}
+
+/// Unwraps a typed history into the raw per-minute series the numeric
+/// models consume.
+fn raw_rates(history: &[RatePerMin]) -> Vec<f64> {
+    history.iter().map(|r| r.get()).collect()
 }
 
 /// Repairs a rate history corrupted by metric outages: every non-finite
@@ -28,21 +40,21 @@ pub trait RatePredictor: Send {
 /// non-negative value (the last rate the scraper actually observed).
 /// A corrupted prefix borrows the first healthy value instead; an
 /// entirely corrupted history sanitizes to zeros.
-pub fn sanitize_history(history: &[f64]) -> Vec<f64> {
+pub fn sanitize_history(history: &[RatePerMin]) -> Vec<RatePerMin> {
     let first_good = history
         .iter()
         .copied()
-        .find(|v| v.is_finite() && *v >= 0.0)
-        .unwrap_or(0.0);
+        .find(|v| !v.is_corrupt())
+        .unwrap_or(RatePerMin::ZERO);
     let mut last_good = first_good;
     history
         .iter()
         .map(|&v| {
-            if v.is_finite() && v >= 0.0 {
+            if v.is_corrupt() {
+                last_good
+            } else {
                 last_good = v;
                 v
-            } else {
-                last_good
             }
         })
         .collect()
@@ -83,13 +95,14 @@ impl ProbabilisticPredictor {
 }
 
 impl RatePredictor for ProbabilisticPredictor {
-    fn predict(&mut self, history: &[f64], horizon: usize) -> GaussianForecast {
-        let ctx = fit_context(history, self.model.input_len());
+    fn predict(&mut self, history: &[RatePerMin], horizon: usize) -> GaussianForecast {
+        let history = raw_rates(history);
+        let ctx = fit_context(&history, self.model.input_len());
         match self.model.predict_distribution(&ctx) {
             Ok(f) => fit_horizon(f, horizon),
             // An unfitted or mis-sized model degrades to a flat guess
             // rather than failing the control loop.
-            Err(_) => flat_forecast(history, horizon, 0.0),
+            Err(_) => flat_forecast(&history, horizon, 0.0),
         }
     }
 }
@@ -107,14 +120,15 @@ impl PointPredictor {
 }
 
 impl RatePredictor for PointPredictor {
-    fn predict(&mut self, history: &[f64], horizon: usize) -> GaussianForecast {
-        let ctx = fit_context(history, self.model.input_len());
+    fn predict(&mut self, history: &[RatePerMin], horizon: usize) -> GaussianForecast {
+        let history = raw_rates(history);
+        let ctx = fit_context(&history, self.model.input_len());
         match self.model.predict(&ctx) {
             Ok(mu) => {
                 let sigma = vec![1e-9; mu.len()];
                 fit_horizon(GaussianForecast::new(mu, sigma), horizon)
             }
-            Err(_) => flat_forecast(history, horizon, 0.0),
+            Err(_) => flat_forecast(&history, horizon, 0.0),
         }
     }
 }
@@ -154,7 +168,8 @@ fn flat_forecast(history: &[f64], horizon: usize, sigma_fraction: f64) -> Gaussi
 }
 
 impl RatePredictor for FlatPredictor {
-    fn predict(&mut self, history: &[f64], horizon: usize) -> GaussianForecast {
+    fn predict(&mut self, history: &[RatePerMin], horizon: usize) -> GaussianForecast {
+        let history = raw_rates(history);
         let lookback = self.lookback.min(history.len()).max(1);
         let level = if history.is_empty() {
             0.0
@@ -173,13 +188,17 @@ mod tests {
     use super::*;
     use faro_forecast::naive::DampedMovingAverage;
 
+    fn rpm(v: &[f64]) -> Vec<RatePerMin> {
+        v.iter().map(|&v| RatePerMin::new(v)).collect()
+    }
+
     #[test]
     fn flat_predictor_repeats_recent_mean() {
         let mut p = FlatPredictor {
             lookback: 2,
             sigma_fraction: 0.1,
         };
-        let f = p.predict(&[10.0, 20.0, 30.0], 4);
+        let f = p.predict(&rpm(&[10.0, 20.0, 30.0]), 4);
         assert_eq!(f.mu, vec![25.0; 4]);
         assert!((f.sigma[0] - 2.5).abs() < 1e-9);
     }
@@ -196,7 +215,7 @@ mod tests {
         let mut model = DampedMovingAverage::new(0.5, 4, 2).unwrap();
         model.fit(&[1.0]).unwrap();
         let mut p = PointPredictor::new(Box::new(model));
-        let f = p.predict(&[8.0, 8.0, 8.0, 8.0], 5);
+        let f = p.predict(&rpm(&[8.0, 8.0, 8.0, 8.0]), 5);
         assert_eq!(f.horizon(), 5);
         for &m in &f.mu {
             assert!((m - 8.0).abs() < 1e-9);
@@ -210,7 +229,7 @@ mod tests {
         let mut model = DampedMovingAverage::new(0.5, 8, 2).unwrap();
         model.fit(&[1.0]).unwrap();
         let mut p = PointPredictor::new(Box::new(model));
-        let f = p.predict(&[4.0], 2);
+        let f = p.predict(&rpm(&[4.0]), 2);
         assert_eq!(f.horizon(), 2);
         assert!((f.mu[0] - 4.0).abs() < 1e-9);
     }
@@ -219,20 +238,23 @@ mod tests {
     fn unfitted_model_degrades_to_flat() {
         let model = DampedMovingAverage::new(0.5, 4, 2).unwrap(); // Not fitted.
         let mut p = PointPredictor::new(Box::new(model));
-        let f = p.predict(&[6.0, 6.0], 3);
+        let f = p.predict(&rpm(&[6.0, 6.0]), 3);
         assert_eq!(f.mu, vec![6.0; 3]);
     }
 
     #[test]
     fn sanitize_history_repairs_gaps() {
-        let h = [5.0, f64::NAN, f64::INFINITY, 7.0, -1.0, 8.0];
-        assert_eq!(sanitize_history(&h), vec![5.0, 5.0, 5.0, 7.0, 7.0, 8.0]);
+        let h = rpm(&[5.0, f64::NAN, f64::INFINITY, 7.0, -1.0, 8.0]);
+        assert_eq!(sanitize_history(&h), rpm(&[5.0, 5.0, 5.0, 7.0, 7.0, 8.0]));
         // A corrupted prefix borrows the first healthy value.
-        let h = [f64::NAN, f64::NAN, 3.0, 4.0];
-        assert_eq!(sanitize_history(&h), vec![3.0, 3.0, 3.0, 4.0]);
+        let h = rpm(&[f64::NAN, f64::NAN, 3.0, 4.0]);
+        assert_eq!(sanitize_history(&h), rpm(&[3.0, 3.0, 3.0, 4.0]));
         // All-corrupt histories become zeros rather than poisoning the
         // forecaster.
-        assert_eq!(sanitize_history(&[f64::NAN; 3]), vec![0.0; 3]);
+        assert_eq!(
+            sanitize_history(&[RatePerMin::NAN; 3]),
+            vec![RatePerMin::ZERO; 3]
+        );
         assert!(sanitize_history(&[]).is_empty());
     }
 

@@ -1,6 +1,7 @@
 //! Shared vocabulary types: jobs, SLOs, resources, snapshots, and scale
 //! decisions.
 
+use crate::units::{RatePerMin, ReplicaCount, SimTimeMs};
 use serde::{Deserialize, Serialize};
 use std::collections::btree_map;
 use std::collections::BTreeMap;
@@ -113,20 +114,20 @@ pub struct ResourceModel {
 impl ResourceModel {
     /// A cluster sized in whole replicas (the paper's framing: "total
     /// replicas" via Kubernetes resource quota).
-    pub fn replicas(total: u32) -> Self {
+    pub fn replicas(total: ReplicaCount) -> Self {
         Self {
             cpu_per_replica: 1.0,
             mem_per_replica: 1.0,
-            cluster_cpu: f64::from(total),
-            cluster_mem: f64::from(total),
+            cluster_cpu: total.as_f64(),
+            cluster_mem: total.as_f64(),
         }
     }
 
     /// The replica quota implied by the binding resource.
-    pub fn replica_quota(&self) -> u32 {
+    pub fn replica_quota(&self) -> ReplicaCount {
         let by_cpu = self.cluster_cpu / self.cpu_per_replica;
         let by_mem = self.cluster_mem / self.mem_per_replica;
-        by_cpu.min(by_mem).floor().max(0.0) as u32
+        ReplicaCount::new(by_cpu.min(by_mem).floor().max(0.0) as u32)
     }
 }
 
@@ -145,8 +146,8 @@ pub struct JobObservation {
     /// Completed per-minute arrival counts, oldest first (the metric the
     /// Faro router exports continually). Shared copy-on-write with the
     /// runtime's history so building a snapshot is O(1) in the elapsed
-    /// trace length; serializes as a plain JSON array.
-    pub arrival_rate_history: Arc<Vec<f64>>,
+    /// trace length; serializes as a plain JSON array of raw rates.
+    pub arrival_rate_history: Arc<Vec<RatePerMin>>,
     /// Arrival rate over the last reactive interval (requests/second).
     pub recent_arrival_rate: f64,
     /// Measured mean per-request processing time (seconds); falls back
@@ -162,8 +163,8 @@ pub struct JobObservation {
 /// Cluster-wide observation delivered to policies at every tick.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSnapshot {
-    /// Simulation/wall time in seconds.
-    pub now: f64,
+    /// Simulation/wall time (serialized as `f64` seconds).
+    pub now: SimTimeMs,
     /// Resource capacity.
     pub resources: ResourceModel,
     /// Per-job observations, indexed by [`JobId`].
@@ -172,13 +173,16 @@ pub struct ClusterSnapshot {
 
 impl ClusterSnapshot {
     /// Total replica quota.
-    pub fn replica_quota(&self) -> u32 {
+    pub fn replica_quota(&self) -> ReplicaCount {
         self.resources.replica_quota()
     }
 
     /// Sum of current target replicas.
-    pub fn total_target_replicas(&self) -> u32 {
-        self.jobs.iter().map(|j| j.target_replicas).sum()
+    pub fn total_target_replicas(&self) -> ReplicaCount {
+        self.jobs
+            .iter()
+            .map(|j| ReplicaCount::new(j.target_replicas))
+            .sum()
     }
 
     /// Identifiers of every job in the snapshot, in ascending order.
@@ -314,7 +318,10 @@ mod tests {
 
     #[test]
     fn resource_model_quota() {
-        assert_eq!(ResourceModel::replicas(32).replica_quota(), 32);
+        assert_eq!(
+            ResourceModel::replicas(ReplicaCount::new(32)).replica_quota(),
+            ReplicaCount::new(32)
+        );
         let uneven = ResourceModel {
             cpu_per_replica: 1.0,
             mem_per_replica: 2.0,
@@ -322,7 +329,7 @@ mod tests {
             cluster_mem: 8.0,
         };
         // Memory binds: 8 / 2 = 4 replicas.
-        assert_eq!(uneven.replica_quota(), 4);
+        assert_eq!(uneven.replica_quota(), ReplicaCount::new(4));
     }
 
     #[test]
@@ -351,12 +358,12 @@ mod tests {
             drop_rate: 0.0,
         };
         let snap = ClusterSnapshot {
-            now: 0.0,
-            resources: ResourceModel::replicas(16),
+            now: SimTimeMs::ZERO,
+            resources: ResourceModel::replicas(ReplicaCount::new(16)),
             jobs: vec![mk(3), mk(5)],
         };
-        assert_eq!(snap.total_target_replicas(), 8);
-        assert_eq!(snap.replica_quota(), 16);
+        assert_eq!(snap.total_target_replicas(), ReplicaCount::new(8));
+        assert_eq!(snap.replica_quota(), ReplicaCount::new(16));
         assert_eq!(snap.job_ids().collect::<Vec<_>>().len(), 2);
         assert_eq!(snap.job(JobId::new(1)).unwrap().target_replicas, 5);
         assert!(snap.job(JobId::new(2)).is_none());

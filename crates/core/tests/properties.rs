@@ -27,8 +27,8 @@ fn snap(prev: &[u32], quota: u32) -> ClusterSnapshot {
         })
         .collect();
     ClusterSnapshot {
-        now: 0.0,
-        resources: ResourceModel::replicas(quota),
+        now: faro_core::units::SimTimeMs::ZERO,
+        resources: ResourceModel::replicas(faro_core::units::ReplicaCount::new(quota)),
         jobs,
     }
 }

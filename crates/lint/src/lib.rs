@@ -1,0 +1,50 @@
+//! faro-lint: workspace-local static analysis for the invariants the
+//! simulator's bit-identical golden reports depend on.
+//!
+//! The simulator, solver, and control plane promise byte-identical
+//! output for identical inputs (ROADMAP: "determinism is load
+//! bearing"). That promise is easy to break with one innocent edit: a
+//! `HashMap` iteration in a report loop, an `Instant::now()` in a
+//! policy, a stray `* 60.0` that silently mixes per-second and
+//! per-minute rates. The type system catches some of this (see
+//! [`faro_core::units`]); this linter catches the rest — the patterns
+//! that are legal Rust but violate project invariants.
+//!
+//! Four rules:
+//!
+//! - [`nondeterministic-iteration`](rules::nondeterministic_iteration):
+//!   forbids `HashMap`/`HashSet` and ambient randomness/wall-clock
+//!   reads (`thread_rng`, `rand::random`, `SystemTime`, `Instant`) in
+//!   the determinism-critical crates (`core`, `sim`, `solver`,
+//!   `control`).
+//! - [`raw-time-arith`](rules::raw_time_arith): forbids new raw-`f64`
+//!   time/rate fields (suffixes `_secs`, `_ms`, `_micros`, `_per_min`,
+//!   `_per_minute`) and bare cross-unit conversion constants (`60e6`,
+//!   `1_000_000`, …) outside the unit home modules (`units.rs`,
+//!   `count.rs`, `events.rs`).
+//! - [`no-panic-in-lib`](rules::no_panic_in_lib): forbids `unwrap()`,
+//!   bare `panic!`, and literal indexing in non-test library code of
+//!   `sim` and `control`; `expect` is allowed only with an
+//!   `"invariant: …"` message that states why it cannot fire.
+//! - [`golden-guard`](golden_guard): a diff-level rule — editing an
+//!   event-ordering-sensitive file (sim event loop, backend, runtime,
+//!   core opt) without touching a golden test in the same change is
+//!   flagged, because those files are exactly where bit-identity dies.
+//!
+//! Escape hatch: `// faro-lint: allow(rule-id): reason` on the
+//! offending line or the line above; `// faro-lint: allow-file(rule-id)`
+//! anywhere in a file silences the rule for the whole file. Allows are
+//! deliberately loud in review — grep for `faro-lint:` to audit them.
+//!
+//! Run it with `cargo xtask lint` (wired into CI). The entry points
+//! are [`run`] for the whole workspace and [`lint_source`] for one
+//! in-memory file (used by the fixture tests).
+
+mod diagnostics;
+mod rules;
+mod sanitize;
+mod walk;
+
+pub use diagnostics::Diagnostic;
+pub use rules::lint_source;
+pub use walk::{changed_files, golden_guard, run, GOLDEN_SENSITIVE};

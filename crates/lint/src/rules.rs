@@ -1,0 +1,445 @@
+//! The four lint rules.
+//!
+//! Every rule works on a [`FileScan`]: sanitized lines (comments and
+//! strings blanked) for matching, raw lines for the one check that
+//! needs literal text (`expect` messages), per-line allowlists, and
+//! test spans. Scoping is by path prefix so fixture tests can claim
+//! any scope by passing a logical path.
+
+use crate::diagnostics::Diagnostic;
+use crate::sanitize::{self, FileScan};
+
+/// Lints one file's `content` as if it lived at `path`
+/// (workspace-relative). This is the single entry point the walker
+/// and the fixture tests share.
+pub fn lint_source(path: &str, content: &str) -> Vec<Diagnostic> {
+    let scan = sanitize::scan(content);
+    let mut out = Vec::new();
+    nondeterministic_iteration(path, &scan, &mut out);
+    raw_time_arith(path, &scan, &mut out);
+    no_panic_in_lib(path, &scan, &mut out);
+    out.sort();
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// All word-boundary occurrences of `word` in `line` (char offsets).
+fn find_words(line: &str, word: &str) -> Vec<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    let needle: Vec<char> = word.chars().collect();
+    let mut hits = Vec::new();
+    if needle.is_empty() || chars.len() < needle.len() {
+        return hits;
+    }
+    for p in 0..=chars.len() - needle.len() {
+        if chars[p..p + needle.len()] != needle[..] {
+            continue;
+        }
+        let before_ok = p == 0 || !is_ident(chars[p - 1]);
+        let after = p + needle.len();
+        let after_ok = after >= chars.len() || !is_ident(chars[after]);
+        if before_ok && after_ok {
+            hits.push(p);
+        }
+    }
+    hits
+}
+
+fn scoped(path: &str, prefixes: &[&str]) -> bool {
+    let p = path.replace('\\', "/");
+    prefixes.iter().any(|s| p.contains(s))
+}
+
+/// Crates whose runs must replay bit-identically.
+const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/sim/src/",
+    "crates/solver/src/",
+    "crates/control/src/",
+];
+
+/// Rule `nondeterministic-iteration`: no unordered containers and no
+/// ambient randomness or wall clocks in the determinism-critical
+/// crates. `HashMap` iteration order changes across runs (SipHash keys
+/// are per-process random), which is exactly the bug class that broke
+/// report ordering before the BTreeMap sweep; `thread_rng`,
+/// `SystemTime`, and `Instant` smuggle the host into the simulation.
+pub fn nondeterministic_iteration(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "nondeterministic-iteration";
+    if !scoped(path, DETERMINISM_SCOPE) {
+        return;
+    }
+    const PATTERNS: &[(&str, &str, &str)] = &[
+        (
+            "HashMap",
+            "HashMap iteration order varies run to run",
+            "use BTreeMap or a sorted Vec so iteration order is deterministic",
+        ),
+        (
+            "HashSet",
+            "HashSet iteration order varies run to run",
+            "use BTreeSet or a sorted Vec so iteration order is deterministic",
+        ),
+        (
+            "thread_rng",
+            "thread_rng is seeded from the OS, not the simulation seed",
+            "draw from the seeded RNG owned by the simulation/config",
+        ),
+        (
+            "rand::random",
+            "rand::random draws from the OS-seeded thread RNG",
+            "draw from the seeded RNG owned by the simulation/config",
+        ),
+        (
+            "SystemTime",
+            "wall-clock reads make runs unreplayable",
+            "thread the simulation clock (faro_core::units::SimTimeMs) instead",
+        ),
+        (
+            "Instant",
+            "monotonic-clock reads make runs unreplayable",
+            "thread the simulation clock (faro_core::units::SimTimeMs) instead",
+        ),
+    ];
+    for (idx, line) in scan.clean.iter().enumerate() {
+        if scan.in_test[idx] || scan.allows(idx, RULE) {
+            continue;
+        }
+        for &(word, message, help) in PATTERNS {
+            for col in find_words(line, word) {
+                out.push(Diagnostic {
+                    file: path.to_owned(),
+                    line: idx + 1,
+                    col: col + 1,
+                    rule: RULE,
+                    message: message.to_owned(),
+                    help: help.to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Files that *define* the unit boundary and therefore may do raw
+/// conversion arithmetic.
+const UNIT_HOME_SUFFIXES: &[&str] = &["/units.rs", "/count.rs", "/events.rs"];
+
+/// Suffixes that mark a field as carrying a time or a rate.
+const UNIT_SUFFIXES: &[&str] = &["_secs", "_ms", "_micros", "_per_min", "_per_minute"];
+
+/// Conversion constants that mix units (seconds↔micros, min↔micros).
+const CROSS_UNIT_LITERALS: &[&str] = &["60e6", "60_000_000", "1e6", "1_000_000"];
+
+/// Crates where bare conversion constants are flagged (the hot paths
+/// where a stray `* 60e6` once meant a silent unit bug).
+const CROSS_UNIT_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/sim/src/",
+    "crates/solver/src/",
+    "crates/control/src/",
+    "crates/queueing/src/",
+];
+
+/// Rule `raw-time-arith`: new time/rate state must use the typed
+/// newtypes. Flags (a) field/param declarations whose name ends in a
+/// unit suffix but whose type is a bare `f64` (or container of one),
+/// and (b) bare cross-unit conversion constants outside the unit home
+/// modules. Legacy wire-format fields carry explicit
+/// `faro-lint: allow(raw-time-arith)` annotations.
+pub fn raw_time_arith(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "raw-time-arith";
+    let p = path.replace('\\', "/");
+    if !p.contains("/src/") || UNIT_HOME_SUFFIXES.iter().any(|s| p.ends_with(s)) {
+        return;
+    }
+    let flag_literals = scoped(path, CROSS_UNIT_SCOPE);
+    for (idx, line) in scan.clean.iter().enumerate() {
+        if scan.in_test[idx] || scan.allows(idx, RULE) {
+            continue;
+        }
+        let chars: Vec<char> = line.chars().collect();
+        for suffix in UNIT_SUFFIXES {
+            for pos in find_words_suffix(&chars, suffix) {
+                // `pos` is the start of the suffix; the identifier may
+                // begin earlier (`cold_start_secs`).
+                let mut start = pos;
+                while start > 0 && is_ident(chars[start - 1]) {
+                    start -= 1;
+                }
+                let end = pos + suffix.len();
+                // A declaration: identifier followed by `:` and a raw
+                // float type.
+                let rest: String = chars[end..].iter().collect();
+                let rest = rest.trim_start();
+                let Some(ty) = rest.strip_prefix(':') else {
+                    continue;
+                };
+                let ty = ty.trim_start();
+                let bare = ty.strip_prefix("f64").is_some_and(|after| {
+                    !after.starts_with(':') && !after.chars().next().is_some_and(is_ident)
+                });
+                let wrapped = ty.starts_with("Vec<f64>")
+                    || ty.starts_with("Option<f64>")
+                    || ty.starts_with("&[f64]");
+                if !(bare || wrapped) {
+                    continue;
+                }
+                let ident: String = chars[start..end].iter().collect();
+                out.push(Diagnostic {
+                    file: path.to_owned(),
+                    line: idx + 1,
+                    col: start + 1,
+                    rule: RULE,
+                    message: format!("raw f64 time/rate declaration `{ident}`"),
+                    help: "use SimTimeMs/DurationMs/RatePerMin from faro_core::units; \
+                           a legacy wire-format field may carry \
+                           `// faro-lint: allow(raw-time-arith): reason`"
+                        .to_owned(),
+                });
+            }
+        }
+        if !flag_literals {
+            continue;
+        }
+        for lit in CROSS_UNIT_LITERALS {
+            for col in find_literals(&chars, lit) {
+                out.push(Diagnostic {
+                    file: path.to_owned(),
+                    line: idx + 1,
+                    col: col + 1,
+                    rule: RULE,
+                    message: format!("bare cross-unit conversion constant `{lit}`"),
+                    help: "do the conversion inside faro_core::units / sim::events, \
+                           or annotate a micros-domain site with \
+                           `// faro-lint: allow(raw-time-arith): reason`"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Occurrences of `suffix` that end an identifier (char before may be
+/// part of the ident; char after must not be).
+fn find_words_suffix(chars: &[char], suffix: &str) -> Vec<usize> {
+    let needle: Vec<char> = suffix.chars().collect();
+    let mut hits = Vec::new();
+    if chars.len() < needle.len() {
+        return hits;
+    }
+    for p in 0..=chars.len() - needle.len() {
+        if chars[p..p + needle.len()] != needle[..] {
+            continue;
+        }
+        let after = p + needle.len();
+        if after < chars.len() && is_ident(chars[after]) {
+            continue; // `_per_min` inside `_per_minute`
+        }
+        hits.push(p);
+    }
+    hits
+}
+
+/// Occurrences of numeric literal `lit` with numeric-token boundaries.
+fn find_literals(chars: &[char], lit: &str) -> Vec<usize> {
+    let needle: Vec<char> = lit.chars().collect();
+    let mut hits = Vec::new();
+    if chars.len() < needle.len() {
+        return hits;
+    }
+    for p in 0..=chars.len() - needle.len() {
+        if chars[p..p + needle.len()] != needle[..] {
+            continue;
+        }
+        let before_ok = p == 0 || !(is_ident(chars[p - 1]) || chars[p - 1] == '.');
+        let after = p + needle.len();
+        let after_ok = after >= chars.len() || !is_ident(chars[after]);
+        if before_ok && after_ok {
+            hits.push(p);
+        }
+    }
+    hits
+}
+
+/// Crates whose library code must not panic: the simulator and the
+/// control plane run unattended inside long sweeps and (eventually)
+/// against live clusters.
+const NO_PANIC_SCOPE: &[&str] = &["crates/sim/src/", "crates/control/src/"];
+
+/// Rule `no-panic-in-lib`: non-test library code in `sim` and
+/// `control` must not `unwrap()`, `panic!`, or index with a literal.
+/// `expect` is allowed only when the message starts with
+/// `"invariant: "` — i.e. the author states *why* it cannot fire.
+pub fn no_panic_in_lib(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "no-panic-in-lib";
+    if !scoped(path, NO_PANIC_SCOPE) {
+        return;
+    }
+    for (idx, line) in scan.clean.iter().enumerate() {
+        if scan.in_test[idx] || scan.allows(idx, RULE) {
+            continue;
+        }
+        for col in substr_all(line, ".unwrap()") {
+            out.push(diag(
+                path,
+                idx,
+                col,
+                RULE,
+                "unwrap() in library code".to_owned(),
+                "return a typed error, or use .expect(\"invariant: ...\") \
+                 stating why this cannot fail",
+            ));
+        }
+        for mac in ["panic!", "unimplemented!", "todo!"] {
+            for col in find_words(line, &mac[..mac.len() - 1]) {
+                // find_words matched the name; require the `!`.
+                let bang = col + mac.len() - 1;
+                if line.chars().nth(bang) == Some('!') {
+                    out.push(diag(
+                        path,
+                        idx,
+                        col,
+                        RULE,
+                        format!("{mac} in library code"),
+                        "return a typed error; the simulator must survive bad \
+                         inputs inside long sweeps",
+                    ));
+                }
+            }
+        }
+        for col in substr_all(line, ".expect(") {
+            // Columns are identical in raw and clean text, so the raw
+            // line tells us what the (blanked) message literal said.
+            let raw_rest: String = scan.raw[idx].chars().skip(col).collect();
+            if !raw_rest.starts_with(".expect(\"invariant:") {
+                out.push(diag(
+                    path,
+                    idx,
+                    col,
+                    RULE,
+                    "expect() without an `invariant:` message".to_owned(),
+                    "prefix the message with \"invariant: \" and state why the \
+                     value is always present, or return a typed error",
+                ));
+            }
+        }
+        // Literal indexing `xs[0]`: a `.get` away from a panic.
+        let chars: Vec<char> = line.chars().collect();
+        for (i, &c) in chars.iter().enumerate() {
+            if c != '[' || i == 0 || !is_ident(chars[i - 1]) {
+                continue;
+            }
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 1 && chars.get(j) == Some(&']') {
+                out.push(diag(
+                    path,
+                    idx,
+                    i,
+                    RULE,
+                    format!(
+                        "literal index `[{}]` in library code",
+                        chars[i + 1..j].iter().collect::<String>()
+                    ),
+                    "use .get(i) / .first() and handle the None arm",
+                ));
+            }
+        }
+    }
+}
+
+fn substr_all(line: &str, needle: &str) -> Vec<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    let n: Vec<char> = needle.chars().collect();
+    let mut hits = Vec::new();
+    if chars.len() < n.len() {
+        return hits;
+    }
+    for p in 0..=chars.len() - n.len() {
+        if chars[p..p + n.len()] == n[..] {
+            hits.push(p);
+        }
+    }
+    hits
+}
+
+fn diag(
+    path: &str,
+    idx: usize,
+    col: usize,
+    rule: &'static str,
+    message: String,
+    help: &str,
+) -> Diagnostic {
+    Diagnostic {
+        file: path.to_owned(),
+        line: idx + 1,
+        col: col + 1,
+        rule,
+        message,
+        help: help.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_scope_paths_are_ignored() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint_source("crates/metrics/src/lib.rs", src).is_empty());
+        assert_eq!(lint_source("crates/sim/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n}\n";
+        assert!(lint_source("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_silences_one_line() {
+        let src =
+            "let t = 60e6; // faro-lint: allow(raw-time-arith): micros domain\nlet u = 60e6;\n";
+        let diags = lint_source("crates/sim/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn unit_home_modules_are_exempt() {
+        let src = "pub fn micros(secs: f64) -> u64 { (secs * 1e6) as u64 }\n";
+        assert!(lint_source("crates/sim/src/events.rs", src).is_empty());
+        assert!(!lint_source("crates/sim/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_with_invariant_message_is_fine() {
+        let ok = "let x = v.first().expect(\"invariant: validated non-empty\");\n";
+        let bad = "let x = v.first().expect(\"always there\");\n";
+        assert!(lint_source("crates/sim/src/x.rs", ok).is_empty());
+        assert_eq!(lint_source("crates/sim/src/x.rs", bad).len(), 1);
+    }
+
+    #[test]
+    fn float_method_paths_do_not_trip_the_field_check() {
+        // `tick_secs: f64::NAN` in a struct literal is a value, not a
+        // declaration.
+        let src = "let c = SimConfig { tick_secs: f64::NAN, ..Default::default() };\n";
+        assert!(lint_source("crates/forecast/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suffix_matching_respects_identifier_ends() {
+        let src = "pub window_per_minute: f64,\n";
+        let diags = lint_source("crates/forecast/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("window_per_minute"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Source sanitization: the rules match on *code*, never on comments
+//! or string literals.
+//!
+//! The scanner rewrites a file so that every comment and string
+//! literal is blanked to spaces while newlines and column positions
+//! are preserved exactly. Rules then pattern-match on the sanitized
+//! lines and report columns that are valid in the original file. This
+//! is deliberately not a full parser: it only has to agree with rustc
+//! about where comments and literals *end*, which takes a small state
+//! machine (nested block comments, raw strings, and the
+//! char-versus-lifetime ambiguity are the only subtle cases).
+
+use std::collections::BTreeSet;
+
+/// A scanned file: original lines, sanitized lines, per-line allowed
+/// rules, and which lines sit inside test-only code.
+pub struct FileScan {
+    /// Original lines, verbatim.
+    pub raw: Vec<String>,
+    /// Comment/string-blanked lines; same line count and columns.
+    pub clean: Vec<String>,
+    /// Rules allowed per line via `faro-lint: allow(...)` annotations
+    /// (same line or the line above) or `allow-file(...)`.
+    allowed: Vec<BTreeSet<String>>,
+    /// True for lines inside `#[cfg(test)]` or `#[test]` items.
+    pub in_test: Vec<bool>,
+}
+
+impl FileScan {
+    /// Does an allow annotation cover `rule` on 0-based line `idx`?
+    pub fn allows(&self, idx: usize, rule: &str) -> bool {
+        self.allowed.get(idx).is_some_and(|s| s.contains(rule))
+    }
+}
+
+/// Scans `content` into sanitized lines plus allow/test metadata.
+pub fn scan(content: &str) -> FileScan {
+    let raw: Vec<String> = content.split('\n').map(str::to_owned).collect();
+    let clean = blank_comments_and_strings(content);
+    debug_assert_eq!(raw.len(), clean.len(), "sanitizer changed line count");
+    let allowed = collect_allows(&raw, &clean);
+    let in_test = test_spans(&clean);
+    FileScan {
+        raw,
+        clean,
+        allowed,
+        in_test,
+    }
+}
+
+fn push_blanked(out: &mut String, c: char) {
+    out.push(if c == '\n' { '\n' } else { ' ' });
+}
+
+/// Blanks comments, strings, and char literals to spaces; preserves
+/// newlines, so line numbers and columns survive.
+fn blank_comments_and_strings(content: &str) -> Vec<String> {
+    let b: Vec<char> = content.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(n);
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        // Line comment: blank to end of line.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment: nests, per the Rust grammar.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push_str("  ");
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    push_blanked(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"...", r#"..."#, br#"..."# — no escapes,
+        // closes on a quote followed by the opening hash count.
+        if (c == 'r' || c == 'b') && !prev_is_ident(&b, i) {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 1;
+            }
+            if b[j] == 'r' {
+                let mut hashes = 0;
+                let mut k = j + 1;
+                while k < n && b[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == '"' {
+                    // Blank the prefix and opening quote.
+                    for _ in i..=k {
+                        out.push(' ');
+                    }
+                    i = k + 1;
+                    while i < n {
+                        if b[i] == '"'
+                            && b[i + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&h| h == '#')
+                                .count()
+                                == hashes
+                        {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                        push_blanked(&mut out, b[i]);
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+            // `b"..."` / `b'x'` byte literals fall through to the
+            // string/char arms below after emitting the `b`.
+            if c == 'b' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '\'') {
+                out.push(' ');
+                i += 1;
+                continue;
+            }
+        }
+        // String literal with escapes.
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    push_blanked(&mut out, b[i]);
+                    push_blanked(&mut out, b[i + 1]);
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    push_blanked(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' and '\n' are chars; 'a in
+        // `&'a str` is a lifetime and must survive sanitization.
+        if c == '\'' {
+            let is_char = if i + 1 < n && b[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < n && b[i + 2] == '\''
+            };
+            if is_char {
+                out.push(' ');
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        push_blanked(&mut out, b[i]);
+                        push_blanked(&mut out, b[i + 1]);
+                        i += 2;
+                    } else if b[i] == '\'' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    } else {
+                        push_blanked(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.split('\n').map(str::to_owned).collect()
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// Collects `faro-lint: allow(rule, ...)` annotations. A trailing
+/// allow covers its own line; an allow on a comment-only line covers
+/// the next line instead; `allow-file(rule)` covers the whole file.
+fn collect_allows(raw: &[String], clean: &[String]) -> Vec<BTreeSet<String>> {
+    let n = raw.len();
+    let mut allowed = vec![BTreeSet::new(); n];
+    let mut file_wide: BTreeSet<String> = BTreeSet::new();
+    for (idx, line) in raw.iter().enumerate() {
+        for (marker, whole_file) in [
+            ("faro-lint: allow-file(", true),
+            ("faro-lint: allow(", false),
+        ] {
+            let Some(pos) = line.find(marker) else {
+                continue;
+            };
+            let rest = &line[pos + marker.len()..];
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rules = rest[..close]
+                .split(',')
+                .map(str::trim)
+                .filter(|r| !r.is_empty());
+            let comment_only = clean.get(idx).is_none_or(|l| l.trim().is_empty());
+            for rule in rules {
+                if whole_file {
+                    file_wide.insert(rule.to_owned());
+                } else if comment_only && idx + 1 < n {
+                    allowed[idx + 1].insert(rule.to_owned());
+                } else {
+                    allowed[idx].insert(rule.to_owned());
+                }
+            }
+        }
+    }
+    if !file_wide.is_empty() {
+        for set in &mut allowed {
+            set.extend(file_wide.iter().cloned());
+        }
+    }
+    allowed
+}
+
+/// Marks the lines of `#[cfg(test)]` / `#[test]` items by brace
+/// matching from the attribute to the close of the item it gates.
+fn test_spans(clean: &[String]) -> Vec<bool> {
+    let n = clean.len();
+    let mut in_test = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        let line = &clean[i];
+        if !(line.contains("#[cfg(test)]") || line.contains("#[test]")) {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        'item: while j < n {
+            in_test[j] = true;
+            for ch in clean[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+                if opened && depth == 0 {
+                    break 'item;
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_and_block_comments() {
+        let s = scan("let x = 1; // HashMap here\n/* HashSet /* nested */ still */ let y = 2;\n");
+        assert!(!s.clean[0].contains("HashMap"));
+        assert!(!s.clean[1].contains("HashSet"));
+        assert!(s.clean[1].contains("let y = 2;"));
+        // Columns survive: `let y` sits where it sat.
+        assert_eq!(s.raw[1].find("let y"), s.clean[1].find("let y"));
+    }
+
+    #[test]
+    fn blanks_strings_and_raw_strings_but_not_code() {
+        let s = scan(
+            "let a = \"HashMap \\\" quoted\"; let b = r#\"Instant \" inside\"#;\nlet c = SystemTime;\n",
+        );
+        assert!(!s.clean[0].contains("HashMap"));
+        assert!(!s.clean[0].contains("Instant"));
+        assert!(s.clean[1].contains("SystemTime"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'x' }\nlet esc = '\\n';\n");
+        assert!(s.clean[0].contains("<'a>"), "{}", s.clean[0]);
+        assert!(s.clean[0].contains("&'a str"));
+        assert!(!s.clean[0].contains("'x'"));
+        assert!(!s.clean[1].contains("\\n"));
+    }
+
+    #[test]
+    fn comment_above_allow_covers_the_next_line_only() {
+        let s = scan(
+            "// faro-lint: allow(raw-time-arith): wire format\npub start_secs: f64,\npub end_secs: f64,\n",
+        );
+        assert!(s.allows(1, "raw-time-arith"));
+        assert!(!s.allows(2, "raw-time-arith"));
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line_only() {
+        let s = scan("pub a_secs: f64, // faro-lint: allow(raw-time-arith)\npub b_secs: f64,\n");
+        assert!(s.allows(0, "raw-time-arith"));
+        assert!(!s.allows(1, "raw-time-arith"));
+    }
+
+    #[test]
+    fn allow_file_covers_everything() {
+        let s = scan("// faro-lint: allow-file(no-panic-in-lib)\nfn f() {}\nfn g() {}\n");
+        assert!(s.allows(2, "no-panic-in-lib"));
+        assert!(!s.allows(2, "raw-time-arith"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "\
+fn lib_code() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        lib_code();
+    }
+}
+
+fn more_lib() {}
+";
+        let s = scan(src);
+        assert!(!s.in_test[0], "lib fn");
+        assert!(s.in_test[2], "attr line");
+        assert!(s.in_test[6], "test body");
+        assert!(s.in_test[8], "closing brace");
+        assert!(!s.in_test[10], "code after the module");
+    }
+}

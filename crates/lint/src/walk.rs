@@ -1,0 +1,194 @@
+//! Workspace walking and the diff-level `golden-guard` rule.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::lint_source;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Files whose edits can change event ordering — and therefore the
+/// golden report bytes — without failing a single unit test.
+pub const GOLDEN_SENSITIVE: &[&str] = &[
+    "crates/core/src/opt.rs",
+    "crates/sim/src/backend.rs",
+    "crates/sim/src/events.rs",
+    "crates/sim/src/runtime.rs",
+];
+
+/// Rule `golden-guard`, as a pure function over the changed-file list
+/// so tests need no git repository: if an event-ordering-sensitive
+/// file changed and nothing golden changed with it, every such file is
+/// flagged. "Golden" means any changed path containing `golden` — the
+/// committed snapshots live under `crates/sim/tests/` with `golden` in
+/// the path precisely so this check stays a string match.
+pub fn golden_guard(changed: &[String]) -> Vec<Diagnostic> {
+    let touched: Vec<&String> = changed
+        .iter()
+        .filter(|c| {
+            let c = c.replace('\\', "/");
+            GOLDEN_SENSITIVE.iter().any(|s| c.ends_with(s))
+        })
+        .collect();
+    if touched.is_empty() || changed.iter().any(|c| c.contains("golden")) {
+        return Vec::new();
+    }
+    touched
+        .into_iter()
+        .map(|f| Diagnostic {
+            file: f.clone(),
+            line: 1,
+            col: 1,
+            rule: "golden-guard",
+            message: "event-ordering-sensitive file changed without a golden test update"
+                .to_owned(),
+            help: "run the golden tests and commit the refreshed snapshot in the same \
+                   change (see crates/sim/tests/golden_report.rs); byte-identical \
+                   reports are the project's determinism contract"
+                .to_owned(),
+        })
+        .collect()
+}
+
+/// The files this working tree changes, for [`golden_guard`].
+///
+/// With `FARO_LINT_DIFF_BASE` set (e.g. `origin/main`), asks
+/// `git diff --name-only <base>` — the CI mode, comparing the whole
+/// branch. Otherwise parses `git status --porcelain` — the local mode,
+/// looking at uncommitted work. Returns `None` when git is missing or
+/// this is not a repository; the rule is then skipped rather than
+/// failing the lint run.
+pub fn changed_files(root: &Path) -> Option<Vec<String>> {
+    let output = match std::env::var("FARO_LINT_DIFF_BASE") {
+        Ok(base) => Command::new("git")
+            .args(["diff", "--name-only", &base])
+            .current_dir(root)
+            .output()
+            .ok()?,
+        Err(_) => Command::new("git")
+            .args(["status", "--porcelain"])
+            .current_dir(root)
+            .output()
+            .ok()?,
+    };
+    if !output.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&output.stdout);
+    let diff_mode = std::env::var("FARO_LINT_DIFF_BASE").is_ok();
+    let mut files = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let path = if diff_mode {
+            line.trim()
+        } else {
+            // Porcelain: `XY path` or `XY old -> new`.
+            let rest = line.get(3..).unwrap_or("");
+            match rest.split_once(" -> ") {
+                Some((_, new)) => new,
+                None => rest,
+            }
+        };
+        if !path.is_empty() {
+            files.push(path.trim().to_owned());
+        }
+    }
+    Some(files)
+}
+
+/// Lints the whole workspace rooted at `root`: every `.rs` file under
+/// `src/` and `crates/*/src/`, plus the diff-level golden guard.
+/// Output is sorted by location, compiler style.
+pub fn run(root: &Path) -> Vec<Diagnostic> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut files);
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            collect_rs(&dir.join("src"), &mut files);
+        }
+    }
+    files.sort();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for file in &files {
+        let Ok(content) = fs::read_to_string(file) else {
+            continue;
+        };
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diags.extend(lint_source(&rel, &content));
+    }
+    if let Some(changed) = changed_files(root) {
+        diags.extend(golden_guard(&changed));
+    }
+    diags.sort();
+    diags
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "vendor" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_guard_fires_on_sensitive_edit_without_golden() {
+        let changed = vec![
+            "crates/sim/src/backend.rs".to_owned(),
+            "README.md".to_owned(),
+        ];
+        let diags = golden_guard(&changed);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "golden-guard");
+        assert_eq!(diags[0].file, "crates/sim/src/backend.rs");
+    }
+
+    #[test]
+    fn golden_guard_passes_when_golden_tests_move_too() {
+        let changed = vec![
+            "crates/sim/src/backend.rs".to_owned(),
+            "crates/sim/tests/golden_report.rs".to_owned(),
+        ];
+        assert!(golden_guard(&changed).is_empty());
+    }
+
+    #[test]
+    fn golden_guard_ignores_non_sensitive_changes() {
+        let changed = vec!["crates/metrics/src/rank.rs".to_owned()];
+        assert!(golden_guard(&changed).is_empty());
+    }
+
+    #[test]
+    fn golden_guard_flags_every_sensitive_file() {
+        let changed = vec![
+            "crates/sim/src/events.rs".to_owned(),
+            "crates/core/src/opt.rs".to_owned(),
+        ];
+        assert_eq!(golden_guard(&changed).len(), 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: the panic-free twin. Typed errors or proved invariants in
+//! lib code; tests may unwrap freely.
+
+pub fn head(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+pub fn pick(xs: &[u64]) -> u64 {
+    // An expect is fine when the message proves it cannot fire.
+    *xs.first()
+        .expect("invariant: caller validated xs is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::head(&[3]).unwrap(), 3);
+        let xs = vec![1, 2];
+        assert_eq!(xs[0] + xs[1], 3);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: every panic path the rule knows, in lib code. Linted as
+//! `crates/sim/src/fixture.rs` (no-panic scope).
+
+pub fn head(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap();
+    *first + xs[0]
+}
+
+pub fn pick(xs: &[u64]) -> u64 {
+    *xs.first().expect("always there")
+}
+
+pub fn unfinished() {
+    todo!("later")
+}
+
+pub fn broken(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: the deterministic twin of the violation file. Ordered
+//! containers, the seeded simulation RNG, the simulation clock — and
+//! test-only code may still use whatever it likes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn summarize(counts: &BTreeMap<String, u64>, seen: &BTreeSet<String>) -> u64 {
+    counts.values().sum::<u64>() + seen.len() as u64
+}
+
+pub fn jitter(rng: &mut rand::rngs::StdRng, now: faro_core::units::SimTimeMs) -> f64 {
+    now.as_secs() + rng.next_f64()
+}
+
+// Strings and comments never trip the rule: HashMap, thread_rng.
+pub const DOC: &str = "HashMap iteration order is why this crate uses BTreeMap";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: every nondeterminism source the rule knows, in lib code.
+//! Linted as `crates/sim/src/fixture.rs` (determinism scope).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn summarize(counts: &HashMap<String, u64>, seen: &HashSet<String>) -> u64 {
+    counts.values().sum::<u64>() + seen.len() as u64
+}
+
+pub fn jitter() -> f64 {
+    let _wall = std::time::SystemTime::now();
+    let _mono = std::time::Instant::now();
+    let mut rng = rand::thread_rng();
+    rand::random::<f64>() + rng.next_f64()
+}

@@ -1,0 +1,20 @@
+//! Fixture: the typed twin. Times and rates wear their units as
+//! types; conversions live behind the newtype APIs; an annotated
+//! legacy wire-format field is tolerated.
+
+use faro_core::units::{DurationMs, RatePerMin, SimTimeMs};
+
+pub struct Window {
+    pub start: SimTimeMs,
+    pub width: DurationMs,
+    pub rates: Vec<RatePerMin>,
+}
+
+pub fn to_micros(start: SimTimeMs) -> i64 {
+    start.as_millis() * 1000
+}
+
+pub struct WireReport {
+    // Serialized formats keep raw floats, explicitly.
+    pub elapsed_secs: f64, // faro-lint: allow(raw-time-arith): wire format
+}

@@ -1,0 +1,140 @@
+//! Fixture tests: each rule fires on its violation fixture with
+//! exactly the snapshotted diagnostics, and stays silent on the clean
+//! twin.
+//!
+//! Snapshots live in `tests/expected/*.txt`; refresh after an
+//! intentional diagnostic change with
+//! `FARO_UPDATE_EXPECT=1 cargo test -p faro-lint --test rules`.
+
+use faro_lint::{golden_guard, lint_source, Diagnostic};
+use std::path::Path;
+
+/// The logical path fixtures are linted under: inside `crates/sim/src/`
+/// puts them in scope of all three per-file rules.
+const SCOPE: &str = "crates/sim/src/fixture.rs";
+
+fn render(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(Diagnostic::to_string)
+        .collect::<Vec<_>>()
+        .join("\n\n")
+}
+
+fn check_snapshot(name: &str, got: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/expected/{name}.txt"));
+    if std::env::var("FARO_UPDATE_EXPECT").is_ok() {
+        std::fs::write(&path, got).expect("write snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing snapshot {name}; generate with FARO_UPDATE_EXPECT=1"));
+    assert_eq!(
+        got,
+        want.trim_end_matches('\n'),
+        "diagnostics for {name} diverged from the snapshot; if intentional, \
+         refresh with FARO_UPDATE_EXPECT=1"
+    );
+}
+
+#[test]
+fn nondeterministic_iteration_fires_with_exact_diagnostics() {
+    let src = include_str!("fixtures/nondeterministic_iteration_violation.rs");
+    let diags = lint_source(SCOPE, src);
+    assert!(
+        diags.iter().all(|d| d.rule == "nondeterministic-iteration"),
+        "{diags:?}"
+    );
+    // HashMap x2 (use + signature), HashSet x2, SystemTime, Instant,
+    // thread_rng, rand::random.
+    assert_eq!(diags.len(), 8, "{diags:?}");
+    check_snapshot("nondeterministic_iteration", &render(&diags));
+}
+
+#[test]
+fn nondeterministic_iteration_clean_is_silent() {
+    let src = include_str!("fixtures/nondeterministic_iteration_clean.rs");
+    assert_eq!(lint_source(SCOPE, src), Vec::new());
+}
+
+#[test]
+fn raw_time_arith_fires_with_exact_diagnostics() {
+    let src = include_str!("fixtures/raw_time_arith_violation.rs");
+    let diags = lint_source(SCOPE, src);
+    assert!(
+        diags.iter().all(|d| d.rule == "raw-time-arith"),
+        "{diags:?}"
+    );
+    // start_secs field, width_ms field, rates_per_minute field,
+    // start_secs param, 1e6, 60e6.
+    assert_eq!(diags.len(), 6, "{diags:?}");
+    check_snapshot("raw_time_arith", &render(&diags));
+}
+
+#[test]
+fn raw_time_arith_clean_is_silent() {
+    let src = include_str!("fixtures/raw_time_arith_clean.rs");
+    assert_eq!(lint_source(SCOPE, src), Vec::new());
+}
+
+#[test]
+fn raw_time_arith_is_silent_in_unit_home_modules() {
+    let src = include_str!("fixtures/raw_time_arith_violation.rs");
+    assert_eq!(lint_source("crates/core/src/units.rs", src), Vec::new());
+    assert_eq!(lint_source("crates/sim/src/events.rs", src), Vec::new());
+}
+
+#[test]
+fn no_panic_fires_with_exact_diagnostics() {
+    let src = include_str!("fixtures/no_panic_violation.rs");
+    let diags = lint_source(SCOPE, src);
+    assert!(
+        diags.iter().all(|d| d.rule == "no-panic-in-lib"),
+        "{diags:?}"
+    );
+    // unwrap, xs[0], expect without invariant, todo!, panic!.
+    assert_eq!(diags.len(), 5, "{diags:?}");
+    check_snapshot("no_panic", &render(&diags));
+}
+
+#[test]
+fn no_panic_clean_is_silent() {
+    let src = include_str!("fixtures/no_panic_clean.rs");
+    assert_eq!(lint_source(SCOPE, src), Vec::new());
+}
+
+#[test]
+fn rules_stay_out_of_unscoped_crates() {
+    // The metrics crate is outside every per-file scope except the
+    // field check; none of these fixtures should fire there for the
+    // determinism or panic rules.
+    let nondet = include_str!("fixtures/nondeterministic_iteration_violation.rs");
+    let panics = include_str!("fixtures/no_panic_violation.rs");
+    assert_eq!(
+        lint_source("crates/metrics/src/fixture.rs", nondet),
+        Vec::new()
+    );
+    assert_eq!(
+        lint_source("crates/metrics/src/fixture.rs", panics),
+        Vec::new()
+    );
+}
+
+#[test]
+fn golden_guard_fixture_diffs() {
+    // Sensitive edit with no golden update: one diagnostic per file.
+    let bad = vec![
+        "crates/sim/src/events.rs".to_owned(),
+        "crates/sim/src/runtime.rs".to_owned(),
+        "DESIGN.md".to_owned(),
+    ];
+    let diags = golden_guard(&bad);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "golden-guard"));
+    check_snapshot("golden_guard", &render(&diags));
+
+    // Same edit plus a refreshed snapshot: silent.
+    let mut good = bad;
+    good.push("crates/sim/tests/golden/report_small.json".to_owned());
+    assert_eq!(golden_guard(&good), Vec::new());
+}

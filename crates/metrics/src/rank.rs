@@ -21,13 +21,16 @@
 /// let rev = ["oneshot", "aiad", "faro"];
 /// assert_eq!(kendall_tau_distance(&a, &rev), Some(1.0));
 /// ```
-pub fn kendall_tau_distance<T: Eq + std::hash::Hash>(a: &[T], b: &[T]) -> Option<f64> {
+pub fn kendall_tau_distance<T: Ord>(a: &[T], b: &[T]) -> Option<f64> {
     let n = a.len();
     if n < 2 || b.len() != n {
         return None;
     }
-    // Map each item to its rank in `b`.
-    let rank_b: std::collections::HashMap<&T, usize> =
+    // Map each item to its rank in `b`. Ordered map: lookups only, but
+    // keeping the module free of HashMap means its behavior can never
+    // grow an iteration-order dependence (faro-lint:
+    // nondeterministic-iteration).
+    let rank_b: std::collections::BTreeMap<&T, usize> =
         b.iter().enumerate().map(|(i, x)| (x, i)).collect();
     if rank_b.len() != n {
         return None; // Duplicates in b.

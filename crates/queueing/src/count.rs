@@ -1,0 +1,202 @@
+//! The [`ReplicaCount`] newtype: a whole number of model replicas.
+//!
+//! Every latency estimator in this crate answers a question of the form
+//! "what does the queue look like with `c` servers?". Passing `c` as a
+//! bare `u32` invites positional mix-ups with the many other numeric
+//! parameters (percentile, processing time, arrival rate) these
+//! functions take; [`ReplicaCount`] makes the server-count argument a
+//! distinct type, checked at compile time, and gives the conversion to
+//! `f64` (the only arithmetic the estimators need) a single audited
+//! home.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A whole number of replicas (queueing servers / serving pods).
+///
+/// Ordered, hashable, and convertible to `f64` without loss (`u32`
+/// always fits a double). Arithmetic is saturating at the type bounds —
+/// a replica count can never wrap negative or overflow silently; use
+/// [`ReplicaCount::checked_add`]/[`ReplicaCount::checked_sub`] when the
+/// caller must observe the overflow instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReplicaCount(u32);
+
+impl ReplicaCount {
+    /// No replicas.
+    pub const ZERO: Self = Self(0);
+    /// One replica (the floor every admission strategy enforces).
+    pub const ONE: Self = Self(1);
+    /// The largest representable count.
+    pub const MAX: Self = Self(u32::MAX);
+
+    /// Wraps a raw count.
+    pub const fn new(count: u32) -> Self {
+        Self(count)
+    }
+
+    /// The raw count.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Whether the count is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The count as an `f64` (exact: every `u32` is representable).
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.0)
+    }
+
+    /// Checked addition.
+    pub const fn checked_add(self, rhs: Self) -> Option<Self> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Self(v)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction.
+    pub const fn checked_sub(self, rhs: Self) -> Option<Self> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Self(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating subtraction (stops at zero).
+    pub const fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+
+    /// The larger of two counts.
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// The smaller of two counts.
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+}
+
+impl From<u32> for ReplicaCount {
+    fn from(count: u32) -> Self {
+        Self(count)
+    }
+}
+
+impl From<ReplicaCount> for u32 {
+    fn from(count: ReplicaCount) -> Self {
+        count.0
+    }
+}
+
+impl Add for ReplicaCount {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for ReplicaCount {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl AddAssign<u32> for ReplicaCount {
+    fn add_assign(&mut self, rhs: u32) {
+        *self = self.saturating_add(Self(rhs));
+    }
+}
+
+impl Sub for ReplicaCount {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for ReplicaCount {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for ReplicaCount {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for ReplicaCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = ReplicaCount::new(7);
+        assert_eq!(c.get(), 7);
+        assert_eq!(c.as_f64(), 7.0);
+        assert!(!c.is_zero());
+        assert!(ReplicaCount::ZERO.is_zero());
+        assert_eq!(ReplicaCount::ONE.get(), 1);
+        assert_eq!(u32::from(c), 7);
+        assert_eq!(ReplicaCount::from(3u32), ReplicaCount::new(3));
+        assert_eq!(format!("{c}"), "7");
+    }
+
+    #[test]
+    fn arithmetic_saturates_at_bounds() {
+        let a = ReplicaCount::new(5);
+        let b = ReplicaCount::new(3);
+        assert_eq!(a + b, ReplicaCount::new(8));
+        assert_eq!(a - b, ReplicaCount::new(2));
+        assert_eq!(b - a, ReplicaCount::ZERO, "subtraction saturates at 0");
+        assert_eq!(ReplicaCount::MAX + a, ReplicaCount::MAX);
+        assert_eq!(a.checked_sub(b), Some(ReplicaCount::new(2)));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(ReplicaCount::MAX.checked_add(ReplicaCount::ONE), None);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.get(), 8);
+        c -= ReplicaCount::ONE;
+        assert_eq!(c.get(), 7);
+        c += 2u32;
+        assert_eq!(c.get(), 9);
+    }
+
+    #[test]
+    fn ordering_min_max_sum() {
+        let a = ReplicaCount::new(2);
+        let b = ReplicaCount::new(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let total: ReplicaCount = [a, b, ReplicaCount::ONE].into_iter().sum();
+        assert_eq!(total.get(), 12);
+    }
+
+    #[test]
+    fn f64_conversion_is_exact_at_extremes() {
+        assert_eq!(ReplicaCount::MAX.as_f64(), u32::MAX as f64);
+        assert_eq!(ReplicaCount::ZERO.as_f64(), 0.0);
+    }
+}

@@ -5,6 +5,7 @@
 //! times mean service time, in Erlangs) and the number of servers `c`.
 
 use crate::error::{non_negative, Error, Result};
+use crate::ReplicaCount;
 
 /// Computes the Erlang-B blocking probability `B(c, a)`.
 ///
@@ -15,16 +16,17 @@ use crate::error::{non_negative, Error, Result};
 /// # Examples
 ///
 /// ```
-/// let b = faro_queueing::erlang::erlang_b(2, 1.0).unwrap();
+/// use faro_queueing::ReplicaCount;
+/// let b = faro_queueing::erlang::erlang_b(ReplicaCount::new(2), 1.0).unwrap();
 /// assert!((b - 0.2).abs() < 1e-12); // classical textbook value
 /// ```
-pub fn erlang_b(servers: u32, offered_load: f64) -> Result<f64> {
-    if servers == 0 {
+pub fn erlang_b(servers: ReplicaCount, offered_load: f64) -> Result<f64> {
+    if servers.is_zero() {
         return Err(Error::ZeroReplicas);
     }
     let a = non_negative("offered_load", offered_load)?;
     let mut b = 1.0f64;
-    for k in 1..=servers {
+    for k in 1..=servers.get() {
         b = a * b / (f64::from(k) + a * b);
     }
     Ok(b)
@@ -39,16 +41,17 @@ pub fn erlang_b(servers: u32, offered_load: f64) -> Result<f64> {
 /// # Examples
 ///
 /// ```
+/// use faro_queueing::ReplicaCount;
 /// // Single server: C(1, a) = rho.
-/// let c = faro_queueing::erlang::erlang_c(1, 0.5).unwrap();
+/// let c = faro_queueing::erlang::erlang_c(ReplicaCount::ONE, 0.5).unwrap();
 /// assert!((c - 0.5).abs() < 1e-12);
 /// ```
-pub fn erlang_c(servers: u32, offered_load: f64) -> Result<f64> {
-    if servers == 0 {
+pub fn erlang_c(servers: ReplicaCount, offered_load: f64) -> Result<f64> {
+    if servers.is_zero() {
         return Err(Error::ZeroReplicas);
     }
     let a = non_negative("offered_load", offered_load)?;
-    let c = f64::from(servers);
+    let c = servers.as_f64();
     if a >= c {
         return Ok(1.0);
     }
@@ -61,15 +64,19 @@ pub fn erlang_c(servers: u32, offered_load: f64) -> Result<f64> {
 mod tests {
     use super::*;
 
+    fn rc(n: u32) -> ReplicaCount {
+        ReplicaCount::new(n)
+    }
+
     #[test]
     fn erlang_b_known_values() {
         // B(1, a) = a / (1 + a).
         for a in [0.1, 0.5, 1.0, 2.0, 10.0] {
-            let b = erlang_b(1, a).unwrap();
+            let b = erlang_b(rc(1), a).unwrap();
             assert!((b - a / (1.0 + a)).abs() < 1e-12, "a={a}");
         }
         // Zero load never blocks.
-        assert_eq!(erlang_b(4, 0.0).unwrap(), 0.0);
+        assert_eq!(erlang_b(rc(4), 0.0).unwrap(), 0.0);
     }
 
     #[test]
@@ -92,7 +99,7 @@ mod tests {
         };
         for c in 1..=8u32 {
             for a in [0.3, 1.0, 3.0, 6.5] {
-                let fast = erlang_b(c, a).unwrap();
+                let fast = erlang_b(rc(c), a).unwrap();
                 let slow = direct(c, a);
                 assert!((fast - slow).abs() < 1e-10, "c={c} a={a}");
             }
@@ -103,15 +110,15 @@ mod tests {
     fn erlang_c_known_single_server() {
         // C(1, rho) = rho for M/M/1.
         for rho in [0.1, 0.4, 0.9] {
-            let c = erlang_c(1, rho).unwrap();
+            let c = erlang_c(rc(1), rho).unwrap();
             assert!((c - rho).abs() < 1e-12);
         }
     }
 
     #[test]
     fn erlang_c_saturated_is_one() {
-        assert_eq!(erlang_c(4, 4.0).unwrap(), 1.0);
-        assert_eq!(erlang_c(4, 10.0).unwrap(), 1.0);
+        assert_eq!(erlang_c(rc(4), 4.0).unwrap(), 1.0);
+        assert_eq!(erlang_c(rc(4), 10.0).unwrap(), 1.0);
     }
 
     #[test]
@@ -119,7 +126,7 @@ mod tests {
         let mut prev = 0.0;
         for i in 1..100 {
             let a = 8.0 * f64::from(i) / 100.0;
-            let c = erlang_c(8, a).unwrap();
+            let c = erlang_c(rc(8), a).unwrap();
             assert!((0.0..=1.0).contains(&c));
             assert!(c >= prev, "Erlang-C must be monotone in offered load");
             prev = c;
@@ -128,9 +135,9 @@ mod tests {
 
     #[test]
     fn rejects_zero_servers_and_bad_load() {
-        assert!(erlang_b(0, 1.0).is_err());
-        assert!(erlang_c(0, 1.0).is_err());
-        assert!(erlang_c(2, -1.0).is_err());
-        assert!(erlang_c(2, f64::NAN).is_err());
+        assert!(erlang_b(ReplicaCount::ZERO, 1.0).is_err());
+        assert!(erlang_c(ReplicaCount::ZERO, 1.0).is_err());
+        assert!(erlang_c(rc(2), -1.0).is_err());
+        assert!(erlang_c(rc(2), f64::NAN).is_err());
     }
 }

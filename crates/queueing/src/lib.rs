@@ -20,24 +20,25 @@
 //! # Examples
 //!
 //! ```
-//! use faro_queueing::{mdc, relaxed};
+//! use faro_queueing::{mdc, relaxed, ReplicaCount};
 //!
 //! // p = 150 ms, lambda = 40 req/s, N replicas; 99.99th percentile.
 //! // The paper reports the M/D/c model needs 8 replicas where the
 //! // upper-bound model needs 10, for a 600 ms SLO.
-//! let needed = mdc::replicas_for_slo(0.9999, 0.150, 40.0, 0.600, 64).unwrap();
-//! assert!(needed <= 10);
+//! let needed = mdc::replicas_for_slo(0.9999, 0.150, 40.0, 0.600, ReplicaCount::new(64)).unwrap();
+//! assert!(needed.get() <= 10);
 //!
 //! // The relaxed estimator stays finite (and increasing) past saturation.
 //! let est = relaxed::RelaxedLatency::new(0.95).unwrap();
-//! let l1 = est.latency(0.99, 0.150, 100.0, 4).unwrap();
-//! let l2 = est.latency(0.99, 0.150, 200.0, 4).unwrap();
+//! let l1 = est.latency(0.99, 0.150, 100.0, ReplicaCount::new(4)).unwrap();
+//! let l2 = est.latency(0.99, 0.150, 200.0, ReplicaCount::new(4)).unwrap();
 //! assert!(l2 > l1 && l2.is_finite());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod count;
 pub mod erlang;
 pub mod error;
 pub mod mdc;
@@ -45,5 +46,6 @@ pub mod mmc;
 pub mod relaxed;
 pub mod upper_bound;
 
+pub use count::ReplicaCount;
 pub use error::{Error, Result};
 pub use relaxed::RelaxedLatency;

@@ -9,15 +9,16 @@
 
 use crate::error::Result;
 use crate::mmc;
+use crate::ReplicaCount;
 
 /// Mean waiting time of an M/D/c queue (half the M/M/c mean wait).
-pub fn mean_wait(lambda: f64, p: f64, servers: u32) -> Result<f64> {
+pub fn mean_wait(lambda: f64, p: f64, servers: ReplicaCount) -> Result<f64> {
     Ok(0.5 * mmc::mean_wait(lambda, p, servers)?)
 }
 
 /// The `k`-th percentile of the M/D/c waiting time, approximated as half
 /// the M/M/c percentile. Returns [`f64::INFINITY`] for `rho >= 1`.
-pub fn wait_percentile(k: f64, p: f64, lambda: f64, servers: u32) -> Result<f64> {
+pub fn wait_percentile(k: f64, p: f64, lambda: f64, servers: ReplicaCount) -> Result<f64> {
     Ok(0.5 * mmc::wait_percentile(k, p, lambda, servers)?)
 }
 
@@ -30,10 +31,11 @@ pub fn wait_percentile(k: f64, p: f64, lambda: f64, servers: u32) -> Result<f64>
 /// # Examples
 ///
 /// ```
-/// let l = faro_queueing::mdc::latency_percentile(0.99, 0.150, 40.0, 8).unwrap();
+/// use faro_queueing::ReplicaCount;
+/// let l = faro_queueing::mdc::latency_percentile(0.99, 0.150, 40.0, ReplicaCount::new(8)).unwrap();
 /// assert!(l.is_finite() && l >= 0.150);
 /// ```
-pub fn latency_percentile(k: f64, p: f64, lambda: f64, servers: u32) -> Result<f64> {
+pub fn latency_percentile(k: f64, p: f64, lambda: f64, servers: ReplicaCount) -> Result<f64> {
     Ok(wait_percentile(k, p, lambda, servers)? + p)
 }
 
@@ -54,24 +56,34 @@ pub fn latency_percentile(k: f64, p: f64, lambda: f64, servers: u32) -> Result<f
 /// # Examples
 ///
 /// ```
-/// let table = faro_queueing::mdc::latency_percentile_sweep(0.99, 0.150, 40.0, 16).unwrap();
+/// use faro_queueing::ReplicaCount;
+/// let table =
+///     faro_queueing::mdc::latency_percentile_sweep(0.99, 0.150, 40.0, ReplicaCount::new(16))
+///         .unwrap();
 /// for (i, &l) in table.iter().enumerate() {
-///     let direct = faro_queueing::mdc::latency_percentile(0.99, 0.150, 40.0, i as u32 + 1).unwrap();
+///     let direct =
+///         faro_queueing::mdc::latency_percentile(0.99, 0.150, 40.0, ReplicaCount::new(i as u32 + 1))
+///             .unwrap();
 ///     assert!(l == direct || (l.is_infinite() && direct.is_infinite()));
 /// }
 /// ```
-pub fn latency_percentile_sweep(k: f64, p: f64, lambda: f64, max_servers: u32) -> Result<Vec<f64>> {
+pub fn latency_percentile_sweep(
+    k: f64,
+    p: f64,
+    lambda: f64,
+    max_servers: ReplicaCount,
+) -> Result<Vec<f64>> {
     let k = crate::error::percentile(k)?;
     let p = crate::error::positive("p", p)?;
     let lambda = crate::error::non_negative("lambda", lambda)?;
-    if max_servers == 0 {
+    if max_servers.is_zero() {
         return Err(crate::Error::ZeroReplicas);
     }
     let a = lambda * p;
     let tail = 1.0 - k;
-    let mut out = Vec::with_capacity(max_servers as usize);
+    let mut out = Vec::with_capacity(max_servers.get() as usize);
     let mut b = 1.0f64;
-    for n in 1..=max_servers {
+    for n in 1..=max_servers.get() {
         // One Erlang-B recurrence step: `b` now equals `erlang_b(n, a)`.
         b = a * b / (f64::from(n) + a * b);
         let c = f64::from(n);
@@ -106,21 +118,33 @@ pub fn latency_percentile_sweep(k: f64, p: f64, lambda: f64, max_servers: u32) -
 /// # Examples
 ///
 /// ```
+/// use faro_queueing::ReplicaCount;
 /// // Paper Sec. 3.3: p = 150 ms, lambda = 40 req/s, SLO 600 ms.
 /// // M/D/c estimates ~8 replicas at the 99.99th percentile, fewer than
 /// // the upper-bound model's 10.
-/// let n = faro_queueing::mdc::replicas_for_slo(0.9999, 0.150, 40.0, 0.600, 32).unwrap();
-/// assert!(n <= 10);
+/// let n = faro_queueing::mdc::replicas_for_slo(0.9999, 0.150, 40.0, 0.600, ReplicaCount::new(32))
+///     .unwrap();
+/// assert!(n.get() <= 10);
 /// ```
-pub fn replicas_for_slo(k: f64, p: f64, lambda: f64, slo: f64, max_replicas: u32) -> Result<u32> {
+pub fn replicas_for_slo(
+    k: f64,
+    p: f64,
+    lambda: f64,
+    slo: f64,
+    max_replicas: ReplicaCount,
+) -> Result<ReplicaCount> {
     crate::error::positive("slo", slo)?;
     // The latency estimate is monotone non-increasing in N, so binary
     // search over [1, max_replicas] finds the smallest feasible N.
-    let feasible = |n: u32| -> Result<bool> { Ok(latency_percentile(k, p, lambda, n)? <= slo) };
-    if !feasible(max_replicas)? {
-        return Err(crate::Error::Infeasible { max_replicas });
+    let feasible = |n: u32| -> Result<bool> {
+        Ok(latency_percentile(k, p, lambda, ReplicaCount::new(n))? <= slo)
+    };
+    if !feasible(max_replicas.get())? {
+        return Err(crate::Error::Infeasible {
+            max_replicas: max_replicas.get(),
+        });
     }
-    let (mut lo, mut hi) = (1u32, max_replicas);
+    let (mut lo, mut hi) = (1u32, max_replicas.get());
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         if feasible(mid)? {
@@ -129,7 +153,7 @@ pub fn replicas_for_slo(k: f64, p: f64, lambda: f64, slo: f64, max_replicas: u32
             lo = mid + 1;
         }
     }
-    Ok(lo)
+    Ok(ReplicaCount::new(lo))
 }
 
 #[cfg(test)]
@@ -139,18 +163,22 @@ mod tests {
     use rand::prelude::*;
     use rand_distr::Exp;
 
+    fn rc(n: u32) -> ReplicaCount {
+        ReplicaCount::new(n)
+    }
+
     #[test]
     fn paper_example_mdc_beats_upper_bound() {
         // p = 150 ms, lambda = 40 req/s, s = 600 ms (paper Sec. 3.3):
         // upper bound says 10 replicas, M/D/c says ~8 at the 99.99th pct.
         let ub = upper_bound::replicas_for_slo(0.150, 40.0, 0.600).unwrap();
-        assert_eq!(ub, 10);
-        let mdc = replicas_for_slo(0.9999, 0.150, 40.0, 0.600, 32).unwrap();
+        assert_eq!(ub, rc(10));
+        let mdc = replicas_for_slo(0.9999, 0.150, 40.0, 0.600, rc(32)).unwrap();
         assert!(
             mdc < ub,
             "M/D/c ({mdc}) should need fewer than upper bound ({ub})"
         );
-        assert!((7..=9).contains(&mdc), "expected ~8, got {mdc}");
+        assert!((7..=9).contains(&mdc.get()), "expected ~8, got {mdc}");
     }
 
     #[test]
@@ -158,13 +186,13 @@ mod tests {
         let mut prev = 0.0;
         for i in 1..50 {
             let lambda = f64::from(i);
-            let l = latency_percentile(0.99, 0.15, lambda, 8).unwrap();
+            let l = latency_percentile(0.99, 0.15, lambda, rc(8)).unwrap();
             assert!(l >= prev, "latency must not decrease with load");
             prev = l;
         }
         let mut prev = f64::INFINITY;
         for n in 4..32 {
-            let l = latency_percentile(0.99, 0.15, 25.0, n).unwrap();
+            let l = latency_percentile(0.99, 0.15, 25.0, rc(n)).unwrap();
             assert!(l <= prev, "latency must not increase with replicas");
             prev = l;
         }
@@ -181,9 +209,9 @@ mod tests {
             k in 0.5f64..0.9999,
             max in 1u32..80,
         ) {
-            let sweep = latency_percentile_sweep(k, p, lambda, max).unwrap();
+            let sweep = latency_percentile_sweep(k, p, lambda, rc(max)).unwrap();
             for n in 1..=max {
-                let direct = latency_percentile(k, p, lambda, n).unwrap();
+                let direct = latency_percentile(k, p, lambda, rc(n)).unwrap();
                 let got = sweep[(n - 1) as usize];
                 proptest::prop_assert_eq!(
                     got.to_bits(),
@@ -199,28 +227,28 @@ mod tests {
 
     #[test]
     fn sweep_handles_zero_rate_and_saturation() {
-        let table = latency_percentile_sweep(0.99, 0.15, 0.0, 4).unwrap();
+        let table = latency_percentile_sweep(0.99, 0.15, 0.0, rc(4)).unwrap();
         assert!(table.iter().all(|&l| l == 0.15), "{table:?}");
         // 100 req/s at 150 ms saturates below 15 replicas.
-        let table = latency_percentile_sweep(0.99, 0.15, 100.0, 20).unwrap();
+        let table = latency_percentile_sweep(0.99, 0.15, 100.0, rc(20)).unwrap();
         assert!(table[..15].iter().all(|l| l.is_infinite()), "{table:?}");
         assert!(table[15..].iter().all(|l| l.is_finite()), "{table:?}");
-        assert!(latency_percentile_sweep(0.99, 0.15, 1.0, 0).is_err());
+        assert!(latency_percentile_sweep(0.99, 0.15, 1.0, ReplicaCount::ZERO).is_err());
     }
 
     #[test]
     fn infeasible_when_saturated() {
         // 1000 req/s at 150 ms needs at least 150 replicas.
-        let err = replicas_for_slo(0.99, 0.150, 1000.0, 0.3, 100).unwrap_err();
+        let err = replicas_for_slo(0.99, 0.150, 1000.0, 0.3, rc(100)).unwrap_err();
         assert_eq!(err, crate::Error::Infeasible { max_replicas: 100 });
     }
 
     #[test]
     fn replicas_for_slo_is_minimal() {
-        let n = replicas_for_slo(0.99, 0.150, 40.0, 0.600, 64).unwrap();
+        let n = replicas_for_slo(0.99, 0.150, 40.0, 0.600, rc(64)).unwrap();
         assert!(latency_percentile(0.99, 0.150, 40.0, n).unwrap() <= 0.600);
-        if n > 1 {
-            assert!(latency_percentile(0.99, 0.150, 40.0, n - 1).unwrap() > 0.600);
+        if n > ReplicaCount::ONE {
+            assert!(latency_percentile(0.99, 0.150, 40.0, n - ReplicaCount::ONE).unwrap() > 0.600);
         }
     }
 
@@ -249,8 +277,8 @@ mod tests {
     fn half_mmc_approximation_is_sane() {
         // The Tijms rule is an engineering approximation; check it is in
         // the right ballpark (within ~35%) at moderate load.
-        let (lambda, p, servers) = (20.0, 0.15, 4u32);
-        let mut waits = simulate_mdc_waits(lambda, p, servers as usize, 300_000, 11);
+        let (lambda, p, servers) = (20.0, 0.15, rc(4));
+        let mut waits = simulate_mdc_waits(lambda, p, servers.get() as usize, 300_000, 11);
         waits.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mean_emp: f64 = waits.iter().sum::<f64>() / waits.len() as f64;
         let mean_est = mean_wait(lambda, p, servers).unwrap();

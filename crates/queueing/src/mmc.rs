@@ -10,27 +10,29 @@
 
 use crate::erlang::erlang_c;
 use crate::error::{percentile, positive, Error, Result};
+use crate::ReplicaCount;
 
 /// Utilization `rho = lambda * p / c` of a `c`-server queue.
 ///
 /// # Examples
 ///
 /// ```
-/// let rho = faro_queueing::mmc::utilization(40.0, 0.150, 8).unwrap();
+/// use faro_queueing::ReplicaCount;
+/// let rho = faro_queueing::mmc::utilization(40.0, 0.150, ReplicaCount::new(8)).unwrap();
 /// assert!((rho - 0.75).abs() < 1e-12);
 /// ```
-pub fn utilization(lambda: f64, p: f64, servers: u32) -> Result<f64> {
-    if servers == 0 {
+pub fn utilization(lambda: f64, p: f64, servers: ReplicaCount) -> Result<f64> {
+    if servers.is_zero() {
         return Err(Error::ZeroReplicas);
     }
     let lambda = crate::error::non_negative("lambda", lambda)?;
     let p = positive("p", p)?;
-    Ok(lambda * p / f64::from(servers))
+    Ok(lambda * p / servers.as_f64())
 }
 
 /// Mean waiting time (time in queue, excluding service) of a stable
 /// M/M/c queue. Returns [`f64::INFINITY`] when `rho >= 1`.
-pub fn mean_wait(lambda: f64, p: f64, servers: u32) -> Result<f64> {
+pub fn mean_wait(lambda: f64, p: f64, servers: ReplicaCount) -> Result<f64> {
     let rho = utilization(lambda, p, servers)?;
     if rho >= 1.0 {
         return Ok(f64::INFINITY);
@@ -39,7 +41,7 @@ pub fn mean_wait(lambda: f64, p: f64, servers: u32) -> Result<f64> {
         return Ok(0.0);
     }
     let c = erlang_c(servers, lambda * p)?;
-    let cmu_minus_lambda = f64::from(servers) / p - lambda;
+    let cmu_minus_lambda = servers.as_f64() / p - lambda;
     Ok(c / cmu_minus_lambda)
 }
 
@@ -53,11 +55,12 @@ pub fn mean_wait(lambda: f64, p: f64, servers: u32) -> Result<f64> {
 /// # Examples
 ///
 /// ```
+/// use faro_queueing::ReplicaCount;
 /// // Lightly loaded queue: the median wait is zero.
-/// let w = faro_queueing::mmc::wait_percentile(0.5, 0.1, 1.0, 4).unwrap();
+/// let w = faro_queueing::mmc::wait_percentile(0.5, 0.1, 1.0, ReplicaCount::new(4)).unwrap();
 /// assert_eq!(w, 0.0);
 /// ```
-pub fn wait_percentile(k: f64, p: f64, lambda: f64, servers: u32) -> Result<f64> {
+pub fn wait_percentile(k: f64, p: f64, lambda: f64, servers: ReplicaCount) -> Result<f64> {
     let k = percentile(k)?;
     let rho = utilization(lambda, p, servers)?;
     if rho >= 1.0 {
@@ -71,14 +74,14 @@ pub fn wait_percentile(k: f64, p: f64, lambda: f64, servers: u32) -> Result<f64>
     if c <= tail {
         return Ok(0.0);
     }
-    let cmu_minus_lambda = f64::from(servers) / p - lambda;
+    let cmu_minus_lambda = servers.as_f64() / p - lambda;
     Ok((c / tail).ln() / cmu_minus_lambda)
 }
 
 /// The `k`-th percentile of *latency* (waiting plus one deterministic
 /// service time `p`). Faro treats the inference time as deterministic, so
 /// latency is the waiting percentile shifted by `p`.
-pub fn latency_percentile(k: f64, p: f64, lambda: f64, servers: u32) -> Result<f64> {
+pub fn latency_percentile(k: f64, p: f64, lambda: f64, servers: ReplicaCount) -> Result<f64> {
     Ok(wait_percentile(k, p, lambda, servers)? + p)
 }
 
@@ -88,16 +91,23 @@ mod tests {
     use rand::prelude::*;
     use rand_distr::Exp;
 
+    fn rc(n: u32) -> ReplicaCount {
+        ReplicaCount::new(n)
+    }
+
     #[test]
     fn zero_lambda_waits_zero() {
-        assert_eq!(mean_wait(0.0, 0.2, 2).unwrap(), 0.0);
-        assert_eq!(wait_percentile(0.99, 0.2, 0.0, 2).unwrap(), 0.0);
+        assert_eq!(mean_wait(0.0, 0.2, rc(2)).unwrap(), 0.0);
+        assert_eq!(wait_percentile(0.99, 0.2, 0.0, rc(2)).unwrap(), 0.0);
     }
 
     #[test]
     fn saturated_queue_is_infinite() {
-        assert_eq!(mean_wait(100.0, 0.1, 4).unwrap(), f64::INFINITY);
-        assert_eq!(wait_percentile(0.9, 0.1, 100.0, 4).unwrap(), f64::INFINITY);
+        assert_eq!(mean_wait(100.0, 0.1, rc(4)).unwrap(), f64::INFINITY);
+        assert_eq!(
+            wait_percentile(0.9, 0.1, 100.0, rc(4)).unwrap(),
+            f64::INFINITY
+        );
     }
 
     #[test]
@@ -107,7 +117,7 @@ mod tests {
         let mu = 1.0 / p;
         let rho = lambda / mu;
         let expect = rho / (mu - lambda);
-        let got = mean_wait(lambda, p, 1).unwrap();
+        let got = mean_wait(lambda, p, rc(1)).unwrap();
         assert!((got - expect).abs() < 1e-12);
     }
 
@@ -116,7 +126,7 @@ mod tests {
         let mut prev = -1.0;
         for i in 1..20 {
             let k = f64::from(i) / 20.0;
-            let w = wait_percentile(k, 0.15, 45.0, 8).unwrap();
+            let w = wait_percentile(k, 0.15, 45.0, rc(8)).unwrap();
             assert!(w >= prev);
             prev = w;
         }
@@ -124,8 +134,8 @@ mod tests {
 
     #[test]
     fn percentile_decreases_with_more_servers() {
-        let w8 = wait_percentile(0.99, 0.15, 40.0, 8).unwrap();
-        let w12 = wait_percentile(0.99, 0.15, 40.0, 12).unwrap();
+        let w8 = wait_percentile(0.99, 0.15, 40.0, rc(8)).unwrap();
+        let w12 = wait_percentile(0.99, 0.15, 40.0, rc(12)).unwrap();
         assert!(w12 <= w8);
     }
 
@@ -154,8 +164,8 @@ mod tests {
 
     #[test]
     fn closed_form_matches_monte_carlo() {
-        let (lambda, p, servers) = (20.0, 0.15, 4u32);
-        let mut waits = simulate_mmc_waits(lambda, p, servers as usize, 200_000, 7);
+        let (lambda, p, servers) = (20.0, 0.15, rc(4));
+        let mut waits = simulate_mmc_waits(lambda, p, servers.get() as usize, 200_000, 7);
         waits.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for k in [0.5, 0.9, 0.99] {
             let analytic = wait_percentile(k, p, lambda, servers).unwrap();

@@ -10,6 +10,7 @@
 
 use crate::error::{percentile, positive, Error, Result};
 use crate::mdc;
+use crate::ReplicaCount;
 
 /// Relaxed M/D/c latency estimator with a configurable stability knee.
 ///
@@ -19,12 +20,12 @@ use crate::mdc;
 /// # Examples
 ///
 /// ```
-/// use faro_queueing::RelaxedLatency;
+/// use faro_queueing::{RelaxedLatency, ReplicaCount};
 ///
 /// let est = RelaxedLatency::default(); // rho_max = 0.95
 /// // Past saturation the estimate is finite and grows with load.
-/// let a = est.latency(0.99, 0.150, 60.0, 4).unwrap();
-/// let b = est.latency(0.99, 0.150, 120.0, 4).unwrap();
+/// let a = est.latency(0.99, 0.150, 60.0, ReplicaCount::new(4)).unwrap();
+/// let b = est.latency(0.99, 0.150, 120.0, ReplicaCount::new(4)).unwrap();
 /// assert!(a.is_finite() && b > a);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,18 +66,18 @@ impl RelaxedLatency {
     /// For `rho <= rho_max` this equals the plain M/D/c estimate. Past the
     /// knee, the estimate at the knee is scaled by `lambda / lambda_knee`,
     /// penalizing latency proportionally to the queue growth rate.
-    pub fn latency(&self, k: f64, p: f64, lambda: f64, servers: u32) -> Result<f64> {
+    pub fn latency(&self, k: f64, p: f64, lambda: f64, servers: ReplicaCount) -> Result<f64> {
         let k = percentile(k)?;
         let p = positive("p", p)?;
         let lambda = crate::error::non_negative("lambda", lambda)?;
-        if servers == 0 {
+        if servers.is_zero() {
             return Err(Error::ZeroReplicas);
         }
-        let rho = lambda * p / f64::from(servers);
+        let rho = lambda * p / servers.as_f64();
         if rho <= self.rho_max {
             return mdc::latency_percentile(k, p, lambda, servers);
         }
-        let lambda_knee = self.rho_max * f64::from(servers) / p;
+        let lambda_knee = self.rho_max * servers.as_f64() / p;
         let knee_latency = mdc::latency_percentile(k, p, lambda_knee, servers)?;
         Ok(lambda / lambda_knee * knee_latency)
     }
@@ -93,16 +94,16 @@ impl RelaxedLatency {
     /// # Errors
     ///
     /// Same domain errors as [`RelaxedLatency::latency`].
-    pub fn knee_latencies(&self, k: f64, p: f64, max_servers: u32) -> Result<Vec<f64>> {
+    pub fn knee_latencies(&self, k: f64, p: f64, max_servers: ReplicaCount) -> Result<Vec<f64>> {
         let k = percentile(k)?;
         let p = positive("p", p)?;
-        if max_servers == 0 {
+        if max_servers.is_zero() {
             return Err(Error::ZeroReplicas);
         }
-        (1..=max_servers)
+        (1..=max_servers.get())
             .map(|n| {
                 let lambda_knee = self.rho_max * f64::from(n) / p;
-                mdc::latency_percentile(k, p, lambda_knee, n)
+                mdc::latency_percentile(k, p, lambda_knee, ReplicaCount::new(n))
             })
             .collect()
     }
@@ -124,13 +125,13 @@ impl RelaxedLatency {
         let _ = percentile(k)?;
         let _ = positive("p", p)?;
         let lambda = crate::error::non_negative("lambda", lambda)?;
-        let max_servers = u32::try_from(knees.len()).unwrap_or(u32::MAX);
-        if max_servers == 0 {
+        let max_servers = ReplicaCount::new(u32::try_from(knees.len()).unwrap_or(u32::MAX));
+        if max_servers.is_zero() {
             return Err(Error::ZeroReplicas);
         }
         let below_knee = mdc::latency_percentile_sweep(k, p, lambda, max_servers)?;
         let mut out = Vec::with_capacity(knees.len());
-        for n in 1..=max_servers {
+        for n in 1..=max_servers.get() {
             let rho = lambda * p / f64::from(n);
             if rho <= self.rho_max {
                 out.push(below_knee[(n - 1) as usize]);
@@ -158,11 +159,11 @@ impl RelaxedLatency {
         }
         let lo = x.floor();
         let hi = x.ceil();
-        let l_lo = self.latency(k, p, lambda, lo as u32)?;
+        let l_lo = self.latency(k, p, lambda, ReplicaCount::new(lo as u32))?;
         if lo == hi {
             return Ok(l_lo);
         }
-        let l_hi = self.latency(k, p, lambda, hi as u32)?;
+        let l_hi = self.latency(k, p, lambda, ReplicaCount::new(hi as u32))?;
         let frac = x - lo;
         Ok(l_lo + (l_hi - l_lo) * frac)
     }
@@ -172,12 +173,16 @@ impl RelaxedLatency {
 mod tests {
     use super::*;
 
+    fn rc(n: u32) -> ReplicaCount {
+        ReplicaCount::new(n)
+    }
+
     #[test]
     fn matches_mdc_below_knee() {
         let est = RelaxedLatency::default();
         for lambda in [1.0, 10.0, 20.0] {
-            let relaxed = est.latency(0.99, 0.15, lambda, 8).unwrap();
-            let exact = mdc::latency_percentile(0.99, 0.15, lambda, 8).unwrap();
+            let relaxed = est.latency(0.99, 0.15, lambda, rc(8)).unwrap();
+            let exact = mdc::latency_percentile(0.99, 0.15, lambda, rc(8)).unwrap();
             assert_eq!(relaxed, exact);
         }
     }
@@ -188,7 +193,7 @@ mod tests {
         let mut prev = 0.0;
         for i in 1..100 {
             let lambda = 5.0 * f64::from(i); // Goes far past saturation.
-            let l = est.latency(0.99, 0.15, lambda, 4).unwrap();
+            let l = est.latency(0.99, 0.15, lambda, rc(4)).unwrap();
             assert!(l.is_finite(), "lambda={lambda}");
             assert!(l >= prev, "lambda={lambda}: {l} < {prev}");
             prev = l;
@@ -198,8 +203,8 @@ mod tests {
     #[test]
     fn no_plateau_strictly_increasing_when_overloaded() {
         let est = RelaxedLatency::default();
-        let l1 = est.latency(0.99, 0.15, 100.0, 4).unwrap();
-        let l2 = est.latency(0.99, 0.15, 101.0, 4).unwrap();
+        let l1 = est.latency(0.99, 0.15, 100.0, rc(4)).unwrap();
+        let l2 = est.latency(0.99, 0.15, 101.0, rc(4)).unwrap();
         assert!(l2 > l1, "overload region must have non-zero slope");
     }
 
@@ -208,7 +213,7 @@ mod tests {
         let est = RelaxedLatency::default();
         let mut prev = f64::INFINITY;
         for n in 1..64 {
-            let l = est.latency(0.99, 0.15, 100.0, n).unwrap();
+            let l = est.latency(0.99, 0.15, 100.0, rc(n)).unwrap();
             assert!(l <= prev, "n={n}");
             prev = l;
         }
@@ -225,10 +230,10 @@ mod tests {
             max in 1u32..60,
         ) {
             let est = RelaxedLatency::default();
-            let knees = est.knee_latencies(k, p, max).unwrap();
+            let knees = est.knee_latencies(k, p, rc(max)).unwrap();
             let sweep = est.latency_sweep(k, p, lambda, &knees).unwrap();
             for n in 1..=max {
-                let direct = est.latency(k, p, lambda, n).unwrap();
+                let direct = est.latency(k, p, lambda, rc(n)).unwrap();
                 let got = sweep[(n - 1) as usize];
                 proptest::prop_assert_eq!(
                     got.to_bits(),
@@ -245,8 +250,8 @@ mod tests {
     #[test]
     fn fractional_interpolates() {
         let est = RelaxedLatency::default();
-        let l4 = est.latency(0.99, 0.15, 30.0, 4).unwrap();
-        let l5 = est.latency(0.99, 0.15, 30.0, 5).unwrap();
+        let l4 = est.latency(0.99, 0.15, 30.0, rc(4)).unwrap();
+        let l5 = est.latency(0.99, 0.15, 30.0, rc(5)).unwrap();
         let l45 = est.latency_fractional(0.99, 0.15, 30.0, 4.5).unwrap();
         assert!((l45 - 0.5 * (l4 + l5)).abs() < 1e-12);
         let l4f = est.latency_fractional(0.99, 0.15, 30.0, 4.0).unwrap();

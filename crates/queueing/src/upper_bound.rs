@@ -6,6 +6,7 @@
 //! overprovision compared to the M/D/c model.
 
 use crate::error::{non_negative, positive, Error, Result};
+use crate::ReplicaCount;
 
 /// Completion time for a burst of `kappa` simultaneous requests on
 /// `servers` replicas with per-request processing time `p`.
@@ -13,16 +14,17 @@ use crate::error::{non_negative, positive, Error, Result};
 /// # Examples
 ///
 /// ```
-/// let t = faro_queueing::upper_bound::completion_time(0.150, 40.0, 10).unwrap();
+/// use faro_queueing::ReplicaCount;
+/// let t = faro_queueing::upper_bound::completion_time(0.150, 40.0, ReplicaCount::new(10)).unwrap();
 /// assert!((t - 0.6).abs() < 1e-12);
 /// ```
-pub fn completion_time(p: f64, kappa: f64, servers: u32) -> Result<f64> {
-    if servers == 0 {
+pub fn completion_time(p: f64, kappa: f64, servers: ReplicaCount) -> Result<f64> {
+    if servers.is_zero() {
         return Err(Error::ZeroReplicas);
     }
     let p = positive("p", p)?;
     let kappa = non_negative("kappa", kappa)?;
-    Ok(p * kappa / f64::from(servers))
+    Ok(p * kappa / servers.as_f64())
 }
 
 /// Smallest replica count whose upper-bound completion time for a burst
@@ -31,36 +33,41 @@ pub fn completion_time(p: f64, kappa: f64, servers: u32) -> Result<f64> {
 /// # Examples
 ///
 /// ```
+/// use faro_queueing::ReplicaCount;
 /// // Paper Sec. 3.3: p = 150 ms, 40 simultaneous requests, SLO 600 ms
 /// // => 10 replicas.
 /// let n = faro_queueing::upper_bound::replicas_for_slo(0.150, 40.0, 0.600).unwrap();
-/// assert_eq!(n, 10);
+/// assert_eq!(n, ReplicaCount::new(10));
 /// ```
-pub fn replicas_for_slo(p: f64, kappa: f64, slo: f64) -> Result<u32> {
+pub fn replicas_for_slo(p: f64, kappa: f64, slo: f64) -> Result<ReplicaCount> {
     let p = positive("p", p)?;
     let kappa = non_negative("kappa", kappa)?;
     let slo = positive("slo", slo)?;
     let n = (p * kappa / slo).ceil();
     // At least one replica even for zero load.
-    Ok((n as u32).max(1))
+    Ok(ReplicaCount::new(n as u32).max(ReplicaCount::ONE))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn rc(n: u32) -> ReplicaCount {
+        ReplicaCount::new(n)
+    }
+
     #[test]
     fn completion_scales_linearly() {
-        let t1 = completion_time(0.1, 10.0, 2).unwrap();
-        let t2 = completion_time(0.1, 20.0, 2).unwrap();
+        let t1 = completion_time(0.1, 10.0, rc(2)).unwrap();
+        let t2 = completion_time(0.1, 20.0, rc(2)).unwrap();
         assert!((t2 - 2.0 * t1).abs() < 1e-12);
-        let t4 = completion_time(0.1, 20.0, 4).unwrap();
+        let t4 = completion_time(0.1, 20.0, rc(4)).unwrap();
         assert!((t4 - t1).abs() < 1e-12);
     }
 
     #[test]
     fn replicas_minimum_one() {
-        assert_eq!(replicas_for_slo(0.1, 0.0, 1.0).unwrap(), 1);
+        assert_eq!(replicas_for_slo(0.1, 0.0, 1.0).unwrap(), ReplicaCount::ONE);
     }
 
     #[test]
@@ -68,16 +75,18 @@ mod tests {
         for kappa in [1.0, 7.0, 40.0, 333.0] {
             let n = replicas_for_slo(0.150, kappa, 0.600).unwrap();
             assert!(completion_time(0.150, kappa, n).unwrap() <= 0.600 + 1e-12);
-            if n > 1 {
-                assert!(completion_time(0.150, kappa, n - 1).unwrap() > 0.600 - 1e-9);
+            if n > ReplicaCount::ONE {
+                assert!(
+                    completion_time(0.150, kappa, n - ReplicaCount::ONE).unwrap() > 0.600 - 1e-9
+                );
             }
         }
     }
 
     #[test]
     fn rejects_invalid() {
-        assert!(completion_time(0.1, 5.0, 0).is_err());
-        assert!(completion_time(-0.1, 5.0, 1).is_err());
+        assert!(completion_time(0.1, 5.0, ReplicaCount::ZERO).is_err());
+        assert!(completion_time(-0.1, 5.0, rc(1)).is_err());
         assert!(replicas_for_slo(0.1, 5.0, 0.0).is_err());
     }
 }

@@ -1,15 +1,19 @@
 //! Property-based tests for the queueing estimators.
 
-use faro_queueing::{erlang, mdc, mmc, upper_bound, RelaxedLatency};
+use faro_queueing::{erlang, mdc, mmc, upper_bound, RelaxedLatency, ReplicaCount};
 use proptest::prelude::*;
+
+fn rc(n: u32) -> ReplicaCount {
+    ReplicaCount::new(n)
+}
 
 proptest! {
     /// Erlang-C is a probability and dominates Erlang-B.
     #[test]
     fn erlang_c_is_probability(servers in 1u32..64, load in 0.0f64..100.0) {
-        let c = erlang::erlang_c(servers, load).unwrap();
+        let c = erlang::erlang_c(rc(servers), load).unwrap();
         prop_assert!((0.0..=1.0).contains(&c));
-        let b = erlang::erlang_b(servers, load).unwrap();
+        let b = erlang::erlang_b(rc(servers), load).unwrap();
         prop_assert!((0.0..=1.0).contains(&b));
         prop_assert!(c >= b - 1e-12, "C({servers},{load})={c} < B={b}");
     }
@@ -24,8 +28,8 @@ proptest! {
         dk in 0.001f64..0.01,
     ) {
         let k2 = k1 + dk;
-        let w1 = mmc::wait_percentile(k1, p, lambda, servers).unwrap();
-        let w2 = mmc::wait_percentile(k2, p, lambda, servers).unwrap();
+        let w1 = mmc::wait_percentile(k1, p, lambda, rc(servers)).unwrap();
+        let w2 = mmc::wait_percentile(k2, p, lambda, rc(servers)).unwrap();
         prop_assert!(w1 >= 0.0);
         prop_assert!(w2 >= w1 || (w1.is_infinite() && w2.is_infinite()));
     }
@@ -38,8 +42,8 @@ proptest! {
         p in 0.01f64..0.5,
         k in 0.5f64..0.999,
     ) {
-        let mdc_w = mdc::wait_percentile(k, p, lambda, servers).unwrap();
-        let mmc_w = mmc::wait_percentile(k, p, lambda, servers).unwrap();
+        let mdc_w = mdc::wait_percentile(k, p, lambda, rc(servers)).unwrap();
+        let mmc_w = mmc::wait_percentile(k, p, lambda, rc(servers)).unwrap();
         if mmc_w.is_finite() {
             prop_assert!(mdc_w <= mmc_w + 1e-12);
         }
@@ -55,7 +59,7 @@ proptest! {
         p in 0.01f64..0.5,
     ) {
         let est = RelaxedLatency::default();
-        let l = est.latency(0.99, p, lambda, servers).unwrap();
+        let l = est.latency(0.99, p, lambda, rc(servers)).unwrap();
         prop_assert!(l.is_finite());
         prop_assert!(l >= p - 1e-12);
     }
@@ -70,8 +74,8 @@ proptest! {
         let x = f64::from(x_times_4) / 4.0;
         let est = RelaxedLatency::default();
         let l = est.latency_fractional(0.99, p, lambda, x).unwrap();
-        let lo = est.latency(0.99, p, lambda, x.floor() as u32).unwrap();
-        let hi = est.latency(0.99, p, lambda, x.ceil() as u32).unwrap();
+        let lo = est.latency(0.99, p, lambda, rc(x.floor() as u32)).unwrap();
+        let hi = est.latency(0.99, p, lambda, rc(x.ceil() as u32)).unwrap();
         prop_assert!(l <= lo + 1e-9 && l >= hi - 1e-9, "x={x} l={l} lo={lo} hi={hi}");
     }
 
@@ -83,7 +87,7 @@ proptest! {
         slo in 0.05f64..2.0,
     ) {
         let n = upper_bound::replicas_for_slo(p, kappa, slo).unwrap();
-        prop_assert!(n >= 1);
+        prop_assert!(n >= ReplicaCount::ONE);
         let t = upper_bound::completion_time(p, kappa, n).unwrap();
         prop_assert!(t <= slo + 1e-9);
     }
@@ -97,11 +101,12 @@ proptest! {
         slo_mult in 2.0f64..10.0,
     ) {
         let slo = p * slo_mult;
-        if let Ok(n) = mdc::replicas_for_slo(0.99, p, lambda, slo, 256) {
+        if let Ok(n) = mdc::replicas_for_slo(0.99, p, lambda, slo, rc(256)) {
             let l = mdc::latency_percentile(0.99, p, lambda, n).unwrap();
             prop_assert!(l <= slo);
-            if n > 1 {
-                let l_prev = mdc::latency_percentile(0.99, p, lambda, n - 1).unwrap();
+            if n > ReplicaCount::ONE {
+                let l_prev =
+                    mdc::latency_percentile(0.99, p, lambda, n - ReplicaCount::ONE).unwrap();
                 prop_assert!(l_prev > slo);
             }
         }

@@ -32,6 +32,7 @@ use crate::simulator::{SimConfig, Simulation};
 use crate::Result;
 use faro_control::{ActuationReport, Clock, ClusterBackend};
 use faro_core::types::{ClusterSnapshot, DesiredState, JobId, JobObservation, ResourceModel};
+use faro_core::units::{RatePerMin, ReplicaCount, SimTimeMs};
 use faro_metrics::AvailabilityTracker;
 use rand::prelude::*;
 
@@ -43,7 +44,7 @@ use rand::prelude::*;
 pub struct SimBackend {
     config: SimConfig,
     jobs: Vec<JobRuntime>,
-    rates: Vec<Vec<f64>>,
+    rates: Vec<Vec<RatePerMin>>,
     duration_minutes: usize,
     service_params: Vec<(f64, f64)>,
     spare_z: Option<f64>,
@@ -97,7 +98,7 @@ impl SimBackend {
         } = sim;
         let mut queue = EventQueue::new();
         let rng = StdRng::seed_from_u64(config.seed ^ 0x51b0_11fe);
-        let end: Micros = duration_minutes as u64 * 60_000_000;
+        let end: Micros = duration_minutes as u64 * 60_000_000; // faro-lint: allow(raw-time-arith)
         let tick = micros(config.tick_secs);
         let cold = micros(config.cold_start_secs);
 
@@ -262,7 +263,7 @@ impl SimBackend {
         // already sorted (no separate count draw, offset pass, or
         // sort).
         for (j, rates) in self.rates.iter().enumerate() {
-            let rate = rates.get(minute).copied().unwrap_or(0.0);
+            let rate = rates.get(minute).map_or(0.0, |r| r.get());
             let buf = &mut self.minute_arrivals[j];
             debug_assert_eq!(
                 self.arrival_idx[j],
@@ -272,10 +273,11 @@ impl SimBackend {
             buf.clear();
             self.arrival_idx[j] = 0;
             if rate > 0.0 && rate.is_finite() {
-                let gap_scale = 60e6 / rate;
+                let gap_scale = 60e6 / rate; // faro-lint: allow(raw-time-arith)
                 let mut t = now as f64;
                 loop {
                     t += -(1.0 - self.rng.gen::<f64>()).ln() * gap_scale;
+                    // faro-lint: allow(raw-time-arith)
                     if t >= (now + 60_000_000) as f64 {
                         break;
                     }
@@ -287,7 +289,7 @@ impl SimBackend {
         self.refresh_arrival_cursor();
         if minute + 1 < self.duration_minutes {
             self.queue.push(
-                now + 60_000_000,
+                now + 60_000_000, // faro-lint: allow(raw-time-arith)
                 Event::MinuteBoundary { minute: minute + 1 },
             );
         }
@@ -310,7 +312,7 @@ impl SimBackend {
             tracker.finish(end_secs);
             let slo = job.spec.slo;
             let tails = job.minute_percentiles(slo.percentile);
-            let arrivals = job.arrivals_per_minute().to_vec();
+            let arrivals: Vec<f64> = job.arrivals_per_minute().iter().map(|r| r.get()).collect();
             let drops = job.drops_per_minute().to_vec();
             let (utility, effective) =
                 utilities_from_minutes(&tails, &arrivals, &drops, slo.latency, alpha);
@@ -338,15 +340,15 @@ impl SimBackend {
 }
 
 impl Clock for SimBackend {
-    fn now(&self) -> f64 {
-        seconds(self.now)
+    fn now(&self) -> SimTimeMs {
+        SimTimeMs::from_micros(self.now)
     }
 
     /// Drains the event stream until the next policy tick pops,
     /// merging per-job arrival calendars against the heap at each
     /// step. Returns `None` once the run horizon is reached or the
     /// event stream is exhausted.
-    fn advance(&mut self) -> Option<f64> {
+    fn advance(&mut self) -> Option<SimTimeMs> {
         if self.finished {
             return None;
         }
@@ -421,7 +423,7 @@ impl Clock for SimBackend {
                 }
                 Event::PolicyTick => {
                     self.now = now;
-                    return Some(seconds(now));
+                    return Some(SimTimeMs::from_micros(now));
                 }
             }
         }
@@ -465,7 +467,7 @@ impl ClusterBackend for SimBackend {
                             // before poisoning the outage window.
                             let history = std::sync::Arc::make_mut(&mut obs.arrival_rate_history);
                             for v in history.iter_mut().skip(cut) {
-                                *v = f64::NAN;
+                                *v = RatePerMin::NAN;
                             }
                         }
                     }
@@ -474,8 +476,8 @@ impl ClusterBackend for SimBackend {
             jobs.push(obs);
         }
         ClusterSnapshot {
-            now: seconds(now),
-            resources: ResourceModel::replicas(self.effective_quota),
+            now: SimTimeMs::from_micros(now),
+            resources: ResourceModel::replicas(ReplicaCount::new(self.effective_quota)),
             jobs,
         }
     }

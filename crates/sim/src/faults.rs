@@ -32,16 +32,16 @@ use rand_distr::{Distribution, Exp, LogNormal};
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplicaCrashes {
     /// Mean time to failure of one replica, in seconds.
-    pub mttf_secs: f64,
+    pub mttf_secs: f64, // faro-lint: allow(raw-time-arith): legacy public fault-plan API, seconds by contract
 }
 
 /// A correlated outage: part of the quota vanishes for a window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeOutage {
     /// Outage start (seconds of simulated time).
-    pub start_secs: f64,
+    pub start_secs: f64, // faro-lint: allow(raw-time-arith): legacy public fault-plan API, seconds by contract
     /// Outage duration in seconds.
-    pub duration_secs: f64,
+    pub duration_secs: f64, // faro-lint: allow(raw-time-arith): legacy public fault-plan API, seconds by contract
     /// Fraction of the total quota that disappears, in `(0, 1)`.
     pub quota_fraction: f64,
 }
@@ -50,9 +50,9 @@ pub struct NodeOutage {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColdStartSpike {
     /// Spike start (seconds of simulated time).
-    pub start_secs: f64,
+    pub start_secs: f64, // faro-lint: allow(raw-time-arith): legacy public fault-plan API, seconds by contract
     /// Spike duration in seconds.
-    pub duration_secs: f64,
+    pub duration_secs: f64, // faro-lint: allow(raw-time-arith): legacy public fault-plan API, seconds by contract
     /// Median startup multiplier (must be >= 1).
     pub median_multiplier: f64,
     /// Lognormal sigma of the multiplier (0 for a deterministic spike).
@@ -74,9 +74,9 @@ pub enum MetricOutageMode {
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricOutage {
     /// Outage start (seconds of simulated time).
-    pub start_secs: f64,
+    pub start_secs: f64, // faro-lint: allow(raw-time-arith): legacy public fault-plan API, seconds by contract
     /// Outage duration in seconds.
-    pub duration_secs: f64,
+    pub duration_secs: f64, // faro-lint: allow(raw-time-arith): legacy public fault-plan API, seconds by contract
     /// The affected jobs.
     pub jobs: Vec<JobId>,
     /// Stale or missing delivery.
@@ -199,13 +199,12 @@ impl FaultInjector {
     /// Propagates [`FaultPlan::validate`] failures.
     pub fn new(plan: FaultPlan, seed: u64, n_jobs: usize) -> Result<Self> {
         plan.validate(n_jobs)?;
-        let crash_dist = plan
-            .replica_crashes
-            .as_ref()
-            .map(|c| Exp::new(1.0 / c.mttf_secs).expect("validated MTTF"));
+        let crash_dist = plan.replica_crashes.as_ref().map(|c| {
+            Exp::new(1.0 / c.mttf_secs).expect("invariant: validate() checked the MTTF is positive")
+        });
         let spike_dist = plan.cold_start_spike.as_ref().map(|s| {
             LogNormal::new(s.median_multiplier.ln(), s.sigma.max(1e-12))
-                .expect("validated spike parameters")
+                .expect("invariant: validate() checked the spike parameters")
         });
         Ok(Self {
             plan,
@@ -242,7 +241,10 @@ impl FaultInjector {
         if now < start || now >= end {
             return 1.0;
         }
-        let d = self.spike_dist.as_ref().expect("built with the spike");
+        let d = self
+            .spike_dist
+            .as_ref()
+            .expect("invariant: spike_dist is built whenever the plan has a spike");
         d.sample(&mut self.rng).max(1.0)
     }
 

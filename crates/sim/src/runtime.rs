@@ -9,6 +9,7 @@
 
 use crate::events::{seconds, Micros};
 use faro_core::types::{JobObservation, JobSpec};
+use faro_core::units::RatePerMin;
 use faro_metrics::percentile::percentile_by_selection;
 use faro_metrics::slo::{MinuteSeries, SloAccounting};
 use std::collections::VecDeque;
@@ -106,7 +107,8 @@ pub struct JobRuntime {
     /// the observations built by [`JobRuntime::observe`]: a snapshot
     /// clones the `Arc` (O(1)); the once-a-minute push copies the
     /// backing vector only while a policy still holds a reference.
-    arrivals_per_minute: Arc<Vec<f64>>,
+    /// One-minute buckets make the count per minute a rate per minute.
+    arrivals_per_minute: Arc<Vec<RatePerMin>>,
     drops_per_minute: Vec<u64>,
     requests_per_minute_done: Vec<u64>,
     current_minute_arrivals: u64,
@@ -135,7 +137,7 @@ impl JobRuntime {
         spec: JobSpec,
         initial: u32,
         queue_threshold: usize,
-        recent_window_secs: f64,
+        recent_window_secs: f64, // faro-lint: allow(raw-time-arith): legacy ctor param, seconds by contract
     ) -> Self {
         debug_assert!(initial >= 1, "initial replicas must be >= 1");
         let mut rt = Self {
@@ -242,8 +244,13 @@ impl JobRuntime {
             return None;
         }
         let id = self.idle.remove(0);
-        let arrival = self.queue.pop_front().expect("queue non-empty");
-        let pos = self.replica_pos(id).expect("idle replica exists");
+        let arrival = self
+            .queue
+            .pop_front()
+            .expect("invariant: queue checked non-empty above");
+        let pos = self
+            .replica_pos(id)
+            .expect("invariant: idle set mirrors the live replica set");
         self.replicas[pos].1.state = ReplicaState::Busy { arrival };
         Some(Dispatch {
             replica: id,
@@ -353,7 +360,9 @@ impl JobRuntime {
                     if excess == 0 {
                         break;
                     }
-                    let pos = self.replica_pos(id).expect("busy id exists");
+                    let pos = self
+                        .replica_pos(id)
+                        .expect("invariant: busy id came from the replica set");
                     self.replicas[pos].1.retiring = true;
                     // A retiring replica no longer counts as live: it
                     // vanishes at its next completion.
@@ -469,7 +478,8 @@ impl JobRuntime {
     pub fn on_minute_boundary(&mut self) {
         // Copy-on-write: clones the backing vector only when an
         // observation from a previous tick still shares it.
-        Arc::make_mut(&mut self.arrivals_per_minute).push(self.current_minute_arrivals as f64);
+        Arc::make_mut(&mut self.arrivals_per_minute)
+            .push(RatePerMin::new(self.current_minute_arrivals as f64));
         self.drops_per_minute.push(self.current_minute_drops);
         self.requests_per_minute_done.push(self.current_minute_done);
         self.current_minute_arrivals = 0;
@@ -515,7 +525,7 @@ impl JobRuntime {
     }
 
     /// Finalized per-minute arrival counts.
-    pub fn arrivals_per_minute(&self) -> &[f64] {
+    pub fn arrivals_per_minute(&self) -> &[RatePerMin] {
         &self.arrivals_per_minute
     }
 
@@ -688,7 +698,7 @@ mod tests {
         let d = j.dispatch(0);
         j.on_completion(micros(0.1), d[0].replica, 0.1);
         j.on_minute_boundary();
-        assert_eq!(j.arrivals_per_minute(), &[1.0]);
+        assert_eq!(j.arrivals_per_minute(), &[RatePerMin::new(1.0)]);
         assert_eq!(j.drops_per_minute(), &[0]);
         let p = j.minute_percentiles(0.99);
         assert!((p[0].unwrap() - 0.1).abs() < 1e-9);

@@ -15,6 +15,7 @@ use faro_control::{Reconciler, RunStats};
 use faro_core::admission::OutageClamp;
 use faro_core::policy::Policy;
 use faro_core::types::{JobObservation, JobSpec};
+use faro_core::units::RatePerMin;
 use faro_metrics::AvailabilityTracker;
 
 /// One job's simulation inputs.
@@ -23,7 +24,7 @@ pub struct JobSetup {
     /// The job spec (SLO, nominal processing time, priority).
     pub spec: JobSpec,
     /// Per-minute arrival rates driving the load generator.
-    pub rates_per_minute: Vec<f64>,
+    pub rates_per_minute: Vec<f64>, // faro-lint: allow(raw-time-arith): legacy public config API, seconds by contract
     /// Replicas at time zero.
     pub initial_replicas: u32,
 }
@@ -35,17 +36,17 @@ pub struct SimConfig {
     /// Total replica quota (Kubernetes resource quota).
     pub total_replicas: u32,
     /// Policy tick in seconds (Faro's reactive interval).
-    pub tick_secs: f64,
+    pub tick_secs: f64, // faro-lint: allow(raw-time-arith): legacy public config API, seconds by contract
     /// Replica cold-start delay in seconds (paper: up to 70 s; 60 s
     /// default).
-    pub cold_start_secs: f64,
+    pub cold_start_secs: f64, // faro-lint: allow(raw-time-arith): legacy public config API, seconds by contract
     /// Router tail-drop threshold.
     pub queue_threshold: usize,
     /// Coefficient of variation of service times (ML inference is
     /// near-deterministic).
     pub service_cv: f64,
     /// Metrics window for "recent" observations in seconds.
-    pub recent_window_secs: f64,
+    pub recent_window_secs: f64, // faro-lint: allow(raw-time-arith): legacy public config API, seconds by contract
     /// Utility sharpness used in reports (Eq. 1).
     pub report_alpha: f64,
     /// RNG seed.
@@ -71,7 +72,7 @@ impl Default for SimConfig {
 pub struct Simulation {
     pub(crate) config: SimConfig,
     pub(crate) jobs: Vec<JobRuntime>,
-    pub(crate) rates: Vec<Vec<f64>>,
+    pub(crate) rates: Vec<Vec<RatePerMin>>,
     pub(crate) duration_minutes: usize,
     /// Per-job `(mu, sigma)` of the lognormal service distribution.
     /// Sampled inline (Box–Muller with the spare normal cached in
@@ -190,7 +191,15 @@ impl Simulation {
                 config.queue_threshold,
                 config.recent_window_secs,
             ));
-            rates.push(s.rates_per_minute);
+            // Into the typed domain at the boundary: rates validated
+            // finite and non-negative above.
+            rates.push(
+                s.rates_per_minute
+                    .iter()
+                    .copied()
+                    .map(RatePerMin::new)
+                    .collect(),
+            );
         }
         let n_jobs = jobs.len();
         let effective_quota = config.total_replicas;
@@ -494,11 +503,11 @@ mod tests {
             self.quotas
                 .lock()
                 .unwrap()
-                .push(s.resources.replica_quota());
+                .push(s.resources.replica_quota().get());
             self.rates
                 .lock()
                 .unwrap()
-                .push((s.now, s.jobs[0].recent_arrival_rate));
+                .push((s.now.as_secs(), s.jobs[0].recent_arrival_rate));
             s.job_ids()
                 .zip(s.jobs.iter())
                 .map(|(id, j)| {

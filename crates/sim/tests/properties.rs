@@ -160,7 +160,7 @@ proptest! {
         let after_once = backend.observe();
         let second = backend.apply(&desired);
         let after_twice = backend.observe();
-        prop_assert_eq!(second.replicas_started, 0, "targets already met");
+        prop_assert_eq!(second.replicas_started, faro_core::units::ReplicaCount::ZERO, "targets already met");
         prop_assert_eq!(after_once, after_twice);
     }
 

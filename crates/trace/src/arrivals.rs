@@ -24,6 +24,7 @@ use rand_distr::{Distribution, Poisson};
 /// assert!((arrivals.len() as f64 - 1200.0).abs() < 150.0);
 /// assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
 /// ```
+// faro-lint: allow(raw-time-arith): legacy public trace API, per-minute by contract
 pub fn poisson_arrivals(rates_per_minute: &[f64], seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xa441_7a15);
     let mut out = Vec::new();

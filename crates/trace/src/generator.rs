@@ -55,7 +55,7 @@ impl Default for TraceSpec {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     /// Requests per minute, one entry per minute.
-    pub rates_per_minute: Vec<f64>,
+    pub rates_per_minute: Vec<f64>, // faro-lint: allow(raw-time-arith): legacy public trace API, per-minute by contract
 }
 
 impl TraceSpec {

@@ -1,0 +1,65 @@
+//! Workspace task runner, cargo-xtask style: `cargo xtask <task>`
+//! (the alias lives in `.cargo/config.toml`). Plain std, no deps
+//! beyond the linter itself, so it builds in seconds.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask <task>");
+    eprintln!();
+    eprintln!("tasks:");
+    eprintln!("  lint    run faro-lint over the workspace (determinism &");
+    eprintln!("          unit-safety invariants); exits 1 on any diagnostic");
+}
+
+/// Runs the four faro-lint rules over every workspace source file and
+/// prints rustc-style diagnostics. `FARO_LINT_DIFF_BASE=origin/main`
+/// switches the golden-guard rule from uncommitted-changes mode to
+/// whole-branch mode (what CI uses).
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let started = std::time::Instant::now();
+    let diags = faro_lint::run(&root);
+    let elapsed = started.elapsed();
+    for d in &diags {
+        println!("{d}\n");
+    }
+    if diags.is_empty() {
+        println!("faro-lint: clean ({:.2}s)", elapsed.as_secs_f64());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "faro-lint: {} diagnostic(s) in {:.2}s",
+            diags.len(),
+            elapsed.as_secs_f64()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root is two levels above this crate's manifest
+/// (`<root>/crates/xtask`).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask always sits two levels below the workspace root")
+        .to_path_buf()
+}

@@ -14,29 +14,30 @@
 use faro::control::{ActuationReport, Clock, ClusterBackend, Reconciler};
 use faro::core::baselines::Aiad;
 use faro::core::types::{ClusterSnapshot, DesiredState, JobObservation, JobSpec, ResourceModel};
+use faro::core::units::{DurationMs, RatePerMin, ReplicaCount, SimTimeMs};
 use faro::core::OutageClamp;
 use std::sync::Arc;
 
 /// A toy cluster: per-job targets applied instantly, arrival rates
 /// following a fixed ramp, latency rising when a job is under-provisioned.
 struct RampBackend {
-    now: f64,
-    tick: f64,
-    horizon: f64,
-    quota: u32,
+    now: SimTimeMs,
+    tick: DurationMs,
+    horizon: SimTimeMs,
+    quota: ReplicaCount,
     specs: Vec<Arc<JobSpec>>,
     targets: Vec<u32>,
     drop_rates: Vec<f64>,
-    history: Vec<Vec<f64>>,
+    history: Vec<Vec<RatePerMin>>,
 }
 
 impl RampBackend {
     fn new(quota: u32, names: &[&str]) -> Self {
         Self {
-            now: -10.0,
-            tick: 10.0,
-            horizon: 600.0,
-            quota,
+            now: SimTimeMs::from_secs(-10.0),
+            tick: DurationMs::from_secs(10.0),
+            horizon: SimTimeMs::from_secs(600.0),
+            quota: ReplicaCount::new(quota),
             specs: names
                 .iter()
                 .map(|n| Arc::new(JobSpec::resnet34(*n)))
@@ -51,16 +52,16 @@ impl RampBackend {
     /// the run, phase-shifted per job.
     fn rate(&self, j: usize, t: f64) -> f64 {
         let base = 4.0 + 2.0 * j as f64;
-        base * (1.0 + (t.max(0.0) / self.horizon) + 0.2 * j as f64)
+        base * (1.0 + (t.max(0.0) / self.horizon.as_secs()) + 0.2 * j as f64)
     }
 }
 
 impl Clock for RampBackend {
-    fn now(&self) -> f64 {
+    fn now(&self) -> SimTimeMs {
         self.now
     }
 
-    fn advance(&mut self) -> Option<f64> {
+    fn advance(&mut self) -> Option<SimTimeMs> {
         let next = self.now + self.tick;
         if next >= self.horizon {
             return None;
@@ -75,8 +76,8 @@ impl ClusterBackend for RampBackend {
         let now = self.now;
         let mut jobs = Vec::with_capacity(self.specs.len());
         for j in 0..self.specs.len() {
-            let rate = self.rate(j, now);
-            self.history[j].push(rate);
+            let rate = self.rate(j, now.as_secs());
+            self.history[j].push(RatePerMin::new(rate * 60.0));
             let spec = &self.specs[j];
             // One replica serves ~1/processing_time req/s; queueing
             // pushes the tail past the SLO once load nears capacity.

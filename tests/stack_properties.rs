@@ -96,7 +96,7 @@ proptest! {
             .collect();
         let p = MultiTenantProblem::new(
             jobs,
-            ResourceModel::replicas(quota),
+            ResourceModel::replicas(faro::core::units::ReplicaCount::new(quota)),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
         )
@@ -118,7 +118,7 @@ proptest! {
         let jobs = vec![JobWorkload::constant(lambda, 0.18, Slo::paper_default(), 1.0)];
         let p = MultiTenantProblem::new(
             jobs,
-            ResourceModel::replicas(32),
+            ResourceModel::replicas(faro::core::units::ReplicaCount::new(32)),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
         )
@@ -223,15 +223,20 @@ fn forecaster_feeds_autoscaler() {
         target_replicas: 1,
         ready_replicas: 1,
         queue_len: 0,
-        arrival_rate_history: std::sync::Arc::new(series[series.len() - 15..].to_vec()),
+        arrival_rate_history: std::sync::Arc::new(
+            series[series.len() - 15..]
+                .iter()
+                .map(|&v| faro::core::units::RatePerMin::new(v))
+                .collect(),
+        ),
         recent_arrival_rate: 10.0,
         mean_processing_time: 0.18,
         recent_tail_latency: 0.2,
         drop_rate: 0.0,
     };
     let snap = ClusterSnapshot {
-        now: 0.0,
-        resources: ResourceModel::replicas(16),
+        now: faro::core::units::SimTimeMs::ZERO,
+        resources: ResourceModel::replicas(faro::core::units::ReplicaCount::new(16)),
         jobs: vec![obs],
     };
     let ds = faro.decide(&snap);
