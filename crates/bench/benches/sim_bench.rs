@@ -31,8 +31,11 @@ fn bench_simulator_throughput(c: &mut Criterion) {
                     };
                     Simulation::new(cfg, vec![setup])
                         .expect("valid")
-                        .run(Box::new(FairShare))
+                        .runner()
+                        .policy(Box::new(FairShare))
+                        .run()
                         .expect("runs")
+                        .report
                 })
             },
         );
@@ -54,8 +57,11 @@ fn bench_faro_policy_in_sim(c: &mut Criterion) {
             };
             Simulation::new(cfg, set.setups(1))
                 .expect("valid")
-                .run(policy)
+                .runner()
+                .policy(policy)
+                .run()
                 .expect("runs")
+                .report
         })
     });
     group.finish();

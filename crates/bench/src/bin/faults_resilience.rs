@@ -14,10 +14,7 @@
 //! for fewer trials and a shorter trace). Writes
 //! `results/faults_resilience.txt` and `results/faults_resilience.json`.
 
-use faro_bench::harness::{quick_mode, run_matrix, summarize, ExperimentSpec, PolicyResult};
-use faro_bench::policies::PolicyKind;
-use faro_bench::workloads::WorkloadSet;
-use faro_core::ClusterObjective;
+use faro_bench::prelude::*;
 use faro_sim::{
     ColdStartSpike, FaultPlan, MetricOutage, MetricOutageMode, NodeOutage, ReplicaCrashes,
 };

@@ -7,10 +7,7 @@
 //!
 //! Usage: `cargo run --release -p faro-bench --bin fig01_motivation`
 
-use faro_bench::workloads::WorkloadSet;
-use faro_core::baselines::FairShare;
-use faro_sim::{SimConfig, Simulation};
-
+use faro_bench::prelude::*;
 fn main() {
     // One Azure-like job, fixed at 4 replicas (FairShare on a single
     // job = static allocation).
@@ -23,8 +20,11 @@ fn main() {
     };
     let report = Simulation::new(config, set.setups(quota))
         .expect("valid setup")
-        .run(Box::new(FairShare))
-        .expect("runs");
+        .runner()
+        .policy(Box::new(FairShare))
+        .run()
+        .expect("runs")
+        .report;
 
     let job = &report.jobs[0];
     println!("single job, fixed {quota} replicas, SLO 720 ms @ p99");

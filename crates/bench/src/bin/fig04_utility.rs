@@ -4,10 +4,8 @@
 //!
 //! Usage: `cargo run --release -p faro-bench --bin fig04_utility`
 
-use faro_bench::workloads::WorkloadSet;
-use faro_core::baselines::FairShare;
+use faro_bench::prelude::*;
 use faro_core::utility::{step_utility, RelaxedUtility};
-use faro_sim::{SimConfig, Simulation};
 
 fn main() {
     // (a) Utility shapes: latency sweep at SLO 0.5 s.
@@ -46,8 +44,11 @@ fn main() {
         };
         let report = Simulation::new(config, set.setups(replicas))
             .expect("valid setup")
-            .run(Box::new(FairShare))
-            .expect("runs");
+            .runner()
+            .policy(Box::new(FairShare))
+            .run()
+            .expect("runs")
+            .report;
         let job = &report.jobs[0];
         let satisfaction = 1.0 - job.violation_rate;
         println!(

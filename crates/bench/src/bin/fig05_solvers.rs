@@ -10,10 +10,9 @@
 //!
 //! Usage: `cargo run --release -p faro-bench --bin fig05_solvers`
 
-use faro_bench::workloads::WorkloadSet;
+use faro_bench::prelude::*;
 use faro_core::opt::{Fidelity, JobWorkload, MultiTenantProblem};
 use faro_core::types::ResourceModel;
-use faro_core::ClusterObjective;
 use faro_solver::{Cobyla, DifferentialEvolution, NelderMead, Solver};
 use std::time::Instant;
 

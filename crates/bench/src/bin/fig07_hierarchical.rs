@@ -8,11 +8,10 @@
 //!
 //! Usage: `cargo run --release -p faro-bench --bin fig07_hierarchical`
 
-use faro_bench::workloads::WorkloadSet;
+use faro_bench::prelude::*;
 use faro_core::hierarchical::solve_hierarchical;
 use faro_core::opt::{Fidelity, JobWorkload, MultiTenantProblem};
 use faro_core::types::ResourceModel;
-use faro_core::ClusterObjective;
 use faro_solver::Cobyla;
 use std::time::Instant;
 

@@ -10,11 +10,7 @@
 //! Usage: `cargo run --release --bin fig10_baselines` (set FARO_QUICK=1
 //! for a fast pass with fewer trials and shorter traces).
 
-use faro_bench::harness::{quick_mode, run_matrix, summarize, ExperimentSpec};
-use faro_bench::policies::PolicyKind;
-use faro_bench::workloads::WorkloadSet;
-use faro_core::ClusterObjective;
-
+use faro_bench::prelude::*;
 fn main() {
     let quick = quick_mode();
     let set = if quick {

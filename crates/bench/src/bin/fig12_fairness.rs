@@ -9,10 +9,7 @@
 //!
 //! Usage: `cargo run --release -p faro-bench --bin fig12_fairness`
 
-use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec};
-use faro_bench::policies::PolicyKind;
-use faro_bench::workloads::WorkloadSet;
-
+use faro_bench::prelude::*;
 fn five_number(mut v: Vec<f64>) -> (f64, f64, f64, f64, f64) {
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let q = |f: f64| v[((v.len() - 1) as f64 * f).round() as usize];

@@ -8,10 +8,7 @@
 //!
 //! Usage: `cargo run --release -p faro-bench --bin fig13_variants`
 
-use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec};
-use faro_bench::policies::PolicyKind;
-use faro_bench::workloads::WorkloadSet;
-
+use faro_bench::prelude::*;
 fn main() {
     let quick = quick_mode();
     let set = if quick {

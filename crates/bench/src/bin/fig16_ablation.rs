@@ -9,11 +9,7 @@
 //!
 //! Usage: `cargo run --release -p faro-bench --bin fig16_ablation`
 
-use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec};
-use faro_bench::policies::{Ablation, PolicyKind};
-use faro_bench::workloads::WorkloadSet;
-use faro_core::ClusterObjective;
-
+use faro_bench::prelude::*;
 fn main() {
     let quick = quick_mode();
     let set = if quick {

@@ -19,18 +19,13 @@
 //! Each run appends one labelled entry to the JSON array in
 //! `BENCH_perf.json`; existing entries are preserved verbatim.
 
-use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec};
-use faro_bench::policies::PolicyKind;
-use faro_bench::workloads::WorkloadSet;
+use faro_bench::prelude::*;
 use faro_control::{ActuationReport, Clock, ClusterBackend, Reconciler};
 use faro_core::admission::ClampToQuota;
-use faro_core::baselines::FairShare;
 use faro_core::opt::{Fidelity, JobWorkload, MultiTenantProblem};
 use faro_core::types::ResourceModel;
 use faro_core::types::{ClusterSnapshot, DesiredState, JobObservation, JobSpec};
 use faro_core::units::{RatePerMin, ReplicaCount, SimTimeMs};
-use faro_core::ClusterObjective;
-use faro_sim::{SimConfig, Simulation};
 use faro_solver::Cobyla;
 use serde::Serialize;
 use std::time::Instant;
@@ -73,7 +68,12 @@ fn measure_sim(quick: bool) -> (f64, f64) {
     let sim = Simulation::new(cfg, set.setups(1)).expect("valid setup");
     let policy = PolicyKind::Aiad.build(&set, None, 7);
     let start = Instant::now();
-    let report = sim.run(policy).expect("simulation completes");
+    let report = sim
+        .runner()
+        .policy(policy)
+        .run()
+        .expect("simulation completes")
+        .report;
     let elapsed = start.elapsed().as_secs_f64();
     let requests: u64 = report.jobs.iter().map(|j| j.total_requests).sum();
     let drops: u64 = report.jobs.iter().map(|j| j.drops).sum();
@@ -203,22 +203,6 @@ fn measure_control_loop(quick: bool) -> f64 {
     stats.rounds as f64 / elapsed
 }
 
-/// Appends `entry_json` to the JSON array in `path`, preserving any
-/// existing entries byte-for-byte (the vendored serde stub has no JSON
-/// parser, so this splices text).
-fn append_entry(path: &str, entry_json: &str) -> std::io::Result<()> {
-    let existing = std::fs::read_to_string(path).unwrap_or_default();
-    let trimmed = existing.trim_end();
-    let merged = match trimmed.strip_suffix(']') {
-        Some(body) if body.trim_end().ends_with('[') => {
-            format!("{}\n  {}\n]\n", body.trim_end(), entry_json)
-        }
-        Some(body) => format!("{},\n  {}\n]\n", body.trim_end(), entry_json),
-        None => format!("[\n  {}\n]\n", entry_json),
-    };
-    std::fs::write(path, merged)
-}
-
 fn main() {
     let quick = quick_mode();
     let label = std::env::var("FARO_BENCH_LABEL").unwrap_or_else(|_| "dev".to_string());
@@ -256,7 +240,7 @@ fn main() {
         control_loop_rounds_per_sec,
     };
     let json = serde_json::to_string(&entry).expect("entry serializes");
-    append_entry(&path, &json).expect("BENCH_perf.json is writable");
+    append_bench_entry(&path, &json).expect("BENCH_perf.json is writable");
     println!("{json}");
     eprintln!("appended entry to {path}");
 }

@@ -10,11 +10,8 @@
 //!
 //! Usage: `cargo run --release -p faro-bench --bin table7_matched`
 
-use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec, PolicyResult};
-use faro_bench::policies::PolicyKind;
-use faro_bench::workloads::WorkloadSet;
+use faro_bench::prelude::*;
 use faro_metrics::kendall_tau_distance;
-use faro_sim::SimConfig;
 
 fn ranked(results: &[PolicyResult], size: u32) -> Vec<(String, f64, f64)> {
     let mut rows: Vec<(String, f64, f64)> = results

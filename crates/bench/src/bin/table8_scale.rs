@@ -9,11 +9,7 @@
 //! Usage: `cargo run --release -p faro-bench --bin table8_scale`
 //! (FARO_QUICK=1 shortens traces and skips the 100-job row).
 
-use faro_bench::harness::{quick_mode, run_matrix, ExperimentSpec};
-use faro_bench::policies::PolicyKind;
-use faro_bench::workloads::WorkloadSet;
-use faro_core::ClusterObjective;
-
+use faro_bench::prelude::*;
 fn run_scale(n_jobs: usize, replicas: u32, minutes: usize, trials: usize, label: &str) {
     let set = WorkloadSet::n_jobs(n_jobs, 42, 1600.0).truncated_eval(minutes);
     eprintln!("[{label}] training predictors for {n_jobs} jobs...");

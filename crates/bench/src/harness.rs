@@ -94,11 +94,14 @@ fn run_trial(
         .wrapping_mul(0x9e37_79b9)
         .wrapping_add(u64::from(size));
     let policy = kind.build(set, trained, sim_cfg.seed);
-    let sim = Simulation::new(sim_cfg, set.setups(1))
+    Simulation::new(sim_cfg, set.setups(1))
         .expect("valid experiment setup")
-        .with_faults(spec.faults.clone())
-        .expect("valid fault plan");
-    sim.run(policy).expect("simulation runs to completion")
+        .runner()
+        .policy(policy)
+        .faults(spec.faults.clone())
+        .run()
+        .expect("simulation runs to completion")
+        .report
 }
 
 /// Aggregates one (policy, size) cell from its per-trial reports.
@@ -201,6 +204,27 @@ pub fn summarize(results: &[PolicyResult]) -> String {
         ));
     }
     out
+}
+
+/// Appends one serialized entry to the JSON array in `path`,
+/// preserving any existing entries byte-for-byte (the vendored serde
+/// stub has no JSON parser, so this splices text). Used by the perf
+/// bins (`perf_baseline`, `faro-trace`) to grow `BENCH_perf.json`.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem write error.
+pub fn append_bench_entry(path: &str, entry_json: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim_end();
+    let merged = match trimmed.strip_suffix(']') {
+        Some(body) if body.trim_end().ends_with('[') => {
+            format!("{}\n  {}\n]\n", body.trim_end(), entry_json)
+        }
+        Some(body) => format!("{},\n  {}\n]\n", body.trim_end(), entry_json),
+        None => format!("[\n  {}\n]\n", entry_json),
+    };
+    std::fs::write(path, merged)
 }
 
 /// Whether quick mode is requested via `FARO_QUICK=1`.

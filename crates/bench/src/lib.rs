@@ -23,3 +23,24 @@ pub mod workloads;
 pub use harness::{run_matrix, summarize, ExperimentSpec, PolicyResult};
 pub use policies::PolicyKind;
 pub use workloads::WorkloadSet;
+
+/// The imports nearly every bench binary starts with, in one line:
+/// `use faro_bench::prelude::*;`.
+///
+/// Covers the trial runner ([`ExperimentSpec`], [`run_matrix`],
+/// [`summarize`], [`quick_mode`]), policy and workload construction
+/// ([`PolicyKind`], [`Ablation`](crate::policies::Ablation),
+/// [`WorkloadSet`], [`ClusterObjective`], [`FairShare`]), simulation
+/// entry points ([`Simulation`], [`SimConfig`], [`FaultPlan`],
+/// [`RunOutcome`](faro_sim::RunOutcome)), and telemetry sinks.
+pub mod prelude {
+    pub use crate::harness::{
+        append_bench_entry, quick_mode, run_matrix, summarize, ExperimentSpec, PolicyResult,
+    };
+    pub use crate::policies::{Ablation, PolicyKind};
+    pub use crate::workloads::WorkloadSet;
+    pub use faro_core::baselines::FairShare;
+    pub use faro_core::ClusterObjective;
+    pub use faro_sim::{FaultPlan, RunOutcome, SimConfig, Simulation};
+    pub use faro_telemetry::{AggregateSink, NoopSink, TelemetrySink, TraceSink};
+}

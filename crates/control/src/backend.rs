@@ -3,6 +3,7 @@
 use crate::clock::Clock;
 use faro_core::types::{ClusterSnapshot, DesiredState};
 use faro_core::units::ReplicaCount;
+use faro_telemetry::TelemetrySink;
 
 /// What one actuation round did to the cluster.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,4 +31,17 @@ pub trait ClusterBackend: Clock {
     /// left untouched. Applying the same state twice is a no-op on
     /// cluster state.
     fn apply(&mut self, desired: &DesiredState) -> ActuationReport;
+
+    /// Like [`ClusterBackend::apply`], additionally streaming
+    /// actuation detail (cold starts begun, their delays) into `sink`.
+    /// The default ignores the sink; implementations overriding this
+    /// must keep the cluster-state transition identical to `apply`.
+    fn apply_with(
+        &mut self,
+        desired: &DesiredState,
+        sink: &mut dyn TelemetrySink,
+    ) -> ActuationReport {
+        let _ = sink;
+        self.apply(desired)
+    }
 }

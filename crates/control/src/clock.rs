@@ -1,6 +1,7 @@
 //! The pacing abstraction that decouples the reconciler from time.
 
 use faro_core::units::SimTimeMs;
+use faro_telemetry::TelemetrySink;
 
 /// Paces reconcile rounds.
 ///
@@ -16,4 +17,15 @@ pub trait Clock {
     /// `None` once the run horizon is reached (the reconciler then
     /// stops).
     fn advance(&mut self) -> Option<SimTimeMs>;
+
+    /// Like [`Clock::advance`], additionally streaming whatever
+    /// happens between rounds (drops, replica lifecycle, fault
+    /// windows) into `sink`. The default ignores the sink; backends
+    /// with between-round activity override it. Implementations must
+    /// keep the state transition identical to `advance` — telemetry
+    /// observes a run, it never steers one.
+    fn advance_with(&mut self, sink: &mut dyn TelemetrySink) -> Option<SimTimeMs> {
+        let _ = sink;
+        self.advance()
+    }
 }

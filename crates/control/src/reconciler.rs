@@ -2,8 +2,12 @@
 
 use crate::backend::{ActuationReport, ClusterBackend};
 use faro_core::admission::{Admission, AdmissionOutcome};
-use faro_core::policy::Policy;
+use faro_core::policy::{Policy, PolicyIntrospection};
+use faro_core::types::{ClusterSnapshot, DesiredState, JobId};
 use faro_core::units::SimTimeMs;
+use faro_telemetry::{
+    DecisionRecord, JobRound, NoopSink, Phase, Sample, TelemetryEvent, TelemetrySink,
+};
 use serde::Serialize;
 
 /// Cumulative admission accounting across a run — the reconciler's
@@ -101,15 +105,64 @@ impl Reconciler {
     /// One Observe → Decide → Admit → Actuate round at the backend's
     /// current time.
     pub fn reconcile<B: ClusterBackend + ?Sized>(&mut self, backend: &mut B) -> ReconcileOutcome {
+        self.reconcile_with(backend, &mut NoopSink)
+    }
+
+    /// Like [`Reconciler::reconcile`], streaming the round into a
+    /// telemetry sink: one deterministic work span per phase (jobs
+    /// observed, solver evaluations, replicas trimmed, replicas
+    /// started), per-job queue-depth samples, and a full
+    /// [`DecisionRecord`] of requested-vs-granted allocations with the
+    /// policy's solve introspection.
+    ///
+    /// With [`NoopSink`] this monomorphizes to exactly the un-traced
+    /// round: every sink call is an empty inlined body and the
+    /// requested-state clone is skipped (`sink.enabled()` is `false`).
+    pub fn reconcile_with<B, S>(&mut self, backend: &mut B, sink: &mut S) -> ReconcileOutcome
+    where
+        B: ClusterBackend + ?Sized,
+        S: TelemetrySink,
+    {
         let snapshot = backend.observe();
+        let at = snapshot.now;
+        sink.span(at, Phase::Observe, snapshot.jobs.len() as u64);
         let mut desired = self.policy.decide(&snapshot);
+        let intro = self.policy.introspect();
+        sink.span(at, Phase::Decide, intro.solver_evals);
+        // The pre-admission request is only needed for the decision
+        // record; skip the clone when nobody is listening.
+        let requested = sink.enabled().then(|| desired.clone());
         let admission = self.admission.admit(&snapshot, &mut desired);
-        let actuation = backend.apply(&desired);
+        sink.span(at, Phase::Admit, u64::from(admission.shortfall()));
+        let actuation = backend.apply_with(&desired, sink);
+        sink.span(
+            at,
+            Phase::Actuate,
+            u64::from(actuation.replicas_started.get()),
+        );
         self.stats.rounds += 1;
         self.stats.admission.record(&admission);
         self.stats.replicas_started += u64::from(actuation.replicas_started.get());
+        if let Some(requested) = requested {
+            for (j, obs) in snapshot.jobs.iter().enumerate() {
+                sink.sample(at, Sample::QueueDepth, Some(j), obs.queue_len as f64);
+            }
+            if intro.long_term_solve {
+                sink.sample(at, Sample::SolveEvals, None, intro.solver_evals as f64);
+            }
+            let record = decision_record(
+                self.stats.rounds,
+                &snapshot,
+                &requested,
+                &desired,
+                &admission,
+                &actuation,
+                intro,
+            );
+            sink.event(at, &TelemetryEvent::Decision { record });
+        }
         ReconcileOutcome {
-            at: snapshot.now,
+            at,
             admission,
             actuation,
         }
@@ -122,6 +175,75 @@ impl Reconciler {
             self.reconcile(backend);
         }
         self.stats
+    }
+
+    /// Like [`Reconciler::run`], streaming the whole run — including
+    /// the backend's between-round activity via
+    /// [`Clock::advance_with`](crate::Clock::advance_with) — into a
+    /// telemetry sink.
+    pub fn run_with<B, S>(&mut self, backend: &mut B, sink: &mut S) -> RunStats
+    where
+        B: ClusterBackend + ?Sized,
+        S: TelemetrySink,
+    {
+        while backend.advance_with(sink).is_some() {
+            self.reconcile_with(backend, sink);
+        }
+        self.stats
+    }
+}
+
+/// Assembles the per-round decision record from the observed snapshot,
+/// the pre-admission request, and the granted (actuated) state. Jobs
+/// absent from a state fall back to their observed targets, matching
+/// actuation's "absent means untouched" semantics.
+fn decision_record(
+    round: u64,
+    snapshot: &ClusterSnapshot,
+    requested: &DesiredState,
+    granted: &DesiredState,
+    admission: &AdmissionOutcome,
+    actuation: &ActuationReport,
+    intro: PolicyIntrospection,
+) -> DecisionRecord {
+    let jobs = snapshot
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(j, obs)| {
+            let id = JobId::new(j);
+            let req = requested
+                .get(id)
+                .map_or(obs.target_replicas, |d| d.target_replicas);
+            let grant = granted.get(id);
+            JobRound {
+                job: j,
+                requested_replicas: req,
+                granted_replicas: grant.map_or(obs.target_replicas, |d| d.target_replicas),
+                ready_replicas: obs.ready_replicas,
+                queue_depth: obs.queue_len as u64,
+                tail_latency: obs.recent_tail_latency,
+                slo_latency: obs.spec.slo.latency,
+                slo_attained: obs.recent_tail_latency <= obs.spec.slo.latency,
+                drop_rate: grant.map_or(obs.drop_rate, |d| d.drop_rate),
+            }
+        })
+        .collect();
+    DecisionRecord {
+        round,
+        at: snapshot.now,
+        quota: snapshot.replica_quota().get(),
+        requested_replicas: admission.requested_replicas,
+        granted_replicas: admission.granted_replicas,
+        clamped: admission.clamped(),
+        unsatisfiable: admission.unsatisfiable(),
+        replicas_started: actuation.replicas_started.get(),
+        jobs_applied: actuation.jobs_applied,
+        solver_evals: intro.solver_evals,
+        long_term_solve: intro.long_term_solve,
+        carried_forward: intro.carried_forward,
+        sanitized_samples: intro.sanitized_samples,
+        jobs,
     }
 }
 
@@ -281,6 +403,58 @@ mod tests {
         let stats = rec.run(&mut backend);
         assert_eq!(stats.admission.unsatisfiable_rounds, stats.rounds);
         assert!(stats.admission.shortfall() == 0, "nothing was trimmed");
+    }
+
+    #[test]
+    fn reconcile_with_records_requested_vs_granted() {
+        let mut backend = MemBackend::new(6, 2);
+        let mut rec = Reconciler::new(Box::new(Want(8)), Box::new(OutageClamp::new(16)));
+        let mut sink = faro_telemetry::TraceSink::new();
+        backend.advance();
+        rec.reconcile_with(&mut backend, &mut sink);
+        assert_eq!(sink.len(), 1);
+        let entry = sink.entries().next().unwrap();
+        let TelemetryEvent::Decision { record } = &entry.event else {
+            panic!("expected a decision record, got {}", entry.event.kind());
+        };
+        assert_eq!(record.round, 1);
+        assert_eq!(record.quota, 6);
+        assert_eq!(record.requested_replicas, 16);
+        assert_eq!(record.granted_replicas, 6);
+        assert!(record.clamped);
+        assert!(!record.unsatisfiable);
+        assert_eq!(record.jobs.len(), 2);
+        for job in &record.jobs {
+            assert_eq!(job.requested_replicas, 8);
+            assert_eq!(job.granted_replicas, 3);
+        }
+    }
+
+    #[test]
+    fn reconcile_with_spans_measure_deterministic_work() {
+        let mut backend = MemBackend::new(16, 3);
+        let mut rec = Reconciler::new(Box::new(Want(4)), Box::new(Unlimited));
+        let mut sink = faro_telemetry::AggregateSink::new();
+        rec.run_with(&mut backend, &mut sink);
+        let observe = sink.span_stats(Phase::Observe);
+        assert_eq!(observe.rounds, 10);
+        assert_eq!(observe.max_work, 3, "observe work = jobs observed");
+        let actuate = sink.span_stats(Phase::Actuate);
+        // Round 1 starts 3 replicas per job; later rounds start none.
+        assert_eq!(actuate.total_work, 9);
+        assert_eq!(sink.counter_total(faro_telemetry::Counter::Rounds), 10);
+    }
+
+    #[test]
+    fn noop_sink_path_matches_plain_reconcile() {
+        let mut plain = MemBackend::new(6, 2);
+        let mut traced = MemBackend::new(6, 2);
+        let mut rec_a = Reconciler::new(Box::new(Want(8)), Box::new(OutageClamp::new(16)));
+        let mut rec_b = Reconciler::new(Box::new(Want(8)), Box::new(OutageClamp::new(16)));
+        let a = rec_a.run(&mut plain);
+        let b = rec_b.run_with(&mut traced, &mut NoopSink);
+        assert_eq!(a, b);
+        assert_eq!(plain.applies, traced.applies);
     }
 
     #[test]

@@ -1,9 +1,20 @@
 //! Error type for the Faro autoscaler core.
+//!
+//! [`Error`] (aliased [`FaroError`] workspace-wide) is the shared
+//! conversion target for every backend crate's error type: queueing,
+//! solver, and forecast errors convert in *typed* (`source()` walks to
+//! the original, no stringification), and crates the core cannot
+//! depend on (the simulator) convert their setup errors into
+//! [`Error::Backend`].
 
 use core::fmt;
 
 /// Result alias for this crate.
 pub type Result<T> = core::result::Result<T, Error>;
+
+/// Workspace-wide alias: the one error type control loops and run
+/// entry points (`Simulation::runner().run()`) surface.
+pub type FaroError = Error;
 
 /// Errors surfaced by the autoscaler and its building blocks.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,7 +28,12 @@ pub enum Error {
     /// An underlying solver failed.
     Solver(faro_solver::Error),
     /// An underlying forecaster failed.
-    Forecast(String),
+    Forecast(faro_forecast::Error),
+    /// A cluster backend failed to build or actuate (e.g. an invalid
+    /// simulation setup or fault plan). Carries the backend's rendered
+    /// message: backend crates sit above the core, so their error
+    /// types cannot appear here structurally.
+    Backend(String),
 }
 
 impl fmt::Display for Error {
@@ -27,7 +43,8 @@ impl fmt::Display for Error {
             Error::InvalidSnapshot(m) => write!(f, "invalid snapshot: {m}"),
             Error::Queueing(e) => write!(f, "queueing estimation failed: {e}"),
             Error::Solver(e) => write!(f, "optimization failed: {e}"),
-            Error::Forecast(m) => write!(f, "forecasting failed: {m}"),
+            Error::Forecast(e) => write!(f, "forecasting failed: {e}"),
+            Error::Backend(m) => write!(f, "cluster backend failed: {m}"),
         }
     }
 }
@@ -37,6 +54,7 @@ impl std::error::Error for Error {
         match self {
             Error::Queueing(e) => Some(e),
             Error::Solver(e) => Some(e),
+            Error::Forecast(e) => Some(e),
             _ => None,
         }
     }
@@ -56,7 +74,7 @@ impl From<faro_solver::Error> for Error {
 
 impl From<faro_forecast::Error> for Error {
     fn from(e: faro_forecast::Error) -> Self {
-        Error::Forecast(e.to_string())
+        Error::Forecast(e)
     }
 }
 
@@ -73,5 +91,19 @@ mod tests {
         let e: Error = faro_forecast::Error::NotFitted.into();
         assert!(e.to_string().contains("forecasting"));
         assert!(Error::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(Error::Backend("boom".into()).to_string().contains("boom"));
+    }
+
+    #[test]
+    fn forecast_errors_convert_typed_not_stringified() {
+        use std::error::Error as _;
+        let e: FaroError = faro_forecast::Error::SeriesTooShort { got: 3, need: 10 }.into();
+        assert_eq!(
+            e,
+            Error::Forecast(faro_forecast::Error::SeriesTooShort { got: 3, need: 10 })
+        );
+        // The chain walks to the structured source; nothing was
+        // flattened into a message string.
+        assert!(e.source().is_some());
     }
 }

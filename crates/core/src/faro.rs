@@ -25,7 +25,7 @@ use crate::error::Result;
 use crate::hierarchical::solve_hierarchical;
 use crate::objective::ClusterObjective;
 use crate::opt::{Fidelity, JobWorkload, LatencyModel, MultiTenantProblem};
-use crate::policy::Policy;
+use crate::policy::{Policy, PolicyIntrospection};
 use crate::predictor::{sanitize_history, RatePredictor};
 use crate::types::{ClusterSnapshot, DesiredState, JobDecision};
 use crate::units::{DurationMs, RatePerMin, ReplicaCount, SimTimeMs};
@@ -132,6 +132,9 @@ pub struct FaroAutoscaler {
     /// Per-job deadline until which the job counts as churning (crash
     /// headroom is padded onto long-term solves before this time).
     churn_until: Vec<SimTimeMs>,
+    /// What the last `decide` round did (solve effort, carry-forward,
+    /// sanitization), reported through [`Policy::introspect`].
+    intro: PolicyIntrospection,
     rng: StdRng,
     name: String,
 }
@@ -158,6 +161,7 @@ impl FaroAutoscaler {
             prev_ready: Vec::new(),
             prev_applied: Vec::new(),
             churn_until: Vec::new(),
+            intro: PolicyIntrospection::default(),
             name,
         }
     }
@@ -185,6 +189,11 @@ impl FaroAutoscaler {
             .map(|(i, obs)| {
                 let sanitized;
                 let history: &[RatePerMin] = if resilient {
+                    self.intro.sanitized_samples += obs
+                        .arrival_rate_history
+                        .iter()
+                        .filter(|r| r.is_corrupt())
+                        .count() as u64;
                     sanitized = sanitize_history(&obs.arrival_rate_history);
                     &sanitized
                 } else {
@@ -255,6 +264,7 @@ impl FaroAutoscaler {
                 self.config.groups,
                 self.config.seed,
             )?;
+            self.intro.solver_evals += out.evals as u64;
             (out.replicas, out.drop_rates)
         } else {
             let problem = MultiTenantProblem::new(
@@ -269,6 +279,7 @@ impl FaroAutoscaler {
                 RelaxedLatency::new(self.config.rho_max).map_err(crate::error::Error::from)?,
             );
             let alloc = problem.solve(&self.solver, &current)?;
+            self.intro.solver_evals += alloc.evals as u64;
             let mut xs = problem.integerize(&alloc);
             if self.config.use_shrinking {
                 problem.shrink(&mut xs, &alloc.drop_rates);
@@ -392,7 +403,12 @@ impl Policy for FaroAutoscaler {
         &self.name
     }
 
+    fn introspect(&self) -> PolicyIntrospection {
+        self.intro
+    }
+
     fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState {
+        self.intro = PolicyIntrospection::default();
         let n = snapshot.jobs.len();
         if self.current.len() != n {
             self.current = snapshot.jobs.iter().map(JobDecision::keep).collect();
@@ -421,6 +437,7 @@ impl Policy for FaroAutoscaler {
             .is_none_or(|t| (snapshot.now - t).as_secs() >= self.config.long_term_interval);
         if due {
             self.last_long_term = Some(snapshot.now);
+            self.intro.long_term_solve = true;
             match self.long_term(snapshot) {
                 Ok(decisions) if !self.config.resilience || decisions_valid(&decisions) => {
                     if self.config.resilience {
@@ -440,6 +457,7 @@ impl Policy for FaroAutoscaler {
                     // The resilient variant restores the last *good*
                     // solve, which unlike `current` was never clamped
                     // by a transient quota dip.
+                    self.intro.carried_forward = true;
                     if self.config.resilience {
                         if let Some(good) = &self.last_good {
                             if good.len() == n {

@@ -68,10 +68,10 @@ pub mod units;
 pub mod utility;
 
 pub use admission::{Admission, AdmissionOutcome, ClampToQuota, OutageClamp, RotatingQuota};
-pub use error::{Error, Result};
+pub use error::{Error, FaroError, Result};
 pub use faro::{FaroAutoscaler, FaroConfig};
 pub use objective::ClusterObjective;
-pub use policy::Policy;
+pub use policy::{Policy, PolicyIntrospection};
 pub use types::{
     ClusterSnapshot, DesiredState, JobDecision, JobId, JobObservation, JobSpec, ResourceModel, Slo,
 };

@@ -10,6 +10,27 @@
 
 use crate::types::{ClusterSnapshot, DesiredState};
 
+/// What a policy's last [`Policy::decide`] round did internally —
+/// solver effort and resilience triggers that the telemetry layer
+/// records into per-round decision traces.
+///
+/// The default (all zeros / false) is correct for policies with no
+/// solver: the baselines never override [`Policy::introspect`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyIntrospection {
+    /// Solver objective evaluations consumed by the round (0 when no
+    /// solve ran).
+    pub solver_evals: u64,
+    /// Whether the round ran a long-term solve.
+    pub long_term_solve: bool,
+    /// Whether the solve failed or produced junk and a previous good
+    /// allocation was carried forward instead.
+    pub carried_forward: bool,
+    /// Corrupt history samples repaired before forecasting (resilient
+    /// metric sanitization).
+    pub sanitized_samples: u64,
+}
+
 /// An autoscaling policy.
 pub trait Policy: Send {
     /// Display name (matches the paper's policy names).
@@ -19,4 +40,11 @@ pub trait Policy: Send {
     /// from the returned state keep their current allocation; the
     /// policies shipped here always cover every job in the snapshot.
     fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState;
+
+    /// Introspection for the most recent [`Policy::decide`] round.
+    /// Purely observational: the reconciler only feeds it to telemetry
+    /// sinks, never back into control decisions.
+    fn introspect(&self) -> PolicyIntrospection {
+        PolicyIntrospection::default()
+    }
 }

@@ -34,6 +34,7 @@ use faro_control::{ActuationReport, Clock, ClusterBackend};
 use faro_core::types::{ClusterSnapshot, DesiredState, JobId, JobObservation, ResourceModel};
 use faro_core::units::{RatePerMin, ReplicaCount, SimTimeMs};
 use faro_metrics::AvailabilityTracker;
+use faro_telemetry::{Counter, NoopSink, Sample, TelemetryEvent, TelemetrySink};
 use rand::prelude::*;
 
 /// The discrete-event simulator behind the [`ClusterBackend`] surface.
@@ -76,6 +77,10 @@ pub struct SimBackend {
     cold: Micros,
     now: Micros,
     finished: bool,
+    /// Whether the last policy tick fell inside the metric-outage
+    /// window — telemetry-only state for emitting the begin/end
+    /// transition events; never read by the simulation itself.
+    metric_outage_active: bool,
 }
 
 impl SimBackend {
@@ -163,10 +168,12 @@ impl SimBackend {
             cold,
             now: 0,
             finished: false,
+            metric_outage_active: false,
         })
     }
 
     /// Recomputes the cached earliest pending arrival.
+    #[inline]
     fn refresh_arrival_cursor(&mut self) {
         let mut at = Micros::MAX;
         let mut aj = 0usize;
@@ -180,6 +187,7 @@ impl SimBackend {
         self.arr_job = aj;
     }
 
+    #[inline]
     fn dispatch_job(&mut self, job: usize, now: Micros) {
         while let Some(d) = self.jobs[job].dispatch_one(now) {
             // Box–Muller produces two independent normals per pair of
@@ -210,6 +218,7 @@ impl SimBackend {
     }
 
     /// Records a `(ready, target)` availability sample for `job`.
+    #[inline]
     fn observe_tracker(&mut self, job: usize, now: Micros) {
         let ready = self.jobs[job].ready_replicas();
         let target = self.jobs[job].target();
@@ -295,6 +304,226 @@ impl SimBackend {
         }
     }
 
+    /// Emits the metric-outage begin/end transition event when the
+    /// window state changed since the last policy tick. Telemetry-only:
+    /// the observation degradation itself lives in `observe`.
+    fn emit_metric_outage_transition<S: TelemetrySink + ?Sized>(
+        &mut self,
+        now: Micros,
+        sink: &mut S,
+    ) {
+        let Some(inj) = self.injector.as_ref() else {
+            return;
+        };
+        let active = inj.metric_outage_at(now).is_some();
+        if active == self.metric_outage_active {
+            return;
+        }
+        self.metric_outage_active = active;
+        let event = if active {
+            inj.metric_outage_began_event()
+        } else {
+            inj.metric_outage_ended_event()
+        };
+        if let Some(event) = event {
+            sink.event(SimTimeMs::from_micros(now), &event);
+        }
+    }
+
+    /// [`Clock::advance`] with telemetry: drains the event stream until
+    /// the next policy tick pops, streaming per-request drop counters
+    /// and replica/fault lifecycle events into `sink` as they happen.
+    ///
+    /// Monomorphized per sink: with [`NoopSink`] every emission is an
+    /// inlined empty body and the event stream, RNG draws, and cluster
+    /// state are bit-for-bit those of [`Clock::advance`].
+    // Inline so every caller's codegen unit gets its own copy of the
+    // event loop: as a shared generic the instantiation can land in a
+    // sibling unit, turning the per-event helpers into calls (~10% on
+    // the sweep).
+    #[inline]
+    pub fn advance_telemetry<S: TelemetrySink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+    ) -> Option<SimTimeMs> {
+        if self.finished {
+            return None;
+        }
+        loop {
+            if self.arr_at < self.queue.peek_time().unwrap_or(Micros::MAX) {
+                let (at, aj) = (self.arr_at, self.arr_job);
+                if at >= self.end {
+                    self.finished = true;
+                    return None;
+                }
+                let idx = self.arrival_idx[aj] + 1;
+                self.arrival_idx[aj] = idx;
+                self.next_arrival[aj] = self.minute_arrivals[aj]
+                    .get(idx)
+                    .copied()
+                    .unwrap_or(Micros::MAX);
+                self.refresh_arrival_cursor();
+                // The explicit-drop decision only needs randomness when
+                // a drop rate is actually in force; most policies never
+                // set one, so skipping the draw saves a generator call
+                // per request.
+                let sample = if self.jobs[aj].drop_rate() > 0.0 {
+                    self.rng.gen::<f64>()
+                } else {
+                    1.0
+                };
+                match self.jobs[aj].on_arrival(at, sample) {
+                    ArrivalOutcome::Queued => self.dispatch_job(aj, at),
+                    ArrivalOutcome::ExplicitDrop => {
+                        sink.counter(SimTimeMs::from_micros(at), Counter::ExplicitDrops, 1);
+                    }
+                    ArrivalOutcome::TailDrop => {
+                        sink.counter(SimTimeMs::from_micros(at), Counter::TailDrops, 1);
+                    }
+                }
+                continue;
+            }
+            let Some((now, event)) = self.queue.pop() else {
+                self.finished = true;
+                return None;
+            };
+            if now >= self.end {
+                self.finished = true;
+                return None;
+            }
+            match event {
+                Event::MinuteBoundary { minute } => self.on_minute_boundary(now, minute),
+                Event::Completion {
+                    job,
+                    replica,
+                    service,
+                } => {
+                    let j = job.index();
+                    let _alive = self.jobs[j].on_completion(now, replica, service);
+                    self.dispatch_job(j, now);
+                }
+                Event::ReplicaReady { job, replica } => {
+                    let j = job.index();
+                    if self.jobs[j].on_replica_ready(replica) {
+                        self.dispatch_job(j, now);
+                    }
+                    self.observe_tracker(j, now);
+                    sink.event(
+                        SimTimeMs::from_micros(now),
+                        &TelemetryEvent::ReplicaReady { job: j, replica },
+                    );
+                }
+                Event::ReplicaCrash { job, replica } => {
+                    // A no-op when the replica was already retired or
+                    // evicted; the replacement is re-requested by the
+                    // desired-vs-ready reconciliation at the next tick.
+                    let j = job.index();
+                    let outcome = self.jobs[j].crash_replica(now, replica);
+                    if outcome.removed {
+                        if let Some(inj) = self.injector.as_ref() {
+                            sink.event(
+                                SimTimeMs::from_micros(now),
+                                &inj.crash_event(job, replica, outcome),
+                            );
+                        }
+                    }
+                    self.observe_tracker(j, now);
+                }
+                Event::NodeOutageStart => {
+                    self.begin_node_outage(now);
+                    if let Some(inj) = self.injector.as_ref() {
+                        sink.event(
+                            SimTimeMs::from_micros(now),
+                            &inj.outage_began_event(self.effective_quota),
+                        );
+                    }
+                }
+                Event::NodeOutageEnd => {
+                    self.effective_quota = self.config.total_replicas;
+                    for j in 0..self.jobs.len() {
+                        self.observe_tracker(j, now);
+                    }
+                    if let Some(inj) = self.injector.as_ref() {
+                        sink.event(
+                            SimTimeMs::from_micros(now),
+                            &inj.outage_ended_event(self.effective_quota),
+                        );
+                    }
+                }
+                Event::PolicyTick => {
+                    self.now = now;
+                    if sink.enabled() {
+                        self.emit_metric_outage_transition(now, sink);
+                    }
+                    return Some(SimTimeMs::from_micros(now));
+                }
+            }
+        }
+    }
+
+    /// [`ClusterBackend::apply`] with telemetry: every replica entering
+    /// cold start emits a [`TelemetryEvent::ColdStartBegan`] event and
+    /// a cold-start-delay sample (seconds). State transition, event
+    /// ordering, and RNG draws are identical to `apply`.
+    pub fn apply_impl<S: TelemetrySink + ?Sized>(
+        &mut self,
+        desired: &DesiredState,
+        sink: &mut S,
+    ) -> ActuationReport {
+        let now = self.now;
+        let mut report = ActuationReport::default();
+        for (id, d) in desired.iter() {
+            let j = id.index();
+            if j >= self.jobs.len() {
+                continue;
+            }
+            self.jobs[j].set_drop_rate(d.drop_rate);
+            // scale_to re-adds any crashed replicas up to the target:
+            // the reconciliation loop.
+            for replica in self.jobs[j].scale_to(d.target_replicas) {
+                let delay = match self.injector.as_mut() {
+                    Some(inj) => {
+                        micros(self.config.cold_start_secs * inj.cold_start_multiplier(now))
+                    }
+                    None => self.cold,
+                };
+                self.queue
+                    .push(now + delay, Event::ReplicaReady { job: id, replica });
+                report.replicas_started += 1;
+                sink.event(
+                    SimTimeMs::from_micros(now),
+                    &TelemetryEvent::ColdStartBegan {
+                        job: j,
+                        replica,
+                        delay_ms: (delay / 1000) as i64,
+                    },
+                );
+                sink.sample(
+                    SimTimeMs::from_micros(now),
+                    Sample::ColdStartDelay,
+                    Some(j),
+                    seconds(delay),
+                );
+                if let Some(inj) = self.injector.as_mut() {
+                    if let Some(dt) = inj.crash_after() {
+                        self.queue
+                            .push(now + dt, Event::ReplicaCrash { job: id, replica });
+                    }
+                }
+            }
+            // Scale-down may have freed capacity... no dispatch needed:
+            // removals only shrink.
+            self.observe_tracker(j, now);
+            report.jobs_applied += 1;
+        }
+        // Pushed after the actuation events so the insertion-sequence
+        // tie-break keeps a cold start landing exactly on the next tick
+        // ahead of that tick — the same order the monolithic loop
+        // produced.
+        self.queue.push(now + self.tick, Event::PolicyTick);
+        report
+    }
+
     /// Flushes the final partial minute and builds the run report.
     ///
     /// Call after the clock has run out ([`Clock::advance`] returned
@@ -349,84 +578,11 @@ impl Clock for SimBackend {
     /// step. Returns `None` once the run horizon is reached or the
     /// event stream is exhausted.
     fn advance(&mut self) -> Option<SimTimeMs> {
-        if self.finished {
-            return None;
-        }
-        loop {
-            if self.arr_at < self.queue.peek_time().unwrap_or(Micros::MAX) {
-                let (at, aj) = (self.arr_at, self.arr_job);
-                if at >= self.end {
-                    self.finished = true;
-                    return None;
-                }
-                let idx = self.arrival_idx[aj] + 1;
-                self.arrival_idx[aj] = idx;
-                self.next_arrival[aj] = self.minute_arrivals[aj]
-                    .get(idx)
-                    .copied()
-                    .unwrap_or(Micros::MAX);
-                self.refresh_arrival_cursor();
-                // The explicit-drop decision only needs randomness when
-                // a drop rate is actually in force; most policies never
-                // set one, so skipping the draw saves a generator call
-                // per request.
-                let sample = if self.jobs[aj].drop_rate() > 0.0 {
-                    self.rng.gen::<f64>()
-                } else {
-                    1.0
-                };
-                if self.jobs[aj].on_arrival(at, sample) == ArrivalOutcome::Queued {
-                    self.dispatch_job(aj, at);
-                }
-                continue;
-            }
-            let Some((now, event)) = self.queue.pop() else {
-                self.finished = true;
-                return None;
-            };
-            if now >= self.end {
-                self.finished = true;
-                return None;
-            }
-            match event {
-                Event::MinuteBoundary { minute } => self.on_minute_boundary(now, minute),
-                Event::Completion {
-                    job,
-                    replica,
-                    service,
-                } => {
-                    let j = job.index();
-                    let _alive = self.jobs[j].on_completion(now, replica, service);
-                    self.dispatch_job(j, now);
-                }
-                Event::ReplicaReady { job, replica } => {
-                    let j = job.index();
-                    if self.jobs[j].on_replica_ready(replica) {
-                        self.dispatch_job(j, now);
-                    }
-                    self.observe_tracker(j, now);
-                }
-                Event::ReplicaCrash { job, replica } => {
-                    // A no-op when the replica was already retired or
-                    // evicted; the replacement is re-requested by the
-                    // desired-vs-ready reconciliation at the next tick.
-                    let j = job.index();
-                    let _ = self.jobs[j].crash_replica(now, replica);
-                    self.observe_tracker(j, now);
-                }
-                Event::NodeOutageStart => self.begin_node_outage(now),
-                Event::NodeOutageEnd => {
-                    self.effective_quota = self.config.total_replicas;
-                    for j in 0..self.jobs.len() {
-                        self.observe_tracker(j, now);
-                    }
-                }
-                Event::PolicyTick => {
-                    self.now = now;
-                    return Some(SimTimeMs::from_micros(now));
-                }
-            }
-        }
+        self.advance_telemetry(&mut NoopSink)
+    }
+
+    fn advance_with(&mut self, sink: &mut dyn TelemetrySink) -> Option<SimTimeMs> {
+        self.advance_telemetry(sink)
     }
 }
 
@@ -483,43 +639,14 @@ impl ClusterBackend for SimBackend {
     }
 
     fn apply(&mut self, desired: &DesiredState) -> ActuationReport {
-        let now = self.now;
-        let mut report = ActuationReport::default();
-        for (id, d) in desired.iter() {
-            let j = id.index();
-            if j >= self.jobs.len() {
-                continue;
-            }
-            self.jobs[j].set_drop_rate(d.drop_rate);
-            // scale_to re-adds any crashed replicas up to the target:
-            // the reconciliation loop.
-            for replica in self.jobs[j].scale_to(d.target_replicas) {
-                let delay = match self.injector.as_mut() {
-                    Some(inj) => {
-                        micros(self.config.cold_start_secs * inj.cold_start_multiplier(now))
-                    }
-                    None => self.cold,
-                };
-                self.queue
-                    .push(now + delay, Event::ReplicaReady { job: id, replica });
-                report.replicas_started += 1;
-                if let Some(inj) = self.injector.as_mut() {
-                    if let Some(dt) = inj.crash_after() {
-                        self.queue
-                            .push(now + dt, Event::ReplicaCrash { job: id, replica });
-                    }
-                }
-            }
-            // Scale-down may have freed capacity... no dispatch needed:
-            // removals only shrink.
-            self.observe_tracker(j, now);
-            report.jobs_applied += 1;
-        }
-        // Pushed after the actuation events so the insertion-sequence
-        // tie-break keeps a cold start landing exactly on the next tick
-        // ahead of that tick — the same order the monolithic loop
-        // produced.
-        self.queue.push(now + self.tick, Event::PolicyTick);
-        report
+        self.apply_impl(desired, &mut NoopSink)
+    }
+
+    fn apply_with(
+        &mut self,
+        desired: &DesiredState,
+        sink: &mut dyn TelemetrySink,
+    ) -> ActuationReport {
+        self.apply_impl(desired, sink)
     }
 }

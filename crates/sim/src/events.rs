@@ -112,12 +112,14 @@ impl EventQueue {
     }
 
     /// Schedules `event` at absolute time `at`.
+    #[inline]
     pub fn push(&mut self, at: Micros, event: Event) {
         self.seq += 1;
         self.heap.push(Reverse((at, self.seq, EventBox(event))));
     }
 
     /// Pops the earliest event, if any.
+    #[inline]
     pub fn pop(&mut self) -> Option<(Micros, Event)> {
         self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
     }
@@ -125,6 +127,7 @@ impl EventQueue {
     /// Timestamp of the earliest pending event without popping it.
     /// Lets the simulator merge the heap with its per-job arrival
     /// calendars: arrivals never enter the heap at all.
+    #[inline]
     pub fn peek_time(&self) -> Option<Micros> {
         self.heap.peek().map(|Reverse((t, _, _))| *t)
     }

@@ -23,8 +23,10 @@
 //! identical and any plan replays deterministically for a fixed seed.
 
 use crate::events::{micros, Micros};
+use crate::runtime::CrashOutcome;
 use crate::{Error, Result};
 use faro_core::types::JobId;
+use faro_telemetry::TelemetryEvent;
 use rand::prelude::*;
 use rand_distr::{Distribution, Exp, LogNormal};
 
@@ -265,6 +267,59 @@ impl FaultInjector {
         let start = micros(m.start_secs);
         let end = micros(m.start_secs + m.duration_secs);
         (now >= start && now < end).then_some(m)
+    }
+
+    /// The telemetry event for an injected replica crash landing.
+    pub fn crash_event(&self, job: JobId, replica: u64, outcome: CrashOutcome) -> TelemetryEvent {
+        TelemetryEvent::ReplicaCrashed {
+            job: job.index(),
+            replica,
+            killed_request: outcome.killed_request,
+        }
+    }
+
+    /// The telemetry event for the node-outage window opening, with
+    /// the quota that survives it.
+    pub fn outage_began_event(&self, remaining_quota: u32) -> TelemetryEvent {
+        TelemetryEvent::NodeOutageBegan {
+            quota: remaining_quota,
+        }
+    }
+
+    /// The telemetry event for the node-outage window closing, with
+    /// the restored quota.
+    pub fn outage_ended_event(&self, restored_quota: u32) -> TelemetryEvent {
+        TelemetryEvent::NodeOutageEnded {
+            quota: restored_quota,
+        }
+    }
+
+    /// The telemetry event for a metric outage starting, naming its
+    /// mode and the affected jobs. `None` when the plan has no metric
+    /// outage.
+    pub fn metric_outage_began_event(&self) -> Option<TelemetryEvent> {
+        let m = self.plan.metric_outage.as_ref()?;
+        Some(TelemetryEvent::MetricOutageBegan {
+            mode: metric_outage_mode_name(m.mode).to_string(),
+            jobs: m.jobs.iter().map(|j| j.index()).collect(),
+        })
+    }
+
+    /// The telemetry event for a metric outage ending. `None` when the
+    /// plan has no metric outage.
+    pub fn metric_outage_ended_event(&self) -> Option<TelemetryEvent> {
+        let m = self.plan.metric_outage.as_ref()?;
+        Some(TelemetryEvent::MetricOutageEnded {
+            mode: metric_outage_mode_name(m.mode).to_string(),
+        })
+    }
+}
+
+/// Stable lowercase name for a metric-outage mode, used in telemetry.
+fn metric_outage_mode_name(mode: MetricOutageMode) -> &'static str {
+    match mode {
+        MetricOutageMode::Stale => "stale",
+        MetricOutageMode::Missing => "missing",
     }
 }
 

@@ -14,9 +14,9 @@
 //! The simulator is the first [`faro_control::ClusterBackend`]: the
 //! event loop lives in [`SimBackend`], whose `advance()` drains events
 //! up to the next policy tick while the `faro-control` reconciler runs
-//! Observe → Decide → Admit → Actuate on top. [`Simulation::run`] wires
-//! the two together; [`Simulation::into_backend`] hands the primed
-//! backend to external control loops.
+//! Observe → Decide → Admit → Actuate on top. [`Simulation::runner`]
+//! wires the two together; [`Simulation::into_backend`] hands the
+//! primed backend to external control loops.
 //!
 //! # Examples
 //!
@@ -31,8 +31,13 @@
 //!     initial_replicas: 2,
 //! }];
 //! let config = SimConfig { seed: 1, ..Default::default() };
-//! let report = Simulation::new(config, jobs).unwrap().run(Box::new(FairShare)).unwrap();
-//! assert!(report.jobs[0].total_requests > 0);
+//! let outcome = Simulation::new(config, jobs)
+//!     .unwrap()
+//!     .runner()
+//!     .policy(Box::new(FairShare))
+//!     .run()
+//!     .unwrap();
+//! assert!(outcome.report.jobs[0].total_requests > 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -50,7 +55,7 @@ pub use faults::{
     ColdStartSpike, FaultPlan, MetricOutage, MetricOutageMode, NodeOutage, ReplicaCrashes,
 };
 pub use report::{ClusterReport, JobReport};
-pub use simulator::{JobSetup, SimConfig, Simulation};
+pub use simulator::{JobSetup, RunOutcome, Runner, SimConfig, Simulation};
 
 /// Result alias for this crate.
 pub type Result<T> = core::result::Result<T, Error>;
@@ -71,3 +76,13 @@ impl core::fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+// The simulator sits above the core, so its error type cannot appear
+// structurally inside `FaroError`; setup failures convert into the
+// shared `Backend` variant instead (one error type at every run entry
+// point, no ad-hoc stringification at call sites).
+impl From<Error> for faro_core::FaroError {
+    fn from(e: Error) -> Self {
+        faro_core::FaroError::Backend(e.to_string())
+    }
+}

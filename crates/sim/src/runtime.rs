@@ -187,6 +187,7 @@ impl JobRuntime {
     }
 
     /// Explicit drop rate in force.
+    #[inline]
     pub fn drop_rate(&self) -> f64 {
         self.drop_rate
     }
@@ -217,6 +218,7 @@ impl JobRuntime {
 
     /// Handles an arrival; the caller supplies a uniform sample in
     /// `[0, 1)` for the explicit-drop decision.
+    #[inline]
     pub fn on_arrival(&mut self, now: Micros, drop_sample: f64) -> ArrivalOutcome {
         self.current_minute_arrivals += 1;
         self.recent_arrivals.push_back(now);
@@ -266,6 +268,7 @@ impl JobRuntime {
 
     /// Completes the request on `replica`, recording its latency and the
     /// measured service time. Returns `true` if the replica stays alive.
+    #[inline]
     pub fn on_completion(&mut self, now: Micros, replica: u64, service_time: f64) -> bool {
         // Stale completions (the replica crashed or was evicted since
         // dispatch) fall through both lookups harmlessly.

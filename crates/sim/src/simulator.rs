@@ -1,10 +1,34 @@
 //! Simulation setup and entry points.
 //!
 //! [`Simulation`] validates a configuration and job set, then either
-//! runs the whole control loop itself ([`Simulation::run`], which
+//! runs the whole control loop itself ([`Simulation::runner`], which
 //! composes a [`faro_control::Reconciler`] over the event-driven
 //! [`SimBackend`]) or hands the primed backend out for external
 //! driving ([`Simulation::into_backend`]).
+//!
+//! One run is configured through the [`Runner`] builder:
+//!
+//! ```
+//! use faro_core::baselines::FairShare;
+//! use faro_core::types::JobSpec;
+//! use faro_sim::{JobSetup, SimConfig, Simulation};
+//! use faro_telemetry::TraceSink;
+//!
+//! let jobs = vec![JobSetup {
+//!     spec: JobSpec::resnet34("demo"),
+//!     rates_per_minute: vec![300.0; 5],
+//!     initial_replicas: 2,
+//! }];
+//! let outcome = Simulation::new(SimConfig::default(), jobs)
+//!     .unwrap()
+//!     .runner()
+//!     .policy(Box::new(FairShare))
+//!     .telemetry(TraceSink::new())
+//!     .run()
+//!     .unwrap();
+//! assert!(outcome.report.jobs[0].total_requests > 0);
+//! assert_eq!(outcome.stats.rounds, 30, "one round per 10 s tick");
+//! ```
 
 use crate::backend::SimBackend;
 use crate::faults::FaultPlan;
@@ -12,11 +36,13 @@ use crate::report::ClusterReport;
 use crate::runtime::{JobRuntime, DEFAULT_QUEUE_THRESHOLD};
 use crate::{Error, Result};
 use faro_control::{Reconciler, RunStats};
-use faro_core::admission::OutageClamp;
+use faro_core::admission::{Admission, OutageClamp};
 use faro_core::policy::Policy;
 use faro_core::types::{JobObservation, JobSpec};
 use faro_core::units::RatePerMin;
+use faro_core::FaroError;
 use faro_metrics::AvailabilityTracker;
+use faro_telemetry::{NoopSink, TelemetrySink};
 
 /// One job's simulation inputs.
 #[derive(Debug, Clone)]
@@ -217,6 +243,19 @@ impl Simulation {
         })
     }
 
+    /// Starts configuring one run of this simulation: policy, optional
+    /// admission override, fault plan, and telemetry sink, finished by
+    /// [`Runner::run`].
+    pub fn runner(self) -> Runner<NoopSink> {
+        Runner {
+            sim: self,
+            policy: None,
+            admission: None,
+            faults: None,
+            sink: NoopSink,
+        }
+    }
+
     /// Attaches a fault schedule to this run. [`FaultPlan::none`] (the
     /// default without this call) injects nothing and leaves the event
     /// stream byte-identical to a fault-free run.
@@ -225,6 +264,7 @@ impl Simulation {
     ///
     /// Fails when the plan is invalid for this simulation (see
     /// [`FaultPlan::validate`]).
+    #[deprecated(note = "use Simulation::runner().faults(plan), validated at Runner::run")]
     pub fn with_faults(mut self, plan: FaultPlan) -> Result<Self> {
         plan.validate(self.jobs.len())?;
         self.faults = plan;
@@ -233,37 +273,62 @@ impl Simulation {
 
     /// Runs the simulation to completion under `policy` and reports.
     ///
-    /// Composes a [`Reconciler`] (with outage-aware quota admission)
-    /// over this simulation's [`SimBackend`] and runs the control loop
-    /// until the horizon.
-    ///
     /// # Errors
     ///
     /// Currently infallible after construction; reserved for future
     /// mid-run validation.
+    #[deprecated(note = "use Simulation::runner().policy(p).run(), which returns a RunOutcome")]
     pub fn run(self, policy: Box<dyn Policy>) -> Result<ClusterReport> {
-        Ok(self.run_with_stats(policy)?.0)
+        Ok(self.run_impl(policy, None, None, &mut NoopSink)?.report)
     }
 
     /// Like [`Simulation::run`], additionally returning the control
-    /// loop's [`RunStats`] — rounds executed, replicas started, and
-    /// the granted-vs-requested admission accounting (clamped and
-    /// unsatisfiable rounds included) that quota enforcement used to
-    /// swallow silently.
+    /// loop's [`RunStats`].
     ///
     /// # Errors
     ///
     /// Currently infallible after construction; reserved for future
     /// mid-run validation.
+    #[deprecated(note = "use Simulation::runner().policy(p).run(), which returns a RunOutcome")]
     pub fn run_with_stats(self, policy: Box<dyn Policy>) -> Result<(ClusterReport, RunStats)> {
+        let outcome = self.run_impl(policy, None, None, &mut NoopSink)?;
+        Ok((outcome.report, outcome.stats))
+    }
+
+    /// The one run loop behind both the [`Runner`] and the deprecated
+    /// entry points: validates and attaches the fault plan, composes a
+    /// [`Reconciler`] (defaulting to outage-aware quota admission) over
+    /// this simulation's [`SimBackend`], and drives the control loop to
+    /// the horizon with every round and backend event streamed into
+    /// `sink`. Monomorphized per sink: the [`NoopSink`] instantiation
+    /// is the plain untraced run.
+    fn run_impl<S: TelemetrySink>(
+        mut self,
+        policy: Box<dyn Policy>,
+        admission: Option<Box<dyn Admission>>,
+        faults: Option<FaultPlan>,
+        sink: &mut S,
+    ) -> Result<RunOutcome> {
+        if let Some(plan) = faults {
+            plan.validate(self.jobs.len())?;
+            self.faults = plan;
+        }
         // The cluster can host what the policy asked for except during
         // a node outage; the clamp engages only while the observed
         // quota is below full capacity.
         let capacity = self.config.total_replicas;
+        let admission =
+            admission.unwrap_or_else(|| Box::new(OutageClamp::new(capacity)) as Box<dyn Admission>);
         let mut backend = self.into_backend()?;
-        let mut reconciler = Reconciler::new(policy, Box::new(OutageClamp::new(capacity)));
-        let stats = reconciler.run(&mut backend);
-        Ok((backend.finish(reconciler.policy_name()), stats))
+        let mut reconciler = Reconciler::new(policy, admission);
+        while backend.advance_telemetry(sink).is_some() {
+            reconciler.reconcile_with(&mut backend, sink);
+        }
+        let stats = *reconciler.stats();
+        Ok(RunOutcome {
+            report: backend.finish(reconciler.policy_name()),
+            stats,
+        })
     }
 
     /// Primes the discrete-event backend for this simulation without
@@ -274,6 +339,92 @@ impl Simulation {
     /// Fails when the attached fault plan cannot build its injector.
     pub fn into_backend(self) -> Result<SimBackend> {
         SimBackend::new(self)
+    }
+}
+
+/// Everything one simulated control-loop run produces: the cluster
+/// report and the reconciler's round accounting. Telemetry lives in
+/// the sink the caller handed to [`Runner::telemetry`].
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-job and cluster-level SLO/utility report.
+    pub report: ClusterReport,
+    /// Control-loop statistics (rounds, admission accounting,
+    /// replicas started).
+    pub stats: RunStats,
+}
+
+/// Builder for one run of a [`Simulation`].
+///
+/// Obtained from [`Simulation::runner`]; consumed by [`Runner::run`].
+/// The sink type parameter defaults to [`NoopSink`], which compiles
+/// the instrumentation out entirely — attach a real sink with
+/// [`Runner::telemetry`].
+pub struct Runner<S: TelemetrySink = NoopSink> {
+    sim: Simulation,
+    policy: Option<Box<dyn Policy>>,
+    admission: Option<Box<dyn Admission>>,
+    faults: Option<FaultPlan>,
+    sink: S,
+}
+
+impl<S: TelemetrySink> Runner<S> {
+    /// The policy under test (required).
+    pub fn policy(mut self, policy: Box<dyn Policy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Overrides the admission controller (default: outage-aware
+    /// [`OutageClamp`] at the configured total quota).
+    pub fn admission(mut self, admission: Box<dyn Admission>) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Attaches a fault schedule, validated at [`Runner::run`].
+    /// [`FaultPlan::none`] injects nothing and leaves the event stream
+    /// byte-identical to a fault-free run.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches a telemetry sink, replacing the current one. The run
+    /// streams phase spans, decision records, drop counters, and
+    /// replica/fault lifecycle events into it; retrieve it back from
+    /// the sink you kept (pass `&mut sink` — sinks are implemented for
+    /// mutable references too) or use an owned sink and inspect it via
+    /// the outcome of a [`faro_telemetry::Tee`].
+    pub fn telemetry<T: TelemetrySink>(self, sink: T) -> Runner<T> {
+        Runner {
+            sim: self.sim,
+            policy: self.policy,
+            admission: self.admission,
+            faults: self.faults,
+            sink,
+        }
+    }
+
+    /// Runs the control loop to the horizon.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no policy was attached or the fault plan is invalid
+    /// for this simulation, surfaced as the workspace-wide
+    /// [`FaroError`].
+    pub fn run(self) -> core::result::Result<RunOutcome, FaroError> {
+        let Runner {
+            sim,
+            policy,
+            admission,
+            faults,
+            mut sink,
+        } = self;
+        let policy = policy.ok_or_else(|| {
+            Error::InvalidSetup("no policy attached; call Runner::policy first".into())
+        })?;
+        Ok(sim.run_impl(policy, admission, faults, &mut sink)?)
     }
 }
 
@@ -314,8 +465,11 @@ mod tests {
         };
         let report = Simulation::new(cfg, vec![setup(300.0, 20, 4)])
             .unwrap()
-            .run(Box::new(FairShare))
-            .unwrap();
+            .runner()
+            .policy(Box::new(FairShare))
+            .run()
+            .unwrap()
+            .report;
         // FairShare gives all 8 replicas to the single job.
         let job = &report.jobs[0];
         assert!(job.total_requests > 4000, "requests {}", job.total_requests);
@@ -338,8 +492,11 @@ mod tests {
         };
         let report = Simulation::new(cfg, vec![setup(2400.0, 10, 1)])
             .unwrap()
-            .run(Box::new(FairShare))
-            .unwrap();
+            .runner()
+            .policy(Box::new(FairShare))
+            .run()
+            .unwrap()
+            .report;
         let job = &report.jobs[0];
         assert!(job.violation_rate > 0.5, "violation {}", job.violation_rate);
         assert!(job.drops > 0, "queue must overflow");
@@ -363,12 +520,18 @@ mod tests {
         };
         let fixed = Simulation::new(cfg.clone(), vec![mk()])
             .unwrap()
-            .run(Box::new(StaticPolicy(2)))
-            .unwrap();
+            .runner()
+            .policy(Box::new(StaticPolicy(2)))
+            .run()
+            .unwrap()
+            .report;
         let scaled = Simulation::new(cfg, vec![mk()])
             .unwrap()
-            .run(Box::new(Aiad::default()))
-            .unwrap();
+            .runner()
+            .policy(Box::new(Aiad::default()))
+            .run()
+            .unwrap()
+            .report;
         assert!(
             scaled.cluster_violation_rate < fixed.cluster_violation_rate,
             "AIAD {} vs fixed {}",
@@ -387,8 +550,11 @@ mod tests {
         let run = || {
             Simulation::new(cfg.clone(), vec![setup(600.0, 8, 2)])
                 .unwrap()
-                .run(Box::new(Aiad::default()))
+                .runner()
+                .policy(Box::new(Aiad::default()))
+                .run()
                 .unwrap()
+                .report
         };
         let a = run();
         let b = run();
@@ -406,8 +572,11 @@ mod tests {
         };
         let report = Simulation::new(cfg, vec![setup(900.0, 12, 2)])
             .unwrap()
-            .run(Box::new(FairShare))
-            .unwrap();
+            .runner()
+            .policy(Box::new(FairShare))
+            .run()
+            .unwrap()
+            .report;
         let job = &report.jobs[0];
         // All requests are either completed (possibly violating) or
         // dropped; the report's totals must be internally consistent.
@@ -450,8 +619,11 @@ mod tests {
         };
         let report = Simulation::new(cfg, vec![setup(2400.0, 8, 1)])
             .unwrap()
-            .run(Box::new(JumpPolicy))
-            .unwrap();
+            .runner()
+            .policy(Box::new(JumpPolicy))
+            .run()
+            .unwrap()
+            .report;
         let u = &report.jobs[0].utility_per_minute;
         let early: f64 = u[..2].iter().sum::<f64>() / 2.0;
         let late: f64 = u[4..].iter().sum::<f64>() / (u.len() - 4) as f64;
@@ -569,14 +741,19 @@ mod tests {
         };
         let plain = Simulation::new(cfg.clone(), vec![setup(600.0, 6, 2)])
             .unwrap()
-            .run(Box::new(Aiad::default()))
-            .unwrap();
+            .runner()
+            .policy(Box::new(Aiad::default()))
+            .run()
+            .unwrap()
+            .report;
         let with_none = Simulation::new(cfg, vec![setup(600.0, 6, 2)])
             .unwrap()
-            .with_faults(FaultPlan::none())
+            .runner()
+            .faults(FaultPlan::none())
+            .policy(Box::new(Aiad::default()))
+            .run()
             .unwrap()
-            .run(Box::new(Aiad::default()))
-            .unwrap();
+            .report;
         assert_eq!(
             serde_json::to_string(&plain).unwrap(),
             serde_json::to_string(&with_none).unwrap()
@@ -616,10 +793,12 @@ mod tests {
             };
             let report = Simulation::new(cfg, vec![setup(600.0, 8, 3)])
                 .unwrap()
-                .with_faults(full_plan())
+                .runner()
+                .faults(full_plan())
+                .policy(Box::new(Aiad::default()))
+                .run()
                 .unwrap()
-                .run(Box::new(Aiad::default()))
-                .unwrap();
+                .report;
             serde_json::to_string(&report).unwrap()
         };
         assert_eq!(run(), run(), "same seed and plan replay byte-identically");
@@ -638,10 +817,12 @@ mod tests {
         };
         let report = Simulation::new(cfg, vec![setup(600.0, 10, 4)])
             .unwrap()
-            .with_faults(plan)
+            .runner()
+            .faults(plan)
+            .policy(Box::new(FairShare))
+            .run()
             .unwrap()
-            .run(Box::new(FairShare))
-            .unwrap();
+            .report;
         let job = &report.jobs[0];
         assert!(report.crash_killed_total > 0, "busy replicas crashed");
         assert!(report.availability < 1.0, "crashes opened deficits");
@@ -686,10 +867,12 @@ mod tests {
         };
         let report = Simulation::new(cfg, vec![setup(300.0, 8, 6)])
             .unwrap()
-            .with_faults(plan)
+            .runner()
+            .faults(plan)
+            .policy(Box::new(probe))
+            .run()
             .unwrap()
-            .run(Box::new(probe))
-            .unwrap();
+            .report;
         let seen = quotas.lock().unwrap();
         assert!(seen.contains(&4), "policies see the shrunken quota");
         assert_eq!(*seen.last().unwrap(), 8, "quota restored after outage");
@@ -722,9 +905,10 @@ mod tests {
         };
         Simulation::new(cfg, vec![setup(600.0, 6, 2)])
             .unwrap()
-            .with_faults(plan)
-            .unwrap()
-            .run(Box::new(probe))
+            .runner()
+            .faults(plan)
+            .policy(Box::new(probe))
+            .run()
             .unwrap();
         let seen = rates.lock().unwrap();
         for &(t, r) in seen.iter() {
@@ -760,9 +944,10 @@ mod tests {
         };
         Simulation::new(cfg, vec![setup(600.0, 6, 2)])
             .unwrap()
-            .with_faults(plan)
-            .unwrap()
-            .run(Box::new(probe))
+            .runner()
+            .faults(plan)
+            .policy(Box::new(probe))
+            .run()
             .unwrap();
         let seen = rates.lock().unwrap();
         let frozen: Vec<f64> = seen
@@ -775,6 +960,57 @@ mod tests {
             frozen.windows(2).all(|w| w[0] == w[1]),
             "stale scrape repeats one value: {frozen:?}"
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_runner() {
+        let cfg = SimConfig {
+            total_replicas: 8,
+            seed: 41,
+            ..Default::default()
+        };
+        let mk = || Simulation::new(cfg.clone(), vec![setup(600.0, 6, 2)]).unwrap();
+        let legacy = mk().run(Box::new(Aiad::default())).unwrap();
+        let (shim_report, shim_stats) = mk().run_with_stats(Box::new(Aiad::default())).unwrap();
+        let outcome = mk()
+            .runner()
+            .policy(Box::new(Aiad::default()))
+            .run()
+            .unwrap();
+        let bytes = |r: &ClusterReport| serde_json::to_string(r).unwrap();
+        assert_eq!(bytes(&legacy), bytes(&outcome.report));
+        assert_eq!(bytes(&shim_report), bytes(&outcome.report));
+        assert_eq!(shim_stats, outcome.stats);
+    }
+
+    #[test]
+    fn runner_requires_a_policy() {
+        let sim = Simulation::new(SimConfig::default(), vec![setup(60.0, 2, 1)]).unwrap();
+        let err = sim.runner().run().unwrap_err();
+        assert!(matches!(err, faro_core::FaroError::Backend(_)), "{err}");
+    }
+
+    #[test]
+    fn runner_validates_faults_at_run() {
+        let sim = Simulation::new(SimConfig::default(), vec![setup(60.0, 2, 1)]).unwrap();
+        let plan = FaultPlan {
+            metric_outage: Some(MetricOutage {
+                start_secs: 0.0,
+                duration_secs: 60.0,
+                jobs: vec![JobId::new(7)],
+                mode: MetricOutageMode::Missing,
+            }),
+            ..FaultPlan::none()
+        };
+        // Building the runner never fails; validation surfaces at run.
+        let err = sim
+            .runner()
+            .policy(Box::new(FairShare))
+            .faults(plan)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("only 1 jobs exist"), "{err}");
     }
 
     #[test]
@@ -795,8 +1031,11 @@ mod tests {
         };
         let base = Simulation::new(cfg.clone(), vec![mk()])
             .unwrap()
-            .run(Box::new(Aiad::default()))
-            .unwrap();
+            .runner()
+            .policy(Box::new(Aiad::default()))
+            .run()
+            .unwrap()
+            .report;
         let plan = FaultPlan {
             cold_start_spike: Some(ColdStartSpike {
                 start_secs: 0.0,
@@ -808,10 +1047,12 @@ mod tests {
         };
         let spiked = Simulation::new(cfg, vec![mk()])
             .unwrap()
-            .with_faults(plan)
+            .runner()
+            .faults(plan)
+            .policy(Box::new(Aiad::default()))
+            .run()
             .unwrap()
-            .run(Box::new(Aiad::default()))
-            .unwrap();
+            .report;
         assert!(
             spiked.availability < base.availability,
             "spiked {} vs base {}",

@@ -36,8 +36,11 @@ fn small_run_json() -> String {
     ];
     let report = Simulation::new(cfg, setups)
         .expect("golden setup is valid")
-        .run(Box::new(FairShare))
-        .expect("golden run completes");
+        .runner()
+        .policy(Box::new(FairShare))
+        .run()
+        .expect("golden run completes")
+        .report;
     serde_json::to_string(&report).expect("report serializes")
 }
 

@@ -83,8 +83,11 @@ proptest! {
         };
         let policy = ScriptedPolicy { script, step: 0 };
         let report = Simulation::new(cfg, vec![setup]).unwrap()
-            .run(Box::new(policy))
-            .unwrap();
+            .runner()
+            .policy(Box::new(policy))
+            .run()
+            .unwrap()
+            .report;
         let job = &report.jobs[0];
         prop_assert!(job.violations >= job.drops);
         prop_assert!(job.violations <= job.total_requests);
@@ -108,8 +111,11 @@ proptest! {
         };
         let policy = ScriptedPolicy { script: vec![(8, drop)], step: 0 };
         let report = Simulation::new(cfg, vec![setup]).unwrap()
-            .run(Box::new(policy))
-            .unwrap();
+            .runner()
+            .policy(Box::new(policy))
+            .run()
+            .unwrap()
+            .report;
         let job = &report.jobs[0];
         let observed = job.drops as f64 / job.total_requests as f64;
         prop_assert!(
@@ -130,8 +136,11 @@ proptest! {
         let run = |replicas: u32| {
             let cfg = SimConfig { total_replicas: replicas, seed, ..Default::default() };
             Simulation::new(cfg, vec![setup()]).unwrap()
-                .run(Box::new(FairShare))
+                .runner()
+                .policy(Box::new(FairShare))
+                .run()
                 .unwrap()
+                .report
                 .cluster_violation_rate
         };
         let small = run(2);

@@ -1,0 +1,388 @@
+//! [`AggregateSink`]: in-memory aggregation with a Prometheus
+//! text-format snapshot and per-job SLO-attainment timelines.
+
+use crate::event::{Counter, Phase, Sample, TelemetryEvent};
+use crate::TelemetrySink;
+use faro_core::units::SimTimeMs;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Accumulated work units for one reconcile phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Spans recorded (one per reconcile round).
+    pub rounds: u64,
+    /// Total work units across all spans.
+    pub total_work: u64,
+    /// Largest single-span work.
+    pub max_work: u64,
+}
+
+/// One minute of a job's SLO-attainment timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinuteAttainment {
+    /// Reconcile rounds in this minute whose observed tail met the SLO.
+    pub attained: u64,
+    /// Reconcile rounds observed in this minute.
+    pub rounds: u64,
+}
+
+impl MinuteAttainment {
+    /// Attained fraction in `[0, 1]` (1 for minutes with no rounds).
+    pub fn ratio(self) -> f64 {
+        if self.rounds == 0 {
+            1.0
+        } else {
+            self.attained as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// Fixed histogram bucket bounds per sample kind (cumulative `le`
+/// bounds; an implicit `+Inf` bucket catches the overflow).
+fn bucket_bounds(sample: Sample) -> &'static [f64] {
+    match sample {
+        Sample::QueueDepth => &[0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0],
+        Sample::ColdStartDelay => &[1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0],
+        Sample::SolveEvals => &[50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0],
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    /// One count per bound in [`bucket_bounds`], plus the `+Inf`
+    /// overflow bucket at the end. Non-cumulative; the exporter sums.
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+}
+
+impl Histogram {
+    fn new(sample: Sample) -> Self {
+        Self {
+            counts: vec![0; bucket_bounds(sample).len() + 1],
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    fn observe(&mut self, sample: Sample, value: f64) {
+        let bounds = bucket_bounds(sample);
+        let idx = bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.total += 1;
+    }
+}
+
+/// Aggregates the telemetry stream into counters, phase-span stats,
+/// fixed-bucket histograms, and per-job per-minute SLO-attainment
+/// timelines; exports a Prometheus text-format snapshot.
+///
+/// All state lives in `BTreeMap`s keyed by enums and job indices, so
+/// the snapshot text is deterministic for a seeded run.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateSink {
+    counters: BTreeMap<Counter, u64>,
+    spans: BTreeMap<Phase, SpanStats>,
+    histograms: BTreeMap<(Sample, Option<usize>), Histogram>,
+    timelines: BTreeMap<usize, Vec<MinuteAttainment>>,
+}
+
+impl AggregateSink {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add(&mut self, counter: Counter, delta: u64) {
+        *self.counters.entry(counter).or_insert(0) += delta;
+    }
+
+    /// Total for one counter (0 when never incremented). Counts
+    /// derived from events (crashes, readiness, rounds) are included.
+    pub fn counter_total(&self, counter: Counter) -> u64 {
+        self.counters.get(&counter).copied().unwrap_or(0)
+    }
+
+    /// Accumulated span stats for one phase.
+    pub fn span_stats(&self, phase: Phase) -> SpanStats {
+        self.spans.get(&phase).copied().unwrap_or_default()
+    }
+
+    /// The per-minute SLO-attainment timeline for one job, if any
+    /// decision record mentioned it.
+    pub fn slo_timeline(&self, job: usize) -> Option<&[MinuteAttainment]> {
+        self.timelines.get(&job).map(Vec::as_slice)
+    }
+
+    /// The attainment ratio series for one job (empty when unseen).
+    pub fn attainment_series(&self, job: usize) -> Vec<f64> {
+        self.slo_timeline(job)
+            .map(|t| t.iter().map(|m| m.ratio()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Jobs with a timeline, ascending.
+    pub fn jobs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.timelines.keys().copied()
+    }
+
+    /// Renders the aggregate state in the Prometheus text exposition
+    /// format (metric stems prefixed `faro_`): counter totals, phase
+    /// work, histograms with cumulative `le` buckets, and the SLO
+    /// timelines as a minute-labelled gauge.
+    pub fn prometheus_snapshot(&self) -> String {
+        let mut out = String::new();
+        for counter in Counter::ALL {
+            let name = counter.as_str();
+            let _ = writeln!(out, "# TYPE faro_{name}_total counter");
+            let _ = writeln!(out, "faro_{name}_total {}", self.counter_total(counter));
+        }
+        let _ = writeln!(out, "# TYPE faro_phase_rounds_total counter");
+        for phase in Phase::ALL {
+            let _ = writeln!(
+                out,
+                "faro_phase_rounds_total{{phase=\"{phase}\"}} {}",
+                self.span_stats(phase).rounds
+            );
+        }
+        let _ = writeln!(out, "# TYPE faro_phase_work_total counter");
+        for phase in Phase::ALL {
+            let _ = writeln!(
+                out,
+                "faro_phase_work_total{{phase=\"{phase}\"}} {}",
+                self.span_stats(phase).total_work
+            );
+        }
+        let mut last_sample = None;
+        for (&(sample, job), hist) in &self.histograms {
+            if last_sample != Some(sample) {
+                let _ = writeln!(out, "# TYPE faro_{sample} histogram");
+                last_sample = Some(sample);
+            }
+            let label = |le: &str| match job {
+                Some(j) => format!("{{job=\"{j}\",le=\"{le}\"}}"),
+                None => format!("{{le=\"{le}\"}}"),
+            };
+            let mut cumulative = 0;
+            for (i, &bound) in bucket_bounds(sample).iter().enumerate() {
+                cumulative += hist.counts[i];
+                let _ = writeln!(
+                    out,
+                    "faro_{sample}_bucket{} {cumulative}",
+                    label(&fmt_f64(bound))
+                );
+            }
+            let _ = writeln!(out, "faro_{sample}_bucket{} {}", label("+Inf"), hist.total);
+            let tail = match job {
+                Some(j) => format!("{{job=\"{j}\"}}"),
+                None => String::new(),
+            };
+            let _ = writeln!(out, "faro_{sample}_sum{tail} {}", fmt_f64(hist.sum));
+            let _ = writeln!(out, "faro_{sample}_count{tail} {}", hist.total);
+        }
+        if !self.timelines.is_empty() {
+            let _ = writeln!(out, "# TYPE faro_slo_attainment_ratio gauge");
+            for (&job, timeline) in &self.timelines {
+                for (minute, cell) in timeline.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "faro_slo_attainment_ratio{{job=\"{job}\",minute=\"{minute}\"}} {}",
+                        fmt_f64(cell.ratio())
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic float formatting (Rust's shortest-roundtrip `Display`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "NaN".to_string()
+    }
+}
+
+impl TelemetrySink for AggregateSink {
+    fn span(&mut self, _at: SimTimeMs, phase: Phase, work: u64) {
+        let s = self.spans.entry(phase).or_default();
+        s.rounds += 1;
+        s.total_work += work;
+        s.max_work = s.max_work.max(work);
+    }
+
+    fn counter(&mut self, _at: SimTimeMs, counter: Counter, delta: u64) {
+        self.add(counter, delta);
+    }
+
+    fn sample(&mut self, _at: SimTimeMs, sample: Sample, job: Option<usize>, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.histograms
+            .entry((sample, job))
+            .or_insert_with(|| Histogram::new(sample))
+            .observe(sample, value);
+    }
+
+    fn event(&mut self, at: SimTimeMs, event: &TelemetryEvent) {
+        match event {
+            TelemetryEvent::Decision { record } => {
+                self.add(Counter::Rounds, 1);
+                if record.clamped {
+                    self.add(Counter::ClampedRounds, 1);
+                }
+                if record.unsatisfiable {
+                    self.add(Counter::UnsatisfiableRounds, 1);
+                }
+                self.add(Counter::ReplicasStarted, u64::from(record.replicas_started));
+                self.add(Counter::SolverEvals, record.solver_evals);
+                if record.carried_forward {
+                    self.add(Counter::CarryForwards, 1);
+                }
+                self.add(Counter::SanitizedSamples, record.sanitized_samples);
+                let minute = (at.as_secs() / 60.0).floor().max(0.0) as usize;
+                for job in &record.jobs {
+                    let timeline = self.timelines.entry(job.job).or_default();
+                    if timeline.len() <= minute {
+                        timeline.resize(minute + 1, MinuteAttainment::default());
+                    }
+                    timeline[minute].rounds += 1;
+                    if job.slo_attained {
+                        timeline[minute].attained += 1;
+                    }
+                }
+            }
+            TelemetryEvent::ReplicaReady { .. } => self.add(Counter::ReplicasReady, 1),
+            TelemetryEvent::ReplicaCrashed { killed_request, .. } => {
+                self.add(Counter::ReplicaCrashes, 1);
+                if *killed_request {
+                    self.add(Counter::CrashKills, 1);
+                }
+            }
+            TelemetryEvent::ColdStartBegan { .. }
+            | TelemetryEvent::NodeOutageBegan { .. }
+            | TelemetryEvent::NodeOutageEnded { .. }
+            | TelemetryEvent::MetricOutageBegan { .. }
+            | TelemetryEvent::MetricOutageEnded { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DecisionRecord, JobRound};
+
+    fn record(at_secs: f64, attained: bool) -> (SimTimeMs, TelemetryEvent) {
+        (
+            SimTimeMs::from_secs(at_secs),
+            TelemetryEvent::Decision {
+                record: DecisionRecord {
+                    round: 1,
+                    at: SimTimeMs::from_secs(at_secs),
+                    quota: 8,
+                    requested_replicas: 4,
+                    granted_replicas: 4,
+                    clamped: false,
+                    unsatisfiable: false,
+                    replicas_started: 1,
+                    jobs_applied: 1,
+                    solver_evals: 120,
+                    long_term_solve: true,
+                    carried_forward: false,
+                    sanitized_samples: 0,
+                    jobs: vec![JobRound {
+                        job: 0,
+                        requested_replicas: 4,
+                        granted_replicas: 4,
+                        ready_replicas: 3,
+                        queue_depth: 2,
+                        tail_latency: 0.2,
+                        slo_latency: 0.25,
+                        slo_attained: attained,
+                        drop_rate: 0.0,
+                    }],
+                },
+            },
+        )
+    }
+
+    #[test]
+    fn decision_records_build_the_timeline() {
+        let mut sink = AggregateSink::new();
+        for (t, attained) in [(5.0, true), (15.0, true), (65.0, false)] {
+            let (at, e) = record(t, attained);
+            sink.event(at, &e);
+        }
+        let timeline = sink.slo_timeline(0).unwrap();
+        assert_eq!(timeline.len(), 2);
+        assert_eq!(timeline[0].rounds, 2);
+        assert_eq!(timeline[0].attained, 2);
+        assert_eq!(timeline[1].rounds, 1);
+        assert_eq!(timeline[1].attained, 0);
+        assert_eq!(sink.attainment_series(0), vec![1.0, 0.0]);
+        assert_eq!(sink.counter_total(Counter::Rounds), 3);
+        assert_eq!(sink.counter_total(Counter::SolverEvals), 360);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_the_export() {
+        let mut sink = AggregateSink::new();
+        for v in [0.0, 1.0, 3.0, 100.0] {
+            sink.sample(SimTimeMs::ZERO, Sample::QueueDepth, Some(0), v);
+        }
+        sink.sample(SimTimeMs::ZERO, Sample::QueueDepth, Some(0), f64::NAN);
+        let text = sink.prometheus_snapshot();
+        assert!(
+            text.contains("faro_queue_depth_bucket{job=\"0\",le=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("faro_queue_depth_bucket{job=\"0\",le=\"5\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("faro_queue_depth_bucket{job=\"0\",le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("faro_queue_depth_count{job=\"0\"} 4"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn snapshot_covers_counters_phases_and_timelines() {
+        let mut sink = AggregateSink::new();
+        sink.counter(SimTimeMs::ZERO, Counter::TailDrops, 7);
+        sink.span(SimTimeMs::ZERO, Phase::Decide, 50);
+        sink.span(SimTimeMs::ZERO, Phase::Decide, 10);
+        let (at, e) = record(5.0, true);
+        sink.event(at, &e);
+        let text = sink.prometheus_snapshot();
+        assert!(text.contains("faro_tail_drops_total 7"), "{text}");
+        assert!(
+            text.contains("faro_phase_rounds_total{phase=\"decide\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("faro_phase_work_total{phase=\"decide\"} 60"),
+            "{text}"
+        );
+        assert!(
+            text.contains("faro_slo_attainment_ratio{job=\"0\",minute=\"0\"} 1"),
+            "{text}"
+        );
+        assert_eq!(sink.span_stats(Phase::Decide).max_work, 50);
+        // Deterministic: rendering twice yields identical bytes.
+        assert_eq!(text, sink.prometheus_snapshot());
+    }
+}

@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release --example capacity_planning`
 
 use faro::bench::harness::{run_matrix, ExperimentSpec};
-use faro::bench::{PolicyKind, WorkloadSet};
-use faro::core::ClusterObjective;
+use faro::prelude::*;
 
 fn main() {
     let set = WorkloadSet::n_jobs(6, 11, 1200.0).truncated_eval(90);

@@ -11,11 +11,11 @@
 //!
 //! Run with: `cargo run --example custom_backend`
 
-use faro::control::{ActuationReport, Clock, ClusterBackend, Reconciler};
-use faro::core::baselines::Aiad;
-use faro::core::types::{ClusterSnapshot, DesiredState, JobObservation, JobSpec, ResourceModel};
-use faro::core::units::{DurationMs, RatePerMin, ReplicaCount, SimTimeMs};
+use faro::control::ActuationReport;
+use faro::core::types::{JobObservation, ResourceModel};
+use faro::core::units::DurationMs;
 use faro::core::OutageClamp;
+use faro::prelude::*;
 use std::sync::Arc;
 
 /// A toy cluster: per-job targets applied instantly, arrival rates

@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release --example fairness_objectives`
 
 use faro::bench::harness::{run_matrix, ExperimentSpec};
-use faro::bench::{PolicyKind, WorkloadSet};
-use faro::core::ClusterObjective;
+use faro::prelude::*;
 
 fn main() {
     // Six jobs, tight 14-replica quota: not everyone can be satisfied,

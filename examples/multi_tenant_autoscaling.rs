@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release --example multi_tenant_autoscaling`
 
 use faro::bench::harness::{run_matrix, summarize, ExperimentSpec};
-use faro::bench::{PolicyKind, WorkloadSet};
-use faro::core::ClusterObjective;
+use faro::prelude::*;
 
 fn main() {
     // A 2-hour slice of the compressed day-11 workload keeps the demo

@@ -3,10 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use faro::core::policy::Policy;
 use faro::core::predictor::{FlatPredictor, RatePredictor};
-use faro::core::{ClusterObjective, FaroAutoscaler, FaroConfig, JobSpec};
-use faro::sim::{JobSetup, SimConfig, Simulation};
+use faro::prelude::*;
 
 fn main() {
     // Two jobs: a steady light one and a ramping heavy one. Rates are
@@ -44,11 +42,24 @@ fn main() {
         seed: 42,
         ..Default::default()
     };
-    let report = Simulation::new(config, vec![light, heavy])
+    // Attach a trace sink to capture the control loop's decision
+    // records alongside the run report.
+    let mut trace = TraceSink::new();
+    let outcome = Simulation::new(config, vec![light, heavy])
         .expect("valid setup")
-        .run(Box::new(faro))
+        .runner()
+        .policy(Box::new(faro))
+        .telemetry(&mut trace)
+        .run()
         .expect("simulation completes");
+    let report = &outcome.report;
 
+    println!(
+        "control loop: {} rounds, {} replicas started, {} trace events",
+        outcome.stats.rounds,
+        outcome.stats.replicas_started,
+        trace.len(),
+    );
     println!(
         "\nper-job results over {} minutes:",
         report.jobs[0].utility_per_minute.len()

@@ -13,6 +13,10 @@
 //! - [`control`]: the backend-agnostic control plane — the
 //!   `ClusterBackend` and `Clock` traits and the
 //!   Observe → Decide → Admit → Actuate reconciler.
+//! - [`telemetry`]: the deterministic, sim-time-keyed tracing and
+//!   metrics layer — `TelemetrySink`, the zero-cost `NoopSink`, the
+//!   ring-buffer `TraceSink` (JSONL), and the `AggregateSink`
+//!   (Prometheus snapshots, per-job SLO-attainment timelines).
 //! - [`queueing`]: M/M/c / M/D/c latency estimation and the relaxed
 //!   plateau-free estimator.
 //! - [`solver`]: COBYLA-style, Nelder-Mead, and Differential Evolution
@@ -23,22 +27,25 @@
 //! - [`sim`]: the deployment-matched discrete-event simulator of Ray
 //!   Serve atop Kubernetes.
 //! - [`metrics`]: percentiles, windows, SLO accounting, Kendall-Tau.
-//! - [`bench`]: the experiment harness regenerating the paper's tables
-//!   and figures.
+//! - [`bench`](mod@bench): the experiment harness regenerating the
+//!   paper's tables and figures.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use faro::bench::{PolicyKind, WorkloadSet};
-//! use faro::core::ClusterObjective;
-//! use faro::sim::{SimConfig, Simulation};
+//! use faro::prelude::*;
 //!
 //! // Two small jobs, ten minutes of trace, Faro-Sum vs the quota.
 //! let set = WorkloadSet::n_jobs(2, 7, 400.0).truncated_eval(10);
 //! let policy = PolicyKind::faro(ClusterObjective::Sum).build(&set, None, 0);
 //! let config = SimConfig { total_replicas: 8, seed: 1, ..Default::default() };
-//! let report = Simulation::new(config, set.setups(1)).unwrap().run(policy).unwrap();
-//! assert!(report.cluster_violation_rate < 0.5);
+//! let outcome = Simulation::new(config, set.setups(1))
+//!     .unwrap()
+//!     .runner()
+//!     .policy(policy)
+//!     .run()
+//!     .unwrap();
+//! assert!(outcome.report.cluster_violation_rate < 0.5);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -53,4 +60,35 @@ pub use faro_nn as nn;
 pub use faro_queueing as queueing;
 pub use faro_sim as sim;
 pub use faro_solver as solver;
+pub use faro_telemetry as telemetry;
 pub use faro_trace as trace;
+
+/// The types almost every Faro program touches, importable in one
+/// line: `use faro::prelude::*;`.
+///
+/// Covers configuring and running a simulation
+/// ([`Simulation`](prelude::Simulation), [`SimConfig`](prelude::SimConfig),
+/// [`JobSetup`](prelude::JobSetup), [`RunOutcome`](prelude::RunOutcome),
+/// [`FaultPlan`](prelude::FaultPlan)), choosing a policy
+/// ([`PolicyKind`](prelude::PolicyKind), [`Policy`](prelude::Policy),
+/// [`ClusterObjective`](prelude::ClusterObjective), the
+/// [`Aiad`](prelude::Aiad)/[`FairShare`](prelude::FairShare) baselines),
+/// workload generation ([`WorkloadSet`](prelude::WorkloadSet)), observing
+/// a run ([`TelemetrySink`](prelude::TelemetrySink),
+/// [`NoopSink`](prelude::NoopSink), [`TraceSink`](prelude::TraceSink),
+/// [`AggregateSink`](prelude::AggregateSink)), and driving a custom
+/// backend ([`ClusterBackend`](prelude::ClusterBackend),
+/// [`Clock`](prelude::Clock), [`Reconciler`](prelude::Reconciler)).
+pub mod prelude {
+    pub use faro_bench::{PolicyKind, WorkloadSet};
+    pub use faro_control::{Clock, ClusterBackend, Reconciler, RunStats};
+    pub use faro_core::baselines::{Aiad, FairShare};
+    pub use faro_core::policy::Policy;
+    pub use faro_core::types::{ClusterSnapshot, DesiredState, JobSpec};
+    pub use faro_core::units::{RatePerMin, ReplicaCount, SimTimeMs};
+    pub use faro_core::{ClusterObjective, FaroAutoscaler, FaroConfig, FaroError};
+    pub use faro_sim::{
+        ClusterReport, FaultPlan, JobSetup, RunOutcome, Runner, SimConfig, Simulation,
+    };
+    pub use faro_telemetry::{AggregateSink, NoopSink, Tee, TelemetrySink, TraceSink};
+}

@@ -31,8 +31,10 @@ proptest! {
             initial_replicas: 1,
         };
         let report = Simulation::new(cfg, vec![setup]).unwrap()
-            .run(Box::new(Aiad::default()))
-            .unwrap();
+            .runner().policy(Box::new(Aiad::default()))
+            .run()
+            .unwrap()
+            .report;
         let job = &report.jobs[0];
         let arrived: f64 = job.arrivals_per_minute.iter().sum();
         prop_assert!(job.total_requests as f64 <= arrived + 1.0);
@@ -65,9 +67,11 @@ proptest! {
             ..FaultPlan::none()
         };
         let report = Simulation::new(cfg, vec![setup]).unwrap()
-            .with_faults(plan).unwrap()
-            .run(Box::new(Aiad::default()))
-            .unwrap();
+            .runner().faults(plan)
+            .policy(Box::new(Aiad::default()))
+            .run()
+            .unwrap()
+            .report;
         let job = &report.jobs[0];
         let arrived: f64 = job.arrivals_per_minute.iter().sum();
         prop_assert!(job.total_requests as f64 <= arrived + 1.0);
@@ -184,10 +188,12 @@ fn fault_injection_is_deterministic_across_runs() {
         ];
         let report = Simulation::new(cfg, setups)
             .unwrap()
-            .with_faults(plan.clone())
+            .runner()
+            .faults(plan.clone())
+            .policy(Box::new(Aiad::default()))
+            .run()
             .unwrap()
-            .run(Box::new(Aiad::default()))
-            .unwrap();
+            .report;
         serde_json::to_string(&report).unwrap()
     };
     assert_eq!(
