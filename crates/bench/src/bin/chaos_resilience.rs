@@ -1,0 +1,230 @@
+//! SLO attainment under an unreliable cluster API: sweeps the
+//! injected apply-failure rate and compares the resilient driver's
+//! bounded retry against a no-retry control, averaged over several
+//! chaos seeds.
+//!
+//! The scenario is a capacity-starved supply ramp (targets move
+//! nearly every round), so every apply the control loop loses
+//! withholds real capacity for a tick and costs violated requests.
+//! Expected outcome: attainment with retry dominates no-retry at
+//! every non-zero failure rate, and the two curves coincide at rate
+//! zero (the wrapper is pass-through when no fault class fires).
+//!
+//! Usage: `cargo run --release --bin chaos_resilience` (FARO_QUICK=1
+//! for fewer seeds). Writes `results/chaos_resilience.txt` and
+//! `results/chaos_resilience.json`, and appends an entry to
+//! `BENCH_perf.json`.
+
+use faro_bench::prelude::*;
+use faro_control::{
+    ApiErrors, ChaosBackend, ChaosPlan, DriverStats, Reconciler, ResilienceConfig, ResilientDriver,
+    RetryPolicy,
+};
+use faro_core::admission::OutageClamp;
+use faro_core::types::{ClusterSnapshot, DesiredState, JobDecision, JobSpec};
+use faro_core::Policy;
+use faro_sim::{JobSetup, SimConfig, Simulation};
+use serde::Serialize;
+
+/// Replica quota shared by the two ramp jobs.
+const QUOTA: u32 = 40;
+/// Injected apply-failure rates swept along the x-axis.
+const RATES: [f64; 5] = [0.0, 0.05, 0.10, 0.20, 0.30];
+
+/// One (failure-rate, retry-mode, seed-averaged) curve point.
+#[derive(Debug, Serialize)]
+struct Row {
+    apply_failure_rate: f64,
+    retries_enabled: bool,
+    seeds: u64,
+    slo_attainment_mean: f64,
+    slo_attainment_min: f64,
+    apply_errors_mean: f64,
+    apply_retries_mean: f64,
+    failed_rounds_mean: f64,
+}
+
+/// Ramps supply one replica per job every other round toward a
+/// ceiling, so the desired state changes nearly every round and a
+/// lost apply always withholds capacity.
+struct RampSupply {
+    round: u32,
+    ceiling: u32,
+}
+
+impl Policy for RampSupply {
+    fn name(&self) -> &str {
+        "ramp-supply"
+    }
+    fn decide(&mut self, s: &ClusterSnapshot) -> DesiredState {
+        self.round += 1;
+        let target = (2 + self.round / 2).min(self.ceiling);
+        s.job_ids()
+            .map(|id| {
+                (
+                    id,
+                    JobDecision {
+                        target_replicas: target,
+                        drop_rate: 0.0,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+fn ramp_sim() -> Simulation {
+    let cfg = SimConfig {
+        total_replicas: QUOTA,
+        seed: 77,
+        ..Default::default()
+    };
+    let setups = vec![
+        JobSetup {
+            spec: JobSpec::resnet34("chaos-a"),
+            rates_per_minute: vec![2400.0; 16],
+            initial_replicas: 2,
+        },
+        JobSetup {
+            spec: JobSpec::resnet34("chaos-b"),
+            rates_per_minute: vec![2400.0; 16],
+            initial_replicas: 2,
+        },
+    ];
+    Simulation::new(cfg, setups).expect("valid setup")
+}
+
+/// One chaos run; returns request-level SLO attainment and the
+/// driver's failure accounting.
+fn run_once(apply_rate: f64, retry: RetryPolicy, seed: u64) -> (f64, DriverStats) {
+    let plan = if apply_rate > 0.0 {
+        ChaosPlan {
+            api_errors: Some(ApiErrors {
+                observe_rate: 0.0,
+                apply_rate,
+            }),
+            ..ChaosPlan::none()
+        }
+    } else {
+        ChaosPlan::none()
+    };
+    let backend = ramp_sim().into_backend().expect("backend builds");
+    let chaos = ChaosBackend::new(backend, plan, seed).expect("valid plan");
+    let cfg = ResilienceConfig {
+        retry,
+        ..Default::default()
+    };
+    let mut driver = ResilientDriver::new(chaos, cfg);
+    let policy = RampSupply {
+        round: 0,
+        ceiling: 19,
+    };
+    let mut reconciler = Reconciler::new(Box::new(policy), Box::new(OutageClamp::new(QUOTA)));
+    driver.run(&mut reconciler);
+    let stats = *driver.stats();
+    let report = driver.into_inner().into_inner().finish("ramp-supply");
+    (1.0 - report.cluster_violation_rate, stats)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2, 3]
+    } else {
+        (1..=10).collect()
+    };
+    let label = std::env::var("FARO_BENCH_LABEL").unwrap_or_else(|_| "dev".to_string());
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    let bench_path = std::env::var("FARO_BENCH_OUT").unwrap_or_else(|_| default_path.to_string());
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut text =
+        String::from("SLO attainment vs injected apply-failure rate (ramp-supply scenario)\n\n");
+    text.push_str(&format!(
+        "{:<12} {:>14} {:>14} {:>12} {:>12}\n",
+        "apply_fail", "retry_mean", "no_retry_mean", "retry_min", "no_retry_min"
+    ));
+
+    for rate in RATES {
+        let mut per_mode: Vec<(bool, f64, f64, f64, f64, f64)> = Vec::new();
+        for (enabled, retry) in [
+            (true, RetryPolicy::default()),
+            (false, RetryPolicy::no_retry()),
+        ] {
+            let mut attainments = Vec::new();
+            let (mut errs, mut retries, mut failed) = (0.0, 0.0, 0.0);
+            for &seed in &seeds {
+                let (attainment, stats) = run_once(rate, retry, seed);
+                attainments.push(attainment);
+                retries += stats.apply_retries as f64;
+                errs += stats.apply_failures as f64;
+                failed += (stats.rounds - stats.ok_rounds) as f64;
+            }
+            let n = seeds.len() as f64;
+            let mean = attainments.iter().sum::<f64>() / n;
+            let min = attainments.iter().cloned().fold(f64::INFINITY, f64::min);
+            per_mode.push((enabled, mean, min, errs / n, retries / n, failed / n));
+            rows.push(Row {
+                apply_failure_rate: rate,
+                retries_enabled: enabled,
+                seeds: seeds.len() as u64,
+                slo_attainment_mean: mean,
+                slo_attainment_min: min,
+                apply_errors_mean: errs / n,
+                apply_retries_mean: retries / n,
+                failed_rounds_mean: failed / n,
+            });
+        }
+        let with = per_mode.iter().find(|m| m.0).expect("retry row");
+        let without = per_mode.iter().find(|m| !m.0).expect("no-retry row");
+        text.push_str(&format!(
+            "{:<12.2} {:>14.4} {:>14.4} {:>12.4} {:>12.4}\n",
+            rate, with.1, without.1, with.2, without.2
+        ));
+    }
+
+    text.push_str(
+        "\nretry_mean/no_retry_mean: request-level SLO attainment averaged over seeds;\n\
+         *_min: worst seed. Retry should dominate at every non-zero rate.\n",
+    );
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/chaos_resilience.txt", &text).expect("write text report");
+    let json = serde_json::to_string(&rows).expect("serialize rows");
+    std::fs::write("results/chaos_resilience.json", json).expect("write json report");
+    print!("{text}");
+    println!("wrote results/chaos_resilience.{{txt,json}}");
+
+    // Headline numbers for the perf ledger: the 10%-failure point.
+    let at = |enabled: bool| {
+        rows.iter()
+            .find(|r| (r.apply_failure_rate - 0.10).abs() < 1e-9 && r.retries_enabled == enabled)
+            .map(|r| r.slo_attainment_mean)
+            .unwrap_or(f64::NAN)
+    };
+    #[derive(Serialize)]
+    struct Entry {
+        label: String,
+        unix_time_secs: u64,
+        quick: bool,
+        chaos_seeds: u64,
+        attainment_10pct_retry: f64,
+        attainment_10pct_no_retry: f64,
+        attainment_10pct_delta: f64,
+    }
+    let entry = Entry {
+        label,
+        unix_time_secs: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        quick,
+        chaos_seeds: seeds.len() as u64,
+        attainment_10pct_retry: at(true),
+        attainment_10pct_no_retry: at(false),
+        attainment_10pct_delta: at(true) - at(false),
+    };
+    let entry_json = serde_json::to_string(&entry).expect("entry serializes");
+    append_bench_entry(&bench_path, &entry_json).expect("BENCH_perf.json is writable");
+    eprintln!("appended entry to {bench_path}");
+}

@@ -20,7 +20,7 @@
 //! `BENCH_perf.json`; existing entries are preserved verbatim.
 
 use faro_bench::prelude::*;
-use faro_control::{ActuationReport, Clock, ClusterBackend, Reconciler};
+use faro_control::{ActuationReport, BackendError, Clock, ClusterBackend, Reconciler};
 use faro_core::admission::ClampToQuota;
 use faro_core::opt::{Fidelity, JobWorkload, MultiTenantProblem};
 use faro_core::types::ResourceModel;
@@ -161,14 +161,15 @@ fn measure_control_loop(quick: bool) -> f64 {
         }
     }
     impl ClusterBackend for NoopBackend {
-        fn observe(&mut self) -> ClusterSnapshot {
-            self.snapshot.clone()
+        fn observe(&mut self) -> Result<ClusterSnapshot, BackendError> {
+            Ok(self.snapshot.clone())
         }
-        fn apply(&mut self, desired: &DesiredState) -> ActuationReport {
-            ActuationReport {
+        fn apply(&mut self, desired: &DesiredState) -> Result<ActuationReport, BackendError> {
+            Ok(ActuationReport {
                 jobs_applied: desired.len() as u32,
+                jobs_failed: 0,
                 replicas_started: ReplicaCount::ZERO,
-            }
+            })
         }
     }
     let jobs: Vec<JobObservation> = (0..10)
@@ -197,7 +198,9 @@ fn measure_control_loop(quick: bool) -> f64 {
     };
     let mut reconciler = Reconciler::new(Box::new(FairShare), Box::new(ClampToQuota));
     let start = Instant::now();
-    let stats = reconciler.run(&mut backend);
+    let stats = reconciler
+        .run(&mut backend)
+        .expect("no-op backend never fails");
     let elapsed = start.elapsed().as_secs_f64();
     assert_eq!(stats.rounds, limit);
     stats.rounds as f64 / elapsed

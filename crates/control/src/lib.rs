@@ -30,6 +30,15 @@
 //!   accumulating [`RunStats`] (including the granted-vs-requested
 //!   admission accounting that quota enforcement used to swallow).
 //!
+//! Both backend calls are fallible ([`backend::BackendError`]): a live
+//! API times out, refuses calls, serves stale snapshots, and actuates
+//! partially. The plain [`Reconciler`] propagates the first error;
+//! [`resilient::ResilientDriver`] wraps any backend with bounded
+//! deterministic retry, a circuit breaker, degraded-mode rounds, and
+//! drift repair, and [`chaos::ChaosBackend`] injects exactly those
+//! failures from a seeded plan so every resilience path is exercised
+//! reproducibly.
+//!
 //! The discrete-event simulator (`faro-sim`) provides the first
 //! backend; `examples/custom_backend.rs` in the workspace root drives
 //! the same reconciler against a mock with no simulator dependency.
@@ -38,9 +47,15 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod chaos;
 pub mod clock;
 pub mod reconciler;
+pub mod resilient;
 
-pub use backend::{ActuationReport, ClusterBackend};
+pub use backend::{ActuationReport, BackendError, ClusterBackend};
+pub use chaos::{
+    ApiErrors, ChaosBackend, ChaosPlan, ChaosStats, InjectedLatency, PartialApplies, StaleSnapshots,
+};
 pub use clock::Clock;
-pub use reconciler::{AdmissionStats, ReconcileOutcome, Reconciler, RunStats};
+pub use reconciler::{AdmissionStats, PlannedRound, ReconcileOutcome, Reconciler, RunStats};
+pub use resilient::{BreakerState, DriverStats, ResilienceConfig, ResilientDriver, RetryPolicy};

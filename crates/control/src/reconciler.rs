@@ -1,6 +1,6 @@
 //! The Observe → Decide → Admit → Actuate loop.
 
-use crate::backend::{ActuationReport, ClusterBackend};
+use crate::backend::{ActuationReport, BackendError, ClusterBackend};
 use faro_core::admission::{Admission, AdmissionOutcome};
 use faro_core::policy::{Policy, PolicyIntrospection};
 use faro_core::types::{ClusterSnapshot, DesiredState, JobId};
@@ -56,6 +56,27 @@ pub struct RunStats {
     pub admission: AdmissionStats,
     /// Replicas started (entered cold start) across all rounds.
     pub replicas_started: u64,
+    /// Jobs whose decision failed to apply across all rounds (unknown
+    /// jobs, or partial applies that never completed) — previously
+    /// these were silently under-counted as "not applied".
+    pub jobs_failed: u64,
+}
+
+/// The Decide + Admit half of a round, produced by
+/// [`Reconciler::plan_with`] on a caller-provided snapshot and
+/// consumed by [`Reconciler::complete_round_with`] once actuation has
+/// (or has not) happened. Splitting the round this way lets a
+/// resilient driver own the fallible Observe/Actuate edges while the
+/// reconciler keeps owning policy, admission, and accounting.
+pub struct PlannedRound {
+    /// The admitted desired state — what actuation should apply.
+    pub desired: DesiredState,
+    /// What admission granted this round.
+    pub admission: AdmissionOutcome,
+    /// The pre-admission request, kept only when a sink is listening
+    /// (it exists solely for the decision record).
+    pub(crate) requested: Option<DesiredState>,
+    pub(crate) intro: PolicyIntrospection,
 }
 
 /// What one reconcile round produced.
@@ -104,7 +125,17 @@ impl Reconciler {
 
     /// One Observe → Decide → Admit → Actuate round at the backend's
     /// current time.
-    pub fn reconcile<B: ClusterBackend + ?Sized>(&mut self, backend: &mut B) -> ReconcileOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`BackendError`] from `observe` or `apply`
+    /// untouched; the round's stats are not recorded. Retry/degraded
+    /// handling is deliberately not done here — wrap the backend in a
+    /// [`ResilientDriver`](crate::ResilientDriver) for that.
+    pub fn reconcile<B: ClusterBackend + ?Sized>(
+        &mut self,
+        backend: &mut B,
+    ) -> Result<ReconcileOutcome, BackendError> {
         self.reconcile_with(backend, &mut NoopSink)
     }
 
@@ -118,23 +149,73 @@ impl Reconciler {
     /// With [`NoopSink`] this monomorphizes to exactly the un-traced
     /// round: every sink call is an empty inlined body and the
     /// requested-state clone is skipped (`sink.enabled()` is `false`).
-    pub fn reconcile_with<B, S>(&mut self, backend: &mut B, sink: &mut S) -> ReconcileOutcome
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Reconciler::reconcile`].
+    pub fn reconcile_with<B, S>(
+        &mut self,
+        backend: &mut B,
+        sink: &mut S,
+    ) -> Result<ReconcileOutcome, BackendError>
     where
         B: ClusterBackend + ?Sized,
         S: TelemetrySink,
     {
-        let snapshot = backend.observe();
+        let snapshot = backend.observe()?;
+        let planned = self.plan_with(&snapshot, sink);
+        let actuation = backend.apply_with(&planned.desired, sink)?;
+        Ok(self.complete_round_with(&snapshot, planned, &actuation, sink))
+    }
+
+    /// The Decide + Admit half of a round on a caller-provided
+    /// snapshot: emits the Observe/Decide/Admit spans, runs the policy
+    /// and admission, and returns the admitted state plus the context
+    /// [`Reconciler::complete_round_with`] needs to finish the round's
+    /// accounting. [`Reconciler::reconcile_with`] is exactly
+    /// `observe`? → `plan_with` → `apply_with`? →
+    /// `complete_round_with`; resilient drivers call the halves
+    /// directly so they can retry the fallible edges in between.
+    pub fn plan_with<S: TelemetrySink>(
+        &mut self,
+        snapshot: &ClusterSnapshot,
+        sink: &mut S,
+    ) -> PlannedRound {
         let at = snapshot.now;
         sink.span(at, Phase::Observe, snapshot.jobs.len() as u64);
-        let mut desired = self.policy.decide(&snapshot);
+        let mut desired = self.policy.decide(snapshot);
         let intro = self.policy.introspect();
         sink.span(at, Phase::Decide, intro.solver_evals);
         // The pre-admission request is only needed for the decision
         // record; skip the clone when nobody is listening.
         let requested = sink.enabled().then(|| desired.clone());
-        let admission = self.admission.admit(&snapshot, &mut desired);
+        let admission = self.admission.admit(snapshot, &mut desired);
         sink.span(at, Phase::Admit, u64::from(admission.shortfall()));
-        let actuation = backend.apply_with(&desired, sink);
+        PlannedRound {
+            desired,
+            admission,
+            requested,
+            intro,
+        }
+    }
+
+    /// Commits a planned round's actuation outcome: emits the Actuate
+    /// span, folds the round into [`RunStats`], and emits the per-job
+    /// samples and the [`DecisionRecord`] when a sink is listening.
+    pub fn complete_round_with<S: TelemetrySink>(
+        &mut self,
+        snapshot: &ClusterSnapshot,
+        planned: PlannedRound,
+        actuation: &ActuationReport,
+        sink: &mut S,
+    ) -> ReconcileOutcome {
+        let at = snapshot.now;
+        let PlannedRound {
+            desired,
+            admission,
+            requested,
+            intro,
+        } = planned;
         sink.span(
             at,
             Phase::Actuate,
@@ -143,6 +224,7 @@ impl Reconciler {
         self.stats.rounds += 1;
         self.stats.admission.record(&admission);
         self.stats.replicas_started += u64::from(actuation.replicas_started.get());
+        self.stats.jobs_failed += u64::from(actuation.jobs_failed);
         if let Some(requested) = requested {
             for (j, obs) in snapshot.jobs.iter().enumerate() {
                 sink.sample(at, Sample::QueueDepth, Some(j), obs.queue_len as f64);
@@ -152,11 +234,11 @@ impl Reconciler {
             }
             let record = decision_record(
                 self.stats.rounds,
-                &snapshot,
+                snapshot,
                 &requested,
                 &desired,
                 &admission,
-                &actuation,
+                actuation,
                 intro,
             );
             sink.event(at, &TelemetryEvent::Decision { record });
@@ -164,32 +246,48 @@ impl Reconciler {
         ReconcileOutcome {
             at,
             admission,
-            actuation,
+            actuation: *actuation,
         }
     }
 
     /// Runs the loop until the backend's clock runs out, returning the
     /// run report.
-    pub fn run<B: ClusterBackend + ?Sized>(&mut self, backend: &mut B) -> RunStats {
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first [`BackendError`] and propagates it; rounds
+    /// already completed stay recorded in [`Reconciler::stats`].
+    pub fn run<B: ClusterBackend + ?Sized>(
+        &mut self,
+        backend: &mut B,
+    ) -> Result<RunStats, BackendError> {
         while backend.advance().is_some() {
-            self.reconcile(backend);
+            self.reconcile(backend)?;
         }
-        self.stats
+        Ok(self.stats)
     }
 
     /// Like [`Reconciler::run`], streaming the whole run — including
     /// the backend's between-round activity via
     /// [`Clock::advance_with`](crate::Clock::advance_with) — into a
     /// telemetry sink.
-    pub fn run_with<B, S>(&mut self, backend: &mut B, sink: &mut S) -> RunStats
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Reconciler::run`].
+    pub fn run_with<B, S>(
+        &mut self,
+        backend: &mut B,
+        sink: &mut S,
+    ) -> Result<RunStats, BackendError>
     where
         B: ClusterBackend + ?Sized,
         S: TelemetrySink,
     {
         while backend.advance_with(sink).is_some() {
-            self.reconcile_with(backend, sink);
+            self.reconcile_with(backend, sink)?;
         }
-        self.stats
+        Ok(self.stats)
     }
 }
 
@@ -297,7 +395,7 @@ mod tests {
     }
 
     impl ClusterBackend for MemBackend {
-        fn observe(&mut self) -> ClusterSnapshot {
+        fn observe(&mut self) -> Result<ClusterSnapshot, BackendError> {
             let jobs = self
                 .targets
                 .iter()
@@ -316,14 +414,14 @@ mod tests {
                     drop_rate: 0.0,
                 })
                 .collect();
-            ClusterSnapshot {
+            Ok(ClusterSnapshot {
                 now: self.now,
                 resources: ResourceModel::replicas(faro_core::units::ReplicaCount::new(self.quota)),
                 jobs,
-            }
+            })
         }
 
-        fn apply(&mut self, desired: &DesiredState) -> ActuationReport {
+        fn apply(&mut self, desired: &DesiredState) -> Result<ActuationReport, BackendError> {
             let mut report = ActuationReport::default();
             let mut applied = Vec::new();
             for (id, d) in desired.iter() {
@@ -332,10 +430,12 @@ mod tests {
                     *t = d.target_replicas;
                     report.jobs_applied += 1;
                     applied.push((id.index(), d.target_replicas));
+                } else {
+                    report.jobs_failed += 1;
                 }
             }
             self.applies.push(applied);
-            report
+            Ok(report)
         }
     }
 
@@ -367,7 +467,7 @@ mod tests {
     fn runs_until_the_clock_expires_and_accumulates_stats() {
         let mut backend = MemBackend::new(16, 2);
         let mut rec = Reconciler::new(Box::new(Want(4)), Box::new(Unlimited));
-        let stats = rec.run(&mut backend);
+        let stats = rec.run(&mut backend).unwrap();
         // Ticks at 0, 10, ..., 90 -> 10 rounds.
         assert_eq!(stats.rounds, 10);
         assert_eq!(backend.applies.len(), 10);
@@ -387,7 +487,7 @@ mod tests {
         let mut backend = MemBackend::new(6, 2);
         let mut rec = Reconciler::new(Box::new(Want(8)), Box::new(OutageClamp::new(16)));
         backend.advance();
-        let out = rec.reconcile(&mut backend);
+        let out = rec.reconcile(&mut backend).unwrap();
         assert!(out.admission.clamped());
         assert_eq!(out.admission.granted_replicas, 6);
         assert_eq!(backend.targets.iter().sum::<u32>(), 6);
@@ -400,7 +500,7 @@ mod tests {
         // 3 jobs, quota 2: even the all-ones floor exceeds the quota.
         let mut backend = MemBackend::new(2, 3);
         let mut rec = Reconciler::new(Box::new(Want(1)), Box::new(OutageClamp::new(16)));
-        let stats = rec.run(&mut backend);
+        let stats = rec.run(&mut backend).unwrap();
         assert_eq!(stats.admission.unsatisfiable_rounds, stats.rounds);
         assert!(stats.admission.shortfall() == 0, "nothing was trimmed");
     }
@@ -411,7 +511,7 @@ mod tests {
         let mut rec = Reconciler::new(Box::new(Want(8)), Box::new(OutageClamp::new(16)));
         let mut sink = faro_telemetry::TraceSink::new();
         backend.advance();
-        rec.reconcile_with(&mut backend, &mut sink);
+        rec.reconcile_with(&mut backend, &mut sink).unwrap();
         assert_eq!(sink.len(), 1);
         let entry = sink.entries().next().unwrap();
         let TelemetryEvent::Decision { record } = &entry.event else {
@@ -435,7 +535,7 @@ mod tests {
         let mut backend = MemBackend::new(16, 3);
         let mut rec = Reconciler::new(Box::new(Want(4)), Box::new(Unlimited));
         let mut sink = faro_telemetry::AggregateSink::new();
-        rec.run_with(&mut backend, &mut sink);
+        rec.run_with(&mut backend, &mut sink).unwrap();
         let observe = sink.span_stats(Phase::Observe);
         assert_eq!(observe.rounds, 10);
         assert_eq!(observe.max_work, 3, "observe work = jobs observed");
@@ -451,8 +551,8 @@ mod tests {
         let mut traced = MemBackend::new(6, 2);
         let mut rec_a = Reconciler::new(Box::new(Want(8)), Box::new(OutageClamp::new(16)));
         let mut rec_b = Reconciler::new(Box::new(Want(8)), Box::new(OutageClamp::new(16)));
-        let a = rec_a.run(&mut plain);
-        let b = rec_b.run_with(&mut traced, &mut NoopSink);
+        let a = rec_a.run(&mut plain).unwrap();
+        let b = rec_b.run_with(&mut traced, &mut NoopSink).unwrap();
         assert_eq!(a, b);
         assert_eq!(plain.applies, traced.applies);
     }
@@ -461,7 +561,7 @@ mod tests {
     fn run_stats_serialize() {
         let mut backend = MemBackend::new(16, 1);
         let mut rec = Reconciler::new(Box::new(Want(2)), Box::new(Unlimited));
-        let stats = rec.run(&mut backend);
+        let stats = rec.run(&mut backend).unwrap();
         let json = serde_json::to_string(&stats).unwrap();
         assert!(json.contains("\"rounds\":10"), "{json}");
         assert!(json.contains("unsatisfiable_rounds"), "{json}");

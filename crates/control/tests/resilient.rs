@@ -1,0 +1,440 @@
+//! Integration tests for the resilient driver and the chaos backend:
+//! retry recovery, breaker schedules, degraded rounds, drift repair,
+//! and the no-mutation guarantee for breaker-open rounds.
+
+use faro_control::{
+    ActuationReport, BackendError, BreakerState, ChaosBackend, ChaosPlan, Clock, ClusterBackend,
+    Reconciler, ResilienceConfig, ResilientDriver, RetryPolicy,
+};
+use faro_core::admission::ClampToQuota;
+use faro_core::types::{
+    ClusterSnapshot, DesiredState, JobDecision, JobObservation, JobSpec, ResourceModel,
+};
+use faro_core::units::{DurationMs, RatePerMin, ReplicaCount, SimTimeMs};
+use faro_core::Policy;
+use faro_telemetry::TelemetryEvent;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// An in-memory cluster with a scripted failure schedule: each backend
+/// call pops the next planned error (`None` = succeed). Counts calls
+/// and mutations so tests can assert what a round touched.
+struct ScriptBackend {
+    now: SimTimeMs,
+    tick: DurationMs,
+    end: SimTimeMs,
+    quota: u32,
+    targets: Vec<u32>,
+    observe_plan: VecDeque<Option<BackendError>>,
+    apply_plan: VecDeque<Option<BackendError>>,
+    observe_calls: u64,
+    apply_calls: u64,
+    mutations: u64,
+    /// External interference: after each successful apply, knock this
+    /// many replicas off job 0 (drift for the next observe to catch).
+    sabotage: u32,
+}
+
+impl ScriptBackend {
+    fn new(rounds: u32, jobs: usize) -> Self {
+        Self {
+            now: SimTimeMs::from_secs(-10.0),
+            tick: DurationMs::from_secs(10.0),
+            end: SimTimeMs::from_secs(10.0 * f64::from(rounds)),
+            quota: 16,
+            targets: vec![2; jobs],
+            observe_plan: VecDeque::new(),
+            apply_plan: VecDeque::new(),
+            observe_calls: 0,
+            apply_calls: 0,
+            mutations: 0,
+            sabotage: 0,
+        }
+    }
+
+    fn unavailable() -> BackendError {
+        BackendError::Unavailable {
+            reason: "scripted".into(),
+        }
+    }
+}
+
+impl Clock for ScriptBackend {
+    fn now(&self) -> SimTimeMs {
+        self.now
+    }
+
+    fn advance(&mut self) -> Option<SimTimeMs> {
+        let next = self.now + self.tick;
+        if next >= self.end {
+            return None;
+        }
+        self.now = next;
+        Some(next)
+    }
+}
+
+impl ClusterBackend for ScriptBackend {
+    fn observe(&mut self) -> Result<ClusterSnapshot, BackendError> {
+        self.observe_calls += 1;
+        if let Some(Some(e)) = self.observe_plan.pop_front() {
+            return Err(e);
+        }
+        let jobs = self
+            .targets
+            .iter()
+            .map(|&t| JobObservation {
+                spec: Arc::new(JobSpec::resnet34("scripted")),
+                target_replicas: t,
+                ready_replicas: t,
+                queue_len: 0,
+                arrival_rate_history: Arc::new(vec![RatePerMin::new(60.0); 10]),
+                recent_arrival_rate: 1.0,
+                mean_processing_time: 0.18,
+                recent_tail_latency: 0.2,
+                drop_rate: 0.0,
+            })
+            .collect();
+        Ok(ClusterSnapshot {
+            now: self.now,
+            resources: ResourceModel::replicas(ReplicaCount::new(self.quota)),
+            jobs,
+        })
+    }
+
+    fn apply(&mut self, desired: &DesiredState) -> Result<ActuationReport, BackendError> {
+        self.apply_calls += 1;
+        if let Some(Some(e)) = self.apply_plan.pop_front() {
+            return Err(e);
+        }
+        let mut report = ActuationReport::default();
+        for (id, d) in desired.iter() {
+            if let Some(t) = self.targets.get_mut(id.index()) {
+                if *t != d.target_replicas {
+                    self.mutations += 1;
+                }
+                report.replicas_started += d.target_replicas.saturating_sub(*t);
+                *t = d.target_replicas;
+                report.jobs_applied += 1;
+            } else {
+                report.jobs_failed += 1;
+            }
+        }
+        if self.sabotage > 0 {
+            if let Some(t) = self.targets.first_mut() {
+                *t = t.saturating_sub(self.sabotage);
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Requests a fixed target for every job, every round.
+struct Want(u32);
+
+impl Policy for Want {
+    fn name(&self) -> &str {
+        "want"
+    }
+
+    fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState {
+        snapshot
+            .job_ids()
+            .map(|id| {
+                (
+                    id,
+                    JobDecision {
+                        target_replicas: self.0,
+                        drop_rate: 0.0,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+fn reconciler(target: u32) -> Reconciler {
+    Reconciler::new(Box::new(Want(target)), Box::new(ClampToQuota))
+}
+
+#[test]
+fn clean_backend_matches_the_plain_reconciler() {
+    let mut plain = reconciler(4);
+    let plain_stats = plain.run(&mut ScriptBackend::new(10, 2)).unwrap();
+
+    let mut rec = reconciler(4);
+    let mut driver = ResilientDriver::new(ScriptBackend::new(10, 2), ResilienceConfig::default());
+    let stats = driver.run(&mut rec);
+
+    assert_eq!(stats, plain_stats, "no faults: the driver is transparent");
+    assert_eq!(driver.stats().ok_rounds, 10);
+    assert_eq!(driver.stats().skipped_rounds, 0);
+    assert_eq!(
+        driver.stats().observe_retries + driver.stats().apply_retries,
+        0
+    );
+    assert_eq!(driver.breaker_state(), BreakerState::Closed);
+}
+
+#[test]
+fn transient_errors_are_retried_within_the_round() {
+    let mut backend = ScriptBackend::new(6, 2);
+    // First round: observe fails twice then succeeds; apply fails once.
+    backend.observe_plan = VecDeque::from(vec![
+        Some(ScriptBackend::unavailable()),
+        Some(ScriptBackend::unavailable()),
+        None,
+    ]);
+    backend.apply_plan = VecDeque::from(vec![Some(ScriptBackend::unavailable())]);
+    let mut rec = reconciler(4);
+    let mut driver = ResilientDriver::new(backend, ResilienceConfig::default());
+    let stats = driver.run(&mut rec);
+
+    assert_eq!(stats.rounds, 6, "every round completed despite faults");
+    assert_eq!(driver.stats().ok_rounds, 6);
+    assert_eq!(driver.stats().observe_retries, 2);
+    assert_eq!(driver.stats().apply_retries, 1);
+    assert_eq!(
+        driver.stats().observe_failures + driver.stats().apply_failures,
+        0
+    );
+    assert_eq!(driver.backend().targets, vec![4, 4]);
+}
+
+#[test]
+fn retry_schedules_replay_byte_identically() {
+    let run = || {
+        let mut backend = ScriptBackend::new(6, 2);
+        backend.observe_plan = VecDeque::from(vec![
+            Some(ScriptBackend::unavailable()),
+            None,
+            Some(ScriptBackend::unavailable()),
+        ]);
+        let mut rec = reconciler(3);
+        let mut sink = faro_telemetry::TraceSink::new();
+        let cfg = ResilienceConfig {
+            jitter_seed: 7,
+            ..ResilienceConfig::default()
+        };
+        let mut driver = ResilientDriver::new(backend, cfg);
+        driver.run_with(&mut rec, &mut sink);
+        sink.to_jsonl()
+    };
+    let a = run();
+    assert!(a.contains("BackendRetry"), "retries were traced");
+    assert_eq!(a, run(), "same seed, same failures: same trace bytes");
+}
+
+#[test]
+fn degraded_rounds_plan_on_the_cached_snapshot_then_carry_forward() {
+    let mut backend = ScriptBackend::new(8, 2);
+    // Round 1 observes fine; every later observe fails (4 attempts per
+    // round under the default policy).
+    backend.observe_plan = VecDeque::from(
+        std::iter::once(None)
+            .chain(std::iter::repeat_with(|| Some(ScriptBackend::unavailable())).take(200))
+            .collect::<Vec<_>>(),
+    );
+    let mut rec = reconciler(5);
+    // A staleness window of one tick: round 2 can still plan on round
+    // 1's snapshot; round 3 onward must carry forward.
+    let cfg = ResilienceConfig {
+        staleness_window: DurationMs::from_secs(10.0),
+        breaker_threshold: 100, // keep the breaker out of this test
+        ..ResilienceConfig::default()
+    };
+    let mut driver = ResilientDriver::new(backend, cfg);
+    driver.run(&mut rec);
+
+    assert_eq!(driver.stats().ok_rounds, 1);
+    assert_eq!(driver.stats().stale_tolerated_rounds, 1);
+    assert!(driver.stats().carry_forward_rounds >= 1);
+    assert_eq!(
+        driver.stats().skipped_rounds,
+        0,
+        "always had state to act on"
+    );
+    assert_eq!(
+        driver.backend().targets,
+        vec![5, 5],
+        "carry-forward kept actuating"
+    );
+}
+
+#[test]
+fn breaker_opens_skips_and_probes_on_schedule() {
+    let mut backend = ScriptBackend::new(12, 2);
+    backend.observe_plan = VecDeque::from(
+        std::iter::repeat_with(|| Some(ScriptBackend::unavailable()))
+            .take(500)
+            .collect::<Vec<_>>(),
+    );
+    let mut rec = reconciler(4);
+    let cfg = ResilienceConfig {
+        retry: RetryPolicy::no_retry(),
+        staleness_window: DurationMs::ZERO, // no cache tolerance
+        breaker_threshold: 3,
+        breaker_cooldown_rounds: 3,
+        ..ResilienceConfig::default()
+    };
+    let mut sink = faro_telemetry::TraceSink::new();
+    let mut driver = ResilientDriver::new(backend, cfg);
+    driver.run_with(&mut rec, &mut sink);
+
+    // Rounds 1-3 fail (one attempt each, no state to degrade onto) and
+    // trip the breaker; rounds 4-5 are cooldown skips with zero backend
+    // calls; round 6 is a half-open probe that fails and re-trips.
+    assert!(driver.stats().breaker_opens >= 2, "{:?}", driver.stats());
+    assert!(
+        driver.stats().skipped_rounds >= 3 + 4,
+        "{:?}",
+        driver.stats()
+    );
+    // 12 rounds, cooldowns of 2 skipped rounds each after 3 failures +
+    // repeated probes: far fewer observe calls than rounds.
+    assert!(driver.backend().observe_calls < 12);
+    assert_eq!(driver.backend().apply_calls, 0);
+    assert_eq!(driver.backend().mutations, 0);
+    let transitions: Vec<String> = sink
+        .entries()
+        .filter_map(|e| match &e.event {
+            TelemetryEvent::BreakerTransition { from, to } => Some(format!("{from}->{to}")),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        &transitions[..3],
+        &[
+            "closed->open".to_owned(),
+            "open->half-open".to_owned(),
+            "half-open->open".to_owned(),
+        ],
+        "breaker walked the closed → open → half-open → open schedule"
+    );
+}
+
+#[test]
+fn drift_is_detected_and_repaired() {
+    let mut backend = ScriptBackend::new(6, 2);
+    backend.sabotage = 1; // every apply is undone by one replica on job 0
+    let mut rec = reconciler(4);
+    let mut driver = ResilientDriver::new(backend, ResilienceConfig::default());
+    driver.run(&mut rec);
+
+    assert!(
+        driver.stats().drift_repairs >= 4,
+        "sabotaged rounds were flagged: {:?}",
+        driver.stats()
+    );
+}
+
+#[test]
+fn chaos_plan_rejects_bad_rates() {
+    let plan = ChaosPlan {
+        api_errors: Some(faro_control::chaos::ApiErrors {
+            observe_rate: 1.5,
+            apply_rate: 0.0,
+        }),
+        ..ChaosPlan::none()
+    };
+    assert!(ChaosBackend::new(ScriptBackend::new(2, 1), plan, 1).is_err());
+    assert!(ChaosPlan::none().is_none());
+    assert!(ChaosPlan::none().validate().is_ok());
+}
+
+#[test]
+fn chaos_injection_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let plan = ChaosPlan {
+            api_errors: Some(faro_control::chaos::ApiErrors {
+                observe_rate: 0.3,
+                apply_rate: 0.3,
+            }),
+            partial_applies: Some(faro_control::chaos::PartialApplies { rate: 0.3 }),
+            ..ChaosPlan::none()
+        };
+        let chaos = ChaosBackend::new(ScriptBackend::new(20, 3), plan, seed).unwrap();
+        let mut rec = reconciler(4);
+        let mut driver = ResilientDriver::new(chaos, ResilienceConfig::default());
+        let stats = driver.run(&mut rec);
+        let chaos = driver.into_inner();
+        let chaos_stats = *chaos.stats();
+        (stats, chaos_stats, chaos.into_inner().targets)
+    };
+    let (stats_a, chaos_a, targets_a) = run(9);
+    let (stats_b, chaos_b, targets_b) = run(9);
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(chaos_a, chaos_b);
+    assert_eq!(targets_a, targets_b);
+    assert!(
+        chaos_a.observe_errors + chaos_a.apply_errors + chaos_a.partial_applies > 0,
+        "the plan actually injected something: {chaos_a:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A round skipped with the breaker open performs zero backend
+    /// calls and zero cluster mutations, for any failure script.
+    #[test]
+    fn breaker_open_rounds_never_touch_the_cluster(
+        seed in 0u64..50,
+        threshold in 1u32..4,
+        cooldown in 2u32..5,
+        fail_frac in 0.5f64..1.0,
+    ) {
+        let mut backend = ScriptBackend::new(20, 2);
+        // A guaranteed failure run trips the breaker early (so the
+        // property is never vacuous), then a dense pseudo-random tail.
+        let mut s = seed.wrapping_mul(0x9e37_79b9).wrapping_add(1);
+        backend.observe_plan = (0..threshold as usize + 1)
+            .map(|_| Some(ScriptBackend::unavailable()))
+            .chain((0..400).map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s as f64 / u64::MAX as f64) < fail_frac)
+                    .then(ScriptBackend::unavailable)
+            }))
+            .collect();
+        let cfg = ResilienceConfig {
+            retry: RetryPolicy::no_retry(),
+            staleness_window: DurationMs::ZERO,
+            breaker_threshold: threshold,
+            breaker_cooldown_rounds: cooldown,
+            ..ResilienceConfig::default()
+        };
+        let mut rec = reconciler(4);
+        let mut driver = ResilientDriver::new(backend, cfg);
+        let mut sink = faro_telemetry::TraceSink::new();
+        let mut seen_events = 0usize;
+        let mut open_skips = 0u64;
+        while driver.backend_mut().advance().is_some() {
+            let calls_before =
+                (driver.backend().observe_calls, driver.backend().apply_calls);
+            let targets_before = driver.backend().targets.clone();
+            driver.round_with(&mut rec, &mut sink);
+            // Only the cooldown skip rounds carry the "breaker-open"
+            // marker; a half-open probe round is allowed to touch the
+            // backend again.
+            let open_skip = sink.entries().skip(seen_events).any(|e| {
+                matches!(&e.event, TelemetryEvent::DegradedRound { kind } if kind == "breaker-open")
+            });
+            seen_events = sink.entries().count();
+            if open_skip {
+                open_skips += 1;
+                prop_assert_eq!(
+                    (driver.backend().observe_calls, driver.backend().apply_calls),
+                    calls_before,
+                    "an open-breaker skip round made a backend call"
+                );
+                prop_assert_eq!(&driver.backend().targets, &targets_before);
+            }
+        }
+        // With mostly-failing observes and small thresholds the breaker
+        // does open, so the property is not vacuous.
+        prop_assert!(open_skips > 0, "breaker never opened: {:?}", driver.stats());
+    }
+}

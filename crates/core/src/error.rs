@@ -7,10 +7,85 @@
 //! depend on (the simulator) convert their setup errors into
 //! [`Error::Backend`].
 
+use crate::units::DurationMs;
 use core::fmt;
 
 /// Result alias for this crate.
 pub type Result<T> = core::result::Result<T, Error>;
+
+/// A failure at the control-plane/world boundary: what a
+/// `ClusterBackend` call (`observe`/`apply`) can report instead of a
+/// value.
+///
+/// The taxonomy is deliberately small and *actionable* — each variant
+/// maps to a distinct recovery strategy in the resilient driver
+/// (`faro-control`): timeouts and unavailability are retried with
+/// backoff, a partial apply is retried to convergence (apply is
+/// idempotent), and a stale snapshot is tolerated up to a staleness
+/// window before the round degrades.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The call did not complete within its deadline.
+    Timeout {
+        /// How long the call ran before the deadline cut it off.
+        elapsed: DurationMs,
+    },
+    /// The backend API was unreachable or refused the call.
+    Unavailable {
+        /// Backend-specific detail (transport error, HTTP status, ...).
+        reason: String,
+    },
+    /// `apply` actuated only a prefix of the desired state before
+    /// failing. Because apply is idempotent ("absent means untouched",
+    /// re-applying a satisfied state is a no-op), retrying the full
+    /// desired state converges to the same cluster state as one
+    /// successful apply.
+    PartialApply {
+        /// Jobs whose decision was applied before the failure.
+        applied: u32,
+    },
+    /// `observe` produced a snapshot older than the caller can use.
+    StaleSnapshot {
+        /// Age of the snapshot relative to the backend clock.
+        age: DurationMs,
+    },
+}
+
+impl BackendError {
+    /// Whether retrying the same call can possibly succeed. Every
+    /// variant in the current taxonomy is transient; the method exists
+    /// so future non-retryable variants (auth failures, invalid
+    /// desired states) get a single dispatch point.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            BackendError::Timeout { .. }
+            | BackendError::Unavailable { .. }
+            | BackendError::PartialApply { .. }
+            | BackendError::StaleSnapshot { .. } => true,
+        }
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Timeout { elapsed } => {
+                write!(f, "backend call timed out after {elapsed}")
+            }
+            BackendError::Unavailable { reason } => {
+                write!(f, "backend unavailable: {reason}")
+            }
+            BackendError::PartialApply { applied } => {
+                write!(f, "apply actuated only {applied} job(s) before failing")
+            }
+            BackendError::StaleSnapshot { age } => {
+                write!(f, "snapshot is stale by {age}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
 
 /// Workspace-wide alias: the one error type control loops and run
 /// entry points (`Simulation::runner().run()`) surface.
@@ -34,6 +109,11 @@ pub enum Error {
     /// message: backend crates sit above the core, so their error
     /// types cannot appear here structurally.
     Backend(String),
+    /// A cluster backend API call failed at the control-plane/world
+    /// boundary. Unlike [`Error::Backend`] (setup/build failures,
+    /// stringified), this is the *typed* runtime failure surface:
+    /// `source()` walks to the structured [`BackendError`].
+    BackendApi(BackendError),
 }
 
 impl fmt::Display for Error {
@@ -45,6 +125,7 @@ impl fmt::Display for Error {
             Error::Solver(e) => write!(f, "optimization failed: {e}"),
             Error::Forecast(e) => write!(f, "forecasting failed: {e}"),
             Error::Backend(m) => write!(f, "cluster backend failed: {m}"),
+            Error::BackendApi(e) => write!(f, "cluster backend API call failed: {e}"),
         }
     }
 }
@@ -55,8 +136,15 @@ impl std::error::Error for Error {
             Error::Queueing(e) => Some(e),
             Error::Solver(e) => Some(e),
             Error::Forecast(e) => Some(e),
+            Error::BackendApi(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<BackendError> for Error {
+    fn from(e: BackendError) -> Self {
+        Error::BackendApi(e)
     }
 }
 
@@ -105,5 +193,29 @@ mod tests {
         // The chain walks to the structured source; nothing was
         // flattened into a message string.
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn backend_errors_convert_typed_and_display() {
+        use std::error::Error as _;
+        let api = BackendError::PartialApply { applied: 3 };
+        assert!(api.is_retryable());
+        assert!(api.to_string().contains("3 job(s)"));
+        let e: FaroError = api.clone().into();
+        assert_eq!(e, Error::BackendApi(api));
+        assert!(e.source().is_some());
+        let t = BackendError::Timeout {
+            elapsed: DurationMs::from_millis(1500),
+        };
+        assert!(t.to_string().contains("1.5s"), "{t}");
+        let s = BackendError::StaleSnapshot {
+            age: DurationMs::from_secs(40.0),
+        };
+        assert!(s.to_string().contains("stale"), "{s}");
+        assert!(BackendError::Unavailable {
+            reason: "conn refused".into()
+        }
+        .to_string()
+        .contains("conn refused"));
     }
 }

@@ -68,7 +68,7 @@ pub mod units;
 pub mod utility;
 
 pub use admission::{Admission, AdmissionOutcome, ClampToQuota, OutageClamp, RotatingQuota};
-pub use error::{Error, FaroError, Result};
+pub use error::{BackendError, Error, FaroError, Result};
 pub use faro::{FaroAutoscaler, FaroConfig};
 pub use objective::ClusterObjective;
 pub use policy::{Policy, PolicyIntrospection};

@@ -10,7 +10,7 @@
 //! [`faro_core::units`]); this linter catches the rest — the patterns
 //! that are legal Rust but violate project invariants.
 //!
-//! Four rules:
+//! Five rules:
 //!
 //! - [`nondeterministic-iteration`](rules::nondeterministic_iteration):
 //!   forbids `HashMap`/`HashSet` and ambient randomness/wall-clock
@@ -26,6 +26,11 @@
 //!   bare `panic!`, and literal indexing in non-test library code of
 //!   `sim` and `control`; `expect` is allowed only with an
 //!   `"invariant: …"` message that states why it cannot fire.
+//! - [`no-unbounded-retry`](rules::no_unbounded_retry): forbids
+//!   `loop`/`while` blocks in `crates/control/src/` that retry
+//!   `observe()`/`apply()` without a visible attempt counter or
+//!   budget; a refusing API turns an unbounded retry into a spin, and
+//!   the `ResilientDriver` is the sanctioned way to retry.
 //! - [`golden-guard`](golden_guard): a diff-level rule — editing an
 //!   event-ordering-sensitive file (sim event loop, backend, runtime,
 //!   core opt) without touching a golden test in the same change is

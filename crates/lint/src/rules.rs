@@ -1,4 +1,4 @@
-//! The four lint rules.
+//! The five lint rules.
 //!
 //! Every rule works on a [`FileScan`]: sanitized lines (comments and
 //! strings blanked) for matching, raw lines for the one check that
@@ -18,6 +18,7 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Diagnostic> {
     nondeterministic_iteration(path, &scan, &mut out);
     raw_time_arith(path, &scan, &mut out);
     no_panic_in_lib(path, &scan, &mut out);
+    no_unbounded_retry(path, &scan, &mut out);
     out.sort();
     out
 }
@@ -349,6 +350,93 @@ pub fn no_panic_in_lib(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
                     "use .get(i) / .first() and handle the None arm",
                 ));
             }
+        }
+    }
+}
+
+/// Crate whose code drives fallible backend calls and therefore must
+/// bound every retry loop around them.
+const RETRY_SCOPE: &[&str] = &["crates/control/src/"];
+
+/// Backend-call markers a retry loop would wrap.
+const BACKEND_CALLS: &[&str] = &[".observe(", ".apply(", ".apply_with("];
+
+/// Identifiers whose presence marks a loop as bounded: an attempt
+/// counter or a backoff/timeout budget checked inside the body.
+const BOUND_MARKERS: &[&str] = &["attempt", "attempts", "budget"];
+
+/// Rule `no-unbounded-retry`: a `loop`/`while` block in `crates/control`
+/// that calls `observe`/`apply` must carry a bounded attempt counter or
+/// budget. A live backend that starts refusing calls turns an
+/// unbounded retry loop into a spin that never returns control to the
+/// round driver — exactly the failure mode the resilient driver's
+/// `max_attempts`/budget pair exists to prevent. The check is
+/// heuristic by design: the loop body (to its matching closing brace)
+/// must mention an `attempt`/`attempts`/`budget` identifier.
+pub fn no_unbounded_retry(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "no-unbounded-retry";
+    if !scoped(path, RETRY_SCOPE) {
+        return;
+    }
+    for (idx, line) in scan.clean.iter().enumerate() {
+        if scan.in_test[idx] || scan.allows(idx, RULE) {
+            continue;
+        }
+        let keyword = ["loop", "while"]
+            .iter()
+            .find_map(|kw| find_words(line, kw).first().map(|&col| (*kw, col)));
+        let Some((kw, col)) = keyword else {
+            continue;
+        };
+        // Walk to the loop's matching closing brace, then look for a
+        // backend call and a bound marker anywhere in the body.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut calls_backend = false;
+        let mut bounded = false;
+        let mut cursor = idx;
+        while cursor < scan.clean.len() {
+            let body = &scan.clean[cursor];
+            // The loop header line itself may contain the condition;
+            // only text from the keyword onward belongs to the loop.
+            let text: String = if cursor == idx {
+                body.chars().skip(col).collect()
+            } else {
+                body.clone()
+            };
+            calls_backend |= BACKEND_CALLS
+                .iter()
+                .any(|c| !substr_all(&text, c).is_empty());
+            bounded |= BOUND_MARKERS
+                .iter()
+                .any(|m| !find_words(&text, m).is_empty());
+            for c in text.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            cursor += 1;
+        }
+        if calls_backend && !bounded {
+            out.push(diag(
+                path,
+                idx,
+                col,
+                RULE,
+                format!("`{kw}` retries backend calls without a bound"),
+                "cap the loop with an attempt counter checked against \
+                 max_attempts or charge a backoff budget (see \
+                 ResilientDriver), or annotate with \
+                 `// faro-lint: allow(no-unbounded-retry): reason`",
+            ));
         }
     }
 }

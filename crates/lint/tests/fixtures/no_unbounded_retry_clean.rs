@@ -1,0 +1,36 @@
+//! Fixture: retry loops bounded by an attempt counter or a budget, and
+//! loops that never touch the backend at all.
+
+pub fn observe_bounded(
+    backend: &mut dyn ClusterBackend,
+    max_attempts: u32,
+) -> Option<ClusterSnapshot> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        if let Ok(snapshot) = backend.observe() {
+            return Some(snapshot);
+        }
+        if attempt >= max_attempts {
+            return None;
+        }
+    }
+}
+
+pub fn apply_bounded(backend: &mut dyn ClusterBackend, desired: &DesiredState) -> bool {
+    let mut budget = DurationMs::from_millis(500);
+    while budget > DurationMs::ZERO {
+        if backend.apply(desired).is_ok() {
+            return true;
+        }
+        budget = budget - DurationMs::from_millis(100);
+    }
+    false
+}
+
+/// A loop with no backend call in it is not a retry loop.
+pub fn drain(clock: &mut dyn Clock) {
+    while clock.advance().is_some() {
+        // Paced elsewhere.
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: retry loops around fallible backend calls with no bound —
+//! a refusing API turns each of these into a spin.
+
+pub fn spin_until_observed(backend: &mut dyn ClusterBackend) -> ClusterSnapshot {
+    loop {
+        if let Ok(snapshot) = backend.observe() {
+            return snapshot;
+        }
+    }
+}
+
+pub fn spin_until_applied(backend: &mut dyn ClusterBackend, desired: &DesiredState) {
+    let mut done = false;
+    while !done {
+        done = backend.apply(desired).is_ok();
+    }
+}

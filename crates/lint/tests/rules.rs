@@ -10,8 +10,11 @@ use faro_lint::{golden_guard, lint_source, Diagnostic};
 use std::path::Path;
 
 /// The logical path fixtures are linted under: inside `crates/sim/src/`
-/// puts them in scope of all three per-file rules.
+/// puts them in scope of all per-file rules except `no-unbounded-retry`.
 const SCOPE: &str = "crates/sim/src/fixture.rs";
+
+/// Scope for the retry rule, which only patrols the control crate.
+const CONTROL_SCOPE: &str = "crates/control/src/fixture.rs";
 
 fn render(diags: &[Diagnostic]) -> String {
     diags
@@ -101,6 +104,42 @@ fn no_panic_fires_with_exact_diagnostics() {
 fn no_panic_clean_is_silent() {
     let src = include_str!("fixtures/no_panic_clean.rs");
     assert_eq!(lint_source(SCOPE, src), Vec::new());
+}
+
+#[test]
+fn no_unbounded_retry_fires_with_exact_diagnostics() {
+    let src = include_str!("fixtures/no_unbounded_retry_violation.rs");
+    let diags = lint_source(CONTROL_SCOPE, src);
+    assert!(
+        diags.iter().all(|d| d.rule == "no-unbounded-retry"),
+        "{diags:?}"
+    );
+    // The bare `loop` around observe, the `while` around apply.
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    check_snapshot("no_unbounded_retry", &render(&diags));
+}
+
+#[test]
+fn no_unbounded_retry_clean_is_silent() {
+    let src = include_str!("fixtures/no_unbounded_retry_clean.rs");
+    assert_eq!(lint_source(CONTROL_SCOPE, src), Vec::new());
+}
+
+#[test]
+fn no_unbounded_retry_stays_in_the_control_crate() {
+    let src = include_str!("fixtures/no_unbounded_retry_violation.rs");
+    assert_eq!(lint_source(SCOPE, src), Vec::new());
+}
+
+#[test]
+fn no_unbounded_retry_allow_silences_one_loop() {
+    let src = "pub fn f(b: &mut dyn ClusterBackend) {\n\
+               \x20   // faro-lint: allow(no-unbounded-retry): bounded by caller timeout\n\
+               \x20   loop {\n\
+               \x20       if b.observe().is_ok() { return; }\n\
+               \x20   }\n\
+               }\n";
+    assert_eq!(lint_source(CONTROL_SCOPE, src), Vec::new());
 }
 
 #[test]

@@ -7,22 +7,32 @@
 //!
 //! * [`Clock::advance`] drains events (arrivals, completions, replica
 //!   readiness, crashes, outage windows, minute boundaries) until the
-//!   next [`Event::PolicyTick`] pops, then returns its time. The
-//!   reconciler never sees an event; it only sees reconcile rounds.
+//!   next [`Event::PolicyTick`] pops, then schedules the following tick
+//!   and returns its time. The reconciler never sees an event; it only
+//!   sees reconcile rounds — and because the tick cadence is owned by
+//!   the clock, not by actuation, a round whose `apply` is retried,
+//!   skipped (circuit breaker open), or repeated (degraded
+//!   carry-forward) neither stalls nor double-schedules the loop.
 //! * [`ClusterBackend::observe`] builds the same [`ClusterSnapshot`]
 //!   the old monolithic loop handed to policies, including fault-plan
 //!   metric degradation (stale/missing scrapes).
 //! * [`ClusterBackend::apply`] actuates a [`DesiredState`]: sets drop
-//!   rates, scales each listed job toward its target (new replicas
-//!   enter cold start and get a crash time), and schedules the next
-//!   policy tick. Jobs absent from the desired state are untouched,
-//!   and re-applying a state the cluster already satisfies is a no-op.
+//!   rates and scales each listed job toward its target (new replicas
+//!   enter cold start and get a crash time). Jobs absent from the
+//!   desired state are untouched, and re-applying a state the cluster
+//!   already satisfies is a no-op — which is what makes retrying a
+//!   partial apply safe. The simulator itself never returns a
+//!   [`BackendError`]; wrap it in `faro_control::ChaosBackend` to
+//!   exercise the failure paths.
 //!
 //! Event and RNG-draw ordering are bit-for-bit identical to the former
 //! in-loop actuation: `apply` pushes readiness/crash events in
-//! ascending [`JobId`] order and the next tick last, preserving the
-//! queue's insertion-sequence tie-break (including the collision where
-//! a cold start lands exactly on the next tick).
+//! ascending [`JobId`] order, and the insertion-sequence tie-break for
+//! a cold start landing exactly on a tick is preserved — the readiness
+//! event is pushed during an apply at least one full round before the
+//! pop that schedules that tick (cold-start delays exceed the tick
+//! interval in every config), so it keeps the smaller sequence number
+//! and pops first, exactly as when applies scheduled ticks themselves.
 
 use crate::events::{micros, seconds, Event, EventQueue, Micros};
 use crate::faults::{FaultInjector, MetricOutageMode};
@@ -30,7 +40,7 @@ use crate::report::{cluster_report, utilities_from_minutes, ClusterReport, JobRe
 use crate::runtime::{ArrivalOutcome, JobRuntime};
 use crate::simulator::{SimConfig, Simulation};
 use crate::Result;
-use faro_control::{ActuationReport, Clock, ClusterBackend};
+use faro_control::{ActuationReport, BackendError, Clock, ClusterBackend};
 use faro_core::types::{ClusterSnapshot, DesiredState, JobId, JobObservation, ResourceModel};
 use faro_core::units::{RatePerMin, ReplicaCount, SimTimeMs};
 use faro_metrics::AvailabilityTracker;
@@ -452,6 +462,15 @@ impl SimBackend {
                 }
                 Event::PolicyTick => {
                     self.now = now;
+                    // The clock owns the tick cadence: scheduling the
+                    // next tick here (not in `apply`) keeps the loop
+                    // alive through skipped or retried applies and
+                    // makes re-applying idempotent. Pushed before the
+                    // round's actuation events, but readiness events
+                    // colliding with a future tick were pushed at least
+                    // a round earlier still, so the tie-break order is
+                    // unchanged.
+                    self.queue.push(now + self.tick, Event::PolicyTick);
                     if sink.enabled() {
                         self.emit_metric_outage_transition(now, sink);
                     }
@@ -475,6 +494,7 @@ impl SimBackend {
         for (id, d) in desired.iter() {
             let j = id.index();
             if j >= self.jobs.len() {
+                report.jobs_failed += 1;
                 continue;
             }
             self.jobs[j].set_drop_rate(d.drop_rate);
@@ -516,11 +536,6 @@ impl SimBackend {
             self.observe_tracker(j, now);
             report.jobs_applied += 1;
         }
-        // Pushed after the actuation events so the insertion-sequence
-        // tie-break keeps a cold start landing exactly on the next tick
-        // ahead of that tick — the same order the monolithic loop
-        // produced.
-        self.queue.push(now + self.tick, Event::PolicyTick);
         report
     }
 
@@ -587,7 +602,10 @@ impl Clock for SimBackend {
 }
 
 impl ClusterBackend for SimBackend {
-    fn observe(&mut self) -> ClusterSnapshot {
+    /// Infallible in practice: the in-process simulator always has a
+    /// fresh snapshot. Inject [`BackendError`]s by wrapping the backend
+    /// in `faro_control::ChaosBackend`.
+    fn observe(&mut self) -> std::result::Result<ClusterSnapshot, BackendError> {
         let now = self.now;
         let active_outage = self.injector.as_ref().and_then(|i| i.metric_outage_at(now));
         // While a stale-mode outage has not started yet, keep caching
@@ -631,22 +649,25 @@ impl ClusterBackend for SimBackend {
             }
             jobs.push(obs);
         }
-        ClusterSnapshot {
+        Ok(ClusterSnapshot {
             now: SimTimeMs::from_micros(now),
             resources: ResourceModel::replicas(ReplicaCount::new(self.effective_quota)),
             jobs,
-        }
+        })
     }
 
-    fn apply(&mut self, desired: &DesiredState) -> ActuationReport {
-        self.apply_impl(desired, &mut NoopSink)
+    fn apply(
+        &mut self,
+        desired: &DesiredState,
+    ) -> std::result::Result<ActuationReport, BackendError> {
+        Ok(self.apply_impl(desired, &mut NoopSink))
     }
 
     fn apply_with(
         &mut self,
         desired: &DesiredState,
         sink: &mut dyn TelemetrySink,
-    ) -> ActuationReport {
-        self.apply_impl(desired, sink)
+    ) -> std::result::Result<ActuationReport, BackendError> {
+        Ok(self.apply_impl(desired, sink))
     }
 }

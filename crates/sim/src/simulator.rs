@@ -256,52 +256,13 @@ impl Simulation {
         }
     }
 
-    /// Attaches a fault schedule to this run. [`FaultPlan::none`] (the
-    /// default without this call) injects nothing and leaves the event
-    /// stream byte-identical to a fault-free run.
-    ///
-    /// # Errors
-    ///
-    /// Fails when the plan is invalid for this simulation (see
-    /// [`FaultPlan::validate`]).
-    #[deprecated(note = "use Simulation::runner().faults(plan), validated at Runner::run")]
-    pub fn with_faults(mut self, plan: FaultPlan) -> Result<Self> {
-        plan.validate(self.jobs.len())?;
-        self.faults = plan;
-        Ok(self)
-    }
-
-    /// Runs the simulation to completion under `policy` and reports.
-    ///
-    /// # Errors
-    ///
-    /// Currently infallible after construction; reserved for future
-    /// mid-run validation.
-    #[deprecated(note = "use Simulation::runner().policy(p).run(), which returns a RunOutcome")]
-    pub fn run(self, policy: Box<dyn Policy>) -> Result<ClusterReport> {
-        Ok(self.run_impl(policy, None, None, &mut NoopSink)?.report)
-    }
-
-    /// Like [`Simulation::run`], additionally returning the control
-    /// loop's [`RunStats`].
-    ///
-    /// # Errors
-    ///
-    /// Currently infallible after construction; reserved for future
-    /// mid-run validation.
-    #[deprecated(note = "use Simulation::runner().policy(p).run(), which returns a RunOutcome")]
-    pub fn run_with_stats(self, policy: Box<dyn Policy>) -> Result<(ClusterReport, RunStats)> {
-        let outcome = self.run_impl(policy, None, None, &mut NoopSink)?;
-        Ok((outcome.report, outcome.stats))
-    }
-
-    /// The one run loop behind both the [`Runner`] and the deprecated
-    /// entry points: validates and attaches the fault plan, composes a
-    /// [`Reconciler`] (defaulting to outage-aware quota admission) over
-    /// this simulation's [`SimBackend`], and drives the control loop to
-    /// the horizon with every round and backend event streamed into
-    /// `sink`. Monomorphized per sink: the [`NoopSink`] instantiation
-    /// is the plain untraced run.
+    /// The one run loop behind the [`Runner`]: validates and attaches
+    /// the fault plan, composes a [`Reconciler`] (defaulting to
+    /// outage-aware quota admission) over this simulation's
+    /// [`SimBackend`], and drives the control loop to the horizon with
+    /// every round and backend event streamed into `sink`.
+    /// Monomorphized per sink: the [`NoopSink`] instantiation is the
+    /// plain untraced run.
     fn run_impl<S: TelemetrySink>(
         mut self,
         policy: Box<dyn Policy>,
@@ -322,7 +283,11 @@ impl Simulation {
         let mut backend = self.into_backend()?;
         let mut reconciler = Reconciler::new(policy, admission);
         while backend.advance_telemetry(sink).is_some() {
-            reconciler.reconcile_with(&mut backend, sink);
+            // The in-process SimBackend never fails; a real error here
+            // means the run is unsalvageable, so surface it typed.
+            reconciler
+                .reconcile_with(&mut backend, sink)
+                .map_err(Error::Backend)?;
         }
         let stats = *reconciler.stats();
         Ok(RunOutcome {
@@ -960,28 +925,6 @@ mod tests {
             frozen.windows(2).all(|w| w[0] == w[1]),
             "stale scrape repeats one value: {frozen:?}"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_runner() {
-        let cfg = SimConfig {
-            total_replicas: 8,
-            seed: 41,
-            ..Default::default()
-        };
-        let mk = || Simulation::new(cfg.clone(), vec![setup(600.0, 6, 2)]).unwrap();
-        let legacy = mk().run(Box::new(Aiad::default())).unwrap();
-        let (shim_report, shim_stats) = mk().run_with_stats(Box::new(Aiad::default())).unwrap();
-        let outcome = mk()
-            .runner()
-            .policy(Box::new(Aiad::default()))
-            .run()
-            .unwrap();
-        let bytes = |r: &ClusterReport| serde_json::to_string(r).unwrap();
-        assert_eq!(bytes(&legacy), bytes(&outcome.report));
-        assert_eq!(bytes(&shim_report), bytes(&outcome.report));
-        assert_eq!(shim_stats, outcome.stats);
     }
 
     #[test]

@@ -7,8 +7,14 @@
 //!    run is byte-identical to the report from a [`NoopSink`] run.
 //! 3. The aggregate Prometheus snapshot is equally reproducible.
 
+use faro_control::{
+    ApiErrors, ChaosBackend, ChaosPlan, InjectedLatency, PartialApplies, Reconciler,
+    ResilienceConfig, ResilientDriver, StaleSnapshots,
+};
+use faro_core::admission::OutageClamp;
 use faro_core::baselines::Aiad;
 use faro_core::types::{JobId, JobSpec};
+use faro_core::units::DurationMs;
 use faro_sim::{
     FaultPlan, JobSetup, MetricOutage, MetricOutageMode, NodeOutage, ReplicaCrashes, RunOutcome,
     SimConfig, Simulation,
@@ -131,6 +137,55 @@ fn decision_records_reconcile_with_run_stats() {
     }
     let started: u32 = decisions.iter().map(|d| d.replicas_started).sum();
     assert_eq!(u64::from(started), outcome.stats.replicas_started);
+}
+
+#[test]
+fn chaos_replays_are_byte_identical_for_a_fixed_seed() {
+    // Every fault class armed at once: the injected-fault schedule is
+    // part of the determinism contract, not an exemption from it.
+    let plan = ChaosPlan {
+        api_errors: Some(ApiErrors {
+            observe_rate: 0.08,
+            apply_rate: 0.08,
+        }),
+        latency: Some(InjectedLatency {
+            mean: DurationMs::from_millis(40),
+            timeout_after: DurationMs::from_millis(400),
+        }),
+        stale_snapshots: Some(StaleSnapshots { rate: 0.1 }),
+        partial_applies: Some(PartialApplies { rate: 0.1 }),
+    };
+    let seed: u64 = std::env::var("FARO_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let run = || {
+        let backend = sim().into_backend().expect("backend builds");
+        let chaos = ChaosBackend::new(backend, plan, seed).expect("valid plan");
+        let mut driver = ResilientDriver::new(chaos, ResilienceConfig::default());
+        let mut reconciler =
+            Reconciler::new(Box::new(Aiad::default()), Box::new(OutageClamp::new(10)));
+        let mut sink = TraceSink::new();
+        driver.run_with(&mut reconciler, &mut sink);
+        let stats = *driver.stats();
+        (sink.to_jsonl(), stats, *driver.into_inner().stats())
+    };
+    let (jsonl_a, driver_a, chaos_a) = run();
+    let (jsonl_b, driver_b, chaos_b) = run();
+    assert!(!jsonl_a.is_empty());
+    assert_eq!(jsonl_a, jsonl_b, "same chaos seed, same trace bytes");
+    assert_eq!(driver_a, driver_b);
+    assert_eq!(chaos_a, chaos_b);
+    // The run exercised the resilience machinery, not a quiet path.
+    assert!(
+        chaos_a.observe_errors
+            + chaos_a.apply_errors
+            + chaos_a.stale_serves
+            + chaos_a.partial_applies
+            > 0,
+        "chaos plan never fired: {chaos_a:?}"
+    );
+    assert!(jsonl_a.contains("BackendRetry"), "no retries traced");
 }
 
 #[test]

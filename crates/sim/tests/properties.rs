@@ -165,10 +165,10 @@ proptest! {
         ]
         .into_iter()
         .collect();
-        backend.apply(&desired);
-        let after_once = backend.observe();
-        let second = backend.apply(&desired);
-        let after_twice = backend.observe();
+        backend.apply(&desired).unwrap();
+        let after_once = backend.observe().unwrap();
+        let second = backend.apply(&desired).unwrap();
+        let after_twice = backend.observe().unwrap();
         prop_assert_eq!(second.replicas_started, faro_core::units::ReplicaCount::ZERO, "targets already met");
         prop_assert_eq!(after_once, after_twice);
     }
@@ -182,14 +182,14 @@ proptest! {
         seed in 0u64..20,
     ) {
         let mut backend = primed_backend(seed);
-        let before = backend.observe();
+        let before = backend.observe().unwrap();
         let only_first: DesiredState = vec![
             (JobId::new(0), JobDecision { target_replicas: target, drop_rate: drop }),
         ]
         .into_iter()
         .collect();
-        let report = backend.apply(&only_first);
-        let after = backend.observe();
+        let report = backend.apply(&only_first).unwrap();
+        let after = backend.observe().unwrap();
         prop_assert_eq!(report.jobs_applied, 1);
         prop_assert_eq!(&after.jobs[1], &before.jobs[1], "job 1 was absent");
         prop_assert_eq!(after.jobs[0].target_replicas, target);

@@ -271,7 +271,11 @@ impl TelemetrySink for AggregateSink {
             | TelemetryEvent::NodeOutageBegan { .. }
             | TelemetryEvent::NodeOutageEnded { .. }
             | TelemetryEvent::MetricOutageBegan { .. }
-            | TelemetryEvent::MetricOutageEnded { .. } => {}
+            | TelemetryEvent::MetricOutageEnded { .. }
+            | TelemetryEvent::BackendRetry { .. }
+            | TelemetryEvent::BreakerTransition { .. }
+            | TelemetryEvent::DegradedRound { .. }
+            | TelemetryEvent::DriftDetected { .. } => {}
         }
     }
 }

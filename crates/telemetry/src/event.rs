@@ -280,6 +280,37 @@ pub enum TelemetryEvent {
         /// Delivery mode that just ended (`"stale"` or `"missing"`).
         mode: String,
     },
+    /// A backend call failed and the resilient driver scheduled a
+    /// retry after a virtual backoff delay.
+    BackendRetry {
+        /// Which call failed (`"observe"` or `"apply"`).
+        phase: String,
+        /// The attempt (1-based) that just failed.
+        attempt: u32,
+        /// Virtual backoff before the next attempt, whole milliseconds.
+        backoff_ms: i64,
+        /// Rendered backend error.
+        error: String,
+    },
+    /// The resilient driver's circuit breaker changed state.
+    BreakerTransition {
+        /// State left (`"closed"`, `"open"`, or `"half-open"`).
+        from: String,
+        /// State entered.
+        to: String,
+    },
+    /// A round could not run the full observe→apply loop and degraded.
+    DegradedRound {
+        /// Degradation taken (`"stale-snapshot"`, `"carry-forward"`,
+        /// `"breaker-open"`, or `"skipped"`).
+        kind: String,
+    },
+    /// A fresh snapshot's per-job targets disagreed with the last
+    /// applied desired state; this round's apply is the repair.
+    DriftDetected {
+        /// Drifted job indices, ascending.
+        jobs: Vec<usize>,
+    },
 }
 
 impl TelemetryEvent {
@@ -294,6 +325,10 @@ impl TelemetryEvent {
             TelemetryEvent::NodeOutageEnded { .. } => "NodeOutageEnded",
             TelemetryEvent::MetricOutageBegan { .. } => "MetricOutageBegan",
             TelemetryEvent::MetricOutageEnded { .. } => "MetricOutageEnded",
+            TelemetryEvent::BackendRetry { .. } => "BackendRetry",
+            TelemetryEvent::BreakerTransition { .. } => "BreakerTransition",
+            TelemetryEvent::DegradedRound { .. } => "DegradedRound",
+            TelemetryEvent::DriftDetected { .. } => "DriftDetected",
         }
     }
 }

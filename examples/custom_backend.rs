@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --example custom_backend`
 
-use faro::control::ActuationReport;
+use faro::control::{ActuationReport, BackendError};
 use faro::core::types::{JobObservation, ResourceModel};
 use faro::core::units::DurationMs;
 use faro::core::OutageClamp;
@@ -72,7 +72,10 @@ impl Clock for RampBackend {
 }
 
 impl ClusterBackend for RampBackend {
-    fn observe(&mut self) -> ClusterSnapshot {
+    // An in-process mock never fails, so both calls always return Ok;
+    // a backend fronting a real API would surface timeouts and partial
+    // applies as typed BackendErrors here.
+    fn observe(&mut self) -> Result<ClusterSnapshot, BackendError> {
         let now = self.now;
         let mut jobs = Vec::with_capacity(self.specs.len());
         for j in 0..self.specs.len() {
@@ -96,17 +99,18 @@ impl ClusterBackend for RampBackend {
                 drop_rate: self.drop_rates[j],
             });
         }
-        ClusterSnapshot {
+        Ok(ClusterSnapshot {
             now,
             resources: ResourceModel::replicas(self.quota),
             jobs,
-        }
+        })
     }
 
-    fn apply(&mut self, desired: &DesiredState) -> ActuationReport {
+    fn apply(&mut self, desired: &DesiredState) -> Result<ActuationReport, BackendError> {
         let mut report = ActuationReport::default();
         for (id, d) in desired.iter() {
             let Some(t) = self.targets.get_mut(id.index()) else {
+                report.jobs_failed += 1;
                 continue;
             };
             report.replicas_started += d.target_replicas.saturating_sub(*t);
@@ -114,14 +118,16 @@ impl ClusterBackend for RampBackend {
             self.drop_rates[id.index()] = d.drop_rate;
             report.jobs_applied += 1;
         }
-        report
+        Ok(report)
     }
 }
 
 fn main() {
     let mut backend = RampBackend::new(12, &["imagenet", "sentiment", "whisper"]);
     let mut reconciler = Reconciler::new(Box::new(Aiad::default()), Box::new(OutageClamp::new(12)));
-    let stats = reconciler.run(&mut backend);
+    let stats = reconciler
+        .run(&mut backend)
+        .expect("in-process mock backend never fails");
 
     println!("policy:            {}", reconciler.policy_name());
     println!("reconcile rounds:  {}", stats.rounds);
