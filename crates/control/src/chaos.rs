@@ -147,25 +147,11 @@ pub struct ChaosStats {
     pub injected_latency: DurationMs,
 }
 
-/// One per-fault-type splitmix64 stream: cheap, seedable, and free of
-/// external dependencies. `fraction()` yields uniforms in `[0, 1)`
-/// with 53-bit resolution.
-#[derive(Debug, Clone, Copy)]
-struct FaultStream(u64);
-
-impl FaultStream {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn fraction(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
+/// One per-fault-type stream of the workspace splitmix64 generator
+/// ([`faro_core::rng::SplitMix64`]): cheap, seedable, free of external
+/// dependencies, and bit-identical to the private stream this module
+/// carried before the generator moved to `faro-core`.
+type FaultStream = faro_core::rng::SplitMix64;
 
 /// Wraps a [`ClusterBackend`] and injects API faults per a seeded
 /// [`ChaosPlan`]. Composes with the resilient driver:
@@ -194,10 +180,10 @@ impl<B: ClusterBackend> ChaosBackend<B> {
         Ok(Self {
             inner,
             plan,
-            err_stream: FaultStream(seed ^ 0xc4a0_5e11),
-            latency_stream: FaultStream(seed ^ 0x1a7e_9c55),
-            stale_stream: FaultStream(seed ^ 0x57a1_e000),
-            partial_stream: FaultStream(seed ^ 0x9a47_11aa),
+            err_stream: FaultStream::new(seed ^ 0xc4a0_5e11),
+            latency_stream: FaultStream::new(seed ^ 0x1a7e_9c55),
+            stale_stream: FaultStream::new(seed ^ 0x57a1_e000),
+            partial_stream: FaultStream::new(seed ^ 0x9a47_11aa),
             cached: None,
             stats: ChaosStats::default(),
         })

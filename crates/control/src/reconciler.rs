@@ -186,6 +186,27 @@ impl Reconciler {
         let mut desired = self.policy.decide(snapshot);
         let intro = self.policy.introspect();
         sink.span(at, Phase::Decide, intro.solver_evals);
+        // Sharded decide rounds break the Decide span down per solved
+        // shard and summarize the round's cache behavior; the global
+        // path emits neither.
+        for span in &intro.shard_spans {
+            sink.span(at, Phase::ShardSolve, span.evals);
+        }
+        if sink.enabled() {
+            if let Some(rec) = &intro.shard_record {
+                sink.event(
+                    at,
+                    &TelemetryEvent::ShardSolve {
+                        shards: rec.shards,
+                        solved: rec.solved,
+                        skipped: rec.skipped,
+                        cache_hit_jobs: rec.cache_hit_jobs,
+                        evals: rec.evals,
+                        split_evals: rec.split_evals,
+                    },
+                );
+            }
+        }
         // The pre-admission request is only needed for the decision
         // record; skip the clone when nobody is listening.
         let requested = sink.enabled().then(|| desired.clone());

@@ -160,21 +160,13 @@ pub struct DriverStats {
     pub drift_repairs: u64,
 }
 
-/// Deterministic jitter: splitmix64, advanced once per backoff draw.
+/// Deterministic jitter: the workspace splitmix64 stream
+/// ([`faro_core::rng::SplitMix64`]), advanced once per backoff draw.
 /// No external RNG dependency, no global state — the stream is part of
-/// the driver and therefore of the run's seed.
-#[derive(Debug, Clone, Copy)]
-struct JitterStream(u64);
-
-impl JitterStream {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-}
+/// the driver and therefore of the run's seed, and its draws are
+/// bit-identical to the private stream this module carried before the
+/// generator moved to `faro-core`.
+type JitterStream = faro_core::rng::SplitMix64;
 
 /// Outcome of one retried call: the value, plus how many retries and
 /// how much virtual delay it took.
@@ -207,7 +199,7 @@ impl<B: ClusterBackend> ResilientDriver<B> {
         Self {
             backend,
             cfg,
-            jitter: JitterStream(cfg.jitter_seed ^ 0xd81f_7e77),
+            jitter: JitterStream::new(cfg.jitter_seed ^ 0xd81f_7e77),
             breaker: BreakerState::Closed,
             consecutive_failures: 0,
             cooldown_left: 0,

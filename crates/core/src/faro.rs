@@ -27,6 +27,7 @@ use crate::objective::ClusterObjective;
 use crate::opt::{Fidelity, JobWorkload, LatencyModel, MultiTenantProblem};
 use crate::policy::{Policy, PolicyIntrospection};
 use crate::predictor::{sanitize_history, RatePredictor};
+use crate::sharded::{ShardedSolver, SolvePlan};
 use crate::types::{ClusterSnapshot, DesiredState, JobDecision};
 use crate::units::{DurationMs, RatePerMin, ReplicaCount, SimTimeMs};
 use crate::utility::RelaxedUtility;
@@ -63,6 +64,11 @@ pub struct FaroConfig {
     pub hierarchical_threshold: usize,
     /// Group count for the hierarchical solve (paper default: 10).
     pub groups: usize,
+    /// How the long-term solve is organized: one global solve per round
+    /// (paper-faithful default) or the sharded incremental path
+    /// ([`crate::sharded`]). Sharding is opt-in; the default keeps
+    /// every global-path output bit-identical.
+    pub solve_plan: SolvePlan,
     /// Relaxed-utility sharpness `alpha`.
     pub alpha: f64,
     /// Relaxed-latency knee `rho_max` (paper: 0.95).
@@ -96,6 +102,7 @@ impl FaroConfig {
             use_hybrid: true,
             hierarchical_threshold: 50,
             groups: 10,
+            solve_plan: SolvePlan::Global,
             alpha: 4.0,
             rho_max: 0.95,
             seed: 0,
@@ -135,6 +142,9 @@ pub struct FaroAutoscaler {
     /// What the last `decide` round did (solve effort, carry-forward,
     /// sanitization), reported through [`Policy::introspect`].
     intro: PolicyIntrospection,
+    /// The sharded solver's persistent state (partition, signatures,
+    /// caches), created lazily on the first sharded long-term round.
+    sharded: Option<ShardedSolver>,
     rng: StdRng,
     name: String,
 }
@@ -162,6 +172,7 @@ impl FaroAutoscaler {
             prev_applied: Vec::new(),
             churn_until: Vec::new(),
             intro: PolicyIntrospection::default(),
+            sharded: None,
             name,
         }
     }
@@ -253,7 +264,27 @@ impl FaroAutoscaler {
     fn long_term(&mut self, snapshot: &ClusterSnapshot) -> Result<Vec<JobDecision>> {
         let jobs = self.formulate(snapshot);
         let current: Vec<u32> = snapshot.jobs.iter().map(|j| j.target_replicas).collect();
-        let (mut replicas, drop_rates) = if jobs.len() > self.config.hierarchical_threshold {
+        let (mut replicas, drop_rates) = if let SolvePlan::Sharded(scfg) = self.config.solve_plan {
+            // Like the hierarchical branch, the sharded path sticks to
+            // the problem's default latency model and relaxations: the
+            // within-shard solves own those knobs.
+            let seed = self.config.seed;
+            let sharded = self
+                .sharded
+                .get_or_insert_with(|| ShardedSolver::new(scfg, seed));
+            let out = sharded.solve(
+                &jobs,
+                snapshot.resources,
+                self.config.objective,
+                self.config.fidelity,
+                &self.solver,
+                &current,
+            )?;
+            self.intro.solver_evals += out.record.evals + out.record.split_evals;
+            self.intro.shard_record = Some(out.record);
+            self.intro.shard_spans = out.shard_spans;
+            (out.replicas, out.drop_rates)
+        } else if jobs.len() > self.config.hierarchical_threshold {
             let out = solve_hierarchical(
                 &jobs,
                 snapshot.resources,
@@ -404,7 +435,7 @@ impl Policy for FaroAutoscaler {
     }
 
     fn introspect(&self) -> PolicyIntrospection {
-        self.intro
+        self.intro.clone()
     }
 
     fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState {
@@ -773,6 +804,42 @@ mod tests {
             after < base,
             "paper-faithful variant stays clamped until the next solve"
         );
+    }
+
+    #[test]
+    fn sharded_plan_solves_cold_and_reuses_cache_warm() {
+        use crate::sharded::ShardConfig;
+        let n = 9;
+        let predictors: Vec<Box<dyn RatePredictor>> = (0..n)
+            .map(|_| Box::new(FlatPredictor::default()) as Box<dyn RatePredictor>)
+            .collect();
+        let mut cfg = FaroConfig::new(ClusterObjective::Sum);
+        cfg.solve_plan = SolvePlan::Sharded(ShardConfig::with_shards(3));
+        cfg.samples = 1; // Mean trajectory: warm rounds see zero drift.
+        let mut f = FaroAutoscaler::new(cfg, predictors);
+        let mk = |target: u32| {
+            (0..n)
+                .map(|i| obs(600.0 + 100.0 * i as f64, target, 0.1))
+                .collect::<Vec<_>>()
+        };
+        let d0 = f.decide(&snapshot(0.0, 60, mk(1)));
+        assert_eq!(d0.len(), n);
+        assert!(d0.total_replicas() <= 60);
+        let intro = f.introspect();
+        let rec = intro.shard_record.expect("sharded round recorded");
+        assert_eq!(rec.shards, 3);
+        assert_eq!(rec.solved, 3, "cold round solves every shard");
+        assert_eq!(intro.shard_spans.len(), 3);
+        assert!(intro.solver_evals > 0);
+        // Same load at the next long-term round: fully clean.
+        let d1 = f.decide(&snapshot(300.0, 60, mk(1)));
+        let rec = f.introspect().shard_record.expect("warm round recorded");
+        assert_eq!(rec.solved, 0, "clean warm round skips every shard");
+        assert_eq!(rec.cache_hit_jobs, n as u32);
+        assert_eq!(d1, d0, "cached decisions are unchanged");
+        // Reactive ticks between solves report no shard record.
+        f.decide(&snapshot(310.0, 60, mk(1)));
+        assert!(f.introspect().shard_record.is_none());
     }
 
     #[test]

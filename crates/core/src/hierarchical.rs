@@ -11,27 +11,53 @@
 use crate::error::Result;
 use crate::objective::ClusterObjective;
 use crate::opt::{Fidelity, JobWorkload, MultiTenantProblem};
+use crate::rng::SplitMix64;
 use crate::types::{DesiredState, JobDecision, JobId, ResourceModel};
 use crate::units::ReplicaCount;
 use faro_solver::Solver;
-use rand::prelude::*;
 
 /// Default group count (paper Sec. 3.4).
 pub const DEFAULT_GROUPS: usize = 10;
 
 /// Assigns `n_jobs` jobs to `groups` random groups (each non-empty when
-/// `n_jobs >= groups`), deterministically from `seed`.
+/// `n_jobs >= groups`), deterministically from `seed` via the workspace
+/// [`SplitMix64`] stream — the assignment reproduces bit-for-bit across
+/// platforms and never shifts under a `rand` version bump.
 pub fn assign_groups(n_jobs: usize, groups: usize, seed: u64) -> Vec<usize> {
     let g = groups.max(1).min(n_jobs.max(1));
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x6e0a_9ed5);
+    let mut rng = SplitMix64::new(seed ^ 0x6e0a_9ed5);
     // Round-robin over a shuffled job order guarantees non-empty groups.
     let mut order: Vec<usize> = (0..n_jobs).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let mut assignment = vec![0usize; n_jobs];
     for (pos, &job) in order.iter().enumerate() {
         assignment[job] = pos % g;
     }
     assignment
+}
+
+/// Estimated M/D/c replica *need* of one job at its mean predicted
+/// rate: the replica count that meets the SLO, or an offered-load floor
+/// when even the quota cannot. Shared by the within-group share split
+/// here and the shard partitioner in [`crate::sharded`].
+pub(crate) fn replica_need(job: &JobWorkload, quota: ReplicaCount) -> f64 {
+    let total: f64 = job.lambda_trajectories.iter().flat_map(|t| t.iter()).sum();
+    let count = job
+        .lambda_trajectories
+        .iter()
+        .map(Vec::len)
+        .sum::<usize>()
+        .max(1);
+    let mean_lambda = total / count as f64;
+    faro_queueing::mdc::replicas_for_slo(
+        job.slo.percentile,
+        job.processing_time,
+        mean_lambda,
+        job.slo.latency,
+        quota.max(ReplicaCount::ONE),
+    )
+    .map(|r| r.as_f64())
+    .unwrap_or_else(|_| (mean_lambda * job.processing_time).max(1.0) + 1.0)
 }
 
 /// Result of a hierarchical solve.
@@ -174,25 +200,7 @@ pub fn solve_hierarchical(
     // offered load would starve small jobs (queueing headroom is not
     // linear in load), forcing the group budget far past the true need.
     let quota = resources.replica_quota().max(ReplicaCount::ONE);
-    let need = |j: &JobWorkload| -> f64 {
-        let total: f64 = j.lambda_trajectories.iter().flat_map(|t| t.iter()).sum();
-        let count = j
-            .lambda_trajectories
-            .iter()
-            .map(Vec::len)
-            .sum::<usize>()
-            .max(1);
-        let mean_lambda = total / count as f64;
-        faro_queueing::mdc::replicas_for_slo(
-            j.slo.percentile,
-            j.processing_time,
-            mean_lambda,
-            j.slo.latency,
-            quota,
-        )
-        .map(|r| r.as_f64())
-        .unwrap_or_else(|_| (mean_lambda * j.processing_time).max(1.0) + 1.0)
-    };
+    let need = |j: &JobWorkload| -> f64 { replica_need(j, quota) };
     let mut shares = vec![0.0; n];
     for members in &member_lists {
         let total: f64 = members.iter().map(|&i| need(&jobs[i])).sum();

@@ -13,6 +13,8 @@
 //! - [`opt`]: the precise and relaxed multi-tenant optimization with
 //!   integerization and Stage-3 shrinking (Sec. 3.4, 4.2, 4.3).
 //! - [`hierarchical`]: the grouped solve for large job counts (Sec. 3.4).
+//! - [`sharded`]: the sharded incremental solve past Table 8's scale —
+//!   deterministic partitioning, parallel shard solves, dirty tracking.
 //! - [`predictor`]: arrival-rate predictor adapters over
 //!   [`faro_forecast`] (Sec. 3.5).
 //! - [`faro`]: the staged hybrid autoscaler (Sec. 4).
@@ -63,6 +65,8 @@ pub mod opt;
 pub mod penalty;
 pub mod policy;
 pub mod predictor;
+pub mod rng;
+pub mod sharded;
 pub mod types;
 pub mod units;
 pub mod utility;
@@ -72,6 +76,8 @@ pub use error::{BackendError, Error, FaroError, Result};
 pub use faro::{FaroAutoscaler, FaroConfig};
 pub use objective::ClusterObjective;
 pub use policy::{Policy, PolicyIntrospection};
+pub use rng::SplitMix64;
+pub use sharded::{ShardConfig, ShardSolveRecord, ShardSpan, ShardedSolver, SolvePlan};
 pub use types::{
     ClusterSnapshot, DesiredState, JobDecision, JobId, JobObservation, JobSpec, ResourceModel, Slo,
 };

@@ -52,6 +52,19 @@ impl ClusterObjective {
         )
     }
 
+    /// The drop-free counterpart of this objective: penalty variants
+    /// map to their plain-utility twins, others are unchanged. The
+    /// sharded solver's top-level quota split optimizes over per-shard
+    /// pseudo-jobs where drop decisions are meaningless (they belong to
+    /// the within-shard solves), so it strips the drop variables here.
+    pub fn drop_free(&self) -> Self {
+        match *self {
+            ClusterObjective::PenaltySum => ClusterObjective::Sum,
+            ClusterObjective::PenaltyFairSum { gamma } => ClusterObjective::FairSum { gamma },
+            other => other,
+        }
+    }
+
     /// The recommended fairness weight for `n` jobs (paper: set `gamma`
     /// to the job count, normalizing both terms).
     pub fn recommended_gamma(n_jobs: usize) -> f64 {
@@ -131,6 +144,27 @@ mod tests {
         assert!(
             ClusterObjective::Fair.aggregate(&equal) > ClusterObjective::Fair.aggregate(&unequal)
         );
+    }
+
+    #[test]
+    fn drop_free_strips_penalty_variants_only() {
+        assert_eq!(
+            ClusterObjective::PenaltySum.drop_free(),
+            ClusterObjective::Sum
+        );
+        assert_eq!(
+            ClusterObjective::PenaltyFairSum { gamma: 3.0 }.drop_free(),
+            ClusterObjective::FairSum { gamma: 3.0 }
+        );
+        for o in [
+            ClusterObjective::Sum,
+            ClusterObjective::Fair,
+            ClusterObjective::FairSum { gamma: 2.0 },
+        ] {
+            assert_eq!(o.drop_free(), o);
+            assert!(!o.drop_free().uses_drop_rates());
+        }
+        assert!(!ClusterObjective::PenaltySum.drop_free().uses_drop_rates());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   the `rho_max` knee, piecewise-linear penalty — plateau-free and
 //!   solvable in sub-second time by COBYLA.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Mutex, OnceLock};
 
 use crate::error::{Error, Result};
@@ -30,6 +30,11 @@ use faro_solver::{Problem, Solution, Solver};
 /// cannot grow the map without limit; the map is simply cleared when it
 /// fills (entries are cheap to recompute).
 const MEMO_CAPACITY: usize = 1 << 20;
+
+/// Dense latency tables are built only while `distinct rates × quota`
+/// stays under this entry budget (~134 MB of `f64`); beyond it lookups
+/// fall back to the keyed memo, which returns the same bits.
+const MAX_TABLE_ENTRIES: usize = 1 << 24;
 
 /// Per-solve latency tables over integer replica counts.
 ///
@@ -251,6 +256,25 @@ impl MultiTenantProblem {
         }
         let quota = self.resources.replica_quota();
         if quota.is_zero() {
+            return None;
+        }
+        // Exact distinct-rate pre-pass: the dense tables hold one
+        // quota-length row per (job, distinct rate). At sweep scale
+        // (thousands of jobs, five-digit quotas) that product reaches
+        // gigabytes, so past a fixed entry budget skip the tables and
+        // let the keyed memo serve lookups — bit-identical values,
+        // bounded memory.
+        let mut rows_total: usize = 0;
+        for job in &self.jobs {
+            let mut distinct: BTreeSet<u64> = BTreeSet::new();
+            for traj in &job.lambda_trajectories {
+                for &raw in traj {
+                    distinct.insert(raw.max(0.0).to_bits());
+                }
+            }
+            rows_total += distinct.len();
+        }
+        if rows_total.saturating_mul(quota.get() as usize) > MAX_TABLE_ENTRIES {
             return None;
         }
         let mut index = Vec::with_capacity(self.jobs.len());

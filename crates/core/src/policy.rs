@@ -8,15 +8,16 @@
 //! [`Admission`](crate::admission::Admission) strategy internally, and
 //! the reconciler applies a cluster-level admission on top.
 
+use crate::sharded::{ShardSolveRecord, ShardSpan};
 use crate::types::{ClusterSnapshot, DesiredState};
 
 /// What a policy's last [`Policy::decide`] round did internally —
 /// solver effort and resilience triggers that the telemetry layer
 /// records into per-round decision traces.
 ///
-/// The default (all zeros / false) is correct for policies with no
-/// solver: the baselines never override [`Policy::introspect`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// The default (all zeros / false / empty) is correct for policies with
+/// no solver: the baselines never override [`Policy::introspect`].
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PolicyIntrospection {
     /// Solver objective evaluations consumed by the round (0 when no
     /// solve ran).
@@ -29,6 +30,12 @@ pub struct PolicyIntrospection {
     /// Corrupt history samples repaired before forecasting (resilient
     /// metric sanitization).
     pub sanitized_samples: u64,
+    /// What the sharded solve did, when the round ran one (`None` for
+    /// the global path and for reactive rounds).
+    pub shard_record: Option<ShardSolveRecord>,
+    /// Per-solved-shard spans (ascending shard index) from the round's
+    /// sharded solve, empty otherwise.
+    pub shard_spans: Vec<ShardSpan>,
 }
 
 /// An autoscaling policy.

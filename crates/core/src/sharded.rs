@@ -1,0 +1,901 @@
+//! Sharded incremental solving: the scale path past the hierarchical
+//! grouped solve (ROADMAP item 1, "millions of users").
+//!
+//! The grouped solve of Sec. 3.4 collapses the *variable count* but
+//! still evaluates every job's utility inside the solver loop and still
+//! re-solves the whole cluster every long-term round. At thousands of
+//! jobs both costs dominate. The sharded path splits them:
+//!
+//! 1. **Partition** — jobs are assigned to shards by a deterministic
+//!    longest-processing-time (LPT) greedy over each job's estimated
+//!    M/D/c replica *need*: sort by need descending, place each job on
+//!    the least-loaded shard. No RNG, balanced by construction, and
+//!    stable for a fixed job set.
+//! 2. **Top-level quota split** — one cheap `S`-variable solve over
+//!    per-shard *pseudo-jobs* (aggregated rate, need-weighted
+//!    processing time and SLO, summed priority) decides each shard's
+//!    replica budget. Budgets are integerized by largest remainder with
+//!    a one-replica-per-member floor, summing exactly to the quota.
+//! 3. **Independent shard solves** — each shard solves its members
+//!    against its own budget (flat COBYLA below
+//!    [`ShardConfig::flat_threshold`] members, the grouped solve above
+//!    it), on `std::thread::scope` workers. Results are merged in shard
+//!    index order, so the output is byte-identical regardless of thread
+//!    count or interleaving.
+//! 4. **Incremental re-solves** — each solved job's workload signature
+//!    (mean predicted rate, processing time, SLO, priority) is cached;
+//!    a shard re-enters the solver only when a member's rate or
+//!    processing time moved beyond [`ShardConfig::dirty_epsilon`]
+//!    (relative) or its SLO/priority changed at all, or when the new
+//!    budget no longer covers the cached allocation. Clean shards reuse
+//!    their cached decisions, so a warm round's cost is the top-level
+//!    split plus only the shards that actually changed.
+
+use crate::error::Result;
+use crate::hierarchical::{replica_need, solve_hierarchical};
+use crate::objective::ClusterObjective;
+use crate::opt::{Fidelity, JobWorkload, MultiTenantProblem};
+use crate::rng::SplitMix64;
+use crate::types::{DesiredState, JobDecision, JobId, ResourceModel, Slo};
+use crate::units::ReplicaCount;
+use faro_solver::Solver;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How the long-term solve is organized (`FaroConfig::solve_plan`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolvePlan {
+    /// One cluster-wide solve per round (flat below the hierarchical
+    /// threshold, grouped above it) — the paper-faithful default.
+    Global,
+    /// Sharded incremental solve with parallel shard workers.
+    Sharded(ShardConfig),
+}
+
+/// Configuration for the sharded solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardConfig {
+    /// Shard count (clamped to the job count).
+    pub shards: usize,
+    /// Worker threads for shard solves (0 = one per available core).
+    /// The merged result is identical for every value.
+    pub parallelism: usize,
+    /// Relative change in a job's mean predicted rate or processing
+    /// time that marks its shard dirty. SLO or priority changes always
+    /// do.
+    pub dirty_epsilon: f64,
+    /// Member count above which a shard solves with the grouped
+    /// (hierarchical) formulation instead of flat COBYLA.
+    pub flat_threshold: usize,
+    /// Group count for within-shard grouped solves.
+    pub groups: usize,
+    /// Stage-3 shrinking on flat within-shard solves.
+    pub use_shrinking: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shards: 16,
+            parallelism: 0,
+            dirty_epsilon: 0.05,
+            flat_threshold: 50,
+            groups: 10,
+            use_shrinking: true,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// A config with the given shard count and defaults elsewhere.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+}
+
+/// What one sharded solve round did — the telemetry record behind the
+/// `ShardSolve` event and the per-shard solve spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSolveRecord {
+    /// Total shards in the partition.
+    pub shards: u32,
+    /// Shards that entered the solver this round.
+    pub solved: u32,
+    /// Clean shards that reused their cached allocation.
+    pub skipped: u32,
+    /// Jobs served from a cached shard allocation.
+    pub cache_hit_jobs: u32,
+    /// Solver objective evaluations across solved shards.
+    pub evals: u64,
+    /// Evaluations spent on the top-level quota split (0 when the
+    /// round was fully clean and the split was skipped).
+    pub split_evals: u64,
+}
+
+/// One solved shard's telemetry span (work = solver evaluations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpan {
+    /// Shard index.
+    pub shard: u32,
+    /// Objective evaluations the shard's solve consumed.
+    pub evals: u64,
+}
+
+/// Result of a sharded solve round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedAllocation {
+    /// Integer replica counts per job.
+    pub replicas: Vec<u32>,
+    /// Drop rates per job.
+    pub drop_rates: Vec<f64>,
+    /// What the round did (solved/skipped shards, evals, cache hits).
+    pub record: ShardSolveRecord,
+    /// Per-solved-shard spans, ascending shard index.
+    pub shard_spans: Vec<ShardSpan>,
+}
+
+impl ShardedAllocation {
+    /// The allocation as a typed [`DesiredState`].
+    pub fn desired_state(&self) -> DesiredState {
+        self.replicas
+            .iter()
+            .zip(self.drop_rates.iter())
+            .enumerate()
+            .map(|(j, (&r, &d))| {
+                (
+                    JobId::new(j),
+                    JobDecision {
+                        target_replicas: r,
+                        drop_rate: d,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// The workload facts a shard solve depends on; equality within epsilon
+/// means the cached allocation is still valid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct JobSignature {
+    mean_rate: f64,
+    processing_time: f64,
+    slo: Slo,
+    priority: f64,
+}
+
+impl JobSignature {
+    fn of(job: &JobWorkload) -> Self {
+        let total: f64 = job.lambda_trajectories.iter().flat_map(|t| t.iter()).sum();
+        let count = job
+            .lambda_trajectories
+            .iter()
+            .map(Vec::len)
+            .sum::<usize>()
+            .max(1);
+        Self {
+            mean_rate: total / count as f64,
+            processing_time: job.processing_time,
+            slo: job.slo,
+            priority: job.priority,
+        }
+    }
+
+    /// Whether moving from `self` to `new` invalidates a cached solve.
+    fn dirty_against(&self, new: &JobSignature, epsilon: f64) -> bool {
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-9);
+        rel(new.mean_rate, self.mean_rate) > epsilon
+            || rel(new.processing_time, self.processing_time) > epsilon
+            || new.slo != self.slo
+            || new.priority != self.priority
+    }
+}
+
+/// A shard's cached solve: member decisions in member-list order.
+#[derive(Debug, Clone)]
+struct ShardCache {
+    replicas: Vec<u32>,
+    drops: Vec<f64>,
+    /// Total replicas the cached allocation uses (re-solve trigger when
+    /// the new budget dips below it).
+    used: u32,
+}
+
+/// One shard solve's raw output.
+struct ShardResult {
+    replicas: Vec<u32>,
+    drops: Vec<f64>,
+    evals: u64,
+}
+
+/// Deterministic LPT partition: jobs sorted by `need` descending (ties
+/// by index), each placed on the least-loaded shard (ties by shard
+/// index). Every shard is non-empty when `needs.len() >= shards`.
+pub fn assign_shards(needs: &[f64], shards: usize) -> Vec<usize> {
+    let s = shards.max(1).min(needs.len().max(1));
+    let mut order: Vec<usize> = (0..needs.len()).collect();
+    order.sort_by(|&a, &b| {
+        needs[b]
+            .partial_cmp(&needs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut load = vec![0.0f64; s];
+    let mut assignment = vec![0usize; needs.len()];
+    for &j in &order {
+        let mut best = 0usize;
+        for t in 1..s {
+            if load[t] < load[best] {
+                best = t;
+            }
+        }
+        assignment[j] = best;
+        // A zero-need job must still occupy its shard, or ties would
+        // pile every light job onto shard 0.
+        load[best] += needs[j].max(1e-12);
+    }
+    assignment
+}
+
+/// Largest-remainder split of `quota` across shards: every shard gets
+/// at least its floor (one replica per member); the surplus goes
+/// proportionally to the continuous solve's above-floor desires, with
+/// fractional-part ties broken by shard index.
+fn split_budgets(cont: &[f64], floors: &[u32], quota: u32) -> Vec<u32> {
+    let s = cont.len();
+    let floor_sum: u32 = floors.iter().sum();
+    let extra = quota.saturating_sub(floor_sum);
+    let desire: Vec<f64> = cont
+        .iter()
+        .zip(floors)
+        .map(|(&c, &f)| (c - f64::from(f)).max(0.0))
+        .collect();
+    let desire_sum: f64 = desire.iter().sum();
+    let weights: Vec<f64> = if desire_sum > 1e-9 {
+        desire
+    } else {
+        floors.iter().map(|&f| f64::from(f).max(1.0)).collect()
+    };
+    let wsum: f64 = weights.iter().sum::<f64>().max(1e-9);
+    let raw: Vec<f64> = weights
+        .iter()
+        .map(|w| f64::from(extra) * w / wsum)
+        .collect();
+    let mut extras: Vec<u32> = raw.iter().map(|r| r.floor() as u32).collect();
+    let mut assigned: u32 = extras.iter().sum();
+    let mut order: Vec<usize> = (0..s).collect();
+    order.sort_by(|&a, &b| {
+        let fa = raw[a] - raw[a].floor();
+        let fb = raw[b] - raw[b].floor();
+        fb.partial_cmp(&fa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut i = 0usize;
+    while assigned < extra {
+        extras[order[i % s]] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    floors.iter().zip(&extras).map(|(&f, &e)| f + e).collect()
+}
+
+/// Everything a shard worker needs, shared read-only across threads.
+struct SolveCtx<'a> {
+    jobs: &'a [JobWorkload],
+    resources: ResourceModel,
+    objective: ClusterObjective,
+    fidelity: Fidelity,
+    solver: &'a (dyn Solver + Sync),
+    current: &'a [u32],
+    cfg: ShardConfig,
+    seed: u64,
+}
+
+/// Solves one shard against its budget: flat COBYLA (+ integerize +
+/// optional shrink) for small member lists, the grouped solve above
+/// [`ShardConfig::flat_threshold`], with a per-shard child seed.
+fn solve_shard(
+    ctx: &SolveCtx<'_>,
+    members: &[usize],
+    budget: u32,
+    shard: usize,
+) -> Result<ShardResult> {
+    let sub_jobs: Vec<JobWorkload> = members.iter().map(|&i| ctx.jobs[i].clone()).collect();
+    let sub_current: Vec<u32> = members
+        .iter()
+        .map(|&i| ctx.current.get(i).copied().unwrap_or(1))
+        .collect();
+    let sub_resources = ResourceModel {
+        cpu_per_replica: ctx.resources.cpu_per_replica,
+        mem_per_replica: ctx.resources.mem_per_replica,
+        cluster_cpu: f64::from(budget) * ctx.resources.cpu_per_replica,
+        cluster_mem: f64::from(budget) * ctx.resources.mem_per_replica,
+    };
+    if members.len() > ctx.cfg.flat_threshold {
+        let out = solve_hierarchical(
+            &sub_jobs,
+            sub_resources,
+            ctx.objective,
+            ctx.fidelity,
+            ctx.solver,
+            &sub_current,
+            ctx.cfg.groups,
+            SplitMix64::child_seed(ctx.seed, shard as u64),
+        )?;
+        Ok(ShardResult {
+            replicas: out.replicas,
+            drops: out.drop_rates,
+            evals: out.evals as u64,
+        })
+    } else {
+        let problem =
+            MultiTenantProblem::new(sub_jobs, sub_resources, ctx.objective, ctx.fidelity)?;
+        let alloc = problem.solve(ctx.solver, &sub_current)?;
+        let mut xs = problem.integerize(&alloc);
+        if ctx.cfg.use_shrinking {
+            problem.shrink(&mut xs, &alloc.drop_rates);
+        }
+        Ok(ShardResult {
+            replicas: xs,
+            drops: alloc.drop_rates,
+            evals: alloc.evals as u64,
+        })
+    }
+}
+
+/// Runs the dirty-shard solves on scoped worker threads. `tasks` holds
+/// `(slot, shard, budget)` triples; the returned vector is indexed by
+/// `slot`, so the caller's merge order never depends on thread
+/// interleaving — only the *schedule* is racy, never the result.
+fn run_shard_solves(
+    ctx: &SolveCtx<'_>,
+    members: &[Vec<usize>],
+    tasks: &[(usize, u32)],
+    threads: usize,
+) -> Vec<Option<Result<ShardResult>>> {
+    let mut results: Vec<Option<Result<ShardResult>>> = Vec::new();
+    results.resize_with(tasks.len(), || None);
+    if threads <= 1 || tasks.len() <= 1 {
+        for (slot, &(shard, budget)) in tasks.iter().enumerate() {
+            results[slot] = Some(solve_shard(ctx, &members[shard], budget, shard));
+        }
+        return results;
+    }
+    let cursor = AtomicUsize::new(0);
+    let shared = Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(tasks.len()) {
+            scope.spawn(|| loop {
+                let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                if slot >= tasks.len() {
+                    break;
+                }
+                let (shard, budget) = tasks[slot];
+                let out = solve_shard(ctx, &members[shard], budget, shard);
+                shared.lock().expect("shard results")[slot] = Some(out);
+            });
+        }
+    });
+    results
+}
+
+/// The sharded incremental solver. Owns the partition, the per-job
+/// workload signatures, and the per-shard allocation caches between
+/// rounds; [`ShardedSolver::solve`] is one long-term round.
+#[derive(Debug)]
+pub struct ShardedSolver {
+    cfg: ShardConfig,
+    seed: u64,
+    /// Shard member lists (job indices, ascending within a shard).
+    members: Vec<Vec<usize>>,
+    /// Signatures backing the cached allocations (`None` = never
+    /// solved).
+    sigs: Vec<Option<JobSignature>>,
+    /// Cached per-shard allocations.
+    caches: Vec<Option<ShardCache>>,
+    /// Budgets from the last top-level split.
+    budgets: Vec<u32>,
+    /// Job count and quota the partition was built for.
+    n_jobs: usize,
+    last_quota: u32,
+}
+
+impl ShardedSolver {
+    /// A solver with no cached state; the first round solves every
+    /// shard.
+    pub fn new(cfg: ShardConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            seed,
+            members: Vec::new(),
+            sigs: Vec::new(),
+            caches: Vec::new(),
+            budgets: Vec::new(),
+            n_jobs: 0,
+            last_quota: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// Drops all cached state; the next round re-partitions and solves
+    /// every shard.
+    pub fn invalidate(&mut self) {
+        self.members.clear();
+        self.sigs.clear();
+        self.caches.clear();
+        self.budgets.clear();
+        self.n_jobs = 0;
+        self.last_quota = 0;
+    }
+
+    /// One sharded long-term round: partition (if stale), dirty-check,
+    /// top-level split, parallel dirty-shard solves, deterministic
+    /// merge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction and solver failures; cached
+    /// state is left untouched so the next round retries cleanly.
+    pub fn solve(
+        &mut self,
+        jobs: &[JobWorkload],
+        resources: ResourceModel,
+        objective: ClusterObjective,
+        fidelity: Fidelity,
+        solver: &(dyn Solver + Sync),
+        current: &[u32],
+    ) -> Result<ShardedAllocation> {
+        let n = jobs.len();
+        let quota = resources.replica_quota();
+        // Delegate validation (empty set, quota floor) to the problem
+        // constructor the shards use anyway.
+        if n == 0 || (quota.get() as usize) < n {
+            MultiTenantProblem::new(jobs.to_vec(), resources, objective, fidelity)?;
+        }
+
+        let new_sigs: Vec<JobSignature> = jobs.iter().map(JobSignature::of).collect();
+        if n != self.n_jobs || quota.get() != self.last_quota {
+            let needs: Vec<f64> = jobs.iter().map(|j| replica_need(j, quota)).collect();
+            let assignment = assign_shards(&needs, self.cfg.shards);
+            let s = assignment.iter().copied().max().map_or(1, |m| m + 1);
+            self.members = vec![Vec::new(); s];
+            for (job, &shard) in assignment.iter().enumerate() {
+                self.members[shard].push(job);
+            }
+            self.sigs = vec![None; n];
+            self.caches = vec![None; s];
+            self.budgets = Vec::new();
+            self.n_jobs = n;
+            self.last_quota = quota.get();
+        }
+        let s = self.members.len();
+
+        // A shard is dirty when any member's signature moved.
+        let mut dirty = vec![false; s];
+        for (shard, members) in self.members.iter().enumerate() {
+            dirty[shard] = members.iter().any(|&j| {
+                self.sigs[j]
+                    .as_ref()
+                    .is_none_or(|old| old.dirty_against(&new_sigs[j], self.cfg.dirty_epsilon))
+            });
+        }
+        let any_dirty = dirty.iter().any(|&d| d) || self.budgets.len() != s;
+
+        // Top-level quota split: one S-variable solve over per-shard
+        // pseudo-jobs. Skipped on fully clean rounds — the previous
+        // budgets still describe the cluster within epsilon.
+        let mut split_evals = 0u64;
+        if any_dirty {
+            let floors: Vec<u32> = self.members.iter().map(|m| m.len() as u32).collect();
+            let (pseudo, x0) = self.pseudo_jobs(&new_sigs, quota);
+            let cont: Vec<f64> = if s == 1 {
+                vec![quota.as_f64()]
+            } else {
+                let split_problem =
+                    MultiTenantProblem::new(pseudo, resources, objective.drop_free(), fidelity)?;
+                let split = split_problem.solve(solver, &x0)?;
+                split_evals = split.evals as u64;
+                split.replicas
+            };
+            self.budgets = split_budgets(&cont, &floors, quota.get());
+        }
+
+        // A clean shard still re-solves when its new budget no longer
+        // covers the cached allocation (the merged total must respect
+        // the quota).
+        let tasks: Vec<(usize, u32)> = (0..s)
+            .filter(|&shard| {
+                dirty[shard]
+                    || match &self.caches[shard] {
+                        Some(c) => c.used > self.budgets[shard],
+                        None => true,
+                    }
+            })
+            .map(|shard| (shard, self.budgets[shard]))
+            .collect();
+
+        let threads = if self.cfg.parallelism == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.cfg.parallelism
+        };
+        let ctx = SolveCtx {
+            jobs,
+            resources,
+            objective,
+            fidelity,
+            solver,
+            current,
+            cfg: self.cfg,
+            seed: self.seed,
+        };
+        let results = run_shard_solves(&ctx, &self.members, &tasks, threads);
+
+        // Merge in shard-index order; propagate the first failure (by
+        // task slot, i.e. ascending shard index) without touching the
+        // caches.
+        let mut solved_new: Vec<(usize, ShardResult)> = Vec::with_capacity(tasks.len());
+        for (slot, out) in results.into_iter().enumerate() {
+            let shard = tasks[slot].0;
+            match out.expect("every task slot is filled") {
+                Ok(r) => solved_new.push((shard, r)),
+                Err(e) => return Err(e),
+            }
+        }
+
+        let mut record = ShardSolveRecord {
+            shards: s as u32,
+            solved: solved_new.len() as u32,
+            skipped: (s - solved_new.len()) as u32,
+            ..ShardSolveRecord::default()
+        };
+        let mut spans = Vec::with_capacity(solved_new.len());
+        for (shard, r) in &solved_new {
+            record.evals += r.evals;
+            spans.push(ShardSpan {
+                shard: *shard as u32,
+                evals: r.evals,
+            });
+        }
+        record.split_evals = split_evals;
+
+        // Commit: caches and signatures update only for solved shards.
+        for (shard, r) in solved_new {
+            let used = r.replicas.iter().sum();
+            for &j in &self.members[shard] {
+                self.sigs[j] = Some(new_sigs[j]);
+            }
+            self.caches[shard] = Some(ShardCache {
+                replicas: r.replicas,
+                drops: r.drops,
+                used,
+            });
+        }
+
+        let mut replicas = vec![1u32; n];
+        let mut drop_rates = vec![0.0f64; n];
+        for (shard, members) in self.members.iter().enumerate() {
+            let cache = self.caches[shard].as_ref().expect("every shard solved");
+            if !spans.iter().any(|sp| sp.shard == shard as u32) {
+                record.cache_hit_jobs += members.len() as u32;
+            }
+            for (pos, &j) in members.iter().enumerate() {
+                replicas[j] = cache.replicas[pos].max(1);
+                drop_rates[j] = cache.drops[pos];
+            }
+        }
+        Ok(ShardedAllocation {
+            replicas,
+            drop_rates,
+            record,
+            shard_spans: spans,
+        })
+    }
+
+    /// Per-shard pseudo-jobs for the top-level split: aggregated mean
+    /// rate (one-step constant trajectory), need-weighted processing
+    /// time and SLO, summed priority. Also returns the split's starting
+    /// point — the previous budgets when available, else each shard's
+    /// offered-load share of the quota. COBYLA only refines locally, so
+    /// a floor-level start would leave light shards at their floor and
+    /// read as zero desire downstream.
+    fn pseudo_jobs(
+        &self,
+        sigs: &[JobSignature],
+        quota: ReplicaCount,
+    ) -> (Vec<JobWorkload>, Vec<u32>) {
+        let mut pseudo = Vec::with_capacity(self.members.len());
+        let mut shard_load = Vec::with_capacity(self.members.len());
+        for members in self.members.iter() {
+            let mut rate = 0.0;
+            let mut weight = 0.0;
+            let mut ptime = 0.0;
+            let mut slo_latency = 0.0;
+            let mut slo_percentile = 0.0;
+            let mut priority = 0.0;
+            for &j in members {
+                let sig = &sigs[j];
+                // Weight by a cheap proxy for need (offered load): the
+                // exact M/D/c need was already spent on partitioning.
+                let w = (sig.mean_rate * sig.processing_time).max(1e-3);
+                rate += sig.mean_rate;
+                ptime += w * sig.processing_time;
+                slo_latency += w * sig.slo.latency;
+                slo_percentile += w * sig.slo.percentile;
+                priority += sig.priority;
+                weight += w;
+            }
+            let w = weight.max(1e-9);
+            pseudo.push(JobWorkload {
+                lambda_trajectories: vec![vec![rate]],
+                processing_time: (ptime / w).max(1e-6),
+                slo: Slo {
+                    latency: (slo_latency / w).max(1e-6),
+                    percentile: (slo_percentile / w).clamp(0.5, 0.999_999),
+                },
+                priority,
+            });
+            shard_load.push(weight.max(1e-9));
+        }
+        let total_load: f64 = shard_load.iter().sum();
+        let x0 = self
+            .members
+            .iter()
+            .enumerate()
+            .map(|(shard, members)| match self.budgets.get(shard) {
+                Some(&b) => b.min(quota.get()),
+                None => {
+                    let share = quota.as_f64() * shard_load[shard] / total_load.max(1e-9);
+                    (share.round() as u32)
+                        .max(members.len() as u32)
+                        .min(quota.get())
+                }
+            })
+            .collect();
+        (pseudo, x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faro_solver::Cobyla;
+
+    fn job(lambda: f64) -> JobWorkload {
+        JobWorkload::constant(lambda, 0.180, Slo::paper_default(), 1.0)
+    }
+
+    fn jobs(n: usize) -> Vec<JobWorkload> {
+        (0..n).map(|i| job(3.0 + (i % 7) as f64 * 2.5)).collect()
+    }
+
+    #[test]
+    fn lpt_assignment_is_balanced_and_total() {
+        let needs: Vec<f64> = (0..20).map(|i| 1.0 + f64::from(i)).collect();
+        let a = assign_shards(&needs, 4);
+        assert_eq!(a.len(), 20);
+        let mut load = vec![0.0; 4];
+        for (j, &s) in a.iter().enumerate() {
+            load[s] += needs[j];
+        }
+        let max = load.iter().cloned().fold(0.0, f64::max);
+        let min = load.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min > 0.0, "no empty shard: {load:?}");
+        assert!(max / min < 1.5, "LPT keeps shards balanced: {load:?}");
+        assert_eq!(a, assign_shards(&needs, 4), "deterministic");
+    }
+
+    #[test]
+    fn split_budgets_hits_quota_exactly_and_respects_floors() {
+        let cont = vec![10.3, 2.1, 30.6];
+        let floors = vec![4, 4, 4];
+        let b = split_budgets(&cont, &floors, 40);
+        assert_eq!(b.iter().sum::<u32>(), 40);
+        assert!(b.iter().zip(&floors).all(|(&x, &f)| x >= f), "{b:?}");
+        // The big desire gets the big budget.
+        assert!(b[2] > b[0] && b[0] > b[1], "{b:?}");
+    }
+
+    #[test]
+    fn split_budgets_with_zero_desire_falls_back_to_floors() {
+        let b = split_budgets(&[1.0, 1.0], &[2, 3], 9);
+        assert_eq!(b.iter().sum::<u32>(), 9);
+        assert!(b[0] >= 2 && b[1] >= 3, "{b:?}");
+    }
+
+    #[test]
+    fn first_round_solves_every_shard() {
+        let js = jobs(12);
+        let mut solver = ShardedSolver::new(ShardConfig::with_shards(3), 7);
+        let out = solver
+            .solve(
+                &js,
+                ResourceModel::replicas(ReplicaCount::new(48)),
+                ClusterObjective::Sum,
+                Fidelity::Relaxed,
+                &Cobyla::fast(),
+                &[1; 12],
+            )
+            .unwrap();
+        assert_eq!(out.record.shards, 3);
+        assert_eq!(out.record.solved, 3);
+        assert_eq!(out.record.skipped, 0);
+        assert_eq!(out.record.cache_hit_jobs, 0);
+        assert!(out.record.evals > 0);
+        assert!(out.record.split_evals > 0);
+        assert_eq!(out.shard_spans.len(), 3);
+        assert!(out.replicas.iter().all(|&r| r >= 1));
+        assert!(out.replicas.iter().sum::<u32>() <= 48);
+    }
+
+    #[test]
+    fn clean_round_solves_zero_shards_and_returns_cache_unchanged() {
+        let js = jobs(12);
+        let resources = ResourceModel::replicas(ReplicaCount::new(48));
+        let mut solver = ShardedSolver::new(ShardConfig::with_shards(3), 7);
+        let cold = solver
+            .solve(
+                &js,
+                resources,
+                ClusterObjective::Sum,
+                Fidelity::Relaxed,
+                &Cobyla::fast(),
+                &[1; 12],
+            )
+            .unwrap();
+        let warm = solver
+            .solve(
+                &js,
+                resources,
+                ClusterObjective::Sum,
+                Fidelity::Relaxed,
+                &Cobyla::fast(),
+                &cold.replicas,
+            )
+            .unwrap();
+        assert_eq!(warm.record.solved, 0);
+        assert_eq!(warm.record.skipped, 3);
+        assert_eq!(warm.record.cache_hit_jobs, 12);
+        assert_eq!(warm.record.evals, 0);
+        assert_eq!(warm.record.split_evals, 0, "clean round skips the split");
+        assert!(warm.shard_spans.is_empty());
+        assert_eq!(warm.replicas, cold.replicas);
+        assert_eq!(warm.drop_rates, cold.drop_rates);
+        assert_eq!(warm.desired_state(), cold.desired_state());
+    }
+
+    #[test]
+    fn sub_epsilon_drift_stays_clean_and_beyond_epsilon_resolves() {
+        let js = jobs(12);
+        let resources = ResourceModel::replicas(ReplicaCount::new(48));
+        let mut solver = ShardedSolver::new(ShardConfig::with_shards(3), 7);
+        let solve = |solver: &mut ShardedSolver, js: &[JobWorkload]| {
+            solver
+                .solve(
+                    js,
+                    resources,
+                    ClusterObjective::Sum,
+                    Fidelity::Relaxed,
+                    &Cobyla::fast(),
+                    &[1; 12],
+                )
+                .unwrap()
+        };
+        solve(&mut solver, &js);
+        // 1% drift on one job: inside the 5% epsilon, fully clean.
+        let mut drifted = js.clone();
+        drifted[0].lambda_trajectories[0][0] *= 1.01;
+        let warm = solve(&mut solver, &drifted);
+        assert_eq!(warm.record.solved, 0, "sub-epsilon drift is clean");
+        // 30% movement on the same job: exactly its shard re-solves.
+        let mut moved = js.clone();
+        moved[0].lambda_trajectories[0][0] *= 1.3;
+        let re = solve(&mut solver, &moved);
+        assert_eq!(re.record.solved, 1, "only the dirty shard re-solved");
+        assert_eq!(re.record.skipped, 2);
+        assert!(re.record.cache_hit_jobs >= 6);
+    }
+
+    #[test]
+    fn slo_change_always_dirties_its_shard() {
+        let js = jobs(8);
+        let resources = ResourceModel::replicas(ReplicaCount::new(32));
+        let mut solver = ShardedSolver::new(ShardConfig::with_shards(2), 1);
+        let solve = |solver: &mut ShardedSolver, js: &[JobWorkload]| {
+            solver
+                .solve(
+                    js,
+                    resources,
+                    ClusterObjective::Sum,
+                    Fidelity::Relaxed,
+                    &Cobyla::fast(),
+                    &[1; 8],
+                )
+                .unwrap()
+        };
+        solve(&mut solver, &js);
+        let mut changed = js.clone();
+        changed[3].slo.latency *= 0.5;
+        let out = solve(&mut solver, &changed);
+        assert_eq!(out.record.solved, 1);
+    }
+
+    #[test]
+    fn quota_change_invalidates_the_partition() {
+        let js = jobs(8);
+        let mut solver = ShardedSolver::new(ShardConfig::with_shards(2), 1);
+        let solve = |solver: &mut ShardedSolver, quota: u32| {
+            solver
+                .solve(
+                    &js,
+                    ResourceModel::replicas(ReplicaCount::new(quota)),
+                    ClusterObjective::Sum,
+                    Fidelity::Relaxed,
+                    &Cobyla::fast(),
+                    &[1; 8],
+                )
+                .unwrap()
+        };
+        solve(&mut solver, 32);
+        let out = solve(&mut solver, 24);
+        assert_eq!(out.record.solved, 2, "quota change re-solves everything");
+        assert!(out.replicas.iter().sum::<u32>() <= 24);
+    }
+
+    #[test]
+    fn parallel_and_sequential_merges_are_bit_identical() {
+        let js = jobs(24);
+        let resources = ResourceModel::replicas(ReplicaCount::new(96));
+        let run = |parallelism: usize| {
+            let cfg = ShardConfig {
+                shards: 6,
+                parallelism,
+                ..ShardConfig::default()
+            };
+            let mut solver = ShardedSolver::new(cfg, 11);
+            solver
+                .solve(
+                    &js,
+                    resources,
+                    ClusterObjective::Sum,
+                    Fidelity::Relaxed,
+                    &Cobyla::fast(),
+                    &[1; 24],
+                )
+                .unwrap()
+        };
+        let seq = run(1);
+        let par = run(8);
+        assert_eq!(seq.replicas, par.replicas);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&seq.drop_rates), bits(&par.drop_rates));
+        assert_eq!(seq.record, par.record);
+        assert_eq!(seq.shard_spans, par.shard_spans);
+    }
+
+    #[test]
+    fn drop_objectives_produce_drop_rates_per_job() {
+        let js = jobs(8);
+        let mut solver = ShardedSolver::new(ShardConfig::with_shards(2), 5);
+        let out = solver
+            .solve(
+                &js,
+                ResourceModel::replicas(ReplicaCount::new(16)),
+                ClusterObjective::PenaltySum,
+                Fidelity::Relaxed,
+                &Cobyla::fast(),
+                &[1; 8],
+            )
+            .unwrap();
+        assert_eq!(out.drop_rates.len(), 8);
+        assert!(out.drop_rates.iter().all(|d| (0.0..=1.0).contains(d)));
+    }
+}

@@ -1,0 +1,181 @@
+//! Golden determinism and quality contracts for the sharded solver.
+//!
+//! The sharded path ships with three promises:
+//!
+//! 1. **Thread invariance** — a solve with `parallelism: 8` is
+//!    bit-identical (replicas, drop-rate bits, record, spans) to the
+//!    same solve with `parallelism: 1`, for any workload. Parallelism
+//!    changes wall-clock, never bytes.
+//! 2. **Bounded utility gap** — sharding loses only a bounded slice of
+//!    cluster utility versus the flat global solve (the paper's
+//!    grouped-solve trade, Sec 3.4).
+//! 3. **Clean rounds are free and inert** — re-solving an unchanged
+//!    cluster performs zero shard solves and returns the exact bytes of
+//!    the previous answer.
+
+use faro_core::objective::ClusterObjective;
+use faro_core::opt::{Fidelity, JobWorkload, MultiTenantProblem};
+use faro_core::sharded::{ShardConfig, ShardedSolver};
+use faro_core::types::{ResourceModel, Slo};
+use faro_core::units::ReplicaCount;
+use faro_solver::Cobyla;
+use proptest::prelude::*;
+
+fn workload(lambdas: &[f64]) -> Vec<JobWorkload> {
+    lambdas
+        .iter()
+        .map(|&l| JobWorkload::constant(l, 0.180, Slo::paper_default(), 1.0))
+        .collect()
+}
+
+fn resources(jobs: usize, per_job: u32) -> ResourceModel {
+    ResourceModel::replicas(ReplicaCount::new(jobs as u32 * per_job))
+}
+
+/// Solves `jobs` once with the given parallelism and returns every
+/// observable byte of the answer.
+fn solve_with_parallelism(
+    jobs: &[JobWorkload],
+    shards: usize,
+    parallelism: usize,
+    objective: ClusterObjective,
+) -> (Vec<u32>, Vec<u64>, String) {
+    let cfg = ShardConfig {
+        shards,
+        parallelism,
+        ..ShardConfig::default()
+    };
+    let mut solver = ShardedSolver::new(cfg, 17);
+    let cobyla = Cobyla::fast();
+    let current = vec![1u32; jobs.len()];
+    let out = solver
+        .solve(
+            jobs,
+            resources(jobs.len(), 4),
+            objective,
+            Fidelity::Relaxed,
+            &cobyla,
+            &current,
+        )
+        .expect("sharded solve succeeds");
+    let drop_bits = out.drop_rates.iter().map(|d| d.to_bits()).collect();
+    let meta = format!("{:?}|{:?}", out.record, out.shard_spans);
+    (out.replicas, drop_bits, meta)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Promise 1: the merge is bit-stable under any thread count.
+    #[test]
+    fn parallel_solves_are_bit_identical_to_sequential(
+        lambdas in prop::collection::vec(2.0f64..40.0, 4..20),
+        shards in 1usize..6,
+        objective_pick in 0u32..2,
+    ) {
+        let jobs = workload(&lambdas);
+        let objective = if objective_pick == 1 {
+            ClusterObjective::PenaltySum
+        } else {
+            ClusterObjective::Sum
+        };
+        let seq = solve_with_parallelism(&jobs, shards, 1, objective);
+        let par = solve_with_parallelism(&jobs, shards, 8, objective);
+        prop_assert_eq!(&seq.0, &par.0, "replica vectors diverged");
+        prop_assert_eq!(&seq.1, &par.1, "drop-rate bits diverged");
+        prop_assert_eq!(&seq.2, &par.2, "record/span metadata diverged");
+    }
+
+    /// Promise 2: sharding keeps the cluster objective within a bounded
+    /// gap of the flat global solve on the same workload. The bound is
+    /// deliberately loose (10%) — the sweep in `scale_sweep` tracks the
+    /// real figure (~2%) — so this property never flakes while still
+    /// catching a broken split or merge outright.
+    #[test]
+    fn sharded_utility_stays_within_bounded_gap_of_global(
+        lambdas in prop::collection::vec(2.0f64..40.0, 6..16),
+        shards in 2usize..5,
+    ) {
+        let jobs = workload(&lambdas);
+        let res = resources(jobs.len(), 4);
+        let cobyla = Cobyla::fast();
+        let current = vec![1u32; jobs.len()];
+
+        let problem = MultiTenantProblem::new(
+            jobs.clone(),
+            res,
+            ClusterObjective::Sum,
+            Fidelity::Relaxed,
+        ).expect("valid problem");
+        let alloc = problem.solve(&cobyla, &current).expect("global solve");
+        let mut global = problem.integerize(&alloc);
+        problem.shrink(&mut global, &alloc.drop_rates);
+
+        let cfg = ShardConfig { shards, parallelism: 1, ..ShardConfig::default() };
+        let mut sharded = ShardedSolver::new(cfg, 17);
+        let out = sharded
+            .solve(&jobs, res, ClusterObjective::Sum, Fidelity::Relaxed, &cobyla, &current)
+            .expect("sharded solve");
+
+        let zeros = vec![0.0; jobs.len()];
+        let g = problem.cluster_value_integer(&global, &zeros);
+        let s = problem.cluster_value_integer(&out.replicas, &zeros);
+        prop_assert!(
+            s >= g - 0.10 * g.abs().max(1.0),
+            "sharded {s:.4} fell more than 10% below global {g:.4}"
+        );
+    }
+}
+
+/// Promise 3: an unchanged cluster re-solves nothing and the answer is
+/// the cached bytes, solver untouched.
+#[test]
+fn clean_round_returns_cached_bytes_with_zero_solves() {
+    let jobs = workload(&[4.0, 9.0, 14.0, 19.0, 24.0, 29.0, 6.0, 11.0]);
+    let cfg = ShardConfig {
+        shards: 3,
+        parallelism: 1,
+        ..ShardConfig::default()
+    };
+    let mut solver = ShardedSolver::new(cfg, 17);
+    let cobyla = Cobyla::fast();
+    let current = vec![1u32; jobs.len()];
+    let res = resources(jobs.len(), 4);
+    let cold = solver
+        .solve(
+            &jobs,
+            res,
+            ClusterObjective::Sum,
+            Fidelity::Relaxed,
+            &cobyla,
+            &current,
+        )
+        .expect("cold solve");
+    assert_eq!(cold.record.solved, 3, "cold round solves every shard");
+    let warm = solver
+        .solve(
+            &jobs,
+            res,
+            ClusterObjective::Sum,
+            Fidelity::Relaxed,
+            &cobyla,
+            &cold.replicas,
+        )
+        .expect("warm solve");
+    assert_eq!(warm.record.solved, 0, "clean round re-solves nothing");
+    assert_eq!(warm.record.split_evals, 0, "clean round skips the split");
+    assert_eq!(warm.record.cache_hit_jobs, jobs.len() as u32);
+    assert_eq!(warm.replicas, cold.replicas);
+    let bits = |v: &[f64]| v.iter().map(|d| d.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&warm.drop_rates), bits(&cold.drop_rates));
+}
+
+/// Two fresh solvers with the same seed and config produce the same
+/// bytes — the sharded path inherits the repo's replay contract.
+#[test]
+fn fresh_solvers_with_equal_seeds_agree_exactly() {
+    let jobs = workload(&[3.0, 8.0, 13.0, 21.0, 34.0, 5.0]);
+    let a = solve_with_parallelism(&jobs, 4, 1, ClusterObjective::Sum);
+    let b = solve_with_parallelism(&jobs, 4, 1, ClusterObjective::Sum);
+    assert_eq!(a, b);
+}

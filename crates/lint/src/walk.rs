@@ -10,6 +10,7 @@ use std::process::Command;
 /// golden report bytes — without failing a single unit test.
 pub const GOLDEN_SENSITIVE: &[&str] = &[
     "crates/core/src/opt.rs",
+    "crates/core/src/sharded.rs",
     "crates/sim/src/backend.rs",
     "crates/sim/src/events.rs",
     "crates/sim/src/runtime.rs",

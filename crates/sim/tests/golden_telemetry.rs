@@ -13,8 +13,12 @@ use faro_control::{
 };
 use faro_core::admission::OutageClamp;
 use faro_core::baselines::Aiad;
+use faro_core::faro::{FaroAutoscaler, FaroConfig};
+use faro_core::predictor::{FlatPredictor, RatePredictor};
+use faro_core::sharded::{ShardConfig, SolvePlan};
 use faro_core::types::{JobId, JobSpec};
 use faro_core::units::DurationMs;
+use faro_core::ClusterObjective;
 use faro_sim::{
     FaultPlan, JobSetup, MetricOutage, MetricOutageMode, NodeOutage, ReplicaCrashes, RunOutcome,
     SimConfig, Simulation,
@@ -186,6 +190,41 @@ fn chaos_replays_are_byte_identical_for_a_fixed_seed() {
         "chaos plan never fired: {chaos_a:?}"
     );
     assert!(jsonl_a.contains("BackendRetry"), "no retries traced");
+}
+
+#[test]
+fn sharded_solve_traces_are_thread_invariant() {
+    // The sharded long-term path must be a pure wall-clock knob: the
+    // same seeded run with 1 or 8 shard-solve threads emits
+    // byte-identical JSONL (including the ShardSolve events and spans).
+    let run = |parallelism: usize| {
+        let mut cfg = FaroConfig::new(ClusterObjective::Sum);
+        cfg.solve_plan = SolvePlan::Sharded(ShardConfig {
+            shards: 2,
+            parallelism,
+            ..ShardConfig::default()
+        });
+        let predictors: Vec<Box<dyn RatePredictor>> = (0..2)
+            .map(|_| Box::new(FlatPredictor::default()) as Box<dyn RatePredictor>)
+            .collect();
+        let mut sink = TraceSink::new();
+        let outcome = sim()
+            .runner()
+            .policy(Box::new(FaroAutoscaler::new(cfg, predictors)))
+            .telemetry(&mut sink)
+            .run()
+            .expect("sharded run completes");
+        let report = serde_json::to_string(&outcome.report).expect("report serializes");
+        (sink.to_jsonl(), report)
+    };
+    let (jsonl_seq, report_seq) = run(1);
+    let (jsonl_par, report_par) = run(8);
+    assert!(
+        jsonl_seq.contains("ShardSolve"),
+        "sharded path never traced a shard solve"
+    );
+    assert_eq!(jsonl_seq, jsonl_par, "thread count changed trace bytes");
+    assert_eq!(report_seq, report_par, "thread count changed the report");
 }
 
 #[test]

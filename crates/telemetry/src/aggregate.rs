@@ -275,7 +275,8 @@ impl TelemetrySink for AggregateSink {
             | TelemetryEvent::BackendRetry { .. }
             | TelemetryEvent::BreakerTransition { .. }
             | TelemetryEvent::DegradedRound { .. }
-            | TelemetryEvent::DriftDetected { .. } => {}
+            | TelemetryEvent::DriftDetected { .. }
+            | TelemetryEvent::ShardSolve { .. } => {}
         }
     }
 }

@@ -28,11 +28,21 @@ pub enum Phase {
     Admit,
     /// Actuating the desired state (work = replicas started).
     Actuate,
+    /// One shard's solve inside a sharded decide (work = solver
+    /// objective evaluations). Emitted once per *solved* shard — clean
+    /// cache-hit shards emit nothing.
+    ShardSolve,
 }
 
 impl Phase {
     /// All phases in loop order.
-    pub const ALL: [Phase; 4] = [Phase::Observe, Phase::Decide, Phase::Admit, Phase::Actuate];
+    pub const ALL: [Phase; 5] = [
+        Phase::Observe,
+        Phase::Decide,
+        Phase::Admit,
+        Phase::Actuate,
+        Phase::ShardSolve,
+    ];
 
     /// Stable lowercase name (Prometheus label value).
     pub fn as_str(self) -> &'static str {
@@ -41,6 +51,7 @@ impl Phase {
             Phase::Decide => "decide",
             Phase::Admit => "admit",
             Phase::Actuate => "actuate",
+            Phase::ShardSolve => "shard_solve",
         }
     }
 }
@@ -311,6 +322,22 @@ pub enum TelemetryEvent {
         /// Drifted job indices, ascending.
         jobs: Vec<usize>,
     },
+    /// What a sharded decide round did: how much of the cluster
+    /// re-entered the solver and how much was served from cache.
+    ShardSolve {
+        /// Total shards in the partition.
+        shards: u32,
+        /// Shards that entered the solver this round.
+        solved: u32,
+        /// Clean shards that reused their cached allocation.
+        skipped: u32,
+        /// Jobs served from a cached shard allocation.
+        cache_hit_jobs: u32,
+        /// Solver objective evaluations across solved shards.
+        evals: u64,
+        /// Evaluations spent on the top-level quota split.
+        split_evals: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -329,6 +356,7 @@ impl TelemetryEvent {
             TelemetryEvent::BreakerTransition { .. } => "BreakerTransition",
             TelemetryEvent::DegradedRound { .. } => "DegradedRound",
             TelemetryEvent::DriftDetected { .. } => "DriftDetected",
+            TelemetryEvent::ShardSolve { .. } => "ShardSolve",
         }
     }
 }
@@ -342,7 +370,8 @@ mod tests {
         assert_eq!(Phase::Observe.as_str(), "observe");
         assert_eq!(Counter::TailDrops.to_string(), "tail_drops");
         assert_eq!(Sample::QueueDepth.to_string(), "queue_depth");
-        assert_eq!(Phase::ALL.len(), 4);
+        assert_eq!(Phase::ShardSolve.as_str(), "shard_solve");
+        assert_eq!(Phase::ALL.len(), 5);
         assert_eq!(Counter::ALL.len(), 12);
     }
 
