@@ -69,7 +69,7 @@ fn bench_hierarchical_fig7a(c: &mut Criterion) {
         let current = vec![1u32; n_jobs];
         let flat = MultiTenantProblem::new(
             jobs.clone(),
-            resources,
+            resources.clone(),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
         )
@@ -81,7 +81,7 @@ fn bench_hierarchical_fig7a(c: &mut Criterion) {
             b.iter(|| {
                 solve_hierarchical(
                     &jobs,
-                    resources,
+                    resources.clone(),
                     ClusterObjective::Sum,
                     Fidelity::Relaxed,
                     &Cobyla::fast(),

@@ -60,15 +60,7 @@ impl Policy for RampSupply {
         self.round += 1;
         let target = (2 + self.round / 2).min(self.ceiling);
         s.job_ids()
-            .map(|id| {
-                (
-                    id,
-                    JobDecision {
-                        target_replicas: target,
-                        drop_rate: 0.0,
-                    },
-                )
-            })
+            .map(|id| (id, JobDecision::replicas(target)))
             .collect()
     }
 }

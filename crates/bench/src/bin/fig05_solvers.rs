@@ -45,16 +45,22 @@ fn main() {
 
     // The precise problem is the yardstick: every solution (from either
     // fidelity) is re-scored under the precise objective.
-    let precise = MultiTenantProblem::new(snapshot_jobs(), resources, objective, Fidelity::Precise)
-        .expect("valid snapshot");
+    let precise = MultiTenantProblem::new(
+        snapshot_jobs(),
+        resources.clone(),
+        objective,
+        Fidelity::Precise,
+    )
+    .expect("valid snapshot");
 
     println!(
         "{:<22} {:<8} {:>10} {:>12} {:>12}",
         "solver", "form", "time_ms", "evals", "precise_obj"
     );
     for fidelity in [Fidelity::Precise, Fidelity::Relaxed] {
-        let problem = MultiTenantProblem::new(snapshot_jobs(), resources, objective, fidelity)
-            .expect("valid snapshot");
+        let problem =
+            MultiTenantProblem::new(snapshot_jobs(), resources.clone(), objective, fidelity)
+                .expect("valid snapshot");
         let solvers: Vec<(&str, Box<dyn Solver>)> = vec![
             ("COBYLA", Box::new(Cobyla::default())),
             ("NelderMead(SLSQP-sub)", Box::new(NelderMead::default())),

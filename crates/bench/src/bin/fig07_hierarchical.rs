@@ -49,7 +49,7 @@ fn main() {
         // Flat baseline: every job its own group.
         let flat_problem = MultiTenantProblem::new(
             jobs.clone(),
-            resources,
+            resources.clone(),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
         )
@@ -71,7 +71,7 @@ fn main() {
             let start = Instant::now();
             let out = solve_hierarchical(
                 &jobs,
-                resources,
+                resources.clone(),
                 ClusterObjective::Sum,
                 Fidelity::Relaxed,
                 &solver,

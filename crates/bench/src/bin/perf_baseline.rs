@@ -183,6 +183,8 @@ fn measure_control_loop(quick: bool) -> f64 {
             mean_processing_time: 0.18,
             recent_tail_latency: 0.2,
             drop_rate: 0.0,
+            class_target: None,
+            class_ready: None,
         })
         .collect();
     let snapshot = ClusterSnapshot {

@@ -221,7 +221,7 @@ fn run_row(n: usize, warm_rounds: usize, seed: u64) -> ScaleRow {
     let mut global_final = Vec::new();
     for (r, jobs) in schedule.iter().enumerate() {
         let start = Instant::now();
-        let xs = global_round(jobs, resources, &current, seed);
+        let xs = global_round(jobs, resources.clone(), &current, seed);
         global_times.push(start.elapsed().as_secs_f64() * 1000.0);
         eprintln!("  global round {r}: {:.0} ms", global_times[r]);
         current = xs.clone();
@@ -246,7 +246,7 @@ fn run_row(n: usize, warm_rounds: usize, seed: u64) -> ScaleRow {
         let out = sharded
             .solve(
                 jobs,
-                resources,
+                resources.clone(),
                 ClusterObjective::Sum,
                 Fidelity::Relaxed,
                 &solver,

@@ -433,6 +433,8 @@ mod tests {
                     mean_processing_time: 0.18,
                     recent_tail_latency: 0.2,
                     drop_rate: 0.0,
+                    class_target: None,
+                    class_ready: None,
                 })
                 .collect();
             Ok(ClusterSnapshot {
@@ -471,15 +473,7 @@ mod tests {
         fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState {
             snapshot
                 .job_ids()
-                .map(|id| {
-                    (
-                        id,
-                        JobDecision {
-                            target_replicas: self.0,
-                            drop_rate: 0.0,
-                        },
-                    )
-                })
+                .map(|id| (id, JobDecision::replicas(self.0)))
                 .collect()
         }
     }

@@ -94,6 +94,8 @@ impl ClusterBackend for ScriptBackend {
                 mean_processing_time: 0.18,
                 recent_tail_latency: 0.2,
                 drop_rate: 0.0,
+                class_target: None,
+                class_ready: None,
             })
             .collect();
         Ok(ClusterSnapshot {
@@ -141,15 +143,7 @@ impl Policy for Want {
     fn decide(&mut self, snapshot: &ClusterSnapshot) -> DesiredState {
         snapshot
             .job_ids()
-            .map(|id| {
-                (
-                    id,
-                    JobDecision {
-                        target_replicas: self.0,
-                        drop_rate: 0.0,
-                    },
-                )
-            })
+            .map(|id| (id, JobDecision::replicas(self.0)))
             .collect()
     }
 }

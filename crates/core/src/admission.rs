@@ -20,7 +20,9 @@
 //! "everyone is already at 1 replica and the total still exceeds
 //! quota" case is observable instead of being dropped on the floor.
 
-use crate::types::{ClusterSnapshot, DesiredState, JobId};
+use crate::types::{
+    ClassAlloc, ClusterSnapshot, DesiredState, JobId, ResourceModel, RESOURCE_DIMS,
+};
 use serde::Serialize;
 
 /// What admission did to one round of decisions: how much was asked
@@ -76,6 +78,13 @@ pub trait Admission: Send {
 /// Largest-first trim into the snapshot's replica quota: targets are
 /// floored at 1 and, if the total exceeds the quota, reduced starting
 /// from the largest allocation.
+///
+/// When the cluster has two or more replica classes *and* the
+/// decisions carry per-class allocations, the scalar trim is replaced
+/// by the vector-quota trim of [`clamp_to_capacities`] — decisions
+/// without class data (class-blind policies) keep the scalar path
+/// against the binding-resource replica quota, byte-identical to the
+/// homogeneous behavior.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClampToQuota;
 
@@ -85,7 +94,11 @@ impl Admission for ClampToQuota {
         snapshot: &ClusterSnapshot,
         desired: &mut DesiredState,
     ) -> AdmissionOutcome {
-        clamp_to_quota(desired, snapshot.replica_quota().get())
+        if snapshot.resources.n_classes() > 1 && desired.iter().any(|(_, d)| d.classes.is_some()) {
+            clamp_to_capacities(desired, &snapshot.resources)
+        } else {
+            clamp_to_quota(desired, snapshot.replica_quota().get())
+        }
     }
 }
 
@@ -260,6 +273,97 @@ fn clamp_to_quota(desired: &mut DesiredState, quota: u32) -> AdmissionOutcome {
     }
 }
 
+/// Vector-quota trim for classed decisions: floors every job at one
+/// replica (classless decisions and empty allocations count as class
+/// 0), then while any capacity dimension `[vCPU, GPU, memory]` is
+/// overcommitted removes one replica at a time — from the largest
+/// allocation (ties to the higher job id, matching the scalar
+/// reference loop), taking the class that consumes the most of the
+/// overcommitted dimension (ties to the higher class index).
+///
+/// The scalar fields of the returned [`AdmissionOutcome`] are reported
+/// against the summed [`ResourceModel::replica_quota`]; in the vector
+/// regime that quota is an upper bound, so [`ResourceModel::fits`] on
+/// the trimmed totals — not [`AdmissionOutcome::unsatisfiable`] — is
+/// the ground truth this function enforces.
+fn clamp_to_capacities(desired: &mut DesiredState, resources: &ResourceModel) -> AdmissionOutcome {
+    let nc = resources.n_classes();
+    for (_, d) in desired.iter_mut() {
+        d.drop_rate = d.drop_rate.clamp(0.0, 1.0);
+        let mut alloc = d
+            .classes
+            .unwrap_or_else(|| ClassAlloc::single(0, d.target_replicas, nc));
+        if alloc.total() == 0 {
+            alloc.set(0, 1);
+        }
+        d.classes = Some(alloc);
+        d.target_replicas = alloc.total();
+    }
+    let requested = desired.total_replicas();
+    let quota = resources.replica_quota().get();
+    loop {
+        let totals = desired.class_totals(nc);
+        let usage = resources.usage_of(&totals);
+        if resources.fits(&usage) {
+            break;
+        }
+        let caps = resources.capacities();
+        let dim = (0..RESOURCE_DIMS)
+            .max_by(|&a, &b| {
+                (usage[a] - caps[a])
+                    .partial_cmp(&(usage[b] - caps[b]))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0);
+        let mut victim: Option<(JobId, usize, u32)> = None;
+        for (id, d) in desired.iter() {
+            if d.target_replicas <= 1 {
+                continue;
+            }
+            let Some(alloc) = d.classes else { continue };
+            let mut best_class: Option<usize> = None;
+            for c in 0..nc {
+                if alloc.count(c) == 0 {
+                    continue;
+                }
+                let cost = resources.classes[c].cost()[dim];
+                if cost <= 0.0 {
+                    continue;
+                }
+                let better = match best_class {
+                    None => true,
+                    Some(b) => cost >= resources.classes[b].cost()[dim],
+                };
+                if better {
+                    best_class = Some(c);
+                }
+            }
+            let Some(c) = best_class else { continue };
+            let take = match victim {
+                None => true,
+                Some((_, _, t)) => d.target_replicas >= t,
+            };
+            if take {
+                victim = Some((id, c, d.target_replicas));
+            }
+        }
+        // No job above the floor consumes the overcommitted dimension:
+        // the floor itself is unsatisfiable, observable via `fits`.
+        let Some((id, c, _)) = victim else { break };
+        if let Some(d) = desired.get_mut(id) {
+            if let Some(alloc) = d.classes.as_mut() {
+                alloc.add(c, -1);
+                d.target_replicas = alloc.total();
+            }
+        }
+    }
+    AdmissionOutcome {
+        requested_replicas: requested,
+        granted_replicas: desired.total_replicas(),
+        quota,
+    }
+}
+
 /// Rotating first-come-first-served admission (see [`RotatingQuota`]).
 /// `rotate` selects which job's increases are admitted first this
 /// round; previous holdings come from the snapshot's current targets.
@@ -317,10 +421,7 @@ mod tests {
     use std::sync::Arc;
 
     fn d(n: u32) -> JobDecision {
-        JobDecision {
-            target_replicas: n,
-            drop_rate: 0.0,
-        }
+        JobDecision::replicas(n)
     }
 
     fn state(targets: &[u32]) -> DesiredState {
@@ -350,6 +451,8 @@ mod tests {
                 mean_processing_time: 0.18,
                 recent_tail_latency: 0.1,
                 drop_rate: 0.0,
+                class_target: None,
+                class_ready: None,
             })
             .collect();
         ClusterSnapshot {
@@ -463,13 +566,7 @@ mod tests {
     #[test]
     fn drop_rates_clamped() {
         let mut ds = DesiredState::new();
-        ds.set(
-            JobId::new(0),
-            JobDecision {
-                target_replicas: 1,
-                drop_rate: 1.7,
-            },
-        );
+        ds.set(JobId::new(0), JobDecision::replicas(1).with_drop_rate(1.7));
         ClampToQuota.admit(&snap(&[1], 4), &mut ds);
         assert!((ds.get(JobId::new(0)).unwrap().drop_rate - 1.0).abs() < f64::EPSILON);
     }
@@ -481,6 +578,67 @@ mod tests {
         let mut ds = state(&[7, 5, 5]);
         ClampToQuota.admit(&snap(&[0, 0, 0], 13), &mut ds);
         assert_eq!(targets(&ds), vec![5, 4, 4]);
+    }
+
+    /// A two-class snapshot: `gpus` GPUs plus `extra_cpu` CPU-only
+    /// replica slots (GPU replicas need 1 vCPU + 4 GB each).
+    fn hetero_snap(gpus: u32, extra_cpu: u32) -> ClusterSnapshot {
+        let g = f64::from(gpus);
+        let e = f64::from(extra_cpu);
+        ClusterSnapshot {
+            now: crate::units::SimTimeMs::ZERO,
+            resources: ResourceModel::heterogeneous(
+                vec![
+                    crate::types::ReplicaClass::gpu("gpu"),
+                    crate::types::ReplicaClass::cpu("cpu", 3.0),
+                ],
+                g + e,
+                g,
+                4.0 * g + e,
+            ),
+            jobs: Vec::new(),
+        }
+    }
+
+    fn classed(counts: &[u32]) -> JobDecision {
+        JobDecision::classed(ClassAlloc::from_counts(counts).unwrap())
+    }
+
+    #[test]
+    fn vector_trim_lands_inside_every_dimension() {
+        // 4 GPUs + 6 CPU slots; ask for 6 GPU + 2 CPU and 2 GPU + 6
+        // CPU. GPU is overcommitted by 4, vCPU by 2.
+        let snap = hetero_snap(4, 6);
+        let mut ds: DesiredState = [
+            (JobId::new(0), classed(&[6, 2])),
+            (JobId::new(1), classed(&[2, 6])),
+        ]
+        .into_iter()
+        .collect();
+        let out = ClampToQuota.admit(&snap, &mut ds);
+        let totals = ds.class_totals(2);
+        assert!(
+            snap.resources.fits(&snap.resources.usage_of(&totals)),
+            "still over capacity: {totals}"
+        );
+        assert!(out.clamped());
+        // Every job keeps its floor.
+        for (_, d) in ds.iter() {
+            assert!(d.target_replicas >= 1);
+            assert_eq!(d.classes.unwrap().total(), d.target_replicas);
+        }
+    }
+
+    #[test]
+    fn scalar_decisions_keep_the_scalar_path_under_classes() {
+        // A class-blind policy's output (no class data) is clamped
+        // against the summed replica quota exactly as before.
+        let snap = hetero_snap(4, 2);
+        let mut ds = state(&[8, 2]);
+        let out = ClampToQuota.admit(&snap, &mut ds);
+        assert_eq!(out.quota, snap.resources.replica_quota().get());
+        assert_eq!(ds.total_replicas(), out.quota);
+        assert!(ds.iter().all(|(_, d)| d.classes.is_none()));
     }
 
     #[test]
@@ -533,6 +691,36 @@ mod tests {
                 targets_in.iter().map(|&t| t.max(1)).sum::<u32>()
             );
             prop_assert_eq!(out.unsatisfiable(), got.iter().sum::<u32>() > quota);
+        }
+
+        /// Satellite: vector-quota admission never over-commits any
+        /// capacity dimension — after the trim, either the usage vector
+        /// fits or every job sits at the one-replica floor (the
+        /// explicitly unsatisfiable case).
+        #[test]
+        fn vector_quota_admission_never_overcommits(
+            asks in prop::collection::vec((0u32..10, 0u32..10), 1..8),
+            gpus in 1u32..8,
+            extra_cpu in 0u32..12,
+        ) {
+            let snap = hetero_snap(gpus, extra_cpu);
+            let mut ds: DesiredState = asks
+                .iter()
+                .enumerate()
+                .map(|(i, &(g, c))| (JobId::new(i), classed(&[g, c])))
+                .collect();
+            let out = ClampToQuota.admit(&snap, &mut ds);
+            let totals = ds.class_totals(2);
+            let fits = snap.resources.fits(&snap.resources.usage_of(&totals));
+            let at_floor = ds.iter().all(|(_, d)| d.target_replicas == 1);
+            prop_assert!(fits || at_floor, "over capacity off the floor: {}", totals);
+            // Invariants: floors hold and the classed totals stay in
+            // sync with the scalar targets.
+            for (_, d) in ds.iter() {
+                prop_assert!(d.target_replicas >= 1);
+                prop_assert_eq!(d.classes.unwrap().total(), d.target_replicas);
+            }
+            prop_assert_eq!(out.granted_replicas, ds.total_replicas());
         }
 
         /// Rotating admission through the trait matches the historical

@@ -83,15 +83,7 @@ impl Policy for FairShare {
         let share = (snapshot.replica_quota().get() / n).max(1);
         let mut out: DesiredState = snapshot
             .job_ids()
-            .map(|id| {
-                (
-                    id,
-                    JobDecision {
-                        target_replicas: share,
-                        drop_rate: 0.0,
-                    },
-                )
-            })
+            .map(|id| (id, JobDecision::replicas(share)))
             .collect();
         ClampToQuota.admit(snapshot, &mut out);
         out
@@ -300,6 +292,8 @@ mod tests {
             mean_processing_time: 0.180,
             recent_tail_latency: tail,
             drop_rate: 0.0,
+            class_target: None,
+            class_ready: None,
         }
     }
 

@@ -227,6 +227,8 @@ mod tests {
             mean_processing_time: 0.180,
             recent_tail_latency: tail,
             drop_rate: 0.0,
+            class_target: None,
+            class_ready: None,
         }
     }
 

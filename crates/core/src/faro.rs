@@ -22,14 +22,15 @@
 
 use crate::admission::{Admission, ClampToQuota};
 use crate::error::Result;
+use crate::hetero::HeteroProblem;
 use crate::hierarchical::solve_hierarchical;
 use crate::objective::ClusterObjective;
 use crate::opt::{Fidelity, JobWorkload, LatencyModel, MultiTenantProblem};
 use crate::policy::{Policy, PolicyIntrospection};
 use crate::predictor::{sanitize_history, RatePredictor};
 use crate::sharded::{ShardedSolver, SolvePlan};
-use crate::types::{ClusterSnapshot, DesiredState, JobDecision};
-use crate::units::{DurationMs, RatePerMin, ReplicaCount, SimTimeMs};
+use crate::types::{ClassAlloc, ClusterSnapshot, DesiredState, JobDecision};
+use crate::units::{DurationMs, RatePerMin, SimTimeMs};
 use crate::utility::RelaxedUtility;
 use faro_queueing::RelaxedLatency;
 use faro_solver::Cobyla;
@@ -264,6 +265,9 @@ impl FaroAutoscaler {
     fn long_term(&mut self, snapshot: &ClusterSnapshot) -> Result<Vec<JobDecision>> {
         let jobs = self.formulate(snapshot);
         let current: Vec<u32> = snapshot.jobs.iter().map(|j| j.target_replicas).collect();
+        if snapshot.resources.n_classes() > 1 {
+            return self.long_term_hetero(snapshot, jobs, &current);
+        }
         let (mut replicas, drop_rates) = if let SolvePlan::Sharded(scfg) = self.config.solve_plan {
             // Like the hierarchical branch, the sharded path sticks to
             // the problem's default latency model and relaxations: the
@@ -274,7 +278,7 @@ impl FaroAutoscaler {
                 .get_or_insert_with(|| ShardedSolver::new(scfg, seed));
             let out = sharded.solve(
                 &jobs,
-                snapshot.resources,
+                snapshot.resources.clone(),
                 self.config.objective,
                 self.config.fidelity,
                 &self.solver,
@@ -287,7 +291,7 @@ impl FaroAutoscaler {
         } else if jobs.len() > self.config.hierarchical_threshold {
             let out = solve_hierarchical(
                 &jobs,
-                snapshot.resources,
+                snapshot.resources.clone(),
                 self.config.objective,
                 self.config.fidelity,
                 &self.solver,
@@ -300,7 +304,7 @@ impl FaroAutoscaler {
         } else {
             let problem = MultiTenantProblem::new(
                 jobs,
-                snapshot.resources,
+                snapshot.resources.clone(),
                 self.config.objective,
                 self.config.fidelity,
             )?
@@ -325,11 +329,125 @@ impl FaroAutoscaler {
         Ok(replicas
             .into_iter()
             .zip(drop_rates)
-            .map(|(r, d)| JobDecision {
-                target_replicas: r,
-                drop_rate: d,
-            })
+            .map(|(r, d)| JobDecision::replicas(r).with_drop_rate(d))
             .collect())
+    }
+
+    /// Class-aware stages 2 and 3 for clusters with two or more replica
+    /// classes: one flat [`HeteroProblem`] solve, class-aware
+    /// integerize, class-aware shrink.
+    ///
+    /// The flat classed solve replaces the sharded and hierarchical
+    /// organizations here — both partition a *scalar* quota, which has
+    /// no unique meaning under a vector capacity. A one-class table
+    /// never reaches this path: it routes through the scalar pipeline
+    /// (bit-identical by construction) and actuates on class 0. The
+    /// upper-bound latency ablation is likewise scalar-only; the mixed
+    /// pool always scores M/D/c on its effective service time.
+    fn long_term_hetero(
+        &mut self,
+        snapshot: &ClusterSnapshot,
+        jobs: Vec<JobWorkload>,
+        current: &[u32],
+    ) -> Result<Vec<JobDecision>> {
+        let masks: Vec<Vec<bool>> = snapshot
+            .jobs
+            .iter()
+            .map(|o| {
+                snapshot
+                    .resources
+                    .classes
+                    .iter()
+                    .map(|c| o.spec.allows_class(&c.name))
+                    .collect()
+            })
+            .collect();
+        let problem = HeteroProblem::new(
+            jobs,
+            snapshot.resources.clone(),
+            self.config.objective,
+            self.config.fidelity,
+        )?
+        .with_utility(RelaxedUtility::new(self.config.alpha))
+        .with_relaxed_latency(
+            RelaxedLatency::new(self.config.rho_max).map_err(crate::error::Error::from)?,
+        )
+        .with_affinity(masks)?;
+        let alloc = problem.solve(&self.solver, current)?;
+        self.intro.solver_evals += alloc.evals as u64;
+        let mut allocs = problem.integerize(&alloc);
+        if self.config.use_shrinking {
+            problem.shrink(&mut allocs, &alloc.drop_rates);
+        }
+        Ok(allocs
+            .into_iter()
+            .zip(alloc.drop_rates)
+            .map(|(a, d)| JobDecision::classed(a).with_drop_rate(d))
+            .collect())
+    }
+
+    /// Adds one replica to job `i`'s current decision if capacity
+    /// allows: the scalar quota check in the homogeneous regime, the
+    /// fastest allowed class with vector headroom in the classed one.
+    /// Returns whether a replica was added.
+    fn add_one_replica(&mut self, snapshot: &ClusterSnapshot, i: usize) -> bool {
+        let res = &snapshot.resources;
+        if res.n_classes() > 1 {
+            // Totals over every job's classed decision; classless
+            // decisions (e.g. carried forward from before the first
+            // classed solve) count as class 0.
+            let mut totals = ClassAlloc::zero(res.n_classes());
+            for d in &self.current {
+                match d.classes {
+                    Some(a) => {
+                        for (c, &k) in a.as_slice().iter().enumerate() {
+                            totals.add(c, i64::from(k));
+                        }
+                    }
+                    None => totals.add(0, i64::from(d.target_replicas)),
+                }
+            }
+            let usage = res.usage_of(&totals);
+            // Fastest class first: a reactive boost exists to kill a
+            // live SLO violation, so it buys the largest service-rate
+            // increment that still fits.
+            let mut order: Vec<usize> = (0..res.n_classes()).collect();
+            order.sort_by(|&a, &b| {
+                res.classes[a]
+                    .speed
+                    .partial_cmp(&res.classes[b].speed)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            for c in order {
+                if !snapshot.jobs[i].spec.allows_class(&res.classes[c].name) {
+                    continue;
+                }
+                let mut padded = usage;
+                for (u, k) in padded.iter_mut().zip(res.classes[c].cost()) {
+                    *u += k;
+                }
+                if res.fits(&padded) {
+                    let target = self.current[i].target_replicas;
+                    let alloc = self.current[i]
+                        .classes
+                        .get_or_insert_with(|| ClassAlloc::single(0, target, res.n_classes()));
+                    alloc.add(c, 1);
+                    self.current[i].target_replicas = target + 1;
+                    return true;
+                }
+            }
+            false
+        } else {
+            let quota = snapshot.replica_quota();
+            let total: u32 = self.current.iter().map(|d| d.target_replicas).sum();
+            if total < quota.get() {
+                self.current[i].target_replicas += 1;
+                true
+            } else {
+                false
+            }
+        }
     }
 
     /// Short-term reactive pass: additive upscale on sustained
@@ -343,7 +461,6 @@ impl FaroAutoscaler {
     /// out the full threshold — rate-limited to one boost per threshold
     /// interval per job.
     fn reactive(&mut self, snapshot: &ClusterSnapshot, dt: DurationMs) {
-        let quota = snapshot.replica_quota();
         let resilient = self.config.resilience;
         for (i, obs) in snapshot.jobs.iter().enumerate() {
             if resilient && obs.recent_tail_latency.is_nan() {
@@ -360,13 +477,11 @@ impl FaroAutoscaler {
                 && violated
                 && deficit
                 && (snapshot.now - self.last_boost[i]).as_secs() >= self.config.reactive_threshold;
-            if fast_path || self.violation[i].as_secs() >= self.config.reactive_threshold {
-                let total: u32 = self.current.iter().map(|d| d.target_replicas).sum();
-                if total < quota.get() {
-                    self.current[i].target_replicas += 1;
-                    self.violation[i] = DurationMs::ZERO;
-                    self.last_boost[i] = snapshot.now;
-                }
+            if (fast_path || self.violation[i].as_secs() >= self.config.reactive_threshold)
+                && self.add_one_replica(snapshot, i)
+            {
+                self.violation[i] = DurationMs::ZERO;
+                self.last_boost[i] = snapshot.now;
             }
         }
     }
@@ -385,23 +500,21 @@ impl FaroAutoscaler {
     /// allows, boosts the target immediately (sharing the reactive fast
     /// path's per-job rate limit).
     fn detect_churn(&mut self, snapshot: &ClusterSnapshot) {
-        let quota = snapshot.replica_quota();
-        for (i, obs) in snapshot.jobs.iter().enumerate() {
+        for i in 0..snapshot.jobs.len() {
+            let obs = &snapshot.jobs[i];
             let lost = obs.ready_replicas < self.prev_ready[i]
                 && obs.ready_replicas < self.prev_applied[i];
+            let ready = obs.ready_replicas;
             if lost {
                 self.churn_until[i] = snapshot.now
                     + DurationMs::from_secs(CHURN_WINDOW_SOLVES * self.config.long_term_interval);
-                let total: u32 = self.current.iter().map(|d| d.target_replicas).sum();
-                if total < quota.get()
-                    && (snapshot.now - self.last_boost[i]).as_secs()
-                        >= self.config.reactive_threshold
+                if (snapshot.now - self.last_boost[i]).as_secs() >= self.config.reactive_threshold
+                    && self.add_one_replica(snapshot, i)
                 {
-                    self.current[i].target_replicas += 1;
                     self.last_boost[i] = snapshot.now;
                 }
             }
-            self.prev_ready[i] = obs.ready_replicas;
+            self.prev_ready[i] = ready;
         }
     }
 
@@ -410,12 +523,10 @@ impl FaroAutoscaler {
     /// allocations assuming replicas stay up; under churn one replica
     /// is perpetually mid-cold-start somewhere, and every crash opens a
     /// cold-start-long capacity hole that the headroom absorbs.
-    fn pad_churn_headroom(&mut self, now: SimTimeMs, quota: ReplicaCount) {
-        let mut total: u32 = self.current.iter().map(|d| d.target_replicas).sum();
+    fn pad_churn_headroom(&mut self, snapshot: &ClusterSnapshot) {
         for i in 0..self.current.len() {
-            if self.churn_until[i] > now && total < quota.get() {
-                self.current[i].target_replicas += 1;
-                total += 1;
+            if self.churn_until[i] > snapshot.now {
+                let _ = self.add_one_replica(snapshot, i);
             }
         }
     }
@@ -479,7 +590,7 @@ impl Policy for FaroAutoscaler {
                         .iter_mut()
                         .for_each(|v| *v = DurationMs::ZERO);
                     if self.config.resilience {
-                        self.pad_churn_headroom(snapshot.now, snapshot.replica_quota());
+                        self.pad_churn_headroom(snapshot);
                     }
                 }
                 _ => {
@@ -550,13 +661,15 @@ mod tests {
             mean_processing_time: 0.180,
             recent_tail_latency: tail,
             drop_rate: 0.0,
+            class_target: None,
+            class_ready: None,
         }
     }
 
     fn snapshot(now: f64, quota: u32, jobs: Vec<JobObservation>) -> ClusterSnapshot {
         ClusterSnapshot {
             now: SimTimeMs::from_secs(now),
-            resources: ResourceModel::replicas(ReplicaCount::new(quota)),
+            resources: ResourceModel::replicas(crate::units::ReplicaCount::new(quota)),
             jobs,
         }
     }

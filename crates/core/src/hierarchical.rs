@@ -82,15 +82,7 @@ impl HierarchicalAllocation {
             .iter()
             .zip(self.drop_rates.iter())
             .enumerate()
-            .map(|(j, (&r, &d))| {
-                (
-                    JobId::new(j),
-                    JobDecision {
-                        target_replicas: r,
-                        drop_rate: d,
-                    },
-                )
-            })
+            .map(|(j, (&r, &d))| (JobId::new(j), JobDecision::replicas(r).with_drop_rate(d)))
             .collect()
     }
 }
@@ -284,7 +276,7 @@ mod tests {
         let resources = ResourceModel::replicas(ReplicaCount::new(60));
         let flat = MultiTenantProblem::new(
             jobs.clone(),
-            resources,
+            resources.clone(),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
         )
@@ -294,7 +286,7 @@ mod tests {
         let flat_obj = flat.cluster_value_integer(&flat_xs, &flat_alloc.drop_rates);
         let grouped = solve_hierarchical(
             &jobs,
-            resources,
+            resources.clone(),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
             &Cobyla::fast(),

@@ -41,6 +41,8 @@
 //!     mean_processing_time: 0.180,
 //!     recent_tail_latency: 0.2,
 //!     drop_rate: 0.0,
+//!     class_target: None,
+//!     class_ready: None,
 //! };
 //! let snapshot = ClusterSnapshot {
 //!     now: SimTimeMs::ZERO,
@@ -59,6 +61,7 @@ pub mod baselines;
 pub mod cilantro;
 pub mod error;
 pub mod faro;
+pub mod hetero;
 pub mod hierarchical;
 pub mod objective;
 pub mod opt;

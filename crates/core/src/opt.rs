@@ -142,7 +142,7 @@ impl Clone for MultiTenantProblem {
     fn clone(&self) -> Self {
         Self {
             jobs: self.jobs.clone(),
-            resources: self.resources,
+            resources: self.resources.clone(),
             objective: self.objective,
             fidelity: self.fidelity,
             latency_model: self.latency_model,
@@ -234,8 +234,8 @@ impl MultiTenantProblem {
     }
 
     /// The resource model in use.
-    pub fn resources(&self) -> ResourceModel {
-        self.resources
+    pub fn resources(&self) -> &ResourceModel {
+        &self.resources
     }
 
     /// The lazily built per-solve latency tables (`None` when the
@@ -704,7 +704,7 @@ impl Problem for ProblemAdapter<'_> {
 
     fn constraints(&self, v: &[f64], out: &mut [f64]) {
         let (xs, _) = self.inner.split_vars(v);
-        let r = self.inner.resources;
+        let r = &self.inner.resources;
         let cpu: f64 = xs.iter().map(|&x| x.max(1.0) * r.cpu_per_replica).sum();
         let mem: f64 = xs.iter().map(|&x| x.max(1.0) * r.mem_per_replica).sum();
         out[0] = r.cluster_cpu - cpu;
@@ -749,9 +749,13 @@ mod tests {
     #[test]
     fn validation_rejects_bad_input() {
         let r = ResourceModel::replicas(ReplicaCount::new(8));
-        assert!(
-            MultiTenantProblem::new(vec![], r, ClusterObjective::Sum, Fidelity::Relaxed).is_err()
-        );
+        assert!(MultiTenantProblem::new(
+            vec![],
+            r.clone(),
+            ClusterObjective::Sum,
+            Fidelity::Relaxed
+        )
+        .is_err());
         let no_traj = JobWorkload {
             lambda_trajectories: vec![],
             processing_time: 0.1,

@@ -144,15 +144,7 @@ impl ShardedAllocation {
             .iter()
             .zip(self.drop_rates.iter())
             .enumerate()
-            .map(|(j, (&r, &d))| {
-                (
-                    JobId::new(j),
-                    JobDecision {
-                        target_replicas: r,
-                        drop_rate: d,
-                    },
-                )
-            })
+            .map(|(j, (&r, &d))| (JobId::new(j), JobDecision::replicas(r).with_drop_rate(d)))
             .collect()
     }
 }
@@ -295,6 +287,31 @@ struct SolveCtx<'a> {
     seed: u64,
 }
 
+/// Scales a cluster's capacity down to a shard's replica budget.
+///
+/// Homogeneous clusters get exact per-replica scaling (identical to the
+/// pre-class arithmetic). Classed clusters scale every capacity
+/// dimension by the budget's share of the total replica quota, so each
+/// shard sees the cluster's GPU:CPU mix in proportion to its budget and
+/// class costs stay representable.
+fn sub_resources_for_budget(resources: &ResourceModel, budget: u32) -> ResourceModel {
+    if resources.has_classes() {
+        let total = resources.replica_quota().get().max(1);
+        let frac = f64::from(budget) / f64::from(total);
+        return ResourceModel {
+            cluster_cpu: resources.cluster_cpu * frac,
+            cluster_gpu: resources.cluster_gpu * frac,
+            cluster_mem: resources.cluster_mem * frac,
+            ..resources.clone()
+        };
+    }
+    ResourceModel {
+        cluster_cpu: f64::from(budget) * resources.cpu_per_replica,
+        cluster_mem: f64::from(budget) * resources.mem_per_replica,
+        ..resources.clone()
+    }
+}
+
 /// Solves one shard against its budget: flat COBYLA (+ integerize +
 /// optional shrink) for small member lists, the grouped solve above
 /// [`ShardConfig::flat_threshold`], with a per-shard child seed.
@@ -309,12 +326,7 @@ fn solve_shard(
         .iter()
         .map(|&i| ctx.current.get(i).copied().unwrap_or(1))
         .collect();
-    let sub_resources = ResourceModel {
-        cpu_per_replica: ctx.resources.cpu_per_replica,
-        mem_per_replica: ctx.resources.mem_per_replica,
-        cluster_cpu: f64::from(budget) * ctx.resources.cpu_per_replica,
-        cluster_mem: f64::from(budget) * ctx.resources.mem_per_replica,
-    };
+    let sub_resources = sub_resources_for_budget(&ctx.resources, budget);
     if members.len() > ctx.cfg.flat_threshold {
         let out = solve_hierarchical(
             &sub_jobs,
@@ -458,7 +470,7 @@ impl ShardedSolver {
         // Delegate validation (empty set, quota floor) to the problem
         // constructor the shards use anyway.
         if n == 0 || (quota.get() as usize) < n {
-            MultiTenantProblem::new(jobs.to_vec(), resources, objective, fidelity)?;
+            MultiTenantProblem::new(jobs.to_vec(), resources.clone(), objective, fidelity)?;
         }
 
         let new_sigs: Vec<JobSignature> = jobs.iter().map(JobSignature::of).collect();
@@ -499,8 +511,12 @@ impl ShardedSolver {
             let cont: Vec<f64> = if s == 1 {
                 vec![quota.as_f64()]
             } else {
-                let split_problem =
-                    MultiTenantProblem::new(pseudo, resources, objective.drop_free(), fidelity)?;
+                let split_problem = MultiTenantProblem::new(
+                    pseudo,
+                    resources.clone(),
+                    objective.drop_free(),
+                    fidelity,
+                )?;
                 let split = split_problem.solve(solver, &x0)?;
                 split_evals = split.evals as u64;
                 split.replicas
@@ -744,7 +760,7 @@ mod tests {
         let cold = solver
             .solve(
                 &js,
-                resources,
+                resources.clone(),
                 ClusterObjective::Sum,
                 Fidelity::Relaxed,
                 &Cobyla::fast(),
@@ -754,7 +770,7 @@ mod tests {
         let warm = solver
             .solve(
                 &js,
-                resources,
+                resources.clone(),
                 ClusterObjective::Sum,
                 Fidelity::Relaxed,
                 &Cobyla::fast(),
@@ -781,7 +797,7 @@ mod tests {
             solver
                 .solve(
                     js,
-                    resources,
+                    resources.clone(),
                     ClusterObjective::Sum,
                     Fidelity::Relaxed,
                     &Cobyla::fast(),
@@ -813,7 +829,7 @@ mod tests {
             solver
                 .solve(
                     js,
-                    resources,
+                    resources.clone(),
                     ClusterObjective::Sum,
                     Fidelity::Relaxed,
                     &Cobyla::fast(),
@@ -864,7 +880,7 @@ mod tests {
             solver
                 .solve(
                     &js,
-                    resources,
+                    resources.clone(),
                     ClusterObjective::Sum,
                     Fidelity::Relaxed,
                     &Cobyla::fast(),

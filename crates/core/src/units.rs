@@ -196,6 +196,16 @@ impl fmt::Display for DurationMs {
     }
 }
 
+impl Serialize for DurationMs {
+    /// Writes `f64` seconds, matching the wire format of every other
+    /// duration the stack serializes (cold starts, intervals).
+    fn serialize_json(&self, out: &mut String) {
+        self.as_secs().serialize_json(out);
+    }
+}
+
+impl Deserialize for DurationMs {}
+
 /// An arrival rate in requests **per minute** — the unit of the paper's
 /// traces and of every `arrival_rate_history` sample.
 ///

@@ -24,6 +24,8 @@ fn snap(prev: &[u32], quota: u32) -> ClusterSnapshot {
             mean_processing_time: 0.18,
             recent_tail_latency: 0.1,
             drop_rate: 0.0,
+            class_target: None,
+            class_ready: None,
         })
         .collect();
     ClusterSnapshot {
@@ -37,15 +39,7 @@ fn state(targets: &[u32]) -> DesiredState {
     targets
         .iter()
         .enumerate()
-        .map(|(i, &t)| {
-            (
-                JobId::new(i),
-                JobDecision {
-                    target_replicas: t,
-                    drop_rate: 0.0,
-                },
-            )
-        })
+        .map(|(i, &t)| (JobId::new(i), JobDecision::replicas(t)))
         .collect()
 }
 

@@ -1,0 +1,92 @@
+//! Wire-format back-compat: JSON emitted before the replica-class
+//! refactor (and committed to `results/`) must keep deserializing, and
+//! the modern classed format must round-trip.
+//!
+//! The legacy byte strings below are copied verbatim from what the
+//! pre-class derive emitted — the same bytes locked down on the write
+//! side by `single_class_wire_format_is_unchanged` in `types.rs`.
+
+use faro_core::types::{ClassAlloc, JobDecision, JobSpec, ReplicaClass, ResourceModel};
+use faro_core::ReplicaCount;
+
+#[test]
+fn legacy_single_class_json_still_deserializes() {
+    // ResourceModel without cluster_gpu/classes -> homogeneous regime.
+    let v = serde_json::from_str(
+        "{\"cpu_per_replica\":1,\"mem_per_replica\":1,\"cluster_cpu\":4,\"cluster_mem\":4}",
+    )
+    .unwrap();
+    let model = ResourceModel::from_json(&v).unwrap();
+    assert_eq!(model, ResourceModel::replicas(ReplicaCount::new(4)));
+    assert!(!model.has_classes());
+
+    // JobDecision without classes -> class-free decision.
+    let v = serde_json::from_str("{\"target_replicas\":3,\"drop_rate\":0}").unwrap();
+    assert_eq!(
+        JobDecision::from_json(&v).unwrap(),
+        JobDecision::replicas(3)
+    );
+
+    // JobSpec without class_affinity -> run-anywhere spec.
+    let v = serde_json::from_str(
+        "{\"name\":\"b\",\"slo\":{\"latency\":0.4,\"percentile\":0.99},\
+         \"priority\":1,\"processing_time\":0.1}",
+    )
+    .unwrap();
+    assert_eq!(JobSpec::from_json(&v).unwrap(), JobSpec::resnet18("b"));
+}
+
+#[test]
+fn classed_values_round_trip() {
+    let model = ResourceModel::heterogeneous(
+        vec![ReplicaClass::gpu("gpu"), ReplicaClass::cpu("cpu", 3.0)],
+        16.0,
+        4.0,
+        32.0,
+    );
+    let json = serde_json::to_string(&model).unwrap();
+    let parsed = ResourceModel::from_json(&serde_json::from_str(&json).unwrap()).unwrap();
+    assert_eq!(parsed, model);
+
+    let decision = JobDecision::classed(ClassAlloc::from_counts(&[1, 2]).unwrap());
+    let json = serde_json::to_string(&decision).unwrap();
+    let parsed = JobDecision::from_json(&serde_json::from_str(&json).unwrap()).unwrap();
+    assert_eq!(parsed, decision);
+
+    let mut spec = JobSpec::resnet34("pinned");
+    spec.class_affinity = vec!["gpu".to_string()];
+    let json = serde_json::to_string(&spec).unwrap();
+    let parsed = JobSpec::from_json(&serde_json::from_str(&json).unwrap()).unwrap();
+    assert_eq!(parsed, spec);
+}
+
+#[test]
+fn malformed_json_is_rejected_not_defaulted() {
+    // A wrong-typed field must fail the parse, not silently fall back.
+    let v = serde_json::from_str("{\"target_replicas\":\"three\",\"drop_rate\":0}").unwrap();
+    assert!(JobDecision::from_json(&v).is_none());
+    let v = serde_json::from_str("{\"target_replicas\":3,\"drop_rate\":0,\"classes\":3}").unwrap();
+    assert!(JobDecision::from_json(&v).is_none());
+    let v = serde_json::from_str("{\"cpu_per_replica\":1}").unwrap();
+    assert!(ResourceModel::from_json(&v).is_none());
+}
+
+#[test]
+fn committed_trace_still_parses() {
+    // Every line of the committed telemetry trace — all emitted before
+    // the class refactor — must stay parseable JSON with the envelope
+    // shape the dashboards consume.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/faro_trace.jsonl"
+    );
+    let trace = std::fs::read_to_string(path).expect("committed trace exists");
+    let mut lines = 0usize;
+    for line in trace.lines().filter(|l| !l.trim().is_empty()) {
+        let v = serde_json::from_str(line).expect("trace line is valid JSON");
+        assert!(v.get("at").and_then(|at| at.as_f64()).is_some());
+        assert!(v.get("event").is_some());
+        lines += 1;
+    }
+    assert!(lines > 100, "trace unexpectedly short: {lines} lines");
+}

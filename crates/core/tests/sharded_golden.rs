@@ -103,7 +103,7 @@ proptest! {
 
         let problem = MultiTenantProblem::new(
             jobs.clone(),
-            res,
+            res.clone(),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
         ).expect("valid problem");
@@ -114,7 +114,7 @@ proptest! {
         let cfg = ShardConfig { shards, parallelism: 1, ..ShardConfig::default() };
         let mut sharded = ShardedSolver::new(cfg, 17);
         let out = sharded
-            .solve(&jobs, res, ClusterObjective::Sum, Fidelity::Relaxed, &cobyla, &current)
+            .solve(&jobs, res.clone(), ClusterObjective::Sum, Fidelity::Relaxed, &cobyla, &current)
             .expect("sharded solve");
 
         let zeros = vec![0.0; jobs.len()];
@@ -144,7 +144,7 @@ fn clean_round_returns_cached_bytes_with_zero_solves() {
     let cold = solver
         .solve(
             &jobs,
-            res,
+            res.clone(),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
             &cobyla,
@@ -155,7 +155,7 @@ fn clean_round_returns_cached_bytes_with_zero_solves() {
     let warm = solver
         .solve(
             &jobs,
-            res,
+            res.clone(),
             ClusterObjective::Sum,
             Fidelity::Relaxed,
             &cobyla,

@@ -9,8 +9,10 @@ use std::process::Command;
 /// Files whose edits can change event ordering — and therefore the
 /// golden report bytes — without failing a single unit test.
 pub const GOLDEN_SENSITIVE: &[&str] = &[
+    "crates/core/src/hetero.rs",
     "crates/core/src/opt.rs",
     "crates/core/src/sharded.rs",
+    "crates/queueing/src/mixed.rs",
     "crates/sim/src/backend.rs",
     "crates/sim/src/events.rs",
     "crates/sim/src/runtime.rs",

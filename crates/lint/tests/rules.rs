@@ -176,4 +176,15 @@ fn golden_guard_fixture_diffs() {
     let mut good = bad;
     good.push("crates/sim/tests/golden/report_small.json".to_owned());
     assert_eq!(golden_guard(&good), Vec::new());
+
+    // The class-table files (PR 8) are sensitive too: the hetero solve
+    // and the mixed-pool estimator feed every classed golden run.
+    let classed = vec![
+        "crates/core/src/hetero.rs".to_owned(),
+        "crates/queueing/src/mixed.rs".to_owned(),
+    ];
+    assert_eq!(golden_guard(&classed).len(), 2);
+    let mut classed_ok = classed;
+    classed_ok.push("crates/sim/tests/golden_hetero.rs".to_owned());
+    assert_eq!(golden_guard(&classed_ok), Vec::new());
 }

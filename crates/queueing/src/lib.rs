@@ -42,6 +42,7 @@ pub mod count;
 pub mod erlang;
 pub mod error;
 pub mod mdc;
+pub mod mixed;
 pub mod mmc;
 pub mod relaxed;
 pub mod upper_bound;

@@ -1,6 +1,6 @@
 //! Property-based tests for the queueing estimators.
 
-use faro_queueing::{erlang, mdc, mmc, upper_bound, RelaxedLatency, ReplicaCount};
+use faro_queueing::{erlang, mdc, mixed, mmc, upper_bound, RelaxedLatency, ReplicaCount};
 use proptest::prelude::*;
 
 fn rc(n: u32) -> ReplicaCount {
@@ -90,6 +90,54 @@ proptest! {
         prop_assert!(n >= ReplicaCount::ONE);
         let t = upper_bound::completion_time(p, kappa, n).unwrap();
         prop_assert!(t <= slo + 1e-9);
+    }
+
+    /// A single-class mixed pool is *bit-identical* to the homogeneous
+    /// M/D/c estimator: the reference class (multiplier 1.0) must not
+    /// perturb a single committed byte, and any lone class `c` must
+    /// equal the homogeneous estimate at `p * m_c` exactly — no
+    /// aggregation round-trip allowed.
+    #[test]
+    fn single_class_mixed_pool_is_bit_identical(
+        servers in 1u32..32,
+        lambda in 0.1f64..50.0,
+        p in 0.01f64..0.5,
+        m in 0.5f64..8.0,
+        class in 0usize..3,
+        k in 0.5f64..0.999,
+    ) {
+        let mut multipliers = [1.0f64; 3];
+        multipliers[class] = m;
+        let mut counts = [0u32; 3];
+        counts[class] = servers;
+        let mixed = mixed::latency_percentile(k, p, lambda, &multipliers, &counts);
+        let homo = mdc::latency_percentile(k, p * m, lambda, rc(servers));
+        match (mixed, homo) {
+            (Ok(a), Ok(b)) => prop_assert!(
+                a.to_bits() == b.to_bits(),
+                "single-class mix diverged: {a} vs {b}"
+            ),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "domain mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Swapping a slow replica for a fast one never raises the mixed
+    /// pool's estimated latency (the monotonicity the class-aware
+    /// solver's shrink step relies on).
+    #[test]
+    fn mixed_pool_monotone_in_the_mix(
+        fast in 0u32..8,
+        slow in 1u32..8,
+        lambda in 0.1f64..20.0,
+        p in 0.01f64..0.3,
+        m in 1.0f64..6.0,
+    ) {
+        let before = mixed::latency_percentile(0.99, p, lambda, &[1.0, m], &[fast, slow]);
+        let after = mixed::latency_percentile(0.99, p, lambda, &[1.0, m], &[fast + 1, slow - 1]);
+        if let (Ok(b), Ok(a)) = (before, after) {
+            prop_assert!(a <= b + 1e-9, "faster mix got slower: {b} -> {a}");
+        }
     }
 
     /// `replicas_for_slo` returns a feasible, minimal count when it

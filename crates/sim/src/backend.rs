@@ -216,8 +216,24 @@ impl SimBackend {
             };
             let (mu, sigma) = self.service_params[job];
             let service = (mu + sigma * z).exp().max(1e-6);
+            // Classed replicas run `speed`x slower on the wall clock,
+            // but the completion payload keeps the reference-class
+            // service time: `mean_processing_time` must stay the
+            // solver's base `p` (the optimizer applies class
+            // multipliers itself; measured slow-class times would
+            // double-count them).
+            let wall = match &self.config.hetero_resources {
+                Some(res) => {
+                    service
+                        * res
+                            .classes
+                            .get(d.class as usize)
+                            .map_or(1.0, |class| class.speed)
+                }
+                None => service,
+            };
             self.queue.push(
-                now + micros(service),
+                now + micros(wall),
                 Event::Completion {
                     job: JobId::new(job),
                     replica: d.replica,
@@ -491,6 +507,33 @@ impl SimBackend {
     ) -> ActuationReport {
         let now = self.now;
         let mut report = ActuationReport::default();
+        // Classed actuation: clone the class table out of the config so
+        // the per-job loop can borrow `self` mutably. One clone per
+        // apply (once a tick), not per replica.
+        let hetero = self.config.hetero_resources.clone();
+        // Capacity budget for spill-filling class-blind decisions:
+        // classed decisions and jobs absent from this desired state
+        // keep the capacity they hold; classless decisions fill what
+        // remains, fastest class first, in `JobId` order.
+        let mut used = [0.0; faro_core::types::RESOURCE_DIMS];
+        if let Some(res) = &hetero {
+            for (j, job) in self.jobs.iter().enumerate() {
+                if !desired.contains(JobId::new(j)) {
+                    let held = res.usage_of(&job.class_alloc(res.n_classes()));
+                    for (u, h) in used.iter_mut().zip(held) {
+                        *u += h;
+                    }
+                }
+            }
+            for (_, d) in desired.iter() {
+                if let Some(alloc) = d.classes {
+                    let held = res.usage_of(&alloc);
+                    for (u, h) in used.iter_mut().zip(held) {
+                        *u += h;
+                    }
+                }
+            }
+        }
         for (id, d) in desired.iter() {
             let j = id.index();
             if j >= self.jobs.len() {
@@ -500,11 +543,36 @@ impl SimBackend {
             self.jobs[j].set_drop_rate(d.drop_rate);
             // scale_to re-adds any crashed replicas up to the target:
             // the reconciliation loop.
-            for replica in self.jobs[j].scale_to(d.target_replicas) {
-                let delay = match self.injector.as_mut() {
-                    Some(inj) => {
-                        micros(self.config.cold_start_secs * inj.cold_start_multiplier(now))
+            let started: Vec<(u64, u8)> = match &hetero {
+                Some(res) => {
+                    let mut alloc = match d.classes {
+                        Some(a) => a,
+                        None => res.spill_fill(d.target_replicas.max(1), &mut used),
+                    };
+                    if alloc.total() == 0 {
+                        // Every job keeps one replica, matching the
+                        // scalar path's floor in `scale_to`.
+                        alloc = faro_core::types::ClassAlloc::single(0, 1, res.n_classes());
                     }
+                    self.jobs[j].scale_to_classed(alloc)
+                }
+                None => self.jobs[j]
+                    .scale_to(d.target_replicas)
+                    .into_iter()
+                    .map(|replica| (replica, 0u8))
+                    .collect(),
+            };
+            for (replica, class) in started {
+                let base_cold = match &hetero {
+                    Some(res) => res
+                        .classes
+                        .get(class as usize)
+                        .map_or(self.config.cold_start_secs, |c| c.cold_start.as_secs()),
+                    None => self.config.cold_start_secs,
+                };
+                let delay = match self.injector.as_mut() {
+                    Some(inj) => micros(base_cold * inj.cold_start_multiplier(now)),
+                    None if hetero.is_some() => micros(base_cold),
                     None => self.cold,
                 };
                 self.queue
@@ -649,9 +717,16 @@ impl ClusterBackend for SimBackend {
             }
             jobs.push(obs);
         }
+        // Classed clusters report the configured class table verbatim
+        // (node-outage quota shrink is rejected at setup in that
+        // regime); scalar clusters report the outage-adjusted quota.
+        let resources = match &self.config.hetero_resources {
+            Some(res) => res.clone(),
+            None => ResourceModel::replicas(ReplicaCount::new(self.effective_quota)),
+        };
         Ok(ClusterSnapshot {
             now: SimTimeMs::from_micros(now),
-            resources: ResourceModel::replicas(ReplicaCount::new(self.effective_quota)),
+            resources,
             jobs,
         })
     }

@@ -8,7 +8,7 @@
 //! per-request processing time, and recent tail latency.
 
 use crate::events::{seconds, Micros};
-use faro_core::types::{JobObservation, JobSpec};
+use faro_core::types::{ClassAlloc, JobObservation, JobSpec};
 use faro_core::units::RatePerMin;
 use faro_metrics::percentile::percentile_by_selection;
 use faro_metrics::slo::{MinuteSeries, SloAccounting};
@@ -40,6 +40,8 @@ struct Replica {
     state: ReplicaState,
     /// Marked for removal; disappears as soon as it is not busy.
     retiring: bool,
+    /// Replica class index (always 0 on homogeneous backends).
+    class: u8,
 }
 
 /// What the router did with an arriving request.
@@ -70,6 +72,9 @@ pub struct Dispatch {
     pub replica: u64,
     /// The request's arrival time (for latency accounting).
     pub arrival: Micros,
+    /// Class of the serving replica (0 on homogeneous backends); the
+    /// caller applies the class's service-time multiplier.
+    pub class: u8,
 }
 
 /// Per-job runtime state and metrics.
@@ -98,6 +103,9 @@ pub struct JobRuntime {
     live_count: u32,
     next_replica: u64,
     target: u32,
+    /// Per-class breakdown of `target` (heterogeneous backends only;
+    /// `None` and untouched on homogeneous runs).
+    class_target: Option<ClassAlloc>,
     drop_rate: f64,
 
     // Metrics.
@@ -150,6 +158,7 @@ impl JobRuntime {
             live_count: 0,
             next_replica: 0,
             target: initial,
+            class_target: None,
             drop_rate: 0.0,
             minute_latencies: MinuteSeries::new(),
             arrivals_per_minute: Arc::new(Vec::new()),
@@ -173,6 +182,7 @@ impl JobRuntime {
                 Replica {
                     state: ReplicaState::Idle,
                     retiring: false,
+                    class: 0,
                 },
             ));
             rt.idle.push(id);
@@ -257,6 +267,7 @@ impl JobRuntime {
         Some(Dispatch {
             replica: id,
             arrival,
+            class: self.replicas[pos].1.class,
         })
     }
 
@@ -275,13 +286,13 @@ impl JobRuntime {
         let Some(pos) = self.replica_pos(replica) else {
             return true;
         };
-        let (arrival, alive) = {
+        let (arrival, alive, class) = {
             let r = &mut self.replicas[pos].1;
             let ReplicaState::Busy { arrival } = r.state else {
                 return true;
             };
             r.state = ReplicaState::Idle;
-            (arrival, !r.retiring && self.target >= 1)
+            (arrival, !r.retiring && self.target >= 1, r.class)
         };
         let latency = seconds(now.saturating_sub(arrival));
         self.minute_latencies.record(seconds(now), latency);
@@ -297,8 +308,9 @@ impl JobRuntime {
             self.replicas.remove(pos);
             return false;
         }
-        // Excess capacity after a scale-down: retire this now-idle one.
-        if self.live_count > self.target {
+        // Excess capacity after a scale-down: retire this now-idle one
+        // (in classed mode, only when its own class is over target).
+        if self.live_count > self.target && self.class_over(class) {
             self.replicas.remove(pos);
             self.live_count -= 1;
             return false;
@@ -312,6 +324,7 @@ impl JobRuntime {
     pub fn scale_to(&mut self, target: u32) -> Vec<u64> {
         let target = target.max(1);
         self.target = target;
+        self.class_target = None;
         let mut live = self.live_replicas();
         let mut new_ids = Vec::new();
         // Scale up: add cold replicas.
@@ -323,6 +336,7 @@ impl JobRuntime {
                 Replica {
                     state: ReplicaState::Cold,
                     retiring: false,
+                    class: 0,
                 },
             ));
             new_ids.push(id);
@@ -377,6 +391,131 @@ impl JobRuntime {
         new_ids
     }
 
+    /// Applies a per-class target; returns `(id, class)` pairs for the
+    /// replicas that started cold so the caller can schedule their
+    /// `ReplicaReady` events with per-class cold-start delays.
+    ///
+    /// Scale-down within a class removes cold replicas first, then
+    /// idle ones, then marks busy ones retiring — the same victim
+    /// priority as [`JobRuntime::scale_to`], applied class by class.
+    pub fn scale_to_classed(&mut self, alloc: ClassAlloc) -> Vec<(u64, u8)> {
+        debug_assert!(alloc.total() >= 1, "classed target must keep >= 1 replica");
+        self.target = alloc.total().max(1);
+        self.class_target = Some(alloc);
+        let mut new_ids = Vec::new();
+        for c in 0..alloc.n_classes() {
+            let class = c as u8;
+            let want = alloc.count(c);
+            let mut live = self.live_of_class(class);
+            while live < want {
+                let id = self.next_replica;
+                self.next_replica += 1;
+                self.replicas.push((
+                    id,
+                    Replica {
+                        state: ReplicaState::Cold,
+                        retiring: false,
+                        class,
+                    },
+                ));
+                new_ids.push((id, class));
+                live += 1;
+                self.live_count += 1;
+            }
+            if live > want {
+                let mut excess = live - want;
+                let mut removable: Vec<(u64, ReplicaState)> = self
+                    .replicas
+                    .iter()
+                    .filter(|(_, r)| {
+                        !r.retiring
+                            && r.class == class
+                            && !matches!(r.state, ReplicaState::Busy { .. })
+                    })
+                    .map(|&(id, ref r)| (id, r.state))
+                    .collect();
+                removable.sort_by_key(|&(id, state)| (state != ReplicaState::Cold, id));
+                for (id, _) in removable {
+                    if excess == 0 {
+                        break;
+                    }
+                    if let Some(pos) = self.replica_pos(id) {
+                        self.replicas.remove(pos);
+                    }
+                    self.idle_remove(id);
+                    self.live_count -= 1;
+                    excess -= 1;
+                }
+                if excess > 0 {
+                    let busy: Vec<u64> = self
+                        .replicas
+                        .iter()
+                        .filter(|(_, r)| {
+                            !r.retiring
+                                && r.class == class
+                                && matches!(r.state, ReplicaState::Busy { .. })
+                        })
+                        .map(|&(id, _)| id)
+                        .collect();
+                    for id in busy {
+                        if excess == 0 {
+                            break;
+                        }
+                        let pos = self
+                            .replica_pos(id)
+                            .expect("invariant: busy id came from the replica set");
+                        self.replicas[pos].1.retiring = true;
+                        self.live_count -= 1;
+                        excess -= 1;
+                    }
+                }
+            }
+        }
+        new_ids
+    }
+
+    /// The job's current per-class allocation: its classed target when
+    /// one is set, otherwise the scalar target parked on class 0 (the
+    /// class every replica carries until a classed scale assigns one).
+    /// Used by the backend to price the capacity a job already holds
+    /// when spill-filling class-blind decisions.
+    pub(crate) fn class_alloc(&self, n_classes: usize) -> ClassAlloc {
+        match self.class_target {
+            Some(t) => t,
+            None => ClassAlloc::single(0, self.target, n_classes),
+        }
+    }
+
+    /// Live (non-retiring) replicas of one class, cold included.
+    fn live_of_class(&self, class: u8) -> u32 {
+        self.replicas
+            .iter()
+            .filter(|(_, r)| !r.retiring && r.class == class)
+            .count() as u32
+    }
+
+    /// Whether a replica of `class` is over its target: always true in
+    /// scalar mode (the total check already fired), per-class in
+    /// classed mode so a scale-down never retires the wrong hardware.
+    fn class_over(&self, class: u8) -> bool {
+        match &self.class_target {
+            None => true,
+            Some(t) => self.live_of_class(class) > t.count(class as usize),
+        }
+    }
+
+    /// Per-class breakdown of ready replicas (`None` in scalar mode).
+    fn class_ready(&self) -> Option<ClassAlloc> {
+        let target = self.class_target?;
+        let mut ready = ClassAlloc::zero(target.n_classes());
+        for (_, r) in &self.replicas {
+            if !r.retiring && r.state != ReplicaState::Cold {
+                ready.add(r.class as usize, 1);
+            }
+        }
+        Some(ready)
+    }
+
     /// Sets the explicit drop rate.
     pub fn set_drop_rate(&mut self, d: f64) {
         self.drop_rate = d.clamp(0.0, 1.0);
@@ -396,7 +535,8 @@ impl JobRuntime {
             return false;
         }
         // A scale-down may have landed while cold-starting.
-        if self.live_count > self.target {
+        let class = r.class;
+        if self.live_count > self.target && self.class_over(class) {
             self.replicas.remove(pos);
             self.live_count -= 1;
             return false;
@@ -513,6 +653,8 @@ impl JobRuntime {
             },
             recent_tail_latency: tail,
             drop_rate: self.drop_rate,
+            class_target: self.class_target,
+            class_ready: self.class_ready(),
         }
     }
 

@@ -38,7 +38,7 @@ use crate::{Error, Result};
 use faro_control::{Reconciler, RunStats};
 use faro_core::admission::{Admission, OutageClamp};
 use faro_core::policy::Policy;
-use faro_core::types::{JobObservation, JobSpec};
+use faro_core::types::{JobObservation, JobSpec, ResourceModel};
 use faro_core::units::RatePerMin;
 use faro_core::FaroError;
 use faro_metrics::AvailabilityTracker;
@@ -77,6 +77,20 @@ pub struct SimConfig {
     pub report_alpha: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Heterogeneous cluster description. `None` (the default) keeps
+    /// the homogeneous regime: `total_replicas` is the quota, every
+    /// replica runs at reference speed, and every run stays
+    /// byte-identical to the pre-class simulator. `Some` switches the
+    /// backend to classed actuation: [`SimBackend::observe`] reports
+    /// this model (so policies see the class table), per-replica
+    /// service times are scaled by the class's `speed` multiplier, and
+    /// cold starts use the class's `cold_start` instead of
+    /// `cold_start_secs`. Node-outage quota shrinking is not modeled
+    /// in this regime (fault plans that resize the cluster are
+    /// rejected at setup).
+    ///
+    /// [`SimBackend::observe`]: crate::backend::SimBackend
+    pub hetero_resources: Option<ResourceModel>,
 }
 
 impl Default for SimConfig {
@@ -90,6 +104,7 @@ impl Default for SimConfig {
             recent_window_secs: 30.0,
             report_alpha: 4.0,
             seed: 0,
+            hetero_resources: None,
         }
     }
 }
@@ -145,6 +160,28 @@ fn validate_config(config: &SimConfig) -> Result<()> {
             "queue_threshold must be at least 1 (0 would drop every request)".into(),
         ));
     }
+    if let Some(resources) = &config.hetero_resources {
+        if !resources.has_classes() {
+            return Err(Error::InvalidSetup(
+                "hetero_resources must carry at least one replica class".into(),
+            ));
+        }
+        for class in &resources.classes {
+            if !class.speed.is_finite() || class.speed <= 0.0 {
+                return Err(Error::InvalidSetup(format!(
+                    "replica class {:?} has non-positive speed multiplier {}",
+                    class.name, class.speed
+                )));
+            }
+            let cold = class.cold_start.as_secs();
+            if !cold.is_finite() || cold < 0.0 {
+                return Err(Error::InvalidSetup(format!(
+                    "replica class {:?} has invalid cold start {cold}",
+                    class.name
+                )));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -169,6 +206,15 @@ impl Simulation {
                 config.total_replicas,
                 setups.len()
             )));
+        }
+        if let Some(resources) = &config.hetero_resources {
+            if (resources.replica_quota().get() as usize) < setups.len() {
+                return Err(Error::InvalidSetup(format!(
+                    "heterogeneous quota {} below one replica per job ({})",
+                    resources.replica_quota().get(),
+                    setups.len()
+                )));
+            }
         }
         let duration_minutes = setups
             .iter()
@@ -272,6 +318,15 @@ impl Simulation {
     ) -> Result<RunOutcome> {
         if let Some(plan) = faults {
             plan.validate(self.jobs.len())?;
+            if self.config.hetero_resources.is_some() && plan.node_outage.is_some() {
+                // A node outage shrinks the scalar quota; the classed
+                // regime has no notion of which class's capacity the
+                // lost node carried, so the combination is rejected
+                // rather than silently mis-modeled.
+                return Err(Error::InvalidSetup(
+                    "node outages are not modeled on heterogeneous clusters".into(),
+                ));
+            }
             self.faults = plan;
         }
         // The cluster can host what the policy asked for except during
@@ -564,15 +619,7 @@ mod tests {
             }
             fn decide(&mut self, s: &ClusterSnapshot) -> DesiredState {
                 s.job_ids()
-                    .map(|id| {
-                        (
-                            id,
-                            JobDecision {
-                                target_replicas: 8,
-                                drop_rate: 0.0,
-                            },
-                        )
-                    })
+                    .map(|id| (id, JobDecision::replicas(8)))
                     .collect()
             }
         }
@@ -609,15 +656,7 @@ mod tests {
         }
         fn decide(&mut self, s: &ClusterSnapshot) -> DesiredState {
             s.job_ids()
-                .map(|id| {
-                    (
-                        id,
-                        JobDecision {
-                            target_replicas: self.0,
-                            drop_rate: 0.0,
-                        },
-                    )
-                })
+                .map(|id| (id, JobDecision::replicas(self.0)))
                 .collect()
         }
     }
@@ -647,15 +686,7 @@ mod tests {
                 .push((s.now.as_secs(), s.jobs[0].recent_arrival_rate));
             s.job_ids()
                 .zip(s.jobs.iter())
-                .map(|(id, j)| {
-                    (
-                        id,
-                        JobDecision {
-                            target_replicas: j.target_replicas,
-                            drop_rate: 0.0,
-                        },
-                    )
-                })
+                .map(|(id, j)| (id, JobDecision::replicas(j.target_replicas)))
                 .collect()
         }
     }

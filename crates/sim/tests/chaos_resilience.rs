@@ -49,15 +49,7 @@ impl faro_core::Policy for RampSupply {
         self.round += 1;
         let target = (2 + self.round / 2).min(self.ceiling);
         s.job_ids()
-            .map(|id| {
-                (
-                    id,
-                    JobDecision {
-                        target_replicas: target,
-                        drop_rate: 0.0,
-                    },
-                )
-            })
+            .map(|id| (id, JobDecision::replicas(target)))
             .collect()
     }
 }
@@ -201,8 +193,8 @@ proptest! {
         fault_seed in 0u64..20,
     ) {
         let desired: DesiredState = vec![
-            (JobId::new(0), JobDecision { target_replicas: t0, drop_rate: 0.0 }),
-            (JobId::new(1), JobDecision { target_replicas: t1, drop_rate: 0.0 }),
+            (JobId::new(0), JobDecision::replicas(t0)),
+            (JobId::new(1), JobDecision::replicas(t1)),
         ]
         .into_iter()
         .collect();

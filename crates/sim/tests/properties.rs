@@ -22,15 +22,7 @@ impl Policy for ScriptedPolicy {
         let (target, drop) = self.script[self.step % self.script.len()];
         self.step += 1;
         s.job_ids()
-            .map(|id| {
-                (
-                    id,
-                    JobDecision {
-                        target_replicas: target,
-                        drop_rate: drop,
-                    },
-                )
-            })
+            .map(|id| (id, JobDecision::replicas(target).with_drop_rate(drop)))
             .collect()
     }
 }
@@ -160,8 +152,8 @@ proptest! {
     ) {
         let mut backend = primed_backend(seed);
         let desired: DesiredState = vec![
-            (JobId::new(0), JobDecision { target_replicas: t0, drop_rate: d0 }),
-            (JobId::new(1), JobDecision { target_replicas: t1, drop_rate: 0.0 }),
+            (JobId::new(0), JobDecision::replicas(t0).with_drop_rate(d0)),
+            (JobId::new(1), JobDecision::replicas(t1)),
         ]
         .into_iter()
         .collect();
@@ -184,7 +176,7 @@ proptest! {
         let mut backend = primed_backend(seed);
         let before = backend.observe().unwrap();
         let only_first: DesiredState = vec![
-            (JobId::new(0), JobDecision { target_replicas: target, drop_rate: drop }),
+            (JobId::new(0), JobDecision::replicas(target).with_drop_rate(drop)),
         ]
         .into_iter()
         .collect();

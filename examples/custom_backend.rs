@@ -97,6 +97,8 @@ impl ClusterBackend for RampBackend {
                 mean_processing_time: spec.processing_time,
                 recent_tail_latency: tail,
                 drop_rate: self.drop_rates[j],
+                class_target: None,
+                class_ready: None,
             });
         }
         Ok(ClusterSnapshot {

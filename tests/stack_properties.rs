@@ -239,6 +239,8 @@ fn forecaster_feeds_autoscaler() {
         mean_processing_time: 0.18,
         recent_tail_latency: 0.2,
         drop_rate: 0.0,
+        class_target: None,
+        class_ready: None,
     };
     let snap = ClusterSnapshot {
         now: faro::core::units::SimTimeMs::ZERO,

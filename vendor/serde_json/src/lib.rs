@@ -4,9 +4,14 @@
 //! pretty JSON. Serialization is infallible for the types this
 //! workspace encodes, but the `Result` signatures are kept so call
 //! sites match the real crate.
+//!
+//! A minimal [`Value`] tree and [`from_str`] parser cover the read
+//! side: wire-format back-compat tests deserialize committed traces
+//! and legacy snapshots through it.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Serialization error (never produced by the stub; kept for API
@@ -98,8 +103,269 @@ fn pretty(compact: &str) -> String {
     out
 }
 
+/// A parsed JSON document.
+///
+/// Objects preserve no duplicate keys (last wins) and iterate in key
+/// order (`BTreeMap`), which is all the wire-compat tests need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value of `key` when this is an object holding it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The whole-number value, if this is a number with no fraction.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document from `s`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input or trailing non-whitespace.
+pub fn from_str(s: &str) -> Result<Value> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&chars, &mut pos).ok_or(Error(()))?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(Error(()));
+    }
+    Ok(value)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars
+        .get(*pos)
+        .is_some_and(|c| matches!(c, ' ' | '\t' | '\n' | '\r'))
+    {
+        *pos += 1;
+    }
+}
+
+fn eat(chars: &[char], pos: &mut usize, expect: char) -> Option<()> {
+    if chars.get(*pos) == Some(&expect) {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Option<Value> {
+    skip_ws(chars, pos);
+    match chars.get(*pos)? {
+        '{' => parse_object(chars, pos),
+        '[' => parse_array(chars, pos),
+        '"' => parse_string(chars, pos).map(Value::String),
+        't' => parse_literal(chars, pos, "true", Value::Bool(true)),
+        'f' => parse_literal(chars, pos, "false", Value::Bool(false)),
+        'n' => parse_literal(chars, pos, "null", Value::Null),
+        _ => parse_number(chars, pos),
+    }
+}
+
+fn parse_literal(chars: &[char], pos: &mut usize, word: &str, value: Value) -> Option<Value> {
+    for expect in word.chars() {
+        eat(chars, pos, expect)?;
+    }
+    Some(value)
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> Option<Value> {
+    let start = *pos;
+    if chars.get(*pos) == Some(&'-') {
+        *pos += 1;
+    }
+    while chars
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+    {
+        *pos += 1;
+    }
+    let text: String = chars.get(start..*pos)?.iter().collect();
+    text.parse::<f64>().ok().map(Value::Number)
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Option<String> {
+    eat(chars, pos, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.get(*pos)? {
+            '"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            '\\' => {
+                *pos += 1;
+                match chars.get(*pos)? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let hex: String = chars.get(*pos + 1..*pos + 5)?.iter().collect();
+                        let code = u32::from_str_radix(&hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            &c => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_array(chars: &[char], pos: &mut usize) -> Option<Value> {
+    eat(chars, pos, '[')?;
+    let mut items = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Some(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(chars, pos)?);
+        skip_ws(chars, pos);
+        match chars.get(*pos)? {
+            ',' => *pos += 1,
+            ']' => {
+                *pos += 1;
+                return Some(Value::Array(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(chars: &[char], pos: &mut usize) -> Option<Value> {
+    eat(chars, pos, '{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Some(Value::Object(map));
+    }
+    loop {
+        skip_ws(chars, pos);
+        let key = parse_string(chars, pos)?;
+        skip_ws(chars, pos);
+        eat(chars, pos, ':')?;
+        let value = parse_value(chars, pos)?;
+        map.insert(key, value);
+        skip_ws(chars, pos);
+        match chars.get(*pos)? {
+            ',' => *pos += 1,
+            '}' => {
+                *pos += 1;
+                return Some(Value::Object(map));
+            }
+            _ => return None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::{from_str, Value};
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = from_str(r#"{"a":[1,2.5,-3e2],"b":{"c":"x\"y"},"d":null,"e":true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\"y"));
+        assert_eq!(v.get("d"), Some(&Value::Null));
+        assert_eq!(v.get("e").unwrap().as_bool(), Some(true));
+        assert!(from_str("{").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+
+    #[test]
+    fn round_trips_serialized_output() {
+        let json = super::to_string(&vec![1.5f64, 2.0]).unwrap();
+        let v = from_str(&json).unwrap();
+        assert_eq!(v.as_array().unwrap()[0].as_f64(), Some(1.5));
+        assert_eq!(v.as_array().unwrap()[1].as_u64(), Some(2));
+    }
+
     #[test]
     fn primitives_round_out() {
         assert_eq!(super::to_string(&1.5f64).unwrap(), "1.5");
