@@ -330,7 +330,12 @@ impl<B: ClusterBackend> ResilientDriver<B> {
                 // round silently vanishing.
                 let landed = match e {
                     BackendError::PartialApply { applied } => applied,
-                    _ => 0,
+                    // Spelled out (not `_`) so a new BackendError
+                    // variant forces a decision here about what, if
+                    // anything, landed before the failure.
+                    BackendError::Timeout { .. }
+                    | BackendError::Unavailable { .. }
+                    | BackendError::StaleSnapshot { .. } => 0,
                 };
                 let actuation = ActuationReport {
                     jobs_applied: landed,

@@ -661,6 +661,7 @@ impl ShardedSolver {
             });
             shard_load.push(weight.max(1e-9));
         }
+        // faro-lint: allow(float-order-determinism): shard_load is a Vec filled in shard-index order; the reduction order is fixed for any thread count
         let total_load: f64 = shard_load.iter().sum();
         let x0 = self
             .members

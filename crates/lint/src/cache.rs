@@ -1,0 +1,275 @@
+//! The incremental cache: per-file facts and diagnostics keyed by
+//! content hash, valid only under the index fingerprint they were
+//! computed against.
+//!
+//! Format is a hand-rolled, line-oriented text file (the crate is
+//! dependency-free by design): one record per line, fields separated
+//! by tabs, with `\\`, `\t`, `\n` escaped inside fields. Anything
+//! unexpected — a bad header, an unknown rule id, a malformed line —
+//! invalidates the whole cache and the run silently falls back to a
+//! full lint; a cache can only ever make the run faster, never wrong.
+
+use crate::diagnostics::Diagnostic;
+use crate::index::{EnumDef, FileFacts, FnSig};
+use crate::rules::intern_rule;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+const HEADER: &str = "faro-lint-cache v1";
+
+/// One cached file: its content hash, extracted facts, and final
+/// (post-suppression) per-file diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    pub hash: u64,
+    pub facts: FileFacts,
+    pub diags: Vec<Diagnostic>,
+}
+
+/// The whole cache: every entry was computed under one index
+/// fingerprint.
+#[derive(Debug, Default, PartialEq)]
+pub struct Cache {
+    pub index_fingerprint: u64,
+    pub entries: BTreeMap<String, CacheEntry>,
+}
+
+fn esc(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    for c in field.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Serializes and writes the cache; parent directory is created.
+pub fn store(path: &Path, cache: &Cache) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("fp\t{:016x}\n", cache.index_fingerprint));
+    for (file, entry) in &cache.entries {
+        out.push_str(&format!("F\t{}\t{:016x}\n", esc(file), entry.hash));
+        for import in &entry.facts.imports {
+            out.push_str(&format!("I\t{}\n", esc(import)));
+        }
+        for m in &entry.facts.mods {
+            out.push_str(&format!("M\t{}\n", esc(m)));
+        }
+        for sig in &entry.facts.pub_fns {
+            out.push_str(&format!("S\t{}", esc(&sig.name)));
+            for p in &sig.params {
+                out.push('\t');
+                out.push_str(&esc(p));
+            }
+            out.push('\n');
+        }
+        for def in &entry.facts.pub_enums {
+            out.push_str(&format!("E\t{}", esc(&def.name)));
+            for v in &def.variants {
+                out.push('\t');
+                out.push_str(&esc(v));
+            }
+            out.push('\n');
+        }
+        for (name, inner) in &entry.facts.newtypes {
+            out.push_str(&format!("N\t{}\t{}\n", esc(name), esc(inner)));
+        }
+        for (alias, target) in &entry.facts.aliases {
+            out.push_str(&format!("A\t{}\t{}\n", esc(alias), esc(target)));
+        }
+        for d in &entry.diags {
+            out.push_str(&format!(
+                "D\t{}\t{}\t{}\t{}\t{}\n",
+                d.rule,
+                d.line,
+                d.col,
+                esc(&d.message),
+                esc(&d.help)
+            ));
+        }
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, out)
+}
+
+/// Reads and parses the cache; `None` on any irregularity.
+pub fn load(path: &Path) -> Option<Cache> {
+    let text = fs::read_to_string(path).ok()?;
+    parse(&text)
+}
+
+fn parse(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    if lines.next()? != HEADER {
+        return None;
+    }
+    let fp_line = lines.next()?;
+    let fp_hex = fp_line.strip_prefix("fp\t")?;
+    let index_fingerprint = u64::from_str_radix(fp_hex, 16).ok()?;
+    let mut entries = BTreeMap::new();
+    let mut current: Option<(String, CacheEntry)> = None;
+    for line in lines {
+        let fields: Vec<String> = line.split('\t').map(unesc).collect();
+        match fields[0].as_str() {
+            "F" => {
+                if let Some((file, entry)) = current.take() {
+                    entries.insert(file, entry);
+                }
+                if fields.len() != 3 {
+                    return None;
+                }
+                let hash = u64::from_str_radix(&fields[2], 16).ok()?;
+                current = Some((
+                    fields[1].clone(),
+                    CacheEntry {
+                        hash,
+                        facts: FileFacts::default(),
+                        diags: Vec::new(),
+                    },
+                ));
+            }
+            kind => {
+                let (file, entry) = current.as_mut()?;
+                let _ = file;
+                match kind {
+                    "I" => entry.facts.imports.push(fields.get(1)?.clone()),
+                    "M" => entry.facts.mods.push(fields.get(1)?.clone()),
+                    "S" => entry.facts.pub_fns.push(FnSig {
+                        name: fields.get(1)?.clone(),
+                        params: fields[2..].to_vec(),
+                    }),
+                    "E" => entry.facts.pub_enums.push(EnumDef {
+                        name: fields.get(1)?.clone(),
+                        variants: fields[2..].to_vec(),
+                    }),
+                    "N" => entry
+                        .facts
+                        .newtypes
+                        .push((fields.get(1)?.clone(), fields.get(2)?.clone())),
+                    "A" => entry
+                        .facts
+                        .aliases
+                        .push((fields.get(1)?.clone(), fields.get(2)?.clone())),
+                    "D" => {
+                        if fields.len() != 6 {
+                            return None;
+                        }
+                        entry.diags.push(Diagnostic {
+                            file: file.clone(),
+                            line: fields[2].parse().ok()?,
+                            col: fields[3].parse().ok()?,
+                            rule: intern_rule(&fields[1])?,
+                            message: fields[4].clone(),
+                            help: fields[5].clone(),
+                        });
+                    }
+                    _ => return None,
+                }
+            }
+        }
+    }
+    if let Some((file, entry)) = current.take() {
+        entries.insert(file, entry);
+    }
+    Some(Cache {
+        index_fingerprint,
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Cache {
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            "crates/core/src/a.rs".to_owned(),
+            CacheEntry {
+                hash: 0xdead_beef,
+                facts: FileFacts {
+                    imports: vec!["crates/core/src/units.rs".to_owned()],
+                    mods: vec!["inner".to_owned()],
+                    pub_fns: vec![FnSig {
+                        name: "with_deadline".to_owned(),
+                        params: vec!["SimTimeMs".to_owned(), "f64".to_owned()],
+                    }],
+                    pub_enums: vec![EnumDef {
+                        name: "BackendError".to_owned(),
+                        variants: vec!["Timeout".to_owned(), "Unavailable".to_owned()],
+                    }],
+                    newtypes: vec![("SimTimeMs".to_owned(), "i64".to_owned())],
+                    aliases: vec![("FaroError".to_owned(), "Error".to_owned())],
+                },
+                diags: vec![Diagnostic {
+                    file: "crates/core/src/a.rs".to_owned(),
+                    line: 3,
+                    col: 7,
+                    rule: "raw-time-arith",
+                    message: "weird\tmessage with\nnewline".to_owned(),
+                    help: "back\\slash".to_owned(),
+                }],
+            },
+        );
+        Cache {
+            index_fingerprint: 0x1234_5678_9abc_def0,
+            entries,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("faro-lint-cache-test");
+        let path = dir.join("cache.v1");
+        let cache = sample();
+        store(&path, &cache).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded, cache);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_unknown_rules() {
+        assert!(parse("not a cache\nfp\t0\n").is_none());
+        let bogus_rule =
+            "faro-lint-cache v1\nfp\t0\nF\ta.rs\t0000000000000001\nD\tno-such-rule\t1\t1\tm\th\n";
+        assert!(parse(bogus_rule).is_none());
+        let truncated = "faro-lint-cache v1\n";
+        assert!(parse(truncated).is_none());
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        for s in ["plain", "tab\there", "line\nbreak", "back\\slash", ""] {
+            assert_eq!(unesc(&esc(s)), s);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Machine-readable emitters: plain JSON for scripts, SARIF 2.1.0 for
+//! code-scanning UIs. Hand-rolled serialization — the crate stays
+//! dependency-free, and both formats are a few nested objects.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::KNOWN_RULES;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The diagnostics as a flat JSON report:
+/// `{"count": N, "diagnostics": [{file, line, col, rule, message,
+/// help}, …]}`.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"count\": {},\n", diags.len()));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\", \"help\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            json_escape(d.rule),
+            json_escape(&d.message),
+            json_escape(&d.help)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// The diagnostics as a minimal SARIF 2.1.0 log: one run, one tool
+/// (`faro-lint`) with every known rule declared, one result per
+/// diagnostic at error level. Enough for GitHub code scanning and any
+/// SARIF viewer.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"faro-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/faro/crates/lint\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, rule) in KNOWN_RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\"}}",
+            json_escape(rule)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            \
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}\n          ]\n        }}",
+            json_escape(d.rule),
+            json_escape(&format!("{} (help: {})", d.message, d.help)),
+            json_escape(&d.file),
+            d.line,
+            d.col
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic {
+            file: "crates/sim/src/backend.rs".to_owned(),
+            line: 12,
+            col: 5,
+            rule: "nondeterministic-iteration",
+            message: "HashMap iteration order varies \"run to run\"".to_owned(),
+            help: "use BTreeMap\nor a sorted Vec".to_owned(),
+        }]
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let json = to_json(&sample());
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\\\"run to run\\\""));
+        assert!(json.contains("BTreeMap\\nor"));
+        assert!(json.contains("\"rule\": \"nondeterministic-iteration\""));
+        // Empty report is still a valid object.
+        let empty = to_json(&[]);
+        assert!(empty.contains("\"count\": 0"));
+        assert!(empty.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn sarif_declares_rules_and_locates_results() {
+        let sarif = to_sarif(&sample());
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"faro-lint\""));
+        for rule in KNOWN_RULES {
+            assert!(sarif.contains(&format!("{{\"id\": \"{rule}\"}}")), "{rule}");
+        }
+        assert!(sarif.contains("\"startLine\": 12"));
+        assert!(sarif.contains("\"uri\": \"crates/sim/src/backend.rs\""));
+        assert!(to_sarif(&[]).contains("\"results\": []"));
+    }
+}

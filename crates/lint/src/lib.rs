@@ -7,49 +7,91 @@
 //! `HashMap` iteration in a report loop, an `Instant::now()` in a
 //! policy, a stray `* 60.0` that silently mixes per-second and
 //! per-minute rates. The type system catches some of this (see
-//! [`faro_core::units`]); this linter catches the rest — the patterns
+//! `faro_core::units`); this linter catches the rest — the patterns
 //! that are legal Rust but violate project invariants.
 //!
-//! Five rules:
+//! The linter runs in two phases. Phase 1 builds a [`WorkspaceIndex`]
+//! over every crate: the module graph from `mod`/`use` declarations,
+//! a symbol table of `pub fn` signatures / `pub enum` variants /
+//! newtype and alias definitions, and the golden-sensitivity closure
+//! (the [`GOLDEN_SENSITIVE`] seeds plus every file that transitively
+//! imports from one). Phase 2 runs the rules — per-file token rules
+//! plus cross-file rules that consult the index.
 //!
-//! - [`nondeterministic-iteration`](rules::nondeterministic_iteration):
+//! Per-file rules:
+//!
+//! - `nondeterministic-iteration`:
 //!   forbids `HashMap`/`HashSet` and ambient randomness/wall-clock
 //!   reads (`thread_rng`, `rand::random`, `SystemTime`, `Instant`) in
 //!   the determinism-critical crates (`core`, `sim`, `solver`,
 //!   `control`).
-//! - [`raw-time-arith`](rules::raw_time_arith): forbids new raw-`f64`
+//! - `raw-time-arith`: forbids new raw-`f64`
 //!   time/rate fields (suffixes `_secs`, `_ms`, `_micros`, `_per_min`,
 //!   `_per_minute`) and bare cross-unit conversion constants (`60e6`,
 //!   `1_000_000`, …) outside the unit home modules (`units.rs`,
 //!   `count.rs`, `events.rs`).
-//! - [`no-panic-in-lib`](rules::no_panic_in_lib): forbids `unwrap()`,
+//! - `no-panic-in-lib`: forbids `unwrap()`,
 //!   bare `panic!`, and literal indexing in non-test library code of
 //!   `sim` and `control`; `expect` is allowed only with an
 //!   `"invariant: …"` message that states why it cannot fire.
-//! - [`no-unbounded-retry`](rules::no_unbounded_retry): forbids
+//! - `no-unbounded-retry`: forbids
 //!   `loop`/`while` blocks in `crates/control/src/` that retry
 //!   `observe()`/`apply()` without a visible attempt counter or
-//!   budget; a refusing API turns an unbounded retry into a spin, and
-//!   the `ResilientDriver` is the sanctioned way to retry.
-//! - [`golden-guard`](golden_guard): a diff-level rule — editing an
-//!   event-ordering-sensitive file (sim event loop, backend, runtime,
-//!   core opt) without touching a golden test in the same change is
-//!   flagged, because those files are exactly where bit-identity dies.
+//!   budget.
 //!
-//! Escape hatch: `// faro-lint: allow(rule-id): reason` on the
-//! offending line or the line above; `// faro-lint: allow-file(rule-id)`
-//! anywhere in a file silences the rule for the whole file. Allows are
-//! deliberately loud in review — grep for `faro-lint:` to audit them.
+//! Cross-file rules (phase 2, over the index):
 //!
-//! Run it with `cargo xtask lint` (wired into CI). The entry points
-//! are [`run`] for the whole workspace and [`lint_source`] for one
-//! in-memory file (used by the fixture tests).
+//! - `float-order-determinism`:
+//!   order-sensitive `f64` reductions (`sum()`, `fold` with `+`, `+=`
+//!   in loops) over merged/parallel collections in golden-sensitive
+//!   core/sim/solver files — float addition is not associative, and
+//!   a completion-order sum changes the golden bytes.
+//! - `exhaustive-error-handling`:
+//!   a `match` on `BackendError`/`FaroError` in `crates/control/src/`
+//!   with a `_` arm, resolved against the enum's actual variant list —
+//!   adding a variant turns every wildcard into a finding.
+//! - `unit-flow`: bare numeric literals passed
+//!   to parameters whose declared type is a unit newtype
+//!   (`SimTimeMs`, `DurationMs`, `RatePerMin`, `ReplicaCount`), via
+//!   the signature registry.
+//! - `golden-sensitivity-propagation` / [`golden-guard`](golden_guard)
+//!   (diff level): changing a golden-sensitive file — seed or
+//!   transitive importer — without touching a golden test in the same
+//!   change is flagged; the propagated closure supersedes the
+//!   hand-maintained seed list.
+//! - `unused-allow`: an allow annotation that suppresses zero
+//!   diagnostics (or names an unknown rule) is itself an error, so
+//!   suppressions cannot rot.
+//!
+//! Escape hatch: a plain comment `faro-lint: allow(rule-id): reason`
+//! on the offending line or the line above; the `allow-file(rule-id)`
+//! form anywhere in a file silences the rule for the whole file.
+//! Doc comments and string literals are never parsed for annotations.
+//! Allows are deliberately loud in review — grep for the marker to
+//! audit them — and `unused-allow` deletes them for you when they die.
+//!
+//! Run it with `cargo xtask lint` (wired into CI; `--format json` or
+//! `--format sarif` emit machine-readable reports, `--incremental`
+//! reuses the content-hash cache). The entry points are [`run`] /
+//! [`run_with`] for the workspace and [`lint_source`] /
+//! [`lint_sources`] for in-memory files (used by the fixture tests).
 
+mod cache;
 mod diagnostics;
+mod emit;
+mod index;
 mod rules;
 mod sanitize;
+mod semantic;
 mod walk;
 
 pub use diagnostics::Diagnostic;
-pub use rules::lint_source;
-pub use walk::{changed_files, golden_guard, run, GOLDEN_SENSITIVE};
+pub use emit::{to_json, to_sarif};
+pub use index::{
+    build_index, extract_facts, EnumDef, FileFacts, FnSig, WorkspaceIndex, UNIT_TYPES,
+};
+pub use rules::{index_sources, lint_source, lint_sources, KNOWN_RULES};
+pub use walk::{
+    changed_files, golden_guard, golden_guard_indexed, index_workspace, run, run_with, LintOutcome,
+    Options, GOLDEN_SENSITIVE,
+};

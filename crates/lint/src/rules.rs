@@ -1,26 +1,169 @@
-//! The five lint rules.
+//! The per-file lint rules, plus the suppression/audit pass shared
+//! with the cross-file rules.
 //!
 //! Every rule works on a [`FileScan`]: sanitized lines (comments and
 //! strings blanked) for matching, raw lines for the one check that
 //! needs literal text (`expect` messages), per-line allowlists, and
 //! test spans. Scoping is by path prefix so fixture tests can claim
 //! any scope by passing a logical path.
+//!
+//! Rules emit *raw* diagnostics — they do not consult allow
+//! annotations. [`finish`] then splits raw findings into kept and
+//! suppressed, and turns every annotation that suppressed nothing into
+//! an `unused-allow` finding of its own. Suppressions therefore cannot
+//! rot: deleting the code a `faro-lint: allow` was written for makes
+//! the annotation itself the error.
 
 use crate::diagnostics::Diagnostic;
+use crate::index::{build_index, extract_facts};
 use crate::sanitize::{self, FileScan};
+use crate::semantic::lint_with_index;
+use crate::walk::GOLDEN_SENSITIVE;
+use std::collections::BTreeMap;
 
-/// Lints one file's `content` as if it lived at `path`
-/// (workspace-relative). This is the single entry point the walker
-/// and the fixture tests share.
+/// Every rule id the linter can emit. Allow annotations naming
+/// anything else are flagged.
+pub const KNOWN_RULES: &[&str] = &[
+    "nondeterministic-iteration",
+    "raw-time-arith",
+    "no-panic-in-lib",
+    "no-unbounded-retry",
+    "golden-guard",
+    "float-order-determinism",
+    "exhaustive-error-handling",
+    "unit-flow",
+    "golden-sensitivity-propagation",
+    "unused-allow",
+];
+
+/// Diff-level rules fire only when a file appears in a change set, so
+/// an annotation for them is legitimately dormant at HEAD and exempt
+/// from the unused-allow audit.
+const DIFF_RULES: &[&str] = &["golden-guard", "golden-sensitivity-propagation"];
+
+/// Interns a rule id from the cache's string form; `None` for ids this
+/// binary does not know (a cache written by a different version).
+pub fn intern_rule(id: &str) -> Option<&'static str> {
+    KNOWN_RULES.iter().find(|r| **r == id).copied()
+}
+
+/// Lints one in-memory file. Equivalent to [`lint_sources`] with a
+/// single entry: the cross-file rules see an index built from this
+/// file alone.
 pub fn lint_source(path: &str, content: &str) -> Vec<Diagnostic> {
-    let scan = sanitize::scan(content);
+    lint_sources(&[(path, content)])
+}
+
+/// Lints a set of in-memory files as one workspace: builds the
+/// semantic index over all of them, then runs the per-file rules, the
+/// index-backed rules, and the suppression/unused-allow pass. The
+/// diff-level golden rules are not run — they need a change set, not
+/// file contents (see [`crate::walk::run`]).
+pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let scans: Vec<(&str, FileScan)> = files
+        .iter()
+        .map(|(path, content)| (*path, sanitize::scan(content)))
+        .collect();
+    let mut facts = BTreeMap::new();
+    for (path, scan) in &scans {
+        facts.insert((*path).to_owned(), extract_facts(path, scan));
+    }
+    let index = build_index(facts, GOLDEN_SENSITIVE);
     let mut out = Vec::new();
-    nondeterministic_iteration(path, &scan, &mut out);
-    raw_time_arith(path, &scan, &mut out);
-    no_panic_in_lib(path, &scan, &mut out);
-    no_unbounded_retry(path, &scan, &mut out);
+    for (path, scan) in &scans {
+        let mut raw = Vec::new();
+        per_file_rules(path, scan, &mut raw);
+        lint_with_index(path, scan, &index, &mut raw);
+        out.extend(finish(path, scan, raw));
+    }
     out.sort();
     out
+}
+
+/// Builds the phase-1 [`crate::index::WorkspaceIndex`] over a set of
+/// in-memory files
+/// with the [`GOLDEN_SENSITIVE`] seeds — the in-memory analogue of
+/// [`crate::walk::index_workspace`], for tests and tooling that want
+/// the module graph or the golden closure without running any rules.
+pub fn index_sources(files: &[(&str, &str)]) -> crate::index::WorkspaceIndex {
+    let mut facts = BTreeMap::new();
+    for (path, content) in files {
+        facts.insert(
+            (*path).to_owned(),
+            extract_facts(path, &sanitize::scan(content)),
+        );
+    }
+    build_index(facts, GOLDEN_SENSITIVE)
+}
+
+/// Runs the four per-file rules, emitting raw (unsuppressed)
+/// diagnostics.
+pub fn per_file_rules(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    nondeterministic_iteration(path, scan, out);
+    raw_time_arith(path, scan, out);
+    no_panic_in_lib(path, scan, out);
+    no_unbounded_retry(path, scan, out);
+}
+
+/// Applies allow annotations to `raw` and audits them: returns the
+/// kept diagnostics plus one `unused-allow` finding per annotation
+/// that suppressed nothing (or names no known rule). `unused-allow`
+/// findings are themselves unsuppressible — an allow for an allow
+/// would defeat the audit.
+pub fn finish(path: &str, scan: &FileScan, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut kept = Vec::new();
+    let mut suppressed: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        if scan.allows(d.line - 1, d.rule) {
+            suppressed.push(d);
+        } else {
+            kept.push(d);
+        }
+    }
+    for site in &scan.allow_sites {
+        if scan.in_test.get(site.line).copied().unwrap_or(false) {
+            continue; // test code is exempt from the rules, and so
+                      // from the audit of their annotations
+        }
+        if !KNOWN_RULES.contains(&site.rule.as_str()) {
+            kept.push(Diagnostic {
+                file: path.to_owned(),
+                line: site.line + 1,
+                col: site.col + 1,
+                rule: "unused-allow",
+                message: format!("allow annotation names unknown rule `{}`", site.rule),
+                help: "check the rule id against the list in crates/lint/src/lib.rs; \
+                       a typo here silently disables nothing"
+                    .to_owned(),
+            });
+            continue;
+        }
+        if DIFF_RULES.contains(&site.rule.as_str()) {
+            continue;
+        }
+        let used = match site.covers {
+            Some(line) => suppressed
+                .iter()
+                .any(|d| d.line == line + 1 && d.rule == site.rule),
+            None => suppressed.iter().any(|d| d.rule == site.rule),
+        };
+        if !used {
+            kept.push(Diagnostic {
+                file: path.to_owned(),
+                line: site.line + 1,
+                col: site.col + 1,
+                rule: "unused-allow",
+                message: format!(
+                    "allow annotation for `{}` suppresses no diagnostic",
+                    site.rule
+                ),
+                help: "the code this suppression was written for is gone or clean — \
+                       delete the annotation so the rule is live again"
+                    .to_owned(),
+            });
+        }
+    }
+    kept
 }
 
 fn is_ident(c: char) -> bool {
@@ -106,7 +249,7 @@ pub fn nondeterministic_iteration(path: &str, scan: &FileScan, out: &mut Vec<Dia
         ),
     ];
     for (idx, line) in scan.clean.iter().enumerate() {
-        if scan.in_test[idx] || scan.allows(idx, RULE) {
+        if scan.in_test[idx] {
             continue;
         }
         for &(word, message, help) in PATTERNS {
@@ -158,7 +301,7 @@ pub fn raw_time_arith(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
     }
     let flag_literals = scoped(path, CROSS_UNIT_SCOPE);
     for (idx, line) in scan.clean.iter().enumerate() {
-        if scan.in_test[idx] || scan.allows(idx, RULE) {
+        if scan.in_test[idx] {
             continue;
         }
         let chars: Vec<char> = line.chars().collect();
@@ -280,7 +423,7 @@ pub fn no_panic_in_lib(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
         return;
     }
     for (idx, line) in scan.clean.iter().enumerate() {
-        if scan.in_test[idx] || scan.allows(idx, RULE) {
+        if scan.in_test[idx] {
             continue;
         }
         for col in substr_all(line, ".unwrap()") {
@@ -379,7 +522,7 @@ pub fn no_unbounded_retry(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>
         return;
     }
     for (idx, line) in scan.clean.iter().enumerate() {
-        if scan.in_test[idx] || scan.allows(idx, RULE) {
+        if scan.in_test[idx] {
             continue;
         }
         let keyword = ["loop", "while"]

@@ -9,8 +9,34 @@
 //! about where comments and literals *end*, which takes a small state
 //! machine (nested block comments, raw strings, and the
 //! char-versus-lifetime ambiguity are the only subtle cases).
+//!
+//! Alongside the code-only `clean` lines the scanner produces a
+//! *comment-only* mask: plain `//` and `/* */` comment text preserved,
+//! everything else (code, strings, doc comments) blanked. Allow
+//! annotations are collected from that mask, so a
+//! `faro-lint: allow(...)` inside a string literal — the linter's own
+//! help strings, say — is never mistaken for a real suppression, and
+//! doc comments that merely *describe* the syntax do not create
+//! phantom annotations for `unused-allow` to flag.
 
 use std::collections::BTreeSet;
+
+/// One `faro-lint: allow(rule)` annotation, as written in the source.
+///
+/// `unused-allow` audits these: an annotation that never suppresses a
+/// diagnostic is itself an error, so suppressions cannot rot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSite {
+    /// 0-based line of the annotation comment.
+    pub line: usize,
+    /// 0-based column where the `faro-lint:` marker starts.
+    pub col: usize,
+    /// The rule the annotation names.
+    pub rule: String,
+    /// The 0-based line the annotation covers, or `None` for an
+    /// `allow-file` annotation covering the whole file.
+    pub covers: Option<usize>,
+}
 
 /// A scanned file: original lines, sanitized lines, per-line allowed
 /// rules, and which lines sit inside test-only code.
@@ -19,9 +45,14 @@ pub struct FileScan {
     pub raw: Vec<String>,
     /// Comment/string-blanked lines; same line count and columns.
     pub clean: Vec<String>,
+    /// Comment-only lines: plain comment text preserved, code and
+    /// strings blanked. Same line count and columns as `raw`.
+    pub comments: Vec<String>,
     /// Rules allowed per line via `faro-lint: allow(...)` annotations
     /// (same line or the line above) or `allow-file(...)`.
     allowed: Vec<BTreeSet<String>>,
+    /// Every allow annotation, for the `unused-allow` audit.
+    pub allow_sites: Vec<AllowSite>,
     /// True for lines inside `#[cfg(test)]` or `#[test]` items.
     pub in_test: Vec<bool>,
 }
@@ -36,14 +67,17 @@ impl FileScan {
 /// Scans `content` into sanitized lines plus allow/test metadata.
 pub fn scan(content: &str) -> FileScan {
     let raw: Vec<String> = content.split('\n').map(str::to_owned).collect();
-    let clean = blank_comments_and_strings(content);
+    let (clean, comments) = blank_comments_and_strings(content);
     debug_assert_eq!(raw.len(), clean.len(), "sanitizer changed line count");
-    let allowed = collect_allows(&raw, &clean);
+    debug_assert_eq!(raw.len(), comments.len(), "comment mask changed line count");
+    let (allowed, allow_sites) = collect_allows(&comments, &clean);
     let in_test = test_spans(&clean);
     FileScan {
         raw,
         clean,
+        comments,
         allowed,
+        allow_sites,
         in_test,
     }
 }
@@ -52,46 +86,77 @@ fn push_blanked(out: &mut String, c: char) {
     out.push(if c == '\n' { '\n' } else { ' ' });
 }
 
-/// Blanks comments, strings, and char literals to spaces; preserves
-/// newlines, so line numbers and columns survive.
-fn blank_comments_and_strings(content: &str) -> Vec<String> {
+/// Emits `c` into the code stream and a blank into the comment stream.
+fn emit_code(code: &mut String, comments: &mut String, c: char) {
+    code.push(c);
+    push_blanked(comments, c);
+}
+
+/// Emits blanks into the code stream; `c` goes to the comment stream
+/// only when `keep_comment` (plain comments, not docs or strings).
+fn emit_non_code(code: &mut String, comments: &mut String, c: char, keep_comment: bool) {
+    push_blanked(code, c);
+    if keep_comment {
+        comments.push(c);
+    } else {
+        push_blanked(comments, c);
+    }
+}
+
+/// Blanks comments, strings, and char literals to spaces in the code
+/// view; preserves newlines, so line numbers and columns survive.
+/// Returns `(code_only, comment_only)` line vectors: the second keeps
+/// plain `//`/`/* */` comment text (doc comments excluded) and blanks
+/// everything else.
+fn blank_comments_and_strings(content: &str) -> (Vec<String>, Vec<String>) {
     let b: Vec<char> = content.chars().collect();
     let n = b.len();
-    let mut out = String::with_capacity(n);
+    let mut code = String::with_capacity(n);
+    let mut comm = String::with_capacity(n);
     let mut i = 0;
     while i < n {
         let c = b[i];
-        // Line comment: blank to end of line.
+        // Line comment: blank to end of line. `///` and `//!` are doc
+        // comments — documentation, not annotations — and stay out of
+        // the comment mask.
         if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let doc = i + 2 < n && (b[i + 2] == '/' || b[i + 2] == '!');
             while i < n && b[i] != '\n' {
-                out.push(' ');
+                emit_non_code(&mut code, &mut comm, b[i], !doc);
                 i += 1;
             }
             continue;
         }
-        // Block comment: nests, per the Rust grammar.
+        // Block comment: nests, per the Rust grammar. `/**` and `/*!`
+        // are doc comments, excluded from the mask like `///`.
         if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let doc = i + 2 < n && (b[i + 2] == '*' || b[i + 2] == '!')
+                // `/**/` is an empty plain comment, not a doc comment.
+                && !(i + 3 < n && b[i + 2] == '*' && b[i + 3] == '/');
             let mut depth = 1;
-            out.push_str("  ");
+            emit_non_code(&mut code, &mut comm, '/', !doc);
+            emit_non_code(&mut code, &mut comm, '*', !doc);
             i += 2;
             while i < n && depth > 0 {
                 if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
                     depth += 1;
-                    out.push_str("  ");
+                    emit_non_code(&mut code, &mut comm, '/', !doc);
+                    emit_non_code(&mut code, &mut comm, '*', !doc);
                     i += 2;
                 } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
                     depth -= 1;
-                    out.push_str("  ");
+                    emit_non_code(&mut code, &mut comm, '*', !doc);
+                    emit_non_code(&mut code, &mut comm, '/', !doc);
                     i += 2;
                 } else {
-                    push_blanked(&mut out, b[i]);
+                    emit_non_code(&mut code, &mut comm, b[i], !doc);
                     i += 1;
                 }
             }
             continue;
         }
         // Raw (byte) string: r"...", r#"..."#, br#"..."# — no escapes,
-        // closes on a quote followed by the opening hash count.
+        // closes only on a quote followed by the opening hash count.
         if (c == 'r' || c == 'b') && !prev_is_ident(&b, i) {
             let mut j = i;
             if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
@@ -107,53 +172,48 @@ fn blank_comments_and_strings(content: &str) -> Vec<String> {
                 if k < n && b[k] == '"' {
                     // Blank the prefix and opening quote.
                     for _ in i..=k {
-                        out.push(' ');
+                        emit_non_code(&mut code, &mut comm, ' ', false);
                     }
                     i = k + 1;
                     while i < n {
-                        if b[i] == '"'
-                            && b[i + 1..]
-                                .iter()
-                                .take(hashes)
-                                .filter(|&&h| h == '#')
-                                .count()
-                                == hashes
-                        {
+                        if b[i] == '"' && closes_raw_string(&b, i, hashes) {
                             for _ in 0..=hashes {
-                                out.push(' ');
+                                emit_non_code(&mut code, &mut comm, ' ', false);
                             }
                             i += 1 + hashes;
                             break;
                         }
-                        push_blanked(&mut out, b[i]);
+                        emit_non_code(&mut code, &mut comm, b[i], false);
                         i += 1;
                     }
                     continue;
                 }
+                // `r#ident` raw identifiers and a bare `r`/`br` fall
+                // through and are emitted as code below.
             }
             // `b"..."` / `b'x'` byte literals fall through to the
             // string/char arms below after emitting the `b`.
             if c == 'b' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '\'') {
-                out.push(' ');
+                emit_non_code(&mut code, &mut comm, ' ', false);
                 i += 1;
                 continue;
             }
         }
         // String literal with escapes.
         if c == '"' {
-            out.push(' ');
+            emit_non_code(&mut code, &mut comm, ' ', false);
             i += 1;
             while i < n {
                 if b[i] == '\\' && i + 1 < n {
-                    push_blanked(&mut out, b[i]);
-                    push_blanked(&mut out, b[i + 1]);
+                    emit_non_code(&mut code, &mut comm, b[i], false);
+                    emit_non_code(&mut code, &mut comm, b[i + 1], false);
                     i += 2;
                 } else if b[i] == '"' {
-                    out.push(' ');
+                    emit_non_code(&mut code, &mut comm, ' ', false);
                     i += 1;
                     break;
                 } else {
-                    push_blanked(&mut out, b[i]);
+                    emit_non_code(&mut code, &mut comm, b[i], false);
                     i += 1;
                 }
             }
@@ -168,43 +228,58 @@ fn blank_comments_and_strings(content: &str) -> Vec<String> {
                 i + 2 < n && b[i + 2] == '\''
             };
             if is_char {
-                out.push(' ');
+                emit_non_code(&mut code, &mut comm, ' ', false);
                 i += 1;
                 while i < n {
                     if b[i] == '\\' && i + 1 < n {
-                        push_blanked(&mut out, b[i]);
-                        push_blanked(&mut out, b[i + 1]);
+                        emit_non_code(&mut code, &mut comm, b[i], false);
+                        emit_non_code(&mut code, &mut comm, b[i + 1], false);
                         i += 2;
                     } else if b[i] == '\'' {
-                        out.push(' ');
+                        emit_non_code(&mut code, &mut comm, ' ', false);
                         i += 1;
                         break;
                     } else {
-                        push_blanked(&mut out, b[i]);
+                        emit_non_code(&mut code, &mut comm, b[i], false);
                         i += 1;
                     }
                 }
                 continue;
             }
         }
-        out.push(c);
+        emit_code(&mut code, &mut comm, c);
         i += 1;
     }
-    out.split('\n').map(str::to_owned).collect()
+    (
+        code.split('\n').map(str::to_owned).collect(),
+        comm.split('\n').map(str::to_owned).collect(),
+    )
+}
+
+/// Does the quote at `b[i]` close a raw string opened with `hashes`
+/// hashes? True when exactly the next `hashes` chars are all `#`.
+fn closes_raw_string(b: &[char], i: usize, hashes: usize) -> bool {
+    let after = &b[i + 1..];
+    after.len() >= hashes && after.iter().take(hashes).all(|&h| h == '#')
 }
 
 fn prev_is_ident(b: &[char], i: usize) -> bool {
     i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
 }
 
-/// Collects `faro-lint: allow(rule, ...)` annotations. A trailing
-/// allow covers its own line; an allow on a comment-only line covers
-/// the next line instead; `allow-file(rule)` covers the whole file.
-fn collect_allows(raw: &[String], clean: &[String]) -> Vec<BTreeSet<String>> {
-    let n = raw.len();
+/// Collects `faro-lint: allow(rule, ...)` annotations from the
+/// comment-only mask. A trailing allow covers its own line; an allow on
+/// a comment-only line covers the next line instead; `allow-file(rule)`
+/// covers the whole file.
+fn collect_allows(
+    comments: &[String],
+    clean: &[String],
+) -> (Vec<BTreeSet<String>>, Vec<AllowSite>) {
+    let n = comments.len();
     let mut allowed = vec![BTreeSet::new(); n];
+    let mut sites = Vec::new();
     let mut file_wide: BTreeSet<String> = BTreeSet::new();
-    for (idx, line) in raw.iter().enumerate() {
+    for (idx, line) in comments.iter().enumerate() {
         for (marker, whole_file) in [
             ("faro-lint: allow-file(", true),
             ("faro-lint: allow(", false),
@@ -220,14 +295,29 @@ fn collect_allows(raw: &[String], clean: &[String]) -> Vec<BTreeSet<String>> {
                 .split(',')
                 .map(str::trim)
                 .filter(|r| !r.is_empty());
+            let col = line[..pos].chars().count();
             let comment_only = clean.get(idx).is_none_or(|l| l.trim().is_empty());
             for rule in rules {
-                if whole_file {
-                    file_wide.insert(rule.to_owned());
+                let covers = if whole_file {
+                    None
                 } else if comment_only && idx + 1 < n {
-                    allowed[idx + 1].insert(rule.to_owned());
+                    Some(idx + 1)
                 } else {
-                    allowed[idx].insert(rule.to_owned());
+                    Some(idx)
+                };
+                sites.push(AllowSite {
+                    line: idx,
+                    col,
+                    rule: rule.to_owned(),
+                    covers,
+                });
+                match covers {
+                    None => {
+                        file_wide.insert(rule.to_owned());
+                    }
+                    Some(l) => {
+                        allowed[l].insert(rule.to_owned());
+                    }
                 }
             }
         }
@@ -237,7 +327,7 @@ fn collect_allows(raw: &[String], clean: &[String]) -> Vec<BTreeSet<String>> {
             set.extend(file_wide.iter().cloned());
         }
     }
-    allowed
+    (allowed, sites)
 }
 
 /// Marks the lines of `#[cfg(test)]` / `#[test]` items by brace
@@ -331,6 +421,111 @@ mod tests {
         let s = scan("// faro-lint: allow-file(no-panic-in-lib)\nfn f() {}\nfn g() {}\n");
         assert!(s.allows(2, "no-panic-in-lib"));
         assert!(!s.allows(2, "raw-time-arith"));
+    }
+
+    #[test]
+    fn allow_sites_record_coverage() {
+        let s = scan(
+            "// faro-lint: allow(raw-time-arith): wire\npub a_secs: f64,\nlet x = 1; // faro-lint: allow(no-panic-in-lib): guarded\n// faro-lint: allow-file(golden-guard)\n",
+        );
+        assert_eq!(s.allow_sites.len(), 3);
+        assert_eq!(s.allow_sites[0].covers, Some(1));
+        assert_eq!(s.allow_sites[0].rule, "raw-time-arith");
+        assert_eq!(s.allow_sites[1].covers, Some(2));
+        assert_eq!(s.allow_sites[2].covers, None);
+    }
+
+    #[test]
+    fn allow_inside_string_literal_is_not_an_annotation() {
+        // The linter's own help text quotes the annotation syntax in a
+        // string literal; that must neither suppress anything nor count
+        // as an (unused) annotation.
+        let s = scan("let help = \"annotate with `// faro-lint: allow(raw-time-arith)`\";\nlet t_secs: f64 = 1.0;\n");
+        assert!(s.allow_sites.is_empty(), "{:?}", s.allow_sites);
+        assert!(!s.allows(0, "raw-time-arith"));
+        assert!(!s.allows(1, "raw-time-arith"));
+    }
+
+    #[test]
+    fn allow_inside_doc_comment_is_not_an_annotation() {
+        let s = scan(
+            "//! Escape hatch: `// faro-lint: allow(rule-id): reason`.\n/// See `faro-lint: allow(other-rule)`.\nfn f() {}\n",
+        );
+        assert!(s.allow_sites.is_empty(), "{:?}", s.allow_sites);
+        // Plain comments still work.
+        let p = scan("// faro-lint: allow(raw-time-arith): wire\npub a_secs: f64,\n");
+        assert_eq!(p.allow_sites.len(), 1);
+    }
+
+    #[test]
+    fn allow_inside_raw_string_is_not_an_annotation() {
+        let s = scan("let x = r#\"// faro-lint: allow(no-panic-in-lib)\"#;\n");
+        assert!(s.allow_sites.is_empty(), "{:?}", s.allow_sites);
+    }
+
+    #[test]
+    fn raw_string_with_hash_quote_sequences_closes_correctly() {
+        // `"#` inside an `r##"…"##` string must not close it.
+        let s = scan("let a = r##\"he said \"#hash\" HashMap\"##; let b = HashSet;\n");
+        assert!(!s.clean[0].contains("HashMap"), "{}", s.clean[0]);
+        assert!(s.clean[0].contains("HashSet"), "{}", s.clean[0]);
+    }
+
+    #[test]
+    fn raw_string_spanning_lines_blanks_comment_markers_inside() {
+        let s = scan("let q = r#\"line one // not a comment\nline two /* not open */\"#;\nlet z = Instant;\n");
+        assert!(!s.comments[0].contains("not a comment"));
+        assert!(!s.clean[1].contains("not open"));
+        assert!(s.clean[2].contains("Instant"));
+    }
+
+    #[test]
+    fn byte_raw_string_is_blanked() {
+        let s = scan("let a = br#\"HashMap \" inside\"#; let b = SystemTime;\n");
+        assert!(!s.clean[0].contains("HashMap"));
+        assert!(s.clean[0].contains("SystemTime"));
+    }
+
+    #[test]
+    fn unterminated_raw_string_blanks_to_eof_without_panicking() {
+        let s = scan("let a = r#\"never closed\nHashMap on the next line\n");
+        assert!(!s.clean[1].contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let s = scan("let r#match = 1; let r = 2;\n");
+        assert!(s.clean[0].contains("r#match"), "{}", s.clean[0]);
+        assert!(s.clean[0].contains("let r = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comment_with_string_quote_inside() {
+        // A quote inside a nested block comment must not open a string
+        // that swallows the following code.
+        let s = scan("/* outer /* \" inner */ still \" out */ let h = HashMap;\n");
+        assert!(s.clean[0].contains("let h = HashMap;"), "{}", s.clean[0]);
+    }
+
+    #[test]
+    fn block_comment_opener_inside_string_does_not_open_a_comment() {
+        let s = scan("let s = \"/*\"; let h = HashMap; // trailing\n");
+        assert!(s.clean[0].contains("HashMap"), "{}", s.clean[0]);
+        assert!(!s.clean[0].contains("trailing"));
+        assert!(s.comments[0].contains("trailing"));
+    }
+
+    #[test]
+    fn comment_mask_excludes_code_and_strings() {
+        let s = scan("let x = \"in string\"; // in comment\n");
+        assert!(!s.comments[0].contains("let x"));
+        assert!(!s.comments[0].contains("in string"));
+        assert!(s.comments[0].contains("in comment"));
+        // Columns line up with the raw text.
+        assert_eq!(
+            s.raw[0].find("in comment"),
+            s.comments[0].find("in comment")
+        );
     }
 
     #[test]

@@ -1,13 +1,23 @@
-//! Workspace walking and the diff-level `golden-guard` rule.
+//! Workspace walking, the diff-level golden rules, and the cached
+//! two-phase driver.
 
+use crate::cache::{self, Cache, CacheEntry};
 use crate::diagnostics::Diagnostic;
-use crate::rules::lint_source;
+use crate::index::{build_index, extract_facts, fnv1a64, FileFacts, WorkspaceIndex};
+use crate::rules::{finish, per_file_rules};
+use crate::sanitize::{self, FileScan};
+use crate::semantic::lint_with_index;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-/// Files whose edits can change event ordering — and therefore the
-/// golden report bytes — without failing a single unit test.
+/// Seed files whose edits can change event ordering — and therefore
+/// the golden report bytes — without failing a single unit test. The
+/// index *propagates* this set through module-specific imports
+/// ([`WorkspaceIndex::golden_sensitive`]); the hand-written list is
+/// only the root of that closure, and a unit test in
+/// `tests/semantic_golden.rs` proves the closure covers it.
 pub const GOLDEN_SENSITIVE: &[&str] = &[
     "crates/core/src/hetero.rs",
     "crates/core/src/opt.rs",
@@ -15,6 +25,7 @@ pub const GOLDEN_SENSITIVE: &[&str] = &[
     "crates/queueing/src/mixed.rs",
     "crates/sim/src/backend.rs",
     "crates/sim/src/events.rs",
+    "crates/sim/src/report.rs",
     "crates/sim/src/runtime.rs",
 ];
 
@@ -24,6 +35,10 @@ pub const GOLDEN_SENSITIVE: &[&str] = &[
 /// flagged. "Golden" means any changed path containing `golden` — the
 /// committed snapshots live under `crates/sim/tests/` with `golden` in
 /// the path precisely so this check stays a string match.
+///
+/// This seed-only variant is kept for callers without an index; the
+/// workspace driver uses [`golden_guard_indexed`], which also covers
+/// the propagated closure.
 pub fn golden_guard(changed: &[String]) -> Vec<Diagnostic> {
     let touched: Vec<&String> = changed
         .iter()
@@ -35,24 +50,70 @@ pub fn golden_guard(changed: &[String]) -> Vec<Diagnostic> {
     if touched.is_empty() || changed.iter().any(|c| c.contains("golden")) {
         return Vec::new();
     }
-    touched
-        .into_iter()
-        .map(|f| Diagnostic {
-            file: f.clone(),
-            line: 1,
-            col: 1,
-            rule: "golden-guard",
-            message: "event-ordering-sensitive file changed without a golden test update"
-                .to_owned(),
-            help: "run the golden tests and commit the refreshed snapshot in the same \
-                   change (see crates/sim/tests/golden_report.rs); byte-identical \
-                   reports are the project's determinism contract"
-                .to_owned(),
-        })
-        .collect()
+    touched.into_iter().map(|f| seed_diag(f.clone())).collect()
 }
 
-/// The files this working tree changes, for [`golden_guard`].
+/// Index-aware golden guard: flags every changed file in the golden
+/// sensitivity *closure* — seeds under rule `golden-guard`, propagated
+/// files under `golden-sensitivity-propagation` with the import chain
+/// that pulled them in. One golden-named path in the change set
+/// satisfies the whole guard, exactly like the seed variant.
+pub fn golden_guard_indexed(changed: &[String], index: &WorkspaceIndex) -> Vec<Diagnostic> {
+    if changed.iter().any(|c| c.contains("golden")) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for c in changed {
+        let c = c.replace('\\', "/");
+        let Some(hit) = index
+            .golden_sensitive
+            .iter()
+            .find(|s| c == **s || c.ends_with(&format!("/{s}")))
+        else {
+            continue;
+        };
+        if GOLDEN_SENSITIVE.iter().any(|s| s == hit) {
+            out.push(seed_diag(hit.clone()));
+        } else {
+            let via = index
+                .golden_via
+                .get(hit)
+                .map(String::as_str)
+                .unwrap_or("a golden-sensitive module");
+            out.push(Diagnostic {
+                file: hit.clone(),
+                line: 1,
+                col: 1,
+                rule: "golden-sensitivity-propagation",
+                message: format!(
+                    "file inherits golden sensitivity (imports `{via}`) and changed \
+                     without a golden test update"
+                ),
+                help: "this file transitively feeds the golden report bytes; run the \
+                       golden tests and commit the refreshed snapshot in the same \
+                       change, or break the import if the dependency is accidental"
+                    .to_owned(),
+            });
+        }
+    }
+    out
+}
+
+fn seed_diag(file: String) -> Diagnostic {
+    Diagnostic {
+        file,
+        line: 1,
+        col: 1,
+        rule: "golden-guard",
+        message: "event-ordering-sensitive file changed without a golden test update".to_owned(),
+        help: "run the golden tests and commit the refreshed snapshot in the same \
+               change (see crates/sim/tests/golden_report.rs); byte-identical \
+               reports are the project's determinism contract"
+            .to_owned(),
+    }
+}
+
+/// The files this working tree changes, for the golden guard.
 ///
 /// With `FARO_LINT_DIFF_BASE` set (e.g. `origin/main`), asks
 /// `git diff --name-only <base>` — the CI mode, comparing the whole
@@ -100,10 +161,152 @@ pub fn changed_files(root: &Path) -> Option<Vec<String>> {
     Some(files)
 }
 
-/// Lints the whole workspace rooted at `root`: every `.rs` file under
-/// `src/` and `crates/*/src/`, plus the diff-level golden guard.
+/// How a lint run uses the on-disk cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Options {
+    /// Reuse cached per-file diagnostics when the file's content hash
+    /// and the index fingerprint both match. Off = every file is
+    /// re-linted (the cache is still refreshed for the next run).
+    pub incremental: bool,
+    /// Neither read nor write the cache.
+    pub no_cache: bool,
+}
+
+/// What a workspace run produced, beyond the diagnostics themselves.
+#[derive(Debug)]
+pub struct LintOutcome {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files the run looked at.
+    pub files_seen: usize,
+    /// Files whose diagnostics came from the incremental cache.
+    pub files_from_cache: usize,
+    /// Fingerprint of the symbol table the cross-file rules consumed.
+    pub index_fingerprint: u64,
+}
+
+/// Lints the whole workspace rooted at `root` with default options.
 /// Output is sorted by location, compiler style.
 pub fn run(root: &Path) -> Vec<Diagnostic> {
+    run_with(root, Options::default()).diagnostics
+}
+
+/// Builds the phase-1 index for the workspace at `root` without
+/// running any rules — for tests and tooling that want the module
+/// graph or the golden closure.
+pub fn index_workspace(root: &Path) -> WorkspaceIndex {
+    let mut facts = BTreeMap::new();
+    for (rel, content) in read_workspace(root) {
+        facts.insert(rel.clone(), extract_facts(&rel, &sanitize::scan(&content)));
+    }
+    build_index(facts, GOLDEN_SENSITIVE)
+}
+
+/// The full two-phase driver: reads every source file, assembles the
+/// index (reusing cached per-file facts for unchanged files), runs the
+/// per-file and cross-file rules (reusing cached diagnostics when the
+/// file *and* the index are unchanged), appends the diff-level golden
+/// guard, and refreshes the cache.
+pub fn run_with(root: &Path, opts: Options) -> LintOutcome {
+    let sources = read_workspace(root);
+    let cache_path = root.join("target").join("faro-lint-cache.v1");
+    let old_cache = if opts.no_cache {
+        None
+    } else {
+        cache::load(&cache_path)
+    };
+
+    // Phase 1: per-file facts — cached facts are valid whenever the
+    // content hash matches, independent of the rest of the workspace.
+    let mut hashes: BTreeMap<String, u64> = BTreeMap::new();
+    let mut scans: BTreeMap<String, FileScan> = BTreeMap::new();
+    let mut facts: BTreeMap<String, FileFacts> = BTreeMap::new();
+    for (rel, content) in &sources {
+        let hash = fnv1a64(content.as_bytes());
+        hashes.insert(rel.clone(), hash);
+        let cached = old_cache
+            .as_ref()
+            .and_then(|c| c.entries.get(rel))
+            .filter(|e| e.hash == hash);
+        match cached {
+            Some(entry) => {
+                facts.insert(rel.clone(), entry.facts.clone());
+            }
+            None => {
+                let scan = sanitize::scan(content);
+                facts.insert(rel.clone(), extract_facts(rel, &scan));
+                scans.insert(rel.clone(), scan);
+            }
+        }
+    }
+    let index = build_index(facts, GOLDEN_SENSITIVE);
+
+    // Phase 2: rules. A cached diagnostic set is valid only if the
+    // file is unchanged AND the symbol table the cross-file rules saw
+    // is unchanged.
+    let mut files_from_cache = 0usize;
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut new_entries: BTreeMap<String, CacheEntry> = BTreeMap::new();
+    for (rel, content) in &sources {
+        let hash = hashes[rel];
+        let reusable = opts.incremental
+            && old_cache
+                .as_ref()
+                .filter(|c| c.index_fingerprint == index.fingerprint)
+                .and_then(|c| c.entries.get(rel))
+                .filter(|e| e.hash == hash)
+                .is_some();
+        let file_diags = if reusable {
+            files_from_cache += 1;
+            old_cache
+                .as_ref()
+                .and_then(|c| c.entries.get(rel))
+                .map(|e| e.diags.clone())
+                .unwrap_or_default()
+        } else {
+            let scan = scans.remove(rel).unwrap_or_else(|| sanitize::scan(content));
+            let mut raw = Vec::new();
+            per_file_rules(rel, &scan, &mut raw);
+            lint_with_index(rel, &scan, &index, &mut raw);
+            finish(rel, &scan, raw)
+        };
+        new_entries.insert(
+            rel.clone(),
+            CacheEntry {
+                hash,
+                facts: index.files[rel].clone(),
+                diags: file_diags.clone(),
+            },
+        );
+        diagnostics.extend(file_diags);
+    }
+
+    if let Some(changed) = changed_files(root) {
+        diagnostics.extend(golden_guard_indexed(&changed, &index));
+    }
+    diagnostics.sort();
+
+    if !opts.no_cache {
+        // Best effort: a read-only checkout still lints fine.
+        let _ = cache::store(
+            &cache_path,
+            &Cache {
+                index_fingerprint: index.fingerprint,
+                entries: new_entries,
+            },
+        );
+    }
+
+    LintOutcome {
+        diagnostics,
+        files_seen: sources.len(),
+        files_from_cache,
+        index_fingerprint: index.fingerprint,
+    }
+}
+
+/// Every `.rs` file under `src/` and `crates/*/src/`, as
+/// (workspace-relative path, content), sorted by path.
+fn read_workspace(root: &Path) -> Vec<(String, String)> {
     let mut files: Vec<PathBuf> = Vec::new();
     collect_rs(&root.join("src"), &mut files);
     if let Ok(entries) = fs::read_dir(root.join("crates")) {
@@ -117,23 +320,19 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
         }
     }
     files.sort();
-    let mut diags: Vec<Diagnostic> = Vec::new();
-    for file in &files {
-        let Ok(content) = fs::read_to_string(file) else {
+    let mut out = Vec::new();
+    for file in files {
+        let Ok(content) = fs::read_to_string(&file) else {
             continue;
         };
         let rel = file
             .strip_prefix(root)
-            .unwrap_or(file)
+            .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        diags.extend(lint_source(&rel, &content));
+        out.push((rel, content));
     }
-    if let Some(changed) = changed_files(root) {
-        diags.extend(golden_guard(&changed));
-    }
-    diags.sort();
-    diags
+    out
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -193,5 +392,43 @@ mod tests {
             "crates/core/src/opt.rs".to_owned(),
         ];
         assert_eq!(golden_guard(&changed).len(), 2);
+    }
+
+    #[test]
+    fn indexed_guard_flags_propagated_files_with_the_import_chain() {
+        use crate::index::{build_index, extract_facts};
+        use crate::sanitize;
+        let mut facts = std::collections::BTreeMap::new();
+        facts.insert(
+            "crates/core/src/sharded.rs".to_owned(),
+            FileFacts::default(),
+        );
+        facts.insert(
+            "crates/core/src/policy.rs".to_owned(),
+            extract_facts(
+                "crates/core/src/policy.rs",
+                &sanitize::scan("use crate::sharded::ShardSpan;\n"),
+            ),
+        );
+        let index = build_index(facts, &["crates/core/src/sharded.rs"]);
+
+        let changed = vec!["crates/core/src/policy.rs".to_owned()];
+        let diags = golden_guard_indexed(&changed, &index);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "golden-sensitivity-propagation");
+        assert!(diags[0].message.contains("crates/core/src/sharded.rs"));
+
+        // A golden test in the change set satisfies the guard.
+        let with_golden = vec![
+            "crates/core/src/policy.rs".to_owned(),
+            "crates/sim/tests/golden_report.rs".to_owned(),
+        ];
+        assert!(golden_guard_indexed(&with_golden, &index).is_empty());
+
+        // Seeds keep the seed rule id.
+        let seed_changed = vec!["crates/core/src/sharded.rs".to_owned()];
+        let seed_diags = golden_guard_indexed(&seed_changed, &index);
+        assert_eq!(seed_diags.len(), 1);
+        assert_eq!(seed_diags[0].rule, "golden-guard");
     }
 }

@@ -1,0 +1,20 @@
+//! Clean twin: every variant spelled out, so adding one to the enum
+//! forces a decision at this handler; wildcards on enums outside the
+//! exhaustive set stay legal.
+
+pub fn landed_replicas(e: &BackendError) -> usize {
+    match e {
+        BackendError::PartialApply { applied } => *applied,
+        BackendError::Timeout { .. }
+        | BackendError::Unavailable { .. }
+        | BackendError::StaleSnapshot { .. } => 0,
+    }
+}
+
+/// `Phase` is not a control-plane error enum; its wildcard is fine.
+pub fn phase_name(p: &Phase) -> &'static str {
+    match p {
+        Phase::Observe => "observe",
+        _ => "planning",
+    }
+}

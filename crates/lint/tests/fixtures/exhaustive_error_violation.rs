@@ -1,0 +1,11 @@
+//! Fixture: a wildcard arm on a control-plane error match. The index
+//! knows the enum's real variant list, so the diagnostic names exactly
+//! what the `_` swallows.
+
+pub fn landed_replicas(e: &BackendError) -> usize {
+    match e {
+        BackendError::PartialApply { applied } => *applied,
+        BackendError::Timeout { .. } => 0,
+        _ => 0,
+    }
+}

@@ -1,0 +1,33 @@
+//! Clean twin: the same reductions in order-fixed form — slot-indexed
+//! buffers, integer counters, and scalar math with no merged/parallel
+//! state in sight.
+
+pub struct ShardOutcome {
+    pub utility: f64,
+    pub evals: u64,
+}
+
+/// Slot-indexed: `slots[k]` was written by producer `k`, so the
+/// reduction order is the slot order for any thread count.
+pub fn slot_indexed_total(slots: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for k in 0..slots.len() {
+        total += slots[k];
+    }
+    total
+}
+
+/// Integer accumulation over merged outcomes is order-free.
+pub fn merged_evals(merged: &[ShardOutcome]) -> u64 {
+    let mut evals = 0u64;
+    for outcome in merged.iter() {
+        evals += outcome.evals;
+    }
+    evals
+}
+
+/// Scalar mean over job rates: nothing merged, nothing parallel.
+pub fn mean_rate(rates: &[f64]) -> f64 {
+    let total: f64 = rates.iter().sum();
+    total / rates.len().max(1) as f64
+}

@@ -1,0 +1,28 @@
+//! Fixture: order-sensitive f64 reductions over merged or parallel
+//! data. Linted under a golden-sensitive path, every reduction here
+//! must fire; the clean twin shows the order-fixed forms.
+
+pub struct ShardOutcome {
+    pub utility: f64,
+    pub evals: u64,
+}
+
+/// Sum in whatever order the merged iterator yields: the canonical
+/// violation — float addition is not associative.
+pub fn merged_utility(merged: &[ShardOutcome]) -> f64 {
+    merged.iter().map(|r| r.utility).sum::<f64>()
+}
+
+/// Fold with `+` over results collected from worker threads.
+pub fn folded_utility(worker_results: &[f64]) -> f64 {
+    worker_results.iter().fold(0.0, |acc, u| acc + u)
+}
+
+/// `+=` accumulation driven by a merge loop.
+pub fn accumulated_utility(shard_outcomes: &[ShardOutcome]) -> f64 {
+    let mut acc = 0.0;
+    for outcome in shard_outcomes {
+        acc += outcome.utility;
+    }
+    acc
+}

@@ -1,0 +1,6 @@
+//! Clean twin: no golden-sensitive imports, so edits here sit outside
+//! the propagation closure and the guard stays silent.
+
+pub fn plan_width(width: usize) -> usize {
+    width
+}

@@ -1,0 +1,9 @@
+//! Fixture: imports from a golden-sensitive module, so this file is in
+//! the propagated closure — changing it without a golden test update
+//! trips the guard even though it appears in no hand-maintained list.
+
+use crate::sharded::ShardPlan;
+
+pub fn plan_width(plan: &ShardPlan) -> usize {
+    plan.width
+}

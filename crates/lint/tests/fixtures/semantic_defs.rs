@@ -1,0 +1,21 @@
+//! Shared definitions fixture: the error enum and unit-typed
+//! signatures the cross-file fixtures resolve against. Stands in for
+//! faro-core in the fixture workspace, so every test below exercises
+//! real index resolution rather than a hard-coded variant list.
+
+pub enum BackendError {
+    Timeout { waited: DurationMs },
+    Unavailable { reason: String },
+    PartialApply { applied: usize },
+    StaleSnapshot { age: DurationMs },
+}
+
+pub struct SimTimeMs(pub i64);
+pub struct DurationMs(pub i64);
+
+/// Schedule the next probe: both parameters are unit newtypes, so the
+/// registry enforces units at every call site.
+pub fn schedule_probe(at: SimTimeMs, budget: DurationMs) -> SimTimeMs {
+    let _ = budget;
+    at
+}

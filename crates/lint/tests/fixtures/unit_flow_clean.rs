@@ -1,0 +1,10 @@
+//! Clean twin: the same calls with the units constructed visibly at
+//! the call site.
+
+pub fn probe_now() {
+    schedule_probe(SimTimeMs(0), DurationMs(250));
+}
+
+pub fn probe_with_budget(at: SimTimeMs, budget: DurationMs) {
+    schedule_probe(at, budget);
+}

@@ -1,0 +1,11 @@
+//! Fixture: bare numeric literals fed into unit-newtype parameters.
+//! The signature registry says what each position means; the literals
+//! say nothing.
+
+pub fn probe_now() {
+    schedule_probe(5_000, DurationMs(250));
+}
+
+pub fn probe_with_budget(at: SimTimeMs) {
+    schedule_probe(at, 250);
+}

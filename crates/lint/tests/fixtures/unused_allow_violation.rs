@@ -1,0 +1,12 @@
+//! Fixture: every annotation here is dead — the audit turns each one
+//! into its own finding, so suppressions cannot rot.
+
+// faro-lint: allow(no-unbounded-retry): the sim clock bounds this call
+pub fn observe_once() -> bool {
+    true
+}
+
+// faro-lint: allow(determinism-is-nice): not a rule id
+pub fn noop() {}
+
+// faro-lint: allow-file(raw-time-arith)

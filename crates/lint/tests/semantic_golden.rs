@@ -1,0 +1,115 @@
+//! The golden-sensitivity closure, proved against the live workspace:
+//! the propagated set covers — and strictly supersedes — the
+//! hand-maintained `GOLDEN_SENSITIVE` seed list, every propagated file
+//! reaches a seed through its recorded import chain, and un-marking a
+//! sensitive import drops a file back out of the closure.
+
+use faro_lint::{golden_guard_indexed, index_sources, index_workspace, GOLDEN_SENSITIVE};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn seed_list_matches_files_on_disk() {
+    let root = workspace_root();
+    for seed in GOLDEN_SENSITIVE {
+        assert!(
+            root.join(seed).is_file(),
+            "stale GOLDEN_SENSITIVE entry: {seed} does not exist; \
+             update the seed list in crates/lint/src/walk.rs"
+        );
+    }
+}
+
+#[test]
+fn propagated_closure_supersedes_the_seed_list() {
+    let index = index_workspace(&workspace_root());
+    for seed in GOLDEN_SENSITIVE {
+        assert!(
+            index.golden_sensitive.contains(*seed),
+            "seed {seed} missing from the propagated closure"
+        );
+    }
+    assert!(
+        index.golden_sensitive.len() > GOLDEN_SENSITIVE.len(),
+        "propagation added nothing over the seeds; either every import \
+         edge broke or the extractor regressed: {:?}",
+        index.golden_sensitive
+    );
+}
+
+#[test]
+fn known_importers_are_in_the_closure() {
+    // Two structurally load-bearing importers: the simulator consumes
+    // the event queue, the reconciler consumes solver decisions. If
+    // either drops out of the closure the propagation (or the fact
+    // extractor) has quietly stopped following real imports.
+    let index = index_workspace(&workspace_root());
+    for file in [
+        "crates/sim/src/simulator.rs",
+        "crates/control/src/reconciler.rs",
+    ] {
+        assert!(
+            index.golden_sensitive.contains(file),
+            "{file} fell out of the golden closure: {:?}",
+            index.golden_sensitive
+        );
+    }
+}
+
+#[test]
+fn propagation_chains_terminate_at_seeds() {
+    let index = index_workspace(&workspace_root());
+    for file in &index.golden_sensitive {
+        if GOLDEN_SENSITIVE.contains(&file.as_str()) {
+            continue;
+        }
+        let mut cur = file.as_str();
+        let mut hops = 0usize;
+        while !GOLDEN_SENSITIVE.contains(&cur) {
+            hops += 1;
+            assert!(
+                hops <= index.golden_sensitive.len(),
+                "cycle in the golden_via chain starting at {file}"
+            );
+            cur = index
+                .golden_via
+                .get(cur)
+                .map(String::as_str)
+                .unwrap_or_else(|| panic!("{cur} is propagated but has no recorded import chain"));
+        }
+    }
+}
+
+#[test]
+fn unmarking_a_sensitive_import_drops_the_file_from_the_closure() {
+    let seed = ("crates/core/src/sharded.rs", "pub struct ShardPlan;\n");
+    let consumer = "crates/core/src/consumer.rs";
+
+    // With the import: the consumer is in the closure, and changing it
+    // without a golden update is a diagnostic.
+    let with_import = index_sources(&[
+        seed,
+        (
+            consumer,
+            "use crate::sharded::ShardPlan;\npub fn f(_p: &ShardPlan) {}\n",
+        ),
+    ]);
+    assert!(with_import.golden_sensitive.contains(consumer));
+    let changed = vec![consumer.to_owned()];
+    let diags = golden_guard_indexed(&changed, &with_import);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "golden-sensitivity-propagation");
+
+    // Import removed: the file leaves the closure and the guard goes
+    // silent — sensitivity tracks the dependency graph, not a list.
+    let without = index_sources(&[seed, (consumer, "pub fn f() {}\n")]);
+    assert!(!without.golden_sensitive.contains(consumer));
+    assert_eq!(golden_guard_indexed(&changed, &without), Vec::new());
+}

@@ -113,7 +113,7 @@ impl SimBackend {
         } = sim;
         let mut queue = EventQueue::new();
         let rng = StdRng::seed_from_u64(config.seed ^ 0x51b0_11fe);
-        let end: Micros = duration_minutes as u64 * 60_000_000; // faro-lint: allow(raw-time-arith)
+        let end: Micros = duration_minutes as u64 * 60_000_000; // faro-lint: allow(raw-time-arith): micros-domain event-loop horizon, minutes->micros at the boundary
         let tick = micros(config.tick_secs);
         let cold = micros(config.cold_start_secs);
 
@@ -308,11 +308,11 @@ impl SimBackend {
             buf.clear();
             self.arrival_idx[j] = 0;
             if rate > 0.0 && rate.is_finite() {
-                let gap_scale = 60e6 / rate; // faro-lint: allow(raw-time-arith)
+                let gap_scale = 60e6 / rate; // faro-lint: allow(raw-time-arith): per-minute rate to micros gap, hot arrival-generation path
                 let mut t = now as f64;
                 loop {
                     t += -(1.0 - self.rng.gen::<f64>()).ln() * gap_scale;
-                    // faro-lint: allow(raw-time-arith)
+                    // faro-lint: allow(raw-time-arith): minute boundary in the micros domain
                     if t >= (now + 60_000_000) as f64 {
                         break;
                     }
@@ -324,7 +324,7 @@ impl SimBackend {
         self.refresh_arrival_cursor();
         if minute + 1 < self.duration_minutes {
             self.queue.push(
-                now + 60_000_000, // faro-lint: allow(raw-time-arith)
+                now + 60_000_000, // faro-lint: allow(raw-time-arith): next minute boundary in the micros event clock
                 Event::MinuteBoundary { minute: minute + 1 },
             );
         }
