@@ -8,7 +8,7 @@ use faro_bench::workloads::WorkloadSet;
 use faro_core::baselines::FairShare;
 use faro_core::types::JobSpec;
 use faro_core::ClusterObjective;
-use faro_sim::{JobSetup, SimConfig, Simulation};
+use faro_sim::{JobSetup, SimConfig, SimRun, Simulation};
 
 fn bench_simulator_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_10min");
@@ -31,10 +31,12 @@ fn bench_simulator_throughput(c: &mut Criterion) {
                     };
                     Simulation::new(cfg, vec![setup])
                         .expect("valid")
-                        .runner()
+                        .driver()
+                        .unwrap()
                         .policy(Box::new(FairShare))
                         .run()
                         .expect("runs")
+                        .into_outcome()
                         .report
                 })
             },
@@ -57,10 +59,12 @@ fn bench_faro_policy_in_sim(c: &mut Criterion) {
             };
             Simulation::new(cfg, set.setups(1))
                 .expect("valid")
-                .runner()
+                .driver()
+                .unwrap()
                 .policy(policy)
                 .run()
                 .expect("runs")
+                .into_outcome()
                 .report
         })
     });

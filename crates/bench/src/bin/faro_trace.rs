@@ -23,7 +23,7 @@
 
 use faro_bench::prelude::*;
 use faro_core::types::JobId;
-use faro_sim::{MetricOutage, MetricOutageMode, NodeOutage, ReplicaCrashes};
+use faro_sim::{MetricOutage, MetricOutageMode, NodeOutage, ReplicaCrashes, SimRun};
 use faro_telemetry::{Phase, Tee};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -86,12 +86,15 @@ fn replay_and_dump(set: &WorkloadSet, cfg: &SimConfig, out_dir: &str) -> u64 {
     let mut tee = Tee::new(TraceSink::new(), AggregateSink::new());
     let outcome = Simulation::new(cfg.clone(), set.setups(1))
         .expect("valid setup")
-        .runner()
+        .with_faults(faults())
+        .unwrap()
+        .driver()
+        .unwrap()
         .policy(policy)
-        .faults(faults())
         .telemetry(&mut tee)
         .run()
-        .expect("traced replay completes");
+        .expect("traced replay completes")
+        .into_outcome();
     let (trace, agg) = tee.into_parts();
 
     let jsonl_path = format!("{out_dir}/faro_trace.jsonl");
@@ -170,7 +173,8 @@ fn measure_overhead(set: &WorkloadSet, quick: bool) -> (f64, f64) {
         let policy = PolicyKind::faro(ClusterObjective::Sum).build(set, None, cfg.seed);
         let runner = Simulation::new(cfg, set.setups(1))
             .expect("valid setup")
-            .runner()
+            .driver()
+            .unwrap()
             .policy(policy);
         let report = if traced {
             let mut sink = TraceSink::new();
@@ -178,11 +182,16 @@ fn measure_overhead(set: &WorkloadSet, quick: bool) -> (f64, f64) {
                 .telemetry(&mut sink)
                 .run()
                 .expect("traced sweep cell completes")
+                .into_outcome()
                 .report;
             assert!(!sink.is_empty(), "traced cell recorded events");
             report
         } else {
-            runner.run().expect("sweep cell completes").report
+            runner
+                .run()
+                .expect("sweep cell completes")
+                .into_outcome()
+                .report
         };
         assert!(!report.jobs.is_empty());
     };

@@ -20,10 +20,12 @@ fn main() {
     };
     let report = Simulation::new(config, set.setups(quota))
         .expect("valid setup")
-        .runner()
+        .driver()
+        .unwrap()
         .policy(Box::new(FairShare))
         .run()
         .expect("runs")
+        .into_outcome()
         .report;
 
     let job = &report.jobs[0];

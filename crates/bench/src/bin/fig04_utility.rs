@@ -44,10 +44,12 @@ fn main() {
         };
         let report = Simulation::new(config, set.setups(replicas))
             .expect("valid setup")
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(FairShare))
             .run()
             .expect("runs")
+            .into_outcome()
             .report;
         let job = &report.jobs[0];
         let satisfaction = 1.0 - job.violation_rate;

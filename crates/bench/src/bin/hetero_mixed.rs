@@ -31,6 +31,7 @@ use faro_core::policy::Policy;
 use faro_core::predictor::{FlatPredictor, RatePredictor};
 use faro_core::types::{JobSpec, ReplicaClass, ResourceModel};
 use faro_sim::JobSetup;
+use faro_sim::SimRun;
 
 /// 5x service-time penalty for CPU-only replicas (ResNet-scale models
 /// on AVX vs a data-center GPU land between 2x and 5x). At 5x the CPU
@@ -128,11 +129,13 @@ fn run_cell(
     };
     let report = Simulation::new(config, jobs(minutes))
         .expect("hetero sweep setup is valid")
-        .runner()
+        .driver()
+        .unwrap()
         .policy(policy)
         .admission(Box::new(ClampToQuota))
         .run()
         .expect("hetero sweep run completes")
+        .into_outcome()
         .report;
     Cell {
         policy: name,

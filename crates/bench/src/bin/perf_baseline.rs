@@ -69,10 +69,12 @@ fn measure_sim(quick: bool) -> (f64, f64) {
     let policy = PolicyKind::Aiad.build(&set, None, 7);
     let start = Instant::now();
     let report = sim
-        .runner()
+        .driver()
+        .unwrap()
         .policy(policy)
         .run()
         .expect("simulation completes")
+        .into_outcome()
         .report;
     let elapsed = start.elapsed().as_secs_f64();
     let requests: u64 = report.jobs.iter().map(|j| j.total_requests).sum();

@@ -3,7 +3,7 @@
 use crate::policies::PolicyKind;
 use crate::workloads::WorkloadSet;
 use faro_forecast::nhits::NHits;
-use faro_sim::{ClusterReport, FaultPlan, SimConfig, Simulation};
+use faro_sim::{ClusterReport, FaultPlan, SimConfig, SimRun, Simulation};
 use serde::Serialize;
 
 /// One experiment's grid.
@@ -96,11 +96,14 @@ fn run_trial(
     let policy = kind.build(set, trained, sim_cfg.seed);
     Simulation::new(sim_cfg, set.setups(1))
         .expect("valid experiment setup")
-        .runner()
+        .with_faults(spec.faults.clone())
+        .unwrap()
+        .driver()
+        .unwrap()
         .policy(policy)
-        .faults(spec.faults.clone())
         .run()
         .expect("simulation runs to completion")
+        .into_outcome()
         .report
 }
 

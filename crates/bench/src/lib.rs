@@ -41,6 +41,6 @@ pub mod prelude {
     pub use crate::workloads::WorkloadSet;
     pub use faro_core::baselines::FairShare;
     pub use faro_core::ClusterObjective;
-    pub use faro_sim::{FaultPlan, RunOutcome, SimConfig, Simulation};
+    pub use faro_sim::{FaultPlan, RunOutcome, SimConfig, SimRun, Simulation};
     pub use faro_telemetry::{AggregateSink, NoopSink, TelemetrySink, TraceSink};
 }

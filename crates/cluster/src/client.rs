@@ -1,0 +1,283 @@
+//! The wall-clock HTTP backend: a [`ClusterBackend`] whose cluster is
+//! on the other side of a TCP socket.
+//!
+//! [`HttpBackend`] keeps the control plane's two timelines strictly
+//! apart. Its [`Clock`] is *logical*: round `n` is at `n · tick`
+//! [`SimTimeMs`], exactly like the simulator, so policies, telemetry,
+//! and the resilient driver's staleness arithmetic behave identically
+//! against a live server. Its [`WallClock`] is the host's physical
+//! clock, used only for pacing sleeps, latency samples, and
+//! wall-tagged telemetry — [`WallTimeMs`] has no conversion into the
+//! logical timeline, so the two cannot be mixed by accident.
+//!
+//! A server-reported stale snapshot (`age_ms > 0`) is mapped onto the
+//! logical timeline as `snapshot.now = clock.now() − age`, which is
+//! precisely what [`faro_control::ResilientDriver`]'s staleness window
+//! checks — the cache-tolerance ladder works unchanged across the
+//! process boundary.
+
+use crate::http::post;
+use crate::wire::{
+    ApplyRequest, ApplyResponse, ChaosConfig, ErrorBody, ObserveResponse, APPLY_PATH, CHAOS_PATH,
+    OBSERVE_PATH,
+};
+use faro_control::{ActuationReport, BackendError, Clock, ClusterBackend, WallClock};
+use faro_core::types::{ClusterSnapshot, DesiredState};
+use faro_core::units::{DurationMs, ReplicaCount, SimTimeMs, WallTimeMs};
+use faro_telemetry::{TelemetryEvent, TelemetrySink};
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// How an [`HttpBackend`] paces and bounds its loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveConfig {
+    /// Logical milliseconds per round (the snapshot timeline step).
+    pub tick_ms: u64,
+    /// Wall-clock pause between rounds. Zero runs the loop flat out —
+    /// the logical timeline still advances by `tick_ms` per round, so
+    /// tests compress minutes of cluster time into milliseconds.
+    pub interval: Duration,
+    /// Rounds before the clock reports the horizon and the driver
+    /// stops.
+    pub horizon_rounds: u64,
+    /// Per-socket-operation timeout for every HTTP call.
+    pub request_timeout: Duration,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            tick_ms: 10_000,
+            interval: Duration::from_millis(0),
+            horizon_rounds: 30,
+            request_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A [`ClusterBackend`] speaking the v1 HTTP/JSON actuation protocol.
+#[derive(Debug)]
+pub struct HttpBackend {
+    addr: SocketAddr,
+    cfg: LiveConfig,
+    round: u64,
+    /// Wall-clock apply latencies, milliseconds, one per successful
+    /// or failed attempt — the live loop's p99 comes from here.
+    apply_latencies_ms: Vec<f64>, // faro-lint: allow(raw-time-arith): measurement samples feeding the metrics percentile API, raw ms by contract
+}
+
+impl HttpBackend {
+    /// A backend talking to the server at `addr`.
+    pub fn connect(addr: SocketAddr, cfg: LiveConfig) -> Self {
+        Self {
+            addr,
+            cfg,
+            round: 0,
+            apply_latencies_ms: Vec::new(),
+        }
+    }
+
+    /// Reconfigures the server's fault injection (`POST /v1/chaos`).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the call fails like any other API call.
+    pub fn configure_chaos(&mut self, plan: ChaosConfig) -> Result<(), BackendError> {
+        let body = serde_json::to_string(&plan)
+            .map_err(|e| unavailable(format!("chaos plan serialization failed: {e:?}")))?;
+        let resp = post(self.addr, CHAOS_PATH, &body, self.cfg.request_timeout)
+            .map_err(|e| self.transport_error(e))?;
+        if resp.status == 200 {
+            Ok(())
+        } else {
+            Err(reply_error(resp.status, &resp.body))
+        }
+    }
+
+    /// Wall-clock apply latencies recorded so far, milliseconds.
+    pub fn apply_latencies_ms(&self) -> &[f64] {
+        &self.apply_latencies_ms
+    }
+
+    /// Rounds completed so far on the logical timeline.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    fn transport_error(&self, e: io::Error) -> BackendError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => BackendError::Timeout {
+                elapsed: DurationMs::from_millis(self.cfg.request_timeout.as_millis() as i64),
+            },
+            _ => unavailable(format!("transport: {e}")),
+        }
+    }
+}
+
+fn unavailable(reason: String) -> BackendError {
+    BackendError::Unavailable { reason }
+}
+
+/// Maps a non-200 reply onto the backend error taxonomy. The error
+/// body's `retryable` flag is advisory here — every v1 server error
+/// is transport-shaped and the resilient driver's budget bounds the
+/// retries either way.
+fn reply_error(status: u16, body: &str) -> BackendError {
+    let detail = serde_json::from_str(body)
+        .ok()
+        .as_ref()
+        .and_then(ErrorBody::from_json)
+        .map(|e| e.error)
+        .unwrap_or_else(|| format!("status {status} with unparseable body"));
+    unavailable(format!("server refused ({status}): {detail}"))
+}
+
+impl Clock for HttpBackend {
+    fn now(&self) -> SimTimeMs {
+        SimTimeMs::from_millis(self.round.saturating_mul(self.cfg.tick_ms) as i64)
+    }
+
+    fn advance(&mut self) -> Option<SimTimeMs> {
+        if self.round >= self.cfg.horizon_rounds {
+            return None;
+        }
+        if !self.cfg.interval.is_zero() {
+            std::thread::sleep(self.cfg.interval);
+        }
+        self.round += 1;
+        Some(self.now())
+    }
+
+    fn advance_with(&mut self, sink: &mut dyn TelemetrySink) -> Option<SimTimeMs> {
+        let at = self.advance()?;
+        if sink.enabled() {
+            sink.event(
+                at,
+                &TelemetryEvent::WallClockTick {
+                    wall_ms: self.wall_now().as_millis(),
+                    round: self.round,
+                },
+            );
+        }
+        Some(at)
+    }
+}
+
+impl WallClock for HttpBackend {
+    fn wall_now(&self) -> WallTimeMs {
+        let ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as i64)
+            .unwrap_or(0);
+        WallTimeMs::from_millis(ms)
+    }
+}
+
+impl ClusterBackend for HttpBackend {
+    fn observe(&mut self) -> Result<ClusterSnapshot, BackendError> {
+        let resp = post(self.addr, OBSERVE_PATH, "{}", self.cfg.request_timeout)
+            .map_err(|e| self.transport_error(e))?;
+        if resp.status != 200 {
+            return Err(reply_error(resp.status, &resp.body));
+        }
+        let value = serde_json::from_str(&resp.body)
+            .map_err(|e| unavailable(format!("observe body is not JSON: {e:?}")))?;
+        let parsed = ObserveResponse::from_json(&value)
+            .ok_or_else(|| unavailable("observe body does not match the v1 schema".to_owned()))?;
+        let mut snapshot = parsed.snapshot;
+        // Re-key the server's report onto this clock's logical
+        // timeline: fresh snapshots land at `now`, stale ones land
+        // `age_ms` behind it, where the resilient driver's staleness
+        // window can judge them.
+        snapshot.now = self.now() - DurationMs::from_millis(parsed.age_ms as i64);
+        Ok(snapshot)
+    }
+
+    fn apply(&mut self, desired: &DesiredState) -> Result<ActuationReport, BackendError> {
+        let req = ApplyRequest {
+            desired: desired.clone(),
+        };
+        let body = serde_json::to_string(&req)
+            .map_err(|e| unavailable(format!("apply serialization failed: {e:?}")))?;
+        let started = Instant::now();
+        let result = post(self.addr, APPLY_PATH, &body, self.cfg.request_timeout);
+        self.apply_latencies_ms
+            .push(started.elapsed().as_secs_f64() * 1e3);
+        let resp = result.map_err(|e| self.transport_error(e))?;
+        if resp.status != 200 {
+            return Err(reply_error(resp.status, &resp.body));
+        }
+        let value = serde_json::from_str(&resp.body)
+            .map_err(|e| unavailable(format!("apply body is not JSON: {e:?}")))?;
+        let parsed = ApplyResponse::from_json(&value)
+            .ok_or_else(|| unavailable("apply body does not match the v1 schema".to_owned()))?;
+        Ok(ActuationReport {
+            jobs_applied: parsed.applied,
+            jobs_failed: parsed.failed,
+            replicas_started: ReplicaCount::new(parsed.replicas_started),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ClusterConfig;
+    use crate::server::ClusterServer;
+    use faro_telemetry::TraceSink;
+
+    fn quick() -> LiveConfig {
+        LiveConfig {
+            horizon_rounds: 3,
+            ..LiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn the_logical_clock_ticks_independently_of_wall_time() {
+        let server = ClusterServer::spawn(ClusterConfig::demo(20)).expect("spawn");
+        let mut backend = HttpBackend::connect(server.addr(), quick());
+        assert_eq!(backend.now(), SimTimeMs::from_millis(0));
+        assert_eq!(backend.advance(), Some(SimTimeMs::from_millis(10_000)));
+        assert_eq!(backend.advance(), Some(SimTimeMs::from_millis(20_000)));
+        assert_eq!(backend.advance(), Some(SimTimeMs::from_millis(30_000)));
+        assert_eq!(backend.advance(), None, "horizon bounds the loop");
+        server.shutdown();
+    }
+
+    #[test]
+    fn observe_and_apply_cross_the_socket() {
+        let server = ClusterServer::spawn(ClusterConfig::demo(20)).expect("spawn");
+        let mut backend = HttpBackend::connect(server.addr(), quick());
+        let snapshot = backend.observe().expect("observe");
+        assert_eq!(snapshot.jobs.len(), 2);
+        assert_eq!(snapshot.now, SimTimeMs::from_millis(0), "fresh = now");
+
+        let mut desired = DesiredState::new();
+        desired.set(
+            faro_core::types::JobId::new(0),
+            faro_core::types::JobDecision {
+                target_replicas: 5,
+                drop_rate: 0.0,
+                classes: None,
+            },
+        );
+        let report = backend.apply(&desired).expect("apply");
+        assert_eq!(report.jobs_applied, 1);
+        assert_eq!(report.replicas_started, ReplicaCount::new(3));
+        assert_eq!(backend.apply_latencies_ms().len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn advance_with_emits_a_wall_clock_tick() {
+        let server = ClusterServer::spawn(ClusterConfig::demo(20)).expect("spawn");
+        let mut backend = HttpBackend::connect(server.addr(), quick());
+        let mut sink = TraceSink::new();
+        backend.advance_with(&mut sink).expect("one round");
+        let kinds: Vec<&str> = sink.entries().map(|e| e.event.kind()).collect();
+        assert_eq!(kinds, vec!["WallClockTick"]);
+        server.shutdown();
+    }
+}

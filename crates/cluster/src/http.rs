@@ -1,0 +1,202 @@
+//! A hand-rolled HTTP/1.1 subset: exactly what the loopback actuation
+//! protocol needs, over `std::net` with no external dependencies.
+//!
+//! One request per connection (`Connection: close`), bodies framed by
+//! `Content-Length`, everything else ignored. This is deliberately not
+//! a general HTTP implementation — it exists so the wire boundary
+//! between the reconciler and the cluster server is a real TCP socket
+//! carrying real HTTP text, while the whole stack stays inside the
+//! offline build environment.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Maximum accepted header block + body, a guard against a runaway
+/// peer rather than a tuning knob.
+const MAX_REQUEST_BYTES: usize = 4 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (e.g. `/v1/observe`).
+    pub path: String,
+    /// Decoded body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// One parsed HTTP response (client side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Decoded body.
+    pub body: String,
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Reads bytes until the `\r\n\r\n` header terminator, then reads the
+/// `Content-Length` body. Shared by both request and response parsing
+/// (the framing is identical; only the first line differs).
+fn read_message(stream: &mut TcpStream) -> io::Result<(String, String)> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_terminator(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err(invalid("header block too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer closed before the header terminator",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..header_end].to_vec())
+        .map_err(|_| invalid("header block is not UTF-8"))?;
+    let mut body_bytes = buf[header_end + 4..].to_vec();
+    let content_length = content_length(&head)?;
+    if content_length > MAX_REQUEST_BYTES {
+        return Err(invalid("declared body too large"));
+    }
+    while body_bytes.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer closed mid-body",
+            ));
+        }
+        body_bytes.extend_from_slice(&chunk[..n]);
+    }
+    body_bytes.truncate(content_length);
+    let body = String::from_utf8(body_bytes).map_err(|_| invalid("body is not UTF-8"))?;
+    Ok((head, body))
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn content_length(head: &str) -> io::Result<usize> {
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            return value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| invalid("unparseable Content-Length"));
+        }
+    }
+    Ok(0)
+}
+
+/// Reads and parses one request from an accepted connection.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let (head, body) = read_message(stream)?;
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| invalid("empty request line"))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| invalid("request line has no target"))?;
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body,
+    })
+}
+
+/// Writes one JSON response and flushes. The connection is then done
+/// (`Connection: close`).
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let text = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(text.as_bytes())?;
+    stream.flush()
+}
+
+/// Sends one `POST` and reads the response, all within `timeout` per
+/// socket operation. Each call is its own connection.
+pub fn post(addr: SocketAddr, path: &str, body: &str, timeout: Duration) -> io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let text = format!(
+        "POST {path} HTTP/1.1\r\nHost: faro-cluster\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(text.as_bytes())?;
+    stream.flush()?;
+    let (head, body) = read_message(&mut stream)?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| invalid("unparseable status line"))?;
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn round_trips_a_request_over_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            let req = read_request(&mut conn).expect("parse request");
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/echo");
+            write_response(&mut conn, 200, &req.body).expect("write response");
+        });
+        let resp = post(addr, "/v1/echo", "{\"v\":1}", Duration::from_secs(5)).expect("post");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "{\"v\":1}");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            let req = read_request(&mut conn).expect("parse request");
+            assert_eq!(req.body, "");
+            write_response(&mut conn, 404, "{}").expect("write response");
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /missing HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("send");
+        let (head, _) = read_message(&mut stream).expect("response");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        server.join().expect("server thread");
+    }
+}

@@ -1,0 +1,301 @@
+//! The versioned v1 actuation wire schema.
+//!
+//! Every payload is a JSON envelope carrying a `"v"` version tag next
+//! to the body. The body shapes reuse the exact serializers the rest
+//! of the workspace already commits to disk: `"snapshot"` is
+//! [`ClusterSnapshot`]'s wire format byte-for-byte, `"desired"` is
+//! [`DesiredState`]'s. That makes the protocol testable against the
+//! committed sim goldens — a trace line's decision record and an
+//! apply request body agree on every shared field — and keeps one
+//! serializer per type.
+//!
+//! Compatibility rule: a payload *without* a `"v"` tag is accepted as
+//! v1 (the tag was introduced together with the protocol, so legacy
+//! bodies are exactly the untagged ones). A payload with an unknown
+//! newer tag is rejected by [`check_version`].
+
+use faro_core::types::{ClusterSnapshot, DesiredState};
+use serde_json::Value;
+
+/// The current protocol version.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Observe endpoint path.
+pub const OBSERVE_PATH: &str = "/v1/observe";
+/// Apply endpoint path.
+pub const APPLY_PATH: &str = "/v1/apply";
+/// Chaos-injection endpoint path.
+pub const CHAOS_PATH: &str = "/v1/chaos";
+
+/// Reads the envelope's version tag: absent means v1 (legacy), any
+/// other value must equal [`WIRE_VERSION`].
+pub fn check_version(v: &Value) -> Option<u64> {
+    match v.get("v") {
+        None => Some(WIRE_VERSION),
+        Some(tag) => {
+            let tag = tag.as_u64()?;
+            (tag == WIRE_VERSION).then_some(tag)
+        }
+    }
+}
+
+/// `/v1/observe` success body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserveResponse {
+    /// Monotone snapshot sequence number (one per fresh observation;
+    /// a chaos-served stale snapshot repeats the cached `seq`).
+    pub seq: u64,
+    /// How far behind the server's current state this snapshot is, in
+    /// milliseconds of the *logical* timeline. Zero for a fresh
+    /// snapshot; positive when the server replayed a cache. The
+    /// client subtracts it from its own clock so the resilient
+    /// driver's staleness window applies across the process boundary.
+    pub age_ms: u64,
+    /// The snapshot, in the workspace's committed wire format.
+    pub snapshot: ClusterSnapshot,
+}
+
+impl serde::Serialize for ObserveResponse {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"v\":");
+        WIRE_VERSION.serialize_json(out);
+        out.push_str(",\"seq\":");
+        self.seq.serialize_json(out);
+        out.push_str(",\"age_ms\":");
+        self.age_ms.serialize_json(out);
+        out.push_str(",\"snapshot\":");
+        self.snapshot.serialize_json(out);
+        out.push('}');
+    }
+}
+
+impl ObserveResponse {
+    /// Parses the envelope; `None` on a shape or version mismatch.
+    pub fn from_json(v: &Value) -> Option<Self> {
+        check_version(v)?;
+        Some(Self {
+            seq: v.get("seq")?.as_u64()?,
+            age_ms: v.get("age_ms")?.as_u64()?,
+            snapshot: ClusterSnapshot::from_json(v.get("snapshot")?)?,
+        })
+    }
+}
+
+/// `/v1/apply` request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplyRequest {
+    /// The desired state to actuate, in the workspace's committed
+    /// wire format (`[{"job":N,"target_replicas":..,..}, ...]`).
+    pub desired: DesiredState,
+}
+
+impl serde::Serialize for ApplyRequest {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"v\":");
+        WIRE_VERSION.serialize_json(out);
+        out.push_str(",\"desired\":");
+        self.desired.serialize_json(out);
+        out.push('}');
+    }
+}
+
+impl ApplyRequest {
+    /// Parses the envelope; `None` on a shape or version mismatch.
+    pub fn from_json(v: &Value) -> Option<Self> {
+        check_version(v)?;
+        Some(Self {
+            desired: DesiredState::from_json(v.get("desired")?)?,
+        })
+    }
+}
+
+/// `/v1/apply` success body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyResponse {
+    /// Jobs whose decision was applied.
+    pub applied: u32,
+    /// Jobs whose decision was rejected (unknown job index).
+    pub failed: u32,
+    /// Replicas that entered cold start because of this apply.
+    pub replicas_started: u32,
+}
+
+impl serde::Serialize for ApplyResponse {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"v\":");
+        WIRE_VERSION.serialize_json(out);
+        out.push_str(",\"applied\":");
+        self.applied.serialize_json(out);
+        out.push_str(",\"failed\":");
+        self.failed.serialize_json(out);
+        out.push_str(",\"replicas_started\":");
+        self.replicas_started.serialize_json(out);
+        out.push('}');
+    }
+}
+
+impl ApplyResponse {
+    /// Parses the envelope; `None` on a shape or version mismatch.
+    pub fn from_json(v: &Value) -> Option<Self> {
+        check_version(v)?;
+        Some(Self {
+            applied: v.get("applied")?.as_u64()? as u32,
+            failed: v.get("failed")?.as_u64()? as u32,
+            replicas_started: v.get("replicas_started")?.as_u64()? as u32,
+        })
+    }
+}
+
+/// `/v1/chaos` request body: the server's fault-injection knobs.
+///
+/// All rates are per-mille (0–1000) so the wire carries integers and
+/// two runs with the same seed draw identically. [`ChaosConfig::none`]
+/// disables every class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for the server's fault streams.
+    pub seed: u64,
+    /// Artificial latency added to every API reply, wall milliseconds.
+    pub api_latency_ms: u64,
+    /// Per-mille of `apply` calls refused with a retryable 503 before
+    /// touching cluster state.
+    pub apply_fail_per_mille: u32,
+    /// Per-mille of `observe` calls answered from the cached previous
+    /// snapshot instead of a fresh one.
+    pub stale_observe_per_mille: u32,
+    /// Logical age reported for a cache-served snapshot, milliseconds.
+    pub stale_age_ms: u64,
+}
+
+impl ChaosConfig {
+    /// No injected faults at all.
+    pub const fn none() -> Self {
+        Self {
+            seed: 0,
+            api_latency_ms: 0,
+            apply_fail_per_mille: 0,
+            stale_observe_per_mille: 0,
+            stale_age_ms: 0,
+        }
+    }
+
+    /// Parses the envelope. Absent knobs default to off, so a legacy
+    /// `{"seed":7}` body is a valid plan.
+    pub fn from_json(v: &Value) -> Option<Self> {
+        check_version(v)?;
+        let knob = |name: &str| v.get(name).map_or(Some(0), |k| k.as_u64());
+        Some(Self {
+            seed: knob("seed")?,
+            api_latency_ms: knob("api_latency_ms")?,
+            apply_fail_per_mille: knob("apply_fail_per_mille")? as u32,
+            stale_observe_per_mille: knob("stale_observe_per_mille")? as u32,
+            stale_age_ms: knob("stale_age_ms")?,
+        })
+    }
+
+    /// Whether any fault class is enabled.
+    pub fn is_active(&self) -> bool {
+        self.api_latency_ms > 0 || self.apply_fail_per_mille > 0 || self.stale_observe_per_mille > 0
+    }
+}
+
+impl serde::Serialize for ChaosConfig {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"v\":");
+        WIRE_VERSION.serialize_json(out);
+        out.push_str(",\"seed\":");
+        self.seed.serialize_json(out);
+        out.push_str(",\"api_latency_ms\":");
+        self.api_latency_ms.serialize_json(out);
+        out.push_str(",\"apply_fail_per_mille\":");
+        self.apply_fail_per_mille.serialize_json(out);
+        out.push_str(",\"stale_observe_per_mille\":");
+        self.stale_observe_per_mille.serialize_json(out);
+        out.push_str(",\"stale_age_ms\":");
+        self.stale_age_ms.serialize_json(out);
+        out.push('}');
+    }
+}
+
+/// Error body for any non-200 reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// Human-readable cause.
+    pub error: String,
+    /// Whether retrying the same call can possibly succeed.
+    pub retryable: bool,
+}
+
+impl serde::Serialize for ErrorBody {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"v\":");
+        WIRE_VERSION.serialize_json(out);
+        out.push_str(",\"error\":");
+        self.error.serialize_json(out);
+        out.push_str(",\"retryable\":");
+        self.retryable.serialize_json(out);
+        out.push('}');
+    }
+}
+
+impl ErrorBody {
+    /// Parses the envelope; unparseable bodies fall back to a
+    /// non-retryable opaque error so the client never panics on a
+    /// garbled reply.
+    pub fn from_json(v: &Value) -> Option<Self> {
+        check_version(v)?;
+        Some(Self {
+            error: v.get("error")?.as_str()?.to_owned(),
+            retryable: v.get("retryable")?.as_bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_version_tag_is_accepted_as_v1() {
+        let legacy = serde_json::from_str("{\"seed\":7}").expect("parse");
+        assert_eq!(check_version(&legacy), Some(WIRE_VERSION));
+        let plan = ChaosConfig::from_json(&legacy).expect("legacy chaos body");
+        assert_eq!(plan.seed, 7);
+        assert!(!plan.is_active());
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let v2 = serde_json::from_str("{\"v\":2,\"seed\":7}").expect("parse");
+        assert_eq!(check_version(&v2), None);
+        assert!(ChaosConfig::from_json(&v2).is_none());
+    }
+
+    #[test]
+    fn chaos_config_round_trips() {
+        let plan = ChaosConfig {
+            seed: 42,
+            api_latency_ms: 3,
+            apply_fail_per_mille: 150,
+            stale_observe_per_mille: 200,
+            stale_age_ms: 30_000,
+        };
+        let json = serde_json::to_string(&plan).expect("serializes");
+        let back = ChaosConfig::from_json(&serde_json::from_str(&json).expect("parses"))
+            .expect("round-trips");
+        assert_eq!(back, plan);
+        assert!(json.starts_with("{\"v\":1,"), "{json}");
+    }
+
+    #[test]
+    fn error_body_round_trips() {
+        let body = ErrorBody {
+            error: "injected unavailability".to_owned(),
+            retryable: true,
+        };
+        let json = serde_json::to_string(&body).expect("serializes");
+        let back =
+            ErrorBody::from_json(&serde_json::from_str(&json).expect("parses")).expect("shape");
+        assert_eq!(back, body);
+    }
+}

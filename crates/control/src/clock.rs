@@ -1,16 +1,23 @@
 //! The pacing abstraction that decouples the reconciler from time.
 
-use faro_core::units::SimTimeMs;
+use faro_core::units::{SimTimeMs, WallTimeMs};
 use faro_telemetry::TelemetrySink;
 
 /// Paces reconcile rounds.
 ///
 /// The reconciler never sleeps or pumps events itself; it asks the
 /// clock to advance to the next round. A simulated clock drains its
-/// discrete-event queue until the next policy tick pops; a wall clock
-/// would sleep until the next interval boundary.
+/// discrete-event queue until the next policy tick pops; a wall-clock
+/// backend sleeps until the next interval boundary.
+///
+/// [`Clock::now`] is the run's *logical* timeline — round-aligned
+/// [`SimTimeMs`] instants that stamp snapshots and telemetry
+/// identically whether the backend is simulated or live. The host's
+/// physical clock is deliberately not on this trait: backends that
+/// have one implement [`WallClock`] separately, so a wall-clock read
+/// can never be mistaken for a logical instant.
 pub trait Clock {
-    /// Current time since the start of the run.
+    /// Current time on the run's logical timeline.
     fn now(&self) -> SimTimeMs;
 
     /// Advances to the next reconcile round, returning its time, or
@@ -28,4 +35,23 @@ pub trait Clock {
         let _ = sink;
         self.advance()
     }
+}
+
+/// Access to the host's physical clock, split off from [`Clock`].
+///
+/// `Clock::now` used to be the only time accessor, which conflated
+/// two timelines: the deterministic round-aligned one policies reason
+/// about, and the host's wall clock a live deployment pacing sleeps
+/// and latency gates against. Backends with a real clock implement
+/// this trait *in addition to* [`Clock`]; purely simulated backends
+/// do not implement it at all, so simulated code cannot even ask for
+/// wall time. The return type is [`WallTimeMs`], which has no
+/// conversion to [`SimTimeMs`] — the compiler stops a wall-clock
+/// milli from ever entering sim-time arithmetic.
+pub trait WallClock {
+    /// The host's physical clock, as milliseconds since the Unix
+    /// epoch. Monotonicity is *not* guaranteed (the host clock can
+    /// step); use it for tagging and gating, never for ordering
+    /// rounds.
+    fn wall_now(&self) -> WallTimeMs;
 }

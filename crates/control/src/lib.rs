@@ -39,6 +39,19 @@
 //! failures from a seeded plan so every resilience path is exercised
 //! reproducibly.
 //!
+//! [`driver::Driver`] is the one run entry point over all of this: a
+//! builder that composes a policy, admission, optional resilience,
+//! and a telemetry sink over any backend and drives the loop to the
+//! clock's horizon or a round bound — the simulator's run path and
+//! the live HTTP loop (`faro-cluster`) are both thin layers over it,
+//! and [`report::RunReport`] is its unified accounting view.
+//!
+//! Time is split across two traits: [`Clock`] is the run's logical
+//! timeline ([`faro_core::units::SimTimeMs`]), and [`clock::WallClock`]
+//! is the host's physical clock ([`faro_core::units::WallTimeMs`]) —
+//! separate types with no conversion, so wall-clock millis cannot
+//! leak into sim-time arithmetic.
+//!
 //! The discrete-event simulator (`faro-sim`) provides the first
 //! backend; `examples/custom_backend.rs` in the workspace root drives
 //! the same reconciler against a mock with no simulator dependency.
@@ -49,13 +62,17 @@
 pub mod backend;
 pub mod chaos;
 pub mod clock;
+pub mod driver;
 pub mod reconciler;
+pub mod report;
 pub mod resilient;
 
 pub use backend::{ActuationReport, BackendError, ClusterBackend};
 pub use chaos::{
     ApiErrors, ChaosBackend, ChaosPlan, ChaosStats, InjectedLatency, PartialApplies, StaleSnapshots,
 };
-pub use clock::Clock;
+pub use clock::{Clock, WallClock};
+pub use driver::{Driver, DriverError, DriverOutcome};
 pub use reconciler::{AdmissionStats, PlannedRound, ReconcileOutcome, Reconciler, RunStats};
+pub use report::RunReport;
 pub use resilient::{BreakerState, DriverStats, ResilienceConfig, ResilientDriver, RetryPolicy};

@@ -32,8 +32,10 @@ pub const RESOURCE_DIMS: usize = 3;
 ///
 /// Wraps the job's position in the cluster's job list so a decision can
 /// never be applied to the wrong job through positional off-by-one:
-/// every control-plane API keys on `JobId`, not slice order. Not
-/// serialized anywhere — reports key jobs by name.
+/// every control-plane API keys on `JobId`, not slice order. Reports
+/// key jobs by name; the only wire format that carries a `JobId` is
+/// the v1 actuation schema, where [`DesiredState`] entries serialize
+/// it as the raw `"job"` index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(usize);
 
@@ -700,6 +702,53 @@ impl serde::Serialize for JobObservation {
 
 impl Deserialize for JobObservation {}
 
+impl JobObservation {
+    /// Parses an observation from its wire format. The per-class
+    /// fields are optional, so pre-class JSON parses to the
+    /// homogeneous regime. Non-finite floats serialize as `null`
+    /// (the vendored writer's encoding) and parse back as NaN — a
+    /// corrupt sample stays corrupt across the wire, though an
+    /// infinite tail degrades to NaN ("unknown"), which every
+    /// consumer already treats as not-attained. Returns `None` on a
+    /// shape mismatch.
+    pub fn from_json(v: &serde_json::Value) -> Option<Self> {
+        let history = v
+            .get("arrival_rate_history")?
+            .as_array()?
+            .iter()
+            .map(|r| match r {
+                serde_json::Value::Null => Some(RatePerMin::NAN),
+                _ => r.as_f64().map(RatePerMin::new),
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let float = |key: &str| -> Option<f64> {
+            match v.get(key)? {
+                serde_json::Value::Null => Some(f64::NAN),
+                other => other.as_f64(),
+            }
+        };
+        let class = |key: &str| -> Option<Option<ClassAlloc>> {
+            match v.get(key) {
+                None => Some(None),
+                Some(a) => Some(Some(ClassAlloc::from_json(a)?)),
+            }
+        };
+        Some(Self {
+            spec: Arc::new(JobSpec::from_json(v.get("spec")?)?),
+            target_replicas: u32::try_from(v.get("target_replicas")?.as_u64()?).ok()?,
+            ready_replicas: u32::try_from(v.get("ready_replicas")?.as_u64()?).ok()?,
+            queue_len: usize::try_from(v.get("queue_len")?.as_u64()?).ok()?,
+            arrival_rate_history: Arc::new(history),
+            recent_arrival_rate: float("recent_arrival_rate")?,
+            mean_processing_time: float("mean_processing_time")?,
+            recent_tail_latency: float("recent_tail_latency")?,
+            drop_rate: float("drop_rate")?,
+            class_target: class("class_target")?,
+            class_ready: class("class_ready")?,
+        })
+    }
+}
+
 /// Cluster-wide observation delivered to policies at every tick.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSnapshot {
@@ -733,6 +782,22 @@ impl ClusterSnapshot {
     /// The observation for one job, if present.
     pub fn job(&self, id: JobId) -> Option<&JobObservation> {
         self.jobs.get(id.index())
+    }
+
+    /// Parses a snapshot from its wire format (`now` is `f64`
+    /// seconds, the format [`SimTimeMs`] serializes). Returns `None`
+    /// on a shape mismatch.
+    pub fn from_json(v: &serde_json::Value) -> Option<Self> {
+        Some(Self {
+            now: SimTimeMs::from_secs(v.get("now")?.as_f64()?),
+            resources: ResourceModel::from_json(v.get("resources")?)?,
+            jobs: v
+                .get("jobs")?
+                .as_array()?
+                .iter()
+                .map(JobObservation::from_json)
+                .collect::<Option<Vec<_>>>()?,
+        })
     }
 }
 
@@ -920,7 +985,53 @@ impl DesiredState {
             .zip(snapshot.jobs.iter().map(JobDecision::keep))
             .collect()
     }
+
+    /// Parses a desired state from its wire format: an array of
+    /// [`JobDecision`] objects each tagged with its `"job"` index.
+    /// Duplicate indices keep the last entry (map semantics). Returns
+    /// `None` on a shape mismatch.
+    pub fn from_json(v: &serde_json::Value) -> Option<Self> {
+        v.as_array()?
+            .iter()
+            .map(|entry| {
+                let id = JobId::new(usize::try_from(entry.get("job")?.as_u64()?).ok()?);
+                Some((id, JobDecision::from_json(entry)?))
+            })
+            .collect::<Option<Self>>()
+    }
 }
+
+impl serde::Serialize for DesiredState {
+    /// Hand-written v1 actuation wire format: an ascending-`JobId`
+    /// array whose entries are each job's [`JobDecision`] wire object
+    /// prefixed with its `"job"` index — the decision fields are
+    /// byte-identical to [`JobDecision`]'s own serializer, so a
+    /// backend that already parses decisions parses desired states.
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        let mut first = true;
+        for (id, d) in self.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"job\":");
+            id.index().serialize_json(out);
+            out.push_str(",\"target_replicas\":");
+            d.target_replicas.serialize_json(out);
+            out.push_str(",\"drop_rate\":");
+            d.drop_rate.serialize_json(out);
+            if let Some(classes) = &d.classes {
+                out.push_str(",\"classes\":");
+                classes.serialize_json(out);
+            }
+            out.push('}');
+        }
+        out.push(']');
+    }
+}
+
+impl Deserialize for DesiredState {}
 
 impl FromIterator<(JobId, JobDecision)> for DesiredState {
     fn from_iter<T: IntoIterator<Item = (JobId, JobDecision)>>(iter: T) -> Self {

@@ -124,6 +124,14 @@ impl AddAssign<DurationMs> for SimTimeMs {
     }
 }
 
+impl Sub<DurationMs> for SimTimeMs {
+    type Output = Self;
+
+    fn sub(self, rhs: DurationMs) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+}
+
 impl fmt::Display for SimTimeMs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}s", self.as_secs())
@@ -289,6 +297,92 @@ impl fmt::Display for RatePerMin {
     }
 }
 
+/// An absolute wall-clock instant — whole milliseconds since the Unix
+/// epoch — as read from the host's physical clock.
+///
+/// This is deliberately a *different type* from [`SimTimeMs`]: the
+/// control plane's logical timeline (`Clock::now`, snapshot stamps,
+/// telemetry ordering) is `SimTimeMs`, while wall time exists only at
+/// the edges — tagging live-loop telemetry, pacing a real reconcile
+/// interval, gating CI wall budgets. Keeping them apart means a
+/// wall-clock read can never silently enter sim-time arithmetic (and
+/// vice versa): there is no conversion between the two types at all.
+/// A live backend that needs a sim-timeline stamp derives it from its
+/// *round counter*, never from this type.
+///
+/// Serialized as whole integer milliseconds: epoch-scale instants do
+/// not survive the `f64`-seconds encoding [`SimTimeMs`] uses (2^53
+/// microsecond precision loss), and wall stamps are diagnostics, not
+/// policy inputs, so they owe no legacy wire format.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WallTimeMs(i64);
+
+impl WallTimeMs {
+    /// The Unix epoch.
+    pub const EPOCH: Self = Self(0);
+
+    /// An instant from whole milliseconds since the Unix epoch.
+    pub const fn from_millis(ms: i64) -> Self {
+        Self(ms)
+    }
+
+    /// Whole milliseconds since the Unix epoch.
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// Checked duration since `earlier` (`None` on overflow).
+    pub const fn checked_duration_since(self, earlier: Self) -> Option<DurationMs> {
+        match self.0.checked_sub(earlier.0) {
+            Some(ms) => Some(DurationMs(ms)),
+            None => None,
+        }
+    }
+
+    /// Saturating duration since `earlier`.
+    pub const fn saturating_duration_since(self, earlier: Self) -> DurationMs {
+        DurationMs(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Sub for WallTimeMs {
+    type Output = DurationMs;
+
+    fn sub(self, rhs: Self) -> DurationMs {
+        self.saturating_duration_since(rhs)
+    }
+}
+
+impl Add<DurationMs> for WallTimeMs {
+    type Output = Self;
+
+    fn add(self, rhs: DurationMs) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<DurationMs> for WallTimeMs {
+    fn add_assign(&mut self, rhs: DurationMs) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for WallTimeMs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms(wall)", self.0)
+    }
+}
+
+impl Serialize for WallTimeMs {
+    /// Writes whole integer milliseconds (see the type docs for why
+    /// this differs from the `f64`-seconds sim-time encoding).
+    fn serialize_json(&self, out: &mut String) {
+        self.0.serialize_json(out);
+    }
+}
+
+impl Deserialize for WallTimeMs {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +422,26 @@ mod tests {
             SimTimeMs::MAX.checked_duration_since(SimTimeMs::MIN),
             None,
             "checked subtraction must observe overflow"
+        );
+    }
+
+    #[test]
+    fn wall_time_stays_out_of_the_sim_timeline() {
+        // Arithmetic composes within the wall domain...
+        let t0 = WallTimeMs::from_millis(1_754_500_000_000);
+        let t1 = t0 + DurationMs::from_millis(250);
+        assert_eq!(t1 - t0, DurationMs::from_millis(250));
+        assert_eq!(t1.saturating_duration_since(t0).as_millis(), 250);
+        assert_eq!(
+            WallTimeMs::EPOCH.checked_duration_since(WallTimeMs::from_millis(i64::MIN)),
+            None
+        );
+        // ...and serializes as integer millis, not f64 seconds: an
+        // epoch-scale stamp must survive the wire bit-exactly.
+        assert_eq!(
+            serde_json::to_string(&t0).unwrap(),
+            "1754500000000",
+            "wall stamps are integer milliseconds on the wire"
         );
     }
 

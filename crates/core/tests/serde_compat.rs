@@ -6,8 +6,13 @@
 //! pre-class derive emitted — the same bytes locked down on the write
 //! side by `single_class_wire_format_is_unchanged` in `types.rs`.
 
-use faro_core::types::{ClassAlloc, JobDecision, JobSpec, ReplicaClass, ResourceModel};
+use faro_core::types::{
+    ClassAlloc, ClusterSnapshot, DesiredState, JobDecision, JobId, JobObservation, JobSpec,
+    ReplicaClass, ResourceModel,
+};
+use faro_core::units::{RatePerMin, SimTimeMs};
 use faro_core::ReplicaCount;
+use std::sync::Arc;
 
 #[test]
 fn legacy_single_class_json_still_deserializes() {
@@ -69,6 +74,61 @@ fn malformed_json_is_rejected_not_defaulted() {
     assert!(JobDecision::from_json(&v).is_none());
     let v = serde_json::from_str("{\"cpu_per_replica\":1}").unwrap();
     assert!(ResourceModel::from_json(&v).is_none());
+}
+
+#[test]
+fn cluster_snapshot_round_trips_byte_identically() {
+    // The full composite the live wire ships as `"snapshot"`: it must
+    // survive serialize → parse → re-serialize with identical bytes,
+    // because the actuation protocol's golden tests build on it.
+    let snapshot = ClusterSnapshot {
+        now: SimTimeMs::from_millis(30_000),
+        resources: ResourceModel::replicas(ReplicaCount::new(12)),
+        jobs: vec![JobObservation {
+            spec: Arc::new(JobSpec::resnet18("wire")),
+            target_replicas: 3,
+            ready_replicas: 2,
+            queue_len: 4,
+            arrival_rate_history: Arc::new(vec![RatePerMin::new(120.0), RatePerMin::new(360.0)]),
+            recent_arrival_rate: 6.5,
+            mean_processing_time: 0.1,
+            recent_tail_latency: 0.35,
+            drop_rate: 0.0,
+            class_target: None,
+            class_ready: None,
+        }],
+    };
+    let json = serde_json::to_string(&snapshot).unwrap();
+    let parsed = ClusterSnapshot::from_json(&serde_json::from_str(&json).unwrap()).unwrap();
+    assert_eq!(parsed, snapshot);
+    assert_eq!(serde_json::to_string(&parsed).unwrap(), json);
+}
+
+#[test]
+fn desired_state_round_trips_and_accepts_legacy_bodies() {
+    let mut desired = DesiredState::new();
+    desired.set(JobId::new(0), JobDecision::replicas(4));
+    desired.set(
+        JobId::new(2),
+        JobDecision::classed(ClassAlloc::from_counts(&[1, 3]).unwrap()).with_drop_rate(0.1),
+    );
+    let json = serde_json::to_string(&desired).unwrap();
+    let parsed = DesiredState::from_json(&serde_json::from_str(&json).unwrap()).unwrap();
+    assert_eq!(parsed, desired);
+    assert_eq!(serde_json::to_string(&parsed).unwrap(), json);
+
+    // A pre-class actuation body (no `classes` anywhere) still parses.
+    let legacy = "[{\"job\":0,\"target_replicas\":7,\"drop_rate\":0}]";
+    let parsed = DesiredState::from_json(&serde_json::from_str(legacy).unwrap()).unwrap();
+    assert_eq!(parsed.get(JobId::new(0)), Some(JobDecision::replicas(7)));
+
+    // Duplicate job indices keep the last entry (map semantics), so a
+    // sloppy producer cannot smuggle in two decisions for one job.
+    let dup = "[{\"job\":1,\"target_replicas\":2,\"drop_rate\":0},\
+               {\"job\":1,\"target_replicas\":9,\"drop_rate\":0}]";
+    let parsed = DesiredState::from_json(&serde_json::from_str(dup).unwrap()).unwrap();
+    assert_eq!(parsed.len(), 1);
+    assert_eq!(parsed.get(JobId::new(1)), Some(JobDecision::replicas(9)));
 }
 
 #[test]

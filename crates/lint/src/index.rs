@@ -23,7 +23,13 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Unit newtypes the `unit-flow` rule protects. Bare numeric literals
 /// must not flow into parameters declared with these types; the
 /// blessed constructors live in the unit home modules.
-pub const UNIT_TYPES: &[&str] = &["SimTimeMs", "DurationMs", "RatePerMin", "ReplicaCount"];
+pub const UNIT_TYPES: &[&str] = &[
+    "SimTimeMs",
+    "DurationMs",
+    "RatePerMin",
+    "ReplicaCount",
+    "WallTimeMs",
+];
 
 /// Crates whose files participate in golden-sensitivity propagation.
 /// Everything else (bench, metrics, telemetry, …) consumes reports; it

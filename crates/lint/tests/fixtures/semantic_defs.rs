@@ -12,10 +12,18 @@ pub enum BackendError {
 
 pub struct SimTimeMs(pub i64);
 pub struct DurationMs(pub i64);
+pub struct WallTimeMs(pub i64);
 
 /// Schedule the next probe: both parameters are unit newtypes, so the
 /// registry enforces units at every call site.
 pub fn schedule_probe(at: SimTimeMs, budget: DurationMs) -> SimTimeMs {
     let _ = budget;
     at
+}
+
+/// Tag an event with the host clock: the parameter is the wall-time
+/// newtype, so call sites must name the unit (a bare epoch-millis
+/// integer is exactly the confusion the type exists to prevent).
+pub fn stamp_wall_event(wall: WallTimeMs) -> WallTimeMs {
+    wall
 }

@@ -8,3 +8,7 @@ pub fn probe_now() {
 pub fn probe_with_budget(at: SimTimeMs, budget: DurationMs) {
     schedule_probe(at, budget);
 }
+
+pub fn stamp_now(wall: WallTimeMs) {
+    stamp_wall_event(wall);
+}

@@ -9,3 +9,7 @@ pub fn probe_now() {
 pub fn probe_with_budget(at: SimTimeMs) {
     schedule_probe(at, 250);
 }
+
+pub fn stamp_now() {
+    stamp_wall_event(1_722_000_000_000);
+}

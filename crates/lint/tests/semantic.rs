@@ -120,14 +120,18 @@ fn unit_flow_fires_with_exact_diagnostics() {
     let src = include_str!("fixtures/unit_flow_violation.rs");
     let diags = lint_sources(&[(DEFS_PATH, DEFS), (CONTROL_SCOPE, src)]);
     assert!(diags.iter().all(|d| d.rule == "unit-flow"), "{diags:?}");
-    // `5_000` into the SimTimeMs position, `250` into DurationMs.
-    assert_eq!(diags.len(), 2, "{diags:?}");
+    // `5_000` into the SimTimeMs position, `250` into DurationMs, a
+    // bare epoch-millis integer into WallTimeMs.
+    assert_eq!(diags.len(), 3, "{diags:?}");
     assert!(diags
         .iter()
         .any(|d| d.message.contains("5_000") && d.message.contains("SimTimeMs")));
     assert!(diags
         .iter()
         .any(|d| d.message.contains("250") && d.message.contains("DurationMs")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("1_722_000_000_000") && d.message.contains("WallTimeMs")));
     check_snapshot("unit_flow", &render(&diags));
 }
 

@@ -14,16 +14,17 @@
 //! The simulator is the first [`faro_control::ClusterBackend`]: the
 //! event loop lives in [`SimBackend`], whose `advance()` drains events
 //! up to the next policy tick while the `faro-control` reconciler runs
-//! Observe → Decide → Admit → Actuate on top. [`Simulation::runner`]
-//! wires the two together; [`Simulation::into_backend`] hands the
-//! primed backend to external control loops.
+//! Observe → Decide → Admit → Actuate on top. [`Simulation::driver`]
+//! wires the two together through the backend-generic
+//! [`faro_control::Driver`] builder; [`Simulation::into_backend`]
+//! hands the primed backend to external control loops.
 //!
 //! # Examples
 //!
 //! ```
 //! use faro_core::baselines::FairShare;
 //! use faro_core::types::JobSpec;
-//! use faro_sim::{JobSetup, SimConfig, Simulation};
+//! use faro_sim::{JobSetup, SimConfig, SimRun, Simulation};
 //!
 //! let jobs = vec![JobSetup {
 //!     spec: JobSpec::resnet34("demo"),
@@ -33,10 +34,12 @@
 //! let config = SimConfig { seed: 1, ..Default::default() };
 //! let outcome = Simulation::new(config, jobs)
 //!     .unwrap()
-//!     .runner()
+//!     .driver()
+//!     .unwrap()
 //!     .policy(Box::new(FairShare))
 //!     .run()
-//!     .unwrap();
+//!     .unwrap()
+//!     .into_outcome();
 //! assert!(outcome.report.jobs[0].total_requests > 0);
 //! ```
 
@@ -55,7 +58,9 @@ pub use faults::{
     ColdStartSpike, FaultPlan, MetricOutage, MetricOutageMode, NodeOutage, ReplicaCrashes,
 };
 pub use report::{ClusterReport, JobReport};
-pub use simulator::{JobSetup, RunOutcome, Runner, SimConfig, Simulation};
+#[allow(deprecated)] // re-exported for the shim's one-release grace period
+pub use simulator::Runner;
+pub use simulator::{JobSetup, RunOutcome, SimConfig, SimRun, Simulation};
 
 /// Result alias for this crate.
 pub type Result<T> = core::result::Result<T, Error>;

@@ -1,17 +1,18 @@
 //! Simulation setup and entry points.
 //!
 //! [`Simulation`] validates a configuration and job set, then either
-//! runs the whole control loop itself ([`Simulation::runner`], which
-//! composes a [`faro_control::Reconciler`] over the event-driven
-//! [`SimBackend`]) or hands the primed backend out for external
-//! driving ([`Simulation::into_backend`]).
+//! runs the whole control loop itself ([`Simulation::driver`], which
+//! hands the primed [`SimBackend`] to the backend-generic
+//! [`faro_control::Driver`] builder) or hands the backend out for
+//! fully external driving ([`Simulation::into_backend`]).
 //!
-//! One run is configured through the [`Runner`] builder:
+//! One run is configured through the [`faro_control::Driver`]
+//! builder; [`SimRun::into_outcome`] harvests the cluster report:
 //!
 //! ```
 //! use faro_core::baselines::FairShare;
 //! use faro_core::types::JobSpec;
-//! use faro_sim::{JobSetup, SimConfig, Simulation};
+//! use faro_sim::{JobSetup, SimConfig, SimRun, Simulation};
 //! use faro_telemetry::TraceSink;
 //!
 //! let jobs = vec![JobSetup {
@@ -21,21 +22,26 @@
 //! }];
 //! let outcome = Simulation::new(SimConfig::default(), jobs)
 //!     .unwrap()
-//!     .runner()
+//!     .driver()
+//!     .unwrap()
 //!     .policy(Box::new(FairShare))
 //!     .telemetry(TraceSink::new())
 //!     .run()
-//!     .unwrap();
+//!     .unwrap()
+//!     .into_outcome();
 //! assert!(outcome.report.jobs[0].total_requests > 0);
 //! assert_eq!(outcome.stats.rounds, 30, "one round per 10 s tick");
 //! ```
+//!
+//! The sim-only [`Runner`] builder this replaced is kept as a
+//! deprecated shim for one release.
 
 use crate::backend::SimBackend;
 use crate::faults::FaultPlan;
 use crate::report::ClusterReport;
 use crate::runtime::{JobRuntime, DEFAULT_QUEUE_THRESHOLD};
 use crate::{Error, Result};
-use faro_control::{Reconciler, RunStats};
+use faro_control::{Driver, DriverError, DriverOutcome, RunStats};
 use faro_core::admission::{Admission, OutageClamp};
 use faro_core::policy::Policy;
 use faro_core::types::{JobObservation, JobSpec, ResourceModel};
@@ -292,6 +298,13 @@ impl Simulation {
     /// Starts configuring one run of this simulation: policy, optional
     /// admission override, fault plan, and telemetry sink, finished by
     /// [`Runner::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Simulation::driver()` (the backend-generic \
+                `faro_control::Driver` builder) with \
+                `Simulation::with_faults` and `SimRun::into_outcome`"
+    )]
+    #[allow(deprecated)] // the shim constructs its own deprecated type
     pub fn runner(self) -> Runner<NoopSink> {
         Runner {
             sim: self,
@@ -302,13 +315,52 @@ impl Simulation {
         }
     }
 
-    /// The one run loop behind the [`Runner`]: validates and attaches
-    /// the fault plan, composes a [`Reconciler`] (defaulting to
-    /// outage-aware quota admission) over this simulation's
-    /// [`SimBackend`], and drives the control loop to the horizon with
-    /// every round and backend event streamed into `sink`.
-    /// Monomorphized per sink: the [`NoopSink`] instantiation is the
-    /// plain untraced run.
+    /// Validates and attaches a fault schedule. [`FaultPlan::none`]
+    /// injects nothing and leaves the event stream byte-identical to
+    /// a fault-free run.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the plan references jobs outside this simulation or
+    /// combines a node outage with a heterogeneous cluster.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Result<Self> {
+        plan.validate(self.jobs.len())?;
+        if self.config.hetero_resources.is_some() && plan.node_outage.is_some() {
+            // A node outage shrinks the scalar quota; the classed
+            // regime has no notion of which class's capacity the
+            // lost node carried, so the combination is rejected
+            // rather than silently mis-modeled.
+            return Err(Error::InvalidSetup(
+                "node outages are not modeled on heterogeneous clusters".into(),
+            ));
+        }
+        self.faults = plan;
+        Ok(self)
+    }
+
+    /// Primes this simulation's [`SimBackend`] and hands it to the
+    /// backend-generic [`faro_control::Driver`] builder with the
+    /// simulator's default admission attached: an outage-aware
+    /// [`OutageClamp`] at the configured total quota (the cluster can
+    /// host what the policy asked for except during a node outage;
+    /// the clamp engages only while the observed quota is below full
+    /// capacity). Override with [`Driver::admission`]; harvest the
+    /// cluster report from the outcome with [`SimRun::into_outcome`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the attached fault plan cannot build its injector.
+    pub fn driver(self) -> Result<Driver<SimBackend>> {
+        let capacity = self.config.total_replicas;
+        Ok(Driver::new(self.into_backend()?)
+            .admission(Box::new(OutageClamp::new(capacity)) as Box<dyn Admission>))
+    }
+
+    /// The one run loop behind the deprecated [`Runner`] shim:
+    /// validates and attaches the fault plan, then delegates to the
+    /// [`faro_control::Driver`] builder — the exact loop every other
+    /// entry point runs. Monomorphized per sink: the [`NoopSink`]
+    /// instantiation is the plain untraced run.
     fn run_impl<S: TelemetrySink>(
         mut self,
         policy: Box<dyn Policy>,
@@ -317,38 +369,21 @@ impl Simulation {
         sink: &mut S,
     ) -> Result<RunOutcome> {
         if let Some(plan) = faults {
-            plan.validate(self.jobs.len())?;
-            if self.config.hetero_resources.is_some() && plan.node_outage.is_some() {
-                // A node outage shrinks the scalar quota; the classed
-                // regime has no notion of which class's capacity the
-                // lost node carried, so the combination is rejected
-                // rather than silently mis-modeled.
-                return Err(Error::InvalidSetup(
-                    "node outages are not modeled on heterogeneous clusters".into(),
-                ));
+            self = self.with_faults(plan)?;
+        }
+        let mut driver = self.driver()?.policy(policy);
+        if let Some(admission) = admission {
+            driver = driver.admission(admission);
+        }
+        // The in-process SimBackend never fails; a real error here
+        // means the run is unsalvageable, so surface it typed.
+        let run = driver.telemetry(sink).run().map_err(|e| match e {
+            DriverError::Backend(err) => Error::Backend(err),
+            DriverError::NoPolicy => {
+                Error::InvalidSetup("no policy attached; call Runner::policy first".into())
             }
-            self.faults = plan;
-        }
-        // The cluster can host what the policy asked for except during
-        // a node outage; the clamp engages only while the observed
-        // quota is below full capacity.
-        let capacity = self.config.total_replicas;
-        let admission =
-            admission.unwrap_or_else(|| Box::new(OutageClamp::new(capacity)) as Box<dyn Admission>);
-        let mut backend = self.into_backend()?;
-        let mut reconciler = Reconciler::new(policy, admission);
-        while backend.advance_telemetry(sink).is_some() {
-            // The in-process SimBackend never fails; a real error here
-            // means the run is unsalvageable, so surface it typed.
-            reconciler
-                .reconcile_with(&mut backend, sink)
-                .map_err(Error::Backend)?;
-        }
-        let stats = *reconciler.stats();
-        Ok(RunOutcome {
-            report: backend.finish(reconciler.policy_name()),
-            stats,
-        })
+        })?;
+        Ok(run.into_outcome())
     }
 
     /// Primes the discrete-event backend for this simulation without
@@ -364,7 +399,7 @@ impl Simulation {
 
 /// Everything one simulated control-loop run produces: the cluster
 /// report and the reconciler's round accounting. Telemetry lives in
-/// the sink the caller handed to [`Runner::telemetry`].
+/// the sink the caller handed to [`Driver::telemetry`].
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
     /// Per-job and cluster-level SLO/utility report.
@@ -374,12 +409,36 @@ pub struct RunOutcome {
     pub stats: RunStats,
 }
 
+/// Sim-side harvesting of a [`Driver`] run: turns the generic
+/// [`DriverOutcome`] (which hands the backend back) into the
+/// simulator's [`RunOutcome`] by finishing the [`SimBackend`] into
+/// its cluster report.
+pub trait SimRun {
+    /// Finishes the simulated backend and packages the run.
+    fn into_outcome(self) -> RunOutcome;
+}
+
+impl SimRun for DriverOutcome<SimBackend> {
+    fn into_outcome(self) -> RunOutcome {
+        RunOutcome {
+            report: self.backend.finish(&self.policy_name),
+            stats: self.stats,
+        }
+    }
+}
+
 /// Builder for one run of a [`Simulation`].
 ///
 /// Obtained from [`Simulation::runner`]; consumed by [`Runner::run`].
 /// The sink type parameter defaults to [`NoopSink`], which compiles
 /// the instrumentation out entirely — attach a real sink with
 /// [`Runner::telemetry`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Simulation::driver()` (the backend-generic \
+            `faro_control::Driver` builder) with \
+            `Simulation::with_faults` and `SimRun::into_outcome`"
+)]
 pub struct Runner<S: TelemetrySink = NoopSink> {
     sim: Simulation,
     policy: Option<Box<dyn Policy>>,
@@ -388,6 +447,7 @@ pub struct Runner<S: TelemetrySink = NoopSink> {
     sink: S,
 }
 
+#[allow(deprecated)] // the shim's own impl block
 impl<S: TelemetrySink> Runner<S> {
     /// The policy under test (required).
     pub fn policy(mut self, policy: Box<dyn Policy>) -> Self {
@@ -485,10 +545,12 @@ mod tests {
         };
         let report = Simulation::new(cfg, vec![setup(300.0, 20, 4)])
             .unwrap()
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(FairShare))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         // FairShare gives all 8 replicas to the single job.
         let job = &report.jobs[0];
@@ -512,10 +574,12 @@ mod tests {
         };
         let report = Simulation::new(cfg, vec![setup(2400.0, 10, 1)])
             .unwrap()
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(FairShare))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         let job = &report.jobs[0];
         assert!(job.violation_rate > 0.5, "violation {}", job.violation_rate);
@@ -540,17 +604,21 @@ mod tests {
         };
         let fixed = Simulation::new(cfg.clone(), vec![mk()])
             .unwrap()
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(StaticPolicy(2)))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         let scaled = Simulation::new(cfg, vec![mk()])
             .unwrap()
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(Aiad::default()))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         assert!(
             scaled.cluster_violation_rate < fixed.cluster_violation_rate,
@@ -570,10 +638,12 @@ mod tests {
         let run = || {
             Simulation::new(cfg.clone(), vec![setup(600.0, 8, 2)])
                 .unwrap()
-                .runner()
+                .driver()
+                .unwrap()
                 .policy(Box::new(Aiad::default()))
                 .run()
                 .unwrap()
+                .into_outcome()
                 .report
         };
         let a = run();
@@ -592,10 +662,12 @@ mod tests {
         };
         let report = Simulation::new(cfg, vec![setup(900.0, 12, 2)])
             .unwrap()
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(FairShare))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         let job = &report.jobs[0];
         // All requests are either completed (possibly violating) or
@@ -631,10 +703,12 @@ mod tests {
         };
         let report = Simulation::new(cfg, vec![setup(2400.0, 8, 1)])
             .unwrap()
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(JumpPolicy))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         let u = &report.jobs[0].utility_per_minute;
         let early: f64 = u[..2].iter().sum::<f64>() / 2.0;
@@ -737,18 +811,23 @@ mod tests {
         };
         let plain = Simulation::new(cfg.clone(), vec![setup(600.0, 6, 2)])
             .unwrap()
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(Aiad::default()))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         let with_none = Simulation::new(cfg, vec![setup(600.0, 6, 2)])
             .unwrap()
-            .runner()
-            .faults(FaultPlan::none())
+            .with_faults(FaultPlan::none())
+            .unwrap()
+            .driver()
+            .unwrap()
             .policy(Box::new(Aiad::default()))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         assert_eq!(
             serde_json::to_string(&plain).unwrap(),
@@ -789,11 +868,14 @@ mod tests {
             };
             let report = Simulation::new(cfg, vec![setup(600.0, 8, 3)])
                 .unwrap()
-                .runner()
-                .faults(full_plan())
+                .with_faults(full_plan())
+                .unwrap()
+                .driver()
+                .unwrap()
                 .policy(Box::new(Aiad::default()))
                 .run()
                 .unwrap()
+                .into_outcome()
                 .report;
             serde_json::to_string(&report).unwrap()
         };
@@ -813,11 +895,14 @@ mod tests {
         };
         let report = Simulation::new(cfg, vec![setup(600.0, 10, 4)])
             .unwrap()
-            .runner()
-            .faults(plan)
+            .with_faults(plan)
+            .unwrap()
+            .driver()
+            .unwrap()
             .policy(Box::new(FairShare))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         let job = &report.jobs[0];
         assert!(report.crash_killed_total > 0, "busy replicas crashed");
@@ -863,11 +948,14 @@ mod tests {
         };
         let report = Simulation::new(cfg, vec![setup(300.0, 8, 6)])
             .unwrap()
-            .runner()
-            .faults(plan)
+            .with_faults(plan)
+            .unwrap()
+            .driver()
+            .unwrap()
             .policy(Box::new(probe))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         let seen = quotas.lock().unwrap();
         assert!(seen.contains(&4), "policies see the shrunken quota");
@@ -901,8 +989,10 @@ mod tests {
         };
         Simulation::new(cfg, vec![setup(600.0, 6, 2)])
             .unwrap()
-            .runner()
-            .faults(plan)
+            .with_faults(plan)
+            .unwrap()
+            .driver()
+            .unwrap()
             .policy(Box::new(probe))
             .run()
             .unwrap();
@@ -940,8 +1030,10 @@ mod tests {
         };
         Simulation::new(cfg, vec![setup(600.0, 6, 2)])
             .unwrap()
-            .runner()
-            .faults(plan)
+            .with_faults(plan)
+            .unwrap()
+            .driver()
+            .unwrap()
             .policy(Box::new(probe))
             .run()
             .unwrap();
@@ -959,14 +1051,25 @@ mod tests {
     }
 
     #[test]
-    fn runner_requires_a_policy() {
+    fn driver_requires_a_policy() {
+        let sim = Simulation::new(SimConfig::default(), vec![setup(60.0, 2, 1)]).unwrap();
+        let err = match sim.driver().unwrap().run() {
+            Err(err) => err,
+            Ok(_) => panic!("a driver without a policy must not run"),
+        };
+        assert!(matches!(err, DriverError::NoPolicy), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_runner_still_requires_a_policy() {
         let sim = Simulation::new(SimConfig::default(), vec![setup(60.0, 2, 1)]).unwrap();
         let err = sim.runner().run().unwrap_err();
         assert!(matches!(err, faro_core::FaroError::Backend(_)), "{err}");
     }
 
     #[test]
-    fn runner_validates_faults_at_run() {
+    fn with_faults_validates_the_plan() {
         let sim = Simulation::new(SimConfig::default(), vec![setup(60.0, 2, 1)]).unwrap();
         let plan = FaultPlan {
             metric_outage: Some(MetricOutage {
@@ -977,14 +1080,34 @@ mod tests {
             }),
             ..FaultPlan::none()
         };
-        // Building the runner never fails; validation surfaces at run.
-        let err = sim
-            .runner()
-            .policy(Box::new(FairShare))
-            .faults(plan)
-            .run()
-            .unwrap_err();
+        let err = match sim.with_faults(plan) {
+            Err(err) => err,
+            Ok(_) => panic!("an out-of-range fault plan must be rejected"),
+        };
         assert!(err.to_string().contains("only 1 jobs exist"), "{err}");
+    }
+
+    /// The deprecated `runner()` shim must stay byte-equivalent to the
+    /// `driver()` path until it is dropped.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_runner_matches_driver_path() {
+        let mk = || Simulation::new(SimConfig::default(), vec![setup(300.0, 5, 2)]).unwrap();
+        let via_runner = mk()
+            .runner()
+            .policy(Box::new(Aiad::default()))
+            .run()
+            .unwrap();
+        let via_driver = mk()
+            .driver()
+            .unwrap()
+            .policy(Box::new(Aiad::default()))
+            .run()
+            .unwrap()
+            .into_outcome();
+        assert_eq!(via_runner.stats, via_driver.stats);
+        let bytes = |r: &ClusterReport| serde_json::to_string(r).unwrap();
+        assert_eq!(bytes(&via_runner.report), bytes(&via_driver.report));
     }
 
     #[test]
@@ -1005,10 +1128,12 @@ mod tests {
         };
         let base = Simulation::new(cfg.clone(), vec![mk()])
             .unwrap()
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(Aiad::default()))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         let plan = FaultPlan {
             cold_start_spike: Some(ColdStartSpike {
@@ -1021,11 +1146,14 @@ mod tests {
         };
         let spiked = Simulation::new(cfg, vec![mk()])
             .unwrap()
-            .runner()
-            .faults(plan)
+            .with_faults(plan)
+            .unwrap()
+            .driver()
+            .unwrap()
             .policy(Box::new(Aiad::default()))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         assert!(
             spiked.availability < base.availability,

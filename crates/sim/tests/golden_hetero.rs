@@ -10,7 +10,7 @@ use faro_core::faro::{FaroAutoscaler, FaroConfig};
 use faro_core::predictor::{FlatPredictor, RatePredictor};
 use faro_core::types::{JobSpec, ReplicaClass, ResourceModel};
 use faro_core::ClusterObjective;
-use faro_sim::{FaultPlan, JobSetup, RunOutcome, SimConfig, Simulation};
+use faro_sim::{FaultPlan, JobSetup, RunOutcome, SimConfig, SimRun, Simulation};
 
 /// A 4-GPU + 12-vCPU cluster: the GPU class binds on GPUs, the CPU
 /// class (3x slower) binds on vCPUs.
@@ -69,11 +69,13 @@ fn hetero_run(seed: u64) -> RunOutcome {
     let n = jobs.len();
     Simulation::new(cfg, jobs)
         .expect("hetero setup is valid")
-        .runner()
+        .driver()
+        .unwrap()
         .policy(faro_policy(n))
         .admission(Box::new(ClampToQuota))
         .run()
         .expect("hetero run completes")
+        .into_outcome()
 }
 
 #[test]
@@ -160,11 +162,13 @@ fn class_blind_decisions_spill_fill_deterministically() {
         };
         Simulation::new(cfg, setups())
             .expect("valid setup")
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(FairShare))
             .admission(Box::new(ClampToQuota))
             .run()
             .expect("class-blind hetero run completes")
+            .into_outcome()
     };
     let a = serde_json::to_string(&run(5).report).expect("serializes");
     let b = serde_json::to_string(&run(5).report).expect("serializes");
@@ -196,11 +200,8 @@ fn hetero_setup_rejections() {
         }),
         ..FaultPlan::none()
     };
-    let err = Simulation::new(cfg, setups())
+    let attached = Simulation::new(cfg, setups())
         .expect("setup itself is fine")
-        .runner()
-        .policy(faro_policy(2))
-        .faults(plan)
-        .run();
-    assert!(err.is_err(), "node outage + classes must be rejected");
+        .with_faults(plan);
+    assert!(attached.is_err(), "node outage + classes must be rejected");
 }

@@ -13,7 +13,7 @@
 
 use faro_core::baselines::FairShare;
 use faro_core::types::JobSpec;
-use faro_sim::{JobSetup, SimConfig, Simulation};
+use faro_sim::{JobSetup, SimConfig, SimRun, Simulation};
 use std::path::Path;
 
 fn small_run_json() -> String {
@@ -36,10 +36,12 @@ fn small_run_json() -> String {
     ];
     let report = Simulation::new(cfg, setups)
         .expect("golden setup is valid")
-        .runner()
+        .driver()
+        .unwrap()
         .policy(Box::new(FairShare))
         .run()
         .expect("golden run completes")
+        .into_outcome()
         .report;
     serde_json::to_string(&report).expect("report serializes")
 }

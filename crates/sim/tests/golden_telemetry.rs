@@ -19,6 +19,7 @@ use faro_core::sharded::{ShardConfig, SolvePlan};
 use faro_core::types::{JobId, JobSpec};
 use faro_core::units::DurationMs;
 use faro_core::ClusterObjective;
+use faro_sim::SimRun;
 use faro_sim::{
     FaultPlan, JobSetup, MetricOutage, MetricOutageMode, NodeOutage, ReplicaCrashes, RunOutcome,
     SimConfig, Simulation,
@@ -67,12 +68,15 @@ fn faults() -> FaultPlan {
 fn traced_run(plan: FaultPlan) -> (RunOutcome, TraceSink) {
     let mut sink = TraceSink::new();
     let outcome = sim()
-        .runner()
+        .with_faults(plan)
+        .unwrap()
+        .driver()
+        .unwrap()
         .policy(Box::new(Aiad::default()))
-        .faults(plan)
         .telemetry(&mut sink)
         .run()
-        .expect("traced run completes");
+        .expect("traced run completes")
+        .into_outcome();
     (outcome, sink)
 }
 
@@ -107,12 +111,15 @@ fn seeded_replays_produce_byte_identical_jsonl_traces() {
 fn tracing_never_steers_the_run() {
     let (traced, sink) = traced_run(faults());
     let plain = sim()
-        .runner()
+        .with_faults(faults())
+        .unwrap()
+        .driver()
+        .unwrap()
         .policy(Box::new(Aiad::default()))
-        .faults(faults())
         .telemetry(NoopSink)
         .run()
-        .expect("noop run completes");
+        .expect("noop run completes")
+        .into_outcome();
     let bytes = |o: &RunOutcome| serde_json::to_string(&o.report).expect("report serializes");
     assert_eq!(
         bytes(&traced),
@@ -209,11 +216,13 @@ fn sharded_solve_traces_are_thread_invariant() {
             .collect();
         let mut sink = TraceSink::new();
         let outcome = sim()
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(FaroAutoscaler::new(cfg, predictors)))
             .telemetry(&mut sink)
             .run()
-            .expect("sharded run completes");
+            .expect("sharded run completes")
+            .into_outcome();
         let report = serde_json::to_string(&outcome.report).expect("report serializes");
         (sink.to_jsonl(), report)
     };
@@ -232,12 +241,15 @@ fn aggregate_snapshot_is_reproducible() {
     let run = || {
         let mut sink = AggregateSink::new();
         sim()
-            .runner()
+            .with_faults(faults())
+            .unwrap()
+            .driver()
+            .unwrap()
             .policy(Box::new(Aiad::default()))
-            .faults(faults())
             .telemetry(&mut sink)
             .run()
-            .expect("aggregated run completes");
+            .expect("aggregated run completes")
+            .into_outcome();
         sink.prometheus_snapshot()
     };
     let snap = run();

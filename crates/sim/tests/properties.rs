@@ -4,7 +4,7 @@ use faro_control::{Clock, ClusterBackend};
 use faro_core::baselines::FairShare;
 use faro_core::types::{ClusterSnapshot, DesiredState, JobDecision, JobId, JobSpec};
 use faro_core::Policy;
-use faro_sim::{JobSetup, SimConfig, Simulation};
+use faro_sim::{JobSetup, SimConfig, SimRun, Simulation};
 use proptest::prelude::*;
 
 /// A policy that applies an arbitrary fixed decision sequence, to fuzz
@@ -75,10 +75,12 @@ proptest! {
         };
         let policy = ScriptedPolicy { script, step: 0 };
         let report = Simulation::new(cfg, vec![setup]).unwrap()
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(policy))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         let job = &report.jobs[0];
         prop_assert!(job.violations >= job.drops);
@@ -103,10 +105,12 @@ proptest! {
         };
         let policy = ScriptedPolicy { script: vec![(8, drop)], step: 0 };
         let report = Simulation::new(cfg, vec![setup]).unwrap()
-            .runner()
+            .driver()
+            .unwrap()
             .policy(Box::new(policy))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         let job = &report.jobs[0];
         let observed = job.drops as f64 / job.total_requests as f64;
@@ -128,10 +132,12 @@ proptest! {
         let run = |replicas: u32| {
             let cfg = SimConfig { total_replicas: replicas, seed, ..Default::default() };
             Simulation::new(cfg, vec![setup()]).unwrap()
-                .runner()
+                .driver()
+                .unwrap()
                 .policy(Box::new(FairShare))
                 .run()
                 .unwrap()
+                .into_outcome()
                 .report
                 .cluster_violation_rate
         };

@@ -276,6 +276,7 @@ impl TelemetrySink for AggregateSink {
             | TelemetryEvent::BreakerTransition { .. }
             | TelemetryEvent::DegradedRound { .. }
             | TelemetryEvent::DriftDetected { .. }
+            | TelemetryEvent::WallClockTick { .. }
             | TelemetryEvent::ShardSolve { .. } => {}
         }
     }

@@ -322,6 +322,19 @@ pub enum TelemetryEvent {
         /// Drifted job indices, ascending.
         jobs: Vec<usize>,
     },
+    /// A wall-clock driver pinned one logical round to the host's
+    /// physical clock. Only live (wall-clock) backends emit this —
+    /// simulated runs never do, which keeps sim traces byte-identical
+    /// — so a trace line carrying it marks the run as wall-paced and
+    /// lets round latency be recovered from consecutive ticks.
+    WallClockTick {
+        /// Host wall time at the tick, milliseconds since the Unix
+        /// epoch. Deliberately a raw integer: the logical timeline in
+        /// the record key stays `SimTimeMs`, and the two never mix.
+        wall_ms: i64,
+        /// The logical round this tick pinned.
+        round: u64,
+    },
     /// What a sharded decide round did: how much of the cluster
     /// re-entered the solver and how much was served from cache.
     ShardSolve {
@@ -356,6 +369,7 @@ impl TelemetryEvent {
             TelemetryEvent::BreakerTransition { .. } => "BreakerTransition",
             TelemetryEvent::DegradedRound { .. } => "DegradedRound",
             TelemetryEvent::DriftDetected { .. } => "DriftDetected",
+            TelemetryEvent::WallClockTick { .. } => "WallClockTick",
             TelemetryEvent::ShardSolve { .. } => "ShardSolve",
         }
     }

@@ -47,11 +47,13 @@ fn main() {
     let mut trace = TraceSink::new();
     let outcome = Simulation::new(config, vec![light, heavy])
         .expect("valid setup")
-        .runner()
+        .driver()
+        .unwrap()
         .policy(Box::new(faro))
         .telemetry(&mut trace)
         .run()
-        .expect("simulation completes");
+        .expect("simulation completes")
+        .into_outcome();
     let report = &outcome.report;
 
     println!(

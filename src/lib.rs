@@ -27,6 +27,10 @@
 //! - [`sim`]: the deployment-matched discrete-event simulator of Ray
 //!   Serve atop Kubernetes.
 //! - [`metrics`]: percentiles, windows, SLO accounting, Kendall-Tau.
+//! - [`cluster`]: the live actuation layer — a cluster-in-a-process
+//!   HTTP/JSON server (`ClusterServer`) and the wall-clock
+//!   `HttpBackend` that drives the same control plane over real TCP
+//!   with the versioned v1 wire schema.
 //! - [`bench`](mod@bench): the experiment harness regenerating the
 //!   paper's tables and figures.
 //!
@@ -41,10 +45,12 @@
 //! let config = SimConfig { total_replicas: 8, seed: 1, ..Default::default() };
 //! let outcome = Simulation::new(config, set.setups(1))
 //!     .unwrap()
-//!     .runner()
+//!     .driver()
+//!     .unwrap()
 //!     .policy(policy)
 //!     .run()
-//!     .unwrap();
+//!     .unwrap()
+//!     .into_outcome();
 //! assert!(outcome.report.cluster_violation_rate < 0.5);
 //! ```
 
@@ -52,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub use faro_bench as bench;
+pub use faro_cluster as cluster;
 pub use faro_control as control;
 pub use faro_core as core;
 pub use faro_forecast as forecast;
@@ -78,17 +85,24 @@ pub use faro_trace as trace;
 /// [`NoopSink`](prelude::NoopSink), [`TraceSink`](prelude::TraceSink),
 /// [`AggregateSink`](prelude::AggregateSink)), and driving a custom
 /// backend ([`ClusterBackend`](prelude::ClusterBackend),
-/// [`Clock`](prelude::Clock), [`Reconciler`](prelude::Reconciler)).
+/// [`Clock`](prelude::Clock), [`Driver`](prelude::Driver),
+/// [`Reconciler`](prelude::Reconciler)).
 pub mod prelude {
     pub use faro_bench::{PolicyKind, WorkloadSet};
-    pub use faro_control::{Clock, ClusterBackend, Reconciler, RunStats};
+    pub use faro_control::{
+        Clock, ClusterBackend, Driver, DriverError, DriverOutcome, Reconciler, ResilienceConfig,
+        ResilientDriver, RunReport, RunStats, WallClock,
+    };
+    pub use faro_core::admission::ClampToQuota;
     pub use faro_core::baselines::{Aiad, FairShare};
     pub use faro_core::policy::Policy;
     pub use faro_core::types::{ClusterSnapshot, DesiredState, JobSpec};
-    pub use faro_core::units::{RatePerMin, ReplicaCount, SimTimeMs};
+    pub use faro_core::units::{RatePerMin, ReplicaCount, SimTimeMs, WallTimeMs};
     pub use faro_core::{ClusterObjective, FaroAutoscaler, FaroConfig, FaroError};
+    #[allow(deprecated)] // re-exported for the shim's one-release grace period
+    pub use faro_sim::Runner;
     pub use faro_sim::{
-        ClusterReport, FaultPlan, JobSetup, RunOutcome, Runner, SimConfig, Simulation,
+        ClusterReport, FaultPlan, JobSetup, RunOutcome, SimConfig, SimRun, Simulation,
     };
     pub use faro_telemetry::{AggregateSink, NoopSink, Tee, TelemetrySink, TraceSink};
 }

@@ -7,7 +7,7 @@ use faro::core::types::{JobSpec, ResourceModel, Slo};
 use faro::core::ClusterObjective;
 use faro::sim::{
     ColdStartSpike, FaultPlan, JobSetup, MetricOutage, MetricOutageMode, NodeOutage,
-    ReplicaCrashes, SimConfig, Simulation,
+    ReplicaCrashes, SimConfig, SimRun, Simulation,
 };
 use faro::solver::{Cobyla, DifferentialEvolution, NelderMead, Solver};
 use proptest::prelude::*;
@@ -31,9 +31,10 @@ proptest! {
             initial_replicas: 1,
         };
         let report = Simulation::new(cfg, vec![setup]).unwrap()
-            .runner().policy(Box::new(Aiad::default()))
+            .driver().unwrap().policy(Box::new(Aiad::default()))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         let job = &report.jobs[0];
         let arrived: f64 = job.arrivals_per_minute.iter().sum();
@@ -67,10 +68,11 @@ proptest! {
             ..FaultPlan::none()
         };
         let report = Simulation::new(cfg, vec![setup]).unwrap()
-            .runner().faults(plan)
-            .policy(Box::new(Aiad::default()))
+            .with_faults(plan).unwrap()
+            .driver().unwrap().policy(Box::new(Aiad::default()))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         let job = &report.jobs[0];
         let arrived: f64 = job.arrivals_per_minute.iter().sum();
@@ -188,11 +190,14 @@ fn fault_injection_is_deterministic_across_runs() {
         ];
         let report = Simulation::new(cfg, setups)
             .unwrap()
-            .runner()
-            .faults(plan.clone())
+            .with_faults(plan.clone())
+            .unwrap()
+            .driver()
+            .unwrap()
             .policy(Box::new(Aiad::default()))
             .run()
             .unwrap()
+            .into_outcome()
             .report;
         serde_json::to_string(&report).unwrap()
     };
